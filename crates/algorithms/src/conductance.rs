@@ -1,0 +1,183 @@
+//! Conductance of a vertex bisection (paper §5.2, citing Biggs).
+//!
+//! For a vertex set `S`, conductance is `cut(S, V\S) / min(vol(S),
+//! vol(V\S))` where `vol` sums degrees. One scatter pass sends each
+//! source's side to its destination; gathers count received updates
+//! (volume contribution) and cross-side updates (cut contribution);
+//! a vertex fold aggregates.
+
+use xstream_core::{Edge, EdgeProgram, Engine, IterationStats, VertexId};
+
+/// Per-vertex conductance state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub struct CondState {
+    /// Which side of the bisection this vertex is on (0 or 1).
+    pub side: u32,
+    /// Edges received whose source is on the other side.
+    pub cross: u32,
+    /// Total edges received (in-degree; doubles as volume on the
+    /// undirected expansion).
+    pub total: u32,
+}
+
+// SAFETY: `repr(C)`, three u32 fields: no padding, no pointers, all
+// bit patterns valid.
+unsafe impl xstream_core::Record for CondState {}
+
+/// The conductance edge program.
+pub struct Conductance;
+
+impl EdgeProgram for Conductance {
+    type State = CondState;
+    type Update = u32;
+
+    fn init(&self, v: VertexId) -> CondState {
+        CondState {
+            side: v & 1,
+            cross: 0,
+            total: 0,
+        }
+    }
+
+    fn scatter(&self, s: &CondState, _e: &Edge) -> Option<u32> {
+        Some(s.side)
+    }
+
+    fn gather(&self, d: &mut CondState, u: &u32) -> bool {
+        d.total += 1;
+        if *u != d.side {
+            d.cross += 1;
+        }
+        true
+    }
+}
+
+/// Result of a conductance computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConductanceResult {
+    /// Edges crossing the bisection.
+    pub cut: u64,
+    /// Volume (sum of degrees) of side 0.
+    pub vol0: u64,
+    /// Volume of side 1.
+    pub vol1: u64,
+}
+
+impl ConductanceResult {
+    /// The conductance value; 0 when either side has no volume.
+    pub fn value(&self) -> f64 {
+        let denom = self.vol0.min(self.vol1);
+        if denom == 0 {
+            0.0
+        } else {
+            self.cut as f64 / denom as f64
+        }
+    }
+}
+
+/// Computes the conductance of the bisection `side(v) = membership(v)`
+/// in one scatter-gather pass.
+///
+/// `membership` maps a vertex to side 0 or 1; the default program uses
+/// id parity (the init value is overwritten here).
+pub fn run<E: Engine<Conductance>>(
+    engine: &mut E,
+    program: &Conductance,
+    membership: &dyn Fn(VertexId) -> u32,
+) -> (ConductanceResult, IterationStats) {
+    engine.vertex_map(&mut |v, s| {
+        *s = CondState {
+            side: membership(v) & 1,
+            cross: 0,
+            total: 0,
+        }
+    });
+    let it = engine.scatter_gather(program);
+    let cut = engine.vertex_fold(0.0, &mut |acc, _v, s| acc + s.cross as f64) as u64;
+    let vol0 = engine.vertex_fold(0.0, &mut |acc, _v, s| {
+        if s.side == 0 {
+            acc + s.total as f64
+        } else {
+            acc
+        }
+    }) as u64;
+    let vol1 = engine.vertex_fold(0.0, &mut |acc, _v, s| {
+        if s.side == 1 {
+            acc + s.total as f64
+        } else {
+            acc
+        }
+    }) as u64;
+    (ConductanceResult { cut, vol0, vol1 }, it)
+}
+
+/// Convenience: parity-bisection conductance on the in-memory engine.
+pub fn conductance_in_memory(
+    graph: &xstream_graph::EdgeList,
+    config: xstream_core::EngineConfig,
+) -> (ConductanceResult, IterationStats) {
+    let program = Conductance;
+    let mut engine = xstream_memory::InMemoryEngine::from_graph(graph, &program, config);
+    run(&mut engine, &program, &|v| v & 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xstream_core::EngineConfig;
+    use xstream_graph::{edgelist::from_pairs, generators};
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::default().with_threads(2).with_partitions(4)
+    }
+
+    #[test]
+    fn fully_separated_sides_have_zero_cut() {
+        // Edges only within even and within odd vertices.
+        let g = from_pairs(6, &[(0, 2), (2, 4), (1, 3), (3, 5)]).to_undirected();
+        let (r, _) = conductance_in_memory(&g, cfg());
+        assert_eq!(r.cut, 0);
+        assert_eq!(r.value(), 0.0);
+    }
+
+    #[test]
+    fn alternating_path_cut_counts_all_edges() {
+        // Path 0-1-2-3: every edge crosses parity.
+        let g = generators::path(4).to_undirected();
+        let (r, _) = conductance_in_memory(&g, cfg());
+        assert_eq!(r.cut, 6, "three undirected edges = six directed");
+        assert_eq!(r.vol0 + r.vol1, 6);
+        assert_eq!(r.value(), 2.0);
+    }
+
+    #[test]
+    fn matches_direct_count() {
+        let g = generators::erdos_renyi(101, 1000, 13).to_undirected();
+        let (r, _) = conductance_in_memory(&g, cfg());
+        let mut cut = 0u64;
+        let mut vol = [0u64; 2];
+        for e in g.edges() {
+            let (ss, ds) = (e.src & 1, e.dst & 1);
+            if ss != ds {
+                cut += 1;
+            }
+            vol[ds as usize] += 1;
+        }
+        assert_eq!(r.cut, cut);
+        assert_eq!(r.vol0, vol[0]);
+        assert_eq!(r.vol1, vol[1]);
+    }
+
+    #[test]
+    fn custom_membership() {
+        let g = generators::path(4).to_undirected();
+        let program = Conductance;
+        let mut engine = xstream_memory::InMemoryEngine::from_graph(&g, &program, cfg());
+        // Everything on side 0: no cut, vol1 = 0.
+        let (r, _) = run(&mut engine, &program, &|_| 0);
+        assert_eq!(r.cut, 0);
+        assert_eq!(r.vol1, 0);
+        assert_eq!(r.value(), 0.0);
+    }
+}

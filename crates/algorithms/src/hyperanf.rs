@@ -1,0 +1,223 @@
+//! HyperANF: the approximate neighbourhood function (Boldi, Rosa,
+//! Vigna, WWW'11), used by the paper (Fig. 13) to measure graph
+//! diameter and explain why high-diameter inputs hurt X-Stream.
+//!
+//! Every vertex carries a HyperLogLog counter seeded with itself; each
+//! iteration scatters the counter over out-edges and gathers take the
+//! register-wise maximum. `N(t)`, the number of vertex pairs within
+//! distance `t`, is the sum of counter estimates after `t` iterations;
+//! the iteration at which the counters stop changing is the (effective)
+//! diameter.
+
+use crate::util::splitmix64;
+use xstream_core::{Edge, EdgeProgram, Engine, RunStats, VertexId};
+
+/// Number of HyperLogLog registers per counter (2^5; standard error
+/// ~18%, enough to detect convergence and coarse neighbourhood growth).
+pub const REGISTERS: usize = 32;
+
+const LOG2_REGISTERS: u32 = 5;
+
+/// A per-vertex HyperLogLog counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub struct Hll {
+    /// One max-rank register per hash bucket.
+    pub registers: [u8; REGISTERS],
+}
+
+// SAFETY: `repr(C)` array of u8: no padding, no pointers, all bit
+// patterns valid.
+unsafe impl xstream_core::Record for Hll {}
+
+impl Hll {
+    /// An empty counter.
+    pub fn empty() -> Self {
+        Self {
+            registers: [0; REGISTERS],
+        }
+    }
+
+    /// Adds one element.
+    pub fn add(&mut self, item: u64) {
+        let h = splitmix64(item);
+        let bucket = (h & (REGISTERS as u64 - 1)) as usize;
+        let rank = ((h >> LOG2_REGISTERS) | (1 << (63 - LOG2_REGISTERS))).trailing_zeros() + 1;
+        self.registers[bucket] = self.registers[bucket].max(rank as u8);
+    }
+
+    /// Register-wise maximum merge; returns whether `self` changed.
+    pub fn merge(&mut self, other: &Hll) -> bool {
+        let mut changed = false;
+        for (a, b) in self.registers.iter_mut().zip(other.registers.iter()) {
+            if *b > *a {
+                *a = *b;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// HyperLogLog cardinality estimate.
+    pub fn estimate(&self) -> f64 {
+        let m = REGISTERS as f64;
+        let alpha = 0.697; // alpha_32.
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
+        let raw = alpha * m * m / sum;
+        // Small-range correction.
+        let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+        if raw <= 2.5 * m && zeros > 0 {
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        }
+    }
+}
+
+/// The HyperANF edge program.
+pub struct HyperAnf;
+
+impl EdgeProgram for HyperAnf {
+    type State = Hll;
+    type Update = [u8; REGISTERS];
+
+    fn init(&self, v: VertexId) -> Hll {
+        let mut h = Hll::empty();
+        h.add(v as u64);
+        h
+    }
+
+    fn scatter(&self, s: &Hll, _e: &Edge) -> Option<[u8; REGISTERS]> {
+        Some(s.registers)
+    }
+
+    fn gather(&self, d: &mut Hll, u: &[u8; REGISTERS]) -> bool {
+        d.merge(&Hll { registers: *u })
+    }
+}
+
+/// HyperANF output.
+#[derive(Debug, Clone)]
+pub struct NeighborhoodFunction {
+    /// `series[t]` estimates `N(t)`: reachable pairs within `t` steps.
+    pub series: Vec<f64>,
+    /// Iterations until the counters stopped changing — the paper's
+    /// "number of steps to cover the graph" (its diameter estimate).
+    pub steps: usize,
+}
+
+/// Runs HyperANF until the neighbourhood function converges (or
+/// `max_steps`). The engine should be built on the undirected
+/// expansion to match the paper's definition of `N(t)`.
+pub fn run<E: Engine<HyperAnf>>(
+    engine: &mut E,
+    program: &HyperAnf,
+    max_steps: usize,
+) -> (NeighborhoodFunction, RunStats) {
+    let start = std::time::Instant::now();
+    let mut stats = RunStats::default();
+    let mut series = Vec::new();
+    series.push(engine.vertex_fold(0.0, &mut |acc, _v, s| acc + s.estimate()));
+    let mut steps = 0;
+    while steps < max_steps {
+        let it = engine.scatter_gather(program);
+        let changed = it.vertices_changed;
+        stats.iterations.push(it);
+        steps += 1;
+        series.push(engine.vertex_fold(0.0, &mut |acc, _v, s| acc + s.estimate()));
+        if changed == 0 {
+            break;
+        }
+    }
+    stats.total_ns = start.elapsed().as_nanos() as u64;
+    (NeighborhoodFunction { series, steps }, stats)
+}
+
+/// Convenience: HyperANF on the in-memory engine.
+pub fn hyperanf_in_memory(
+    graph: &xstream_graph::EdgeList,
+    max_steps: usize,
+    config: xstream_core::EngineConfig,
+) -> (NeighborhoodFunction, RunStats) {
+    let program = HyperAnf;
+    let mut engine = xstream_memory::InMemoryEngine::from_graph(graph, &program, config);
+    run(&mut engine, &program, max_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xstream_core::EngineConfig;
+    use xstream_graph::generators;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::default().with_threads(2).with_partitions(4)
+    }
+
+    #[test]
+    fn hll_estimates_are_sane() {
+        let mut h = Hll::empty();
+        for i in 0..1000u64 {
+            h.add(i);
+        }
+        let est = h.estimate();
+        assert!(est > 500.0 && est < 2000.0, "estimate {est} for 1000 items");
+    }
+
+    #[test]
+    fn hll_merge_is_union() {
+        let mut a = Hll::empty();
+        let mut b = Hll::empty();
+        for i in 0..500u64 {
+            a.add(i);
+            b.add(i + 250);
+        }
+        let mut u = a;
+        u.merge(&b);
+        assert!(u.estimate() >= a.estimate().max(b.estimate()));
+        // Merging a subset changes nothing.
+        let mut again = u;
+        assert!(!again.merge(&a) || again == u);
+    }
+
+    #[test]
+    fn path_diameter_detected() {
+        let n = 32;
+        let g = generators::path(n).to_undirected();
+        let (nf, _) = hyperanf_in_memory(&g, 100, cfg());
+        // Counters stabilize after diameter steps (n-1 for a path),
+        // plus one convergence-detection step.
+        assert!(nf.steps >= n - 1, "steps {} < diameter", nf.steps);
+        assert!(nf.steps <= n + 1);
+        // N(t) grows monotonically.
+        for w in nf.series.windows(2) {
+            assert!(w[1] >= w[0] * 0.99);
+        }
+    }
+
+    #[test]
+    fn low_diameter_graph_converges_fast() {
+        let g = generators::erdos_renyi(500, 6000, 4).to_undirected();
+        let (nf, _) = hyperanf_in_memory(&g, 100, cfg());
+        assert!(
+            nf.steps < 15,
+            "ER graph diameter is O(log n), got {}",
+            nf.steps
+        );
+    }
+
+    #[test]
+    fn grid_has_much_larger_diameter_than_rmat() {
+        // The Fig. 13 contrast: road-network-like vs scale-free.
+        let grid = generators::grid2d(16, 16);
+        let (nf_grid, _) = hyperanf_in_memory(&grid, 200, cfg());
+        let rmat = xstream_graph::Rmat::new(8).generate_undirected();
+        let (nf_rmat, _) = hyperanf_in_memory(&rmat, 200, cfg());
+        assert!(
+            nf_grid.steps > 2 * nf_rmat.steps,
+            "grid {} vs rmat {}",
+            nf_grid.steps,
+            nf_rmat.steps
+        );
+    }
+}

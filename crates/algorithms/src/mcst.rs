@@ -1,0 +1,302 @@
+//! Minimum-cost spanning tree via GHS-style Borůvka rounds (the paper
+//! cites Gallager-Humblet-Spira).
+//!
+//! Each round, every component selects its minimum-weight outgoing
+//! edge under a strict total order `(weight, src, dst)` — the strict
+//! order makes tie cycles impossible — the selected edges join the
+//! tree, and the touched components merge. Selection is edge-centric:
+//! one scatter-gather finds each *vertex*'s best cross-component
+//! incident edge; the per-*component* minimum and the merge bookkeeping
+//! run over the vertex array in fast storage (standing in for GHS's
+//! distributed convergecast, see DESIGN.md).
+//!
+//! Requires an undirected expansion with non-negative weights (both
+//! directions of an edge must carry the same weight).
+
+use xstream_core::{Edge, EdgeProgram, Engine, RunStats, VertexId, INVALID_VERTEX};
+
+/// Per-vertex MCST state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
+pub struct MstState {
+    /// Current component label.
+    pub comp: u32,
+    /// Weight bits of the best cross edge incident to this vertex
+    /// (IEEE bits of a non-negative f32 order like the float).
+    pub best_w: u32,
+    /// Source endpoint of the best cross edge.
+    pub best_src: u32,
+    /// Destination endpoint of the best cross edge.
+    pub best_dst: u32,
+    /// Component of the far side of the best cross edge.
+    pub best_comp: u32,
+}
+
+// SAFETY: `repr(C)`, five u32 fields: no padding, no pointers, all bit
+// patterns valid.
+unsafe impl xstream_core::Record for MstState {}
+
+/// The MCST edge program: one scatter-gather per round finds each
+/// vertex's lightest cross-component edge.
+pub struct Mcst;
+
+impl EdgeProgram for Mcst {
+    type State = MstState;
+    /// `[src_component, weight_bits, src, dst]`.
+    type Update = [u32; 4];
+
+    fn init(&self, v: VertexId) -> MstState {
+        MstState {
+            comp: v,
+            best_w: u32::MAX,
+            best_src: INVALID_VERTEX,
+            best_dst: INVALID_VERTEX,
+            best_comp: INVALID_VERTEX,
+        }
+    }
+
+    fn scatter(&self, s: &MstState, e: &Edge) -> Option<[u32; 4]> {
+        debug_assert!(e.weight >= 0.0, "MCST requires non-negative weights");
+        Some([s.comp, e.weight.to_bits(), e.src, e.dst])
+    }
+
+    fn gather(&self, d: &mut MstState, u: &[u32; 4]) -> bool {
+        let [src_comp, w, src, dst] = *u;
+        if src_comp == d.comp {
+            return false;
+        }
+        // Strict total order on (weight, src, dst).
+        if (w, src, dst) < (d.best_w, d.best_src, d.best_dst) {
+            d.best_w = w;
+            d.best_src = src;
+            d.best_dst = dst;
+            d.best_comp = src_comp;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Result of an MCST computation.
+#[derive(Debug, Clone)]
+pub struct MstResult {
+    /// Selected tree edges in canonical `(min, max)` endpoint order.
+    pub edges: Vec<Edge>,
+    /// Total weight of the forest.
+    pub total_weight: f64,
+    /// Number of connected components (trees in the forest).
+    pub components: usize,
+    /// Borůvka rounds executed.
+    pub rounds: usize,
+}
+
+/// Runs MCST on an undirected weighted expansion; returns the spanning
+/// forest and run statistics.
+pub fn run<E: Engine<Mcst>>(engine: &mut E, program: &Mcst) -> (MstResult, RunStats) {
+    let start = std::time::Instant::now();
+    let n = engine.num_vertices();
+    let mut stats = RunStats::default();
+    let mut tree: Vec<Edge> = Vec::new();
+    let mut total_weight = 0.0f64;
+    let mut rounds = 0usize;
+    // Union-find over component labels (labels are vertex ids).
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            parent[v as usize] = parent[parent[v as usize] as usize];
+            v = parent[v as usize];
+        }
+        v
+    }
+    loop {
+        rounds += 1;
+        // Reset per-vertex candidates.
+        engine.vertex_map(&mut |_v, s| {
+            s.best_w = u32::MAX;
+            s.best_src = INVALID_VERTEX;
+            s.best_dst = INVALID_VERTEX;
+            s.best_comp = INVALID_VERTEX;
+        });
+        // Edge-centric candidate selection.
+        stats.iterations.push(engine.scatter_gather(program));
+        // Per-component minimum over the vertex candidates.
+        let mut comp_best: std::collections::HashMap<u32, (u32, u32, u32, u32)> =
+            std::collections::HashMap::new();
+        engine.vertex_map(&mut |_v, s| {
+            if s.best_w == u32::MAX {
+                return;
+            }
+            let cand = (s.best_w, s.best_src, s.best_dst, s.best_comp);
+            // The candidate crosses *into* this vertex's component; it
+            // is an outgoing edge of both endpoint components.
+            for c in [s.comp, s.best_comp] {
+                match comp_best.get(&c) {
+                    Some(&best) if best <= cand => {}
+                    _ => {
+                        comp_best.insert(c, cand);
+                    }
+                }
+            }
+        });
+        if comp_best.is_empty() {
+            break;
+        }
+        // Add selected edges (deduplicated) and union the components.
+        let mut merged = 0usize;
+        let mut chosen: std::collections::HashSet<(u32, u32, u32)> =
+            std::collections::HashSet::new();
+        for (_c, (w, src, dst, _fc)) in comp_best {
+            let key = (w, src.min(dst), src.max(dst));
+            if !chosen.insert(key) {
+                continue;
+            }
+            let (a, b) = (find(&mut parent, src), find(&mut parent, dst));
+            if a != b {
+                parent[a.max(b) as usize] = a.min(b);
+                let weight = f32::from_bits(w);
+                tree.push(Edge::weighted(src.min(dst), src.max(dst), weight));
+                total_weight += weight as f64;
+                merged += 1;
+            }
+        }
+        if merged == 0 {
+            break;
+        }
+        // Relabel vertices with their new component roots.
+        engine.vertex_map(&mut |_v, s| {
+            s.comp = find(&mut parent, s.comp);
+        });
+    }
+    let mut roots = std::collections::HashSet::new();
+    for v in 0..n as u32 {
+        roots.insert(find(&mut parent, v));
+    }
+    stats.total_ns = start.elapsed().as_nanos() as u64;
+    (
+        MstResult {
+            edges: tree,
+            total_weight,
+            components: roots.len(),
+            rounds,
+        },
+        stats,
+    )
+}
+
+/// Convenience: MCST on the in-memory engine.
+pub fn mcst_in_memory(
+    graph: &xstream_graph::EdgeList,
+    config: xstream_core::EngineConfig,
+) -> (MstResult, RunStats) {
+    let program = Mcst;
+    let mut engine = xstream_memory::InMemoryEngine::from_graph(graph, &program, config);
+    run(&mut engine, &program)
+}
+
+/// Kruskal reference MST weight (test/verification helper).
+pub fn kruskal_weight(graph: &xstream_graph::EdgeList) -> f64 {
+    let n = graph.num_vertices();
+    let mut edges: Vec<&Edge> = graph.edges().iter().collect();
+    edges.sort_by(|a, b| {
+        (a.weight, a.src, a.dst)
+            .partial_cmp(&(b.weight, b.src, b.dst))
+            .unwrap()
+    });
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            parent[v as usize] = parent[parent[v as usize] as usize];
+            v = parent[v as usize];
+        }
+        v
+    }
+    let mut total = 0.0f64;
+    for e in edges {
+        let (a, b) = (find(&mut parent, e.src), find(&mut parent, e.dst));
+        if a != b {
+            parent[a.max(b) as usize] = a.min(b);
+            total += e.weight as f64;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use xstream_core::EngineConfig;
+    use xstream_graph::{generators, EdgeList};
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::default().with_threads(2).with_partitions(4)
+    }
+
+    fn weighted_undirected(n: usize, m: usize, seed: u64) -> EdgeList {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        generators::erdos_renyi(n, m, seed)
+            .with_random_weights(&mut rng)
+            .to_undirected()
+    }
+
+    #[test]
+    fn triangle_drops_heaviest() {
+        let g = EdgeList::new(
+            3,
+            vec![
+                Edge::weighted(0, 1, 1.0),
+                Edge::weighted(1, 2, 2.0),
+                Edge::weighted(0, 2, 5.0),
+            ],
+        )
+        .to_undirected();
+        let (mst, _) = mcst_in_memory(&g, cfg());
+        assert_eq!(mst.edges.len(), 2);
+        assert_eq!(mst.total_weight, 3.0);
+        assert_eq!(mst.components, 1);
+    }
+
+    #[test]
+    fn matches_kruskal_on_random_graphs() {
+        for seed in [5u64, 6, 7] {
+            let g = weighted_undirected(120, 600, seed);
+            let (mst, _) = mcst_in_memory(&g, cfg());
+            let expect = kruskal_weight(&g);
+            assert!(
+                (mst.total_weight - expect).abs() < 1e-3,
+                "seed {seed}: {} vs {expect}",
+                mst.total_weight
+            );
+        }
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        let mut g = weighted_undirected(50, 100, 9);
+        // Add 10 isolated vertices.
+        let edges = g.edges().to_vec();
+        g = EdgeList::new(60, edges);
+        let (mst, _) = mcst_in_memory(&g, cfg());
+        assert!(mst.components >= 10);
+        // Forest edge count = V - components.
+        assert_eq!(mst.edges.len(), 60 - mst.components);
+    }
+
+    #[test]
+    fn borvka_round_count_is_logarithmic() {
+        let g = weighted_undirected(256, 2048, 13);
+        let (mst, _) = mcst_in_memory(&g, cfg());
+        assert!(mst.rounds <= 10, "rounds {}", mst.rounds);
+    }
+
+    #[test]
+    fn tie_weights_still_form_a_tree() {
+        // All weights equal: the (w, src, dst) total order must prevent
+        // cycles.
+        let g = generators::grid2d(5, 5);
+        let (mst, _) = mcst_in_memory(&g, cfg());
+        assert_eq!(mst.components, 1);
+        assert_eq!(mst.edges.len(), 24);
+    }
+}

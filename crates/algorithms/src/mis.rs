@@ -1,0 +1,283 @@
+//! Maximal independent set via Luby's algorithm.
+//!
+//! Each round, undecided vertices draw a deterministic pseudo-random
+//! priority; a vertex whose priority beats all undecided neighbours
+//! joins the set, and its neighbours drop out. Two scatter-gather
+//! passes per round (priority exchange, then membership notification),
+//! `O(log V)` rounds with high probability.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::util::splitmix64;
+use xstream_core::{Edge, EdgeProgram, Engine, RunStats, VertexId};
+
+/// Vertex status values.
+pub mod status {
+    /// Still competing.
+    pub const UNDECIDED: u32 = 0;
+    /// In the independent set.
+    pub const IN_SET: u32 = 1;
+    /// Excluded (a neighbour is in the set).
+    pub const OUT: u32 = 2;
+    /// In the set, not yet announced to neighbours (internal).
+    pub const FRESH: u32 = 3;
+}
+
+/// Program phase.
+mod phase {
+    /// Undecided vertices exchange priorities.
+    pub const PRIO: u32 = 0;
+    /// Fresh set members notify their neighbours.
+    pub const NOTIFY: u32 = 1;
+}
+
+/// Per-vertex MIS state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub struct MisState {
+    /// One of the [`status`] values.
+    pub status: u32,
+    /// This round's priority hash (ties broken by vertex id).
+    pub prio: u32,
+    /// Best (lowest) priority received this round.
+    pub best_prio: u32,
+    /// Vertex id carrying `best_prio` (tie break).
+    pub best_id: u32,
+}
+
+// SAFETY: `repr(C)`, four u32 fields: no padding, no pointers, all bit
+// patterns valid.
+unsafe impl xstream_core::Record for MisState {}
+
+/// The MIS edge program; alternates between priority and notify phases.
+pub struct Mis {
+    phase: AtomicU32,
+    round: AtomicU32,
+}
+
+impl Default for Mis {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mis {
+    /// Creates the program.
+    pub fn new() -> Self {
+        Self {
+            phase: AtomicU32::new(phase::PRIO),
+            round: AtomicU32::new(0),
+        }
+    }
+
+    /// Deterministic priority hash of vertex `v` in round `r`; the
+    /// `(hash, id)` pair is a total order over vertices.
+    fn priority(v: VertexId, r: u32) -> u32 {
+        splitmix64(((r as u64) << 32) | v as u64) as u32
+    }
+}
+
+impl EdgeProgram for Mis {
+    type State = MisState;
+    /// `[priority_hash, vertex_id]` in the priority phase; ignored in
+    /// the notify phase.
+    type Update = [u32; 2];
+
+    fn init(&self, _v: VertexId) -> MisState {
+        MisState {
+            status: status::UNDECIDED,
+            prio: 0,
+            best_prio: u32::MAX,
+            best_id: u32::MAX,
+        }
+    }
+
+    fn needs_scatter(&self, s: &MisState) -> bool {
+        match self.phase.load(Ordering::Relaxed) {
+            phase::PRIO => s.status == status::UNDECIDED,
+            _ => s.status == status::FRESH,
+        }
+    }
+
+    fn scatter(&self, s: &MisState, e: &Edge) -> Option<[u32; 2]> {
+        // A self-loop would deliver the vertex its own priority and the
+        // strict winner comparison would then block it in every round;
+        // self-loops never constrain an independent set, so drop them.
+        if e.src == e.dst {
+            return None;
+        }
+        match self.phase.load(Ordering::Relaxed) {
+            phase::PRIO => Some([s.prio, e.src]),
+            _ => Some([0, e.src]),
+        }
+    }
+
+    fn gather(&self, d: &mut MisState, u: &[u32; 2]) -> bool {
+        match self.phase.load(Ordering::Relaxed) {
+            phase::PRIO => {
+                if d.status == status::UNDECIDED && (u[0], u[1]) < (d.best_prio, d.best_id) {
+                    d.best_prio = u[0];
+                    d.best_id = u[1];
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => {
+                if d.status == status::UNDECIDED {
+                    d.status = status::OUT;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Runs Luby's MIS; returns one status per vertex ([`status::IN_SET`]
+/// or [`status::OUT`]) and run statistics. The engine must be built on
+/// the undirected expansion.
+pub fn run<E: Engine<Mis>>(engine: &mut E, program: &Mis) -> (Vec<u32>, RunStats) {
+    let start = std::time::Instant::now();
+    let mut stats = RunStats::default();
+    loop {
+        let round = program.round.fetch_add(1, Ordering::Relaxed);
+        // Draw fresh priorities for undecided vertices.
+        let mut undecided = 0u64;
+        engine.vertex_map(&mut |v, s| {
+            if s.status == status::UNDECIDED {
+                undecided += 1;
+                s.prio = Mis::priority(v, round);
+                s.best_prio = u32::MAX;
+                s.best_id = u32::MAX;
+            }
+        });
+        if undecided == 0 {
+            break;
+        }
+        // Phase 1: exchange priorities among undecided vertices.
+        program.phase.store(phase::PRIO, Ordering::Relaxed);
+        stats.iterations.push(engine.scatter_gather(program));
+        // Local winners join the set (FRESH until announced). The
+        // (prio, id) pair makes the comparison a strict total order, so
+        // two neighbours can never both win.
+        engine.vertex_map(&mut |v, s| {
+            if s.status == status::UNDECIDED && (s.prio, v) < (s.best_prio, s.best_id) {
+                s.status = status::FRESH;
+            }
+        });
+        // Phase 2: winners knock their neighbours out.
+        program.phase.store(phase::NOTIFY, Ordering::Relaxed);
+        stats.iterations.push(engine.scatter_gather(program));
+        engine.vertex_map(&mut |_v, s| {
+            if s.status == status::FRESH {
+                s.status = status::IN_SET;
+            }
+        });
+    }
+    stats.total_ns = start.elapsed().as_nanos() as u64;
+    let statuses = engine.states().iter().map(|s| s.status).collect();
+    (statuses, stats)
+}
+
+/// Convenience: MIS on the in-memory engine.
+pub fn mis_in_memory(
+    graph: &xstream_graph::EdgeList,
+    config: xstream_core::EngineConfig,
+) -> (Vec<u32>, RunStats) {
+    let program = Mis::new();
+    let mut engine = xstream_memory::InMemoryEngine::from_graph(graph, &program, config);
+    run(&mut engine, &program)
+}
+
+/// Checks independence and maximality of a claimed MIS (test/debug
+/// helper). Returns `Err` with a description of the first violation.
+pub fn verify_mis(graph: &xstream_graph::EdgeList, statuses: &[u32]) -> Result<(), String> {
+    for e in graph.edges() {
+        if e.src != e.dst
+            && statuses[e.src as usize] == status::IN_SET
+            && statuses[e.dst as usize] == status::IN_SET
+        {
+            return Err(format!("edge ({}, {}) inside the set", e.src, e.dst));
+        }
+    }
+    // Maximality: every OUT vertex must have an IN_SET neighbour.
+    let mut has_in_neighbor = vec![false; graph.num_vertices()];
+    for e in graph.edges() {
+        if statuses[e.src as usize] == status::IN_SET {
+            has_in_neighbor[e.dst as usize] = true;
+        }
+        if statuses[e.dst as usize] == status::IN_SET {
+            has_in_neighbor[e.src as usize] = true;
+        }
+    }
+    for (v, &st) in statuses.iter().enumerate() {
+        match st {
+            status::IN_SET => {}
+            status::OUT => {
+                if !has_in_neighbor[v] {
+                    return Err(format!("vertex {v} excluded without a set neighbour"));
+                }
+            }
+            other => return Err(format!("vertex {v} finished undecided ({other})")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xstream_core::EngineConfig;
+    use xstream_graph::{edgelist::from_pairs, generators};
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::default().with_threads(2).with_partitions(4)
+    }
+
+    #[test]
+    fn triangle_has_single_member() {
+        let g = from_pairs(3, &[(0, 1), (1, 2), (2, 0)]).to_undirected();
+        let (st, _) = mis_in_memory(&g, cfg());
+        let members = st.iter().filter(|&&s| s == status::IN_SET).count();
+        assert_eq!(members, 1);
+        verify_mis(&g, &st).unwrap();
+    }
+
+    #[test]
+    fn isolated_vertices_all_join() {
+        let g = from_pairs(4, &[]).to_undirected();
+        let (st, _) = mis_in_memory(&g, cfg());
+        assert!(st.iter().all(|&s| s == status::IN_SET));
+    }
+
+    #[test]
+    fn valid_on_random_graphs() {
+        for seed in [1u64, 2, 3] {
+            let g = generators::erdos_renyi(150, 700, seed).to_undirected();
+            let (st, _) = mis_in_memory(&g, cfg());
+            verify_mis(&g, &st).unwrap();
+        }
+    }
+
+    #[test]
+    fn valid_on_scale_free_graph() {
+        let g = generators::preferential_attachment(200, 4, 9).to_undirected();
+        let (st, stats) = mis_in_memory(&g, cfg());
+        verify_mis(&g, &st).unwrap();
+        // Luby terminates in O(log V) rounds w.h.p.; each round is two
+        // supersteps.
+        assert!(stats.num_iterations() < 2 * 30);
+    }
+
+    #[test]
+    fn star_center_or_leaves() {
+        let g = from_pairs(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).to_undirected();
+        let (st, _) = mis_in_memory(&g, cfg());
+        verify_mis(&g, &st).unwrap();
+        let members = st.iter().filter(|&&s| s == status::IN_SET).count();
+        // Either the hub alone or all four leaves.
+        assert!(members == 1 || members == 4);
+    }
+}

@@ -1,0 +1,166 @@
+//! PageRank with the standard damping formulation, run for a fixed
+//! number of iterations (the paper uses 5).
+//!
+//! Each iteration scatters `rank / out_degree` over out-edges, gathers
+//! sum the contributions, and a vertex-iteration pass applies
+//! `rank = (1 - d)/V + d * sum`.
+
+use xstream_core::{Edge, EdgeProgram, Engine, RunStats, VertexId};
+
+/// Damping factor.
+pub const DAMPING: f32 = 0.85;
+
+/// Per-vertex PageRank state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
+pub struct PrState {
+    /// Current rank.
+    pub rank: f32,
+    /// Contribution accumulator for the running iteration.
+    pub acc: f32,
+    /// Out-degree (fixed over the run; scatter divides by it).
+    pub degree: f32,
+}
+
+// SAFETY: `repr(C)`, three f32 fields: no padding, no pointers, all
+// bit patterns valid.
+unsafe impl xstream_core::Record for PrState {}
+
+/// The PageRank edge program.
+pub struct Pagerank;
+
+impl EdgeProgram for Pagerank {
+    type State = PrState;
+    type Update = f32;
+
+    fn init(&self, _v: VertexId) -> PrState {
+        PrState {
+            rank: 0.0,
+            acc: 0.0,
+            degree: 0.0,
+        }
+    }
+
+    fn needs_scatter(&self, s: &PrState) -> bool {
+        s.degree > 0.0
+    }
+
+    fn scatter(&self, s: &PrState, _e: &Edge) -> Option<f32> {
+        Some(s.rank / s.degree)
+    }
+
+    fn gather(&self, d: &mut PrState, u: &f32) -> bool {
+        d.acc += *u;
+        true
+    }
+}
+
+/// Runs `iterations` PageRank steps; `degrees[v]` must hold the
+/// out-degree of `v` (computable with one streaming pass over the
+/// unordered edge list, [`xstream_graph::EdgeList::out_degrees`]).
+///
+/// Returns per-vertex ranks (summing to ~1 over vertices reachable
+/// from the uniform start) and run statistics.
+pub fn run<E: Engine<Pagerank>>(
+    engine: &mut E,
+    program: &Pagerank,
+    degrees: &[u32],
+    iterations: usize,
+) -> (Vec<f32>, RunStats) {
+    let start = std::time::Instant::now();
+    let n = engine.num_vertices();
+    assert_eq!(degrees.len(), n, "degree vector length");
+    let uniform = 1.0 / n as f32;
+    engine.vertex_map(&mut |v, s| {
+        *s = PrState {
+            rank: uniform,
+            acc: 0.0,
+            degree: degrees[v as usize] as f32,
+        }
+    });
+    let mut stats = RunStats::default();
+    let base = (1.0 - DAMPING) / n as f32;
+    for _ in 0..iterations {
+        let it = engine.scatter_gather(program);
+        stats.iterations.push(it);
+        engine.vertex_map(&mut |_v, s| {
+            s.rank = base + DAMPING * s.acc;
+            s.acc = 0.0;
+        });
+    }
+    stats.total_ns = start.elapsed().as_nanos() as u64;
+    let ranks = engine.states().iter().map(|s| s.rank).collect();
+    (ranks, stats)
+}
+
+/// Convenience: PageRank on the in-memory engine.
+pub fn pagerank_in_memory(
+    graph: &xstream_graph::EdgeList,
+    iterations: usize,
+    config: xstream_core::EngineConfig,
+) -> (Vec<f32>, RunStats) {
+    let program = Pagerank;
+    let mut engine = xstream_memory::InMemoryEngine::from_graph(graph, &program, config);
+    let degrees = graph.out_degrees();
+    run(&mut engine, &program, &degrees, iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xstream_core::EngineConfig;
+    use xstream_graph::{edgelist::from_pairs, generators};
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::default().with_threads(2).with_partitions(4)
+    }
+
+    #[test]
+    fn cycle_is_uniform() {
+        let g = generators::cycle(10);
+        let (ranks, _) = pagerank_in_memory(&g, 20, cfg());
+        for r in &ranks {
+            assert!((r - 0.1).abs() < 1e-4, "cycle rank should be uniform: {r}");
+        }
+    }
+
+    #[test]
+    fn hub_collects_rank() {
+        // Star: everyone points at 0.
+        let g = from_pairs(5, &[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let (ranks, _) = pagerank_in_memory(&g, 5, cfg());
+        assert!(ranks[0] > ranks[1] * 3.0);
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        let g = generators::erdos_renyi(50, 400, 9);
+        let iters = 5;
+        let (ranks, _) = pagerank_in_memory(&g, iters, cfg());
+        // Dense reference.
+        let n = 50;
+        let deg = g.out_degrees();
+        let mut r = vec![1.0f32 / n as f32; n];
+        for _ in 0..iters {
+            let mut acc = vec![0.0f32; n];
+            for e in g.edges() {
+                acc[e.dst as usize] += r[e.src as usize] / deg[e.src as usize] as f32;
+            }
+            for v in 0..n {
+                r[v] = (1.0 - DAMPING) / n as f32 + DAMPING * acc[v];
+            }
+        }
+        for v in 0..n {
+            assert!((ranks[v] - r[v]).abs() < 1e-5, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn stats_count_fixed_iterations() {
+        let g = generators::erdos_renyi(64, 512, 2);
+        let (_, stats) = pagerank_in_memory(&g, 5, cfg());
+        assert_eq!(stats.num_iterations(), 5);
+        let t = stats.totals();
+        assert_eq!(t.edges_streamed, 512 * 5);
+    }
+}

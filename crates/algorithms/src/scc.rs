@@ -1,0 +1,414 @@
+//! Strongly connected components, in the style the paper cites
+//! (Salihoglu & Widom's Pregel formulation): iterated *trim* of
+//! trivial components plus forward/backward *coloring* rounds.
+//!
+//! A directed graph is presented to the engine as a *bidirectional
+//! stream* ([`xstream_graph::EdgeList::to_bidirectional`]): every edge
+//! appears once forward and once reversed, tagged in the edge payload.
+//! Backward traversal therefore needs no re-sorted edge index — the
+//! engine just streams the same list and the program ignores the
+//! records of the wrong direction (counted as wasted bandwidth, which
+//! is exactly X-Stream's trade-off).
+//!
+//! One round:
+//! 1. **Trim** (repeat to fixpoint): unassigned vertices with no live
+//!    in-edges or no live out-edges are singleton SCCs.
+//! 2. **Forward coloring** (to fixpoint): unassigned vertices propagate
+//!    the maximum vertex id seen along forward edges.
+//! 3. **Backward sweep** (to fixpoint): from each color root (vertex
+//!    whose color is its own id), walk reversed edges within the same
+//!    color; every vertex reached belongs to that root's SCC.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use xstream_core::{Edge, EdgeProgram, Engine, RunStats, VertexId, INVALID_VERTEX};
+use xstream_graph::edgelist::direction;
+
+/// Per-vertex SCC state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub struct SccState {
+    /// Assigned component id ([`INVALID_VERTEX`] until decided).
+    pub scc: u32,
+    /// Forward-propagation color (max vertex id reaching this vertex).
+    pub color: u32,
+    /// Live in-degree observed in the trim phase.
+    pub indeg: u32,
+    /// Live out-degree observed in the trim phase.
+    pub outdeg: u32,
+    /// Whether the backward sweep reached this vertex (0/1).
+    pub reached: u32,
+}
+
+// SAFETY: `repr(C)`, five u32 fields: no padding, no pointers, all bit
+// patterns valid.
+unsafe impl xstream_core::Record for SccState {}
+
+mod phase {
+    /// Count live in/out degrees.
+    pub const DEG: u32 = 0;
+    /// Propagate max color along forward records.
+    pub const FWD: u32 = 1;
+    /// Propagate reachability along backward records within a color.
+    pub const BWD: u32 = 2;
+}
+
+const TAG_FWD: u32 = 0;
+const TAG_BWD: u32 = 1;
+
+/// The SCC edge program.
+pub struct Scc {
+    phase: AtomicU32,
+}
+
+impl Default for Scc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scc {
+    /// Creates the program.
+    pub fn new() -> Self {
+        Self {
+            phase: AtomicU32::new(phase::DEG),
+        }
+    }
+
+    fn phase(&self) -> u32 {
+        self.phase.load(Ordering::Relaxed)
+    }
+}
+
+impl EdgeProgram for Scc {
+    type State = SccState;
+    /// `[direction_tag, value]`.
+    type Update = [u32; 2];
+
+    fn init(&self, v: VertexId) -> SccState {
+        SccState {
+            scc: INVALID_VERTEX,
+            color: v,
+            indeg: 0,
+            outdeg: 0,
+            reached: 0,
+        }
+    }
+
+    fn needs_scatter(&self, s: &SccState) -> bool {
+        // Assigned vertices are out of the computation entirely.
+        s.scc == INVALID_VERTEX
+    }
+
+    fn scatter(&self, s: &SccState, e: &Edge) -> Option<[u32; 2]> {
+        let tag = if direction::is_forward(e.weight) {
+            TAG_FWD
+        } else {
+            TAG_BWD
+        };
+        match self.phase() {
+            phase::DEG => Some([tag, 1]),
+            phase::FWD => {
+                if tag == TAG_FWD {
+                    Some([tag, s.color])
+                } else {
+                    None
+                }
+            }
+            _ => {
+                // Backward sweep: only reached vertices advertise their
+                // color along reversed records.
+                if tag == TAG_BWD && s.reached == 1 {
+                    Some([tag, s.color])
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn gather(&self, d: &mut SccState, u: &[u32; 2]) -> bool {
+        if d.scc != INVALID_VERTEX {
+            return false;
+        }
+        match self.phase() {
+            phase::DEG => {
+                // A forward record arriving means a live in-edge; a
+                // backward record arriving means a live out-edge.
+                if u[0] == TAG_FWD {
+                    d.indeg += 1;
+                } else {
+                    d.outdeg += 1;
+                }
+                true
+            }
+            phase::FWD => {
+                if u[1] > d.color {
+                    d.color = u[1];
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => {
+                if d.reached == 0 && u[1] == d.color {
+                    d.reached = 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Runs SCC to completion; returns per-vertex component ids (the id of
+/// a component is the maximum vertex id it contains) and run stats.
+///
+/// The engine must be built on the bidirectional stream of the graph.
+pub fn run<E: Engine<Scc>>(engine: &mut E, program: &Scc) -> (Vec<u32>, RunStats) {
+    let start = std::time::Instant::now();
+    let mut stats = RunStats::default();
+    loop {
+        let unassigned = engine.vertex_fold(0.0, &mut |acc, _v, s| {
+            if s.scc == INVALID_VERTEX {
+                acc + 1.0
+            } else {
+                acc
+            }
+        }) as u64;
+        if unassigned == 0 {
+            break;
+        }
+
+        // ---- Trim to fixpoint ----
+        loop {
+            engine.vertex_map(&mut |_v, s| {
+                if s.scc == INVALID_VERTEX {
+                    s.indeg = 0;
+                    s.outdeg = 0;
+                }
+            });
+            program.phase.store(phase::DEG, Ordering::Relaxed);
+            stats.iterations.push(engine.scatter_gather(program));
+            let mut trimmed = 0u64;
+            engine.vertex_map(&mut |v, s| {
+                if s.scc == INVALID_VERTEX && (s.indeg == 0 || s.outdeg == 0) {
+                    s.scc = v;
+                    trimmed += 1;
+                }
+            });
+            if trimmed == 0 {
+                break;
+            }
+        }
+
+        // Anything left? (Trim may have finished the graph.)
+        let left = engine.vertex_fold(0.0, &mut |acc, _v, s| {
+            if s.scc == INVALID_VERTEX {
+                acc + 1.0
+            } else {
+                acc
+            }
+        }) as u64;
+        if left == 0 {
+            break;
+        }
+
+        // ---- Forward coloring to fixpoint ----
+        engine.vertex_map(&mut |v, s| {
+            if s.scc == INVALID_VERTEX {
+                s.color = v;
+                s.reached = 0;
+            }
+        });
+        program.phase.store(phase::FWD, Ordering::Relaxed);
+        loop {
+            let it = engine.scatter_gather(program);
+            let changed = it.vertices_changed;
+            stats.iterations.push(it);
+            if changed == 0 {
+                break;
+            }
+        }
+
+        // ---- Backward sweep within colors ----
+        engine.vertex_map(&mut |v, s| {
+            if s.scc == INVALID_VERTEX && s.color == v {
+                s.reached = 1;
+            }
+        });
+        program.phase.store(phase::BWD, Ordering::Relaxed);
+        loop {
+            let it = engine.scatter_gather(program);
+            let changed = it.vertices_changed;
+            stats.iterations.push(it);
+            if changed == 0 {
+                break;
+            }
+        }
+
+        // Reached vertices form the SCC of their color root.
+        let mut assigned = 0u64;
+        engine.vertex_map(&mut |_v, s| {
+            if s.scc == INVALID_VERTEX && s.reached == 1 {
+                s.scc = s.color;
+                assigned += 1;
+            }
+        });
+        assert!(
+            assigned > 0,
+            "SCC round must assign at least each color root"
+        );
+    }
+    stats.total_ns = start.elapsed().as_nanos() as u64;
+    let ids = engine.states().iter().map(|s| s.scc).collect();
+    (ids, stats)
+}
+
+/// Convenience: SCC on the in-memory engine. Takes the *original*
+/// directed graph and builds the bidirectional stream internally.
+pub fn scc_in_memory(
+    graph: &xstream_graph::EdgeList,
+    config: xstream_core::EngineConfig,
+) -> (Vec<u32>, RunStats) {
+    let program = Scc::new();
+    let bidir = graph.to_bidirectional();
+    let mut engine = xstream_memory::InMemoryEngine::from_graph(&bidir, &program, config);
+    run(&mut engine, &program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xstream_core::EngineConfig;
+    use xstream_graph::{edgelist::from_pairs, generators, EdgeList};
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::default().with_threads(2).with_partitions(4)
+    }
+
+    /// Iterative Tarjan reference.
+    fn tarjan(g: &EdgeList) -> Vec<u32> {
+        let n = g.num_vertices();
+        let csr = xstream_graph::Csr::from_edge_list(g);
+        let mut index = vec![u32::MAX; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut comp = vec![u32::MAX; n];
+        let mut next_index = 0u32;
+        // Explicit DFS stack: (vertex, neighbour cursor).
+        for start in 0..n as u32 {
+            if index[start as usize] != u32::MAX {
+                continue;
+            }
+            let mut dfs: Vec<(u32, usize)> = vec![(start, 0)];
+            while let Some(&mut (v, ref mut cursor)) = dfs.last_mut() {
+                if *cursor == 0 {
+                    index[v as usize] = next_index;
+                    low[v as usize] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v as usize] = true;
+                }
+                let neighbors = csr.neighbors(v);
+                if *cursor < neighbors.len() {
+                    let w = neighbors[*cursor];
+                    *cursor += 1;
+                    if index[w as usize] == u32::MAX {
+                        dfs.push((w, 0));
+                    } else if on_stack[w as usize] {
+                        low[v as usize] = low[v as usize].min(index[w as usize]);
+                    }
+                } else {
+                    dfs.pop();
+                    if let Some(&mut (p, _)) = dfs.last_mut() {
+                        low[p as usize] = low[p as usize].min(low[v as usize]);
+                    }
+                    if low[v as usize] == index[v as usize] {
+                        // Pop the component; label with max member id to
+                        // match the X-Stream convention.
+                        let mut members = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w as usize] = false;
+                            members.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        let label = *members.iter().max().unwrap();
+                        for w in members {
+                            comp[w as usize] = label;
+                        }
+                    }
+                }
+            }
+        }
+        comp
+    }
+
+    fn assert_same_partition(a: &[u32], b: &[u32]) {
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            for j in i + 1..a.len() {
+                assert_eq!(
+                    a[i] == a[j],
+                    b[i] == b[j],
+                    "vertices {i} and {j} disagree: ({},{}) vs ({},{})",
+                    a[i],
+                    a[j],
+                    b[i],
+                    b[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = generators::cycle(8);
+        let (ids, _) = scc_in_memory(&g, cfg());
+        assert!(ids.iter().all(|&c| c == ids[0]));
+    }
+
+    #[test]
+    fn path_is_all_singletons() {
+        let g = generators::path(8);
+        let (ids, _) = scc_in_memory(&g, cfg());
+        let distinct: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    #[test]
+    fn two_cycles_bridged_one_way() {
+        // 0->1->2->0 and 3->4->5->3 with a bridge 2->3.
+        let g = from_pairs(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        let (ids, _) = scc_in_memory(&g, cfg());
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[1], ids[2]);
+        assert_eq!(ids[3], ids[4]);
+        assert_eq!(ids[4], ids[5]);
+        assert_ne!(ids[0], ids[3]);
+    }
+
+    #[test]
+    fn matches_tarjan_on_random_digraphs() {
+        for seed in [1u64, 7, 42] {
+            let g = generators::erdos_renyi(120, 360, seed);
+            let (ids, _) = scc_in_memory(&g, cfg());
+            let expect = tarjan(&g);
+            assert_same_partition(&ids, &expect);
+        }
+    }
+
+    #[test]
+    fn component_id_is_max_member() {
+        let g = from_pairs(4, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let (ids, _) = scc_in_memory(&g, cfg());
+        assert_eq!(ids[0], 1);
+        assert_eq!(ids[1], 1);
+        assert_eq!(ids[2], 3);
+        assert_eq!(ids[3], 3);
+    }
+}

@@ -1,0 +1,213 @@
+//! Single-source shortest paths (label-correcting Bellman-Ford).
+//!
+//! Vertices whose tentative distance improved in the previous gather
+//! scatter `distance + weight` over their out-edges; gathers keep the
+//! minimum. Converges in at most `V - 1` iterations; on low-diameter
+//! graphs far fewer.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use xstream_core::{Edge, EdgeProgram, Engine, RunStats, VertexId};
+
+/// Per-vertex SSSP state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
+pub struct SsspState {
+    /// Tentative distance from the root (`f32::INFINITY` if unreached).
+    pub dist: f32,
+    /// Round in which this vertex must scatter.
+    pub active_round: u32,
+}
+
+// SAFETY: `repr(C)`, (f32, u32): no padding, no pointers, all bit
+// patterns valid.
+unsafe impl xstream_core::Record for SsspState {}
+
+/// Inactive-round sentinel.
+const NEVER: u32 = u32::MAX;
+
+/// The SSSP edge program.
+pub struct Sssp {
+    round: AtomicU32,
+}
+
+impl Default for Sssp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sssp {
+    /// Creates the program.
+    pub fn new() -> Self {
+        Self {
+            round: AtomicU32::new(0),
+        }
+    }
+
+    fn round(&self) -> u32 {
+        self.round.load(Ordering::Relaxed)
+    }
+}
+
+impl EdgeProgram for Sssp {
+    type State = SsspState;
+    type Update = f32;
+
+    fn init(&self, _v: VertexId) -> SsspState {
+        SsspState {
+            dist: f32::INFINITY,
+            active_round: NEVER,
+        }
+    }
+
+    fn needs_scatter(&self, s: &SsspState) -> bool {
+        s.active_round == self.round()
+    }
+
+    fn scatter(&self, s: &SsspState, e: &Edge) -> Option<f32> {
+        Some(s.dist + e.weight)
+    }
+
+    fn gather(&self, d: &mut SsspState, u: &f32) -> bool {
+        if *u < d.dist {
+            d.dist = *u;
+            d.active_round = self.round() + 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Runs SSSP from `root` over non-negative edge weights; returns
+/// per-vertex distances and run statistics.
+pub fn run<E: Engine<Sssp>>(
+    engine: &mut E,
+    program: &Sssp,
+    root: VertexId,
+) -> (Vec<f32>, RunStats) {
+    let start = std::time::Instant::now();
+    program.round.store(0, Ordering::Relaxed);
+    engine.vertex_map(&mut |v, s| {
+        *s = if v == root {
+            SsspState {
+                dist: 0.0,
+                active_round: 0,
+            }
+        } else {
+            SsspState {
+                dist: f32::INFINITY,
+                active_round: NEVER,
+            }
+        }
+    });
+    let mut stats = RunStats::default();
+    loop {
+        let it = engine.scatter_gather(program);
+        let changed = it.vertices_changed;
+        stats.iterations.push(it);
+        program.round.fetch_add(1, Ordering::Relaxed);
+        if changed == 0 {
+            break;
+        }
+    }
+    stats.total_ns = start.elapsed().as_nanos() as u64;
+    let dists = engine.states().iter().map(|s| s.dist).collect();
+    (dists, stats)
+}
+
+/// Convenience: SSSP on the in-memory engine.
+pub fn sssp_in_memory(
+    graph: &xstream_graph::EdgeList,
+    root: VertexId,
+    config: xstream_core::EngineConfig,
+) -> (Vec<f32>, RunStats) {
+    let program = Sssp::new();
+    let mut engine = xstream_memory::InMemoryEngine::from_graph(graph, &program, config);
+    run(&mut engine, &program, root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xstream_core::EngineConfig;
+    use xstream_graph::EdgeList;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::default().with_threads(2).with_partitions(4)
+    }
+
+    #[test]
+    fn shortest_path_prefers_light_detour() {
+        // 0 -> 1 (10.0) and 0 -> 2 -> 1 (1.0 + 2.0).
+        let g = EdgeList::new(
+            3,
+            vec![
+                Edge::weighted(0, 1, 10.0),
+                Edge::weighted(0, 2, 1.0),
+                Edge::weighted(2, 1, 2.0),
+            ],
+        );
+        let (d, _) = sssp_in_memory(&g, 0, cfg());
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[1], 3.0);
+        assert_eq!(d[2], 1.0);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = EdgeList::new(3, vec![Edge::weighted(0, 1, 1.0)]);
+        let (d, _) = sssp_in_memory(&g, 0, cfg());
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn matches_dijkstra_reference() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let n = 200;
+        let mut edges = Vec::new();
+        for _ in 0..1500 {
+            edges.push(Edge::weighted(
+                rng.gen_range(0..n) as u32,
+                rng.gen_range(0..n) as u32,
+                rng.gen::<f32>(),
+            ));
+        }
+        let g = EdgeList::new(n, edges);
+        let (d, _) = sssp_in_memory(&g, 0, cfg());
+
+        // Dijkstra reference over CSR.
+        let csr = xstream_graph::Csr::from_edge_list(&g);
+        let mut dist = vec![f32::INFINITY; n];
+        dist[0] = 0.0;
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push((std::cmp::Reverse(ordered_float(0.0)), 0u32));
+        while let Some((std::cmp::Reverse(du), u)) = heap.pop() {
+            let du = f32::from_bits(du);
+            if du > dist[u as usize] {
+                continue;
+            }
+            for (i, &w) in csr.neighbors(u).iter().enumerate() {
+                let nd = du + csr.weights(u)[i];
+                if nd < dist[w as usize] {
+                    dist[w as usize] = nd;
+                    heap.push((std::cmp::Reverse(ordered_float(nd)), w));
+                }
+            }
+        }
+        for v in 0..n {
+            if dist[v].is_finite() {
+                assert!((d[v] - dist[v]).abs() < 1e-4, "vertex {v}");
+            } else {
+                assert!(d[v].is_infinite());
+            }
+        }
+    }
+
+    /// Monotone bit representation of a non-negative f32 for heap keys.
+    fn ordered_float(f: f32) -> u32 {
+        f.to_bits()
+    }
+}

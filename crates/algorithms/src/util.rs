@@ -1,0 +1,119 @@
+//! Shared helpers for the algorithm implementations.
+
+/// SplitMix64: a fast, high-quality deterministic hash used for
+/// per-round random priorities (MIS) and HyperLogLog hashing — keeps
+/// algorithms reproducible without threading RNG state through vertex
+/// programs.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Solves the symmetric positive-definite system `A x = b` in place via
+/// Cholesky decomposition; `a` is row-major `n x n`. Returns `None` if
+/// the matrix is not positive definite (a zero/negative pivot).
+///
+/// Used by ALS to solve the per-vertex normal equations.
+pub fn cholesky_solve(a: &mut [f32], b: &mut [f32], n: usize) -> Option<()> {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(b.len(), n);
+    // Decompose A = L L^T, storing L in the lower triangle.
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= a[i * n + k] * a[j * n + k];
+            }
+            if i == j {
+                if sum <= 1e-12 {
+                    return None;
+                }
+                a[i * n + j] = sum.sqrt();
+            } else {
+                a[i * n + j] = sum / a[j * n + j];
+            }
+        }
+    }
+    // Forward substitution: L y = b.
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= a[i * n + k] * b[k];
+        }
+        b[i] = sum / a[i * n + i];
+    }
+    // Back substitution: L^T x = y.
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for k in i + 1..n {
+            sum -= a[k * n + i] * b[k];
+        }
+        b[i] = sum / a[i * n + i];
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // Rough avalanche check.
+        let a = splitmix64(100);
+        let b = splitmix64(101);
+        assert!((a ^ b).count_ones() > 16);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = [[4,2],[2,3]], b = [6,5] -> x = [1,1].
+        let mut a = vec![4.0, 2.0, 2.0, 3.0];
+        let mut b = vec![6.0, 5.0];
+        cholesky_solve(&mut a, &mut b, 2).unwrap();
+        assert!((b[0] - 1.0).abs() < 1e-5);
+        assert!((b[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut a = vec![0.0, 0.0, 0.0, 0.0];
+        let mut b = vec![1.0, 1.0];
+        assert!(cholesky_solve(&mut a, &mut b, 2).is_none());
+    }
+
+    #[test]
+    fn cholesky_larger_system() {
+        // Random SPD: A = M M^T + I.
+        let n = 6;
+        let m: Vec<f32> = (0..n * n)
+            .map(|i| (splitmix64(i as u64) % 100) as f32 / 100.0)
+            .collect();
+        let mut a = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    a[i * n + j] += m[i * n + k] * m[j * n + k];
+                }
+            }
+            a[i * n + i] += 1.0;
+        }
+        let x_true: Vec<f32> = (0..n).map(|i| i as f32 - 2.0).collect();
+        let mut b = vec![0.0f32; n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += a[i * n + j] * x_true[j];
+            }
+        }
+        let mut a2 = a.clone();
+        cholesky_solve(&mut a2, &mut b, n).unwrap();
+        for i in 0..n {
+            assert!((b[i] - x_true[i]).abs() < 1e-3, "x[{i}] = {}", b[i]);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Weakly connected components via min-label propagation.
+//!
+//! Every vertex starts with its own id as label; each iteration active
+//! vertices scatter their label over their out-edges and gathers keep
+//! the minimum. On the undirected expansion of a graph this converges
+//! to per-component minima in `O(diameter)` scatter-gather iterations —
+//! the paper's Fig. 12b reports exactly this iteration count (e.g.
+//! 6263 for the high-diameter DIMACS road network).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use xstream_core::{Edge, EdgeProgram, Engine, RunStats, VertexId};
+
+/// Per-vertex WCC state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
+pub struct WccState {
+    /// Current component label (minimum vertex id seen).
+    pub label: u32,
+    /// Round in which this vertex must scatter (it changed in round-1).
+    pub active_round: u32,
+}
+
+// SAFETY: `repr(C)`, two `u32` fields, no padding, no pointers, any
+// bit pattern valid.
+unsafe impl xstream_core::Record for WccState {}
+
+/// The WCC edge program.
+///
+/// `round` is bumped by the driver before every superstep so that only
+/// vertices whose label changed in the previous gather scatter again —
+/// edges from inactive sources are streamed but wasted, which is the
+/// bandwidth trade-off the paper quantifies (Fig. 12b).
+pub struct Wcc {
+    round: AtomicU32,
+}
+
+impl Default for Wcc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Wcc {
+    /// Creates the program.
+    pub fn new() -> Self {
+        Self {
+            round: AtomicU32::new(0),
+        }
+    }
+
+    fn round(&self) -> u32 {
+        self.round.load(Ordering::Relaxed)
+    }
+}
+
+impl EdgeProgram for Wcc {
+    type State = WccState;
+    type Update = u32;
+
+    fn init(&self, v: VertexId) -> WccState {
+        WccState {
+            label: v,
+            active_round: 0,
+        }
+    }
+
+    fn needs_scatter(&self, s: &WccState) -> bool {
+        s.active_round == self.round()
+    }
+
+    fn scatter(&self, s: &WccState, _e: &Edge) -> Option<u32> {
+        Some(s.label)
+    }
+
+    fn gather(&self, d: &mut WccState, u: &u32) -> bool {
+        if *u < d.label {
+            d.label = *u;
+            d.active_round = self.round() + 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Runs WCC to convergence; returns per-vertex component labels and the
+/// run statistics.
+///
+/// The engine must have been built over the *undirected expansion* of
+/// the graph (each edge present in both directions).
+pub fn run<E: Engine<Wcc>>(engine: &mut E, program: &Wcc) -> (Vec<u32>, RunStats) {
+    let start = std::time::Instant::now();
+    let mut stats = RunStats::default();
+    loop {
+        let it = engine.scatter_gather(program);
+        let changed = it.vertices_changed;
+        stats.iterations.push(it);
+        program.round.fetch_add(1, Ordering::Relaxed);
+        if changed == 0 {
+            break;
+        }
+    }
+    stats.total_ns = start.elapsed().as_nanos() as u64;
+    let labels = engine.states().iter().map(|s| s.label).collect();
+    (labels, stats)
+}
+
+/// Convenience: WCC on the in-memory engine.
+pub fn wcc_in_memory(
+    graph: &xstream_graph::EdgeList,
+    config: xstream_core::EngineConfig,
+) -> (Vec<u32>, RunStats) {
+    let program = Wcc::new();
+    let mut engine = xstream_memory::InMemoryEngine::from_graph(graph, &program, config);
+    run(&mut engine, &program)
+}
+
+/// Number of distinct components in a label vector.
+pub fn count_components(labels: &[u32]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    for &l in labels {
+        seen.insert(l);
+    }
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xstream_core::EngineConfig;
+    use xstream_graph::{edgelist::from_pairs, generators};
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::default().with_threads(2).with_partitions(4)
+    }
+
+    #[test]
+    fn two_components() {
+        let g = from_pairs(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]).to_undirected();
+        let (labels, _) = wcc_in_memory(&g, cfg());
+        assert_eq!(labels[..3], [0, 0, 0]);
+        assert_eq!(labels[3..], [3, 3, 3]);
+        assert_eq!(count_components(&labels), 2);
+    }
+
+    #[test]
+    fn path_iteration_count_tracks_diameter() {
+        let n = 64;
+        let g = generators::path(n).to_undirected();
+        let (labels, stats) = wcc_in_memory(&g, cfg());
+        assert!(labels.iter().all(|&l| l == 0));
+        // Label 0 travels distance n-1; one extra iteration detects
+        // convergence.
+        assert!(stats.num_iterations() >= n - 1);
+        assert!(stats.num_iterations() <= n + 1);
+    }
+
+    #[test]
+    fn isolated_vertices_are_their_own_component() {
+        let g = from_pairs(5, &[(0, 1)]).to_undirected();
+        let (labels, _) = wcc_in_memory(&g, cfg());
+        assert_eq!(labels, vec![0, 0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wasted_edges_accumulate_as_frontier_shrinks() {
+        let g = generators::erdos_renyi(200, 2000, 17).to_undirected();
+        let (_, stats) = wcc_in_memory(&g, cfg());
+        // Final iteration scatters nothing: 100% waste there, so total
+        // waste is nonzero.
+        assert!(stats.wasted_pct() > 0.0);
+    }
+
+    #[test]
+    fn matches_union_find_reference() {
+        let g = generators::erdos_renyi(300, 900, 5).to_undirected();
+        let (labels, _) = wcc_in_memory(&g, cfg());
+        // Union-find reference.
+        let mut parent: Vec<u32> = (0..300).collect();
+        fn find(p: &mut Vec<u32>, v: u32) -> u32 {
+            if p[v as usize] != v {
+                let r = find(p, p[v as usize]);
+                p[v as usize] = r;
+            }
+            p[v as usize]
+        }
+        for e in g.edges() {
+            let (a, b) = (find(&mut parent, e.src), find(&mut parent, e.dst));
+            if a != b {
+                parent[a.max(b) as usize] = a.min(b);
+            }
+        }
+        for v in 0..300u32 {
+            for w in 0..300u32 {
+                let same_ref = find(&mut parent, v) == find(&mut parent, w);
+                let same_xs = labels[v as usize] == labels[w as usize];
+                assert_eq!(same_ref, same_xs, "{v} vs {w}");
+            }
+        }
+    }
+}

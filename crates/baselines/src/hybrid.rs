@@ -1,0 +1,143 @@
+//! Direction-optimizing ("hybrid") BFS: top-down push switching to
+//! bottom-up pull when the frontier covers a large fraction of the
+//! graph (Beamer et al. SC'12; Hong et al. PACT'11 — the paper's
+//! second in-memory BFS comparison point, Fig. 19).
+//!
+//! The bottom-up step iterates over *undiscovered* vertices and scans
+//! their in-neighbours for a frontier member — cheap on scale-free
+//! graphs once most vertices are discovered, but it requires the
+//! reversed (CSC) index, whose construction is part of the
+//! pre-processing cost the paper charges to such systems (Fig. 20).
+
+use xstream_core::VertexId;
+use xstream_graph::Csr;
+
+/// Level value for vertices not reached.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Frontier-density threshold (fraction of edges) above which the
+/// traversal switches to bottom-up, as in Beamer's heuristic.
+pub const SWITCH_FRACTION: f64 = 0.05;
+
+/// Runs hybrid BFS from `root`; `csr` is the forward index, `csc` the
+/// reversed index. Returns per-vertex levels.
+pub fn bfs(csr: &Csr, csc: &Csr, root: VertexId, threads: usize) -> Vec<u32> {
+    let n = csr.num_vertices();
+    let m = csr.num_edges().max(1);
+    let mut levels = vec![UNREACHED; n];
+    levels[root as usize] = 0;
+    let mut frontier: Vec<VertexId> = vec![root];
+    let mut depth = 0u32;
+    let threads = threads.max(1);
+    while !frontier.is_empty() {
+        // Estimate the work of a top-down step: edges out of the
+        // frontier.
+        let frontier_edges: usize = frontier.iter().map(|&v| csr.degree(v)).sum();
+        let next_depth = depth + 1;
+        if (frontier_edges as f64) < SWITCH_FRACTION * m as f64 {
+            // Top-down push.
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &w in csr.neighbors(v) {
+                    if levels[w as usize] == UNREACHED {
+                        levels[w as usize] = next_depth;
+                        next.push(w);
+                    }
+                }
+            }
+            frontier = next;
+        } else {
+            // Bottom-up pull over undiscovered vertices, parallel over
+            // disjoint vertex ranges (no discovery races: each thread
+            // owns its range).
+            let chunk = n.div_ceil(threads);
+            let found: Vec<Vec<VertexId>> = std::thread::scope(|scope| {
+                let levels_ref = &levels;
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        scope.spawn(move || {
+                            let lo = (t * chunk).min(n);
+                            let hi = ((t + 1) * chunk).min(n);
+                            let mut local = Vec::new();
+                            for v in lo..hi {
+                                if levels_ref[v] != UNREACHED {
+                                    continue;
+                                }
+                                for &u in csc.neighbors(v as VertexId) {
+                                    if levels_ref[u as usize] == depth {
+                                        local.push(v as VertexId);
+                                        break;
+                                    }
+                                }
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("bfs worker panicked"))
+                    .collect()
+            });
+            let next: Vec<VertexId> = found.concat();
+            for &v in &next {
+                levels[v as usize] = next_depth;
+            }
+            frontier = next;
+        }
+        depth = next_depth;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xstream_graph::generators;
+
+    fn indexes(g: &xstream_graph::EdgeList) -> (Csr, Csr) {
+        (Csr::from_edge_list(g), Csr::reversed_from_edge_list(g))
+    }
+
+    #[test]
+    fn matches_local_queue_on_scale_free() {
+        let g = generators::preferential_attachment(1000, 8, 3).to_undirected();
+        let (csr, csc) = indexes(&g);
+        let hybrid = bfs(&csr, &csc, 0, 2);
+        let lq = crate::localqueue::bfs(&csr, 0, 2);
+        assert_eq!(hybrid, lq);
+    }
+
+    #[test]
+    fn matches_on_high_diameter() {
+        let g = generators::grid2d(20, 20);
+        let (csr, csc) = indexes(&g);
+        let hybrid = bfs(&csr, &csc, 0, 2);
+        let lq = crate::localqueue::bfs(&csr, 0, 2);
+        assert_eq!(hybrid, lq);
+    }
+
+    #[test]
+    fn directed_reachability_respected() {
+        let g = generators::path(10);
+        let (csr, csc) = indexes(&g);
+        let levels = bfs(&csr, &csc, 5, 2);
+        for v in 0..5 {
+            assert_eq!(levels[v], UNREACHED);
+        }
+        for v in 5..10 {
+            assert_eq!(levels[v], (v - 5) as u32);
+        }
+    }
+
+    #[test]
+    fn dense_graph_triggers_bottom_up() {
+        // A dense ER graph reaches everything in ~2 levels; the second
+        // level exceeds the switch threshold.
+        let g = generators::erdos_renyi(300, 20000, 8).to_undirected();
+        let (csr, csc) = indexes(&g);
+        let hybrid = bfs(&csr, &csc, 0, 2);
+        let lq = crate::localqueue::bfs(&csr, 0, 1);
+        assert_eq!(hybrid, lq);
+    }
+}

@@ -1,0 +1,23 @@
+//! The comparison systems of the paper's §5.5, re-implemented so every
+//! head-to-head figure can be regenerated:
+//!
+//! * [`localqueue`] — multicore BFS with per-thread local queues
+//!   (Agarwal et al., the paper's Fig. 19 "Local Queue" line),
+//! * [`hybrid`] — direction-optimizing BFS switching between top-down
+//!   push and bottom-up pull (Hong et al. / Beamer et al., the
+//!   Fig. 19 "Hybrid" line),
+//! * [`ligra`] — a Ligra-like frontier-based engine with sparse/dense
+//!   `edge_map` switching, plus its pre-processing pipeline
+//!   (sort → CSR → reversed CSR) timed separately (Fig. 20),
+//! * [`graphchi`] — a GraphChi-like out-of-core engine with
+//!   parallel-sliding-window shards: pre-sorted shards, per-interval
+//!   in-memory re-sort by destination, vertex-centric updates, all
+//!   I/O through the accounted stream store (Figs. 22/23).
+//!
+//! All of these rely on *sorted, indexed* edge representations — the
+//! random-access designs X-Stream's streaming is compared against.
+
+pub mod graphchi;
+pub mod hybrid;
+pub mod ligra;
+pub mod localqueue;

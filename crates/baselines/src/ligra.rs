@@ -1,0 +1,292 @@
+//! A Ligra-like frontier-based in-memory engine (Shun & Blelloch,
+//! PPoPP'13) — the paper's Fig. 20 comparison.
+//!
+//! Ligra's core is `edge_map(graph, frontier, f)`: apply `f` to the
+//! edges out of a vertex subset, switching representation by frontier
+//! density — *sparse push* over out-edges of frontier members when the
+//! frontier is small, *dense pull* over in-edges of all undiscovered
+//! targets when it is large. Both directions need sorted indexes
+//! (CSR + reversed CSR); building them — plus the sort they imply — is
+//! the pre-processing the paper's Fig. 20 charges to Ligra
+//! ([`Preprocessed::build`] times it).
+
+use std::time::{Duration, Instant};
+
+use xstream_core::VertexId;
+use xstream_graph::{sort, Csr, EdgeList};
+
+/// Density threshold for switching to the dense (pull) representation,
+/// as a fraction of total edges (Ligra uses |E|/20).
+pub const DENSE_FRACTION: f64 = 0.05;
+
+/// A vertex subset (Ligra's `vertexSubset`), kept in both sparse and
+/// dense forms.
+#[derive(Debug, Clone)]
+pub struct VertexSubset {
+    /// Members in arbitrary order.
+    pub members: Vec<VertexId>,
+    /// Dense membership bitmap.
+    pub dense: Vec<bool>,
+}
+
+impl VertexSubset {
+    /// The empty subset over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            members: Vec::new(),
+            dense: vec![false; n],
+        }
+    }
+
+    /// A singleton subset.
+    pub fn single(n: usize, v: VertexId) -> Self {
+        let mut s = Self::empty(n);
+        s.add(v);
+        s
+    }
+
+    /// Adds a vertex (idempotent).
+    pub fn add(&mut self, v: VertexId) {
+        if !self.dense[v as usize] {
+            self.dense[v as usize] = true;
+            self.members.push(v);
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the subset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// The sorted, indexed representation Ligra computes before running,
+/// with its construction time (the Fig. 20 "Ligra-pre" column).
+pub struct Preprocessed {
+    /// Forward (out-edge) index.
+    pub csr: Csr,
+    /// Reversed (in-edge) index for the pull direction.
+    pub csc: Csr,
+    /// Wall time spent sorting and indexing.
+    pub preprocessing: Duration,
+}
+
+impl Preprocessed {
+    /// Sorts the edge list and builds both indexes, timing the whole
+    /// pipeline.
+    pub fn build(graph: &EdgeList) -> Self {
+        let t = Instant::now();
+        let mut sorted = graph.clone();
+        sort::quicksort_by_source(&mut sorted);
+        let csr = Csr::from_edge_list(&sorted);
+        // Direction reversal: invert the sorted list and sort again by
+        // the (new) source — the cost the paper highlights.
+        let mut reversed = sorted.reverse();
+        sort::quicksort_by_source(&mut reversed);
+        let csc = Csr::from_edge_list(&reversed);
+        Self {
+            csr,
+            csc,
+            preprocessing: t.elapsed(),
+        }
+    }
+}
+
+/// Applies `update(src, dst) -> bool` over the edges out of `frontier`,
+/// returning the subset of destinations for which `update` returned
+/// `true` and `cond(dst)` held before the call (Ligra's `edgeMap`).
+///
+/// `update` must be idempotent and safe under duplicate delivery; the
+/// dense direction calls `update(u, v)` for in-neighbours `u` of
+/// not-yet-satisfied targets `v` and stops scanning once `cond(v)`
+/// turns false, mirroring Ligra's early exit.
+pub fn edge_map(
+    pre: &Preprocessed,
+    frontier: &VertexSubset,
+    threads: usize,
+    cond: &(dyn Fn(VertexId) -> bool + Sync),
+    update: &(dyn Fn(VertexId, VertexId) -> bool + Sync),
+) -> VertexSubset {
+    let n = pre.csr.num_vertices();
+    let m = pre.csr.num_edges().max(1);
+    let frontier_edges: usize = frontier.members.iter().map(|&v| pre.csr.degree(v)).sum();
+    let mut next = VertexSubset::empty(n);
+    if (frontier_edges as f64) < DENSE_FRACTION * m as f64 {
+        // Sparse push.
+        for &v in &frontier.members {
+            for &w in pre.csr.neighbors(v) {
+                if cond(w) && update(v, w) {
+                    next.add(w);
+                }
+            }
+        }
+    } else {
+        // Dense pull, parallel over disjoint target ranges.
+        let chunk = n.div_ceil(threads.max(1));
+        let found: Vec<Vec<VertexId>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads.max(1))
+                .map(|t| {
+                    let frontier = &frontier;
+                    scope.spawn(move || {
+                        let lo = (t * chunk).min(n);
+                        let hi = ((t + 1) * chunk).min(n);
+                        let mut local = Vec::new();
+                        for v in lo..hi {
+                            let v = v as VertexId;
+                            if !cond(v) {
+                                continue;
+                            }
+                            for &u in pre.csc.neighbors(v) {
+                                if frontier.dense[u as usize] && update(u, v) {
+                                    local.push(v);
+                                    if !cond(v) {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("edge_map worker panicked"))
+                .collect()
+        });
+        for part in found {
+            for v in part {
+                next.add(v);
+            }
+        }
+    }
+    next
+}
+
+/// BFS on the Ligra-like engine; returns per-vertex levels.
+pub fn bfs(pre: &Preprocessed, root: VertexId, threads: usize) -> Vec<u32> {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    let n = pre.csr.num_vertices();
+    let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    levels[root as usize].store(0, Ordering::Relaxed);
+    let mut frontier = VertexSubset::single(n, root);
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        let next_depth = depth + 1;
+        let levels_ref = &levels;
+        frontier = edge_map(
+            pre,
+            &frontier,
+            threads,
+            &move |v| levels_ref[v as usize].load(Ordering::Relaxed) == u32::MAX,
+            &move |_u, v| {
+                levels_ref[v as usize]
+                    .compare_exchange(u32::MAX, next_depth, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            },
+        );
+        depth = next_depth;
+    }
+    levels.into_iter().map(|l| l.into_inner()).collect()
+}
+
+/// PageRank on the Ligra-like engine (dense iterations over the pull
+/// index, as Ligra's PageRank does); returns per-vertex ranks.
+pub fn pagerank(pre: &Preprocessed, iterations: usize, threads: usize) -> Vec<f32> {
+    let n = pre.csr.num_vertices();
+    let damping = 0.85f32;
+    let base = (1.0 - damping) / n as f32;
+    let mut rank = vec![1.0f32 / n as f32; n];
+    let mut next = vec![0.0f32; n];
+    for _ in 0..iterations {
+        // contribution[u] = rank[u] / degree[u], then pull per target.
+        let contrib: Vec<f32> = (0..n)
+            .map(|u| {
+                let d = pre.csr.degree(u as VertexId);
+                if d > 0 {
+                    rank[u] / d as f32
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let chunk = n.div_ceil(threads.max(1));
+        std::thread::scope(|scope| {
+            for (t, out) in next.chunks_mut(chunk).enumerate() {
+                let contrib = &contrib;
+                scope.spawn(move || {
+                    let lo = t * chunk;
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        let v = (lo + i) as VertexId;
+                        let mut sum = 0.0f32;
+                        for &u in pre.csc.neighbors(v) {
+                            sum += contrib[u as usize];
+                        }
+                        *slot = base + damping * sum;
+                    }
+                });
+            }
+        });
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xstream_graph::generators;
+
+    #[test]
+    fn bfs_matches_local_queue() {
+        let g = generators::preferential_attachment(600, 6, 2).to_undirected();
+        let pre = Preprocessed::build(&g);
+        let levels = bfs(&pre, 0, 2);
+        let lq = crate::localqueue::bfs(&pre.csr, 0, 2);
+        assert_eq!(levels, lq);
+    }
+
+    #[test]
+    fn pagerank_matches_xstream() {
+        let g = generators::erdos_renyi(200, 1600, 6);
+        let pre = Preprocessed::build(&g);
+        let ranks = pagerank(&pre, 5, 2);
+        let (xs, _) = xstream_algorithms::pagerank::pagerank_in_memory(
+            &g,
+            5,
+            xstream_core::EngineConfig::default().with_partitions(4),
+        );
+        for v in 0..200 {
+            assert!((ranks[v] - xs[v]).abs() < 1e-5, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn preprocessing_produces_consistent_indexes() {
+        let g = generators::erdos_renyi(100, 700, 4);
+        let pre = Preprocessed::build(&g);
+        assert_eq!(pre.csr.num_edges(), 700);
+        assert_eq!(pre.csc.num_edges(), 700);
+        // Every forward edge appears reversed in the CSC.
+        for v in 0..100u32 {
+            for &w in pre.csr.neighbors(v) {
+                assert!(pre.csc.neighbors(w).contains(&v));
+            }
+        }
+        assert!(pre.preprocessing.as_nanos() > 0);
+    }
+
+    #[test]
+    fn vertex_subset_dedups() {
+        let mut s = VertexSubset::empty(4);
+        s.add(1);
+        s.add(1);
+        s.add(3);
+        assert_eq!(s.len(), 2);
+        assert!(s.dense[1] && s.dense[3]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Index-based parallel BFS with per-thread local queues (Agarwal et
+//! al., "Scalable graph exploration on multicore processors", SC'10) —
+//! the paper's first in-memory BFS comparison point (Fig. 19).
+//!
+//! Classic level-synchronous top-down BFS over a CSR index: threads
+//! split the current frontier, expand neighbours through the index
+//! (random access), and collect next-frontier vertices in thread-local
+//! queues that are concatenated between levels. Vertex discovery races
+//! are resolved with atomic compare-and-swap on the level array.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use xstream_core::VertexId;
+use xstream_graph::Csr;
+
+/// Level value for vertices not reached.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Runs local-queue BFS from `root` with `threads` workers; returns
+/// per-vertex levels.
+pub fn bfs(csr: &Csr, root: VertexId, threads: usize) -> Vec<u32> {
+    let n = csr.num_vertices();
+    let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    levels[root as usize].store(0, Ordering::Relaxed);
+    let mut frontier = vec![root];
+    let mut depth = 0u32;
+    let threads = threads.max(1);
+    while !frontier.is_empty() {
+        let next_depth = depth + 1;
+        let chunk = frontier.len().div_ceil(threads);
+        let locals: Vec<Vec<VertexId>> = if threads == 1 || frontier.len() < 1024 {
+            vec![expand(csr, &levels, &frontier, next_depth)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = frontier
+                    .chunks(chunk)
+                    .map(|part| {
+                        let levels = &levels;
+                        scope.spawn(move || expand(csr, levels, part, next_depth))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("bfs worker panicked"))
+                    .collect()
+            })
+        };
+        frontier = locals.concat();
+        depth = next_depth;
+    }
+    levels.into_iter().map(|l| l.into_inner()).collect()
+}
+
+/// Expands one slice of the frontier into a local queue.
+fn expand(csr: &Csr, levels: &[AtomicU32], part: &[VertexId], next_depth: u32) -> Vec<VertexId> {
+    let mut local = Vec::new();
+    for &v in part {
+        for &w in csr.neighbors(v) {
+            // Winner of the CAS owns the vertex for the next frontier.
+            if levels[w as usize]
+                .compare_exchange(UNREACHED, next_depth, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                local.push(w);
+            }
+        }
+    }
+    local
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xstream_graph::{edgelist::from_pairs, generators};
+
+    #[test]
+    fn path_levels() {
+        let g = generators::path(20);
+        let csr = Csr::from_edge_list(&g);
+        let levels = bfs(&csr, 0, 2);
+        assert_eq!(levels, (0..20u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unreachable_stays_max() {
+        let g = from_pairs(4, &[(0, 1)]);
+        let csr = Csr::from_edge_list(&g);
+        let levels = bfs(&csr, 0, 2);
+        assert_eq!(levels[2], UNREACHED);
+        assert_eq!(levels[3], UNREACHED);
+    }
+
+    #[test]
+    fn matches_xstream_bfs() {
+        let g = generators::erdos_renyi(500, 4000, 12);
+        let csr = Csr::from_edge_list(&g);
+        let levels = bfs(&csr, 3, 2);
+        let (xs_levels, _) = xstream_algorithms::bfs::bfs_in_memory(
+            &g,
+            3,
+            xstream_core::EngineConfig::default().with_partitions(8),
+        );
+        assert_eq!(levels, xs_levels);
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let g = generators::preferential_attachment(800, 6, 4).to_undirected();
+        let csr = Csr::from_edge_list(&g);
+        let l1 = bfs(&csr, 0, 1);
+        let l4 = bfs(&csr, 0, 4);
+        assert_eq!(l1, l4);
+    }
+}

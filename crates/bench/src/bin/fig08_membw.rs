@@ -1,0 +1,7 @@
+//! Prints the fig08_membw report; pass `smoke`/`quick`/`full` as the
+//! first argument (or set `XSTREAM_EFFORT`) to pick the scale.
+
+fn main() {
+    let effort = xstream_bench::Effort::from_env();
+    print!("{}", xstream_bench::figs::fig08_membw::report(effort));
+}

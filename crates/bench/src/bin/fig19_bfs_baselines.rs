@@ -1,0 +1,10 @@
+//! Prints the fig19_bfs_baselines report; pass `smoke`/`quick`/`full` as the
+//! first argument (or set `XSTREAM_EFFORT`) to pick the scale.
+
+fn main() {
+    let effort = xstream_bench::Effort::from_env();
+    print!(
+        "{}",
+        xstream_bench::figs::fig19_bfs_baselines::report(effort)
+    );
+}

@@ -1,0 +1,10 @@
+//! Prints the fig25_shuffle_stages report; pass `smoke`/`quick`/`full` as the
+//! first argument (or set `XSTREAM_EFFORT`) to pick the scale.
+
+fn main() {
+    let effort = xstream_bench::Effort::from_env();
+    print!(
+        "{}",
+        xstream_bench::figs::fig25_shuffle_stages::report(effort)
+    );
+}

@@ -1,0 +1,51 @@
+//! Regenerates every table and figure of the paper into `results/`.
+//!
+//! Usage: `cargo run --release -p xstream-bench --bin run_all [smoke|quick|full]`
+//!
+//! Writes one `results/figNN_*.txt` per experiment and echoes each
+//! report to stdout as it completes, so partial progress survives an
+//! interrupted run.
+
+use std::fs;
+use std::path::Path;
+
+use xstream_bench::figs;
+use xstream_bench::Effort;
+
+fn main() {
+    let effort = Effort::from_env();
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir).expect("create results dir");
+
+    let experiments: Vec<(&str, fn(Effort) -> String)> = vec![
+        ("fig08_membw", figs::fig08_membw::report),
+        ("fig09_diskbw", figs::fig09_diskbw::report),
+        ("fig10_datasets", figs::fig10_datasets::report),
+        ("fig11_seqrand", figs::fig11_seqrand::report),
+        ("fig12_runtimes", figs::fig12_runtimes::report),
+        ("fig13_hyperanf", figs::fig13_hyperanf::report),
+        ("fig14_strong_scaling", figs::fig14_strong_scaling::report),
+        ("fig15_io_parallel", figs::fig15_io_parallel::report),
+        ("fig16_scale_devices", figs::fig16_scale_devices::report),
+        ("fig17_ingest", figs::fig17_ingest::report),
+        ("fig18_sort_vs_stream", figs::fig18_sort_vs_stream::report),
+        ("fig19_bfs_baselines", figs::fig19_bfs_baselines::report),
+        ("fig20_ligra", figs::fig20_ligra::report),
+        ("fig21_memrefs", figs::fig21_memrefs::report),
+        ("fig22_graphchi", figs::fig22_graphchi::report),
+        ("fig23_bwtrace", figs::fig23_bwtrace::report),
+        ("fig24_partitions", figs::fig24_partitions::report),
+        ("fig25_shuffle_stages", figs::fig25_shuffle_stages::report),
+        ("fig26_iomodel", figs::fig26_iomodel::report),
+    ];
+
+    for (name, run) in experiments {
+        let t0 = std::time::Instant::now();
+        let report = run(effort);
+        let elapsed = t0.elapsed();
+        println!("{report}");
+        println!("[{name} done in {elapsed:.1?}]\n");
+        fs::write(out_dir.join(format!("{name}.txt")), &report)
+            .unwrap_or_else(|e| eprintln!("warning: could not write {name}: {e}"));
+    }
+}

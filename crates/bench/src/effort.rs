@@ -1,0 +1,114 @@
+//! Experiment sizing.
+//!
+//! The paper's testbed ran for hours on billion-edge graphs; the
+//! harness scales every experiment down so the full suite regenerates
+//! in minutes while preserving each figure's *shape* (who wins, by
+//! what factor, where crossovers fall). The scale knob is uniform
+//! across harnesses so EXPERIMENTS.md can record one divisor per run.
+
+/// How much work a harness invocation should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Seconds-scale smoke run; used by the integration tests to keep
+    /// every harness exercised on every `cargo test`.
+    Smoke,
+    /// Default laptop scale: the full suite finishes in minutes.
+    Quick,
+    /// Larger graphs for closer-to-paper shapes; tens of minutes.
+    Full,
+}
+
+impl Effort {
+    /// Reads the effort from the `XSTREAM_EFFORT` environment variable
+    /// (`smoke` / `quick` / `full`), then from the first CLI argument,
+    /// defaulting to [`Effort::Quick`].
+    pub fn from_env() -> Self {
+        let arg = std::env::args().nth(1);
+        let var = std::env::var("XSTREAM_EFFORT").ok();
+        match arg.as_deref().or(var.as_deref()) {
+            Some("smoke") => Effort::Smoke,
+            Some("full") => Effort::Full,
+            _ => Effort::Quick,
+        }
+    }
+
+    /// RMAT scale for the paper's "largest graph that fits in memory"
+    /// experiments (the paper uses scale 25: 32M vertices, 512M
+    /// undirected edges).
+    pub fn rmat_scale(self) -> u32 {
+        match self {
+            Effort::Smoke => 12,
+            Effort::Quick => 18,
+            Effort::Full => 21,
+        }
+    }
+
+    /// Divisor applied to the paper's dataset sizes for the in-memory
+    /// stand-ins (Fig. 10 / 12 / 13).
+    pub fn in_memory_divisor(self) -> u64 {
+        match self {
+            Effort::Smoke => 512,
+            Effort::Quick => 32,
+            Effort::Full => 4,
+        }
+    }
+
+    /// Divisor applied to the paper's dataset sizes for the
+    /// out-of-core stand-ins (billions of edges in the paper).
+    pub fn out_of_core_divisor(self) -> u64 {
+        match self {
+            Effort::Smoke => 4096,
+            Effort::Quick => 512,
+            Effort::Full => 64,
+        }
+    }
+
+    /// Thread counts swept by the scaling experiments (paper: 1..16).
+    pub fn thread_sweep(self) -> Vec<usize> {
+        let max = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16);
+        let mut t = 1;
+        let mut out = Vec::new();
+        while t <= max {
+            out.push(t);
+            t *= 2;
+        }
+        if out.last() != Some(&max) {
+            out.push(max);
+        }
+        if self == Effort::Smoke {
+            out.truncate(2);
+        }
+        out
+    }
+
+    /// Iteration budget multiplier for fixed-iteration algorithms.
+    pub fn pagerank_iterations(self) -> usize {
+        // The paper runs 5 PageRank/ALS/BP iterations at every scale.
+        5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_sweep_is_nonempty_and_sorted() {
+        for e in [Effort::Smoke, Effort::Quick, Effort::Full] {
+            let sweep = e.thread_sweep();
+            assert!(!sweep.is_empty());
+            assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(sweep[0], 1);
+        }
+    }
+
+    #[test]
+    fn effort_orders_scales() {
+        assert!(Effort::Smoke.rmat_scale() < Effort::Quick.rmat_scale());
+        assert!(Effort::Quick.rmat_scale() < Effort::Full.rmat_scale());
+        assert!(Effort::Smoke.in_memory_divisor() > Effort::Full.in_memory_divisor());
+    }
+}

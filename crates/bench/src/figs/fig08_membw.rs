@@ -1,0 +1,68 @@
+//! Figure 8: main-memory streaming bandwidth versus thread count.
+//!
+//! The paper's plot motivates using 16 of 32 cores: read bandwidth
+//! saturates (~25 GB/s on their Opteron) well before all cores are
+//! busy. The harness sweeps threads and reports aggregate sequential
+//! read and write bandwidth from thread-private buffers.
+
+use crate::membw::{measure, Dir, Pattern};
+use crate::{Effort, Table};
+
+/// One measured point of the figure.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Worker threads.
+    pub threads: usize,
+    /// Aggregate sequential read bandwidth, GB/s.
+    pub read_gbps: f64,
+    /// Aggregate sequential write bandwidth, GB/s.
+    pub write_gbps: f64,
+}
+
+/// Runs the sweep and returns the measured series.
+pub fn run(effort: Effort) -> Vec<Point> {
+    let bytes = match effort {
+        Effort::Smoke => 8 << 20,
+        Effort::Quick => 64 << 20,
+        Effort::Full => 256 << 20,
+    };
+    let passes = if effort == Effort::Smoke { 1 } else { 3 };
+    effort
+        .thread_sweep()
+        .into_iter()
+        .map(|threads| Point {
+            threads,
+            read_gbps: measure(threads, bytes, passes, Pattern::Sequential, Dir::Read) / 1e9,
+            write_gbps: measure(threads, bytes, passes, Pattern::Sequential, Dir::Write) / 1e9,
+        })
+        .collect()
+}
+
+/// Renders the figure as a table.
+pub fn report(effort: Effort) -> String {
+    let mut t = Table::new("Fig 8: memory bandwidth vs threads (GB/s)").header(&[
+        "threads",
+        "read GB/s",
+        "write GB/s",
+    ]);
+    for p in run(effort) {
+        t.row(&[
+            p.threads.to_string(),
+            format!("{:.2}", p.read_gbps),
+            format!("{:.2}", p.write_gbps),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_positive_bandwidth() {
+        let pts = run(Effort::Smoke);
+        assert!(!pts.is_empty());
+        assert!(pts.iter().all(|p| p.read_gbps > 0.0 && p.write_gbps > 0.0));
+    }
+}

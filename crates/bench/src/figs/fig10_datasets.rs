@@ -1,0 +1,49 @@
+//! Figure 10: the dataset table, paper sizes beside the synthetic
+//! stand-ins generated at the current effort's divisor.
+
+use crate::{Effort, Table};
+use xstream_graph::datasets::{Tier, DATASETS};
+
+/// Renders the dataset table with stand-in sizes.
+pub fn report(effort: Effort) -> String {
+    let mut t = Table::new("Fig 10: datasets (paper size -> stand-in size)").header(&[
+        "name",
+        "paper |V|",
+        "paper |E|",
+        "type",
+        "tier",
+        "stand-in |V|",
+        "stand-in |E|",
+    ]);
+    for d in DATASETS {
+        let divisor = match d.tier {
+            Tier::InMemory => effort.in_memory_divisor(),
+            Tier::OutOfCore => effort.out_of_core_divisor(),
+        };
+        let g = d.generate(divisor);
+        t.row(&[
+            d.name.to_string(),
+            d.paper_vertices.to_string(),
+            d.paper_edges.to_string(),
+            format!("{:?}", d.kind),
+            format!("{:?}", d.tier),
+            g.num_vertices().to_string(),
+            g.num_edges().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_nine_datasets() {
+        let s = report(Effort::Smoke);
+        assert_eq!(s.lines().count(), 2 + 1 + 9);
+        for name in ["Twitter", "yahoo-web", "Netflix", "dimacs-usa"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+}

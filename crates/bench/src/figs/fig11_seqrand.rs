@@ -1,0 +1,99 @@
+//! Figure 11: sequential versus random bandwidth per medium.
+//!
+//! The table motivating the whole system: sequential access beats
+//! random access on every medium, by 1.8–4.6x in RAM, ~30x on SSD and
+//! ~500x on disk. RAM rows are *measured* (1 thread and all threads);
+//! the SSD/HDD rows come from the calibrated device model, reproducing
+//! the paper's numbers by construction (see DESIGN.md substitutions).
+
+use crate::membw::{measure, Dir, Pattern};
+use crate::{Effort, Table};
+use xstream_storage::diskmodel::MediumRow;
+use xstream_storage::DiskModel;
+
+/// Runs the measurements and returns one row per medium.
+pub fn run(effort: Effort) -> Vec<MediumRow> {
+    // The buffer must bust the last-level cache at every effort, or a
+    // random walk over a cache-resident buffer reports DRAM-beating
+    // "bandwidth" and inverts the table.
+    let bytes = match effort {
+        Effort::Smoke | Effort::Quick => 64 << 20,
+        Effort::Full => 256 << 20,
+    };
+    let passes = if effort == Effort::Smoke { 1 } else { 2 };
+    let all = effort.thread_sweep().last().copied().unwrap_or(1);
+    let mb = 1e6;
+    let ram = |threads: usize, medium: &'static str| MediumRow {
+        medium,
+        rand_read: measure(threads, bytes, passes, Pattern::Random, Dir::Read) / mb,
+        seq_read: measure(threads, bytes, passes, Pattern::Sequential, Dir::Read) / mb,
+        rand_write: measure(threads, bytes, passes, Pattern::Random, Dir::Write) / mb,
+        seq_write: measure(threads, bytes, passes, Pattern::Sequential, Dir::Write) / mb,
+    };
+    let model = |m: DiskModel, medium: &'static str| MediumRow {
+        medium,
+        rand_read: m.random_bw(false) / mb,
+        seq_read: m.sequential_bw(false) / mb,
+        rand_write: m.random_bw(true) / mb,
+        seq_write: m.sequential_bw(true) / mb,
+    };
+    vec![
+        ram(1, "RAM (1 core)"),
+        ram(all, "RAM (all cores)"),
+        model(DiskModel::ssd_raid0(), "SSD (modeled)"),
+        model(DiskModel::hdd_raid0(), "HDD (modeled)"),
+    ]
+}
+
+/// Renders the figure as a table.
+pub fn report(effort: Effort) -> String {
+    let mut t = Table::new("Fig 11: sequential vs random access (MB/s)").header(&[
+        "medium",
+        "rand read",
+        "seq read",
+        "rand write",
+        "seq write",
+        "seq/rand read",
+    ]);
+    for r in run(effort) {
+        t.row(&[
+            r.medium.to_string(),
+            format!("{:.1}", r.rand_read),
+            format!("{:.1}", r.seq_read),
+            format!("{:.1}", r.rand_write),
+            format!("{:.1}", r.seq_write),
+            format!("{:.1}x", r.seq_read / r.rand_read.max(1e-9)),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_beats_random_on_every_medium() {
+        for r in run(Effort::Smoke) {
+            assert!(
+                r.seq_read > r.rand_read,
+                "{}: seq {:.1} <= rand {:.1}",
+                r.medium,
+                r.seq_read,
+                r.rand_read
+            );
+        }
+    }
+
+    #[test]
+    fn gap_widens_toward_slower_media() {
+        let rows = run(Effort::Smoke);
+        let ratio = |r: &MediumRow| r.seq_read / r.rand_read.max(1e-9);
+        let ssd = rows.iter().find(|r| r.medium.starts_with("SSD")).unwrap();
+        let hdd = rows.iter().find(|r| r.medium.starts_with("HDD")).unwrap();
+        // Paper: ~30x on SSD, ~500x on disk.
+        assert!(ratio(ssd) > 20.0);
+        assert!(ratio(hdd) > 400.0);
+        assert!(ratio(hdd) > ratio(ssd));
+    }
+}

@@ -1,0 +1,103 @@
+//! Figure 13: HyperANF steps to cover the graph (diameter estimate).
+//!
+//! The paper uses HyperANF to explain why DIMACS and yahoo-web hurt
+//! X-Stream: their neighbourhood function needs thousands of steps to
+//! converge (huge diameter), and each step streams the whole edge
+//! list. The harness runs HyperANF over the in-memory stand-ins plus
+//! the sk-2005 stand-in; the grid (DIMACS) row dwarfs the rest.
+
+use crate::{Effort, Table};
+use xstream_algorithms::hyperanf;
+use xstream_core::EngineConfig;
+use xstream_graph::datasets::{by_name, Kind};
+
+/// Datasets of the paper's Fig. 13, paper-reported step counts.
+pub const PAPER_STEPS: &[(&str, &str)] = &[
+    ("amazon0601", "19"),
+    ("cit-Patents", "20"),
+    ("soc-livejournal", "15"),
+    ("dimacs-usa", "8122"),
+    ("sk-2005", "28"),
+];
+
+/// One measured row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Steps HyperANF needed on the stand-in.
+    pub steps: usize,
+    /// Paper's reported step count (for EXPERIMENTS.md comparison).
+    pub paper: &'static str,
+}
+
+/// Runs HyperANF over every Fig. 13 dataset stand-in.
+pub fn run(effort: Effort) -> Vec<Row> {
+    let cap = match effort {
+        Effort::Smoke => 256,
+        _ => 20_000,
+    };
+    PAPER_STEPS
+        .iter()
+        .map(|&(name, paper)| {
+            let ds = by_name(name).expect("dataset");
+            let divisor = match name {
+                // sk-2005 is an out-of-core graph in the paper; its
+                // neighbourhood function is still computed at a small
+                // scale here.
+                "sk-2005" => effort.out_of_core_divisor(),
+                // The grid's step count scales with its side, and each
+                // step streams HLL sketches over every edge; shrink it
+                // further (it still dwarfs every other row, which is
+                // the figure's point).
+                "dimacs-usa" => effort.in_memory_divisor() * 8,
+                _ => effort.in_memory_divisor(),
+            };
+            let base = ds.generate(divisor);
+            let undirected = if ds.kind == Kind::Undirected {
+                base
+            } else {
+                base.to_undirected()
+            };
+            let (nf, _) = hyperanf::hyperanf_in_memory(&undirected, cap, EngineConfig::default());
+            Row {
+                name,
+                steps: nf.steps,
+                paper,
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure as a table.
+pub fn report(effort: Effort) -> String {
+    let mut t = Table::new("Fig 13: HyperANF steps to cover the graph").header(&[
+        "graph",
+        "steps (stand-in)",
+        "steps (paper)",
+    ]);
+    for r in run(effort) {
+        t.row(&[r.name.to_string(), r.steps.to_string(), r.paper.to_string()]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dwarfs_scale_free_step_counts() {
+        let rows = run(Effort::Smoke);
+        let dimacs = rows.iter().find(|r| r.name == "dimacs-usa").unwrap();
+        for r in rows.iter().filter(|r| r.name != "dimacs-usa") {
+            assert!(
+                dimacs.steps > 4 * r.steps.max(1),
+                "dimacs {} vs {} {}",
+                dimacs.steps,
+                r.name,
+                r.steps
+            );
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Figure 14: strong scaling with thread count.
+//!
+//! The paper runs WCC, PageRank, BFS and SpMV over its largest
+//! in-memory RMAT graph (scale 25) with 1..16 threads and observes
+//! near-linear scaling. The harness sweeps the same algorithms on an
+//! effort-scaled RMAT graph.
+
+use std::time::Duration;
+
+use crate::{fmt_duration, Effort, Table};
+use xstream_algorithms::{bfs, pagerank, spmv, wcc};
+use xstream_core::EngineConfig;
+use xstream_graph::datasets::rmat_scale;
+use xstream_graph::EdgeList;
+
+/// The four algorithm series of the figure.
+pub const SERIES: &[&str] = &["WCC", "Pagerank", "BFS", "SpMV"];
+
+/// One measured point.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Worker threads.
+    pub threads: usize,
+    /// Runtime per algorithm, same order as [`SERIES`].
+    pub runtime: [Duration; 4],
+}
+
+fn run_series(g: &EdgeList, threads: usize) -> [Duration; 4] {
+    let cfg = || EngineConfig::default().with_threads(threads);
+    let (_, s_wcc) = wcc::wcc_in_memory(g, cfg());
+    let (_, s_pr) = pagerank::pagerank_in_memory(g, 5, cfg());
+    let (_, s_bfs) = bfs::bfs_in_memory(g, g.max_out_degree_vertex(), cfg());
+    let (_, s_spmv) = spmv::spmv_in_memory(g, cfg());
+    [
+        s_wcc.elapsed(),
+        s_pr.elapsed(),
+        s_bfs.elapsed(),
+        Duration::from_nanos(s_spmv.total_ns()),
+    ]
+}
+
+/// Runs the sweep.
+pub fn run(effort: Effort) -> Vec<Point> {
+    let g = rmat_scale(effort.rmat_scale());
+    effort
+        .thread_sweep()
+        .into_iter()
+        .map(|threads| Point {
+            threads,
+            runtime: run_series(&g, threads),
+        })
+        .collect()
+}
+
+/// Renders the figure as a table.
+pub fn report(effort: Effort) -> String {
+    let mut t =
+        Table::new(format!("Fig 14: strong scaling, RMAT scale {}", effort.rmat_scale()).as_str())
+            .header(&["threads", "WCC", "Pagerank", "BFS", "SpMV"]);
+    for p in run(effort) {
+        t.row(&[
+            p.threads.to_string(),
+            fmt_duration(p.runtime[0]),
+            fmt_duration(p.runtime[1]),
+            fmt_duration(p.runtime[2]),
+            fmt_duration(p.runtime[3]),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_series_run_at_smoke_scale() {
+        let pts = run(Effort::Smoke);
+        assert!(!pts.is_empty());
+        for p in &pts {
+            for d in p.runtime {
+                assert!(d.as_nanos() > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Figure 15: exploiting I/O parallelism.
+//!
+//! The paper compares three device placements for each medium: one
+//! disk, independent disks (edges and updates on different spindles),
+//! and RAID-0 — independent disks cut runtime by up to 30% and RAID-0
+//! by 50-60%. The harness runs each algorithm once on the out-of-core
+//! engine with the edge and update streams tagged with different
+//! device ids, then replays the same accounted trace under the three
+//! placements of the calibrated device model.
+
+use crate::figs::{cleanup, temp_store};
+use crate::{Effort, Table};
+use xstream_algorithms::{bfs, pagerank, spmv, wcc};
+use xstream_core::EngineConfig;
+use xstream_disk::DiskEngine;
+use xstream_graph::datasets::rmat_scale;
+use xstream_graph::EdgeList;
+use xstream_storage::iostats::IoEvent;
+use xstream_storage::DiskModel;
+
+/// The four algorithm series of the figure.
+pub const SERIES: &[&str] = &["SpMV", "WCC", "Pagerank", "BFS"];
+
+/// Modeled runtimes of one algorithm under the three placements.
+#[derive(Debug, Clone, Copy)]
+pub struct Placements {
+    /// All streams on a single device.
+    pub one_disk: f64,
+    /// Edges and updates on independent devices.
+    pub indep: f64,
+    /// Both devices in RAID-0.
+    pub raid0: f64,
+}
+
+impl Placements {
+    /// Replays a device-tagged trace under the three placements.
+    /// `single` and `raid` are the per-medium models.
+    pub fn replay(trace: &[IoEvent], single: DiskModel, raid: DiskModel) -> Self {
+        let all_on_one: Vec<IoEvent> = trace.iter().map(|e| IoEvent { device: 0, ..*e }).collect();
+        Self {
+            one_disk: single.replay(&all_on_one).as_secs_f64(),
+            indep: single.replay(trace).as_secs_f64(),
+            raid0: raid.replay(&all_on_one).as_secs_f64(),
+        }
+    }
+}
+
+fn run_traced(algo: &str, g: &EdgeList, cfg: EngineConfig, tag: &str) -> Vec<IoEvent> {
+    let store = temp_store(tag, cfg.io_unit, true)
+        // Updates on device 1, everything else (edges, vertices) on 0 —
+        // the paper's "separate disks for reading and writing".
+        .with_device_fn(|name| if name.starts_with("updates") { 1 } else { 0 });
+    let trace = match algo {
+        "WCC" => {
+            let p = wcc::Wcc::new();
+            let mut e = DiskEngine::from_graph(store, g, &p, cfg).expect("engine");
+            wcc::run(&mut e, &p);
+            e.store().accounting().trace()
+        }
+        "Pagerank" => {
+            let p = pagerank::Pagerank;
+            let degrees = g.out_degrees();
+            let mut e = DiskEngine::from_graph(store, g, &p, cfg).expect("engine");
+            pagerank::run(&mut e, &p, &degrees, 5);
+            e.store().accounting().trace()
+        }
+        "BFS" => {
+            let p = bfs::Bfs::new();
+            let mut e = DiskEngine::from_graph(store, g, &p, cfg).expect("engine");
+            bfs::run(&mut e, &p, g.max_out_degree_vertex());
+            e.store().accounting().trace()
+        }
+        _ => {
+            let p = spmv::Spmv;
+            let mut e = DiskEngine::from_graph(store, g, &p, cfg).expect("engine");
+            let x = vec![1.0f32; g.num_vertices()];
+            spmv::run(&mut e, &p, &x);
+            e.store().accounting().trace()
+        }
+    };
+    cleanup(tag);
+    trace
+}
+
+/// Runs the experiment: per (medium, algorithm), modeled runtimes
+/// normalized to the one-disk placement.
+pub fn run(effort: Effort) -> Vec<(String, Placements)> {
+    // Paper: RMAT scale 30 for HDD, scale 27 for SSD; one scaled graph
+    // here serves both media (the trace is identical either way). The
+    // graph must be large enough that transfers span the 512 KB RAID
+    // stripe, or striping cannot help.
+    let g = rmat_scale(effort.rmat_scale().saturating_sub(2).max(14));
+    let cfg = EngineConfig {
+        // Force updates onto their device even when they would fit in
+        // memory: on the paper's testbed graphs always dwarf RAM, so
+        // the update stream is always disk-resident in this figure.
+        in_memory_updates: false,
+        ..EngineConfig::default()
+            .with_memory_budget(8 << 20)
+            .with_io_unit(2 << 20)
+    };
+    let mut out = Vec::new();
+    for algo in SERIES {
+        let trace = run_traced(algo, &g, cfg.clone(), &format!("fig15_{algo}"));
+        for (medium, single, raid) in [
+            ("HDD", DiskModel::hdd_single(), DiskModel::hdd_raid0()),
+            ("SSD", DiskModel::ssd_single(), DiskModel::ssd_raid0()),
+        ] {
+            let p = Placements::replay(&trace, single, raid);
+            out.push((format!("{medium}:{algo}"), p));
+        }
+    }
+    out
+}
+
+/// Renders the figure as a table of normalized runtimes.
+pub fn report(effort: Effort) -> String {
+    let mut t = Table::new("Fig 15: I/O parallelism (runtime normalized to one disk)").header(&[
+        "config",
+        "one disk",
+        "indep. disks",
+        "RAID-0",
+    ]);
+    for (label, p) in run(effort) {
+        let base = p.one_disk.max(1e-12);
+        t.row(&[
+            label,
+            "1.00".to_string(),
+            format!("{:.2}", p.indep / base),
+            format!("{:.2}", p.raid0 / base),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placements_order_as_in_paper() {
+        // Both alternative placements beat (or match) the single disk;
+        // RAID-0 cuts runtime by a sizable margin on every algorithm
+        // (paper Fig. 15: 50-60%). The independent-disks win depends on
+        // the update volume: BFS sends each update once over the whole
+        // run, so its update stream is tiny next to the edges re-
+        // streamed every iteration and the placement gains little —
+        // the update-heavy algorithms show the paper's ~30-45%.
+        for (label, p) in run(Effort::Smoke) {
+            assert!(
+                p.indep <= p.one_disk * 1.01,
+                "{label}: indep regressed ({:.2})",
+                p.indep / p.one_disk
+            );
+            if !label.ends_with("BFS") {
+                assert!(
+                    p.indep < p.one_disk * 0.9,
+                    "{label}: indep should beat one disk ({:.2})",
+                    p.indep / p.one_disk
+                );
+            }
+            assert!(
+                p.raid0 < p.one_disk * 0.8,
+                "{label}: raid should cut well below one disk ({:.2})",
+                p.raid0 / p.one_disk
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Figure 16: scaling across storage devices.
+//!
+//! The paper caps X-Stream at 16 GB of RAM and doubles the RMAT scale
+//! until the graph migrates from memory to SSD to magnetic disk;
+//! runtime grows smoothly with 'bumps' at each media transition. The
+//! harness sweeps effort-scaled RMAT graphs under a proportional RAM
+//! cap: in-memory scales run measured, out-of-core scales run through
+//! the accounted disk engine and are modeled on SSD and HDD.
+
+use crate::figs::{cleanup, temp_store, ModeledRuntime};
+use crate::{fmt_duration, Effort, Table};
+use std::time::Duration;
+use xstream_algorithms::{spmv, wcc};
+use xstream_core::EngineConfig;
+use xstream_disk::DiskEngine;
+use xstream_graph::datasets::rmat_scale;
+use xstream_graph::EdgeList;
+
+/// Medium a scale landed on under the RAM cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Medium {
+    /// Graph + streams fit under the cap: in-memory engine, measured.
+    Memory,
+    /// First out-of-core region: modeled on the SSD pair.
+    Ssd,
+    /// Largest scales: modeled on the HDD pair.
+    Disk,
+}
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// RMAT scale (2^scale vertices).
+    pub scale: u32,
+    /// Medium chosen by the cap.
+    pub medium: Medium,
+    /// WCC runtime.
+    pub wcc: Duration,
+    /// SpMV runtime.
+    pub spmv: Duration,
+}
+
+fn graph_bytes(g: &EdgeList) -> usize {
+    g.num_edges() * std::mem::size_of::<xstream_core::Edge>()
+}
+
+fn run_point(g: &EdgeList, medium: Medium, scale: u32) -> (Duration, Duration) {
+    match medium {
+        Medium::Memory => {
+            let (_, s) = wcc::wcc_in_memory(g, EngineConfig::default());
+            let (_, it) = spmv::spmv_in_memory(g, EngineConfig::default());
+            (s.elapsed(), Duration::from_nanos(it.total_ns()))
+        }
+        Medium::Ssd | Medium::Disk => {
+            let cfg = EngineConfig::default()
+                .with_memory_budget(16 << 20)
+                .with_io_unit(1 << 20);
+            let pick = |m: ModeledRuntime| match medium {
+                Medium::Ssd => m.ssd,
+                _ => m.hdd,
+            };
+            let tag = format!("fig16_wcc_{scale}");
+            let store = temp_store(&tag, cfg.io_unit, true);
+            let p = wcc::Wcc::new();
+            let mut e = DiskEngine::from_graph(store, g, &p, cfg.clone()).expect("engine");
+            let (_, s) = wcc::run(&mut e, &p);
+            let m = ModeledRuntime::from_trace(s.elapsed(), &e.store().accounting().trace());
+            let wcc_time = pick(m);
+            drop(e);
+            cleanup(&tag);
+
+            let tag = format!("fig16_spmv_{scale}");
+            let store = temp_store(&tag, cfg.io_unit, true);
+            let p = spmv::Spmv;
+            let mut e = DiskEngine::from_graph(store, g, &p, cfg).expect("engine");
+            let x = vec![1.0f32; g.num_vertices()];
+            let (_, it) = spmv::run(&mut e, &p, &x);
+            let m = ModeledRuntime::from_trace(
+                Duration::from_nanos(it.total_ns()),
+                &e.store().accounting().trace(),
+            );
+            let spmv_time = pick(m);
+            drop(e);
+            cleanup(&tag);
+            (wcc_time, spmv_time)
+        }
+    }
+}
+
+/// Runs the scale sweep. The cap is set two scales above the smallest
+/// graph so the sweep crosses memory → SSD → disk like the paper.
+pub fn run(effort: Effort) -> Vec<Point> {
+    let lo = match effort {
+        Effort::Smoke => 10,
+        Effort::Quick => 13,
+        Effort::Full => 16,
+    };
+    let count = if effort == Effort::Smoke { 4 } else { 6 };
+    let cap_scale = lo + 1;
+    let ssd_top = lo + (count / 2) as u32;
+    let cap = graph_bytes(&rmat_scale(cap_scale)) * 2;
+    (lo..lo + count as u32)
+        .map(|scale| {
+            let g = rmat_scale(scale);
+            let medium = if graph_bytes(&g) * 2 <= cap {
+                Medium::Memory
+            } else if scale <= ssd_top {
+                Medium::Ssd
+            } else {
+                Medium::Disk
+            };
+            let (wcc, spmv) = run_point(&g, medium, scale);
+            Point {
+                scale,
+                medium,
+                wcc,
+                spmv,
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure as a table.
+pub fn report(effort: Effort) -> String {
+    let mut t = Table::new("Fig 16: runtime vs scale across devices")
+        .header(&["scale", "medium", "WCC", "SpMV"]);
+    for p in run(effort) {
+        t.row(&[
+            p.scale.to_string(),
+            format!("{:?}", p.medium),
+            fmt_duration(p.wcc),
+            fmt_duration(p.spmv),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_crosses_media_and_bumps() {
+        let pts = run(Effort::Smoke);
+        assert!(pts.iter().any(|p| p.medium == Medium::Memory));
+        assert!(pts.iter().any(|p| p.medium != Medium::Memory));
+        // The first out-of-core point is slower than the last in-memory
+        // point (the figure's 'bump').
+        let last_mem = pts.iter().rfind(|p| p.medium == Medium::Memory).unwrap();
+        let first_ooc = pts.iter().find(|p| p.medium != Medium::Memory).unwrap();
+        assert!(first_ooc.wcc > last_mem.wcc);
+    }
+}

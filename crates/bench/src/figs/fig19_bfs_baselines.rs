@@ -1,0 +1,104 @@
+//! Figure 19: in-memory BFS against optimized index-based baselines.
+//!
+//! The paper pits X-Stream against the local-queue multicore BFS of
+//! Agarwal et al. and the hybrid BFS of Hong et al. on a scale-free
+//! graph (32M vertices / 256M edges), sweeping threads; X-Stream wins
+//! at every thread count with the gap narrowing as the random-vs-
+//! sequential bandwidth gap narrows. The baselines receive their
+//! sorted, indexed input for free (CSR built outside the timer).
+
+use std::time::{Duration, Instant};
+
+use crate::{fmt_duration, Effort, Table};
+use xstream_algorithms::bfs;
+use xstream_baselines::{hybrid, localqueue};
+use xstream_core::EngineConfig;
+use xstream_graph::{Csr, Rmat};
+
+/// One measured point.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Worker threads.
+    pub threads: usize,
+    /// Local-queue BFS runtime.
+    pub local_queue: Duration,
+    /// Hybrid (direction-optimizing) BFS runtime.
+    pub hybrid: Duration,
+    /// X-Stream edge-centric BFS runtime.
+    pub xstream: Duration,
+}
+
+/// Runs the sweep. The paper's graph has average degree 8, so the
+/// harness uses RMAT with edge factor 8 at the effort scale.
+pub fn run(effort: Effort) -> Vec<Point> {
+    let g = Rmat::new(effort.rmat_scale())
+        .with_edge_factor(8)
+        .generate_undirected();
+    let csr = Csr::from_edge_list(&g);
+    let csc = Csr::reversed_from_edge_list(&g);
+    // Graph500-style root selection: scale-free generators leave
+    // many low ids isolated, and a trivial BFS measures nothing.
+    let root = g.max_out_degree_vertex();
+    effort
+        .thread_sweep()
+        .into_iter()
+        .map(|threads| {
+            let t0 = Instant::now();
+            let lq = localqueue::bfs(&csr, root, threads);
+            let local_queue = t0.elapsed();
+
+            let t0 = Instant::now();
+            let hy = hybrid::bfs(&csr, &csc, root, threads);
+            let hybrid_t = t0.elapsed();
+
+            let (xs, stats) =
+                bfs::bfs_in_memory(&g, root, EngineConfig::default().with_threads(threads));
+            // All three must agree on reachability.
+            debug_assert_eq!(lq, hy);
+            debug_assert_eq!(lq, xs);
+            Point {
+                threads,
+                local_queue,
+                hybrid: hybrid_t,
+                xstream: stats.elapsed(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure as a table.
+pub fn report(effort: Effort) -> String {
+    let mut t = Table::new(
+        format!(
+            "Fig 19: in-memory BFS on RMAT scale {} (degree 8)",
+            effort.rmat_scale()
+        )
+        .as_str(),
+    )
+    .header(&["threads", "Local Queue", "Hybrid", "X-Stream"]);
+    for p in run(effort) {
+        t.row(&[
+            p.threads.to_string(),
+            fmt_duration(p.local_queue),
+            fmt_duration(p.hybrid),
+            fmt_duration(p.xstream),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_bfs_agree_and_time() {
+        let pts = run(Effort::Smoke);
+        assert!(!pts.is_empty());
+        for p in &pts {
+            assert!(p.local_queue.as_nanos() > 0);
+            assert!(p.hybrid.as_nanos() > 0);
+            assert!(p.xstream.as_nanos() > 0);
+        }
+    }
+}

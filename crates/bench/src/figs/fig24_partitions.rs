@@ -1,0 +1,107 @@
+//! Figure 24: effect of the number of streaming partitions.
+//!
+//! Too few partitions and a partition's vertex state spills the CPU
+//! cache (random access becomes slow); too many and shuffling overhead
+//! plus per-partition bookkeeping dominate. The paper shows a wide
+//! flat valley between the extremes on RMAT scale 25; X-Stream's
+//! automatic choice lands inside it. The harness sweeps K on an
+//! effort-scaled RMAT graph for the same four algorithms.
+
+use std::time::Duration;
+
+use crate::{fmt_duration, Effort, Table};
+use xstream_algorithms::{bfs, pagerank, spmv, wcc};
+use xstream_core::EngineConfig;
+use xstream_graph::datasets::rmat_scale;
+use xstream_graph::EdgeList;
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Forced partition count.
+    pub partitions: usize,
+    /// Runtimes: WCC, PageRank, BFS, SpMV.
+    pub runtime: [Duration; 4],
+}
+
+fn series(g: &EdgeList, k: usize, threads: usize) -> [Duration; 4] {
+    let cfg = || {
+        EngineConfig::default()
+            .with_threads(threads)
+            .with_partitions(k)
+    };
+    let (_, s_wcc) = wcc::wcc_in_memory(g, cfg());
+    let (_, s_pr) = pagerank::pagerank_in_memory(g, 5, cfg());
+    let (_, s_bfs) = bfs::bfs_in_memory(g, g.max_out_degree_vertex(), cfg());
+    let (_, it) = spmv::spmv_in_memory(g, cfg());
+    [
+        s_wcc.elapsed(),
+        s_pr.elapsed(),
+        s_bfs.elapsed(),
+        Duration::from_nanos(it.total_ns()),
+    ]
+}
+
+/// Runs the sweep; K ranges from far-too-few to far-too-many.
+pub fn run(effort: Effort) -> Vec<Point> {
+    let g = rmat_scale(effort.rmat_scale().saturating_sub(1).max(10));
+    let threads = effort.thread_sweep().last().copied().unwrap_or(1);
+    let max_k = match effort {
+        Effort::Smoke => 1 << 10,
+        Effort::Quick => 1 << 14,
+        Effort::Full => 1 << 18,
+    };
+    let mut ks = Vec::new();
+    let mut k = 1;
+    while k <= max_k {
+        ks.push(k);
+        k *= 4;
+    }
+    ks.into_iter()
+        .map(|k| Point {
+            partitions: k,
+            runtime: series(&g, k, threads),
+        })
+        .collect()
+}
+
+/// Renders the figure as a table, flagging the automatic choice.
+pub fn report(effort: Effort) -> String {
+    let g = rmat_scale(effort.rmat_scale().saturating_sub(1).max(10));
+    let auto = EngineConfig::default().in_memory_partitions(
+        g.num_vertices(),
+        // WCC footprint: 8-byte state + 12-byte edge + 8-byte update.
+        8 + 12 + 8,
+    );
+    let mut t =
+        Table::new(format!("Fig 24: effect of partition count (auto choice = {auto})").as_str())
+            .header(&["partitions", "WCC", "Pagerank", "BFS", "SpMV"]);
+    for p in run(effort) {
+        t.row(&[
+            p.partitions.to_string(),
+            fmt_duration(p.runtime[0]),
+            fmt_duration(p.runtime[1]),
+            fmt_duration(p.runtime[2]),
+            fmt_duration(p.runtime[3]),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_are_slower_than_valley() {
+        let pts = run(Effort::Smoke);
+        assert!(pts.len() >= 3);
+        // The most extreme K is slower than the best K for WCC.
+        let best = pts.iter().map(|p| p.runtime[0]).min().unwrap();
+        let last = pts.last().unwrap().runtime[0];
+        assert!(
+            last >= best,
+            "excessive partitions should not be the fastest"
+        );
+    }
+}

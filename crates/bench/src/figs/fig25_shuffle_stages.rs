@@ -1,0 +1,129 @@
+//! Figure 25: effect of the number of shuffler stages.
+//!
+//! With ~1M partitions a single-stage shuffle touches one output chunk
+//! per partition and loses all cache locality; too many stages copy
+//! the data unnecessarily often. The paper finds a two-stage shuffle
+//! optimal for RMAT scale 25 with 2^20 partitions. The harness forces
+//! a large partition count and sweeps the fanout so the multi-stage
+//! plan uses 1..5 stages, reporting runtimes normalized to one stage.
+
+use std::time::Duration;
+
+use crate::{Effort, Table};
+use xstream_algorithms::{bfs, pagerank, spmv, wcc};
+use xstream_core::EngineConfig;
+use xstream_graph::datasets::rmat_scale;
+use xstream_graph::EdgeList;
+use xstream_storage::shuffle::MultiStagePlan;
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Stages the plan executes.
+    pub stages: usize,
+    /// Fanout forcing that stage count.
+    pub fanout: usize,
+    /// Runtimes: BFS, SpMV, PageRank, WCC (paper series order).
+    pub runtime: [Duration; 4],
+}
+
+fn series(g: &EdgeList, k: usize, fanout: usize, threads: usize) -> [Duration; 4] {
+    let cfg = || {
+        EngineConfig::default()
+            .with_threads(threads)
+            .with_partitions(k)
+            .with_shuffle_fanout(fanout)
+    };
+    let (_, s_bfs) = bfs::bfs_in_memory(g, g.max_out_degree_vertex(), cfg());
+    let (_, it) = spmv::spmv_in_memory(g, cfg());
+    let (_, s_pr) = pagerank::pagerank_in_memory(g, 5, cfg());
+    let (_, s_wcc) = wcc::wcc_in_memory(g, cfg());
+    [
+        s_bfs.elapsed(),
+        Duration::from_nanos(it.total_ns()),
+        s_pr.elapsed(),
+        s_wcc.elapsed(),
+    ]
+}
+
+/// Partition count forced by the sweep (the paper forces 2^20). The
+/// single-stage penalty only appears once the per-partition write
+/// cursors and landing sites overflow the cache, so the forced count
+/// must be large relative to the LLC.
+pub fn forced_partitions(effort: Effort) -> usize {
+    match effort {
+        Effort::Smoke => 1 << 8,
+        Effort::Quick => 1 << 17,
+        Effort::Full => 1 << 20,
+    }
+}
+
+/// Runs the sweep over stage counts 1..=5.
+pub fn run(effort: Effort) -> Vec<Point> {
+    let g = rmat_scale(effort.rmat_scale().max(10));
+    let threads = effort.thread_sweep().last().copied().unwrap_or(1);
+    let k = forced_partitions(effort)
+        .min(g.num_vertices())
+        .next_power_of_two();
+    let bits = k.trailing_zeros() as usize;
+    (1..=5usize)
+        .filter_map(|stages| {
+            // Fanout giving `stages` levels: F = 2^ceil(bits/stages).
+            let fanout = 1usize << bits.div_ceil(stages);
+            let plan = MultiStagePlan::new(k, fanout);
+            (plan.stages as usize == stages).then(|| Point {
+                stages,
+                fanout,
+                runtime: series(&g, k, fanout, threads),
+            })
+        })
+        .collect()
+}
+
+/// Renders the figure as a table normalized to the one-stage shuffle.
+pub fn report(effort: Effort) -> String {
+    let pts = run(effort);
+    let mut t = Table::new(
+        format!(
+            "Fig 25: multi-stage shuffling, {} partitions (normalized to 1 stage)",
+            forced_partitions(effort)
+        )
+        .as_str(),
+    )
+    .header(&["stages", "fanout", "BFS", "SpMV", "Pagerank", "WCC"]);
+    let base = pts
+        .first()
+        .map(|p| p.runtime)
+        .unwrap_or([Duration::from_nanos(1); 4]);
+    for p in &pts {
+        let norm = |i: usize| {
+            format!(
+                "{:.2}",
+                p.runtime[i].as_secs_f64() / base[i].as_secs_f64().max(1e-12)
+            )
+        };
+        t.row(&[
+            p.stages.to_string(),
+            p.fanout.to_string(),
+            norm(0),
+            norm(1),
+            norm(2),
+            norm(3),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_multiple_stage_counts() {
+        let pts = run(Effort::Smoke);
+        assert!(pts.len() >= 2);
+        assert_eq!(pts[0].stages, 1);
+        // Stage counts are strictly increasing.
+        assert!(pts.windows(2).all(|w| w[0].stages < w[1].stages));
+    }
+}

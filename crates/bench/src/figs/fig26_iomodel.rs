@@ -1,0 +1,71 @@
+//! Figure 26: theoretical I/O-model bounds, evaluated numerically.
+//!
+//! The paper closes with Aggarwal–Vitter I/O-model cost formulas for
+//! X-Stream, GraphChi and sort-then-random-access. The harness
+//! evaluates the closed forms over a grid of diameters and memory
+//! sizes, and prints the §3.4 partition-sizing worked example (1 TB of
+//! vertex data needs only ~17 GB of memory and <120 partitions).
+
+use crate::{Effort, Table};
+use xstream_core::EngineConfig;
+use xstream_iomodel::{evaluate, ModelParams};
+
+/// Renders the cost table plus the sizing example.
+pub fn report(_effort: Effort) -> String {
+    let mut out = String::new();
+    let mut t =
+        Table::new("Fig 26: I/O-model block transfers (1e9 vertices, degree 16)").header(&[
+            "memory (words)",
+            "diameter",
+            "K xs",
+            "K gc",
+            "X-Stream",
+            "GraphChi",
+            "sort pre",
+            "random access",
+        ]);
+    for &m in &[1e6, 1e7, 1e8] {
+        for &d in &[4.0, 16.0, 256.0, 6000.0] {
+            let p = ModelParams::graph(1e9, 16.0, m, 4096.0, d);
+            let row = evaluate(&p);
+            t.row(&[
+                format!("{m:.0e}"),
+                format!("{d}"),
+                format!("{:.0}", row.xstream_partitions),
+                format!("{:.0}", row.graphchi_shards),
+                format!("{:.3e}", row.xstream),
+                format!("{:.3e}", row.graphchi),
+                format!("{:.3e}", row.sort_pre),
+                format!("{:.3e}", row.random_access),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+
+    // §3.4 worked example.
+    let n: usize = 1_000_000_000_000;
+    let s: usize = 16_000_000;
+    let cfg = EngineConfig::default()
+        .with_memory_budget(18_000_000_000)
+        .with_io_unit(s);
+    let k = cfg.out_of_core_partitions(n);
+    out.push_str(&format!(
+        "\nSec 3.4 example: N = 1 TB vertex data, S = 16 MB -> minimum memory \
+         2*sqrt(5NS) = {:.1} GB, K = {:?} partitions (paper: ~17 GB, <120 partitions)\n",
+        2.0 * (5.0 * n as f64 * s as f64).sqrt() / 1e9,
+        k,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_sizing_example() {
+        let s = report(Effort::Smoke);
+        assert!(s.contains("Sec 3.4 example"));
+        assert!(s.contains("GraphChi"));
+    }
+}

@@ -1,0 +1,82 @@
+//! One module per table/figure of the paper's evaluation (§5).
+//!
+//! Each module exposes `report(effort) -> String` printing the same
+//! rows or series as the paper's figure, at a scale set by
+//! [`Effort`](crate::Effort). The binaries in `src/bin/` are thin
+//! wrappers; `run_all` regenerates everything into `results/`.
+
+pub mod ablations;
+pub mod fig08_membw;
+pub mod fig09_diskbw;
+pub mod fig10_datasets;
+pub mod fig11_seqrand;
+pub mod fig12_runtimes;
+pub mod fig13_hyperanf;
+pub mod fig14_strong_scaling;
+pub mod fig15_io_parallel;
+pub mod fig16_scale_devices;
+pub mod fig17_ingest;
+pub mod fig18_sort_vs_stream;
+pub mod fig19_bfs_baselines;
+pub mod fig20_ligra;
+pub mod fig21_memrefs;
+pub mod fig22_graphchi;
+pub mod fig23_bwtrace;
+pub mod fig24_partitions;
+pub mod fig25_shuffle_stages;
+pub mod fig26_iomodel;
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use xstream_storage::{DiskModel, IoAccounting, StreamStore};
+
+/// A fresh temp-directory stream store with byte accounting (and
+/// optional event tracing) enabled. The directory is wiped first so
+/// re-runs start clean.
+pub fn temp_store(tag: &str, io_unit: usize, tracing: bool) -> StreamStore {
+    let root = temp_dir(tag);
+    let _ = std::fs::remove_dir_all(&root);
+    StreamStore::new(&root, io_unit)
+        .expect("create stream store")
+        .with_accounting(Arc::new(IoAccounting::new(tracing)))
+}
+
+/// Temp directory used by harness `tag`.
+pub fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("xstream_bench_{tag}"))
+}
+
+/// Removes a harness temp directory (best effort).
+pub fn cleanup(tag: &str) {
+    let _ = std::fs::remove_dir_all(temp_dir(tag));
+}
+
+/// Modeled out-of-core runtimes of an I/O trace on the paper's two
+/// device configurations, combined with the measured compute wall time
+/// under the engine's overlap of I/O and computation (§3.3: prefetch
+/// distance 1 keeps the device 100% busy, so the run is bounded by the
+/// slower of the two).
+#[derive(Debug, Clone, Copy)]
+pub struct ModeledRuntime {
+    /// Wall time actually measured in the container (page-cache I/O).
+    pub wall: Duration,
+    /// Modeled runtime with the trace on the paper's SSD RAID-0.
+    pub ssd: Duration,
+    /// Modeled runtime with the trace on the paper's HDD RAID-0.
+    pub hdd: Duration,
+}
+
+impl ModeledRuntime {
+    /// Combines a measured wall time and a trace into modeled runtimes.
+    pub fn from_trace(wall: Duration, trace: &[xstream_storage::iostats::IoEvent]) -> Self {
+        let ssd_io = DiskModel::ssd_raid0().replay(trace);
+        let hdd_io = DiskModel::hdd_raid0().replay(trace);
+        Self {
+            wall,
+            ssd: ssd_io.max(wall),
+            hdd: hdd_io.max(wall),
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Benchmark harnesses for the X-Stream reproduction.
+//!
+//! Every table and figure of the paper's evaluation (§5) has a module
+//! under [`figs`] exposing `report(effort) -> String`, and a thin
+//! binary in `src/bin/` printing that report. `run_all` regenerates
+//! everything into `results/`. Experiments run at a laptop-friendly
+//! scale controlled by [`Effort`]; EXPERIMENTS.md records the scale
+//! factors relative to the paper and the observed shapes.
+
+pub mod effort;
+pub mod figs;
+pub mod membw;
+pub mod table;
+
+pub use effort::Effort;
+pub use table::Table;
+
+/// Formats a nanosecond count the way the paper prints runtimes
+/// (`1h 8m 12s`, `38m 38s`, `0.61s`).
+pub fn fmt_duration_ns(ns: u64) -> String {
+    let secs = ns as f64 / 1e9;
+    if secs >= 3600.0 {
+        let h = (secs / 3600.0).floor();
+        let m = ((secs - h * 3600.0) / 60.0).floor();
+        let s = (secs - h * 3600.0 - m * 60.0).round();
+        format!("{h:.0}h {m:.0}m {s:.0}s")
+    } else if secs >= 60.0 {
+        let m = (secs / 60.0).floor();
+        let s = (secs - m * 60.0).round();
+        format!("{m:.0}m {s:.0}s")
+    } else if secs >= 0.01 {
+        // The paper prints sub-minute runtimes as fractional seconds
+        // ("0.61s", "0.07s").
+        format!("{secs:.2}s")
+    } else {
+        format!("{:.2}ms", secs * 1e3)
+    }
+}
+
+/// Formats a [`std::time::Duration`] like [`fmt_duration_ns`].
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    fmt_duration_ns(d.as_nanos() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formats_match_paper_style() {
+        assert_eq!(fmt_duration_ns(610_000_000), "0.61s");
+        assert_eq!(fmt_duration_ns(2_318_000_000_000), "38m 38s");
+        assert_eq!(fmt_duration_ns(4_092_000_000_000), "1h 8m 12s");
+        assert_eq!(fmt_duration_ns(500_000), "0.50ms");
+    }
+}

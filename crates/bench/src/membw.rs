@@ -1,0 +1,153 @@
+//! Memory-bandwidth microbenchmark (paper Fig. 8 and the RAM rows of
+//! Fig. 11).
+//!
+//! Each thread scans a thread-private buffer far larger than the last-
+//! level cache, either sequentially (the streaming pattern X-Stream is
+//! built around) or by touching one random cache line per step. The
+//! paper's buffers are 256 MB per thread; the harness scales that down
+//! with effort while keeping the buffer >> LLC so DRAM stays the
+//! bottleneck.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Access pattern of one measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Linear scan; hardware prefetchers engage.
+    Sequential,
+    /// One random cache line per access; prefetchers are defeated.
+    Random,
+}
+
+/// Direction of one measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Sum the buffer (loads only).
+    Read,
+    /// Overwrite the buffer (stores only).
+    Write,
+}
+
+/// Measures aggregate bandwidth in bytes/second with `threads`
+/// concurrent workers, each touching `bytes_per_thread` of private
+/// memory once per pass for `passes` passes.
+pub fn measure(
+    threads: usize,
+    bytes_per_thread: usize,
+    passes: usize,
+    pattern: Pattern,
+    dir: Dir,
+) -> f64 {
+    let words = (bytes_per_thread / 8).max(1024);
+    let total_bytes = (threads * words * 8 * passes) as f64;
+    let elapsed = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut buf = vec![0u64; words];
+                    // Touch every page before timing.
+                    for (i, w) in buf.iter_mut().enumerate() {
+                        *w = i as u64;
+                    }
+                    let start = Instant::now();
+                    let mut acc = 0u64;
+                    for pass in 0..passes {
+                        match (pattern, dir) {
+                            (Pattern::Sequential, Dir::Read) => {
+                                for &w in &buf {
+                                    acc = acc.wrapping_add(w);
+                                }
+                            }
+                            (Pattern::Sequential, Dir::Write) => {
+                                let v = (t + pass) as u64;
+                                for w in buf.iter_mut() {
+                                    *w = v;
+                                }
+                            }
+                            (Pattern::Random, Dir::Read) => {
+                                // One load per cache line (8 words),
+                                // indexed by a splitmix-style walk.
+                                let lines = words / 8;
+                                let mut x = 0x9e37_79b9u64
+                                    .wrapping_mul(t as u64 + 1)
+                                    .wrapping_add(pass as u64);
+                                for _ in 0..lines {
+                                    x ^= x << 13;
+                                    x ^= x >> 7;
+                                    x ^= x << 17;
+                                    let line = (x as usize) % lines;
+                                    acc = acc.wrapping_add(buf[line * 8]);
+                                }
+                            }
+                            (Pattern::Random, Dir::Write) => {
+                                let lines = words / 8;
+                                let mut x = 0xdead_beefu64
+                                    .wrapping_mul(t as u64 + 1)
+                                    .wrapping_add(pass as u64);
+                                for i in 0..lines {
+                                    x ^= x << 13;
+                                    x ^= x >> 7;
+                                    x ^= x << 17;
+                                    let line = (x as usize) % lines;
+                                    buf[line * 8] = i as u64;
+                                }
+                            }
+                        }
+                    }
+                    black_box(acc);
+                    black_box(&buf);
+                    start.elapsed()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bandwidth worker panicked"))
+            .max()
+            .unwrap_or_default()
+    });
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    // Random measurements only touch one word per cache line, but the
+    // memory system moves the whole line; report line-level traffic
+    // for reads/writes alike so patterns are comparable.
+    let moved = match pattern {
+        Pattern::Sequential => total_bytes,
+        Pattern::Random => total_bytes / 8.0 * 64.0 / 8.0,
+    };
+    moved / secs
+}
+
+/// Bytes per thread used by the Fig. 8 harness at a given buffer
+/// budget; keeps the scan well beyond typical LLC sizes.
+pub fn default_buffer_bytes() -> usize {
+    64 << 20
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_read_beats_random_read() {
+        // The central premise of the paper (Fig. 11): sequential
+        // bandwidth exceeds random bandwidth on every medium. Use a
+        // small buffer so the test is quick, but large enough (16 MB)
+        // to spill the cache.
+        let seq = measure(1, 16 << 20, 2, Pattern::Sequential, Dir::Read);
+        let rnd = measure(1, 16 << 20, 2, Pattern::Random, Dir::Read);
+        assert!(
+            seq > rnd,
+            "sequential {seq:.0} B/s should beat random {rnd:.0} B/s"
+        );
+    }
+
+    #[test]
+    fn bandwidth_is_positive() {
+        for p in [Pattern::Sequential, Pattern::Random] {
+            for d in [Dir::Read, Dir::Write] {
+                assert!(measure(1, 1 << 20, 1, p, d) > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Plain-text table formatting for harness reports.
+//!
+//! Every harness prints its figure as an aligned text table so the
+//! output can be diffed against EXPERIMENTS.md and eyeballed against
+//! the paper's figures.
+
+use std::fmt::Write as _;
+
+/// An aligned text table with a title and a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title line.
+    pub fn new(title: &str) -> Self {
+        Self {
+            title: title.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn header<S: ToString>(mut self, cols: &[S]) -> Self {
+        self.header = cols.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    /// Appends one row; the cell count should match the header.
+    pub fn row<S: ToString>(&mut self, cells: &[S]) {
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows so far.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with every column padded to its widest cell.
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "# {}", self.title);
+        }
+        let fmt_row = |row: &[String], out: &mut String| {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{cell:>width$}", width = widths[i]);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        };
+        if !self.header.is_empty() {
+            fmt_row(&self.header, &mut out);
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            let _ = writeln!(out, "{}", "-".repeat(total));
+        }
+        for row in &self.rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo").header(&["name", "value"]);
+        t.row(&["a", "1"]);
+        t.row(&["long-name", "12345"]);
+        let s = t.render();
+        assert!(s.starts_with("# demo\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Title, header, rule, two rows.
+        assert_eq!(lines.len(), 5);
+        // Both data rows are equally wide (right-aligned).
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn handles_empty_table() {
+        let t = Table::new("empty").header(&["a"]);
+        assert!(t.render().contains("empty"));
+        assert_eq!(t.num_rows(), 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Minimal argument parser: positionals plus `--flag value` /
+//! `--switch` options, with byte-size suffix parsing (`64K`, `16M`,
+//! `2G`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// CLI failure: either a usage problem (caller prints help) or an
+/// execution error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation; the message explains the correct form.
+    Usage(String),
+    /// The command ran and failed.
+    Run(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Run(m) => write!(f, "error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<xstream_core::Error> for CliError {
+    fn from(e: xstream_core::Error) -> Self {
+        CliError::Run(e.to_string())
+    }
+}
+
+/// Parsed arguments: positional operands in order plus named options.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Option names that take no value.
+const SWITCHES: &[&str] = &["undirected", "weighted", "verbose"];
+
+impl Args {
+    /// Parses `argv` (already split, command name removed).
+    pub fn parse(argv: &[String]) -> Result<Self, CliError> {
+        let mut args = Args::default();
+        let mut it = argv.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if SWITCHES.contains(&name) {
+                    args.switches.push(name.to_string());
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| CliError::Usage(format!("option --{name} needs a value")))?;
+                    args.options.insert(name.to_string(), value.clone());
+                }
+            } else if let Some(short) = a.strip_prefix('-').filter(|s| s.len() == 1) {
+                // Single-letter aliases: -o FILE.
+                let long = match short {
+                    "o" => "output",
+                    other => return Err(CliError::Usage(format!("unknown option -{other}"))),
+                };
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("option -{short} needs a value")))?;
+                args.options.insert(long.to_string(), value.clone());
+            } else {
+                args.positional.push(a.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional operand `i`.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// Required positional operand `i`, described as `what` in errors.
+    pub fn require_positional(&self, i: usize, what: &str) -> Result<&str, CliError> {
+        self.positional(i)
+            .ok_or_else(|| CliError::Usage(format!("missing {what}")))
+    }
+
+    /// Named option as a raw string.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Whether `--name` was passed as a switch.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Named option parsed as an integer.
+    pub fn get_usize(&self, name: &str) -> Result<Option<usize>, CliError> {
+        self.get(name)
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| CliError::Usage(format!("--{name} expects an integer, got `{v}`")))
+            })
+            .transpose()
+    }
+
+    /// Named option parsed as a byte size (suffixes K/M/G, powers of
+    /// two, case-insensitive).
+    pub fn get_bytes(&self, name: &str) -> Result<Option<usize>, CliError> {
+        self.get(name)
+            .map(|v| {
+                parse_bytes(v).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "--{name} expects a size like 64K/16M/2G, got `{v}`"
+                    ))
+                })
+            })
+            .transpose()
+    }
+}
+
+/// Parses `16M`-style byte sizes (K/M/G suffixes, powers of two).
+pub fn parse_bytes(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, mult) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1usize << 10),
+        'm' | 'M' => (&s[..s.len() - 1], 1usize << 20),
+        'g' | 'G' => (&s[..s.len() - 1], 1usize << 30),
+        _ => (s, 1usize),
+    };
+    let v: f64 = digits.parse().ok()?;
+    if v < 0.0 {
+        return None;
+    }
+    Some((v * mult as f64) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positionals_options_and_switches() {
+        let a = Args::parse(&sv(&[
+            "rmat",
+            "--scale",
+            "20",
+            "-o",
+            "out.edges",
+            "--undirected",
+        ]))
+        .unwrap();
+        assert_eq!(a.positional(0), Some("rmat"));
+        assert_eq!(a.get("scale"), Some("20"));
+        assert_eq!(a.get("output"), Some("out.edges"));
+        assert!(a.switch("undirected"));
+        assert!(!a.switch("weighted"));
+    }
+
+    #[test]
+    fn missing_value_is_a_usage_error() {
+        let err = Args::parse(&sv(&["--scale"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn byte_suffixes() {
+        assert_eq!(parse_bytes("4096"), Some(4096));
+        assert_eq!(parse_bytes("64K"), Some(64 << 10));
+        assert_eq!(parse_bytes("16M"), Some(16 << 20));
+        assert_eq!(parse_bytes("2g"), Some(2 << 30));
+        assert_eq!(parse_bytes("1.5M"), Some(3 << 19));
+        assert_eq!(parse_bytes("nope"), None);
+        assert_eq!(parse_bytes("-1M"), None);
+    }
+
+    #[test]
+    fn typed_getters_validate() {
+        let a = Args::parse(&sv(&["--threads", "abc"])).unwrap();
+        assert!(a.get_usize("threads").is_err());
+        let a = Args::parse(&sv(&["--memory-budget", "64M"])).unwrap();
+        assert_eq!(a.get_bytes("memory-budget").unwrap(), Some(64 << 20));
+    }
+}

@@ -1,0 +1,724 @@
+//! The `xstream` subcommands.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::args::{Args, CliError};
+use xstream_algorithms::{bfs, conductance, mcst, mis, pagerank, scc, spmv, sssp, wcc};
+use xstream_core::{EngineConfig, RunStats};
+use xstream_disk::DiskEngine;
+use xstream_graph::fileio::{read_edge_file, write_edge_file};
+use xstream_graph::{generators, EdgeList, Rmat};
+use xstream_memory::InMemoryEngine;
+use xstream_storage::StreamStore;
+use xstream_streams::{semi, wstream};
+
+/// Top-level usage text.
+pub fn usage() -> String {
+    "xstream - edge-centric graph processing (X-Stream, SOSP'13)
+
+USAGE:
+  xstream generate <kind> [--scale N | --vertices N --edges N]
+                   [--degree N] [--seed N] [--undirected] [--weighted] -o FILE
+      kinds: rmat, erdos-renyi, pref-attach, grid, web, bipartite
+
+  xstream info <FILE>
+      print header and degree statistics of a binary edge file
+
+  xstream run <algo> <FILE> [--engine mem|disk] [--threads N]
+              [--partitions K] [--memory-budget SIZE] [--io-unit SIZE]
+              [--iterations N] [--root V] [--store DIR]
+      algos: wcc, bfs, sssp, pagerank, spmv, mis, scc, mcst, conductance
+
+  xstream components <FILE> --model semi|wstream [--capacity N]
+      connected components in the semi-streaming / W-Stream models
+
+  xstream help
+"
+    .to_string()
+}
+
+// ---------------------------------------------------------------- generate
+
+/// `xstream generate <kind> ... -o FILE`.
+pub fn generate(args: &Args) -> Result<String, CliError> {
+    let kind = args.require_positional(0, "generator kind (e.g. rmat)")?;
+    let out = args
+        .get("output")
+        .ok_or_else(|| CliError::Usage("missing -o OUTPUT".into()))?;
+    let seed = args.get_usize("seed")?.unwrap_or(42) as u64;
+    let mut graph = match kind {
+        "rmat" => {
+            let scale = args
+                .get_usize("scale")?
+                .ok_or_else(|| CliError::Usage("rmat needs --scale".into()))?
+                as u32;
+            let mut r = Rmat::new(scale).with_seed(seed);
+            if let Some(d) = args.get_usize("degree")? {
+                r = r.with_edge_factor(d);
+            }
+            r.generate()
+        }
+        "erdos-renyi" => {
+            let v = args
+                .get_usize("vertices")?
+                .ok_or_else(|| CliError::Usage("erdos-renyi needs --vertices".into()))?;
+            let e = args
+                .get_usize("edges")?
+                .unwrap_or(v.saturating_mul(args.get_usize("degree")?.unwrap_or(8)));
+            generators::erdos_renyi(v, e, seed)
+        }
+        "pref-attach" => {
+            let v = args
+                .get_usize("vertices")?
+                .ok_or_else(|| CliError::Usage("pref-attach needs --vertices".into()))?;
+            generators::preferential_attachment(v, args.get_usize("degree")?.unwrap_or(8), seed)
+        }
+        "grid" => {
+            let v = args
+                .get_usize("vertices")?
+                .ok_or_else(|| CliError::Usage("grid needs --vertices".into()))?;
+            let side = (v as f64).sqrt().ceil() as usize;
+            generators::grid2d(side.max(2), side.max(2))
+        }
+        "web" => {
+            let v = args
+                .get_usize("vertices")?
+                .ok_or_else(|| CliError::Usage("web needs --vertices".into()))?;
+            generators::webgraph(v, args.get_usize("degree")?.unwrap_or(16), 64, seed)
+        }
+        "bipartite" => {
+            let v = args
+                .get_usize("vertices")?
+                .ok_or_else(|| CliError::Usage("bipartite needs --vertices".into()))?;
+            let users = (v * 24) / 25;
+            let e = args.get_usize("edges")?.unwrap_or(v * 16);
+            generators::bipartite(users.max(2), (v - users).max(1), e, seed)
+        }
+        other => return Err(CliError::Usage(format!("unknown generator `{other}`"))),
+    };
+    if args.switch("undirected") {
+        graph = graph.to_undirected();
+    }
+    if args.switch("weighted") {
+        use rand_seed::SimpleRng;
+        let mut rng = SimpleRng::new(seed ^ 0x5eed);
+        for e in graph.edges_mut() {
+            e.weight = rng.next_unit_f32();
+        }
+    }
+    write_edge_file(Path::new(out), &graph)?;
+    Ok(format!(
+        "wrote {} vertices, {} edges to {out}\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    ))
+}
+
+/// Tiny xorshift RNG so `--weighted` needs no external dependency in
+/// this crate.
+mod rand_seed {
+    /// Xorshift64* generator.
+    pub struct SimpleRng(u64);
+
+    impl SimpleRng {
+        /// Seeds the generator (zero is remapped).
+        pub fn new(seed: u64) -> Self {
+            Self(seed.max(1))
+        }
+
+        /// Next float in `[0, 1)`.
+        pub fn next_unit_f32(&mut self) -> f32 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            (self.0 >> 40) as f32 / (1u64 << 24) as f32
+        }
+    }
+}
+
+// -------------------------------------------------------------------- info
+
+/// `xstream info FILE`.
+pub fn info(args: &Args) -> Result<String, CliError> {
+    let path = args.require_positional(0, "edge file")?;
+    let g = read_edge_file(Path::new(path))?;
+    let out_deg = g.out_degrees();
+    let max_out = out_deg.iter().copied().max().unwrap_or(0);
+    let isolated = {
+        let in_deg = g.in_degrees();
+        (0..g.num_vertices())
+            .filter(|&v| out_deg[v] == 0 && in_deg[v] == 0)
+            .count()
+    };
+    let self_loops = g.edges().iter().filter(|e| e.src == e.dst).count();
+    let mut s = String::new();
+    let _ = writeln!(s, "file:        {path}");
+    let _ = writeln!(s, "vertices:    {}", g.num_vertices());
+    let _ = writeln!(s, "edges:       {}", g.num_edges());
+    let _ = writeln!(
+        s,
+        "avg degree:  {:.2}",
+        g.num_edges() as f64 / g.num_vertices().max(1) as f64
+    );
+    let _ = writeln!(s, "max out-deg: {max_out}");
+    let _ = writeln!(s, "isolated:    {isolated}");
+    let _ = writeln!(s, "self loops:  {self_loops}");
+    Ok(s)
+}
+
+// --------------------------------------------------------------------- run
+
+fn engine_config(args: &Args) -> Result<EngineConfig, CliError> {
+    let mut cfg = EngineConfig::default();
+    if let Some(t) = args.get_usize("threads")? {
+        cfg = cfg.with_threads(t);
+    }
+    if let Some(k) = args.get_usize("partitions")? {
+        cfg = cfg.with_partitions(k);
+    }
+    if let Some(b) = args.get_bytes("memory-budget")? {
+        cfg = cfg.with_memory_budget(b);
+    }
+    if let Some(u) = args.get_bytes("io-unit")? {
+        cfg = cfg.with_io_unit(u);
+    }
+    Ok(cfg)
+}
+
+fn summarize(algo: &str, extra: &str, stats: &RunStats) -> String {
+    let t = stats.totals();
+    format!(
+        "{algo}: {extra}\niterations: {}, runtime: {:.3}s, edges streamed: {}, \
+         updates: {} (wasted {:.0}%)\n",
+        stats.num_iterations(),
+        stats.elapsed().as_secs_f64(),
+        t.edges_streamed,
+        t.updates_generated,
+        stats.wasted_pct(),
+    )
+}
+
+/// `xstream run <algo> <FILE> ...`.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let algo = args.require_positional(0, "algorithm")?.to_string();
+    let path = args.require_positional(1, "edge file")?.to_string();
+    let engine_kind = args.get("engine").unwrap_or("mem");
+    let cfg = engine_config(args)?;
+    let graph = read_edge_file(Path::new(&path))?;
+    let root = args.get_usize("root")?.unwrap_or(0) as u32;
+    let iterations = args.get_usize("iterations")?.unwrap_or(5);
+
+    match engine_kind {
+        "mem" => run_in_memory(&algo, &graph, cfg, root, iterations),
+        "disk" => {
+            let dir: PathBuf = args
+                .get("store")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| std::env::temp_dir().join("xstream_cli_store"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = StreamStore::new(&dir, cfg.io_unit)?;
+            run_on_disk(&algo, &graph, store, cfg, root, iterations)
+        }
+        other => Err(CliError::Usage(format!(
+            "--engine must be mem or disk, got `{other}`"
+        ))),
+    }
+}
+
+fn run_in_memory(
+    algo: &str,
+    graph: &EdgeList,
+    cfg: EngineConfig,
+    root: u32,
+    iterations: usize,
+) -> Result<String, CliError> {
+    match algo {
+        "wcc" => {
+            let und = graph.to_undirected();
+            let p = wcc::Wcc::new();
+            let mut e = InMemoryEngine::from_graph(&und, &p, cfg);
+            let (labels, stats) = wcc::run(&mut e, &p);
+            Ok(summarize(
+                algo,
+                &format!("{} components", wcc::count_components(&labels)),
+                &stats,
+            ))
+        }
+        "bfs" => {
+            let p = bfs::Bfs::new();
+            let mut e = InMemoryEngine::from_graph(graph, &p, cfg);
+            let (levels, stats) = bfs::run(&mut e, &p, root);
+            let reached = levels.iter().filter(|&&l| l != bfs::UNREACHED).count();
+            Ok(summarize(
+                algo,
+                &format!("{reached} vertices reached"),
+                &stats,
+            ))
+        }
+        "sssp" => {
+            let p = sssp::Sssp::new();
+            let mut e = InMemoryEngine::from_graph(graph, &p, cfg);
+            let (dist, stats) = sssp::run(&mut e, &p, root);
+            let reached = dist.iter().filter(|d| d.is_finite()).count();
+            Ok(summarize(
+                algo,
+                &format!("{reached} vertices reachable"),
+                &stats,
+            ))
+        }
+        "pagerank" => {
+            let p = pagerank::Pagerank;
+            let degrees = graph.out_degrees();
+            let mut e = InMemoryEngine::from_graph(graph, &p, cfg);
+            let (ranks, stats) = pagerank::run(&mut e, &p, &degrees, iterations);
+            let top = ranks
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(v, r)| format!("top vertex {v} (rank {r:.6})"))
+                .unwrap_or_default();
+            Ok(summarize(algo, &top, &stats))
+        }
+        "spmv" => {
+            let p = spmv::Spmv;
+            let mut e = InMemoryEngine::from_graph(graph, &p, cfg);
+            let x = vec![1.0f32; graph.num_vertices()];
+            let (y, it) = spmv::run(&mut e, &p, &x);
+            let stats = RunStats {
+                iterations: vec![it],
+                total_ns: 0,
+            };
+            let norm: f64 = y.iter().map(|v| f64::from(*v) * f64::from(*v)).sum();
+            Ok(summarize(algo, &format!("|y|^2 = {norm:.3}"), &stats))
+        }
+        "mis" => {
+            let und = graph.to_undirected();
+            let p = mis::Mis::new();
+            let mut e = InMemoryEngine::from_graph(&und, &p, cfg);
+            let (statuses, stats) = mis::run(&mut e, &p);
+            let members = statuses
+                .iter()
+                .filter(|&&s| s == mis::status::IN_SET)
+                .count();
+            Ok(summarize(algo, &format!("{members} members"), &stats))
+        }
+        "scc" => {
+            let bidir = graph.to_bidirectional();
+            let p = scc::Scc::new();
+            let mut e = InMemoryEngine::from_graph(&bidir, &p, cfg);
+            let (ids, stats) = scc::run(&mut e, &p);
+            let mut distinct = ids.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            Ok(summarize(
+                algo,
+                &format!("{} strongly connected components", distinct.len()),
+                &stats,
+            ))
+        }
+        "mcst" => {
+            let und = graph.to_undirected();
+            let p = mcst::Mcst;
+            let mut e = InMemoryEngine::from_graph(&und, &p, cfg);
+            let (result, stats) = mcst::run(&mut e, &p);
+            Ok(summarize(
+                algo,
+                &format!(
+                    "forest weight {:.3} over {} trees",
+                    result.total_weight, result.components
+                ),
+                &stats,
+            ))
+        }
+        "conductance" => {
+            let p = conductance::Conductance;
+            let mut e = InMemoryEngine::from_graph(graph, &p, cfg);
+            let (r, it) = conductance::run(&mut e, &p, &|v| v & 1);
+            let stats = RunStats {
+                iterations: vec![it],
+                total_ns: 0,
+            };
+            Ok(summarize(
+                algo,
+                &format!("cut {} / volumes {} : {}", r.cut, r.vol0, r.vol1),
+                &stats,
+            ))
+        }
+        other => Err(CliError::Usage(format!("unknown algorithm `{other}`"))),
+    }
+}
+
+fn run_on_disk(
+    algo: &str,
+    graph: &EdgeList,
+    store: StreamStore,
+    cfg: EngineConfig,
+    root: u32,
+    iterations: usize,
+) -> Result<String, CliError> {
+    match algo {
+        "wcc" => {
+            let und = graph.to_undirected();
+            let p = wcc::Wcc::new();
+            let mut e = DiskEngine::from_graph(store, &und, &p, cfg)?;
+            let (labels, stats) = wcc::run(&mut e, &p);
+            let io = e.store().accounting().snapshot();
+            Ok(format!(
+                "{}io: {:.1} MB read, {:.1} MB written\n",
+                summarize(
+                    algo,
+                    &format!("{} components", wcc::count_components(&labels)),
+                    &stats
+                ),
+                io.bytes_read() as f64 / 1e6,
+                io.bytes_written() as f64 / 1e6,
+            ))
+        }
+        "bfs" => {
+            let p = bfs::Bfs::new();
+            let mut e = DiskEngine::from_graph(store, graph, &p, cfg)?;
+            let (levels, stats) = bfs::run(&mut e, &p, root);
+            let reached = levels.iter().filter(|&&l| l != bfs::UNREACHED).count();
+            Ok(summarize(
+                algo,
+                &format!("{reached} vertices reached"),
+                &stats,
+            ))
+        }
+        "pagerank" => {
+            let p = pagerank::Pagerank;
+            let degrees = graph.out_degrees();
+            let mut e = DiskEngine::from_graph(store, graph, &p, cfg)?;
+            let (ranks, stats) = pagerank::run(&mut e, &p, &degrees, iterations);
+            let top = ranks
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(v, r)| format!("top vertex {v} (rank {r:.6})"))
+                .unwrap_or_default();
+            Ok(summarize(algo, &top, &stats))
+        }
+        "sssp" => {
+            let p = sssp::Sssp::new();
+            let mut e = DiskEngine::from_graph(store, graph, &p, cfg)?;
+            let (dist, stats) = sssp::run(&mut e, &p, root);
+            let reached = dist.iter().filter(|d| d.is_finite()).count();
+            Ok(summarize(
+                algo,
+                &format!("{reached} vertices reachable"),
+                &stats,
+            ))
+        }
+        "mis" => {
+            let und = graph.to_undirected();
+            let p = mis::Mis::new();
+            let mut e = DiskEngine::from_graph(store, &und, &p, cfg)?;
+            let (statuses, stats) = mis::run(&mut e, &p);
+            let members = statuses
+                .iter()
+                .filter(|&&s| s == mis::status::IN_SET)
+                .count();
+            Ok(summarize(algo, &format!("{members} members"), &stats))
+        }
+        "scc" => {
+            let bidir = graph.to_bidirectional();
+            let p = scc::Scc::new();
+            let mut e = DiskEngine::from_graph(store, &bidir, &p, cfg)?;
+            let (ids, stats) = scc::run(&mut e, &p);
+            let mut distinct = ids.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            Ok(summarize(
+                algo,
+                &format!("{} strongly connected components", distinct.len()),
+                &stats,
+            ))
+        }
+        "mcst" => {
+            let und = graph.to_undirected();
+            let p = mcst::Mcst;
+            let mut e = DiskEngine::from_graph(store, &und, &p, cfg)?;
+            let (result, stats) = mcst::run(&mut e, &p);
+            Ok(summarize(
+                algo,
+                &format!(
+                    "forest weight {:.3} over {} trees",
+                    result.total_weight, result.components
+                ),
+                &stats,
+            ))
+        }
+        "spmv" => {
+            let p = spmv::Spmv;
+            let mut e = DiskEngine::from_graph(store, graph, &p, cfg)?;
+            let x = vec![1.0f32; graph.num_vertices()];
+            let (y, it) = spmv::run(&mut e, &p, &x);
+            let stats = RunStats {
+                iterations: vec![it],
+                total_ns: 0,
+            };
+            let norm: f64 = y.iter().map(|v| f64::from(*v) * f64::from(*v)).sum();
+            Ok(summarize(algo, &format!("|y|^2 = {norm:.3}"), &stats))
+        }
+        "conductance" => {
+            let p = conductance::Conductance;
+            let mut e = DiskEngine::from_graph(store, graph, &p, cfg)?;
+            let (r, it) = conductance::run(&mut e, &p, &|v| v & 1);
+            let stats = RunStats {
+                iterations: vec![it],
+                total_ns: 0,
+            };
+            Ok(summarize(
+                algo,
+                &format!("cut {} / volumes {} : {}", r.cut, r.vol0, r.vol1),
+                &stats,
+            ))
+        }
+        other => Err(CliError::Usage(format!("unknown algorithm `{other}`"))),
+    }
+}
+
+// -------------------------------------------------------------- components
+
+/// `xstream components <FILE> --model semi|wstream [--capacity N]`.
+pub fn components(args: &Args) -> Result<String, CliError> {
+    let path = args.require_positional(0, "edge file")?;
+    let graph = read_edge_file(Path::new(path))?.to_undirected();
+    let model = args.get("model").unwrap_or("semi");
+    match model {
+        "semi" => {
+            let labels = semi::connected_components(&graph)?;
+            let mut distinct = labels.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            Ok(format!(
+                "semi-streaming CC: {} components in 1 pass\n",
+                distinct.len()
+            ))
+        }
+        "wstream" => {
+            let capacity = args.get_usize("capacity")?.unwrap_or(1 << 16);
+            let r = wstream::connected_components(&graph, capacity, wstream::Backing::Memory)?;
+            let mut distinct = r.labels.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            Ok(format!(
+                "w-stream CC: {} components in {} passes ({} edges forwarded, capacity {capacity})\n",
+                distinct.len(),
+                r.passes,
+                r.forwarded_edges
+            ))
+        }
+        other => Err(CliError::Usage(format!(
+            "--model must be semi or wstream, got `{other}`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch;
+
+    fn sv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("xstream_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn generate_info_run_pipeline() {
+        let path = tmpfile("pipe.edges");
+        let out = dispatch(&sv(&[
+            "generate",
+            "rmat",
+            "--scale",
+            "8",
+            "--undirected",
+            "-o",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote 256 vertices"));
+
+        let out = dispatch(&sv(&["info", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("vertices:    256"));
+
+        let out = dispatch(&sv(&["run", "wcc", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("components"), "{out}");
+
+        let out = dispatch(&sv(&[
+            "run",
+            "pagerank",
+            path.to_str().unwrap(),
+            "--iterations",
+            "3",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("top vertex"), "{out}");
+    }
+
+    #[test]
+    fn disk_engine_run_reports_io() {
+        let path = tmpfile("disk.edges");
+        dispatch(&sv(&[
+            "generate",
+            "erdos-renyi",
+            "--vertices",
+            "500",
+            "--edges",
+            "3000",
+            "--undirected",
+            "-o",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let store = std::env::temp_dir().join("xstream_cli_tests_store");
+        let out = dispatch(&sv(&[
+            "run",
+            "wcc",
+            path.to_str().unwrap(),
+            "--engine",
+            "disk",
+            "--memory-budget",
+            "1M",
+            "--io-unit",
+            "16K",
+            "--store",
+            store.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("MB read"), "{out}");
+        let _ = std::fs::remove_dir_all(&store);
+    }
+
+    #[test]
+    fn every_algorithm_runs_on_both_engines() {
+        let path = tmpfile("allalgos.edges");
+        dispatch(&sv(&[
+            "generate",
+            "erdos-renyi",
+            "--vertices",
+            "300",
+            "--edges",
+            "2000",
+            "--weighted",
+            "-o",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        for algo in [
+            "wcc",
+            "bfs",
+            "sssp",
+            "pagerank",
+            "spmv",
+            "mis",
+            "scc",
+            "mcst",
+            "conductance",
+        ] {
+            for engine in ["mem", "disk"] {
+                let store =
+                    std::env::temp_dir().join(format!("xstream_cli_allalgos_{algo}_{engine}"));
+                let out = dispatch(&sv(&[
+                    "run",
+                    algo,
+                    path.to_str().unwrap(),
+                    "--engine",
+                    engine,
+                    "--memory-budget",
+                    "1M",
+                    "--io-unit",
+                    "16K",
+                    "--store",
+                    store.to_str().unwrap(),
+                ]))
+                .unwrap_or_else(|e| panic!("{algo} on {engine}: {e}"));
+                assert!(out.contains("iterations"), "{algo}/{engine}: {out}");
+                let _ = std::fs::remove_dir_all(&store);
+            }
+        }
+    }
+
+    #[test]
+    fn components_models_agree() {
+        let path = tmpfile("cc.edges");
+        dispatch(&sv(&[
+            "generate",
+            "pref-attach",
+            "--vertices",
+            "400",
+            "--degree",
+            "4",
+            "-o",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let semi_out = dispatch(&sv(&[
+            "components",
+            path.to_str().unwrap(),
+            "--model",
+            "semi",
+        ]))
+        .unwrap();
+        let w_out = dispatch(&sv(&[
+            "components",
+            path.to_str().unwrap(),
+            "--model",
+            "wstream",
+            "--capacity",
+            "16",
+        ]))
+        .unwrap();
+        // Both report the same component count.
+        let count = |s: &str| {
+            s.split("CC: ")
+                .nth(1)
+                .and_then(|t| t.split(' ').next())
+                .map(str::to_string)
+        };
+        assert_eq!(count(&semi_out), count(&w_out), "{semi_out} vs {w_out}");
+    }
+
+    #[test]
+    fn bad_invocations_produce_usage_errors() {
+        assert!(matches!(dispatch(&sv(&["run"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            dispatch(&sv(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            dispatch(&sv(&["generate", "rmat"])),
+            Err(CliError::Usage(_))
+        ));
+        let help = dispatch(&sv(&["help"])).unwrap();
+        assert!(help.contains("USAGE"));
+    }
+
+    #[test]
+    fn weighted_switch_assigns_weights() {
+        let path = tmpfile("weights.edges");
+        dispatch(&sv(&[
+            "generate",
+            "grid",
+            "--vertices",
+            "100",
+            "--weighted",
+            "-o",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let g = read_edge_file(&path).unwrap();
+        assert!(g.edges().iter().any(|e| e.weight > 0.0));
+        let out = dispatch(&sv(&["run", "mcst", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("forest weight"), "{out}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Implementation of the `xstream` command-line tool.
+//!
+//! The binary wires X-Stream's pieces into a shell workflow:
+//!
+//! ```text
+//! xstream generate rmat --scale 20 -o twitter.edges
+//! xstream info twitter.edges
+//! xstream run wcc twitter.edges --engine disk --memory-budget 256M
+//! xstream components twitter.edges --model wstream --capacity 4096
+//! ```
+//!
+//! Argument parsing is hand-rolled (the project's dependency policy
+//! admits no CLI crates) but lives in [`args`] behind a testable API.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_bytes, Args, CliError};
+
+/// Entry point shared by the binary and the tests: dispatches a full
+/// argument vector (excluding `argv[0]`) and returns the rendered
+/// output or an error message.
+pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = argv.split_first() else {
+        return Err(CliError::Usage(commands::usage()));
+    };
+    match command.as_str() {
+        "generate" => commands::generate(&Args::parse(rest)?),
+        "info" => commands::info(&Args::parse(rest)?),
+        "run" => commands::run(&Args::parse(rest)?),
+        "components" => commands::components(&Args::parse(rest)?),
+        "help" | "--help" | "-h" => Ok(commands::usage()),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n\n{}",
+            commands::usage()
+        ))),
+    }
+}

@@ -1,0 +1,12 @@
+//! The `xstream` binary: see [`xstream_cli::dispatch`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match xstream_cli::dispatch(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Engine configuration.
+//!
+//! X-Stream picks the number of streaming partitions automatically from
+//! the size of *fast storage* (CPU cache for the in-memory engine, main
+//! memory for the out-of-core engine) and the per-vertex footprint
+//! (paper §2.4, §3.4, §4). Every knob here has a paper-faithful default
+//! and can be overridden for the ablation experiments (Figs. 24/25).
+
+/// Configuration shared by the in-memory and out-of-core engines.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads for parallel scatter/gather/shuffle.
+    pub threads: usize,
+    /// Fast-storage capacity per core for the in-memory engine: the CPU
+    /// cache available to one worker (paper uses a 2 MB shared L2 per
+    /// core pair on their Opteron testbed).
+    pub cache_size: usize,
+    /// Cache line size; bounds the multi-stage shuffler fanout (§4.2).
+    pub cache_line: usize,
+    /// Fast-storage capacity for the out-of-core engine: main memory
+    /// available for vertex state and stream buffers.
+    pub memory_budget: usize,
+    /// Preferred I/O unit `S` in bytes; the paper measures 16 MB as the
+    /// size at which its RAID-0 pairs saturate (§3.4, Fig. 9).
+    pub io_unit: usize,
+    /// Force an exact number of streaming partitions instead of the
+    /// automatic choice (Fig. 24 sweeps this).
+    pub num_partitions: Option<usize>,
+    /// Force the multi-stage shuffler fanout (power of two). `None`
+    /// derives it from `cache_size / cache_line` (Fig. 25 sweeps this).
+    pub shuffle_fanout: Option<usize>,
+    /// Enable work stealing of streaming partitions between threads
+    /// (§4.1); disabling it is an ablation.
+    pub work_stealing: bool,
+    /// §3.2 optimization 1: keep the whole vertex array in memory when
+    /// it fits, avoiding the per-partition vertex file write-back.
+    pub keep_vertices_in_memory: bool,
+    /// §3.2 optimization 2: when all updates of a scatter phase fit in
+    /// one stream buffer, gather directly from memory instead of
+    /// writing update files.
+    pub in_memory_updates: bool,
+    /// Size of the per-thread private scatter buffer flushed into the
+    /// shared output chunk array (§4.1; the paper uses 8 KB).
+    pub scatter_buffer: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            cache_size: 2 << 20,
+            cache_line: 64,
+            memory_budget: 1 << 30,
+            io_unit: 16 << 20,
+            num_partitions: None,
+            shuffle_fanout: None,
+            work_stealing: true,
+            keep_vertices_in_memory: true,
+            in_memory_updates: true,
+            scatter_buffer: 8 << 10,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration with a single worker thread.
+    pub fn single_threaded() -> Self {
+        Self {
+            threads: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the number of worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Forces the number of streaming partitions.
+    pub fn with_partitions(mut self, k: usize) -> Self {
+        self.num_partitions = Some(k.max(1));
+        self
+    }
+
+    /// Sets the fast-storage (cache) size used for automatic partition
+    /// sizing in the in-memory engine.
+    pub fn with_cache_size(mut self, bytes: usize) -> Self {
+        self.cache_size = bytes.max(1);
+        self
+    }
+
+    /// Sets the main-memory budget used by the out-of-core engine.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes.max(1);
+        self
+    }
+
+    /// Sets the preferred I/O unit.
+    pub fn with_io_unit(mut self, bytes: usize) -> Self {
+        self.io_unit = bytes.max(4096);
+        self
+    }
+
+    /// Forces the multi-stage shuffler fanout.
+    pub fn with_shuffle_fanout(mut self, fanout: usize) -> Self {
+        self.shuffle_fanout = Some(fanout.next_power_of_two().max(2));
+        self
+    }
+
+    /// Enables or disables work stealing.
+    pub fn with_work_stealing(mut self, enabled: bool) -> Self {
+        self.work_stealing = enabled;
+        self
+    }
+
+    /// Computes the automatic in-memory partition count for a graph
+    /// whose per-vertex streaming footprint is `vertex_footprint` bytes
+    /// (paper §4: vertex data size + edge size + update size), rounded
+    /// up to a power of two.
+    pub fn in_memory_partitions(&self, num_vertices: usize, vertex_footprint: usize) -> usize {
+        if let Some(k) = self.num_partitions {
+            return k;
+        }
+        let total = num_vertices.saturating_mul(vertex_footprint).max(1);
+        // One partition's footprint must fit the cache of the core
+        // processing it.
+        let k = total.div_ceil(self.cache_size);
+        k.next_power_of_two().clamp(1, num_vertices.max(1))
+    }
+
+    /// Computes the automatic out-of-core partition count: the smallest
+    /// `K` satisfying `N/K + 5*S*K <= M` (paper §3.4) where `N` is the
+    /// total vertex-state size, `S` the I/O unit and `M` the memory
+    /// budget.
+    ///
+    /// Returns `None` when no `K` satisfies the inequality (the memory
+    /// budget is below the `2*sqrt(5*N*S)` minimum).
+    pub fn out_of_core_partitions(&self, vertex_state_bytes: usize) -> Option<usize> {
+        if let Some(k) = self.num_partitions {
+            return Some(k);
+        }
+        let n = vertex_state_bytes as f64;
+        let s = self.io_unit as f64;
+        let m = self.memory_budget as f64;
+        // Minimum of N/K + 5SK at K = sqrt(N / (5S)); feasible iff the
+        // minimum value 2*sqrt(5NS) <= M.
+        if 2.0 * (5.0 * n * s).sqrt() > m {
+            return None;
+        }
+        let mut k = (n / (5.0 * s)).sqrt().ceil().max(1.0) as usize;
+        // Round to the smallest feasible K >= 1 (prefer few partitions
+        // to maximize sequential run length, §2.4).
+        while k > 1 {
+            let cand = k - 1;
+            let need = n / cand as f64 + 5.0 * s * cand as f64;
+            if need <= m {
+                k = cand;
+            } else {
+                break;
+            }
+        }
+        Some(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizing_example() {
+        // §3.4 (decimal units, as the paper): N = 1 TB of vertex data,
+        // S = 16 MB => the minimum memory 2*sqrt(5NS) is ~17.9 GB and
+        // under 120 streaming partitions suffice.
+        let n: usize = 1_000_000_000_000;
+        let s: usize = 16_000_000;
+        let m: usize = 18_000_000_000;
+        let cfg = EngineConfig::default()
+            .with_memory_budget(m)
+            .with_io_unit(s);
+        let k = cfg.out_of_core_partitions(n).expect("feasible");
+        assert!(k <= 120, "paper predicts under 120 partitions, got {k}");
+        // The chosen K satisfies the inequality.
+        let need = n as f64 / k as f64 + 5.0 * s as f64 * k as f64;
+        assert!(need <= m as f64);
+        // A 17 GB budget is just below the theoretical minimum.
+        let tight = EngineConfig::default()
+            .with_memory_budget(17_000_000_000)
+            .with_io_unit(s);
+        assert_eq!(tight.out_of_core_partitions(n), None);
+    }
+
+    #[test]
+    fn infeasible_budget_detected() {
+        let cfg = EngineConfig::default()
+            .with_memory_budget(1 << 20)
+            .with_io_unit(16 << 20);
+        assert_eq!(cfg.out_of_core_partitions(1 << 40), None);
+    }
+
+    #[test]
+    fn in_memory_partitions_grow_with_footprint() {
+        let cfg = EngineConfig::default().with_cache_size(1 << 20);
+        let small = cfg.in_memory_partitions(1 << 20, 8);
+        let large = cfg.in_memory_partitions(1 << 20, 64);
+        assert!(large >= small);
+        assert!(small.is_power_of_two());
+    }
+
+    #[test]
+    fn forced_partitions_win() {
+        let cfg = EngineConfig::default().with_partitions(37);
+        assert_eq!(cfg.in_memory_partitions(1000, 8), 37);
+        assert_eq!(cfg.out_of_core_partitions(1 << 30), Some(37));
+    }
+}

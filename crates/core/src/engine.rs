@@ -1,0 +1,100 @@
+//! The engine abstraction shared by the in-memory and out-of-core
+//! streaming engines.
+//!
+//! Algorithms are written once against [`Engine`] and run unchanged on
+//! either engine; the only difference is where the streams live (paper
+//! §2.1: *fast storage* is the CPU cache in-memory and RAM out-of-core,
+//! *slow storage* is RAM in-memory and SSD/disk out-of-core).
+
+use crate::program::EdgeProgram;
+use crate::stats::{IterationStats, RunStats};
+use crate::types::VertexId;
+
+/// Loop-termination criterion for [`Engine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// Stop when a scatter-gather iteration changes no vertex state
+    /// (equivalently, produces no updates).
+    Converged,
+    /// Run exactly this many iterations (PageRank, ALS, BP in the paper
+    /// run 5 fixed iterations).
+    FixedIterations(usize),
+    /// Stop at convergence or after this many iterations, whichever is
+    /// first — a safety bound for traversal algorithms on high-diameter
+    /// graphs.
+    ConvergedOrAfter(usize),
+}
+
+impl Termination {
+    /// Whether the loop should continue after `completed` iterations
+    /// whose last produced `changed` state changes.
+    #[inline]
+    pub fn should_continue(&self, completed: usize, changed: u64) -> bool {
+        match *self {
+            Termination::Converged => changed > 0,
+            Termination::FixedIterations(n) => completed < n,
+            Termination::ConvergedOrAfter(n) => changed > 0 && completed < n,
+        }
+    }
+}
+
+/// A scatter-gather execution engine over a fixed graph and one
+/// [`EdgeProgram`]'s vertex state.
+pub trait Engine<P: EdgeProgram> {
+    /// Number of vertices in the loaded graph.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of edges in the loaded graph.
+    fn num_edges(&self) -> usize;
+
+    /// Executes one synchronous scatter → shuffle → gather superstep.
+    fn scatter_gather(&mut self, program: &P) -> IterationStats;
+
+    /// Applies `f` to every vertex state (the §2.5 vertex-iteration
+    /// extension); used for initialization and per-phase resets.
+    fn vertex_map(&mut self, f: &mut dyn FnMut(VertexId, &mut P::State));
+
+    /// Folds over all vertex states; used for aggregations such as
+    /// convergence metrics and result extraction.
+    fn vertex_fold(&mut self, init: f64, f: &mut dyn FnMut(f64, VertexId, &P::State) -> f64)
+        -> f64;
+
+    /// Reads back the full vertex state vector (drains partition files
+    /// for the out-of-core engine).
+    fn states(&mut self) -> Vec<P::State>;
+
+    /// Runs scatter-gather iterations until `termination` is met.
+    fn run(&mut self, program: &P, termination: Termination) -> RunStats {
+        let start = std::time::Instant::now();
+        let mut stats = RunStats::default();
+        loop {
+            let it = self.scatter_gather(program);
+            // Convergence means the gather phase changed no state: the
+            // next scatter would see identical inputs and make no
+            // progress.
+            let changed = it.vertices_changed;
+            stats.iterations.push(it);
+            if !termination.should_continue(stats.iterations.len(), changed) {
+                break;
+            }
+        }
+        stats.total_ns = start.elapsed().as_nanos() as u64;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn termination_logic() {
+        assert!(Termination::Converged.should_continue(3, 1));
+        assert!(!Termination::Converged.should_continue(3, 0));
+        assert!(Termination::FixedIterations(5).should_continue(4, 0));
+        assert!(!Termination::FixedIterations(5).should_continue(5, 10));
+        assert!(Termination::ConvergedOrAfter(5).should_continue(4, 2));
+        assert!(!Termination::ConvergedOrAfter(5).should_continue(5, 2));
+        assert!(!Termination::ConvergedOrAfter(5).should_continue(2, 0));
+    }
+}

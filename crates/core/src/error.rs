@@ -1,0 +1,57 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced by X-Stream engines and substrates.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying storage I/O failed.
+    Io(std::io::Error),
+    /// A configuration is infeasible (e.g. the §3.4 memory inequality
+    /// `N/K + 5SK <= M` has no solution for the given budget).
+    Config(String),
+    /// Malformed input data (e.g. an edge referencing a vertex outside
+    /// the declared vertex-id range, or a ragged record stream).
+    InvalidInput(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience result alias for X-Stream operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::Config("bad K".into());
+        assert!(e.to_string().contains("bad K"));
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Core types and programming model for X-Stream, an edge-centric
+//! scatter-gather graph processing system (Roy, Mihailovic, Zwaenepoel,
+//! SOSP 2013).
+//!
+//! X-Stream stores mutable computation state in vertices and streams a
+//! completely *unordered* edge list. Each iteration is a scatter phase
+//! (stream edges, emit updates) followed by a shuffle (route updates to
+//! the streaming partition owning their destination vertex) and a gather
+//! phase (stream updates, mutate destination vertex state).
+//!
+//! This crate defines:
+//!
+//! * the fundamental [`Edge`]/[`VertexId`] types ([`types`]),
+//! * the [`record::Record`] POD trait that lets engines move
+//!   states and updates through byte-level chunk arrays and partition
+//!   files without serialization overhead ([`record`]),
+//! * the user-facing [`program::EdgeProgram`] trait
+//!   ([`program`]),
+//! * streaming-partition arithmetic ([`partition`]),
+//! * engine configuration ([`config`]) and statistics ([`stats`]),
+//! * the [`engine::Engine`] abstraction implemented by the
+//!   in-memory and out-of-core engines ([`engine`]).
+
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod partition;
+pub mod program;
+pub mod record;
+pub mod stats;
+pub mod types;
+
+pub use config::EngineConfig;
+pub use engine::{Engine, Termination};
+pub use error::{Error, Result};
+pub use partition::Partitioner;
+pub use program::{EdgeProgram, TargetedUpdate};
+pub use record::Record;
+pub use stats::{IterationStats, RunStats};
+pub use types::{Edge, VertexId, INVALID_VERTEX};

@@ -1,0 +1,141 @@
+//! The edge-centric scatter-gather programming model (paper Fig. 2).
+//!
+//! Unlike vertex-centric APIs, the scatter function receives one *edge*
+//! (plus the state of its source vertex) and the gather function one
+//! *update* (plus the state of its destination vertex). Neither can
+//! iterate over the edges of a vertex — that restriction is exactly what
+//! allows the engines to stream completely unordered edge lists.
+
+use crate::record::Record;
+use crate::types::{Edge, VertexId};
+
+/// An update addressed to a destination vertex.
+///
+/// The engines route updates to the streaming partition containing
+/// `target` during the shuffle phase; `payload` is opaque to them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
+pub struct TargetedUpdate<U> {
+    /// Destination vertex of the update.
+    pub target: VertexId,
+    /// Algorithm-specific value.
+    pub payload: U,
+}
+
+// SAFETY: `repr(C)` of (u32, U). With `U: Record` (padding-free, align
+// <= 4 enforced by the assertion in `TargetedUpdate::new` debug builds
+// being absent — alignment of U > 4 would introduce padding after
+// `target`, so we statically require align_of::<U>() <= 4 in `new`).
+// All algorithm payloads in this workspace are u32/f32 tuples or arrays
+// with alignment 4 and size a multiple of 4, hence no padding.
+unsafe impl<U: Record> Record for TargetedUpdate<U> {}
+
+impl<U: Record> TargetedUpdate<U> {
+    /// Compile-time guard: a payload with alignment above 4 would cause
+    /// padding after the 4-byte `target` field, violating [`Record`].
+    const PAYLOAD_ALIGN_OK: () = assert!(
+        core::mem::align_of::<U>() <= 4,
+        "TargetedUpdate payloads must have alignment <= 4 to stay padding-free"
+    );
+
+    /// Creates an update addressed at `target`.
+    #[inline]
+    pub fn new(target: VertexId, payload: U) -> Self {
+        // Force the const assertion to be evaluated for each payload type.
+        let () = Self::PAYLOAD_ALIGN_OK;
+        Self { target, payload }
+    }
+}
+
+/// A graph computation expressed in the edge-centric scatter-gather
+/// model.
+///
+/// The computation state lives in one `State` value per vertex. Each
+/// synchronous iteration streams all edges through [`scatter`]
+/// (producing updates) and then all updates through [`gather`]
+/// (mutating destination state). All updates from a scatter phase are
+/// observed only after the scatter completes, as in Pregel.
+///
+/// [`scatter`]: EdgeProgram::scatter
+/// [`gather`]: EdgeProgram::gather
+pub trait EdgeProgram: Sync {
+    /// Per-vertex mutable state ("the data field of each vertex").
+    type State: Record;
+    /// Payload carried by updates from source to destination.
+    type Update: Record;
+
+    /// Produces the initial state of vertex `v`.
+    fn init(&self, v: VertexId) -> Self::State;
+
+    /// Edge-centric scatter: given the state of `e.src`, decides whether
+    /// an update must be sent over `e` and, if so, its payload.
+    ///
+    /// Returning `None` counts the edge as *wasted* streaming bandwidth
+    /// in the engine statistics (paper Fig. 12b).
+    fn scatter(&self, src_state: &Self::State, e: &Edge) -> Option<Self::Update>;
+
+    /// Edge-centric gather: applies `payload` to the state of the
+    /// destination vertex. Returns `true` if the state changed; engines
+    /// use this for convergence detection.
+    fn gather(&self, dst_state: &mut Self::State, payload: &Self::Update) -> bool;
+
+    /// Fast pre-check on the source state, consulted before `scatter`.
+    ///
+    /// The engine still streams every edge (that is the design trade-off
+    /// of X-Stream) but a `false` here lets it skip the scatter call.
+    /// The default scatters unconditionally.
+    #[inline]
+    fn needs_scatter(&self, _src_state: &Self::State) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targeted_update_is_packed() {
+        assert_eq!(core::mem::size_of::<TargetedUpdate<u32>>(), 8);
+        assert_eq!(core::mem::size_of::<TargetedUpdate<[f32; 3]>>(), 16);
+    }
+
+    struct Prop;
+
+    impl EdgeProgram for Prop {
+        type State = u32;
+        type Update = u32;
+
+        fn init(&self, v: VertexId) -> u32 {
+            v
+        }
+
+        fn scatter(&self, s: &u32, _e: &Edge) -> Option<u32> {
+            if *s > 0 {
+                Some(*s)
+            } else {
+                None
+            }
+        }
+
+        fn gather(&self, d: &mut u32, u: &u32) -> bool {
+            if *u < *d {
+                *d = *u;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn program_contract() {
+        let p = Prop;
+        let mut s = p.init(9);
+        let e = Edge::new(3, 9);
+        let u = p.scatter(&p.init(3), &e).unwrap();
+        assert!(p.gather(&mut s, &u));
+        assert_eq!(s, 3);
+        assert!(!p.gather(&mut s, &u));
+    }
+}

@@ -1,0 +1,163 @@
+//! Execution statistics.
+//!
+//! The paper reports, besides runtimes, the number of scatter-gather
+//! iterations, the ratio of total execution time to streaming time, and
+//! the percentage of *wasted* edges — edges streamed without producing
+//! an update (Fig. 12b) — as well as byte-level I/O (Fig. 23) and memory
+//! reference counts (Fig. 21). Engines fill one [`IterationStats`] per
+//! scatter-gather superstep and aggregate them into a [`RunStats`].
+
+use std::time::Duration;
+
+/// Counters for one scatter-gather iteration.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct IterationStats {
+    /// Edges streamed through scatter.
+    pub edges_streamed: u64,
+    /// Updates appended by scatter.
+    pub updates_generated: u64,
+    /// Updates applied by gather.
+    pub updates_applied: u64,
+    /// Gather calls that reported a state change.
+    pub vertices_changed: u64,
+    /// Wall time of the scatter phase in nanoseconds.
+    pub scatter_ns: u64,
+    /// Wall time of the shuffle phase in nanoseconds.
+    pub shuffle_ns: u64,
+    /// Wall time of the gather phase in nanoseconds.
+    pub gather_ns: u64,
+    /// Time spent moving data through streams (sequential traffic),
+    /// a subset of the phase times above.
+    pub streaming_ns: u64,
+    /// Bytes read from slow storage.
+    pub bytes_read: u64,
+    /// Bytes written to slow storage.
+    pub bytes_written: u64,
+    /// Memory references into vertex/edge/update arrays (Fig. 21 proxy).
+    pub mem_refs: u64,
+}
+
+impl IterationStats {
+    /// Edges streamed without producing an update.
+    #[inline]
+    pub fn wasted_edges(&self) -> u64 {
+        self.edges_streamed.saturating_sub(self.updates_generated)
+    }
+
+    /// Percentage of streamed edges that produced no update.
+    #[inline]
+    pub fn wasted_pct(&self) -> f64 {
+        if self.edges_streamed == 0 {
+            0.0
+        } else {
+            100.0 * self.wasted_edges() as f64 / self.edges_streamed as f64
+        }
+    }
+
+    /// Total wall time of the iteration.
+    #[inline]
+    pub fn total_ns(&self) -> u64 {
+        self.scatter_ns + self.shuffle_ns + self.gather_ns
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &IterationStats) {
+        self.edges_streamed += other.edges_streamed;
+        self.updates_generated += other.updates_generated;
+        self.updates_applied += other.updates_applied;
+        self.vertices_changed += other.vertices_changed;
+        self.scatter_ns += other.scatter_ns;
+        self.shuffle_ns += other.shuffle_ns;
+        self.gather_ns += other.gather_ns;
+        self.streaming_ns += other.streaming_ns;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.mem_refs += other.mem_refs;
+    }
+}
+
+/// Aggregated statistics for a complete run.
+#[derive(Debug, Default, Clone)]
+pub struct RunStats {
+    /// Per-iteration counters, in execution order.
+    pub iterations: Vec<IterationStats>,
+    /// Total wall time of the run (including per-run setup the
+    /// iterations do not account for).
+    pub total_ns: u64,
+}
+
+impl RunStats {
+    /// Number of scatter-gather iterations executed.
+    #[inline]
+    pub fn num_iterations(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Sum of all per-iteration counters.
+    pub fn totals(&self) -> IterationStats {
+        let mut acc = IterationStats::default();
+        for it in &self.iterations {
+            acc.merge(it);
+        }
+        acc
+    }
+
+    /// Total wall time as a [`Duration`].
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.total_ns)
+    }
+
+    /// Ratio of total execution time to streaming time (paper Fig. 12b;
+    /// ~1 for I/O-bound out-of-core runs, 2–3 for in-memory runs).
+    pub fn runtime_to_streaming_ratio(&self) -> f64 {
+        let t = self.totals();
+        if t.streaming_ns == 0 {
+            f64::INFINITY
+        } else {
+            self.total_ns as f64 / t.streaming_ns as f64
+        }
+    }
+
+    /// Percentage of wasted edges across the whole run.
+    pub fn wasted_pct(&self) -> f64 {
+        self.totals().wasted_pct()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iter_with(edges: u64, updates: u64) -> IterationStats {
+        IterationStats {
+            edges_streamed: edges,
+            updates_generated: updates,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn wasted_edges_math() {
+        let it = iter_with(100, 35);
+        assert_eq!(it.wasted_edges(), 65);
+        assert!((it.wasted_pct() - 65.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_iteration_is_not_nan() {
+        let it = IterationStats::default();
+        assert_eq!(it.wasted_pct(), 0.0);
+    }
+
+    #[test]
+    fn run_totals_accumulate() {
+        let mut run = RunStats::default();
+        run.iterations.push(iter_with(10, 4));
+        run.iterations.push(iter_with(20, 6));
+        let t = run.totals();
+        assert_eq!(t.edges_streamed, 30);
+        assert_eq!(t.updates_generated, 10);
+        assert_eq!(run.num_iterations(), 2);
+    }
+}

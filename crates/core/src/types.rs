@@ -1,0 +1,89 @@
+//! Fundamental graph types.
+//!
+//! X-Stream's input is an unordered list of directed edges; undirected
+//! graphs are represented by a pair of directed edges, one in each
+//! direction (paper §2).
+
+/// Identifier of a vertex.
+///
+/// 32 bits cover 4.29 billion vertices, enough for every dataset in the
+/// paper except yahoo-web at 1.4 billion vertices, which also fits.
+pub type VertexId = u32;
+
+/// Sentinel for "no vertex"; used by algorithms for uninitialized
+/// parent/root fields.
+pub const INVALID_VERTEX: VertexId = VertexId::MAX;
+
+/// A directed edge with a payload.
+///
+/// The `weight` field holds the edge weight for weighted algorithms
+/// (SSSP, MCST, ALS ratings, ...). Programs that do not need a weight
+/// may reuse it as an arbitrary 4-byte payload; the SCC implementation,
+/// for instance, encodes edge direction there when streaming a
+/// bidirectional edge list.
+///
+/// The layout is `repr(C)` with no padding (12 bytes) so edges can be
+/// streamed through byte-oriented chunk arrays and partition files, see
+/// [`crate::record::Record`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
+pub struct Edge {
+    /// Source vertex; streaming partitions hold edges keyed by source.
+    pub src: VertexId,
+    /// Destination vertex; updates are routed to its partition.
+    pub dst: VertexId,
+    /// Edge payload (weight for weighted algorithms).
+    pub weight: f32,
+}
+
+impl Edge {
+    /// Creates an edge with weight zero.
+    #[inline]
+    pub const fn new(src: VertexId, dst: VertexId) -> Self {
+        Self {
+            src,
+            dst,
+            weight: 0.0,
+        }
+    }
+
+    /// Creates a weighted edge.
+    #[inline]
+    pub const fn weighted(src: VertexId, dst: VertexId, weight: f32) -> Self {
+        Self { src, dst, weight }
+    }
+
+    /// Returns the edge with endpoints swapped, keeping the payload.
+    #[inline]
+    pub const fn reversed(&self) -> Self {
+        Self {
+            src: self.dst,
+            dst: self.src,
+            weight: self.weight,
+        }
+    }
+}
+
+// SAFETY: `Edge` is `repr(C)` with fields (u32, u32, f32): size 12,
+// alignment 4, no padding bytes and no pointers.
+unsafe impl crate::record::Record for Edge {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_is_packed() {
+        assert_eq!(core::mem::size_of::<Edge>(), 12);
+        assert_eq!(core::mem::align_of::<Edge>(), 4);
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let e = Edge::weighted(3, 7, 1.5);
+        let r = e.reversed();
+        assert_eq!(r.src, 7);
+        assert_eq!(r.dst, 3);
+        assert_eq!(r.weight, 1.5);
+    }
+}

@@ -1,0 +1,541 @@
+//! The out-of-core engine's main loop (paper Fig. 6).
+//!
+//! Scatter and shuffle are merged: scatter appends updates to an
+//! in-memory buffer; whenever the buffer fills, it is shuffled in
+//! memory and each partition's chunk is appended to that partition's
+//! update file. The gather phase then streams each partition's update
+//! file. Two §3.2 optimizations are implemented: the vertex array
+//! stays in memory when it fits the budget, and updates skip the disk
+//! entirely when one stream buffer holds the whole scatter output.
+
+use std::mem::size_of;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::vertices::VertexStorage;
+use xstream_core::program::TargetedUpdate;
+use xstream_core::record::{records_as_bytes, RecordIter};
+use xstream_core::{
+    Edge, EdgeProgram, Engine, EngineConfig, Error, IterationStats, Partitioner, Record, Result,
+    VertexId,
+};
+use xstream_graph::fileio::EdgeFileReader;
+use xstream_graph::EdgeList;
+use xstream_storage::shuffle::shuffle;
+use xstream_storage::{AsyncWriter, StreamBuffer, StreamStore};
+
+/// Name of the edge stream of partition `p`.
+pub fn edge_stream(p: usize) -> String {
+    format!("edges.{p}")
+}
+
+/// Name of the update stream of partition `p`.
+pub fn update_stream(p: usize) -> String {
+    format!("updates.{p}")
+}
+
+/// The out-of-core streaming engine.
+pub struct DiskEngine<P: EdgeProgram> {
+    config: EngineConfig,
+    store: Arc<StreamStore>,
+    partitioner: Partitioner,
+    num_edges: usize,
+    vertices: VertexStorage<P::State>,
+    /// Update records buffered in memory before a spill.
+    spill_threshold: usize,
+    /// §3.2 optimization 2: the shuffled scatter output, kept in memory
+    /// when it never overflowed the stream buffer.
+    mem_updates: Option<StreamBuffer<TargetedUpdate<P::Update>>>,
+}
+
+impl<P: EdgeProgram> DiskEngine<P> {
+    /// Builds an engine from an in-memory edge list, writing the
+    /// partition edge files into `store`.
+    pub fn from_graph(
+        store: StreamStore,
+        graph: &EdgeList,
+        program: &P,
+        config: EngineConfig,
+    ) -> Result<Self> {
+        let chunk = (config.io_unit / Edge::SIZE).max(1);
+        let chunks = graph.edges().chunks(chunk).map(|c| Ok(c.to_vec()));
+        Self::build(store, graph.num_vertices(), chunks, program, config)
+    }
+
+    /// Builds an engine by streaming an on-disk edge file (the paper's
+    /// input path: pre-processing reads the unordered list once and
+    /// shuffles it into partition files — no sort).
+    pub fn from_edge_file(
+        store: StreamStore,
+        path: &Path,
+        program: &P,
+        config: EngineConfig,
+    ) -> Result<Self> {
+        let mut reader = EdgeFileReader::open(path)?;
+        let num_vertices = reader.num_vertices();
+        let chunk = (config.io_unit / Edge::SIZE).max(1);
+        let iter = std::iter::from_fn(move || reader.next_chunk(chunk).transpose());
+        Self::build(store, num_vertices, iter, program, config)
+    }
+
+    fn build(
+        store: StreamStore,
+        num_vertices: usize,
+        edge_chunks: impl Iterator<Item = Result<Vec<Edge>>>,
+        program: &P,
+        config: EngineConfig,
+    ) -> Result<Self> {
+        let state_bytes = num_vertices * size_of::<P::State>();
+        let k = config.out_of_core_partitions(state_bytes).ok_or_else(|| {
+            Error::Config(format!(
+                "memory budget {} cannot satisfy N/K + 5SK <= M for N = {state_bytes}, S = {}",
+                config.memory_budget, config.io_unit
+            ))
+        })?;
+        let partitioner = Partitioner::new(num_vertices, k);
+        let kp = partitioner.num_partitions();
+
+        // Pre-processing (§3.2): stream the input, shuffle each loaded
+        // chunk in memory, append per-partition runs to the edge files.
+        // The appends run on the dedicated writer thread so reading and
+        // shuffling the next input chunk overlaps them (§3.3).
+        let store = Arc::new(store);
+        let mut num_edges = 0usize;
+        {
+            let writer = AsyncWriter::new(Arc::clone(&store), 1)?;
+            for chunk in edge_chunks {
+                let chunk = chunk?;
+                num_edges += chunk.len();
+                let buf = shuffle(&chunk, kp, |e| partitioner.partition_of(e.src));
+                for (p, run) in buf.iter_chunks() {
+                    if !run.is_empty() {
+                        writer.submit(edge_stream(p), records_as_bytes(run).to_vec())?;
+                    }
+                }
+            }
+            writer.finish()?;
+        }
+
+        let usz = size_of::<TargetedUpdate<P::Update>>();
+        // The stream buffer must admit at least one I/O unit per
+        // partition (§3.4 sizing: chunk array of S*K bytes).
+        let buffer_bytes = (config.memory_budget / 4)
+            .max(config.io_unit.saturating_mul(kp))
+            .max(1 << 20);
+        let spill_threshold = (buffer_bytes / usz).max(1024);
+
+        let in_memory_vertices =
+            config.keep_vertices_in_memory && state_bytes <= config.memory_budget / 2;
+        let vertices = VertexStorage::initialize(&store, &partitioner, in_memory_vertices, |v| {
+            program.init(v)
+        })?;
+
+        Ok(Self {
+            config,
+            store,
+            partitioner,
+            num_edges,
+            vertices,
+            spill_threshold,
+            mem_updates: None,
+        })
+    }
+
+    /// The partitioner in use (exposed for experiments).
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.partitioner
+    }
+
+    /// The underlying stream store (for I/O accounting inspection).
+    pub fn store(&self) -> &StreamStore {
+        &self.store
+    }
+
+    /// Fallible scatter-gather superstep; the [`Engine`] trait method
+    /// panics on I/O errors, this variant reports them.
+    pub fn try_scatter_gather(&mut self, program: &P) -> Result<IterationStats> {
+        let mut stats = IterationStats::default();
+        let kp = self.partitioner.num_partitions();
+        let usz = size_of::<TargetedUpdate<P::Update>>() as u64;
+        let snap0 = self.store.accounting().snapshot();
+        let mut streaming_ns = 0u64;
+
+        // ---- Merged scatter + shuffle (Fig. 6) ----
+        let t_scatter = Instant::now();
+        let mut pending: Vec<TargetedUpdate<P::Update>> = Vec::new();
+        let mut spilled = false;
+        {
+            // Update-file appends run on the dedicated writer thread
+            // with depth 1: the engine shuffles and scatters the next
+            // buffer while the previous one drains (§3.3).
+            let writer = AsyncWriter::new(Arc::clone(&self.store), 1)?;
+            let store = &self.store;
+            let partitioner = &self.partitioner;
+            let vertices = &self.vertices;
+            let threads = self.config.threads.max(1);
+            for s in partitioner.iter() {
+                let states = vertices.load(store, partitioner, s)?;
+                let base = partitioner.range(s).start;
+                let mut reader = store.reader_aligned(&edge_stream(s), Edge::SIZE)?;
+                loop {
+                    let t_io = Instant::now();
+                    let Some(bytes) = reader.next_chunk()? else {
+                        break;
+                    };
+                    streaming_ns += t_io.elapsed().as_nanos() as u64;
+                    let n_edges = bytes.len() / Edge::SIZE;
+                    stats.edges_streamed += n_edges as u64;
+                    // §4.3 layering: the loaded chunk is processed with
+                    // the in-memory engine's parallel primitives — here,
+                    // a parallel scatter over sub-slices of the chunk.
+                    let outputs = scatter_chunk::<P>(program, &states, base, &bytes, threads);
+                    for mut o in outputs {
+                        stats.updates_generated += o.len() as u64;
+                        pending.append(&mut o);
+                    }
+                    if pending.len() >= self.spill_threshold {
+                        let t_io = Instant::now();
+                        spill(&writer, partitioner, kp, &mut pending)?;
+                        streaming_ns += t_io.elapsed().as_nanos() as u64;
+                        spilled = true;
+                    }
+                }
+            }
+            // §3.2 optimization 2: keep updates in memory when they all
+            // fit in one stream buffer.
+            if !spilled && self.config.in_memory_updates {
+                let buf = shuffle(&pending, kp, |u| partitioner.partition_of(u.target));
+                self.mem_updates = Some(buf);
+            } else if !pending.is_empty() {
+                let t_io = Instant::now();
+                spill(&writer, partitioner, kp, &mut pending)?;
+                streaming_ns += t_io.elapsed().as_nanos() as u64;
+            }
+            // The gather phase must observe every update: drain the
+            // writer before leaving the scatter phase.
+            writer.finish()?;
+        }
+        stats.scatter_ns = t_scatter.elapsed().as_nanos() as u64;
+
+        // ---- Gather ----
+        let t_gather = Instant::now();
+        let mem_updates = self.mem_updates.take();
+        for p in self.partitioner.iter() {
+            let mut states = self.vertices.load_mut(&self.store, &self.partitioner, p)?;
+            let base = self.partitioner.range(p).start;
+            let mut changed = false;
+            if let Some(buf) = &mem_updates {
+                for u in buf.chunk(p) {
+                    stats.updates_applied += 1;
+                    let local = u.target as usize - base;
+                    if program.gather(&mut states[local], &u.payload) {
+                        stats.vertices_changed += 1;
+                        changed = true;
+                    }
+                }
+            } else {
+                let mut reader = self
+                    .store
+                    .reader_aligned(&update_stream(p), size_of::<TargetedUpdate<P::Update>>())?;
+                loop {
+                    let t_io = Instant::now();
+                    let Some(bytes) = reader.next_chunk()? else {
+                        break;
+                    };
+                    streaming_ns += t_io.elapsed().as_nanos() as u64;
+                    for u in RecordIter::<TargetedUpdate<P::Update>>::new(&bytes) {
+                        stats.updates_applied += 1;
+                        let local = u.target as usize - base;
+                        if program.gather(&mut states[local], &u.payload) {
+                            stats.vertices_changed += 1;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if changed {
+                self.vertices
+                    .store_back(&self.store, &self.partitioner, p, &states)?;
+            }
+            // Destroying the stream truncates the file — a TRIM (§3.3).
+            self.store.delete(&update_stream(p))?;
+        }
+        stats.gather_ns = t_gather.elapsed().as_nanos() as u64;
+
+        let snap1 = self.store.accounting().snapshot();
+        stats.bytes_read = snap1.bytes_read() - snap0.bytes_read();
+        stats.bytes_written = snap1.bytes_written() - snap0.bytes_written();
+        stats.streaming_ns = streaming_ns;
+        stats.mem_refs =
+            stats.edges_streamed * 2 + stats.updates_generated + stats.updates_applied * 2;
+        let _ = usz;
+        Ok(stats)
+    }
+}
+
+/// Scatters one decoded edge chunk across `threads` workers, each
+/// producing its own update slice (the §4.3 layering of in-memory
+/// parallelism over loaded disk chunks).
+fn scatter_chunk<P: EdgeProgram>(
+    program: &P,
+    states: &[P::State],
+    base: usize,
+    bytes: &[u8],
+    threads: usize,
+) -> Vec<Vec<TargetedUpdate<P::Update>>> {
+    let n_edges = bytes.len() / Edge::SIZE;
+    let run = |range: std::ops::Range<usize>| -> Vec<TargetedUpdate<P::Update>> {
+        let mut out = Vec::new();
+        let slice = &bytes[range.start * Edge::SIZE..range.end * Edge::SIZE];
+        for e in RecordIter::<Edge>::new(slice) {
+            let src_state = &states[(e.src as usize) - base];
+            if !program.needs_scatter(src_state) {
+                continue;
+            }
+            if let Some(u) = program.scatter(src_state, &e) {
+                out.push(TargetedUpdate::new(e.dst, u));
+            }
+        }
+        out
+    };
+    if threads <= 1 || n_edges < 4096 {
+        return vec![run(0..n_edges)];
+    }
+    let per = n_edges.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let run = &run;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = (t * per).min(n_edges);
+                let hi = ((t + 1) * per).min(n_edges);
+                scope.spawn(move || run(lo..hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scatter worker panicked"))
+            .collect()
+    })
+}
+
+/// In-memory shuffle of the pending buffer followed by per-partition
+/// appends to the update files via the background writer (the merged
+/// shuffle of Fig. 6 with the write overlap of §3.3).
+fn spill<U: Record>(
+    writer: &AsyncWriter,
+    partitioner: &Partitioner,
+    kp: usize,
+    pending: &mut Vec<TargetedUpdate<U>>,
+) -> Result<()> {
+    let buf = shuffle(pending, kp, |u| partitioner.partition_of(u.target));
+    for (p, run) in buf.iter_chunks() {
+        if !run.is_empty() {
+            writer.submit(update_stream(p), records_as_bytes(run).to_vec())?;
+        }
+    }
+    pending.clear();
+    Ok(())
+}
+
+impl<P: EdgeProgram> Engine<P> for DiskEngine<P> {
+    fn num_vertices(&self) -> usize {
+        self.partitioner.num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn scatter_gather(&mut self, program: &P) -> IterationStats {
+        self.try_scatter_gather(program)
+            .expect("out-of-core scatter-gather failed")
+    }
+
+    fn vertex_map(&mut self, f: &mut dyn FnMut(VertexId, &mut P::State)) {
+        for p in self.partitioner.iter() {
+            let mut states = self
+                .vertices
+                .load_mut(&self.store, &self.partitioner, p)
+                .expect("vertex load failed");
+            let base = self.partitioner.range(p).start;
+            for (i, s) in states.iter_mut().enumerate() {
+                f((base + i) as VertexId, s);
+            }
+            self.vertices
+                .store_back(&self.store, &self.partitioner, p, &states)
+                .expect("vertex store failed");
+        }
+    }
+
+    fn vertex_fold(
+        &mut self,
+        init: f64,
+        f: &mut dyn FnMut(f64, VertexId, &P::State) -> f64,
+    ) -> f64 {
+        let mut acc = init;
+        for p in self.partitioner.iter() {
+            let states = self
+                .vertices
+                .load(&self.store, &self.partitioner, p)
+                .expect("vertex load failed");
+            let base = self.partitioner.range(p).start;
+            for (i, s) in states.iter().enumerate() {
+                acc = f(acc, (base + i) as VertexId, s);
+            }
+        }
+        acc
+    }
+
+    fn states(&mut self) -> Vec<P::State> {
+        self.vertices
+            .collect_all(&self.store, &self.partitioner)
+            .expect("vertex collect failed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xstream_core::Termination;
+    use xstream_graph::generators;
+
+    struct MinLabel;
+
+    impl EdgeProgram for MinLabel {
+        type State = u32;
+        type Update = u32;
+
+        fn init(&self, v: VertexId) -> u32 {
+            v
+        }
+
+        fn scatter(&self, s: &u32, _e: &Edge) -> Option<u32> {
+            Some(*s)
+        }
+
+        fn gather(&self, d: &mut u32, u: &u32) -> bool {
+            if u < d {
+                *d = *u;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    fn temp_store(tag: &str) -> StreamStore {
+        let root = std::env::temp_dir().join(format!("xstream_disk_eng_{tag}"));
+        let _ = std::fs::remove_dir_all(&root);
+        StreamStore::new(&root, 8192).unwrap()
+    }
+
+    fn small_config() -> EngineConfig {
+        EngineConfig::default()
+            .with_threads(2)
+            .with_io_unit(8192)
+            .with_memory_budget(1 << 20)
+    }
+
+    #[test]
+    fn min_label_matches_in_memory_engine() {
+        let g = generators::erdos_renyi(300, 2500, 21).to_undirected();
+        let store = temp_store("minlabel");
+        let mut disk = DiskEngine::from_graph(store, &g, &MinLabel, small_config()).unwrap();
+        disk.run(&MinLabel, Termination::Converged);
+        let disk_states = disk.states();
+
+        let mut mem = xstream_memory::InMemoryEngine::from_graph(
+            &g,
+            &MinLabel,
+            EngineConfig::default().with_threads(2).with_partitions(8),
+        );
+        mem.run(&MinLabel, Termination::Converged);
+        assert_eq!(disk_states, mem.states());
+    }
+
+    #[test]
+    fn forced_spilling_still_correct() {
+        // A tiny spill threshold forces the update files path.
+        let g = generators::path(200).to_undirected();
+        let store = temp_store("spill");
+        let cfg = EngineConfig {
+            in_memory_updates: false,
+            ..small_config()
+        };
+        let mut disk = DiskEngine::from_graph(store, &g, &MinLabel, cfg).unwrap();
+        disk.run(&MinLabel, Termination::Converged);
+        assert!(disk.states().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn on_disk_vertices_path() {
+        let g = generators::cycle(64);
+        let store = temp_store("ondiskverts");
+        let cfg = EngineConfig {
+            keep_vertices_in_memory: false,
+            ..small_config()
+        };
+        let mut disk = DiskEngine::from_graph(store, &g, &MinLabel, cfg).unwrap();
+        disk.run(&MinLabel, Termination::Converged);
+        assert!(disk.states().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn from_edge_file_roundtrip() {
+        let dir = std::env::temp_dir().join("xstream_disk_input_fromfile");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.xse");
+        let g = generators::erdos_renyi(100, 900, 5).to_undirected();
+        xstream_graph::fileio::write_edge_file(&path, &g).unwrap();
+        let store = temp_store("fromfile");
+        let mut disk = DiskEngine::from_edge_file(store, &path, &MinLabel, small_config()).unwrap();
+        assert_eq!(disk.num_edges(), g.num_edges());
+        disk.run(&MinLabel, Termination::Converged);
+        let mut mem = xstream_memory::InMemoryEngine::from_graph(
+            &g,
+            &MinLabel,
+            EngineConfig::default().with_partitions(4),
+        );
+        mem.run(&MinLabel, Termination::Converged);
+        assert_eq!(disk.states(), mem.states());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn io_accounting_sees_edge_traffic() {
+        let g = generators::erdos_renyi(200, 5000, 8);
+        let store = temp_store("acct");
+        let mut disk = DiskEngine::from_graph(store, &g, &MinLabel, small_config()).unwrap();
+        let it = disk.try_scatter_gather(&MinLabel).unwrap();
+        assert_eq!(it.edges_streamed, 5000);
+        // Edges are read from disk every iteration.
+        assert!(it.bytes_read >= (5000 * Edge::SIZE) as u64);
+    }
+
+    #[test]
+    fn vertex_map_and_fold_on_disk() {
+        let g = generators::path(50);
+        let store = temp_store("vmap");
+        let cfg = EngineConfig {
+            keep_vertices_in_memory: false,
+            ..small_config()
+        };
+        let mut disk = DiskEngine::from_graph(store, &g, &MinLabel, cfg).unwrap();
+        disk.vertex_map(&mut |v, s| *s = v + 1);
+        let sum = disk.vertex_fold(0.0, &mut |acc, _v, s| acc + *s as f64);
+        assert_eq!(sum, (1..=50).map(f64::from).sum::<f64>());
+    }
+
+    #[test]
+    fn infeasible_budget_is_reported() {
+        let g = generators::path(1 << 16);
+        let store = temp_store("infeasible");
+        let cfg = EngineConfig::default()
+            .with_io_unit(16 << 20)
+            .with_memory_budget(1 << 10);
+        let r = DiskEngine::from_graph(store, &g, &MinLabel, cfg);
+        assert!(matches!(r, Err(Error::Config(_))));
+    }
+}

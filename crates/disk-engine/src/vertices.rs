@@ -1,0 +1,204 @@
+//! Vertex-state storage for the out-of-core engine.
+//!
+//! The paper's §3.2 optimization: when the entire vertex set fits in
+//! the memory budget, the vertex array is kept in memory for the whole
+//! run and never written back per phase. Otherwise each streaming
+//! partition's vertex set lives in its own `vertices.p` file, loaded
+//! before scatter/gather over that partition and written back after a
+//! gather mutates it.
+
+use xstream_core::record::{decode_records, records_as_bytes};
+use xstream_core::{Partitioner, Record, Result, VertexId};
+use xstream_storage::StreamStore;
+
+/// Name of the vertex stream of partition `p`.
+pub fn vertex_stream(p: usize) -> String {
+    format!("vertices.{p}")
+}
+
+/// Where vertex state lives during a run.
+pub enum VertexStorage<S> {
+    /// §3.2 optimization 1: the whole vertex array stays in memory.
+    InMemory(Vec<S>),
+    /// One file per streaming partition.
+    OnDisk,
+}
+
+impl<S: Record> VertexStorage<S> {
+    /// Initializes storage for `partitioner.num_vertices()` states via
+    /// `init`, spilling per-partition files unless `in_memory`.
+    pub fn initialize(
+        store: &StreamStore,
+        partitioner: &Partitioner,
+        in_memory: bool,
+        mut init: impl FnMut(VertexId) -> S,
+    ) -> Result<Self> {
+        if in_memory {
+            let states = (0..partitioner.num_vertices() as VertexId)
+                .map(init)
+                .collect();
+            return Ok(VertexStorage::InMemory(states));
+        }
+        for p in partitioner.iter() {
+            let states: Vec<S> = partitioner.range(p).map(|v| init(v as VertexId)).collect();
+            store.write_replace(&vertex_stream(p), records_as_bytes(&states))?;
+        }
+        Ok(VertexStorage::OnDisk)
+    }
+
+    /// Loads the states of partition `p` for reading (scatter).
+    pub fn load(
+        &self,
+        store: &StreamStore,
+        partitioner: &Partitioner,
+        p: usize,
+    ) -> Result<PartitionStates<'_, S>> {
+        match self {
+            VertexStorage::InMemory(states) => {
+                let range = partitioner.range(p);
+                Ok(PartitionStates::Borrowed(&states[range]))
+            }
+            VertexStorage::OnDisk => {
+                let bytes = store.read_all(&vertex_stream(p))?;
+                Ok(PartitionStates::Owned(decode_records(&bytes)))
+            }
+        }
+    }
+
+    /// Loads the states of partition `p` for mutation (gather); call
+    /// [`Self::store_back`] afterwards.
+    pub fn load_mut(
+        &mut self,
+        store: &StreamStore,
+        partitioner: &Partitioner,
+        p: usize,
+    ) -> Result<Vec<S>> {
+        match self {
+            VertexStorage::InMemory(states) => Ok(states[partitioner.range(p)].to_vec()),
+            VertexStorage::OnDisk => {
+                let bytes = store.read_all(&vertex_stream(p))?;
+                Ok(decode_records(&bytes))
+            }
+        }
+    }
+
+    /// Writes mutated partition states back (a no-op write-back into
+    /// the in-memory array under optimization 1; a file replace
+    /// otherwise, as in Fig. 6's "write vertex set of p").
+    pub fn store_back(
+        &mut self,
+        store: &StreamStore,
+        partitioner: &Partitioner,
+        p: usize,
+        states: &[S],
+    ) -> Result<()> {
+        match self {
+            VertexStorage::InMemory(all) => {
+                let range = partitioner.range(p);
+                all[range].copy_from_slice(states);
+                Ok(())
+            }
+            VertexStorage::OnDisk => {
+                store.write_replace(&vertex_stream(p), records_as_bytes(states))
+            }
+        }
+    }
+
+    /// Reads back the complete state vector in vertex order.
+    pub fn collect_all(&self, store: &StreamStore, partitioner: &Partitioner) -> Result<Vec<S>> {
+        match self {
+            VertexStorage::InMemory(states) => Ok(states.clone()),
+            VertexStorage::OnDisk => {
+                let mut out = Vec::with_capacity(partitioner.num_vertices());
+                for p in partitioner.iter() {
+                    let bytes = store.read_all(&vertex_stream(p))?;
+                    out.extend(decode_records::<S>(&bytes));
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Partition states loaded for the scatter phase.
+pub enum PartitionStates<'a, S> {
+    /// Borrowed directly from the in-memory array.
+    Borrowed(&'a [S]),
+    /// Decoded from the partition's vertex file.
+    Owned(Vec<S>),
+}
+
+impl<S> std::ops::Deref for PartitionStates<'_, S> {
+    type Target = [S];
+
+    fn deref(&self) -> &[S] {
+        match self {
+            PartitionStates::Borrowed(s) => s,
+            PartitionStates::Owned(v) => v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(tag: &str) -> StreamStore {
+        let root = std::env::temp_dir().join(format!("xstream_vstore_{tag}"));
+        let _ = std::fs::remove_dir_all(&root);
+        StreamStore::new(&root, 4096).unwrap()
+    }
+
+    #[test]
+    fn on_disk_roundtrip() {
+        let st = store("ondisk");
+        let part = Partitioner::new(100, 4);
+        let mut vs = VertexStorage::<u64>::initialize(&st, &part, false, |v| v as u64 * 3).unwrap();
+        let all = vs.collect_all(&st, &part).unwrap();
+        assert_eq!(all.len(), 100);
+        assert_eq!(all[10], 30);
+        // Mutate one partition.
+        let p = part.partition_of(10);
+        let mut states = vs.load_mut(&st, &part, p).unwrap();
+        let local = 10 - part.range(p).start;
+        states[local] = 999;
+        vs.store_back(&st, &part, p, &states).unwrap();
+        let all = vs.collect_all(&st, &part).unwrap();
+        assert_eq!(all[10], 999);
+        st.destroy().unwrap();
+    }
+
+    #[test]
+    fn in_memory_matches_on_disk() {
+        let st = store("mem");
+        let part = Partitioner::new(64, 8);
+        let mut a = VertexStorage::<u32>::initialize(&st, &part, true, |v| v * v).unwrap();
+        let mut b = VertexStorage::<u32>::initialize(&st, &part, false, |v| v * v).unwrap();
+        for p in part.iter() {
+            let sa = a.load_mut(&st, &part, p).unwrap();
+            let sb = b.load_mut(&st, &part, p).unwrap();
+            assert_eq!(sa, sb);
+            let bumped: Vec<u32> = sa.iter().map(|x| x + 1).collect();
+            a.store_back(&st, &part, p, &bumped).unwrap();
+            b.store_back(&st, &part, p, &bumped).unwrap();
+        }
+        assert_eq!(
+            a.collect_all(&st, &part).unwrap(),
+            b.collect_all(&st, &part).unwrap()
+        );
+        st.destroy().unwrap();
+    }
+
+    #[test]
+    fn load_borrows_in_memory() {
+        let st = store("borrow");
+        let part = Partitioner::new(16, 2);
+        let vs = VertexStorage::<u32>::initialize(&st, &part, true, |v| v).unwrap();
+        let loaded = vs.load(&st, &part, 1).unwrap();
+        assert_eq!(
+            &*loaded,
+            &(part.range(1).map(|v| v as u32).collect::<Vec<_>>())[..]
+        );
+        st.destroy().unwrap();
+    }
+}

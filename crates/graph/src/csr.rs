@@ -1,0 +1,136 @@
+//! Compressed sparse row adjacency — the *sorted, indexed* edge
+//! representation the paper's comparison systems are built on.
+//!
+//! X-Stream itself never builds this: the whole point of the paper is
+//! that streaming the unordered edge list beats random access through
+//! an index once the cost of producing the index (a sort) is accounted
+//! for. The index-based baselines (local-queue BFS, hybrid BFS, the
+//! Ligra-like engine) all start from a [`Csr`], and the pre-processing
+//! timings in Figs. 18/20/22 time its construction.
+
+use crate::edgelist::EdgeList;
+use xstream_core::VertexId;
+
+/// Compressed sparse row adjacency structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes the neighbours of `v`.
+    offsets: Vec<usize>,
+    /// Neighbour vertex ids, grouped by source.
+    targets: Vec<VertexId>,
+    /// Edge weights, parallel to `targets`.
+    weights: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds the out-adjacency CSR of a graph using a counting sort by
+    /// source (the cheapest index-construction strategy, used as the
+    /// favourable pre-processing baseline).
+    pub fn from_edge_list(g: &EdgeList) -> Self {
+        let n = g.num_vertices();
+        let mut counts = vec![0usize; n + 1];
+        for e in g.edges() {
+            counts[e.src as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0 as VertexId; g.num_edges()];
+        let mut weights = vec![0f32; g.num_edges()];
+        for e in g.edges() {
+            let slot = cursor[e.src as usize];
+            cursor[e.src as usize] += 1;
+            targets[slot] = e.dst;
+            weights[slot] = e.weight;
+        }
+        Self {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Builds the *in*-adjacency (CSC) of a graph: neighbours grouped by
+    /// destination. Direction-optimizing BFS and the Ligra-like pull
+    /// phase need this reversed index; building it is the dominant
+    /// pre-processing cost the paper reports for Ligra (Fig. 20).
+    pub fn reversed_from_edge_list(g: &EdgeList) -> Self {
+        Self::from_edge_list(&g.reverse())
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Weights of the edges out of `v`, parallel to
+    /// [`neighbors`](Self::neighbors).
+    #[inline]
+    pub fn weights(&self, v: VertexId) -> &[f32] {
+        &self.weights[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::from_pairs;
+
+    #[test]
+    fn builds_adjacency() {
+        let g = from_pairs(4, &[(0, 1), (0, 2), (2, 3), (1, 3)]);
+        let csr = Csr::from_edge_list(&g);
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.num_edges(), 4);
+        let mut n0 = csr.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+        assert_eq!(csr.degree(3), 0);
+    }
+
+    #[test]
+    fn reversed_adjacency() {
+        let g = from_pairs(3, &[(0, 2), (1, 2)]);
+        let csc = Csr::reversed_from_edge_list(&g);
+        let mut n2 = csc.neighbors(2).to_vec();
+        n2.sort_unstable();
+        assert_eq!(n2, vec![0, 1]);
+    }
+
+    #[test]
+    fn preserves_weights() {
+        let g = EdgeList::new(2, vec![xstream_core::Edge::weighted(0, 1, 2.5)]);
+        let csr = Csr::from_edge_list(&g);
+        assert_eq!(csr.weights(0), &[2.5]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = EdgeList::empty(5);
+        let csr = Csr::from_edge_list(&g);
+        assert_eq!(csr.num_vertices(), 5);
+        assert_eq!(csr.num_edges(), 0);
+        assert!(csr.neighbors(4).is_empty());
+    }
+}

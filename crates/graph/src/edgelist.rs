@@ -1,0 +1,265 @@
+//! The unordered edge-list graph representation.
+
+use rand::Rng;
+use xstream_core::{Edge, VertexId};
+
+/// An unordered list of directed edges over vertices `0..num_vertices`.
+///
+/// This is X-Stream's native input format: no ordering, no index. All
+/// engine pre-processing (streaming partitioning) happens downstream of
+/// this type and never sorts it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeList {
+    num_vertices: usize,
+    edges: Vec<Edge>,
+}
+
+impl EdgeList {
+    /// Creates an edge list over `num_vertices` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge references a vertex `>= num_vertices`.
+    pub fn new(num_vertices: usize, edges: Vec<Edge>) -> Self {
+        for e in &edges {
+            assert!(
+                (e.src as usize) < num_vertices && (e.dst as usize) < num_vertices,
+                "edge ({}, {}) out of vertex range {num_vertices}",
+                e.src,
+                e.dst
+            );
+        }
+        Self {
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// Creates an edge list without validating vertex ids (generators
+    /// construct ids in range already).
+    pub fn from_parts_unchecked(num_vertices: usize, edges: Vec<Edge>) -> Self {
+        Self {
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// Creates an empty edge list over `num_vertices` vertices.
+    pub fn empty(num_vertices: usize) -> Self {
+        Self {
+            num_vertices,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edges, in arbitrary order.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Mutable access to the edges (used by the sorting baselines).
+    #[inline]
+    pub fn edges_mut(&mut self) -> &mut [Edge] {
+        &mut self.edges
+    }
+
+    /// Consumes the list, returning the raw edges.
+    pub fn into_edges(self) -> Vec<Edge> {
+        self.edges
+    }
+
+    /// Appends an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge references a vertex `>= num_vertices`.
+    pub fn push(&mut self, e: Edge) {
+        assert!(
+            (e.src as usize) < self.num_vertices && (e.dst as usize) < self.num_vertices,
+            "edge out of vertex range"
+        );
+        self.edges.push(e);
+    }
+
+    /// Returns the undirected expansion: every edge `(u, v)` becomes the
+    /// pair `(u, v)` and `(v, u)` (paper §2: undirected graphs are
+    /// represented by two directed edges). Self-loops are kept single.
+    pub fn to_undirected(&self) -> EdgeList {
+        let mut out = Vec::with_capacity(self.edges.len() * 2);
+        for e in &self.edges {
+            out.push(*e);
+            if e.src != e.dst {
+                out.push(e.reversed());
+            }
+        }
+        EdgeList::from_parts_unchecked(self.num_vertices, out)
+    }
+
+    /// Returns a bidirectional stream for algorithms that traverse both
+    /// directions of a *directed* graph (SCC): every edge appears twice,
+    /// once forward with `weight = FORWARD` and once reversed with
+    /// `weight = BACKWARD`. Existing weights are discarded.
+    pub fn to_bidirectional(&self) -> EdgeList {
+        let mut out = Vec::with_capacity(self.edges.len() * 2);
+        for e in &self.edges {
+            out.push(Edge::weighted(e.src, e.dst, direction::FORWARD));
+            out.push(Edge::weighted(e.dst, e.src, direction::BACKWARD));
+        }
+        EdgeList::from_parts_unchecked(self.num_vertices, out)
+    }
+
+    /// Returns a copy with all edges reversed.
+    pub fn reverse(&self) -> EdgeList {
+        EdgeList::from_parts_unchecked(
+            self.num_vertices,
+            self.edges.iter().map(Edge::reversed).collect(),
+        )
+    }
+
+    /// Assigns each edge a pseudo-random weight in `[0, 1)` (the paper
+    /// does this for inputs without weights).
+    pub fn with_random_weights<R: Rng>(mut self, rng: &mut R) -> EdgeList {
+        for e in &mut self.edges {
+            e.weight = rng.gen::<f32>();
+        }
+        self
+    }
+
+    /// A vertex suitable as a traversal root: the one with the highest
+    /// out-degree. Graph500-style root sampling rejects isolated
+    /// vertices, and scale-free generators routinely leave low vertex
+    /// ids with no edges at all.
+    pub fn max_out_degree_vertex(&self) -> VertexId {
+        self.out_degrees()
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, d)| *d)
+            .map(|(v, _)| v as VertexId)
+            .unwrap_or(0)
+    }
+
+    /// Out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut d = vec![0u32; self.num_vertices];
+        for e in &self.edges {
+            d[e.src as usize] += 1;
+        }
+        d
+    }
+
+    /// In-degree of every vertex.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut d = vec![0u32; self.num_vertices];
+        for e in &self.edges {
+            d[e.dst as usize] += 1;
+        }
+        d
+    }
+
+    /// Verifies that all edges reference valid vertices.
+    pub fn validate(&self) -> xstream_core::Result<()> {
+        for e in &self.edges {
+            if (e.src as usize) >= self.num_vertices || (e.dst as usize) >= self.num_vertices {
+                return Err(xstream_core::Error::InvalidInput(format!(
+                    "edge ({}, {}) out of vertex range {}",
+                    e.src, e.dst, self.num_vertices
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Direction tags stored in the weight field of bidirectional streams
+/// (see [`EdgeList::to_bidirectional`]).
+pub mod direction {
+    /// Weight value tagging a forward edge.
+    pub const FORWARD: f32 = 0.0;
+    /// Weight value tagging a backward (reversed) edge.
+    pub const BACKWARD: f32 = 1.0;
+
+    /// Whether a tag marks a forward edge.
+    #[inline]
+    pub fn is_forward(tag: f32) -> bool {
+        tag == FORWARD
+    }
+}
+
+/// Builds an `EdgeList` from `(src, dst)` pairs.
+pub fn from_pairs(num_vertices: usize, pairs: &[(VertexId, VertexId)]) -> EdgeList {
+    EdgeList::new(
+        num_vertices,
+        pairs.iter().map(|&(s, d)| Edge::new(s, d)).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undirected_doubles_edges() {
+        let g = from_pairs(4, &[(0, 1), (2, 3)]);
+        let u = g.to_undirected();
+        assert_eq!(u.num_edges(), 4);
+        assert!(u.edges().contains(&Edge::new(1, 0)));
+    }
+
+    #[test]
+    fn undirected_keeps_self_loops_single() {
+        let g = from_pairs(2, &[(1, 1)]);
+        assert_eq!(g.to_undirected().num_edges(), 1);
+    }
+
+    #[test]
+    fn bidirectional_tags_directions() {
+        let g = from_pairs(3, &[(0, 2)]);
+        let b = g.to_bidirectional();
+        assert_eq!(b.num_edges(), 2);
+        assert!(direction::is_forward(b.edges()[0].weight));
+        assert!(!direction::is_forward(b.edges()[1].weight));
+        assert_eq!(b.edges()[1].src, 2);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = from_pairs(3, &[(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(g.out_degrees(), vec![2, 1, 0]);
+        assert_eq!(g.in_degrees(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vertex range")]
+    fn rejects_out_of_range() {
+        let _ = from_pairs(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn validate_detects_bad_edges() {
+        let g = EdgeList::from_parts_unchecked(2, vec![Edge::new(0, 9)]);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn random_weights_in_unit_interval() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let g = from_pairs(4, &[(0, 1), (1, 2), (2, 3)]).with_random_weights(&mut rng);
+        for e in g.edges() {
+            assert!((0.0..1.0).contains(&e.weight));
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Binary on-disk edge-list format.
+//!
+//! The out-of-core engine's input is "a file containing the unordered
+//! edge list of the graph" (paper §3). The format here is a small
+//! header followed by raw [`Edge`] records — readable in fixed-size
+//! chunks so the pre-processing shuffle can stream it with large
+//! sequential I/O and never hold the whole graph in memory.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::edgelist::EdgeList;
+use xstream_core::record::{decode_records, records_as_bytes};
+use xstream_core::{Edge, Error, Result};
+
+/// Magic bytes identifying an X-Stream edge file.
+pub const MAGIC: &[u8; 8] = b"XSTREAM1";
+
+/// Size of the file header in bytes.
+pub const HEADER_LEN: usize = 8 + 8 + 8;
+
+/// Writes an edge list to `path` in the binary format.
+pub fn write_edge_file(path: &Path, g: &EdgeList) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    w.write_all(records_as_bytes(g.edges()))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a whole edge file into memory.
+pub fn read_edge_file(path: &Path) -> Result<EdgeList> {
+    let mut reader = EdgeFileReader::open(path)?;
+    let mut edges = Vec::with_capacity(reader.num_edges());
+    while let Some(chunk) = reader.next_chunk(1 << 20)? {
+        edges.extend_from_slice(&chunk);
+    }
+    if edges.len() != reader.num_edges() {
+        return Err(Error::InvalidInput(format!(
+            "edge file truncated: header promises {} edges, found {}",
+            reader.num_edges(),
+            edges.len()
+        )));
+    }
+    Ok(EdgeList::from_parts_unchecked(reader.num_vertices(), edges))
+}
+
+/// Chunked sequential reader over an edge file.
+pub struct EdgeFileReader {
+    reader: BufReader<File>,
+    num_vertices: usize,
+    num_edges: usize,
+    read_edges: usize,
+}
+
+impl EdgeFileReader {
+    /// Opens an edge file and parses its header.
+    pub fn open(path: &Path) -> Result<Self> {
+        let mut reader = BufReader::new(File::open(path)?);
+        let mut header = [0u8; HEADER_LEN];
+        reader.read_exact(&mut header).map_err(|_| {
+            Error::InvalidInput(format!("{}: too short for an edge file", path.display()))
+        })?;
+        if &header[..8] != MAGIC {
+            return Err(Error::InvalidInput(format!(
+                "{}: bad magic, not an X-Stream edge file",
+                path.display()
+            )));
+        }
+        let num_vertices = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
+        let num_edges = u64::from_le_bytes(header[16..24].try_into().unwrap()) as usize;
+        Ok(Self {
+            reader,
+            num_vertices,
+            num_edges,
+            read_edges: 0,
+        })
+    }
+
+    /// Declared vertex count.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Declared edge count.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Reads the next chunk of at most `max_edges` edges; `None` at EOF.
+    pub fn next_chunk(&mut self, max_edges: usize) -> Result<Option<Vec<Edge>>> {
+        let remaining = self.num_edges - self.read_edges;
+        if remaining == 0 {
+            return Ok(None);
+        }
+        let want = remaining.min(max_edges.max(1));
+        let mut buf = vec![0u8; want * Edge::SIZE];
+        self.reader
+            .read_exact(&mut buf)
+            .map_err(|_| Error::InvalidInput("edge file truncated mid-record".to_string()))?;
+        self.read_edges += want;
+        Ok(Some(decode_records::<Edge>(&buf)))
+    }
+}
+
+use xstream_core::Record;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi;
+
+    #[test]
+    fn roundtrip() {
+        let dir = std::env::temp_dir().join("xstream_fileio_test_rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.xse");
+        let g = erdos_renyi(100, 1000, 2);
+        write_edge_file(&path, &g).unwrap();
+        let back = read_edge_file(&path).unwrap();
+        assert_eq!(back, g);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chunked_reading_matches() {
+        let dir = std::env::temp_dir().join("xstream_fileio_test_chunk");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.xse");
+        let g = erdos_renyi(64, 777, 3);
+        write_edge_file(&path, &g).unwrap();
+        let mut reader = EdgeFileReader::open(&path).unwrap();
+        let mut edges = Vec::new();
+        while let Some(chunk) = reader.next_chunk(100).unwrap() {
+            assert!(chunk.len() <= 100);
+            edges.extend_from_slice(&chunk);
+        }
+        assert_eq!(edges, g.edges());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let dir = std::env::temp_dir().join("xstream_fileio_test_magic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bogus.xse");
+        std::fs::write(&path, b"NOTMAGICxxxxxxxxxxxxxxxxxxx").unwrap();
+        assert!(EdgeFileReader::open(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let dir = std::env::temp_dir().join("xstream_fileio_test_trunc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.xse");
+        let g = erdos_renyi(10, 50, 4);
+        write_edge_file(&path, &g).unwrap();
+        // Chop off the last 7 bytes.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        assert!(read_edge_file(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,223 @@
+//! Synthetic graph generators standing in for the paper's real-world
+//! datasets (Fig. 10).
+//!
+//! Each generator preserves the structural property the paper's
+//! evaluation actually exercises:
+//!
+//! * [`preferential_attachment`] — heavy-tailed social graphs
+//!   (Twitter, Friendster, LiveJournal stand-ins),
+//! * [`grid2d`] — the DIMACS USA road network's defining property is
+//!   its enormous diameter (Fig. 13 measures 8122 steps); a 2-D grid
+//!   has diameter `Θ(√V)`,
+//! * [`bipartite`] — the Netflix rating graph for ALS,
+//! * [`webgraph`] — host-locality web graphs (sk-2005, yahoo-web
+//!   stand-ins) with power-law in-degree,
+//! * [`erdos_renyi`] — uniform random baseline.
+
+use crate::edgelist::EdgeList;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xstream_core::{Edge, VertexId};
+
+/// Uniform `G(n, m)` random graph with `m` directed edges.
+pub fn erdos_renyi(num_vertices: usize, num_edges: usize, seed: u64) -> EdgeList {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let src = rng.gen_range(0..num_vertices) as VertexId;
+        let dst = rng.gen_range(0..num_vertices) as VertexId;
+        edges.push(Edge::new(src, dst));
+    }
+    EdgeList::from_parts_unchecked(num_vertices, edges)
+}
+
+/// Preferential-attachment (Barabási–Albert style) graph: each new
+/// vertex attaches `degree` directed edges to endpoints sampled from
+/// previously placed edge endpoints, yielding a power-law in-degree —
+/// the structure of the social graphs in the paper's dataset table.
+pub fn preferential_attachment(num_vertices: usize, degree: usize, seed: u64) -> EdgeList {
+    assert!(num_vertices >= 2, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<Edge> = Vec::with_capacity(num_vertices.saturating_mul(degree));
+    // Endpoint pool for proportional sampling ("repeated nodes" method).
+    let mut pool: Vec<VertexId> = vec![0, 1];
+    edges.push(Edge::new(1, 0));
+    for v in 2..num_vertices as VertexId {
+        for _ in 0..degree.max(1) {
+            let target = if rng.gen::<f64>() < 0.9 {
+                pool[rng.gen_range(0..pool.len())]
+            } else {
+                // Occasional uniform attachment keeps the graph from
+                // being a pure star forest.
+                rng.gen_range(0..v)
+            };
+            edges.push(Edge::new(v, target));
+            pool.push(target);
+            pool.push(v);
+        }
+    }
+    EdgeList::from_parts_unchecked(num_vertices, edges)
+}
+
+/// A `rows x cols` 2-D grid with 4-neighbour connectivity, as a pair of
+/// directed edges per lattice link. Diameter is `rows + cols - 2`:
+/// the high-diameter stand-in for the DIMACS USA road network.
+pub fn grid2d(rows: usize, cols: usize) -> EdgeList {
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut edges = Vec::with_capacity(4 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push(Edge::new(id(r, c), id(r, c + 1)));
+                edges.push(Edge::new(id(r, c + 1), id(r, c)));
+            }
+            if r + 1 < rows {
+                edges.push(Edge::new(id(r, c), id(r + 1, c)));
+                edges.push(Edge::new(id(r + 1, c), id(r, c)));
+            }
+        }
+    }
+    EdgeList::from_parts_unchecked(n, edges)
+}
+
+/// A bipartite rating graph: `users` user vertices (ids `0..users`)
+/// and `items` item vertices (ids `users..users+items`), with
+/// `ratings` weighted edges from users to items. Item popularity is
+/// Zipf-like, as in the Netflix dataset the paper uses for ALS.
+///
+/// Ratings are in `[1, 5]`, stored in the edge weight.
+pub fn bipartite(users: usize, items: usize, ratings: usize, seed: u64) -> EdgeList {
+    assert!(items >= 1 && users >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = users + items;
+    let mut edges = Vec::with_capacity(ratings);
+    for _ in 0..ratings {
+        let user = rng.gen_range(0..users) as VertexId;
+        // Zipf-ish item choice via squaring a uniform variate.
+        let z = rng.gen::<f64>();
+        let item = ((z * z * items as f64) as usize).min(items - 1);
+        let rating = rng.gen_range(1..=5) as f32;
+        edges.push(Edge::weighted(user, (users + item) as VertexId, rating));
+    }
+    EdgeList::from_parts_unchecked(n, edges)
+}
+
+/// Number of user vertices in a [`bipartite`] graph given its parts —
+/// helper so algorithms can recover the split.
+pub fn bipartite_split(users: usize) -> usize {
+    users
+}
+
+/// A web-graph stand-in: vertices are grouped into "hosts" of
+/// `host_size` consecutive ids; each vertex links mostly within its
+/// host (locality) plus a few power-law-popular global hubs, which is
+/// the structure of sk-2005-like crawls.
+pub fn webgraph(num_vertices: usize, degree: usize, host_size: usize, seed: u64) -> EdgeList {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let host_size = host_size.max(2);
+    let mut edges = Vec::with_capacity(num_vertices * degree);
+    for v in 0..num_vertices {
+        let host = v / host_size;
+        let host_lo = host * host_size;
+        let host_hi = (host_lo + host_size).min(num_vertices);
+        for _ in 0..degree {
+            let dst = if rng.gen::<f64>() < 0.8 {
+                // Intra-host link.
+                rng.gen_range(host_lo..host_hi)
+            } else {
+                // Global hub: power-law via inverse sampling.
+                let z = rng.gen::<f64>();
+                ((z * z * z * num_vertices as f64) as usize).min(num_vertices - 1)
+            };
+            edges.push(Edge::new(v as VertexId, dst as VertexId));
+        }
+    }
+    EdgeList::from_parts_unchecked(num_vertices, edges)
+}
+
+/// A directed path `0 -> 1 -> ... -> n-1`; the pathological
+/// maximum-diameter input used in tests.
+pub fn path(num_vertices: usize) -> EdgeList {
+    let mut edges = Vec::with_capacity(num_vertices.saturating_sub(1));
+    for v in 1..num_vertices {
+        edges.push(Edge::new((v - 1) as VertexId, v as VertexId));
+    }
+    EdgeList::from_parts_unchecked(num_vertices, edges)
+}
+
+/// A directed cycle over `n` vertices; smallest strongly connected
+/// high-diameter input, used in SCC tests.
+pub fn cycle(num_vertices: usize) -> EdgeList {
+    let mut edges = Vec::with_capacity(num_vertices);
+    for v in 0..num_vertices {
+        edges.push(Edge::new(
+            v as VertexId,
+            ((v + 1) % num_vertices) as VertexId,
+        ));
+    }
+    EdgeList::from_parts_unchecked(num_vertices, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_counts() {
+        let g = erdos_renyi(100, 500, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 500);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        let g = grid2d(3, 4);
+        // Links: 3*3 horizontal + 2*4 vertical = 17, doubled = 34.
+        assert_eq!(g.num_edges(), 34);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn pa_graph_is_heavy_tailed() {
+        let g = preferential_attachment(2000, 8, 3);
+        assert!(g.validate().is_ok());
+        let max_in = *g.in_degrees().iter().max().unwrap();
+        assert!(max_in > 50, "expected hubs, max in-degree {max_in}");
+    }
+
+    #[test]
+    fn bipartite_edges_point_user_to_item() {
+        let users = 50;
+        let g = bipartite(users, 20, 400, 9);
+        for e in g.edges() {
+            assert!((e.src as usize) < users);
+            assert!((e.dst as usize) >= users);
+            assert!((1.0..=5.0).contains(&e.weight));
+        }
+    }
+
+    #[test]
+    fn webgraph_in_range() {
+        let g = webgraph(1000, 8, 50, 4);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.num_edges(), 8000);
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(erdos_renyi(50, 100, 7), erdos_renyi(50, 100, 7));
+        assert_eq!(
+            preferential_attachment(100, 4, 7),
+            preferential_attachment(100, 4, 7)
+        );
+        assert_eq!(webgraph(100, 4, 10, 7), webgraph(100, 4, 10, 7));
+    }
+}

@@ -1,0 +1,32 @@
+//! Graph substrate for X-Stream.
+//!
+//! X-Stream consumes a completely *unordered* list of directed edges
+//! (paper §2); this crate provides that representation plus everything
+//! the evaluation needs around it:
+//!
+//! * [`edgelist::EdgeList`] — the unordered edge-list
+//!   container and its transforms (undirected expansion, reverse edges,
+//!   random weights),
+//! * synthetic generators ([`rmat`], [`generators`]) including the
+//!   Graph500-parameterized RMAT used throughout the paper's scaling
+//!   studies,
+//! * stand-ins for the paper's real-world datasets
+//!   ([`datasets`], Fig. 10),
+//! * a binary on-disk edge format ([`fileio`]) for the out-of-core
+//!   engine,
+//! * CSR/CSC adjacency construction ([`csr`]) for the index-based
+//!   comparison systems, and
+//! * edge-list sorting baselines ([`sort`]) for the sorting-vs-streaming
+//!   experiment (Fig. 18).
+
+pub mod csr;
+pub mod datasets;
+pub mod edgelist;
+pub mod fileio;
+pub mod generators;
+pub mod rmat;
+pub mod sort;
+
+pub use csr::Csr;
+pub use edgelist::EdgeList;
+pub use rmat::{Rmat, RmatParams};

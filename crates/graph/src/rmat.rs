@@ -1,0 +1,211 @@
+//! RMAT recursive-matrix graph generator (Chakrabarti et al., SDM'04).
+//!
+//! The paper generates its synthetic scale-free graphs with RMAT at an
+//! average degree of 16, as recommended by Graph500, and uses the term
+//! *scale n* for a graph with `2^n` vertices and `2^(n+4)` edges (§5.2).
+
+use crate::edgelist::EdgeList;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xstream_core::{Edge, VertexId};
+
+/// RMAT quadrant probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Level-wise multiplicative noise applied to the quadrant
+    /// probabilities, as in the Graph500 reference implementation, to
+    /// avoid exactly self-similar structure.
+    pub noise: f64,
+}
+
+impl Default for RmatParams {
+    /// Graph500 parameters: A=0.57, B=0.19, C=0.19 (D=0.05).
+    fn default() -> Self {
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.1,
+        }
+    }
+}
+
+impl RmatParams {
+    /// Probability of the bottom-right quadrant.
+    #[inline]
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// RMAT generator configured for a particular scale.
+#[derive(Debug, Clone)]
+pub struct Rmat {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Edges per vertex (Graph500 and the paper use 16).
+    pub edge_factor: usize,
+    /// Quadrant probabilities.
+    pub params: RmatParams,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Rmat {
+    /// Creates a generator at `scale` with the paper's defaults
+    /// (degree 16, Graph500 probabilities).
+    pub fn new(scale: u32) -> Self {
+        Self {
+            scale,
+            edge_factor: 16,
+            params: RmatParams::default(),
+            seed: 0x5eed_0000 + scale as u64,
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the edge factor.
+    pub fn with_edge_factor(mut self, edge_factor: usize) -> Self {
+        self.edge_factor = edge_factor;
+        self
+    }
+
+    /// Number of vertices (`2^scale`).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        1usize << self.scale
+    }
+
+    /// Number of generated directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_vertices() * self.edge_factor
+    }
+
+    /// Samples one edge.
+    fn sample_edge<R: Rng>(&self, rng: &mut R) -> Edge {
+        let mut src = 0usize;
+        let mut dst = 0usize;
+        let RmatParams { a, b, c, noise } = self.params;
+        let d = self.params.d();
+        for level in 0..self.scale {
+            // Multiplicative noise per level keeps the degree
+            // distribution heavy-tailed without exact self-similarity.
+            let m = 1.0 + noise * (rng.gen::<f64>() - 0.5);
+            let (la, lb, lc, ld) = (a * m, b / m, c / m, d * m);
+            let total = la + lb + lc + ld;
+            let r = rng.gen::<f64>() * total;
+            let bit = 1usize << (self.scale - 1 - level);
+            if r < la {
+                // Top-left: neither bit set.
+            } else if r < la + lb {
+                dst |= bit;
+            } else if r < la + lb + lc {
+                src |= bit;
+            } else {
+                src |= bit;
+                dst |= bit;
+            }
+        }
+        Edge::new(src as VertexId, dst as VertexId)
+    }
+
+    /// Generates the full unordered edge list.
+    pub fn generate(&self) -> EdgeList {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut edges = Vec::with_capacity(self.num_edges());
+        for _ in 0..self.num_edges() {
+            edges.push(self.sample_edge(&mut rng));
+        }
+        // Permute vertex ids so that the heavy vertices are not all
+        // clustered at id 0 — the Graph500 generator does the same; it
+        // also removes the partition-skew artifact of raw RMAT.
+        let perm = random_permutation(self.num_vertices(), self.seed ^ 0x9e37_79b9);
+        for e in &mut edges {
+            e.src = perm[e.src as usize];
+            e.dst = perm[e.dst as usize];
+        }
+        EdgeList::from_parts_unchecked(self.num_vertices(), edges)
+    }
+
+    /// Generates the undirected expansion used by the paper's synthetic
+    /// experiments (each edge becomes a directed pair).
+    pub fn generate_undirected(&self) -> EdgeList {
+        self.generate().to_undirected()
+    }
+}
+
+/// A uniformly random permutation of `0..n`.
+fn random_permutation(n: usize, seed: u64) -> Vec<VertexId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    // Fisher-Yates.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_arithmetic() {
+        let g = Rmat::new(10);
+        assert_eq!(g.num_vertices(), 1024);
+        assert_eq!(g.num_edges(), 16384);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Rmat::new(8).generate();
+        let b = Rmat::new(8).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Rmat::new(8).generate();
+        let b = Rmat::new(8).with_seed(1234).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn edges_in_range() {
+        let g = Rmat::new(9).generate();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.num_edges(), 512 * 16);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // Scale-free-ness smoke test: the max out-degree should be far
+        // above the average degree of 16.
+        let g = Rmat::new(12).generate();
+        let max = *g.out_degrees().iter().max().unwrap();
+        assert!(max > 64, "expected heavy tail, max degree {max}");
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let p = random_permutation(1000, 42);
+        let mut seen = vec![false; 1000];
+        for &v in &p {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+}

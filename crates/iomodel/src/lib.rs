@@ -1,0 +1,213 @@
+//! The paper's theoretical analysis (§5.7, Fig. 26): I/O-model costs of
+//! propagating a label from a source to all reachable vertices, for
+//! X-Stream, GraphChi, and sort-plus-random-access, plus the §3.4
+//! streaming-partition sizing arithmetic.
+//!
+//! The Aggarwal–Vitter I/O model has a memory of `M` words backed by an
+//! infinite disk with transfers of aligned blocks of `B` words; costs
+//! count block transfers. `D` is the graph diameter (the number of
+//! edge-centric scatter phases label propagation needs).
+
+/// Inputs of the Fig. 26 cost formulas, all in *words*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// Vertex-state size `|V|` in words.
+    pub v: f64,
+    /// Edge-list size `|E|` in words.
+    pub e: f64,
+    /// Update-stream size `|U|` per iteration in words.
+    pub u: f64,
+    /// Fast-memory size `M` in words.
+    pub m: f64,
+    /// Block size `B` in words.
+    pub b: f64,
+    /// Graph diameter `D` (scatter phases needed).
+    pub d: f64,
+}
+
+impl ModelParams {
+    /// Parameters for a graph with `|E| = degree * |V|` and updates
+    /// proportional to edges, in block/memory units of choice.
+    pub fn graph(v: f64, degree: f64, m: f64, b: f64, d: f64) -> Self {
+        let e = v * degree;
+        Self {
+            v,
+            e,
+            u: e,
+            m,
+            b,
+            d,
+        }
+    }
+}
+
+/// Number of streaming partitions X-Stream needs: `K = |V| / M`
+/// (vertex state of one partition must fit memory), at least 1.
+pub fn xstream_partitions(p: &ModelParams) -> f64 {
+    (p.v / p.m).max(1.0)
+}
+
+/// Number of shards GraphChi needs: `K = |E| / M` (a shard's *edges*
+/// must fit memory), at least 1 — always at least as many as
+/// X-Stream's partitions for `|E| >= |V|` (Fig. 26's density claim).
+pub fn graphchi_shards(p: &ModelParams) -> f64 {
+    (p.e / p.m).max(1.0)
+}
+
+/// X-Stream I/O cost of one scatter-gather iteration:
+/// `(|V| + |E|)/B + (|U|/B) * log_{M/B}(K)` — streaming the vertices
+/// and edges once plus shuffling the update stream down the partition
+/// tree (the multi-stage shuffle needs `ceil(log_{M/B} K)` passes out
+/// of core; with `K = 1` the updates never leave memory, the §3.2
+/// optimization, and the term vanishes as `log 1 = 0`).
+pub fn xstream_one_iteration(p: &ModelParams) -> f64 {
+    let k = xstream_partitions(p);
+    (p.v + p.e) / p.b + (p.u / p.b) * log_base(p.m / p.b, k)
+}
+
+/// X-Stream total cost for label propagation: `D` iterations with
+/// `|U| <= |E|` (Fig. 26 bounds updates by edges).
+pub fn xstream_total(p: &ModelParams) -> f64 {
+    let k = xstream_partitions(p);
+    p.d * ((p.v + p.e) / p.b + (p.e / p.b) * log_base(p.m / p.b, k))
+}
+
+/// GraphChi I/O cost of one iteration: `|E|/B + K^2` — every shard is
+/// streamed, plus one (at least) positioned access per sliding window,
+/// of which there are `K` per interval over `K` intervals.
+pub fn graphchi_one_iteration(p: &ModelParams) -> f64 {
+    let k = graphchi_shards(p);
+    p.e / p.b + k * k
+}
+
+/// GraphChi total: `D` iterations.
+pub fn graphchi_total(p: &ModelParams) -> f64 {
+    p.d * graphchi_one_iteration(p)
+}
+
+/// Pre-processing (sort) cost for index-based systems:
+/// `(|E|/B) * log_{M/B}(min(|V|, |E|/M))` — external merge sort of the
+/// edge list (Fig. 26, citing Vitter).
+pub fn sort_preprocessing(p: &ModelParams) -> f64 {
+    let runs = (p.v).min(p.e / p.m).max(2.0);
+    (p.e / p.b) * log_base(p.m / p.b, runs).max(1.0)
+}
+
+/// Random-access traversal total after sorting: `|V| + |E|` — one
+/// block transfer per vertex/edge touched through the index, with no
+/// useful spatial batching (Fig. 26's last row; diameter-independent).
+pub fn sorted_random_access_total(p: &ModelParams) -> f64 {
+    p.v + p.e
+}
+
+fn log_base(base: f64, x: f64) -> f64 {
+    if x <= 1.0 {
+        return 0.0;
+    }
+    if base <= 1.0 {
+        return 1.0;
+    }
+    (x.ln() / base.ln()).ceil()
+}
+
+/// One row of the Fig. 26 comparison, evaluated numerically.
+#[derive(Debug, Clone, Copy)]
+pub struct CostRow {
+    /// Streaming partitions (X-Stream).
+    pub xstream_partitions: f64,
+    /// Shards (GraphChi).
+    pub graphchi_shards: f64,
+    /// X-Stream total block transfers.
+    pub xstream: f64,
+    /// GraphChi total block transfers.
+    pub graphchi: f64,
+    /// Sort pre-processing block transfers.
+    pub sort_pre: f64,
+    /// Sorted random-access traversal transfers.
+    pub random_access: f64,
+}
+
+/// Evaluates all Fig. 26 formulas for one parameter set.
+pub fn evaluate(p: &ModelParams) -> CostRow {
+    CostRow {
+        xstream_partitions: xstream_partitions(p),
+        graphchi_shards: graphchi_shards(p),
+        xstream: xstream_total(p),
+        graphchi: graphchi_total(p),
+        sort_pre: sort_preprocessing(p),
+        random_access: sorted_random_access_total(p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(diameter: f64) -> ModelParams {
+        // 1B vertices, degree 16, 1 GW memory, 4 KW blocks.
+        ModelParams::graph(1e9, 16.0, 1e9, 4096.0, diameter)
+    }
+
+    #[test]
+    fn xstream_uses_fewer_partitions_than_graphchi_shards() {
+        let p = params(10.0);
+        assert!(xstream_partitions(&p) <= graphchi_shards(&p));
+        // Dense graphs widen the gap (the paper's density claim).
+        let dense = ModelParams::graph(1e9, 64.0, 1e9, 4096.0, 10.0);
+        assert!(graphchi_shards(&dense) / xstream_partitions(&dense) >= 16.0);
+    }
+
+    #[test]
+    fn xstream_beats_graphchi_on_ios_regardless_of_diameter() {
+        // The Fig. 26 claim is about the out-of-core regime: once
+        // |E| >> M, GraphChi's K^2 positioned accesses per iteration
+        // (K = |E|/M shards) grow quadratically while X-Stream only
+        // pays extra shuffle passes logarithmically in K = |V|/M.
+        for d in [1.0, 10.0, 100.0, 6000.0] {
+            let p = ModelParams::graph(1e9, 16.0, 1e6, 4096.0, d);
+            assert!(
+                xstream_total(&p) <= graphchi_total(&p),
+                "diameter {d}: {} vs {}",
+                xstream_total(&p),
+                graphchi_total(&p)
+            );
+        }
+    }
+
+    #[test]
+    fn low_diameter_favors_xstream_over_sorting() {
+        // The paper: X-Stream does well on low-diameter graphs where it
+        // scales better than sort-first solutions.
+        let p = params(10.0);
+        let stream = xstream_total(&p);
+        let sorted = sort_preprocessing(&p) + sorted_random_access_total(&p);
+        assert!(
+            stream < sorted,
+            "low diameter: streaming {stream} vs sorted {sorted}"
+        );
+    }
+
+    #[test]
+    fn huge_diameter_favors_random_access() {
+        // The flip side (DIMACS/yahoo-web in the paper): enormous
+        // diameters make re-streaming the edge list lose.
+        let p = params(100_000.0);
+        let stream = xstream_total(&p);
+        let sorted = sort_preprocessing(&p) + sorted_random_access_total(&p);
+        assert!(stream > sorted, "high diameter should favor the index");
+    }
+
+    #[test]
+    fn fits_in_memory_needs_one_partition() {
+        let p = ModelParams::graph(1e6, 16.0, 1e9, 4096.0, 10.0);
+        assert_eq!(xstream_partitions(&p), 1.0);
+    }
+
+    #[test]
+    fn evaluate_is_consistent() {
+        let p = params(16.0);
+        let row = evaluate(&p);
+        assert_eq!(row.xstream, xstream_total(&p));
+        assert_eq!(row.graphchi, graphchi_total(&p));
+    }
+}

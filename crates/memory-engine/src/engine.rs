@@ -1,0 +1,590 @@
+//! The in-memory scatter-gather engine (paper §4).
+//!
+//! One iteration is:
+//!
+//! 1. **Scatter** — threads claim streaming partitions from work
+//!    queues (stealing when idle, §4.1), stream the partition's edge
+//!    chunk sequentially, and append updates to a thread-private slice
+//!    (the Fig. 7 slicing of the shared output buffer; slices never
+//!    need synchronization).
+//! 2. **Shuffle** — each thread multi-stage-shuffles its own slice
+//!    into per-partition chunks (§4.2).
+//! 3. **Gather** — threads claim partitions again and apply the
+//!    partition's update chunks (one per slice: sequential access plus
+//!    at most `threads` random chunk lookups) to the partition's
+//!    vertex states, which fit in the CPU cache by construction.
+
+use std::mem::size_of;
+use std::time::Instant;
+
+use crate::queue::WorkQueues;
+use xstream_core::program::TargetedUpdate;
+use xstream_core::{
+    Edge, EdgeProgram, Engine, EngineConfig, IterationStats, Partitioner, VertexId,
+};
+use xstream_graph::EdgeList;
+use xstream_storage::shuffle::{parallel_multistage_shuffle, MultiStagePlan};
+use xstream_storage::StreamBuffer;
+
+/// Raw pointer wrapper granting scoped threads access to disjoint
+/// partition sub-slices of the vertex-state array.
+struct StatesPtr<S>(*mut S);
+
+// SAFETY: the pointer is only dereferenced through
+// `partition_slice_mut`, whose callers guarantee each partition index
+// is claimed by exactly one thread (the work queues pop every index
+// once), so the produced `&mut` sub-slices are disjoint.
+unsafe impl<S> Send for StatesPtr<S> {}
+// SAFETY: as above — shared access never aliases a mutable sub-slice.
+unsafe impl<S> Sync for StatesPtr<S> {}
+
+impl<S> StatesPtr<S> {
+    /// Produces the mutable state slice of one partition.
+    ///
+    /// # Safety
+    ///
+    /// `range` must lie inside the allocation and no other live
+    /// reference (shared or unique) may overlap it.
+    #[inline]
+    unsafe fn partition_slice_mut(&self, range: core::ops::Range<usize>) -> &mut [S] {
+        // SAFETY: forwarded to the caller per the method contract.
+        unsafe { std::slice::from_raw_parts_mut(self.0.add(range.start), range.len()) }
+    }
+}
+
+/// The in-memory streaming engine.
+pub struct InMemoryEngine<P: EdgeProgram> {
+    config: EngineConfig,
+    partitioner: Partitioner,
+    plan: MultiStagePlan,
+    states: Vec<P::State>,
+    /// Edges grouped by source partition; chunk `p` is partition `p`'s
+    /// edge list, streamed sequentially during scatter.
+    edges: StreamBuffer<Edge>,
+    num_edges: usize,
+}
+
+struct ScatterOut<U> {
+    updates: Vec<TargetedUpdate<U>>,
+    edges_streamed: u64,
+    updates_generated: u64,
+}
+
+struct GatherOut {
+    updates_applied: u64,
+    vertices_changed: u64,
+}
+
+impl<P: EdgeProgram> InMemoryEngine<P> {
+    /// Builds an engine over `edges` (an unordered edge list over
+    /// vertices `0..num_vertices`), initializing vertex state with
+    /// `program.init`.
+    ///
+    /// Setup performs the one-time streaming partitioning of the edge
+    /// list — a shuffle, *not* a sort (the paper's key pre-processing
+    /// advantage, Fig. 18).
+    pub fn new(num_vertices: usize, edges: Vec<Edge>, program: &P, config: EngineConfig) -> Self {
+        let footprint =
+            size_of::<P::State>() + size_of::<Edge>() + size_of::<TargetedUpdate<P::Update>>();
+        let k = config.in_memory_partitions(num_vertices, footprint);
+        let partitioner = Partitioner::new(num_vertices, k);
+        let fanout = config.shuffle_fanout.unwrap_or_else(|| {
+            (config.cache_size / config.cache_line)
+                .next_power_of_two()
+                .max(2)
+        });
+        let plan = MultiStagePlan::new(partitioner.num_partitions(), fanout);
+        let num_edges = edges.len();
+
+        // Partition the edges by source: slice across threads, shuffle
+        // each slice in parallel, merge the per-slice chunks.
+        let slices = split_slices(edges, config.threads);
+        let bufs =
+            parallel_multistage_shuffle(slices, plan, |e: &Edge| partitioner.partition_of(e.src));
+        let edges = merge_slices(&bufs, partitioner.num_partitions());
+
+        let states = (0..num_vertices as VertexId)
+            .map(|v| program.init(v))
+            .collect();
+        Self {
+            config,
+            partitioner,
+            plan,
+            states,
+            edges,
+            num_edges,
+        }
+    }
+
+    /// Builds an engine directly from an [`EdgeList`].
+    pub fn from_graph(graph: &EdgeList, program: &P, config: EngineConfig) -> Self {
+        Self::new(
+            graph.num_vertices(),
+            graph.edges().to_vec(),
+            program,
+            config,
+        )
+    }
+
+    /// The partitioner in use (exposed for experiments).
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.partitioner
+    }
+
+    /// The multi-stage shuffle plan in use (exposed for experiments).
+    pub fn plan(&self) -> &MultiStagePlan {
+        &self.plan
+    }
+
+    /// Immutable view of all vertex states.
+    pub fn state_slice(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// Runs one phase body on every worker; inline when single-threaded
+    /// to avoid spawn overhead in the paper's single-thread baselines.
+    fn run_workers<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        let threads = self.config.threads.max(1);
+        if threads == 1 {
+            return vec![f(0)];
+        }
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = (0..threads).map(|t| scope.spawn(move || f(t))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("engine worker panicked"))
+                .collect()
+        })
+    }
+}
+
+fn split_slices<T>(mut items: Vec<T>, threads: usize) -> Vec<Vec<T>> {
+    let threads = threads.max(1);
+    let per = items.len().div_ceil(threads).max(1);
+    let mut out = Vec::with_capacity(threads);
+    while items.len() > per {
+        let rest = items.split_off(per);
+        out.push(std::mem::replace(&mut items, rest));
+    }
+    out.push(items);
+    while out.len() < threads {
+        out.push(Vec::new());
+    }
+    out
+}
+
+fn merge_slices<T: xstream_core::Record>(
+    bufs: &[StreamBuffer<T>],
+    num_partitions: usize,
+) -> StreamBuffer<T> {
+    let mut offsets = Vec::with_capacity(num_partitions + 1);
+    offsets.push(0usize);
+    for p in 0..num_partitions {
+        let total: usize = bufs
+            .iter()
+            .map(|b| {
+                if p < b.num_chunks() {
+                    b.chunk(p).len()
+                } else {
+                    0
+                }
+            })
+            .sum();
+        offsets.push(offsets.last().unwrap() + total);
+    }
+    let mut data = Vec::with_capacity(*offsets.last().unwrap());
+    for p in 0..num_partitions {
+        for b in bufs {
+            if p < b.num_chunks() {
+                data.extend_from_slice(b.chunk(p));
+            }
+        }
+    }
+    StreamBuffer::from_grouped(data, offsets)
+}
+
+impl<P: EdgeProgram> Engine<P> for InMemoryEngine<P> {
+    fn num_vertices(&self) -> usize {
+        self.states.len()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn scatter_gather(&mut self, program: &P) -> IterationStats {
+        let mut stats = IterationStats::default();
+        let k = self.partitioner.num_partitions();
+        let threads = self.config.threads.max(1);
+
+        // ---- Scatter ----
+        let t = Instant::now();
+        let queues = WorkQueues::new(0..k, threads, self.config.work_stealing);
+        let scatter_outs: Vec<ScatterOut<P::Update>> = {
+            let states = &self.states;
+            let edges = &self.edges;
+            let queues = &queues;
+            self.run_workers(move |tid| {
+                let mut out = ScatterOut {
+                    updates: Vec::new(),
+                    edges_streamed: 0,
+                    updates_generated: 0,
+                };
+                while let Some(p) = queues.pop(tid) {
+                    for e in edges.chunk(p) {
+                        out.edges_streamed += 1;
+                        // SAFETY-free fast path: scatter only reads the
+                        // source state; states are shared immutably in
+                        // this phase.
+                        let src_state = &states[e.src as usize];
+                        if !program.needs_scatter(src_state) {
+                            continue;
+                        }
+                        if let Some(u) = program.scatter(src_state, e) {
+                            out.updates.push(TargetedUpdate::new(e.dst, u));
+                            out.updates_generated += 1;
+                        }
+                    }
+                }
+                out
+            })
+        };
+        stats.scatter_ns = t.elapsed().as_nanos() as u64;
+
+        let mut update_slices = Vec::with_capacity(scatter_outs.len());
+        for o in scatter_outs {
+            stats.edges_streamed += o.edges_streamed;
+            stats.updates_generated += o.updates_generated;
+            update_slices.push(o.updates);
+        }
+
+        // ---- Shuffle ----
+        let t = Instant::now();
+        let partitioner = self.partitioner;
+        let bufs = parallel_multistage_shuffle(update_slices, self.plan, move |u| {
+            partitioner.partition_of(u.target)
+        });
+        stats.shuffle_ns = t.elapsed().as_nanos() as u64;
+
+        // ---- Gather ----
+        let t = Instant::now();
+        let queues = WorkQueues::new(0..k, threads, self.config.work_stealing);
+        let gather_outs: Vec<GatherOut> = {
+            let states_ptr = StatesPtr(self.states.as_mut_ptr());
+            let bufs = &bufs;
+            let queues = &queues;
+            let partitioner = &self.partitioner;
+            let states_ptr = &states_ptr;
+            self.run_workers(move |tid| {
+                let mut out = GatherOut {
+                    updates_applied: 0,
+                    vertices_changed: 0,
+                };
+                while let Some(p) = queues.pop(tid) {
+                    let range = partitioner.range(p);
+                    // SAFETY: work queues hand each partition index to
+                    // exactly one worker and partition ranges are
+                    // disjoint, so this `&mut` slice aliases nothing.
+                    let part_states = unsafe { states_ptr.partition_slice_mut(range.clone()) };
+                    for buf in bufs {
+                        if p >= buf.num_chunks() {
+                            continue;
+                        }
+                        for u in buf.chunk(p) {
+                            debug_assert!(
+                                (u.target as usize) >= range.start
+                                    && (u.target as usize) < range.end
+                            );
+                            let local = u.target as usize - range.start;
+                            out.updates_applied += 1;
+                            if program.gather(&mut part_states[local], &u.payload) {
+                                out.vertices_changed += 1;
+                            }
+                        }
+                    }
+                }
+                out
+            })
+        };
+        stats.gather_ns = t.elapsed().as_nanos() as u64;
+        for o in gather_outs {
+            stats.updates_applied += o.updates_applied;
+            stats.vertices_changed += o.vertices_changed;
+        }
+
+        // Data-movement accounting: edges read once; updates written by
+        // scatter, copied by each shuffle stage, read by gather.
+        let esz = size_of::<Edge>() as u64;
+        let usz = size_of::<TargetedUpdate<P::Update>>() as u64;
+        let upd_bytes = stats.updates_generated * usz;
+        stats.bytes_read = stats.edges_streamed * esz
+            + upd_bytes * self.plan.stages.max(1) as u64
+            + stats.updates_applied * usz;
+        stats.bytes_written = upd_bytes + upd_bytes * self.plan.stages.max(1) as u64;
+        // Memory-reference proxy (Fig. 21): edge read + source-state
+        // read per edge; update write; update read + state read-modify-
+        // write per applied update.
+        stats.mem_refs =
+            stats.edges_streamed * 2 + stats.updates_generated + stats.updates_applied * 2;
+        stats.streaming_ns = stats.shuffle_ns;
+        stats
+    }
+
+    fn vertex_map(&mut self, f: &mut dyn FnMut(VertexId, &mut P::State)) {
+        for (v, s) in self.states.iter_mut().enumerate() {
+            f(v as VertexId, s);
+        }
+    }
+
+    fn vertex_fold(
+        &mut self,
+        init: f64,
+        f: &mut dyn FnMut(f64, VertexId, &P::State) -> f64,
+    ) -> f64 {
+        let mut acc = init;
+        for (v, s) in self.states.iter().enumerate() {
+            acc = f(acc, v as VertexId, s);
+        }
+        acc
+    }
+
+    fn states(&mut self) -> Vec<P::State> {
+        self.states.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xstream_core::Termination;
+    use xstream_graph::generators;
+
+    /// Min-label propagation: connected components on undirected input.
+    struct MinLabel;
+
+    impl EdgeProgram for MinLabel {
+        type State = u32;
+        type Update = u32;
+
+        fn init(&self, v: VertexId) -> u32 {
+            v
+        }
+
+        fn scatter(&self, s: &u32, _e: &Edge) -> Option<u32> {
+            Some(*s)
+        }
+
+        fn gather(&self, d: &mut u32, u: &u32) -> bool {
+            if u < d {
+                *d = *u;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    /// In-degree counting: one scatter pass, gather adds 1.
+    struct DegreeCount;
+
+    impl EdgeProgram for DegreeCount {
+        type State = u32;
+        type Update = u32;
+
+        fn init(&self, _v: VertexId) -> u32 {
+            0
+        }
+
+        fn scatter(&self, _s: &u32, _e: &Edge) -> Option<u32> {
+            Some(1)
+        }
+
+        fn gather(&self, d: &mut u32, u: &u32) -> bool {
+            *d += *u;
+            true
+        }
+    }
+
+    fn engine_cfg(threads: usize, partitions: usize) -> EngineConfig {
+        EngineConfig::default()
+            .with_threads(threads)
+            .with_partitions(partitions)
+    }
+
+    #[test]
+    fn min_label_converges_on_path() {
+        let g = generators::path(50).to_undirected();
+        let mut e = InMemoryEngine::from_graph(&g, &MinLabel, engine_cfg(2, 4));
+        let stats = e.run(&MinLabel, Termination::Converged);
+        assert!(stats.num_iterations() >= 25, "path needs ~n/2 iterations");
+        assert!(e.states().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn results_invariant_to_partitions_and_threads() {
+        let g = generators::erdos_renyi(500, 4000, 11).to_undirected();
+        let mut reference: Option<Vec<u32>> = None;
+        for threads in [1usize, 2, 4] {
+            for parts in [1usize, 4, 64] {
+                let mut e = InMemoryEngine::from_graph(&g, &MinLabel, engine_cfg(threads, parts));
+                e.run(&MinLabel, Termination::Converged);
+                let states = e.states();
+                match &reference {
+                    None => reference = Some(states),
+                    Some(r) => assert_eq!(r, &states, "threads={threads} parts={parts}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degree_count_matches_direct() {
+        let g = generators::erdos_renyi(200, 3000, 3);
+        let mut e = InMemoryEngine::from_graph(&g, &DegreeCount, engine_cfg(2, 8));
+        let stats = e.scatter_gather(&DegreeCount);
+        assert_eq!(stats.edges_streamed, 3000);
+        assert_eq!(stats.updates_generated, 3000);
+        assert_eq!(stats.updates_applied, 3000);
+        let expect = g.in_degrees();
+        assert_eq!(e.states(), expect);
+    }
+
+    #[test]
+    fn work_stealing_off_still_correct() {
+        let g = generators::preferential_attachment(300, 5, 1).to_undirected();
+        let cfg = engine_cfg(2, 16).with_work_stealing(false);
+        let mut e = InMemoryEngine::from_graph(&g, &MinLabel, cfg);
+        e.run(&MinLabel, Termination::Converged);
+        assert!(e.states().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn vertex_map_and_fold() {
+        let g = generators::path(10);
+        let mut e = InMemoryEngine::from_graph(&g, &MinLabel, engine_cfg(1, 2));
+        e.vertex_map(&mut |v, s| *s = v * 2);
+        let sum = e.vertex_fold(0.0, &mut |acc, _v, s| acc + *s as f64);
+        assert_eq!(sum, (0..10).map(|v| v as f64 * 2.0).sum::<f64>());
+    }
+
+    #[test]
+    fn wasted_edge_accounting() {
+        // needs_scatter is default-true; a program whose scatter always
+        // declines produces 100% wasted edges.
+        struct Never;
+        impl EdgeProgram for Never {
+            type State = u32;
+            type Update = u32;
+            fn init(&self, _v: VertexId) -> u32 {
+                0
+            }
+            fn scatter(&self, _s: &u32, _e: &Edge) -> Option<u32> {
+                None
+            }
+            fn gather(&self, _d: &mut u32, _u: &u32) -> bool {
+                false
+            }
+        }
+        let g = generators::erdos_renyi(50, 500, 2);
+        let mut e = InMemoryEngine::from_graph(&g, &Never, engine_cfg(2, 4));
+        let it = e.scatter_gather(&Never);
+        assert_eq!(it.edges_streamed, 500);
+        assert_eq!(it.updates_generated, 0);
+        assert_eq!(it.wasted_pct(), 100.0);
+    }
+
+    #[test]
+    fn empty_graph_iterates_trivially() {
+        let g = EdgeList::empty(10);
+        let mut e = InMemoryEngine::from_graph(&g, &MinLabel, engine_cfg(2, 2));
+        let it = e.scatter_gather(&MinLabel);
+        assert_eq!(it.edges_streamed, 0);
+        assert_eq!(it.vertices_changed, 0);
+    }
+
+    #[test]
+    fn more_threads_than_partitions_is_safe() {
+        // Work queues must tolerate workers that never receive a
+        // partition of their own.
+        let g = generators::erdos_renyi(100, 600, 5).to_undirected();
+        let reference = {
+            let mut e = InMemoryEngine::from_graph(&g, &MinLabel, engine_cfg(1, 1));
+            e.run(&MinLabel, xstream_core::Termination::Converged);
+            e.states()
+        };
+        let mut e = InMemoryEngine::from_graph(&g, &MinLabel, engine_cfg(8, 2));
+        e.run(&MinLabel, xstream_core::Termination::Converged);
+        assert_eq!(e.states(), reference);
+    }
+
+    #[test]
+    fn single_partition_multi_threaded() {
+        // K = 1: only one worker has scatter work, but the sliced
+        // shuffle must still merge every thread's (possibly empty)
+        // slice correctly.
+        let g = generators::erdos_renyi(80, 400, 6).to_undirected();
+        let mut a = InMemoryEngine::from_graph(&g, &MinLabel, engine_cfg(4, 1));
+        a.run(&MinLabel, xstream_core::Termination::Converged);
+        let mut b = InMemoryEngine::from_graph(&g, &MinLabel, engine_cfg(1, 4));
+        b.run(&MinLabel, xstream_core::Termination::Converged);
+        assert_eq!(a.states(), b.states());
+    }
+
+    #[test]
+    fn needs_scatter_gating_saves_scatter_calls() {
+        // MinLabel has no gating, so every edge scatters every round; a
+        // gated variant must stream the same edges but emit fewer
+        // updates after convergence of most vertices.
+        struct Gated;
+
+        impl EdgeProgram for Gated {
+            type State = u32;
+            type Update = u32;
+
+            fn init(&self, v: VertexId) -> u32 {
+                v
+            }
+
+            fn needs_scatter(&self, s: &u32) -> bool {
+                // Only even labels propagate.
+                s % 2 == 0
+            }
+
+            fn scatter(&self, s: &u32, _e: &Edge) -> Option<u32> {
+                Some(*s)
+            }
+
+            fn gather(&self, d: &mut u32, u: &u32) -> bool {
+                if u < d {
+                    *d = *u;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+
+        let g = generators::path(64).to_undirected();
+        let mut e = InMemoryEngine::from_graph(&g, &Gated, engine_cfg(2, 4));
+        let it = e.scatter_gather(&Gated);
+        // All edges are streamed (the X-Stream trade-off) ...
+        assert_eq!(it.edges_streamed as usize, g.num_edges());
+        // ... but odd-labelled sources were gated out before scatter.
+        assert!(it.updates_generated < it.edges_streamed);
+    }
+
+    #[test]
+    fn automatic_partition_count_scales_with_cache() {
+        let g = generators::erdos_renyi(1 << 14, 1 << 16, 9);
+        let small_cache = EngineConfig::default().with_cache_size(1 << 10);
+        let big_cache = EngineConfig::default().with_cache_size(1 << 24);
+        let e1 = InMemoryEngine::from_graph(&g, &MinLabel, small_cache);
+        let e2 = InMemoryEngine::from_graph(&g, &MinLabel, big_cache);
+        assert!(e1.partitioner().num_partitions() > e2.partitioner().num_partitions());
+    }
+}

@@ -1,0 +1,130 @@
+//! Work distribution with stealing (paper §4.1).
+//!
+//! Streaming partitions can hold very different numbers of edges
+//! (RMAT graphs are heavily skewed), so statically assigning partitions
+//! to threads leaves cores idle. Each thread owns a queue of partition
+//! indices; when its own queue drains it steals from the back of the
+//! busiest victim's queue.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// Per-thread work queues with optional stealing.
+pub struct WorkQueues {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    stealing: bool,
+}
+
+impl WorkQueues {
+    /// Distributes `items` round-robin over `threads` queues.
+    pub fn new(items: impl IntoIterator<Item = usize>, threads: usize, stealing: bool) -> Self {
+        let threads = threads.max(1);
+        let mut queues: Vec<VecDeque<usize>> = (0..threads).map(|_| VecDeque::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            queues[i % threads].push_back(item);
+        }
+        Self {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+            stealing,
+        }
+    }
+
+    /// Number of queues (threads).
+    pub fn num_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Pops the next item for thread `me`: its own queue first, then —
+    /// if stealing is enabled — the back of the longest other queue.
+    pub fn pop(&self, me: usize) -> Option<usize> {
+        if let Some(item) = self.queues[me % self.queues.len()].lock().pop_front() {
+            return Some(item);
+        }
+        if !self.stealing {
+            return None;
+        }
+        // Steal from the longest victim to halve imbalance fastest.
+        loop {
+            let mut best: Option<(usize, usize)> = None;
+            for (i, q) in self.queues.iter().enumerate() {
+                if i == me % self.queues.len() {
+                    continue;
+                }
+                let len = q.lock().len();
+                if len > 0 && best.map(|(_, l)| len > l).unwrap_or(true) {
+                    best = Some((i, len));
+                }
+            }
+            let Some((victim, _)) = best else {
+                return None;
+            };
+            if let Some(item) = self.queues[victim].lock().pop_back() {
+                return Some(item);
+            }
+            // Lost the race; rescan.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn drains_every_item_exactly_once() {
+        let q = WorkQueues::new(0..100, 4, true);
+        let seen = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let q = &q;
+                let seen = &seen;
+                s.spawn(move || {
+                    while let Some(_item) = q.pop(t) {
+                        seen.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn no_stealing_leaves_other_queues_alone() {
+        let q = WorkQueues::new(0..10, 2, false);
+        // Thread 0 drains its 5 round-robin items and must then stop.
+        let mut count = 0;
+        while q.pop(0).is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 5);
+        // Thread 1's items are untouched.
+        let mut count = 0;
+        while q.pop(1).is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn stealing_rebalances() {
+        // All items on queue 0; thread 1 must still make progress.
+        let q = WorkQueues::new(std::iter::repeat(7).take(20), 1, true);
+        assert_eq!(q.num_queues(), 1);
+        let q = WorkQueues::new(0..20, 2, true);
+        // Thread 1 drains everything, including thread 0's share.
+        let mut count = 0;
+        while q.pop(1).is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 20);
+        assert!(q.pop(0).is_none());
+    }
+
+    #[test]
+    fn empty_queue() {
+        let q = WorkQueues::new(std::iter::empty(), 3, true);
+        assert!(q.pop(0).is_none());
+        assert!(q.pop(2).is_none());
+    }
+}

@@ -1,0 +1,141 @@
+//! The stream buffer (paper Fig. 5).
+//!
+//! A stream buffer is a statically sized chunk array plus an index
+//! array with one entry per streaming partition; entry `i` describes
+//! the chunk holding the data of partition `i`. The shuffle phase fills
+//! one stream buffer from another; scatter and gather stream individual
+//! chunks.
+//!
+//! This implementation is generic over the [`Record`] type stored
+//! instead of raw bytes — the layout is identical (records are
+//! fixed-size and padding-free) and the engines avoid per-record
+//! decoding on the hot path.
+
+use xstream_core::Record;
+
+/// A chunk array with an index describing one chunk per partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamBuffer<T> {
+    data: Vec<T>,
+    /// `offsets[p]..offsets[p+1]` is the chunk of partition `p`;
+    /// `offsets.len() == num_chunks + 1`.
+    offsets: Vec<usize>,
+}
+
+impl<T: Record> StreamBuffer<T> {
+    /// Creates a buffer from a chunk array already grouped by
+    /// partition, with `offsets[p]..offsets[p+1]` delimiting chunk `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offsets are not monotonically non-decreasing or do
+    /// not cover `data` exactly.
+    pub fn from_grouped(data: Vec<T>, offsets: Vec<usize>) -> Self {
+        assert!(offsets.len() >= 2, "need at least one chunk");
+        assert_eq!(*offsets.first().unwrap(), 0);
+        assert_eq!(*offsets.last().unwrap(), data.len());
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        Self { data, offsets }
+    }
+
+    /// A buffer with a single chunk holding all of `data`.
+    pub fn single_chunk(data: Vec<T>) -> Self {
+        let offsets = vec![0, data.len()];
+        Self { data, offsets }
+    }
+
+    /// An empty buffer with `chunks` empty chunks.
+    pub fn empty(chunks: usize) -> Self {
+        Self {
+            data: Vec::new(),
+            offsets: vec![0; chunks.max(1) + 1],
+        }
+    }
+
+    /// Number of chunks (partitions) in the index array.
+    #[inline]
+    pub fn num_chunks(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total records across all chunks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The chunk of partition `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= num_chunks()`.
+    #[inline]
+    pub fn chunk(&self, p: usize) -> &[T] {
+        &self.data[self.offsets[p]..self.offsets[p + 1]]
+    }
+
+    /// Iterates `(partition, chunk)` pairs over non-empty chunks.
+    pub fn iter_chunks(&self) -> impl Iterator<Item = (usize, &[T])> {
+        (0..self.num_chunks())
+            .map(move |p| (p, self.chunk(p)))
+            .filter(|(_, c)| !c.is_empty())
+    }
+
+    /// The whole chunk array in partition order.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Consumes the buffer, returning the chunk array and index.
+    pub fn into_parts(self) -> (Vec<T>, Vec<usize>) {
+        (self.data, self.offsets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouped_construction() {
+        let b = StreamBuffer::from_grouped(vec![1u32, 2, 3, 4], vec![0, 2, 2, 4]);
+        assert_eq!(b.num_chunks(), 3);
+        assert_eq!(b.chunk(0), &[1, 2]);
+        assert!(b.chunk(1).is_empty());
+        assert_eq!(b.chunk(2), &[3, 4]);
+        assert_eq!(b.iter_chunks().count(), 2);
+    }
+
+    #[test]
+    fn single_chunk() {
+        let b = StreamBuffer::single_chunk(vec![7u64; 5]);
+        assert_eq!(b.num_chunks(), 1);
+        assert_eq!(b.chunk(0).len(), 5);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let b = StreamBuffer::<u32>::empty(4);
+        assert_eq!(b.num_chunks(), 4);
+        assert!(b.is_empty());
+        for p in 0..4 {
+            assert!(b.chunk(p).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_bad_offsets() {
+        let _ = StreamBuffer::from_grouped(vec![1u32, 2], vec![0, 2, 1, 2]);
+    }
+}

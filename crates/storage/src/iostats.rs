@@ -1,0 +1,297 @@
+//! Per-device I/O accounting and event tracing.
+//!
+//! Every read/write/trim issued through [`crate::filestream`] is
+//! recorded here: byte counters per device, and an event trace with
+//! relative timestamps and file offsets. The trace powers the
+//! bandwidth-over-time plot (paper Fig. 23, generated there with
+//! `iostat`) and feeds the [`crate::diskmodel`] to estimate what the
+//! same access pattern would cost on the paper's SSD/HDD RAID pairs.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Identifier of a (possibly virtual) storage device.
+///
+/// The paper's testbed exposes up to two devices per medium; device ids
+/// here index [`IoAccounting`] counters and let experiments place the
+/// edge and update streams on separate devices (Fig. 15).
+pub type DeviceId = u8;
+
+/// Maximum number of devices tracked.
+pub const MAX_DEVICES: usize = 4;
+
+/// Kind of a traced I/O event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoKind {
+    /// Sequential chunk read.
+    Read,
+    /// Sequential chunk write.
+    Write,
+    /// File truncation (maps to a TRIM on SSDs, §3.3).
+    Trim,
+}
+
+/// One traced I/O event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoEvent {
+    /// Nanoseconds since the accounting epoch.
+    pub at_ns: u64,
+    /// Device the event hit.
+    pub device: DeviceId,
+    /// Identifier of the file/stream within the store.
+    pub file: u32,
+    /// Byte offset within the file.
+    pub offset: u64,
+    /// Transfer size in bytes (0 for trims).
+    pub bytes: u64,
+    /// Event kind.
+    pub kind: IoKind,
+}
+
+#[derive(Default)]
+struct DeviceCounters {
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    read_ops: AtomicU64,
+    write_ops: AtomicU64,
+}
+
+/// Accumulates I/O statistics for one stream store.
+pub struct IoAccounting {
+    epoch: Instant,
+    devices: [DeviceCounters; MAX_DEVICES],
+    trace: Mutex<Vec<IoEvent>>,
+    tracing: bool,
+}
+
+impl IoAccounting {
+    /// Creates an accounting sink; `tracing` enables the event log
+    /// (cheap: one `Vec` push per multi-megabyte transfer).
+    pub fn new(tracing: bool) -> Self {
+        Self {
+            epoch: Instant::now(),
+            devices: Default::default(),
+            trace: Mutex::new(Vec::new()),
+            tracing,
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records a read of `bytes` at `offset` of `file` on `device`.
+    pub fn record_read(&self, device: DeviceId, file: u32, offset: u64, bytes: u64) {
+        let d = &self.devices[device as usize % MAX_DEVICES];
+        d.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        d.read_ops.fetch_add(1, Ordering::Relaxed);
+        if self.tracing {
+            self.trace.lock().push(IoEvent {
+                at_ns: self.now_ns(),
+                device,
+                file,
+                offset,
+                bytes,
+                kind: IoKind::Read,
+            });
+        }
+    }
+
+    /// Records a write of `bytes` at `offset` of `file` on `device`.
+    pub fn record_write(&self, device: DeviceId, file: u32, offset: u64, bytes: u64) {
+        let d = &self.devices[device as usize % MAX_DEVICES];
+        d.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        d.write_ops.fetch_add(1, Ordering::Relaxed);
+        if self.tracing {
+            self.trace.lock().push(IoEvent {
+                at_ns: self.now_ns(),
+                device,
+                file,
+                offset,
+                bytes,
+                kind: IoKind::Write,
+            });
+        }
+    }
+
+    /// Records a truncation (TRIM) of `file` on `device`.
+    pub fn record_trim(&self, device: DeviceId, file: u32) {
+        if self.tracing {
+            self.trace.lock().push(IoEvent {
+                at_ns: self.now_ns(),
+                device,
+                file,
+                offset: 0,
+                bytes: 0,
+                kind: IoKind::Trim,
+            });
+        }
+    }
+
+    /// Snapshot of the per-device counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        let mut s = IoSnapshot::default();
+        for (i, d) in self.devices.iter().enumerate() {
+            s.per_device[i] = DeviceSnapshot {
+                bytes_read: d.bytes_read.load(Ordering::Relaxed),
+                bytes_written: d.bytes_written.load(Ordering::Relaxed),
+                read_ops: d.read_ops.load(Ordering::Relaxed),
+                write_ops: d.write_ops.load(Ordering::Relaxed),
+            };
+        }
+        s
+    }
+
+    /// Copies out the event trace.
+    pub fn trace(&self) -> Vec<IoEvent> {
+        self.trace.lock().clone()
+    }
+
+    /// Clears counters and trace (between experiment phases).
+    pub fn reset(&self) {
+        for d in &self.devices {
+            d.bytes_read.store(0, Ordering::Relaxed);
+            d.bytes_written.store(0, Ordering::Relaxed);
+            d.read_ops.store(0, Ordering::Relaxed);
+            d.write_ops.store(0, Ordering::Relaxed);
+        }
+        self.trace.lock().clear();
+    }
+}
+
+/// Point-in-time copy of one device's counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceSnapshot {
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Number of read operations.
+    pub read_ops: u64,
+    /// Number of write operations.
+    pub write_ops: u64,
+}
+
+/// Point-in-time copy of all device counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Counters indexed by device id.
+    pub per_device: [DeviceSnapshot; MAX_DEVICES],
+}
+
+impl IoSnapshot {
+    /// Total bytes read across devices.
+    pub fn bytes_read(&self) -> u64 {
+        self.per_device.iter().map(|d| d.bytes_read).sum()
+    }
+
+    /// Total bytes written across devices.
+    pub fn bytes_written(&self) -> u64 {
+        self.per_device.iter().map(|d| d.bytes_written).sum()
+    }
+
+    /// Total operations across devices.
+    pub fn total_ops(&self) -> u64 {
+        self.per_device
+            .iter()
+            .map(|d| d.read_ops + d.write_ops)
+            .sum()
+    }
+}
+
+/// Bins a trace into bandwidth samples of `bin_ns` width, returning
+/// `(bin_start_seconds, read_mb_s, write_mb_s)` rows — the Fig. 23
+/// iostat-style timeline.
+pub fn bandwidth_timeline(trace: &[IoEvent], bin_ns: u64) -> Vec<(f64, f64, f64)> {
+    if trace.is_empty() {
+        return Vec::new();
+    }
+    let end = trace.iter().map(|e| e.at_ns).max().unwrap_or(0);
+    let bins = (end / bin_ns + 1) as usize;
+    let mut read = vec![0u64; bins];
+    let mut write = vec![0u64; bins];
+    for e in trace {
+        let b = (e.at_ns / bin_ns) as usize;
+        match e.kind {
+            IoKind::Read => read[b] += e.bytes,
+            IoKind::Write => write[b] += e.bytes,
+            IoKind::Trim => {}
+        }
+    }
+    let secs_per_bin = bin_ns as f64 / 1e9;
+    (0..bins)
+        .map(|b| {
+            (
+                b as f64 * secs_per_bin,
+                read[b] as f64 / 1e6 / secs_per_bin,
+                write[b] as f64 / 1e6 / secs_per_bin,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let acc = IoAccounting::new(false);
+        acc.record_read(0, 1, 0, 100);
+        acc.record_read(0, 1, 100, 50);
+        acc.record_write(1, 2, 0, 30);
+        let s = acc.snapshot();
+        assert_eq!(s.per_device[0].bytes_read, 150);
+        assert_eq!(s.per_device[0].read_ops, 2);
+        assert_eq!(s.per_device[1].bytes_written, 30);
+        assert_eq!(s.bytes_read(), 150);
+        assert_eq!(s.total_ops(), 3);
+    }
+
+    #[test]
+    fn trace_only_when_enabled() {
+        let acc = IoAccounting::new(false);
+        acc.record_read(0, 0, 0, 10);
+        assert!(acc.trace().is_empty());
+        let acc = IoAccounting::new(true);
+        acc.record_read(0, 0, 0, 10);
+        acc.record_trim(0, 0);
+        assert_eq!(acc.trace().len(), 2);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let acc = IoAccounting::new(true);
+        acc.record_write(0, 0, 0, 10);
+        acc.reset();
+        assert_eq!(acc.snapshot().bytes_written(), 0);
+        assert!(acc.trace().is_empty());
+    }
+
+    #[test]
+    fn timeline_bins_bytes() {
+        let trace = vec![
+            IoEvent {
+                at_ns: 0,
+                device: 0,
+                file: 0,
+                offset: 0,
+                bytes: 1_000_000,
+                kind: IoKind::Read,
+            },
+            IoEvent {
+                at_ns: 1_500_000_000,
+                device: 0,
+                file: 0,
+                offset: 0,
+                bytes: 2_000_000,
+                kind: IoKind::Write,
+            },
+        ];
+        let tl = bandwidth_timeline(&trace, 1_000_000_000);
+        assert_eq!(tl.len(), 2);
+        assert!((tl[0].1 - 1.0).abs() < 1e-9, "1 MB in 1s bin = 1 MB/s");
+        assert!((tl[1].2 - 2.0).abs() < 1e-9);
+    }
+}

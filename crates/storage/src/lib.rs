@@ -1,0 +1,34 @@
+//! Storage substrate for X-Stream.
+//!
+//! Implements the data-movement machinery both engines are built on:
+//!
+//! * [`buffer`] — the *stream buffer* of paper Fig. 5: a chunk array
+//!   plus a K-entry index array describing one chunk per streaming
+//!   partition,
+//! * [`shuffle`] — the in-memory shuffle (§3.1) and the parallel
+//!   multi-stage shuffler (§4.2) that routes records to partitions in
+//!   `ceil(log_F K)` sequential passes,
+//! * [`filestream`] — on-disk streams with large-unit sequential I/O,
+//!   prefetch distance 1 on reads, background writer threads, and
+//!   truncate-on-destroy (§3.3),
+//! * [`writer`] — a dedicated background writer thread with bounded
+//!   depth, overlapping update-file writes with scatter computation
+//!   (§3.3's double-buffered output),
+//! * [`iostats`] — per-device byte/op accounting and event tracing
+//!   (regenerates the paper's iostat bandwidth plot, Fig. 23),
+//! * [`diskmodel`] — a parametric seek+bandwidth+RAID-0 model
+//!   calibrated against the paper's measured device table (Fig. 11),
+//!   used to evaluate device-level experiments on arbitrary hardware.
+
+pub mod buffer;
+pub mod diskmodel;
+pub mod filestream;
+pub mod iostats;
+pub mod shuffle;
+pub mod writer;
+
+pub use buffer::StreamBuffer;
+pub use diskmodel::DiskModel;
+pub use filestream::{ChunkReader, StreamStore};
+pub use iostats::{DeviceId, IoAccounting, IoSnapshot};
+pub use writer::AsyncWriter;

@@ -1,0 +1,310 @@
+//! The in-memory shuffle (paper §3.1) and the parallel multi-stage
+//! shuffler (§4.2).
+//!
+//! A shuffle routes every record of an input stream to the chunk of the
+//! streaming partition that owns it — one counting pass to fill the
+//! index array, then one copy pass. With many partitions (the in-memory
+//! engine can need thousands) a single pass loses cache locality and
+//! prefetcher coverage, so the multi-stage shuffler groups partitions
+//! into a tree of fanout `F` and shuffles one tree level at a time,
+//! touching at most `F` output chunks per pass: `ceil(log_F K)` passes
+//! total, alternating between two stream buffers.
+//!
+//! Parallelism follows Fig. 7: each thread owns a disjoint *slice* of
+//! the stream buffer with its own index array and shuffles it
+//! independently — zero synchronization until the final barrier.
+
+use crate::buffer::StreamBuffer;
+use xstream_core::Record;
+
+/// Single-stage shuffle: routes `input` into `num_chunks` chunks keyed
+/// by `key`, with one counting pass and one copy pass.
+///
+/// Records with equal keys keep their relative order (stable).
+///
+/// # Examples
+///
+/// ```
+/// use xstream_storage::shuffle::shuffle;
+///
+/// let buf = shuffle(&[10u32, 21, 32, 13], 4, |r| (*r % 4) as usize);
+/// assert_eq!(buf.chunk(0), &[32]);
+/// assert_eq!(buf.chunk(1), &[21, 13]);
+/// assert_eq!(buf.chunk(2), &[10]);
+/// ```
+pub fn shuffle<T: Record>(
+    input: &[T],
+    num_chunks: usize,
+    mut key: impl FnMut(&T) -> usize,
+) -> StreamBuffer<T> {
+    let k = num_chunks.max(1);
+    let mut counts = vec![0usize; k + 1];
+    for r in input {
+        let p = key(r);
+        debug_assert!(p < k, "key {p} out of {k} chunks");
+        counts[p + 1] += 1;
+    }
+    for i in 0..k {
+        counts[i + 1] += counts[i];
+    }
+    let offsets = counts.clone();
+    let mut cursor = counts;
+    let mut data: Vec<T> = Vec::with_capacity(input.len());
+    let spare = data.spare_capacity_mut();
+    for r in input {
+        let p = key(r);
+        let slot = cursor[p];
+        cursor[p] += 1;
+        spare[slot].write(*r);
+    }
+    // SAFETY: the counting pass gives each input record a distinct slot
+    // and the slots cover `0..input.len()` exactly, so every element
+    // below the new length was initialized by the loop above.
+    unsafe {
+        data.set_len(input.len());
+    }
+    StreamBuffer::from_grouped(data, offsets)
+}
+
+/// Plan for a multi-stage shuffle of `num_partitions` targets with a
+/// power-of-two fanout per stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiStagePlan {
+    /// Number of target partitions, padded to a power of two.
+    pub padded_partitions: usize,
+    /// log2 of `padded_partitions`.
+    pub total_bits: u32,
+    /// log2 of the per-stage fanout.
+    pub fanout_bits: u32,
+    /// Number of stages (`ceil(total_bits / fanout_bits)`).
+    pub stages: u32,
+}
+
+impl MultiStagePlan {
+    /// Builds a plan for `num_partitions` targets and `fanout` children
+    /// per tree node (both rounded up to powers of two).
+    pub fn new(num_partitions: usize, fanout: usize) -> Self {
+        let padded = num_partitions.next_power_of_two().max(1);
+        let total_bits = padded.trailing_zeros();
+        let fanout_bits = fanout.next_power_of_two().max(2).trailing_zeros();
+        let stages = if total_bits == 0 {
+            0
+        } else {
+            total_bits.div_ceil(fanout_bits)
+        };
+        Self {
+            padded_partitions: padded,
+            total_bits,
+            fanout_bits,
+            stages,
+        }
+    }
+
+    /// A plan forcing exactly `stages` passes for `num_partitions`
+    /// targets (used by the Fig. 25 stage-count ablation). The fanout is
+    /// derived as `ceil(total_bits / stages)` bits.
+    pub fn with_stages(num_partitions: usize, stages: u32) -> Self {
+        let padded = num_partitions.next_power_of_two().max(1);
+        let total_bits = padded.trailing_zeros();
+        let stages = stages.clamp(1, total_bits.max(1));
+        let fanout_bits = total_bits.div_ceil(stages).max(1);
+        Self {
+            padded_partitions: padded,
+            total_bits,
+            fanout_bits,
+            stages: if total_bits == 0 {
+                0
+            } else {
+                total_bits.div_ceil(fanout_bits)
+            },
+        }
+    }
+}
+
+/// Multi-stage shuffle of one slice (paper §4.2): MSB-first radix
+/// passes of `fanout_bits` bits over the partition id, alternating
+/// between two buffers.
+///
+/// `key` must return a partition id below `plan.padded_partitions`.
+pub fn multistage_shuffle<T: Record>(
+    input: Vec<T>,
+    plan: MultiStagePlan,
+    mut key: impl FnMut(&T) -> usize,
+) -> StreamBuffer<T> {
+    if plan.total_bits == 0 {
+        return StreamBuffer::single_chunk(input);
+    }
+    // `groups` chunks exist after each stage; their boundaries are kept
+    // in `offsets` (len groups+1). Start with a single chunk.
+    let n = input.len();
+    let mut cur = input;
+    let mut cur_offsets = vec![0usize, n];
+    let mut bits_done = 0u32;
+    while bits_done < plan.total_bits {
+        let step = plan.fanout_bits.min(plan.total_bits - bits_done);
+        let shift = plan.total_bits - bits_done - step;
+        let fan = 1usize << step;
+        let groups = cur_offsets.len() - 1;
+        let mut next: Vec<T> = Vec::with_capacity(n);
+        let spare = next.spare_capacity_mut();
+        let mut next_offsets = Vec::with_capacity(groups * fan + 1);
+        next_offsets.push(0usize);
+        for g in 0..groups {
+            let chunk = &cur[cur_offsets[g]..cur_offsets[g + 1]];
+            let base = cur_offsets[g];
+            // Counting pass over this group's next `step` bits.
+            let mut counts = vec![0usize; fan + 1];
+            for r in chunk {
+                let digit = (key(r) >> shift) & (fan - 1);
+                counts[digit + 1] += 1;
+            }
+            for i in 0..fan {
+                counts[i + 1] += counts[i];
+            }
+            for i in 1..=fan {
+                next_offsets.push(base + counts[i]);
+            }
+            let mut cursor = counts;
+            for r in chunk {
+                let digit = (key(r) >> shift) & (fan - 1);
+                let slot = base + cursor[digit];
+                cursor[digit] += 1;
+                spare[slot].write(*r);
+            }
+        }
+        // SAFETY: within each group the cursor arithmetic writes each
+        // slot of that group's sub-range exactly once, and the groups
+        // tile `0..n`, so every element below the new length is
+        // initialized.
+        unsafe {
+            next.set_len(n);
+        }
+        cur = next;
+        cur_offsets = next_offsets;
+        bits_done += step;
+    }
+    // After processing all bits there are exactly `padded_partitions`
+    // chunks in partition order.
+    debug_assert_eq!(cur_offsets.len() - 1, plan.padded_partitions);
+    StreamBuffer::from_grouped(cur, cur_offsets)
+}
+
+/// Shuffles each thread slice independently and in parallel (Fig. 7):
+/// slice `i` of `slices` is shuffled by one thread; the results are the
+/// per-slice stream buffers whose chunk `p` union is partition `p`.
+pub fn parallel_multistage_shuffle<T, K>(
+    slices: Vec<Vec<T>>,
+    plan: MultiStagePlan,
+    key: K,
+) -> Vec<StreamBuffer<T>>
+where
+    T: Record,
+    K: Fn(&T) -> usize + Sync,
+{
+    if slices.len() <= 1 {
+        return slices
+            .into_iter()
+            .map(|s| multistage_shuffle(s, plan, &key))
+            .collect();
+    }
+    let mut out: Vec<Option<StreamBuffer<T>>> = Vec::new();
+    out.resize_with(slices.len(), || None);
+    std::thread::scope(|scope| {
+        let key = &key;
+        let mut handles = Vec::new();
+        for (i, slice) in slices.into_iter().enumerate() {
+            handles.push((i, scope.spawn(move || multistage_shuffle(slice, plan, key))));
+        }
+        for (i, h) in handles {
+            out[i] = Some(h.join().expect("shuffle worker panicked"));
+        }
+    });
+    out.into_iter().map(|b| b.expect("filled above")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_partitioned(buf: &StreamBuffer<u32>, k: usize, key: impl Fn(&u32) -> usize) {
+        assert!(buf.num_chunks() >= k);
+        for (p, chunk) in buf.iter_chunks() {
+            for r in chunk {
+                assert_eq!(key(r), p, "record {r} in wrong chunk {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_stage_routes_and_is_stable() {
+        let input: Vec<u32> = vec![5, 1, 9, 13, 2, 6, 10, 3];
+        let buf = shuffle(&input, 4, |r| (*r % 4) as usize);
+        check_partitioned(&buf, 4, |r| (*r % 4) as usize);
+        // Stability within a chunk.
+        assert_eq!(buf.chunk(1), &[5, 1, 9, 13]);
+        assert_eq!(buf.chunk(2), &[2, 6, 10]);
+        assert_eq!(buf.chunk(3), &[3]);
+    }
+
+    #[test]
+    fn multistage_equals_single_stage() {
+        let input: Vec<u32> = (0..10_000u32)
+            .map(|i| i.wrapping_mul(2_654_435_761))
+            .collect();
+        let k = 64usize;
+        let key = |r: &u32| (*r as usize) % k;
+        let single = shuffle(&input, k, key);
+        for fanout in [2usize, 4, 8, 64] {
+            let plan = MultiStagePlan::new(k, fanout);
+            let multi = multistage_shuffle(input.clone(), plan, key);
+            for p in 0..k {
+                assert_eq!(
+                    single.chunk(p),
+                    multi.chunk(p),
+                    "fanout {fanout}, chunk {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_stage_math() {
+        let p = MultiStagePlan::new(1 << 20, 1 << 10);
+        assert_eq!(p.stages, 2);
+        let p = MultiStagePlan::new(1024, 4);
+        assert_eq!(p.stages, 5);
+        let p = MultiStagePlan::new(1, 16);
+        assert_eq!(p.stages, 0);
+        let p = MultiStagePlan::with_stages(1 << 20, 4);
+        assert_eq!(p.stages, 4);
+        let p = MultiStagePlan::with_stages(1 << 20, 1);
+        assert_eq!(p.stages, 1);
+        assert_eq!(p.fanout_bits, 20);
+    }
+
+    #[test]
+    fn parallel_slices_route_independently() {
+        let slices: Vec<Vec<u32>> = (0..4)
+            .map(|s| (0..1000u32).map(|i| i * 4 + s).collect())
+            .collect();
+        let plan = MultiStagePlan::new(16, 4);
+        let bufs = parallel_multistage_shuffle(slices, plan, |r| (*r % 16) as usize);
+        assert_eq!(bufs.len(), 4);
+        let mut total = 0usize;
+        for buf in &bufs {
+            check_partitioned(buf, 16, |r| (*r % 16) as usize);
+            total += buf.len();
+        }
+        assert_eq!(total, 4000);
+    }
+
+    #[test]
+    fn empty_input() {
+        let buf = shuffle::<u32>(&[], 8, |_| 0);
+        assert_eq!(buf.len(), 0);
+        assert_eq!(buf.num_chunks(), 8);
+        let plan = MultiStagePlan::new(8, 2);
+        let buf = multistage_shuffle(Vec::<u32>::new(), plan, |r| *r as usize);
+        assert_eq!(buf.len(), 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Background stream writer (paper §3.3).
+//!
+//! "The writes to disk of the chunks in one output buffer are
+//! overlapped with computing the updates of the scatter phase into
+//! another output buffer." The [`AsyncWriter`] owns a dedicated I/O
+//! thread fed through a bounded channel: with depth 1 the caller can
+//! fill the next buffer while the previous one drains to storage, and
+//! submitting a third blocks until the device catches up — exactly the
+//! double-buffered backpressure the paper describes.
+
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::filestream::StreamStore;
+use xstream_core::{Error, Result};
+
+/// A write job: append `bytes` to the named stream.
+type Job = (String, Vec<u8>);
+
+/// Dedicated writer thread over a [`StreamStore`].
+pub struct AsyncWriter {
+    tx: Option<SyncSender<Job>>,
+    thread: Option<JoinHandle<Result<()>>>,
+}
+
+impl AsyncWriter {
+    /// Spawns the writer thread; `depth` buffers may be in flight
+    /// before [`submit`](Self::submit) blocks (the paper uses one).
+    pub fn new(store: Arc<StreamStore>, depth: usize) -> Result<Self> {
+        let (tx, rx) = sync_channel::<Job>(depth.max(1));
+        let thread = std::thread::Builder::new()
+            .name("xstream-io-write".into())
+            .spawn(move || -> Result<()> {
+                for (name, bytes) in rx {
+                    store.append(&name, &bytes)?;
+                }
+                Ok(())
+            })
+            .map_err(Error::Io)?;
+        Ok(Self {
+            tx: Some(tx),
+            thread: Some(thread),
+        })
+    }
+
+    /// Queues an append; blocks while `depth` writes are in flight.
+    ///
+    /// An error here means the writer thread already died; the root
+    /// cause is reported by [`finish`](Self::finish).
+    pub fn submit(&self, name: String, bytes: Vec<u8>) -> Result<()> {
+        let tx = self.tx.as_ref().expect("submit after finish");
+        tx.send((name, bytes))
+            .map_err(|_| Error::Io(std::io::Error::other("async writer thread terminated")))
+    }
+
+    /// Drains outstanding writes and returns the first write error, if
+    /// any.
+    pub fn finish(mut self) -> Result<()> {
+        self.finish_inner()
+    }
+
+    fn finish_inner(&mut self) -> Result<()> {
+        drop(self.tx.take());
+        match self.thread.take() {
+            Some(t) => t
+                .join()
+                .map_err(|_| Error::Io(std::io::Error::other("async writer panicked")))?,
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for AsyncWriter {
+    fn drop(&mut self) {
+        // Best effort drain; errors are surfaced only through `finish`.
+        let _ = self.finish_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> Arc<StreamStore> {
+        let root = std::env::temp_dir().join(format!("xstream_writer_{tag}"));
+        let _ = std::fs::remove_dir_all(&root);
+        Arc::new(StreamStore::new(&root, 4096).unwrap())
+    }
+
+    #[test]
+    fn writes_arrive_in_submission_order() {
+        let store = temp_store("order");
+        let w = AsyncWriter::new(Arc::clone(&store), 1).unwrap();
+        for i in 0..50u8 {
+            w.submit("s".into(), vec![i; 100]).unwrap();
+        }
+        w.finish().unwrap();
+        let bytes = store.read_all("s").unwrap();
+        assert_eq!(bytes.len(), 5000);
+        for (i, chunk) in bytes.chunks(100).enumerate() {
+            assert!(chunk.iter().all(|&b| b == i as u8));
+        }
+    }
+
+    #[test]
+    fn interleaves_multiple_streams() {
+        let store = temp_store("multi");
+        let w = AsyncWriter::new(Arc::clone(&store), 2).unwrap();
+        for i in 0..10u32 {
+            w.submit(format!("updates.{}", i % 3), i.to_le_bytes().to_vec())
+                .unwrap();
+        }
+        w.finish().unwrap();
+        assert_eq!(store.len("updates.0"), 16);
+        assert_eq!(store.len("updates.1"), 12);
+        assert_eq!(store.len("updates.2"), 12);
+    }
+
+    #[test]
+    fn drop_without_finish_still_drains() {
+        let store = temp_store("drop");
+        {
+            let w = AsyncWriter::new(Arc::clone(&store), 1).unwrap();
+            w.submit("s".into(), vec![1; 10]).unwrap();
+        }
+        assert_eq!(store.len("s"), 10);
+    }
+}

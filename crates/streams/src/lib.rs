@@ -1,0 +1,30 @@
+//! Alternative streaming computation models over X-Stream's storage
+//! layer (paper §2.5).
+//!
+//! Besides edge-centric scatter-gather, the paper notes that X-Stream
+//! "supports the semi-streaming model for graphs \[26\] or graph
+//! algorithms that are built on top of the W-Stream model \[14\]".
+//! This crate provides both:
+//!
+//! * [`semi`] — the *semi-streaming* model of Feigenbaum et al.:
+//!   algorithms keep `O(V polylog V)` state in memory and read the
+//!   edge list as one or more sequential passes, never storing the
+//!   edges. Implemented: connected components, spanning forest,
+//!   bipartiteness, greedy maximal matching, degeneracy-style k-core
+//!   peeling.
+//! * [`wstream`] — the *W-Stream* model of Aggarwal et al.: each pass
+//!   reads an input stream and *writes an output stream* for the next
+//!   pass, with working memory far smaller than the stream.
+//!   Implemented: connected components by repeated in-memory star
+//!   contraction, with the intermediate streams living either in
+//!   memory or in an on-disk [`xstream_storage::StreamStore`].
+//!
+//! Both models consume the same [`EdgeSource`] abstraction, which is
+//! deliberately tiny: one sequential pass at a time — exactly the
+//! access pattern X-Stream's storage is built to make fast.
+
+pub mod semi;
+pub mod source;
+pub mod wstream;
+
+pub use source::EdgeSource;

@@ -1,0 +1,292 @@
+//! Semi-streaming graph algorithms (Feigenbaum et al. \[26\]).
+//!
+//! The model: per-vertex state fits in memory (`O(V polylog V)` bits),
+//! edges are read as sequential passes and never stored. Every
+//! algorithm here therefore runs unchanged over an in-memory edge
+//! list, a binary edge file, or an on-disk stream — whatever
+//! [`EdgeSource`] it is handed — at full sequential bandwidth.
+
+use crate::source::EdgeSource;
+use xstream_core::{Result, VertexId};
+
+/// In-memory union-find with path halving and union by label minimum,
+/// so component representatives equal the minimum vertex id — the same
+/// labels X-Stream's WCC produces.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    /// Representative of `v`'s set (path-halving).
+    pub fn find(&mut self, mut v: u32) -> u32 {
+        while self.parent[v as usize] != v {
+            let gp = self.parent[self.parent[v as usize] as usize];
+            self.parent[v as usize] = gp;
+            v = gp;
+        }
+        v
+    }
+
+    /// Merges the sets of `a` and `b`; the smaller root wins. Returns
+    /// `true` if the sets were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if ra < rb {
+            self.parent[rb as usize] = ra;
+        } else {
+            self.parent[ra as usize] = rb;
+        }
+        true
+    }
+}
+
+/// One-pass connected components; returns min-id component labels.
+///
+/// Memory: `O(V)` words; exactly one sequential pass over the edges.
+///
+/// # Examples
+///
+/// ```
+/// use xstream_graph::edgelist::from_pairs;
+/// use xstream_streams::semi::connected_components;
+///
+/// let g = from_pairs(4, &[(0, 1), (2, 3)]);
+/// assert_eq!(connected_components(&g).unwrap(), vec![0, 0, 2, 2]);
+/// ```
+pub fn connected_components<S: EdgeSource>(source: &S) -> Result<Vec<u32>> {
+    let n = source.num_vertices();
+    let mut uf = UnionFind::new(n);
+    source.for_each_edge(&mut |e| {
+        uf.union(e.src, e.dst);
+    })?;
+    Ok((0..n as u32).map(|v| uf.find(v)).collect())
+}
+
+/// One-pass spanning forest: keeps every edge that joins two
+/// components at the moment it streams by (at most `V - 1` edges).
+pub fn spanning_forest<S: EdgeSource>(source: &S) -> Result<Vec<(VertexId, VertexId)>> {
+    let n = source.num_vertices();
+    let mut uf = UnionFind::new(n);
+    let mut forest = Vec::new();
+    source.for_each_edge(&mut |e| {
+        if e.src != e.dst && uf.union(e.src, e.dst) {
+            forest.push((e.src, e.dst));
+        }
+    })?;
+    Ok(forest)
+}
+
+/// One-pass bipartiteness test via parity union-find: vertex `v`
+/// doubles as `(v, even)` and `(v + n, odd)`; an edge merges opposite
+/// parities, and the graph is bipartite iff no vertex ever joins its
+/// own shadow.
+pub fn is_bipartite<S: EdgeSource>(source: &S) -> Result<bool> {
+    let n = source.num_vertices();
+    let mut uf = UnionFind::new(2 * n);
+    let mut ok = true;
+    source.for_each_edge(&mut |e| {
+        if !ok || e.src == e.dst {
+            ok &= e.src != e.dst;
+            return;
+        }
+        let (a, b) = (e.src, e.dst);
+        uf.union(a, b + n as u32);
+        uf.union(b, a + n as u32);
+        if uf.find(a) == uf.find(a + n as u32) {
+            ok = false;
+        }
+    })?;
+    Ok(ok)
+}
+
+/// One-pass greedy maximal matching: an edge is matched iff both of
+/// its endpoints are free when it streams by. `O(V)` bits of state;
+/// the result is a maximal (not maximum) matching, the classic
+/// 2-approximation.
+pub fn greedy_matching<S: EdgeSource>(source: &S) -> Result<Vec<(VertexId, VertexId)>> {
+    let n = source.num_vertices();
+    let mut matched = vec![false; n];
+    let mut matching = Vec::new();
+    source.for_each_edge(&mut |e| {
+        let (a, b) = (e.src as usize, e.dst as usize);
+        if a != b && !matched[a] && !matched[b] {
+            matched[a] = true;
+            matched[b] = true;
+            matching.push((e.src, e.dst));
+        }
+    })?;
+    Ok(matching)
+}
+
+/// Multi-pass k-core peeling: each pass recounts degrees over the
+/// stream and removes vertices below `k`, until a fixpoint. Returns
+/// the membership mask of the k-core (possibly empty). Memory `O(V)`;
+/// passes bounded by the peeling depth.
+pub fn k_core<S: EdgeSource>(source: &S, k: u32) -> Result<Vec<bool>> {
+    let n = source.num_vertices();
+    let mut alive = vec![true; n];
+    loop {
+        let mut degree = vec![0u32; n];
+        source.for_each_edge(&mut |e| {
+            if e.src != e.dst && alive[e.src as usize] && alive[e.dst as usize] {
+                degree[e.src as usize] += 1;
+                degree[e.dst as usize] += 1;
+            }
+        })?;
+        let mut removed = false;
+        for v in 0..n {
+            if alive[v] && degree[v] < k * 2 {
+                // Undirected expansions carry each edge twice, so the
+                // per-vertex count above is 2x the undirected degree.
+                alive[v] = false;
+                removed = true;
+            }
+        }
+        if !removed {
+            return Ok(alive);
+        }
+    }
+}
+
+/// Pass-counting wrapper: how many sequential passes a closure-based
+/// multi-pass algorithm made (used in tests and the harness to verify
+/// the model's pass complexity).
+pub struct PassCounter<'a, S: EdgeSource> {
+    inner: &'a S,
+    passes: std::cell::Cell<usize>,
+}
+
+impl<'a, S: EdgeSource> PassCounter<'a, S> {
+    /// Wraps `inner`.
+    pub fn new(inner: &'a S) -> Self {
+        Self {
+            inner,
+            passes: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Sequential passes made so far.
+    pub fn passes(&self) -> usize {
+        self.passes.get()
+    }
+}
+
+impl<S: EdgeSource> EdgeSource for PassCounter<'_, S> {
+    fn num_vertices(&self) -> usize {
+        self.inner.num_vertices()
+    }
+
+    fn for_each_edge(&self, f: &mut dyn FnMut(xstream_core::Edge)) -> Result<()> {
+        self.passes.set(self.passes.get() + 1);
+        self.inner.for_each_edge(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xstream_graph::edgelist::from_pairs;
+    use xstream_graph::generators;
+
+    #[test]
+    fn components_match_wcc_labels() {
+        let g = generators::erdos_renyi(200, 500, 3).to_undirected();
+        let labels = connected_components(&g).unwrap();
+        // Union-by-min yields min-id labels, comparable to X-Stream WCC.
+        for e in g.edges() {
+            assert_eq!(labels[e.src as usize], labels[e.dst as usize]);
+        }
+        let mut distinct: Vec<u32> = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        for root in distinct {
+            assert_eq!(labels[root as usize], root, "label is its own min id");
+        }
+    }
+
+    #[test]
+    fn forest_has_component_minus_one_edges_per_component() {
+        let g = from_pairs(6, &[(0, 1), (1, 2), (2, 0), (3, 4)]).to_undirected();
+        let forest = spanning_forest(&g).unwrap();
+        // Components: {0,1,2}, {3,4}, {5}: forest sizes 2 + 1 + 0.
+        assert_eq!(forest.len(), 3);
+    }
+
+    #[test]
+    fn bipartiteness_detects_odd_cycles() {
+        let even = from_pairs(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).to_undirected();
+        assert!(is_bipartite(&even).unwrap());
+        let odd = from_pairs(3, &[(0, 1), (1, 2), (2, 0)]).to_undirected();
+        assert!(!is_bipartite(&odd).unwrap());
+        let with_self_loop = from_pairs(2, &[(0, 0)]);
+        assert!(!is_bipartite(&with_self_loop).unwrap());
+    }
+
+    #[test]
+    fn matching_is_maximal_and_valid() {
+        let g = generators::erdos_renyi(100, 400, 9).to_undirected();
+        let matching = greedy_matching(&g).unwrap();
+        let mut used = vec![false; 100];
+        for &(a, b) in &matching {
+            assert!(!used[a as usize] && !used[b as usize], "vertex reused");
+            used[a as usize] = true;
+            used[b as usize] = true;
+        }
+        // Maximality: every edge has a matched endpoint.
+        for e in g.edges() {
+            if e.src != e.dst {
+                assert!(
+                    used[e.src as usize] || used[e.dst as usize],
+                    "edge ({}, {}) unmatched on both sides",
+                    e.src,
+                    e.dst
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_core_peels_low_degree_fringe() {
+        // A 4-clique with a pendant path: the 3-core is the clique.
+        let g = from_pairs(
+            6,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
+        )
+        .to_undirected();
+        let core = k_core(&g, 3).unwrap();
+        assert_eq!(core, vec![true, true, true, true, false, false]);
+        // No 5-core exists.
+        assert!(k_core(&g, 5).unwrap().iter().all(|&a| !a));
+    }
+
+    #[test]
+    fn pass_counter_counts() {
+        let g = from_pairs(4, &[(0, 1), (2, 3)]).to_undirected();
+        let counted = PassCounter::new(&g);
+        let _ = connected_components(&counted).unwrap();
+        assert_eq!(counted.passes(), 1, "CC is one-pass");
+        let counted = PassCounter::new(&g);
+        let _ = k_core(&counted, 1).unwrap();
+        assert!(counted.passes() >= 1);
+    }
+}

@@ -1,0 +1,14 @@
+//! X-Stream facade crate: re-exports the whole workspace public API.
+//!
+//! See the `xstream-core` crate for the programming model and the
+//! `xstream-memory` / `xstream-disk` crates for the two engines.
+
+pub use xstream_algorithms as algorithms;
+pub use xstream_baselines as baselines;
+pub use xstream_core as core;
+pub use xstream_disk as disk;
+pub use xstream_graph as graph;
+pub use xstream_iomodel as iomodel;
+pub use xstream_memory as memory;
+pub use xstream_storage as storage;
+pub use xstream_streams as streams;

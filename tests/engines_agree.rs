@@ -1,0 +1,174 @@
+//! Cross-crate integration tests: the in-memory engine and the
+//! out-of-core engine must produce identical results for every
+//! algorithm, across partition counts and the §3.2 optimization
+//! paths — the central refactoring invariant of the two-engine design.
+
+use xstream::algorithms::{bfs, mis, pagerank, spmv, sssp, wcc};
+use xstream::core::EngineConfig;
+use xstream::disk::DiskEngine;
+use xstream::graph::{generators, EdgeList};
+use xstream::memory::InMemoryEngine;
+use xstream::storage::StreamStore;
+
+fn temp_store(tag: &str) -> StreamStore {
+    let root = std::env::temp_dir().join(format!("xstream_it_{tag}"));
+    let _ = std::fs::remove_dir_all(&root);
+    StreamStore::new(&root, 1 << 16).expect("store")
+}
+
+fn disk_cfg() -> EngineConfig {
+    EngineConfig::default()
+        .with_memory_budget(1 << 20)
+        .with_io_unit(1 << 14)
+        .with_threads(2)
+}
+
+fn mem_cfg(partitions: usize) -> EngineConfig {
+    EngineConfig::default()
+        .with_threads(2)
+        .with_partitions(partitions)
+}
+
+fn test_graph(seed: u64) -> EdgeList {
+    generators::erdos_renyi(500, 4000, seed).to_undirected()
+}
+
+#[test]
+fn wcc_agrees_across_engines_and_partitions() {
+    let g = test_graph(1);
+    let reference = {
+        let (labels, _) = wcc::wcc_in_memory(&g, mem_cfg(1));
+        labels
+    };
+    for parts in [2usize, 8, 64] {
+        let (labels, _) = wcc::wcc_in_memory(&g, mem_cfg(parts));
+        assert_eq!(labels, reference, "in-memory K={parts}");
+    }
+    let p = wcc::Wcc::new();
+    let mut disk = DiskEngine::from_graph(temp_store("wcc"), &g, &p, disk_cfg()).expect("engine");
+    let (labels, _) = wcc::run(&mut disk, &p);
+    assert_eq!(labels, reference, "disk engine");
+}
+
+#[test]
+fn bfs_agrees_across_engines() {
+    let g = test_graph(2);
+    let (mem_levels, _) = bfs::bfs_in_memory(&g, 0, mem_cfg(8));
+    let p = bfs::Bfs::new();
+    let mut disk = DiskEngine::from_graph(temp_store("bfs"), &g, &p, disk_cfg()).expect("engine");
+    let (disk_levels, _) = bfs::run(&mut disk, &p, 0);
+    assert_eq!(mem_levels, disk_levels);
+}
+
+#[test]
+fn sssp_agrees_across_engines() {
+    let mut rng_graph = generators::erdos_renyi(300, 2500, 3).to_undirected();
+    // Deterministic positive weights.
+    for (i, e) in rng_graph.edges_mut().iter_mut().enumerate() {
+        e.weight = 0.01 + ((i * 2654435761) % 1000) as f32 / 1000.0;
+    }
+    let (mem_dist, _) = sssp::sssp_in_memory(&rng_graph, 0, mem_cfg(8));
+    let p = sssp::Sssp::new();
+    let mut disk =
+        DiskEngine::from_graph(temp_store("sssp"), &rng_graph, &p, disk_cfg()).expect("engine");
+    let (disk_dist, _) = sssp::run(&mut disk, &p, 0);
+    assert_eq!(mem_dist.len(), disk_dist.len());
+    for (v, (m, d)) in mem_dist.iter().zip(&disk_dist).enumerate() {
+        assert!(
+            (m - d).abs() < 1e-5 || (m.is_infinite() && d.is_infinite()),
+            "vertex {v}: {m} vs {d}"
+        );
+    }
+}
+
+#[test]
+fn pagerank_agrees_across_engines() {
+    let g = generators::preferential_attachment(400, 8, 4);
+    let (mem_ranks, _) = pagerank::pagerank_in_memory(&g, 5, mem_cfg(8));
+    let p = pagerank::Pagerank;
+    let degrees = g.out_degrees();
+    let mut disk = DiskEngine::from_graph(temp_store("pr"), &g, &p, disk_cfg()).expect("engine");
+    let (disk_ranks, _) = pagerank::run(&mut disk, &p, &degrees, 5);
+    for (v, (m, d)) in mem_ranks.iter().zip(&disk_ranks).enumerate() {
+        assert!((m - d).abs() < 1e-6, "vertex {v}: {m} vs {d}");
+    }
+}
+
+#[test]
+fn spmv_agrees_with_direct_multiplication() {
+    let g = generators::erdos_renyi(200, 1500, 5);
+    let x: Vec<f32> = (0..200).map(|i| (i % 7) as f32).collect();
+
+    // Direct y = A^T x.
+    let mut expect = vec![0f32; 200];
+    for e in g.edges() {
+        expect[e.dst as usize] += e.weight * x[e.src as usize];
+    }
+
+    let p = spmv::Spmv;
+    let mut mem = InMemoryEngine::from_graph(&g, &p, mem_cfg(4));
+    let (mem_y, _) = spmv::run(&mut mem, &p, &x);
+    let mut disk = DiskEngine::from_graph(temp_store("spmv"), &g, &p, disk_cfg()).expect("engine");
+    let (disk_y, _) = spmv::run(&mut disk, &p, &x);
+    for v in 0..200 {
+        assert!((mem_y[v] - expect[v]).abs() < 1e-3, "mem vertex {v}");
+        assert!((disk_y[v] - expect[v]).abs() < 1e-3, "disk vertex {v}");
+    }
+}
+
+#[test]
+fn mis_valid_on_disk_engine() {
+    let g = test_graph(6);
+    let p = mis::Mis::new();
+    let mut disk = DiskEngine::from_graph(temp_store("mis"), &g, &p, disk_cfg()).expect("engine");
+    let (statuses, _) = mis::run(&mut disk, &p);
+    mis::verify_mis(&g, &statuses).expect("valid MIS from disk engine");
+}
+
+#[test]
+fn disk_optimization_paths_agree() {
+    // §3.2: (a) vertices kept in memory vs written per partition;
+    // (b) updates gathered from memory vs spilled to update files.
+    let g = test_graph(7);
+    let reference = {
+        let (labels, _) = wcc::wcc_in_memory(&g, mem_cfg(4));
+        labels
+    };
+    for (keep_vertices, in_memory_updates) in
+        [(true, true), (true, false), (false, true), (false, false)]
+    {
+        let cfg = EngineConfig {
+            keep_vertices_in_memory: keep_vertices,
+            in_memory_updates,
+            ..disk_cfg()
+        };
+        let p = wcc::Wcc::new();
+        let tag = format!("opt_{keep_vertices}_{in_memory_updates}");
+        let mut disk = DiskEngine::from_graph(temp_store(&tag), &g, &p, cfg).expect("engine");
+        let (labels, _) = wcc::run(&mut disk, &p);
+        assert_eq!(
+            labels, reference,
+            "keep_vertices={keep_vertices} in_memory_updates={in_memory_updates}"
+        );
+    }
+}
+
+#[test]
+fn work_stealing_ablation_agrees() {
+    let g = test_graph(8);
+    let (with_ws, _) = wcc::wcc_in_memory(
+        &g,
+        EngineConfig::default()
+            .with_threads(4)
+            .with_partitions(16)
+            .with_work_stealing(true),
+    );
+    let (without_ws, _) = wcc::wcc_in_memory(
+        &g,
+        EngineConfig::default()
+            .with_threads(4)
+            .with_partitions(16)
+            .with_work_stealing(false),
+    );
+    assert_eq!(with_ws, without_ws);
+}

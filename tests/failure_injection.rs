@@ -1,0 +1,133 @@
+//! Failure-injection tests: corrupt inputs, truncated files,
+//! infeasible configurations and bad store paths must surface as
+//! `Err` values, never as panics or silent wrong answers.
+
+use std::io::Write;
+
+use xstream::algorithms::wcc;
+use xstream::core::{EngineConfig, Error};
+use xstream::disk::DiskEngine;
+use xstream::graph::fileio::{read_edge_file, write_edge_file, MAGIC};
+use xstream::graph::generators;
+use xstream::storage::StreamStore;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("xstream_failure_tests");
+    std::fs::create_dir_all(&dir).expect("dir");
+    dir.join(name)
+}
+
+#[test]
+fn corrupt_magic_is_rejected() {
+    let path = tmp("bad_magic.edges");
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(b"NOTMAGIC").unwrap();
+    f.write_all(&[0u8; 64]).unwrap();
+    drop(f);
+    match read_edge_file(&path) {
+        Err(Error::InvalidInput(msg)) => assert!(msg.contains("magic"), "{msg}"),
+        other => panic!("expected InvalidInput, got {other:?}"),
+    }
+}
+
+#[test]
+fn short_file_is_rejected() {
+    let path = tmp("short.edges");
+    std::fs::write(&path, MAGIC).unwrap();
+    match read_edge_file(&path) {
+        Err(Error::InvalidInput(msg)) => assert!(msg.contains("short"), "{msg}"),
+        other => panic!("expected InvalidInput, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_payload_is_detected() {
+    let g = generators::erdos_renyi(100, 500, 1);
+    let path = tmp("trunc.edges");
+    write_edge_file(&path, &g).unwrap();
+    // Chop off the last 100 bytes of edge records.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 100]).unwrap();
+    match read_edge_file(&path) {
+        Err(Error::InvalidInput(msg)) => {
+            assert!(msg.contains("truncated"), "{msg}")
+        }
+        other => panic!("expected truncation error, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_edge_file_is_an_io_error() {
+    let path = tmp("does_not_exist.edges");
+    let _ = std::fs::remove_file(&path);
+    assert!(matches!(read_edge_file(&path), Err(Error::Io(_))));
+}
+
+#[test]
+fn infeasible_memory_budget_is_a_config_error() {
+    let g = generators::erdos_renyi(10_000, 40_000, 2).to_undirected();
+    let store_dir = tmp("infeasible_store");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = StreamStore::new(&store_dir, 1 << 20).unwrap();
+    // 64 KB of memory cannot satisfy N/K + 5SK <= M with a 1 MB I/O
+    // unit: the constructor must refuse rather than thrash.
+    let cfg = EngineConfig::default()
+        .with_memory_budget(64 << 10)
+        .with_io_unit(1 << 20);
+    let p = wcc::Wcc::new();
+    match DiskEngine::from_graph(store, &g, &p, cfg) {
+        Err(Error::Config(msg)) => assert!(msg.contains("memory budget"), "{msg}"),
+        other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn store_rooted_at_a_file_fails() {
+    let file_path = tmp("iam_a_file");
+    std::fs::write(&file_path, b"occupied").unwrap();
+    assert!(StreamStore::new(&file_path, 4096).is_err());
+}
+
+#[test]
+fn missing_streams_spring_into_existence_empty() {
+    // Streams are append-only and lazily created: reading one that was
+    // never written is not an error, it is the empty stream — the
+    // semantics the disk engine relies on for partitions that received
+    // no updates in an iteration.
+    let dir = tmp("missing_stream_store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = StreamStore::new(&dir, 4096).unwrap();
+    assert!(!store.exists("never_written"));
+    assert_eq!(store.len("never_written"), 0);
+    assert!(store.read_all("never_written").unwrap().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn edge_list_validation_catches_out_of_range_endpoints() {
+    use xstream::core::Edge;
+    use xstream::graph::EdgeList;
+    let bad = EdgeList::from_parts_unchecked(4, vec![Edge::new(0, 9)]);
+    assert!(bad.validate().is_err());
+    let good = EdgeList::from_parts_unchecked(10, vec![Edge::new(0, 9)]);
+    assert!(good.validate().is_ok());
+}
+
+#[test]
+fn zero_vertex_graph_is_handled() {
+    use xstream::graph::EdgeList;
+    let empty = EdgeList::empty(0);
+    let labels = xstream::streams::semi::connected_components(&empty).unwrap();
+    assert!(labels.is_empty());
+}
+
+#[test]
+fn single_vertex_self_loop_graph_converges() {
+    use xstream::core::Edge;
+    use xstream::graph::EdgeList;
+    let g = EdgeList::from_parts_unchecked(1, vec![Edge::new(0, 0)]);
+    let (labels, stats) = wcc::wcc_in_memory(&g, EngineConfig::default());
+    assert_eq!(labels, vec![0]);
+    assert!(stats.num_iterations() <= 2);
+}

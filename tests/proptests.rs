@@ -1,0 +1,252 @@
+//! Property-based tests over the whole stack: engines against
+//! reference implementations on arbitrary graphs, storage-layer
+//! multiset invariants, and record-codec round trips.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use xstream::algorithms::{bfs, mcst, mis, sssp, wcc};
+use xstream::core::record::{decode_records, records_as_bytes};
+use xstream::core::{Edge, EngineConfig};
+use xstream::graph::{edgelist::from_pairs, EdgeList};
+use xstream::storage::shuffle::{multistage_shuffle, shuffle, MultiStagePlan};
+
+/// Strategy: a directed graph as (vertex count, edge pairs).
+fn arb_graph(max_v: usize, max_e: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..max_v).prop_flat_map(move |n| {
+        let pairs = vec((0..n as u32, 0..n as u32), 0..max_e);
+        (Just(n), pairs)
+    })
+}
+
+/// Reference WCC by union-find.
+fn union_find_components(n: usize, pairs: &[(u32, u32)]) -> Vec<u32> {
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(p: &mut [u32], mut v: u32) -> u32 {
+        while p[v as usize] != v {
+            p[v as usize] = p[p[v as usize] as usize];
+            v = p[v as usize];
+        }
+        v
+    }
+    for &(a, b) in pairs {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        // Union by smaller root so labels match min-label propagation.
+        if ra < rb {
+            parent[rb as usize] = ra;
+        } else {
+            parent[ra as usize] = rb;
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+/// Reference BFS levels.
+fn reference_bfs(n: usize, pairs: &[(u32, u32)], root: u32) -> Vec<u32> {
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in pairs {
+        adj[a as usize].push(b);
+    }
+    let mut level = vec![u32::MAX; n];
+    level[root as usize] = 0;
+    let mut frontier = vec![root];
+    let mut d = 0;
+    while !frontier.is_empty() {
+        d += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &v in &adj[u as usize] {
+                if level[v as usize] == u32::MAX {
+                    level[v as usize] = d;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    level
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn wcc_matches_union_find((n, pairs) in arb_graph(120, 400)) {
+        let g = from_pairs(n, &pairs).to_undirected();
+        let (labels, _) = wcc::wcc_in_memory(
+            &g,
+            EngineConfig::default().with_threads(2).with_partitions(4),
+        );
+        let expect = union_find_components(n, &pairs);
+        prop_assert_eq!(labels, expect);
+    }
+
+    #[test]
+    fn bfs_matches_reference((n, pairs) in arb_graph(120, 400)) {
+        let g = from_pairs(n, &pairs);
+        let (levels, _) = bfs::bfs_in_memory(
+            &g,
+            0,
+            EngineConfig::default().with_threads(2).with_partitions(4),
+        );
+        prop_assert_eq!(levels, reference_bfs(n, &pairs, 0));
+    }
+
+    #[test]
+    fn sssp_on_unit_weights_equals_bfs((n, pairs) in arb_graph(100, 300)) {
+        let mut g = from_pairs(n, &pairs);
+        for e in g.edges_mut() {
+            e.weight = 1.0;
+        }
+        let cfg = || EngineConfig::default().with_threads(2).with_partitions(4);
+        let (dist, _) = sssp::sssp_in_memory(&g, 0, cfg());
+        let (levels, _) = bfs::bfs_in_memory(&g, 0, cfg());
+        for v in 0..n {
+            if levels[v] == u32::MAX {
+                prop_assert!(dist[v].is_infinite(), "vertex {} unreachable", v);
+            } else {
+                prop_assert!((dist[v] - levels[v] as f32).abs() < 1e-6,
+                    "vertex {}: dist {} level {}", v, dist[v], levels[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn mis_always_valid((n, pairs) in arb_graph(100, 300)) {
+        let g = from_pairs(n, &pairs).to_undirected();
+        let (statuses, _) = mis::mis_in_memory(
+            &g,
+            EngineConfig::default().with_threads(2).with_partitions(4),
+        );
+        prop_assert!(mis::verify_mis(&g, &statuses).is_ok());
+    }
+
+    #[test]
+    fn mcst_matches_kruskal_weight((n, pairs) in arb_graph(80, 200), seed in 0u64..1000) {
+        // Distinct weights via a deterministic hash keyed by the seed.
+        let mut g = from_pairs(n, &pairs);
+        let mut k = 0u64;
+        for e in g.edges_mut() {
+            if e.src == e.dst {
+                // MSTs never use self loops; give them terrible weight.
+                e.weight = 1e9;
+            } else {
+                k += 1;
+                e.weight =
+                    1.0 + ((seed.wrapping_mul(2654435761).wrapping_add(k * 40503)) % 100_000) as f32
+                        / 1000.0;
+            }
+        }
+        let und = g.to_undirected();
+        let (result, _) = mcst::mcst_in_memory(
+            &und,
+            EngineConfig::default().with_threads(2).with_partitions(4),
+        );
+        let expect = mcst::kruskal_weight(&und);
+        prop_assert!((result.total_weight - expect).abs() < 1e-2,
+            "ghs {} vs kruskal {}", result.total_weight, expect);
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset_and_routes(
+        records in vec((0u32..64, any::<u32>()), 0..2000),
+        k in 1usize..64,
+    ) {
+        let input: Vec<Edge> =
+            records.iter().map(|&(p, x)| Edge::weighted(p % k as u32, x, 0.0)).collect();
+        let buf = shuffle(&input, k, |e| e.src as usize);
+        prop_assert_eq!(buf.len(), input.len());
+        let mut seen = 0usize;
+        for (p, chunk) in buf.iter_chunks() {
+            for e in chunk {
+                prop_assert_eq!(e.src as usize, p, "record in wrong chunk");
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, input.len());
+    }
+
+    #[test]
+    fn multistage_equals_single_stage(
+        records in vec((0u32..256, any::<u32>()), 0..2000),
+        fanout_bits in 1u32..4,
+    ) {
+        let k = 256usize;
+        let input: Vec<Edge> =
+            records.iter().map(|&(p, x)| Edge::weighted(p, x, 0.0)).collect();
+        let single = shuffle(&input, k, |e| e.src as usize);
+        let plan = MultiStagePlan::new(k, 1 << fanout_bits);
+        let multi = multistage_shuffle(input, plan, |e| e.src as usize);
+        // Same records per partition (multi-stage is stable per chunk).
+        for p in 0..k {
+            prop_assert_eq!(single.chunk(p), multi.chunk(p), "partition {}", p);
+        }
+    }
+
+    #[test]
+    fn record_roundtrip(edges in vec(any::<(u32, u32, f32)>(), 0..500)) {
+        let input: Vec<Edge> = edges
+            .iter()
+            .map(|&(s, d, w)| Edge::weighted(s, d, w))
+            .collect();
+        let bytes = records_as_bytes(&input).to_vec();
+        let back: Vec<Edge> = decode_records(&bytes);
+        // Compare bitwise so NaN weights round trip too.
+        prop_assert_eq!(input.len(), back.len());
+        for (a, b) in input.iter().zip(&back) {
+            prop_assert_eq!(a.src, b.src);
+            prop_assert_eq!(a.dst, b.dst);
+            prop_assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
+    }
+
+    #[test]
+    fn undirected_expansion_is_symmetric((n, pairs) in arb_graph(60, 200)) {
+        let g = from_pairs(n, &pairs);
+        let und = g.to_undirected();
+        use std::collections::HashSet;
+        let set: HashSet<(u32, u32)> =
+            und.edges().iter().map(|e| (e.src, e.dst)).collect();
+        for e in und.edges() {
+            prop_assert!(set.contains(&(e.dst, e.src)),
+                "missing reverse of ({}, {})", e.src, e.dst);
+        }
+    }
+}
+
+/// The engines must agree on arbitrary graphs too, not just the seeded
+/// fixtures of the unit tests (fewer cases: each builds real files).
+mod disk_engine_props {
+    use super::*;
+    use xstream::disk::DiskEngine;
+    use xstream::storage::StreamStore;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn disk_wcc_matches_union_find((n, pairs) in arb_graph(80, 250)) {
+            let g = from_pairs(n, &pairs).to_undirected();
+            let root = std::env::temp_dir().join(format!(
+                "xstream_prop_{}_{}", n, pairs.len()
+            ));
+            let _ = std::fs::remove_dir_all(&root);
+            let store = StreamStore::new(&root, 1 << 14).expect("store");
+            let cfg = EngineConfig::default()
+                .with_memory_budget(1 << 18)
+                .with_io_unit(1 << 12)
+                .with_threads(2);
+            let p = wcc::Wcc::new();
+            let mut engine = DiskEngine::from_graph(store, &g, &p, cfg).expect("engine");
+            let (labels, _) = wcc::run(&mut engine, &p);
+            prop_assert_eq!(labels, union_find_components(n, &pairs));
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+}
+
+/// EdgeList construction helper used by the strategies above.
+#[allow(dead_code)]
+fn as_edge_list(n: usize, pairs: &[(u32, u32)]) -> EdgeList {
+    from_pairs(n, pairs)
+}
