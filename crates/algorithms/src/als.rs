@@ -119,8 +119,8 @@ impl EdgeProgram for Als {
         match self.phase() {
             phase::EVAL => {
                 let mut dot = 0f32;
-                for i in 0..K {
-                    dot += d.factors[i] * u[i];
+                for (f, x) in d.factors.iter().zip(u) {
+                    dot += f * x;
                 }
                 d.err += (dot - rating) * (dot - rating);
                 d.count += 1;

@@ -163,19 +163,11 @@ mod tests {
         pairs.push((4, 5)); // Bridge.
         let g = from_pairs(10, &pairs).to_undirected();
         let (beliefs, _) = bp_in_memory(&g, &[(0, 0), (9, 1)], 8, cfg());
-        for v in 0..5 {
-            assert!(
-                beliefs[v][0] > 0.5,
-                "cluster A vertex {v}: {:?}",
-                beliefs[v]
-            );
+        for (v, belief) in beliefs.iter().enumerate().take(5) {
+            assert!(belief[0] > 0.5, "cluster A vertex {v}: {belief:?}");
         }
-        for v in 5..10 {
-            assert!(
-                beliefs[v][1] > 0.5,
-                "cluster B vertex {v}: {:?}",
-                beliefs[v]
-            );
+        for (v, belief) in beliefs.iter().enumerate().skip(5) {
+            assert!(belief[1] > 0.5, "cluster B vertex {v}: {belief:?}");
         }
     }
 

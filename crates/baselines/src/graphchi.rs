@@ -136,13 +136,13 @@ impl<P: VertexProgram> GraphChiEngine<P> {
             }
             // Window boundaries: contiguous source-interval ranges.
             let mut lo = 0usize;
-            for s in 0..kp {
+            for (s, window) in windows[t].iter_mut().enumerate().take(kp) {
                 let hi_vertex = partitioner.range(s).end;
                 let mut hi = lo;
                 while hi < shard.len() && (shard[hi].src as usize) < hi_vertex {
                     hi += 1;
                 }
-                windows[t][s] = (lo as u64, hi as u64);
+                *window = (lo as u64, hi as u64);
                 lo = hi;
             }
             store.append(&shard_name(t), records_as_bytes(&shard))?;
@@ -286,7 +286,7 @@ impl<P: VertexProgram> GraphChiEngine<P> {
             }
 
             // 5. Write the windows and the memory shard data back.
-            for t in 0..kp {
+            for (t, window) in window_data.iter().enumerate().take(kp) {
                 if t == s {
                     continue;
                 }
@@ -295,7 +295,7 @@ impl<P: VertexProgram> GraphChiEngine<P> {
                     self.store.write_at(
                         &data_name(t),
                         lo * dsz as u64,
-                        records_as_bytes(&window_data[t]),
+                        records_as_bytes(window),
                     )?;
                 }
             }
@@ -401,7 +401,7 @@ pub mod apps {
 
         fn init_vertex(&self, v: VertexId) -> [f32; 2] {
             // Deterministic mild priors so the computation is nontrivial.
-            if v % 17 == 0 {
+            if v.is_multiple_of(17) {
                 [0.9, 0.1]
             } else {
                 [0.5, 0.5]
@@ -419,7 +419,7 @@ pub mod apps {
             in_edges: &[(VertexId, f32, [f32; 2])],
             out_edges: &mut [(VertexId, f32, [f32; 2])],
         ) -> bool {
-            let prior = if v % 17 == 0 {
+            let prior = if v.is_multiple_of(17) {
                 [0.9f32, 0.1]
             } else {
                 [0.5, 0.5]
@@ -574,12 +574,12 @@ mod tests {
             30,
             xstream_core::EngineConfig::default().with_partitions(4),
         );
-        for v in 0..100 {
+        for (v, &rank) in xs.iter().enumerate().take(100) {
             assert!(
-                (engine.vertex_data()[v] - xs[v]).abs() < 2e-3,
+                (engine.vertex_data()[v] - rank).abs() < 2e-3,
                 "vertex {v}: {} vs {}",
                 engine.vertex_data()[v],
-                xs[v]
+                rank
             );
         }
     }

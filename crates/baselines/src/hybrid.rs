@@ -122,11 +122,11 @@ mod tests {
         let g = generators::path(10);
         let (csr, csc) = indexes(&g);
         let levels = bfs(&csr, &csc, 5, 2);
-        for v in 0..5 {
-            assert_eq!(levels[v], UNREACHED);
+        for &level in &levels[..5] {
+            assert_eq!(level, UNREACHED);
         }
-        for v in 5..10 {
-            assert_eq!(levels[v], (v - 5) as u32);
+        for (v, &level) in levels.iter().enumerate().skip(5) {
+            assert_eq!(level, (v - 5) as u32);
         }
     }
 

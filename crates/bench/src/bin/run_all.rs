@@ -17,7 +17,8 @@ fn main() {
     let out_dir = Path::new("results");
     fs::create_dir_all(out_dir).expect("create results dir");
 
-    let experiments: Vec<(&str, fn(Effort) -> String)> = vec![
+    type Report = fn(Effort) -> String;
+    let experiments: Vec<(&str, Report)> = vec![
         ("fig08_membw", figs::fig08_membw::report),
         ("fig09_diskbw", figs::fig09_diskbw::report),
         ("fig10_datasets", figs::fig10_datasets::report),

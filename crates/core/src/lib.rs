@@ -17,10 +17,12 @@
 //! * the user-facing [`program::EdgeProgram`] trait
 //!   ([`program`]),
 //! * streaming-partition arithmetic ([`partition`]),
-//! * engine configuration ([`config`]) and statistics ([`stats`]),
+//! * engine configuration ([`config`]), statistics ([`stats`]) and
+//!   process-wide allocation accounting ([`alloc_stats`]),
 //! * the [`engine::Engine`] abstraction implemented by the
 //!   in-memory and out-of-core engines ([`engine`]).
 
+pub mod alloc_stats;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -30,6 +32,7 @@ pub mod record;
 pub mod stats;
 pub mod types;
 
+pub use alloc_stats::AllocSnapshot;
 pub use config::EngineConfig;
 pub use engine::{Engine, Termination};
 pub use error::{Error, Result};

@@ -35,6 +35,12 @@ pub struct IterationStats {
     pub bytes_written: u64,
     /// Memory references into vertex/edge/update arrays (Fig. 21 proxy).
     pub mem_refs: u64,
+    /// Heap allocations (including reallocations) performed during the
+    /// iteration, from [`crate::alloc_stats`]. The pooled in-memory
+    /// pipeline drives this to zero from the second iteration onward.
+    pub alloc_count: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
 }
 
 impl IterationStats {
@@ -73,6 +79,8 @@ impl IterationStats {
         self.bytes_read += other.bytes_read;
         self.bytes_written += other.bytes_written;
         self.mem_refs += other.mem_refs;
+        self.alloc_count += other.alloc_count;
+        self.alloc_bytes += other.alloc_bytes;
     }
 }
 

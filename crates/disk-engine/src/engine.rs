@@ -23,7 +23,7 @@ use xstream_core::{
 use xstream_graph::fileio::EdgeFileReader;
 use xstream_graph::EdgeList;
 use xstream_storage::shuffle::shuffle;
-use xstream_storage::{AsyncWriter, StreamBuffer, StreamStore};
+use xstream_storage::{AsyncWriter, ShuffleArena, StreamBuffer, StreamStore};
 
 /// Name of the edge stream of partition `p`.
 pub fn edge_stream(p: usize) -> String {
@@ -47,6 +47,10 @@ pub struct DiskEngine<P: EdgeProgram> {
     /// §3.2 optimization 2: the shuffled scatter output, kept in memory
     /// when it never overflowed the stream buffer.
     mem_updates: Option<StreamBuffer<TargetedUpdate<P::Update>>>,
+    /// Pooled arena for the per-spill in-memory shuffle: spills recur
+    /// many times per superstep, and reusing one arena keeps them from
+    /// allocating a fresh stream buffer each time.
+    spill_arena: ShuffleArena<TargetedUpdate<P::Update>>,
 }
 
 impl<P: EdgeProgram> DiskEngine<P> {
@@ -139,6 +143,7 @@ impl<P: EdgeProgram> DiskEngine<P> {
             vertices,
             spill_threshold,
             mem_updates: None,
+            spill_arena: ShuffleArena::new(),
         })
     }
 
@@ -173,6 +178,7 @@ impl<P: EdgeProgram> DiskEngine<P> {
             let store = &self.store;
             let partitioner = &self.partitioner;
             let vertices = &self.vertices;
+            let spill_arena = &mut self.spill_arena;
             let threads = self.config.threads.max(1);
             for s in partitioner.iter() {
                 let states = vertices.load(store, partitioner, s)?;
@@ -196,7 +202,7 @@ impl<P: EdgeProgram> DiskEngine<P> {
                     }
                     if pending.len() >= self.spill_threshold {
                         let t_io = Instant::now();
-                        spill(&writer, partitioner, kp, &mut pending)?;
+                        spill(&writer, partitioner, kp, &mut pending, spill_arena)?;
                         streaming_ns += t_io.elapsed().as_nanos() as u64;
                         spilled = true;
                     }
@@ -209,7 +215,7 @@ impl<P: EdgeProgram> DiskEngine<P> {
                 self.mem_updates = Some(buf);
             } else if !pending.is_empty() {
                 let t_io = Instant::now();
-                spill(&writer, partitioner, kp, &mut pending)?;
+                spill(&writer, partitioner, kp, &mut pending, spill_arena)?;
                 streaming_ns += t_io.elapsed().as_nanos() as u64;
             }
             // The gather phase must observe every update: drain the
@@ -321,15 +327,19 @@ fn scatter_chunk<P: EdgeProgram>(
 
 /// In-memory shuffle of the pending buffer followed by per-partition
 /// appends to the update files via the background writer (the merged
-/// shuffle of Fig. 6 with the write overlap of §3.3).
+/// shuffle of Fig. 6 with the write overlap of §3.3). The shuffle
+/// reuses the engine's pooled arena: spills recur once per filled
+/// stream buffer, so the chunk array and count/offset arrays are
+/// allocated once per engine rather than once per spill.
 fn spill<U: Record>(
     writer: &AsyncWriter,
     partitioner: &Partitioner,
     kp: usize,
     pending: &mut Vec<TargetedUpdate<U>>,
+    arena: &mut ShuffleArena<TargetedUpdate<U>>,
 ) -> Result<()> {
-    let buf = shuffle(pending, kp, |u| partitioner.partition_of(u.target));
-    for (p, run) in buf.iter_chunks() {
+    arena.shuffle(pending, kp, |u| partitioner.partition_of(u.target));
+    for (p, run) in arena.iter_chunks() {
         if !run.is_empty() {
             writer.submit(update_stream(p), records_as_bytes(run).to_vec())?;
         }

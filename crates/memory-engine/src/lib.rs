@@ -33,6 +33,8 @@
 //! ```
 
 pub mod engine;
+pub mod pool;
 pub mod queue;
 
 pub use engine::InMemoryEngine;
+pub use pool::WorkerPool;

@@ -4,7 +4,13 @@
 //! (RMAT graphs are heavily skewed), so statically assigning partitions
 //! to threads leaves cores idle. Each thread owns a queue of partition
 //! indices; when its own queue drains it steals from the back of the
-//! busiest victim's queue.
+//! busiest victim's queue — and takes *half* of that queue in one lock
+//! acquisition, so a thread that went idle next to a loaded victim
+//! pays the scan-and-lock cost once instead of once per stolen item.
+//!
+//! The queues are pooled: [`WorkQueues::refill`] rearms them for the
+//! next phase without allocating (the deques keep their capacity),
+//! which keeps the engine's steady-state superstep allocation-free.
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -34,10 +40,37 @@ impl WorkQueues {
         self.queues.len()
     }
 
+    /// Rearms the pooled queues with a fresh round-robin distribution
+    /// of `items`, reusing the existing deque storage. Requires
+    /// exclusive access, so it cannot race any concurrent [`pop`].
+    ///
+    /// [`pop`]: WorkQueues::pop
+    pub fn refill(&mut self, items: impl IntoIterator<Item = usize>) {
+        let threads = self.queues.len();
+        for q in &mut self.queues {
+            q.get_mut().clear();
+        }
+        let mut total = 0usize;
+        for (i, item) in items.into_iter().enumerate() {
+            self.queues[i % threads].get_mut().push_back(item);
+            total += 1;
+        }
+        // Give every queue room for the full item set: a steal can then
+        // never outgrow a queue's capacity mid-phase, keeping the
+        // steady-state superstep allocation-free even under heavy
+        // work-stealing.
+        for q in &mut self.queues {
+            let q = q.get_mut();
+            q.reserve(total.saturating_sub(q.len()));
+        }
+    }
+
     /// Pops the next item for thread `me`: its own queue first, then —
-    /// if stealing is enabled — the back of the longest other queue.
+    /// if stealing is enabled — half the longest other queue in one
+    /// lock acquisition (the stolen surplus moves to `me`'s queue).
     pub fn pop(&self, me: usize) -> Option<usize> {
-        if let Some(item) = self.queues[me % self.queues.len()].lock().pop_front() {
+        let me = me % self.queues.len();
+        if let Some(item) = self.queues[me].lock().pop_front() {
             return Some(item);
         }
         if !self.stealing {
@@ -47,7 +80,7 @@ impl WorkQueues {
         loop {
             let mut best: Option<(usize, usize)> = None;
             for (i, q) in self.queues.iter().enumerate() {
-                if i == me % self.queues.len() {
+                if i == me {
                     continue;
                 }
                 let len = q.lock().len();
@@ -55,13 +88,37 @@ impl WorkQueues {
                     best = Some((i, len));
                 }
             }
-            let Some((victim, _)) = best else {
-                return None;
+            let (victim, _) = best?;
+            // Take the back half of the victim's queue in one critical
+            // section, moving it straight into `me`'s queue (no
+            // intermediate deque, so the steal allocates nothing once
+            // the queues are warm). Both locks are taken in index
+            // order: concurrent stealers targeting each other then
+            // cannot deadlock.
+            let first = {
+                let (mut vq, mut mine) = if victim < me {
+                    let vq = self.queues[victim].lock();
+                    (vq, self.queues[me].lock())
+                } else {
+                    let mine = self.queues[me].lock();
+                    (self.queues[victim].lock(), mine)
+                };
+                let n = vq.len();
+                if n == 0 {
+                    // Lost the race; rescan.
+                    continue;
+                }
+                // Popping the victim's back and pushing `me`'s front
+                // preserves the stolen run's relative order.
+                for _ in 0..n.div_ceil(2) {
+                    let item = vq.pop_back().expect("length checked above");
+                    mine.push_front(item);
+                }
+                mine.pop_front()
             };
-            if let Some(item) = self.queues[victim].lock().pop_back() {
-                return Some(item);
+            if first.is_some() {
+                return first;
             }
-            // Lost the race; rescan.
         }
     }
 }
@@ -109,7 +166,7 @@ mod tests {
     #[test]
     fn stealing_rebalances() {
         // All items on queue 0; thread 1 must still make progress.
-        let q = WorkQueues::new(std::iter::repeat(7).take(20), 1, true);
+        let q = WorkQueues::new(std::iter::repeat_n(7, 20), 1, true);
         assert_eq!(q.num_queues(), 1);
         let q = WorkQueues::new(0..20, 2, true);
         // Thread 1 drains everything, including thread 0's share.
@@ -119,6 +176,41 @@ mod tests {
         }
         assert_eq!(count, 20);
         assert!(q.pop(0).is_none());
+    }
+
+    #[test]
+    fn steal_takes_half_in_one_grab() {
+        // Maximally imbalanced state: thread 0 owns all 8 items.
+        let q = WorkQueues::new(std::iter::empty(), 2, true);
+        {
+            let mut g = q.queues[0].lock();
+            for i in 0..8 {
+                g.push_back(i);
+            }
+        }
+        // One pop by thread 1 must migrate the whole back half: item 4
+        // is returned, items 5..8 land on thread 1's own queue.
+        let got = q.pop(1).expect("steal failed");
+        assert_eq!(got, 4, "steals the front of the back half");
+        assert_eq!(q.queues[1].lock().len(), 3);
+        assert_eq!(q.queues[0].lock().len(), 4);
+    }
+
+    #[test]
+    fn refill_reuses_queues() {
+        let mut q = WorkQueues::new(0..10, 2, true);
+        while q.pop(0).is_some() {}
+        q.refill(0..6);
+        let mut count = 0;
+        while q.pop(0).is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 6);
+        // Steady-state refill after warm-up allocates nothing.
+        q.refill(0..6);
+        let clean_window =
+            xstream_core::alloc_stats::any_allocation_free_window(50, || q.refill(0..6));
+        assert!(clean_window, "pooled refill allocated in every window");
     }
 
     #[test]

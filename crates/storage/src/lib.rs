@@ -8,6 +8,9 @@
 //! * [`shuffle`] — the in-memory shuffle (§3.1) and the parallel
 //!   multi-stage shuffler (§4.2) that routes records to partitions in
 //!   `ceil(log_F K)` sequential passes,
+//! * [`scratch`] — the iteration-persistent buffer pool behind the
+//!   zero-allocation pipeline: fused first-stage scatter buckets,
+//!   in-place double stage buffers, and pooled count/offset arrays,
 //! * [`filestream`] — on-disk streams with large-unit sequential I/O,
 //!   prefetch distance 1 on reads, background writer threads, and
 //!   truncate-on-destroy (§3.3),
@@ -24,6 +27,7 @@ pub mod buffer;
 pub mod diskmodel;
 pub mod filestream;
 pub mod iostats;
+pub mod scratch;
 pub mod shuffle;
 pub mod writer;
 
@@ -31,4 +35,5 @@ pub use buffer::StreamBuffer;
 pub use diskmodel::DiskModel;
 pub use filestream::{ChunkReader, StreamStore};
 pub use iostats::{DeviceId, IoAccounting, IoSnapshot};
+pub use scratch::{ShuffleArena, ShufflePool, ShuffleScratch};
 pub use writer::AsyncWriter;

@@ -1,0 +1,744 @@
+//! Iteration-persistent shuffle scratch: the buffer pool behind the
+//! zero-allocation scatter → shuffle → gather pipeline.
+//!
+//! The in-memory engine used to allocate every stream buffer, radix
+//! count array and per-thread update vector from scratch on every
+//! superstep, so allocation and page-fault traffic competed with the
+//! memory bandwidth the streaming shuffle is designed to exploit
+//! (paper §4.2, Fig. 7). A [`ShuffleScratch`] instead *owns* all of
+//! that memory and is reused across iterations:
+//!
+//! * **fan-out buckets** — scatter appends each update directly into
+//!   the bucket of its first radix digit (the top `fanout_bits` of the
+//!   partition id). This *fuses the first shuffle stage into scatter*:
+//!   the counting pass and copy pass the first stage used to spend on
+//!   the whole update stream disappear. With the common single-stage
+//!   plan the entire shuffle collapses into scatter.
+//! * **double stage buffers** — the remaining stages ping-pong between
+//!   two pooled buffers in place (`&mut`, no consume/return `Vec`s),
+//!   arranged so the final pass always lands in the same buffer.
+//! * **count/offset arrays** — the per-group radix counters and chunk
+//!   index arrays persist too.
+//!
+//! After the first iteration warms the pool, a steady-state superstep
+//! performs no heap allocation (observable through
+//! [`xstream_core::alloc_stats`]).
+//!
+//! One `ShuffleScratch` serves one worker thread (the Fig. 7 slicing:
+//! each thread shuffles its private slice with zero synchronization);
+//! a [`ShufflePool`] is the per-engine collection of them.
+
+use crate::shuffle::MultiStagePlan;
+use xstream_core::Record;
+
+/// Stable counting sort of one already-grouped run of records over
+/// one radix digit: routes `group` into `fan` sub-chunks of the
+/// output range `base..base + group.len()`, appending the `fan` new
+/// chunk boundaries to `offsets_out`.
+///
+/// This is the placement kernel shared by every multi-stage shuffle
+/// pass (`fan` must be a power of two — the digit is a shift+mask of
+/// `key`; the arbitrary-`k` single-stage `shuffle`/`ShuffleArena`
+/// paths keep their own modulo-free full-key loop). Each record of
+/// `group` is written to a distinct slot of `spare` inside the
+/// group's sub-range; the caller performs the final `set_len` once
+/// all groups of a pass are placed.
+#[allow(clippy::too_many_arguments)]
+fn radix_place_group<T: Record>(
+    group: &[T],
+    base: usize,
+    fan: usize,
+    shift: u32,
+    counts: &mut [usize],
+    offsets_out: &mut Vec<usize>,
+    spare: &mut [std::mem::MaybeUninit<T>],
+    key: &mut impl FnMut(&T) -> usize,
+) {
+    let counts = &mut counts[..fan + 1];
+    counts.fill(0);
+    for rec in group {
+        let digit = (key(rec) >> shift) & (fan - 1);
+        counts[digit + 1] += 1;
+    }
+    for i in 0..fan {
+        counts[i + 1] += counts[i];
+    }
+    for &c in counts[1..=fan].iter() {
+        offsets_out.push(base + c);
+    }
+    let cursor = counts;
+    for rec in group {
+        let digit = (key(rec) >> shift) & (fan - 1);
+        let slot = base + cursor[digit];
+        cursor[digit] += 1;
+        spare[slot].write(*rec);
+    }
+}
+
+/// Pooled, reusable state for the fused scatter + multi-stage shuffle
+/// of one thread slice.
+#[derive(Debug)]
+pub struct ShuffleScratch<T> {
+    plan: MultiStagePlan,
+    /// `total_bits - step0`: right-shift that maps a partition id to
+    /// its first-stage radix digit.
+    shift0: u32,
+    /// One append bucket per first-stage digit; capacity persists
+    /// across iterations.
+    buckets: Vec<Vec<T>>,
+    /// Primary stage buffer: the final shuffle pass always writes here.
+    front: Vec<T>,
+    /// Secondary stage buffer for odd/even pass parity.
+    back: Vec<T>,
+    /// Final chunk boundaries over `front` (`padded_partitions + 1`
+    /// entries) when at least one post-scatter pass ran.
+    offsets: Vec<usize>,
+    /// Working chunk boundaries between passes.
+    cur_offsets: Vec<usize>,
+    /// Radix count array reused by every group of every pass.
+    counts: Vec<usize>,
+    /// Total records pushed since the last `begin`.
+    len: usize,
+    /// Whether the final records live in `front` (staged) or still in
+    /// `buckets` (the single-stage fast path).
+    staged: bool,
+}
+
+impl<T: Record> ShuffleScratch<T> {
+    /// An empty scratch; buffers are grown on first use and then
+    /// retained.
+    pub fn new() -> Self {
+        Self {
+            plan: MultiStagePlan::new(1, 2),
+            shift0: 0,
+            buckets: Vec::new(),
+            front: Vec::new(),
+            back: Vec::new(),
+            offsets: Vec::new(),
+            cur_offsets: Vec::new(),
+            counts: Vec::new(),
+            len: 0,
+            staged: false,
+        }
+    }
+
+    /// Rearms the scratch for one superstep under `plan`: clears the
+    /// buckets (keeping their capacity) and records the first-stage
+    /// digit geometry. Allocates only when `plan` grew past anything
+    /// seen before.
+    pub fn begin(&mut self, plan: MultiStagePlan) {
+        let step0 = plan.fanout_bits.min(plan.total_bits);
+        self.plan = plan;
+        self.shift0 = plan.total_bits - step0;
+        let fan0 = 1usize << step0;
+        if self.buckets.len() < fan0 {
+            self.buckets.resize_with(fan0, Vec::new);
+        }
+        for b in &mut self.buckets[..fan0] {
+            b.clear();
+        }
+        self.len = 0;
+        self.staged = false;
+    }
+
+    /// Number of first-stage buckets under the current plan.
+    #[inline]
+    pub fn fan0(&self) -> usize {
+        1usize << self.plan.fanout_bits.min(self.plan.total_bits)
+    }
+
+    /// Appends one record addressed at `partition` — the fused first
+    /// shuffle stage. `partition` must be below
+    /// `plan.padded_partitions`.
+    #[inline]
+    pub fn push(&mut self, record: T, partition: usize) {
+        debug_assert!(
+            partition < self.plan.padded_partitions,
+            "partition {partition} out of {}",
+            self.plan.padded_partitions
+        );
+        self.buckets[partition >> self.shift0].push(record);
+        self.len += 1;
+    }
+
+    /// Records pushed since the last [`begin`](Self::begin).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no records were pushed since the last
+    /// [`begin`](Self::begin).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of addressable output chunks (`padded_partitions`).
+    #[inline]
+    pub fn num_chunks(&self) -> usize {
+        self.plan.padded_partitions
+    }
+
+    /// Runs the remaining shuffle stages in place over the pooled
+    /// double buffers. After this, [`chunk`](Self::chunk) serves the
+    /// per-partition chunks.
+    ///
+    /// `key` must map each record to its partition id, consistently
+    /// with the ids passed to [`push`](Self::push).
+    pub fn finish(&mut self, mut key: impl FnMut(&T) -> usize) {
+        let plan = self.plan;
+        let step0 = plan.fanout_bits.min(plan.total_bits);
+        let mut bits_done = step0;
+        if bits_done >= plan.total_bits {
+            // Single-stage (or trivial) plan: the buckets already are
+            // the partition chunks; gather reads them in place.
+            self.staged = false;
+            return;
+        }
+        // Remaining passes ping-pong between the stage buffers; choose
+        // the first target so the last pass lands in `front`.
+        let remaining_bits = plan.total_bits - bits_done;
+        let r = remaining_bits.div_ceil(plan.fanout_bits);
+        let fan0 = 1usize << step0;
+
+        // Both offset arrays eventually hold `padded_partitions + 1`
+        // boundaries and are *swapped* between passes, so pre-size both
+        // to the final length: otherwise the swap parity leaves the
+        // short one to be regrown every single iteration.
+        let offsets_cap = plan.padded_partitions + 1;
+        self.cur_offsets.clear();
+        self.offsets.clear();
+        self.cur_offsets.reserve(offsets_cap);
+        self.offsets.reserve(offsets_cap);
+
+        // Pass 1 reads the scatter buckets directly.
+        {
+            let step = plan.fanout_bits.min(plan.total_bits - bits_done);
+            let shift = plan.total_bits - bits_done - step;
+            let fan = 1usize << step;
+            let target = if r % 2 == 1 {
+                &mut self.front
+            } else {
+                &mut self.back
+            };
+            target.clear();
+            target.reserve(self.len);
+            let spare = target.spare_capacity_mut();
+            if self.counts.len() < fan + 1 {
+                self.counts.resize(fan + 1, 0);
+            }
+            self.cur_offsets.push(0);
+            let mut base = 0usize;
+            for bucket in &self.buckets[..fan0] {
+                radix_place_group(
+                    bucket,
+                    base,
+                    fan,
+                    shift,
+                    &mut self.counts,
+                    &mut self.cur_offsets,
+                    &mut *spare,
+                    &mut key,
+                );
+                base += bucket.len();
+            }
+            // SAFETY: `radix_place_group` assigns each record of each
+            // bucket a distinct slot within the bucket's `base..`
+            // sub-range, and the buckets tile `0..len`, so every
+            // element below the new length was initialized above.
+            unsafe {
+                target.set_len(self.len);
+            }
+            bits_done += step;
+        }
+
+        // Passes 2..=r alternate between the two buffers, group-wise.
+        let mut pass_index = 1u32;
+        while bits_done < plan.total_bits {
+            let step = plan.fanout_bits.min(plan.total_bits - bits_done);
+            let shift = plan.total_bits - bits_done - step;
+            let fan = 1usize << step;
+            // Buffer parity: pass 1 wrote front iff r is odd, so pass
+            // `i` (0-based `pass_index`) writes front iff r - i is odd.
+            let (src, dst) = if (r - pass_index) % 2 == 1 {
+                (&mut self.back, &mut self.front)
+            } else {
+                (&mut self.front, &mut self.back)
+            };
+            dst.clear();
+            dst.reserve(self.len);
+            let spare = dst.spare_capacity_mut();
+            if self.counts.len() < fan + 1 {
+                self.counts.resize(fan + 1, 0);
+            }
+            let groups = self.cur_offsets.len() - 1;
+            self.offsets.clear();
+            self.offsets.push(0);
+            for g in 0..groups {
+                let lo = self.cur_offsets[g];
+                let hi = self.cur_offsets[g + 1];
+                radix_place_group(
+                    &src[lo..hi],
+                    lo,
+                    fan,
+                    shift,
+                    &mut self.counts,
+                    &mut self.offsets,
+                    &mut *spare,
+                    &mut key,
+                );
+            }
+            // SAFETY: as above — groups tile `0..len` and
+            // `radix_place_group` covers each group's sub-range
+            // exactly once.
+            unsafe {
+                dst.set_len(self.len);
+            }
+            // The freshly built boundaries become the next pass's input
+            // boundaries (swap, not copy, to stay allocation-free).
+            std::mem::swap(&mut self.cur_offsets, &mut self.offsets);
+            bits_done += step;
+            pass_index += 1;
+        }
+        // `cur_offsets` now delimits `padded_partitions` chunks of the
+        // final buffer, which by parity construction is `front`.
+        debug_assert_eq!(self.cur_offsets.len() - 1, plan.padded_partitions);
+        debug_assert_eq!(pass_index, r);
+        self.staged = true;
+    }
+
+    /// The chunk of partition `p` after [`finish`](Self::finish).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= num_chunks()`.
+    #[inline]
+    pub fn chunk(&self, p: usize) -> &[T] {
+        if self.staged {
+            &self.front[self.cur_offsets[p]..self.cur_offsets[p + 1]]
+        } else {
+            // Single-stage plan: bucket == partition.
+            &self.buckets[p]
+        }
+    }
+
+    /// Iterates `(partition, chunk)` pairs over non-empty chunks.
+    pub fn iter_chunks(&self) -> impl Iterator<Item = (usize, &[T])> {
+        (0..self.num_chunks())
+            .map(move |p| (p, self.chunk(p)))
+            .filter(|(_, c)| !c.is_empty())
+    }
+
+    /// Capacity of bucket `g` (for cross-slice capacity equalization).
+    #[inline]
+    pub fn bucket_capacity(&self, g: usize) -> usize {
+        self.buckets.get(g).map_or(0, Vec::capacity)
+    }
+
+    /// Ensures bucket `g` can hold `cap` records without reallocating.
+    pub fn reserve_bucket(&mut self, g: usize, cap: usize) {
+        if g < self.buckets.len() {
+            let b = &mut self.buckets[g];
+            if b.capacity() < cap {
+                b.reserve(cap - b.len());
+            }
+        }
+    }
+
+    /// Capacities of the two stage buffers.
+    #[inline]
+    pub fn stage_capacities(&self) -> (usize, usize) {
+        (self.front.capacity(), self.back.capacity())
+    }
+
+    /// Ensures the stage buffers can hold `front`/`back` records.
+    pub fn reserve_stages(&mut self, front: usize, back: usize) {
+        if self.front.capacity() < front {
+            let len = self.front.len();
+            self.front.reserve(front - len);
+        }
+        if self.back.capacity() < back {
+            let len = self.back.len();
+            self.back.reserve(back - len);
+        }
+    }
+
+    /// Copies the shuffled records out into an owned
+    /// [`StreamBuffer`](crate::StreamBuffer) (for tests and callers
+    /// that keep the scratch alive; the engines read chunks in place
+    /// instead, and one-shot callers should prefer the non-cloning
+    /// [`into_stream_buffer`](Self::into_stream_buffer)).
+    pub fn to_stream_buffer(&self) -> crate::StreamBuffer<T> {
+        if self.staged {
+            crate::StreamBuffer::from_grouped(self.front.clone(), self.cur_offsets.clone())
+        } else {
+            self.collect_buckets()
+        }
+    }
+
+    /// Consumes the scratch into an owned
+    /// [`StreamBuffer`](crate::StreamBuffer), moving the final stage
+    /// buffer out instead of cloning it (the single-stage path still
+    /// concatenates the buckets — they are separate allocations).
+    pub fn into_stream_buffer(mut self) -> crate::StreamBuffer<T> {
+        if self.staged {
+            crate::StreamBuffer::from_grouped(
+                std::mem::take(&mut self.front),
+                std::mem::take(&mut self.cur_offsets),
+            )
+        } else {
+            self.collect_buckets()
+        }
+    }
+
+    fn collect_buckets(&self) -> crate::StreamBuffer<T> {
+        let mut data = Vec::with_capacity(self.len);
+        let mut offsets = Vec::with_capacity(self.num_chunks() + 1);
+        offsets.push(0);
+        for p in 0..self.num_chunks() {
+            data.extend_from_slice(self.chunk(p));
+            offsets.push(data.len());
+        }
+        crate::StreamBuffer::from_grouped(data, offsets)
+    }
+}
+
+impl<T: Record> Default for ShuffleScratch<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The engine-held pool: one [`ShuffleScratch`] per worker thread,
+/// rented out each superstep and retained across iterations.
+#[derive(Debug)]
+pub struct ShufflePool<T> {
+    slices: Vec<ShuffleScratch<T>>,
+}
+
+impl<T: Record> ShufflePool<T> {
+    /// A pool with one scratch per worker.
+    pub fn new(workers: usize) -> Self {
+        let mut slices = Vec::with_capacity(workers.max(1));
+        slices.resize_with(workers.max(1), ShuffleScratch::new);
+        Self { slices }
+    }
+
+    /// Number of per-worker slices.
+    #[inline]
+    pub fn num_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Rearms every slice for a superstep under `plan`.
+    pub fn begin(&mut self, plan: MultiStagePlan) {
+        for s in &mut self.slices {
+            s.begin(plan);
+        }
+    }
+
+    /// The scratch of worker `i`.
+    #[inline]
+    pub fn slice(&self, i: usize) -> &ShuffleScratch<T> {
+        &self.slices[i]
+    }
+
+    /// Mutable access to the scratch of worker `i`.
+    #[inline]
+    pub fn slice_mut(&mut self, i: usize) -> &mut ShuffleScratch<T> {
+        &mut self.slices[i]
+    }
+
+    /// Raw pointer to the slice array, for engines that hand disjoint
+    /// `&mut` slices to scoped worker threads (see
+    /// `xstream_memory::engine`).
+    pub fn slices_ptr(&mut self) -> *mut ShuffleScratch<T> {
+        self.slices.as_mut_ptr()
+    }
+
+    /// Total records pushed across all slices this superstep.
+    pub fn total_len(&self) -> usize {
+        self.slices.iter().map(|s| s.len()).sum()
+    }
+
+    /// Propagates every buffer's high-water capacity to all slices, up
+    /// to a per-slice record budget.
+    ///
+    /// Under work stealing the partition → thread assignment changes
+    /// between iterations, so without equalization each slice would
+    /// independently rediscover (and re-allocate toward) the same
+    /// high-water marks whenever a bucket-heavy partition migrates to
+    /// it. Calling this after each superstep makes a capacity reached
+    /// by *any* slice available to *every* slice, so steady-state
+    /// iterations allocate only when a global maximum is first
+    /// exceeded.
+    ///
+    /// `slice_budget` bounds the mirrored bucket capacity (in records)
+    /// per slice: when one slice processed nearly the whole update
+    /// stream (extreme stealing, e.g. on an oversubscribed core),
+    /// mirroring its full capacity to every slice would multiply
+    /// memory by the worker count, so the mirrored targets are scaled
+    /// down proportionally instead. A slice's own organically grown
+    /// capacity is never reduced. Allocation-free once capacities have
+    /// converged.
+    pub fn equalize_capacity(&mut self, slice_budget: usize) {
+        let fan0 = self.slices.iter().map(|s| s.fan0()).max().unwrap_or(0);
+        // Pass A: the total mirrored demand if fully equalized.
+        let mut demand = 0usize;
+        for g in 0..fan0 {
+            demand += self
+                .slices
+                .iter()
+                .map(|s| s.bucket_capacity(g))
+                .max()
+                .unwrap_or(0);
+        }
+        // Pass B: mirror, scaling each target down when demand exceeds
+        // the per-slice budget.
+        for g in 0..fan0 {
+            let cap = self
+                .slices
+                .iter()
+                .map(|s| s.bucket_capacity(g))
+                .max()
+                .unwrap_or(0);
+            let target = if demand <= slice_budget {
+                cap
+            } else {
+                (cap as u128 * slice_budget as u128 / demand.max(1) as u128) as usize
+            };
+            for s in &mut self.slices {
+                s.reserve_bucket(g, target);
+            }
+        }
+        let (front, back) = self
+            .slices
+            .iter()
+            .map(|s| s.stage_capacities())
+            .fold((0, 0), |(f, b), (sf, sb)| (f.max(sf), b.max(sb)));
+        let (front, back) = (front.min(slice_budget), back.min(slice_budget));
+        for s in &mut self.slices {
+            s.reserve_stages(front, back);
+        }
+    }
+}
+
+/// Pooled single-stage shuffle arena: the out-of-core engine's spill
+/// path shuffles its pending update buffer many times per superstep,
+/// and reuses one arena instead of allocating a fresh
+/// [`StreamBuffer`](crate::StreamBuffer) per spill.
+#[derive(Debug, Default)]
+pub struct ShuffleArena<T> {
+    out: Vec<T>,
+    offsets: Vec<usize>,
+    counts: Vec<usize>,
+}
+
+impl<T: Record> ShuffleArena<T> {
+    /// An empty arena; buffers grow on first use and persist.
+    pub fn new() -> Self {
+        Self {
+            out: Vec::new(),
+            offsets: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Routes `input` into `num_chunks` chunks keyed by `key` (stable,
+    /// like [`shuffle`](crate::shuffle::shuffle)) reusing the arena's
+    /// buffers; allocation occurs only when the input outgrows every
+    /// previous call.
+    pub fn shuffle(&mut self, input: &[T], num_chunks: usize, mut key: impl FnMut(&T) -> usize) {
+        let k = num_chunks.max(1);
+        if self.counts.len() < k + 1 {
+            self.counts.resize(k + 1, 0);
+        }
+        let counts = &mut self.counts[..k + 1];
+        counts.fill(0);
+        for r in input {
+            let p = key(r);
+            debug_assert!(p < k, "key {p} out of {k} chunks");
+            counts[p + 1] += 1;
+        }
+        for i in 0..k {
+            counts[i + 1] += counts[i];
+        }
+        self.offsets.clear();
+        self.offsets.extend_from_slice(counts);
+        self.out.clear();
+        self.out.reserve(input.len());
+        let spare = self.out.spare_capacity_mut();
+        let cursor = counts;
+        for r in input {
+            let p = key(r);
+            let slot = cursor[p];
+            cursor[p] += 1;
+            spare[slot].write(*r);
+        }
+        // SAFETY: the counting pass gives each input record a distinct
+        // slot covering `0..input.len()` exactly, so every element
+        // below the new length was initialized above.
+        unsafe {
+            self.out.set_len(input.len());
+        }
+    }
+
+    /// Number of chunks produced by the last [`shuffle`](Self::shuffle).
+    #[inline]
+    pub fn num_chunks(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The chunk of partition `p` from the last
+    /// [`shuffle`](Self::shuffle).
+    #[inline]
+    pub fn chunk(&self, p: usize) -> &[T] {
+        &self.out[self.offsets[p]..self.offsets[p + 1]]
+    }
+
+    /// Iterates `(partition, chunk)` pairs over non-empty chunks.
+    pub fn iter_chunks(&self) -> impl Iterator<Item = (usize, &[T])> {
+        (0..self.num_chunks())
+            .map(move |p| (p, self.chunk(p)))
+            .filter(|(_, c)| !c.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shuffle::shuffle;
+
+    fn route(scratch: &mut ShuffleScratch<u32>, input: &[u32], k: usize, plan: MultiStagePlan) {
+        scratch.begin(plan);
+        for &r in input {
+            scratch.push(r, (r as usize) % k);
+        }
+        scratch.finish(|r| (*r as usize) % k);
+    }
+
+    #[test]
+    fn matches_single_stage_shuffle_across_fanouts() {
+        let input: Vec<u32> = (0..10_000u32)
+            .map(|i| i.wrapping_mul(2_654_435_761))
+            .collect();
+        let k = 64usize;
+        let reference = shuffle(&input, k, |r| (*r as usize) % k);
+        for fanout in [2usize, 4, 8, 64] {
+            let plan = MultiStagePlan::new(k, fanout);
+            let mut scratch = ShuffleScratch::new();
+            route(&mut scratch, &input, k, plan);
+            assert_eq!(scratch.len(), input.len());
+            for p in 0..k {
+                assert_eq!(
+                    reference.chunk(p),
+                    scratch.chunk(p),
+                    "fanout {fanout} chunk {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_is_allocation_free_and_correct() {
+        let k = 256usize;
+        let plan = MultiStagePlan::new(k, 4);
+        let mut scratch = ShuffleScratch::new();
+        let input: Vec<u32> = (0..5_000u32).map(|i| i.wrapping_mul(40_503)).collect();
+        // Warm the pool.
+        route(&mut scratch, &input, k, plan);
+        let reference = shuffle(&input, k, |r| (*r as usize) % k);
+        let clean_window = xstream_core::alloc_stats::any_allocation_free_window(50, || {
+            route(&mut scratch, &input, k, plan);
+        });
+        for p in 0..k {
+            assert_eq!(reference.chunk(p), scratch.chunk(p), "chunk {p}");
+        }
+        assert!(clean_window, "steady-state reuse allocated in every window");
+    }
+
+    #[test]
+    fn single_stage_plan_serves_from_buckets() {
+        let k = 16usize;
+        let plan = MultiStagePlan::new(k, 16);
+        assert_eq!(plan.stages, 1);
+        let input: Vec<u32> = (0..1000).collect();
+        let mut scratch = ShuffleScratch::new();
+        route(&mut scratch, &input, k, plan);
+        let reference = shuffle(&input, k, |r| (*r as usize) % k);
+        for p in 0..k {
+            assert_eq!(reference.chunk(p), scratch.chunk(p), "chunk {p}");
+        }
+    }
+
+    #[test]
+    fn trivial_and_empty_plans() {
+        let plan = MultiStagePlan::new(1, 8);
+        let mut scratch = ShuffleScratch::new();
+        scratch.begin(plan);
+        scratch.push(7u32, 0);
+        scratch.finish(|_| 0);
+        assert_eq!(scratch.chunk(0), &[7]);
+
+        let plan = MultiStagePlan::new(64, 4);
+        scratch.begin(plan);
+        scratch.finish(|r: &u32| *r as usize);
+        assert_eq!(scratch.len(), 0);
+        for p in 0..scratch.num_chunks() {
+            assert!(scratch.chunk(p).is_empty());
+        }
+    }
+
+    #[test]
+    fn to_stream_buffer_round_trips() {
+        let k = 32usize;
+        for fanout in [4usize, 32] {
+            let plan = MultiStagePlan::new(k, fanout);
+            let input: Vec<u32> = (0..2000u32).map(|i| i.wrapping_mul(977)).collect();
+            let mut scratch = ShuffleScratch::new();
+            route(&mut scratch, &input, k, plan);
+            let buf = scratch.to_stream_buffer();
+            assert_eq!(buf.len(), input.len());
+            for p in 0..k {
+                assert_eq!(buf.chunk(p), scratch.chunk(p));
+            }
+        }
+    }
+
+    #[test]
+    fn pool_hands_out_independent_slices() {
+        let plan = MultiStagePlan::new(8, 2);
+        let mut pool: ShufflePool<u32> = ShufflePool::new(3);
+        pool.begin(plan);
+        for i in 0..3 {
+            let s = pool.slice_mut(i);
+            for v in 0..10u32 {
+                s.push(v + i as u32 * 100, ((v + i as u32) % 8) as usize);
+            }
+        }
+        for i in 0..3 {
+            pool.slice_mut(i).finish(|r| ((*r % 100) % 8) as usize);
+        }
+        assert_eq!(pool.total_len(), 30);
+    }
+
+    #[test]
+    fn arena_matches_shuffle_and_reuses() {
+        let input: Vec<u32> = (0..4_000u32).map(|i| i.wrapping_mul(48_271)).collect();
+        let k = 16usize;
+        let reference = shuffle(&input, k, |r| (*r % 16) as usize);
+        let mut arena = ShuffleArena::new();
+        arena.shuffle(&input, k, |r| (*r % 16) as usize);
+        for p in 0..k {
+            assert_eq!(reference.chunk(p), arena.chunk(p), "chunk {p}");
+        }
+        let clean_window = xstream_core::alloc_stats::any_allocation_free_window(50, || {
+            arena.shuffle(&input, k, |r| (*r % 16) as usize);
+        });
+        assert!(clean_window, "arena reuse allocated in every window");
+        for p in 0..k {
+            assert_eq!(reference.chunk(p), arena.chunk(p), "chunk {p} after reuse");
+        }
+    }
+}

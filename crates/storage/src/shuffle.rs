@@ -8,13 +8,25 @@
 //! prefetcher coverage, so the multi-stage shuffler groups partitions
 //! into a tree of fanout `F` and shuffles one tree level at a time,
 //! touching at most `F` output chunks per pass: `ceil(log_F K)` passes
-//! total, alternating between two stream buffers.
+//! total.
+//!
+//! The multi-stage machinery itself lives in
+//! [`ShuffleScratch`](crate::scratch::ShuffleScratch) and operates *in
+//! place* over pooled double buffers: producers append records directly
+//! into the buckets of the first radix digit (fusing the first stage
+//! into the producer — the engines' scatter phase pays no separate
+//! counting + copy pass for it), and the remaining stages ping-pong
+//! between two iteration-persistent stage buffers. The
+//! [`multistage_shuffle`] function here is the owned-`Vec` convenience
+//! wrapper over that core, kept for setup-time partitioning, ablations
+//! and tests.
 //!
 //! Parallelism follows Fig. 7: each thread owns a disjoint *slice* of
 //! the stream buffer with its own index array and shuffles it
 //! independently — zero synchronization until the final barrier.
 
 use crate::buffer::StreamBuffer;
+use crate::scratch::ShuffleScratch;
 use xstream_core::Record;
 
 /// Single-stage shuffle: routes `input` into `num_chunks` chunks keyed
@@ -122,8 +134,15 @@ impl MultiStagePlan {
 }
 
 /// Multi-stage shuffle of one slice (paper §4.2): MSB-first radix
-/// passes of `fanout_bits` bits over the partition id, alternating
-/// between two buffers.
+/// passes of `fanout_bits` bits over the partition id.
+///
+/// Owned-`Vec` convenience wrapper over the in-place
+/// [`ShuffleScratch`](crate::scratch::ShuffleScratch) core: it routes
+/// `input` through a throwaway scratch (first stage fused into the
+/// append loop, remaining stages ping-ponging between the scratch's
+/// double buffers) and copies the result out. Hot paths that shuffle
+/// every iteration should hold a `ShuffleScratch` instead and skip
+/// both the setup allocations and the final copy.
 ///
 /// `key` must return a partition id below `plan.padded_partitions`.
 pub fn multistage_shuffle<T: Record>(
@@ -134,59 +153,14 @@ pub fn multistage_shuffle<T: Record>(
     if plan.total_bits == 0 {
         return StreamBuffer::single_chunk(input);
     }
-    // `groups` chunks exist after each stage; their boundaries are kept
-    // in `offsets` (len groups+1). Start with a single chunk.
-    let n = input.len();
-    let mut cur = input;
-    let mut cur_offsets = vec![0usize, n];
-    let mut bits_done = 0u32;
-    while bits_done < plan.total_bits {
-        let step = plan.fanout_bits.min(plan.total_bits - bits_done);
-        let shift = plan.total_bits - bits_done - step;
-        let fan = 1usize << step;
-        let groups = cur_offsets.len() - 1;
-        let mut next: Vec<T> = Vec::with_capacity(n);
-        let spare = next.spare_capacity_mut();
-        let mut next_offsets = Vec::with_capacity(groups * fan + 1);
-        next_offsets.push(0usize);
-        for g in 0..groups {
-            let chunk = &cur[cur_offsets[g]..cur_offsets[g + 1]];
-            let base = cur_offsets[g];
-            // Counting pass over this group's next `step` bits.
-            let mut counts = vec![0usize; fan + 1];
-            for r in chunk {
-                let digit = (key(r) >> shift) & (fan - 1);
-                counts[digit + 1] += 1;
-            }
-            for i in 0..fan {
-                counts[i + 1] += counts[i];
-            }
-            for i in 1..=fan {
-                next_offsets.push(base + counts[i]);
-            }
-            let mut cursor = counts;
-            for r in chunk {
-                let digit = (key(r) >> shift) & (fan - 1);
-                let slot = base + cursor[digit];
-                cursor[digit] += 1;
-                spare[slot].write(*r);
-            }
-        }
-        // SAFETY: within each group the cursor arithmetic writes each
-        // slot of that group's sub-range exactly once, and the groups
-        // tile `0..n`, so every element below the new length is
-        // initialized.
-        unsafe {
-            next.set_len(n);
-        }
-        cur = next;
-        cur_offsets = next_offsets;
-        bits_done += step;
+    let mut scratch = ShuffleScratch::new();
+    scratch.begin(plan);
+    for r in input {
+        let p = key(&r);
+        scratch.push(r, p);
     }
-    // After processing all bits there are exactly `padded_partitions`
-    // chunks in partition order.
-    debug_assert_eq!(cur_offsets.len() - 1, plan.padded_partitions);
-    StreamBuffer::from_grouped(cur, cur_offsets)
+    scratch.finish(key);
+    scratch.into_stream_buffer()
 }
 
 /// Shuffles each thread slice independently and in parallel (Fig. 7):

@@ -237,7 +237,7 @@ mod tests {
     fn matching_is_maximal_and_valid() {
         let g = generators::erdos_renyi(100, 400, 9).to_undirected();
         let matching = greedy_matching(&g).unwrap();
-        let mut used = vec![false; 100];
+        let mut used = [false; 100];
         for &(a, b) in &matching {
             assert!(!used[a as usize] && !used[b as usize], "vertex reused");
             used[a as usize] = true;

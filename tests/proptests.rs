@@ -10,6 +10,7 @@ use xstream::core::record::{decode_records, records_as_bytes};
 use xstream::core::{Edge, EngineConfig};
 use xstream::graph::{edgelist::from_pairs, EdgeList};
 use xstream::storage::shuffle::{multistage_shuffle, shuffle, MultiStagePlan};
+use xstream::storage::ShuffleScratch;
 
 /// Strategy: a directed graph as (vertex count, edge pairs).
 fn arb_graph(max_v: usize, max_e: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
@@ -180,6 +181,64 @@ proptest! {
         // Same records per partition (multi-stage is stable per chunk).
         for p in 0..k {
             prop_assert_eq!(single.chunk(p), multi.chunk(p), "partition {}", p);
+        }
+    }
+
+    #[test]
+    fn fused_scatter_first_stage_equals_shuffle(
+        records in vec((0u32..256, any::<u32>()), 0..2000),
+        fanout_bits in 1u32..5,
+    ) {
+        // The pooled pipeline's fused path: a producer pushes records
+        // one by one into the first-stage buckets (exactly what the
+        // engine's scatter does), the remaining stages run in place.
+        // The result must equal the reference single-pass shuffle for
+        // every fanout.
+        let k = 256usize;
+        let input: Vec<Edge> =
+            records.iter().map(|&(p, x)| Edge::weighted(p, x, 0.0)).collect();
+        let reference = shuffle(&input, k, |e| e.src as usize);
+        let plan = MultiStagePlan::new(k, 1 << fanout_bits);
+        let mut scratch = ShuffleScratch::new();
+        scratch.begin(plan);
+        for e in &input {
+            scratch.push(*e, e.src as usize);
+        }
+        scratch.finish(|e| e.src as usize);
+        prop_assert_eq!(scratch.len(), input.len());
+        for p in 0..k {
+            prop_assert_eq!(reference.chunk(p), scratch.chunk(p), "partition {}", p);
+        }
+    }
+
+    #[test]
+    fn pooled_scratch_reuse_is_invariant(
+        records in vec((0u32..64, any::<u32>()), 0..1000),
+        k in 1usize..64,
+    ) {
+        // Re-running a differently sized workload through the same
+        // scratch (as the engine does every superstep) must not leak
+        // state from previous rounds.
+        let input: Vec<Edge> =
+            records.iter().map(|&(p, x)| Edge::weighted(p % k as u32, x, 0.0)).collect();
+        let plan = MultiStagePlan::new(k, 4);
+        let mut scratch = ShuffleScratch::new();
+        // Round 1: garbage workload.
+        scratch.begin(plan);
+        for i in 0..577u32 {
+            scratch.push(Edge::weighted(i % k as u32, i, 1.0), (i % k as u32) as usize);
+        }
+        scratch.finish(|e| e.src as usize);
+        // Round 2: the real workload must match the reference exactly.
+        scratch.begin(plan);
+        for e in &input {
+            scratch.push(*e, e.src as usize);
+        }
+        scratch.finish(|e| e.src as usize);
+        let reference = shuffle(&input, k, |e| e.src as usize);
+        prop_assert_eq!(scratch.len(), input.len());
+        for p in 0..k {
+            prop_assert_eq!(reference.chunk(p), scratch.chunk(p), "partition {}", p);
         }
     }
 

@@ -1,0 +1,391 @@
+//! Minimal API-compatible stand-in for the `criterion` crate (vendored
+//! because the build environment has no network access — see
+//! `vendor/README.md`).
+//!
+//! Implements the measurement surface this workspace uses: benchmark
+//! groups with `throughput`/`sample_size`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark runs
+//! one warm-up iteration and then `sample_size` timed iterations
+//! (time-boxed), reporting min/mean/median nanoseconds per iteration.
+//!
+//! When the `CRITERION_JSON` environment variable names a path, the
+//! collected results are additionally written there as a JSON array —
+//! the repository's `BENCH_*.json` baselines are produced this way.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Global results registry drained by [`criterion_main!`]'s finalizer.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Number of timed iterations.
+    pub samples: usize,
+    /// Fastest iteration in nanoseconds.
+    pub min_ns: u64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: u64,
+    /// Median nanoseconds per iteration.
+    pub median_ns: u64,
+    /// Optional throughput denominator for per-element/byte rates.
+    pub throughput: Option<Throughput>,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The routine processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// A parameterized benchmark identifier (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<u64>,
+    sample_size: usize,
+    time_box: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then up to `sample_size`
+    /// timed calls (stopping early if the time box is exhausted).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed().as_nanos() as u64);
+            if started.elapsed() > self.time_box && self.samples.len() >= 3 {
+                break;
+            }
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+    time_box: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 20,
+            time_box: Duration::from_secs(10),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        let time_box = self.time_box;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            time_box,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        let time_box = self.time_box;
+        run_one(None, id.into(), sample_size, time_box, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    time_box: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput denominator reported for this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            Some(&self.name),
+            id.into(),
+            self.sample_size,
+            self.time_box,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            Some(&self.name),
+            id.into(),
+            self.sample_size,
+            self.time_box,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (rendering is incremental; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F>(
+    group: Option<&str>,
+    id: BenchmarkId,
+    sample_size: usize,
+    time_box: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let full_id = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id,
+    };
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        time_box,
+    };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        eprintln!("warning: benchmark {full_id} recorded no samples");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<u64>() / samples.len() as u64;
+    let mut line = format!(
+        "{full_id:<48} min {:>12}  mean {:>12}  median {:>12}  ({} samples)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(median),
+        samples.len()
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Bytes(b) => (b, "MB/s"),
+            Throughput::Elements(e) => (e, "Melem/s"),
+        };
+        let rate = count as f64 / (median as f64 / 1e9) / 1e6;
+        let _ = write!(line, "  {rate:.1} {unit}");
+    }
+    println!("{line}");
+    RESULTS.lock().unwrap().push(BenchResult {
+        id: full_id,
+        samples: samples.len(),
+        min_ns: min,
+        mean_ns: mean,
+        median_ns: median,
+        throughput,
+    });
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Drains all recorded results (used by [`criterion_main!`] and tests).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().unwrap())
+}
+
+/// Writes `results` to `path` as a JSON array.
+pub fn write_json(path: &str, results: &[BenchResult]) -> std::io::Result<()> {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let (tp_kind, tp_count) = match r.throughput {
+            Some(Throughput::Bytes(b)) => ("\"bytes\"", b),
+            Some(Throughput::Elements(e)) => ("\"elements\"", e),
+            None => ("null", 0),
+        };
+        let _ = writeln!(
+            out,
+            "  {{\"id\": {:?}, \"samples\": {}, \"min_ns\": {}, \"mean_ns\": {}, \
+             \"median_ns\": {}, \"throughput_kind\": {}, \"throughput_count\": {}}}{}",
+            r.id,
+            r.samples,
+            r.min_ns,
+            r.mean_ns,
+            r.median_ns,
+            tp_kind,
+            tp_count,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
+}
+
+/// Called by [`criterion_main!`] after all groups have run: honors
+/// `CRITERION_JSON` if set.
+pub fn finalize() {
+    let results = take_results();
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            match write_json(&path, &results) {
+                Ok(()) => eprintln!("criterion: wrote {} results to {path}", results.len()),
+                Err(e) => eprintln!("criterion: failed to write {path}: {e}"),
+            }
+        }
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(5);
+            g.throughput(Throughput::Elements(100));
+            g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            g.bench_with_input(BenchmarkId::new("with_input", 42), &42u64, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        let results = take_results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].id, "unit/noop");
+        assert_eq!(results[1].id, "unit/with_input/42");
+        assert!(results[0].samples >= 3);
+    }
+
+    #[test]
+    fn json_output_shape() {
+        let r = BenchResult {
+            id: "g/f".into(),
+            samples: 5,
+            min_ns: 1,
+            mean_ns: 2,
+            median_ns: 2,
+            throughput: Some(Throughput::Bytes(64)),
+        };
+        let dir = std::env::temp_dir().join("criterion_stub_test.json");
+        let path = dir.to_str().unwrap();
+        write_json(path, &[r]).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"id\": \"g/f\""));
+        assert!(text.contains("\"throughput_kind\": \"bytes\""));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,298 @@
+//! Minimal API-compatible stand-in for the `rand` crate (vendored
+//! because the build environment has no network access — see
+//! `vendor/README.md`).
+//!
+//! Provides the surface this workspace uses: [`rngs::StdRng`] seeded
+//! via [`SeedableRng::seed_from_u64`], and the [`Rng`] extension with
+//! `gen`, `gen_range` and `gen_bool`. The generator is xoshiro256++
+//! (not the real `StdRng`'s ChaCha12 — streams differ from upstream,
+//! which is fine: every consumer in this workspace only needs a
+//! self-consistent deterministic stream for a given seed).
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for c in &mut chunks {
+            c.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types sampled uniformly by [`Rng::gen`] (the `Standard`
+/// distribution of the real crate).
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        // 24 uniform mantissa bits in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64 + 1;
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty : $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = hi.wrapping_sub(lo) as $u as u64 + 1;
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_signed!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+/// Convenience extension over [`RngCore`] mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from its standard distribution
+    /// (uniform over the type; floats uniform in `[0, 1)`).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// seeded through SplitMix64 (Blackman & Vigna). Not the real
+    /// `StdRng` (ChaCha12) — streams are stable per seed but differ
+    /// from upstream `rand`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended for xoshiro seeding.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias: the workspace treats `SmallRng` and `StdRng` identically.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(1i32..=5);
+            assert!((1..=5).contains(&w));
+            let u = rng.gen_range(0u32..1);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
