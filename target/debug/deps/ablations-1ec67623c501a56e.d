@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-1ec67623c501a56e.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-1ec67623c501a56e: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

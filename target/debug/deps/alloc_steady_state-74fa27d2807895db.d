@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_steady_state-74fa27d2807895db.d: tests/alloc_steady_state.rs
+
+/root/repo/target/debug/deps/alloc_steady_state-74fa27d2807895db: tests/alloc_steady_state.rs
+
+tests/alloc_steady_state.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alloc_steady_state-89835b2e006f6b64.d: tests/alloc_steady_state.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballoc_steady_state-89835b2e006f6b64.rmeta: tests/alloc_steady_state.rs Cargo.toml
+
+tests/alloc_steady_state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

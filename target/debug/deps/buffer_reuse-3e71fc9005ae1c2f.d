@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/buffer_reuse-3e71fc9005ae1c2f.d: tests/buffer_reuse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbuffer_reuse-3e71fc9005ae1c2f.rmeta: tests/buffer_reuse.rs Cargo.toml
+
+tests/buffer_reuse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

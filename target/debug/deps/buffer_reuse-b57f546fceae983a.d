@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/buffer_reuse-b57f546fceae983a.d: tests/buffer_reuse.rs
+
+/root/repo/target/debug/deps/buffer_reuse-b57f546fceae983a: tests/buffer_reuse.rs
+
+tests/buffer_reuse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ad29c830e158383f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ad29c830e158383f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

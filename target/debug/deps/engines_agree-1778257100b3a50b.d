@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engines_agree-1778257100b3a50b.d: tests/engines_agree.rs
+
+/root/repo/target/debug/deps/engines_agree-1778257100b3a50b: tests/engines_agree.rs
+
+tests/engines_agree.rs:

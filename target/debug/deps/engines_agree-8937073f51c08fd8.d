@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engines_agree-8937073f51c08fd8.d: tests/engines_agree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengines_agree-8937073f51c08fd8.rmeta: tests/engines_agree.rs Cargo.toml
+
+tests/engines_agree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-23e20425dcdbff3c.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-23e20425dcdbff3c: tests/failure_injection.rs
+
+tests/failure_injection.rs:

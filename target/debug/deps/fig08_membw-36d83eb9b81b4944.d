@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_membw-36d83eb9b81b4944.d: crates/bench/src/bin/fig08_membw.rs
+
+/root/repo/target/debug/deps/fig08_membw-36d83eb9b81b4944: crates/bench/src/bin/fig08_membw.rs
+
+crates/bench/src/bin/fig08_membw.rs:

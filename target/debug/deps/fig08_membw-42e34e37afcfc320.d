@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_membw-42e34e37afcfc320.d: crates/bench/src/bin/fig08_membw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_membw-42e34e37afcfc320.rmeta: crates/bench/src/bin/fig08_membw.rs Cargo.toml
+
+crates/bench/src/bin/fig08_membw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_diskbw-7c70a8e99d938e77.d: crates/bench/src/bin/fig09_diskbw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_diskbw-7c70a8e99d938e77.rmeta: crates/bench/src/bin/fig09_diskbw.rs Cargo.toml
+
+crates/bench/src/bin/fig09_diskbw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_diskbw-ea93ec90c7bc8326.d: crates/bench/src/bin/fig09_diskbw.rs
+
+/root/repo/target/debug/deps/fig09_diskbw-ea93ec90c7bc8326: crates/bench/src/bin/fig09_diskbw.rs
+
+crates/bench/src/bin/fig09_diskbw.rs:

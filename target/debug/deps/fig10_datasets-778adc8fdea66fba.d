@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_datasets-778adc8fdea66fba.d: crates/bench/src/bin/fig10_datasets.rs
+
+/root/repo/target/debug/deps/fig10_datasets-778adc8fdea66fba: crates/bench/src/bin/fig10_datasets.rs
+
+crates/bench/src/bin/fig10_datasets.rs:

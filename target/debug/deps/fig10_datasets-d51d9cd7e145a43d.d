@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_datasets-d51d9cd7e145a43d.d: crates/bench/src/bin/fig10_datasets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_datasets-d51d9cd7e145a43d.rmeta: crates/bench/src/bin/fig10_datasets.rs Cargo.toml
+
+crates/bench/src/bin/fig10_datasets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_seqrand-7c030464f0e5df7c.d: crates/bench/src/bin/fig11_seqrand.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_seqrand-7c030464f0e5df7c.rmeta: crates/bench/src/bin/fig11_seqrand.rs Cargo.toml
+
+crates/bench/src/bin/fig11_seqrand.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

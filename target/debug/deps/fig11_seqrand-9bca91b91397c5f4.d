@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_seqrand-9bca91b91397c5f4.d: crates/bench/src/bin/fig11_seqrand.rs
+
+/root/repo/target/debug/deps/fig11_seqrand-9bca91b91397c5f4: crates/bench/src/bin/fig11_seqrand.rs
+
+crates/bench/src/bin/fig11_seqrand.rs:

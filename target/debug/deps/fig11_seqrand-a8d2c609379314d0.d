@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_seqrand-a8d2c609379314d0.d: crates/bench/src/bin/fig11_seqrand.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_seqrand-a8d2c609379314d0.rmeta: crates/bench/src/bin/fig11_seqrand.rs Cargo.toml
+
+crates/bench/src/bin/fig11_seqrand.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

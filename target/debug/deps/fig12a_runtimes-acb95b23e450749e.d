@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12a_runtimes-acb95b23e450749e.d: crates/bench/src/bin/fig12a_runtimes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12a_runtimes-acb95b23e450749e.rmeta: crates/bench/src/bin/fig12a_runtimes.rs Cargo.toml
+
+crates/bench/src/bin/fig12a_runtimes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

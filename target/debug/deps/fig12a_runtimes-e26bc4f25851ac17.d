@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12a_runtimes-e26bc4f25851ac17.d: crates/bench/src/bin/fig12a_runtimes.rs
+
+/root/repo/target/debug/deps/fig12a_runtimes-e26bc4f25851ac17: crates/bench/src/bin/fig12a_runtimes.rs
+
+crates/bench/src/bin/fig12a_runtimes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_hyperanf-07ee47f0c45fdc8d.d: crates/bench/src/bin/fig13_hyperanf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_hyperanf-07ee47f0c45fdc8d.rmeta: crates/bench/src/bin/fig13_hyperanf.rs Cargo.toml
+
+crates/bench/src/bin/fig13_hyperanf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

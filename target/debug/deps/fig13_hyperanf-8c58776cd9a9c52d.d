@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_hyperanf-8c58776cd9a9c52d.d: crates/bench/src/bin/fig13_hyperanf.rs
+
+/root/repo/target/debug/deps/fig13_hyperanf-8c58776cd9a9c52d: crates/bench/src/bin/fig13_hyperanf.rs
+
+crates/bench/src/bin/fig13_hyperanf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_hyperanf-e9b91dbfbe85b997.d: crates/bench/src/bin/fig13_hyperanf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_hyperanf-e9b91dbfbe85b997.rmeta: crates/bench/src/bin/fig13_hyperanf.rs Cargo.toml
+
+crates/bench/src/bin/fig13_hyperanf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_strong_scaling-db9a4476cbbc857e.d: crates/bench/src/bin/fig14_strong_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_strong_scaling-db9a4476cbbc857e.rmeta: crates/bench/src/bin/fig14_strong_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig14_strong_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

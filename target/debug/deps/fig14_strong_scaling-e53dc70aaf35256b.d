@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_strong_scaling-e53dc70aaf35256b.d: crates/bench/src/bin/fig14_strong_scaling.rs
+
+/root/repo/target/debug/deps/fig14_strong_scaling-e53dc70aaf35256b: crates/bench/src/bin/fig14_strong_scaling.rs
+
+crates/bench/src/bin/fig14_strong_scaling.rs:

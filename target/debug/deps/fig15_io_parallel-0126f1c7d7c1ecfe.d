@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_io_parallel-0126f1c7d7c1ecfe.d: crates/bench/src/bin/fig15_io_parallel.rs
+
+/root/repo/target/debug/deps/fig15_io_parallel-0126f1c7d7c1ecfe: crates/bench/src/bin/fig15_io_parallel.rs
+
+crates/bench/src/bin/fig15_io_parallel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_io_parallel-425ad52dcf4108f5.d: crates/bench/src/bin/fig15_io_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_io_parallel-425ad52dcf4108f5.rmeta: crates/bench/src/bin/fig15_io_parallel.rs Cargo.toml
+
+crates/bench/src/bin/fig15_io_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_io_parallel-5b3cb8f82c6aab56.d: crates/bench/src/bin/fig15_io_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_io_parallel-5b3cb8f82c6aab56.rmeta: crates/bench/src/bin/fig15_io_parallel.rs Cargo.toml
+
+crates/bench/src/bin/fig15_io_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

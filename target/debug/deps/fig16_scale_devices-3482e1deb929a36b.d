@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_scale_devices-3482e1deb929a36b.d: crates/bench/src/bin/fig16_scale_devices.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_scale_devices-3482e1deb929a36b.rmeta: crates/bench/src/bin/fig16_scale_devices.rs Cargo.toml
+
+crates/bench/src/bin/fig16_scale_devices.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

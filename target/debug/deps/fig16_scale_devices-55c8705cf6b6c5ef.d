@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_scale_devices-55c8705cf6b6c5ef.d: crates/bench/src/bin/fig16_scale_devices.rs
+
+/root/repo/target/debug/deps/fig16_scale_devices-55c8705cf6b6c5ef: crates/bench/src/bin/fig16_scale_devices.rs
+
+crates/bench/src/bin/fig16_scale_devices.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_scale_devices-adfddbd8f5408673.d: crates/bench/src/bin/fig16_scale_devices.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_scale_devices-adfddbd8f5408673.rmeta: crates/bench/src/bin/fig16_scale_devices.rs Cargo.toml
+
+crates/bench/src/bin/fig16_scale_devices.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_ingest-4a5cc30f95c98507.d: crates/bench/src/bin/fig17_ingest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_ingest-4a5cc30f95c98507.rmeta: crates/bench/src/bin/fig17_ingest.rs Cargo.toml
+
+crates/bench/src/bin/fig17_ingest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

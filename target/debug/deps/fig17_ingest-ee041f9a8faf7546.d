@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_ingest-ee041f9a8faf7546.d: crates/bench/src/bin/fig17_ingest.rs
+
+/root/repo/target/debug/deps/fig17_ingest-ee041f9a8faf7546: crates/bench/src/bin/fig17_ingest.rs
+
+crates/bench/src/bin/fig17_ingest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_sort_vs_stream-76d5f27385f843d3.d: crates/bench/src/bin/fig18_sort_vs_stream.rs
+
+/root/repo/target/debug/deps/fig18_sort_vs_stream-76d5f27385f843d3: crates/bench/src/bin/fig18_sort_vs_stream.rs
+
+crates/bench/src/bin/fig18_sort_vs_stream.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18_sort_vs_stream-cdc7306a63c3b6a8.d: crates/bench/src/bin/fig18_sort_vs_stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18_sort_vs_stream-cdc7306a63c3b6a8.rmeta: crates/bench/src/bin/fig18_sort_vs_stream.rs Cargo.toml
+
+crates/bench/src/bin/fig18_sort_vs_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

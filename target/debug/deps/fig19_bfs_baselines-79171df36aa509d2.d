@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_bfs_baselines-79171df36aa509d2.d: crates/bench/src/bin/fig19_bfs_baselines.rs
+
+/root/repo/target/debug/deps/fig19_bfs_baselines-79171df36aa509d2: crates/bench/src/bin/fig19_bfs_baselines.rs
+
+crates/bench/src/bin/fig19_bfs_baselines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19_bfs_baselines-eb0052929e77f096.d: crates/bench/src/bin/fig19_bfs_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19_bfs_baselines-eb0052929e77f096.rmeta: crates/bench/src/bin/fig19_bfs_baselines.rs Cargo.toml
+
+crates/bench/src/bin/fig19_bfs_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

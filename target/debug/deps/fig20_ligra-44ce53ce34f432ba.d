@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20_ligra-44ce53ce34f432ba.d: crates/bench/src/bin/fig20_ligra.rs
+
+/root/repo/target/debug/deps/fig20_ligra-44ce53ce34f432ba: crates/bench/src/bin/fig20_ligra.rs
+
+crates/bench/src/bin/fig20_ligra.rs:

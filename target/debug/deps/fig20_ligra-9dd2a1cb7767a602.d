@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig20_ligra-9dd2a1cb7767a602.d: crates/bench/src/bin/fig20_ligra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig20_ligra-9dd2a1cb7767a602.rmeta: crates/bench/src/bin/fig20_ligra.rs Cargo.toml
+
+crates/bench/src/bin/fig20_ligra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

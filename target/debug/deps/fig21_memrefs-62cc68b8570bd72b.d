@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig21_memrefs-62cc68b8570bd72b.d: crates/bench/src/bin/fig21_memrefs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig21_memrefs-62cc68b8570bd72b.rmeta: crates/bench/src/bin/fig21_memrefs.rs Cargo.toml
+
+crates/bench/src/bin/fig21_memrefs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig21_memrefs-99008260ba09a80f.d: crates/bench/src/bin/fig21_memrefs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig21_memrefs-99008260ba09a80f.rmeta: crates/bench/src/bin/fig21_memrefs.rs Cargo.toml
+
+crates/bench/src/bin/fig21_memrefs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

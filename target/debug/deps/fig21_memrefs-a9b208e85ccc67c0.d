@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig21_memrefs-a9b208e85ccc67c0.d: crates/bench/src/bin/fig21_memrefs.rs
+
+/root/repo/target/debug/deps/fig21_memrefs-a9b208e85ccc67c0: crates/bench/src/bin/fig21_memrefs.rs
+
+crates/bench/src/bin/fig21_memrefs.rs:

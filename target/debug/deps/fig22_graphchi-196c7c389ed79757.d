@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig22_graphchi-196c7c389ed79757.d: crates/bench/src/bin/fig22_graphchi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig22_graphchi-196c7c389ed79757.rmeta: crates/bench/src/bin/fig22_graphchi.rs Cargo.toml
+
+crates/bench/src/bin/fig22_graphchi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

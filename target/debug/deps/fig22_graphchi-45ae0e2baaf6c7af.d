@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig22_graphchi-45ae0e2baaf6c7af.d: crates/bench/src/bin/fig22_graphchi.rs
+
+/root/repo/target/debug/deps/fig22_graphchi-45ae0e2baaf6c7af: crates/bench/src/bin/fig22_graphchi.rs
+
+crates/bench/src/bin/fig22_graphchi.rs:

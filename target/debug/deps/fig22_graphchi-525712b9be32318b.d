@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig22_graphchi-525712b9be32318b.d: crates/bench/src/bin/fig22_graphchi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig22_graphchi-525712b9be32318b.rmeta: crates/bench/src/bin/fig22_graphchi.rs Cargo.toml
+
+crates/bench/src/bin/fig22_graphchi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig23_bwtrace-64f54df7eaed9ec7.d: crates/bench/src/bin/fig23_bwtrace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig23_bwtrace-64f54df7eaed9ec7.rmeta: crates/bench/src/bin/fig23_bwtrace.rs Cargo.toml
+
+crates/bench/src/bin/fig23_bwtrace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig23_bwtrace-abbcbfb283249fec.d: crates/bench/src/bin/fig23_bwtrace.rs
+
+/root/repo/target/debug/deps/fig23_bwtrace-abbcbfb283249fec: crates/bench/src/bin/fig23_bwtrace.rs
+
+crates/bench/src/bin/fig23_bwtrace.rs:

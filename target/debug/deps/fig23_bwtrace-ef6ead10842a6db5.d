@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig23_bwtrace-ef6ead10842a6db5.d: crates/bench/src/bin/fig23_bwtrace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig23_bwtrace-ef6ead10842a6db5.rmeta: crates/bench/src/bin/fig23_bwtrace.rs Cargo.toml
+
+crates/bench/src/bin/fig23_bwtrace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig24_partitions-1d46e2b6fdd11a67.d: crates/bench/src/bin/fig24_partitions.rs
+
+/root/repo/target/debug/deps/fig24_partitions-1d46e2b6fdd11a67: crates/bench/src/bin/fig24_partitions.rs
+
+crates/bench/src/bin/fig24_partitions.rs:

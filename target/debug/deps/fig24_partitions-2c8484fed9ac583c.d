@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig24_partitions-2c8484fed9ac583c.d: crates/bench/src/bin/fig24_partitions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig24_partitions-2c8484fed9ac583c.rmeta: crates/bench/src/bin/fig24_partitions.rs Cargo.toml
+
+crates/bench/src/bin/fig24_partitions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

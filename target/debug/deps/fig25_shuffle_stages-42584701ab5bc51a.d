@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig25_shuffle_stages-42584701ab5bc51a.d: crates/bench/src/bin/fig25_shuffle_stages.rs
+
+/root/repo/target/debug/deps/fig25_shuffle_stages-42584701ab5bc51a: crates/bench/src/bin/fig25_shuffle_stages.rs
+
+crates/bench/src/bin/fig25_shuffle_stages.rs:

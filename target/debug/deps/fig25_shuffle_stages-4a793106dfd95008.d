@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig25_shuffle_stages-4a793106dfd95008.d: crates/bench/src/bin/fig25_shuffle_stages.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig25_shuffle_stages-4a793106dfd95008.rmeta: crates/bench/src/bin/fig25_shuffle_stages.rs Cargo.toml
+
+crates/bench/src/bin/fig25_shuffle_stages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

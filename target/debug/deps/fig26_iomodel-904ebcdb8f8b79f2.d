@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig26_iomodel-904ebcdb8f8b79f2.d: crates/bench/src/bin/fig26_iomodel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig26_iomodel-904ebcdb8f8b79f2.rmeta: crates/bench/src/bin/fig26_iomodel.rs Cargo.toml
+
+crates/bench/src/bin/fig26_iomodel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

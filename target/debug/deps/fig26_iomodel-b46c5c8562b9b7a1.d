@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig26_iomodel-b46c5c8562b9b7a1.d: crates/bench/src/bin/fig26_iomodel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig26_iomodel-b46c5c8562b9b7a1.rmeta: crates/bench/src/bin/fig26_iomodel.rs Cargo.toml
+
+crates/bench/src/bin/fig26_iomodel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

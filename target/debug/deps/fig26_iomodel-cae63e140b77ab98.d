@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig26_iomodel-cae63e140b77ab98.d: crates/bench/src/bin/fig26_iomodel.rs
+
+/root/repo/target/debug/deps/fig26_iomodel-cae63e140b77ab98: crates/bench/src/bin/fig26_iomodel.rs
+
+crates/bench/src/bin/fig26_iomodel.rs:

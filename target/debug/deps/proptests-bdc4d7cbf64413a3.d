@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-bdc4d7cbf64413a3.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-bdc4d7cbf64413a3: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d835e68ef8d03363.d: tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d835e68ef8d03363.rmeta: tests/proptests.rs Cargo.toml
+
+tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-27e7fe6fbec64fcf.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-27e7fe6fbec64fcf: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

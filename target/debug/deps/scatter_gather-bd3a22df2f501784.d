@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scatter_gather-bd3a22df2f501784.d: crates/bench/benches/scatter_gather.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscatter_gather-bd3a22df2f501784.rmeta: crates/bench/benches/scatter_gather.rs Cargo.toml
+
+crates/bench/benches/scatter_gather.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xstream-0c780ae822313c91.d: src/lib.rs
+
+/root/repo/target/debug/deps/xstream-0c780ae822313c91: src/lib.rs
+
+src/lib.rs:

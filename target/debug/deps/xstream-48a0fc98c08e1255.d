@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xstream-48a0fc98c08e1255.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/xstream-48a0fc98c08e1255: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xstream-89eef0091530b7df.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxstream-89eef0091530b7df.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xstream-9dbe5a6913a7aaa4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libxstream-9dbe5a6913a7aaa4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libxstream-9dbe5a6913a7aaa4.rmeta: src/lib.rs
+
+src/lib.rs:

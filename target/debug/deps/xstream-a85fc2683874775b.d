@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xstream-a85fc2683874775b.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxstream-a85fc2683874775b.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xstream-e46afcd6623a75ba.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxstream-e46afcd6623a75ba.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/xstream_algorithms-eaf7a9f97eacd058.d: crates/algorithms/src/lib.rs crates/algorithms/src/als.rs crates/algorithms/src/bfs.rs crates/algorithms/src/bp.rs crates/algorithms/src/conductance.rs crates/algorithms/src/hyperanf.rs crates/algorithms/src/mcst.rs crates/algorithms/src/mis.rs crates/algorithms/src/pagerank.rs crates/algorithms/src/scc.rs crates/algorithms/src/spmv.rs crates/algorithms/src/sssp.rs crates/algorithms/src/util.rs crates/algorithms/src/wcc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxstream_algorithms-eaf7a9f97eacd058.rmeta: crates/algorithms/src/lib.rs crates/algorithms/src/als.rs crates/algorithms/src/bfs.rs crates/algorithms/src/bp.rs crates/algorithms/src/conductance.rs crates/algorithms/src/hyperanf.rs crates/algorithms/src/mcst.rs crates/algorithms/src/mis.rs crates/algorithms/src/pagerank.rs crates/algorithms/src/scc.rs crates/algorithms/src/spmv.rs crates/algorithms/src/sssp.rs crates/algorithms/src/util.rs crates/algorithms/src/wcc.rs Cargo.toml
+
+crates/algorithms/src/lib.rs:
+crates/algorithms/src/als.rs:
+crates/algorithms/src/bfs.rs:
+crates/algorithms/src/bp.rs:
+crates/algorithms/src/conductance.rs:
+crates/algorithms/src/hyperanf.rs:
+crates/algorithms/src/mcst.rs:
+crates/algorithms/src/mis.rs:
+crates/algorithms/src/pagerank.rs:
+crates/algorithms/src/scc.rs:
+crates/algorithms/src/spmv.rs:
+crates/algorithms/src/sssp.rs:
+crates/algorithms/src/util.rs:
+crates/algorithms/src/wcc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xstream_baselines-5eef13209878ee2b.d: crates/baselines/src/lib.rs crates/baselines/src/graphchi.rs crates/baselines/src/hybrid.rs crates/baselines/src/ligra.rs crates/baselines/src/localqueue.rs
+
+/root/repo/target/debug/deps/libxstream_baselines-5eef13209878ee2b.rlib: crates/baselines/src/lib.rs crates/baselines/src/graphchi.rs crates/baselines/src/hybrid.rs crates/baselines/src/ligra.rs crates/baselines/src/localqueue.rs
+
+/root/repo/target/debug/deps/libxstream_baselines-5eef13209878ee2b.rmeta: crates/baselines/src/lib.rs crates/baselines/src/graphchi.rs crates/baselines/src/hybrid.rs crates/baselines/src/ligra.rs crates/baselines/src/localqueue.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/graphchi.rs:
+crates/baselines/src/hybrid.rs:
+crates/baselines/src/ligra.rs:
+crates/baselines/src/localqueue.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xstream_baselines-9f3f3c1bcc2e5a38.d: crates/baselines/src/lib.rs crates/baselines/src/graphchi.rs crates/baselines/src/hybrid.rs crates/baselines/src/ligra.rs crates/baselines/src/localqueue.rs
+
+/root/repo/target/debug/deps/xstream_baselines-9f3f3c1bcc2e5a38: crates/baselines/src/lib.rs crates/baselines/src/graphchi.rs crates/baselines/src/hybrid.rs crates/baselines/src/ligra.rs crates/baselines/src/localqueue.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/graphchi.rs:
+crates/baselines/src/hybrid.rs:
+crates/baselines/src/ligra.rs:
+crates/baselines/src/localqueue.rs:

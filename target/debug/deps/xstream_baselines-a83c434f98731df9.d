@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xstream_baselines-a83c434f98731df9.d: crates/baselines/src/lib.rs crates/baselines/src/graphchi.rs crates/baselines/src/hybrid.rs crates/baselines/src/ligra.rs crates/baselines/src/localqueue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxstream_baselines-a83c434f98731df9.rmeta: crates/baselines/src/lib.rs crates/baselines/src/graphchi.rs crates/baselines/src/hybrid.rs crates/baselines/src/ligra.rs crates/baselines/src/localqueue.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/graphchi.rs:
+crates/baselines/src/hybrid.rs:
+crates/baselines/src/ligra.rs:
+crates/baselines/src/localqueue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/xstream_bench-a4cb16f90bb15b39.d: crates/bench/src/lib.rs crates/bench/src/effort.rs crates/bench/src/figs/mod.rs crates/bench/src/figs/ablations.rs crates/bench/src/figs/fig08_membw.rs crates/bench/src/figs/fig09_diskbw.rs crates/bench/src/figs/fig10_datasets.rs crates/bench/src/figs/fig11_seqrand.rs crates/bench/src/figs/fig12_runtimes.rs crates/bench/src/figs/fig13_hyperanf.rs crates/bench/src/figs/fig14_strong_scaling.rs crates/bench/src/figs/fig15_io_parallel.rs crates/bench/src/figs/fig16_scale_devices.rs crates/bench/src/figs/fig17_ingest.rs crates/bench/src/figs/fig18_sort_vs_stream.rs crates/bench/src/figs/fig19_bfs_baselines.rs crates/bench/src/figs/fig20_ligra.rs crates/bench/src/figs/fig21_memrefs.rs crates/bench/src/figs/fig22_graphchi.rs crates/bench/src/figs/fig23_bwtrace.rs crates/bench/src/figs/fig24_partitions.rs crates/bench/src/figs/fig25_shuffle_stages.rs crates/bench/src/figs/fig26_iomodel.rs crates/bench/src/membw.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/xstream_bench-a4cb16f90bb15b39: crates/bench/src/lib.rs crates/bench/src/effort.rs crates/bench/src/figs/mod.rs crates/bench/src/figs/ablations.rs crates/bench/src/figs/fig08_membw.rs crates/bench/src/figs/fig09_diskbw.rs crates/bench/src/figs/fig10_datasets.rs crates/bench/src/figs/fig11_seqrand.rs crates/bench/src/figs/fig12_runtimes.rs crates/bench/src/figs/fig13_hyperanf.rs crates/bench/src/figs/fig14_strong_scaling.rs crates/bench/src/figs/fig15_io_parallel.rs crates/bench/src/figs/fig16_scale_devices.rs crates/bench/src/figs/fig17_ingest.rs crates/bench/src/figs/fig18_sort_vs_stream.rs crates/bench/src/figs/fig19_bfs_baselines.rs crates/bench/src/figs/fig20_ligra.rs crates/bench/src/figs/fig21_memrefs.rs crates/bench/src/figs/fig22_graphchi.rs crates/bench/src/figs/fig23_bwtrace.rs crates/bench/src/figs/fig24_partitions.rs crates/bench/src/figs/fig25_shuffle_stages.rs crates/bench/src/figs/fig26_iomodel.rs crates/bench/src/membw.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/effort.rs:
+crates/bench/src/figs/mod.rs:
+crates/bench/src/figs/ablations.rs:
+crates/bench/src/figs/fig08_membw.rs:
+crates/bench/src/figs/fig09_diskbw.rs:
+crates/bench/src/figs/fig10_datasets.rs:
+crates/bench/src/figs/fig11_seqrand.rs:
+crates/bench/src/figs/fig12_runtimes.rs:
+crates/bench/src/figs/fig13_hyperanf.rs:
+crates/bench/src/figs/fig14_strong_scaling.rs:
+crates/bench/src/figs/fig15_io_parallel.rs:
+crates/bench/src/figs/fig16_scale_devices.rs:
+crates/bench/src/figs/fig17_ingest.rs:
+crates/bench/src/figs/fig18_sort_vs_stream.rs:
+crates/bench/src/figs/fig19_bfs_baselines.rs:
+crates/bench/src/figs/fig20_ligra.rs:
+crates/bench/src/figs/fig21_memrefs.rs:
+crates/bench/src/figs/fig22_graphchi.rs:
+crates/bench/src/figs/fig23_bwtrace.rs:
+crates/bench/src/figs/fig24_partitions.rs:
+crates/bench/src/figs/fig25_shuffle_stages.rs:
+crates/bench/src/figs/fig26_iomodel.rs:
+crates/bench/src/membw.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xstream_cli-40310e56c08e6558.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/xstream_cli-40310e56c08e6558: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/xstream_core-a9675b1ef676d414.d: crates/core/src/lib.rs crates/core/src/alloc_stats.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/partition.rs crates/core/src/program.rs crates/core/src/record.rs crates/core/src/stats.rs crates/core/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxstream_core-a9675b1ef676d414.rmeta: crates/core/src/lib.rs crates/core/src/alloc_stats.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/partition.rs crates/core/src/program.rs crates/core/src/record.rs crates/core/src/stats.rs crates/core/src/types.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/alloc_stats.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/partition.rs:
+crates/core/src/program.rs:
+crates/core/src/record.rs:
+crates/core/src/stats.rs:
+crates/core/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xstream_disk-4274a447802b74bf.d: crates/disk-engine/src/lib.rs crates/disk-engine/src/engine.rs crates/disk-engine/src/vertices.rs
+
+/root/repo/target/debug/deps/xstream_disk-4274a447802b74bf: crates/disk-engine/src/lib.rs crates/disk-engine/src/engine.rs crates/disk-engine/src/vertices.rs
+
+crates/disk-engine/src/lib.rs:
+crates/disk-engine/src/engine.rs:
+crates/disk-engine/src/vertices.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xstream_disk-764abb5bd7081df0.d: crates/disk-engine/src/lib.rs crates/disk-engine/src/engine.rs crates/disk-engine/src/vertices.rs
+
+/root/repo/target/debug/deps/libxstream_disk-764abb5bd7081df0.rlib: crates/disk-engine/src/lib.rs crates/disk-engine/src/engine.rs crates/disk-engine/src/vertices.rs
+
+/root/repo/target/debug/deps/libxstream_disk-764abb5bd7081df0.rmeta: crates/disk-engine/src/lib.rs crates/disk-engine/src/engine.rs crates/disk-engine/src/vertices.rs
+
+crates/disk-engine/src/lib.rs:
+crates/disk-engine/src/engine.rs:
+crates/disk-engine/src/vertices.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xstream_disk-a611f995290f011b.d: crates/disk-engine/src/lib.rs crates/disk-engine/src/engine.rs crates/disk-engine/src/vertices.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxstream_disk-a611f995290f011b.rmeta: crates/disk-engine/src/lib.rs crates/disk-engine/src/engine.rs crates/disk-engine/src/vertices.rs Cargo.toml
+
+crates/disk-engine/src/lib.rs:
+crates/disk-engine/src/engine.rs:
+crates/disk-engine/src/vertices.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xstream_graph-4eddff770fe247e3.d: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/edgelist.rs crates/graph/src/fileio.rs crates/graph/src/generators.rs crates/graph/src/rmat.rs crates/graph/src/sort.rs
+
+/root/repo/target/debug/deps/libxstream_graph-4eddff770fe247e3.rlib: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/edgelist.rs crates/graph/src/fileio.rs crates/graph/src/generators.rs crates/graph/src/rmat.rs crates/graph/src/sort.rs
+
+/root/repo/target/debug/deps/libxstream_graph-4eddff770fe247e3.rmeta: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/edgelist.rs crates/graph/src/fileio.rs crates/graph/src/generators.rs crates/graph/src/rmat.rs crates/graph/src/sort.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/datasets.rs:
+crates/graph/src/edgelist.rs:
+crates/graph/src/fileio.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/rmat.rs:
+crates/graph/src/sort.rs:

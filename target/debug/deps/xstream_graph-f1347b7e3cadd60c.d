@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xstream_graph-f1347b7e3cadd60c.d: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/edgelist.rs crates/graph/src/fileio.rs crates/graph/src/generators.rs crates/graph/src/rmat.rs crates/graph/src/sort.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxstream_graph-f1347b7e3cadd60c.rmeta: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/edgelist.rs crates/graph/src/fileio.rs crates/graph/src/generators.rs crates/graph/src/rmat.rs crates/graph/src/sort.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/datasets.rs:
+crates/graph/src/edgelist.rs:
+crates/graph/src/fileio.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/rmat.rs:
+crates/graph/src/sort.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

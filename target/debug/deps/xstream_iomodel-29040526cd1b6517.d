@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xstream_iomodel-29040526cd1b6517.d: crates/iomodel/src/lib.rs
+
+/root/repo/target/debug/deps/xstream_iomodel-29040526cd1b6517: crates/iomodel/src/lib.rs
+
+crates/iomodel/src/lib.rs:

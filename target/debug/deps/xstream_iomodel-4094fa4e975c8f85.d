@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xstream_iomodel-4094fa4e975c8f85.d: crates/iomodel/src/lib.rs
+
+/root/repo/target/debug/deps/libxstream_iomodel-4094fa4e975c8f85.rlib: crates/iomodel/src/lib.rs
+
+/root/repo/target/debug/deps/libxstream_iomodel-4094fa4e975c8f85.rmeta: crates/iomodel/src/lib.rs
+
+crates/iomodel/src/lib.rs:

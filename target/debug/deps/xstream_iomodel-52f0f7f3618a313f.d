@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xstream_iomodel-52f0f7f3618a313f.d: crates/iomodel/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxstream_iomodel-52f0f7f3618a313f.rmeta: crates/iomodel/src/lib.rs Cargo.toml
+
+crates/iomodel/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xstream_memory-90f80c424793ea6f.d: crates/memory-engine/src/lib.rs crates/memory-engine/src/engine.rs crates/memory-engine/src/pool.rs crates/memory-engine/src/queue.rs
+
+/root/repo/target/debug/deps/xstream_memory-90f80c424793ea6f: crates/memory-engine/src/lib.rs crates/memory-engine/src/engine.rs crates/memory-engine/src/pool.rs crates/memory-engine/src/queue.rs
+
+crates/memory-engine/src/lib.rs:
+crates/memory-engine/src/engine.rs:
+crates/memory-engine/src/pool.rs:
+crates/memory-engine/src/queue.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xstream_memory-9708e41dcb0cfbc6.d: crates/memory-engine/src/lib.rs crates/memory-engine/src/engine.rs crates/memory-engine/src/pool.rs crates/memory-engine/src/queue.rs
+
+/root/repo/target/debug/deps/libxstream_memory-9708e41dcb0cfbc6.rlib: crates/memory-engine/src/lib.rs crates/memory-engine/src/engine.rs crates/memory-engine/src/pool.rs crates/memory-engine/src/queue.rs
+
+/root/repo/target/debug/deps/libxstream_memory-9708e41dcb0cfbc6.rmeta: crates/memory-engine/src/lib.rs crates/memory-engine/src/engine.rs crates/memory-engine/src/pool.rs crates/memory-engine/src/queue.rs
+
+crates/memory-engine/src/lib.rs:
+crates/memory-engine/src/engine.rs:
+crates/memory-engine/src/pool.rs:
+crates/memory-engine/src/queue.rs:

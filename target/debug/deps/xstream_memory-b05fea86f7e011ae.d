@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xstream_memory-b05fea86f7e011ae.d: crates/memory-engine/src/lib.rs crates/memory-engine/src/engine.rs crates/memory-engine/src/pool.rs crates/memory-engine/src/queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxstream_memory-b05fea86f7e011ae.rmeta: crates/memory-engine/src/lib.rs crates/memory-engine/src/engine.rs crates/memory-engine/src/pool.rs crates/memory-engine/src/queue.rs Cargo.toml
+
+crates/memory-engine/src/lib.rs:
+crates/memory-engine/src/engine.rs:
+crates/memory-engine/src/pool.rs:
+crates/memory-engine/src/queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xstream_storage-1021e576c68c03b7.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/diskmodel.rs crates/storage/src/filestream.rs crates/storage/src/iostats.rs crates/storage/src/scratch.rs crates/storage/src/shuffle.rs crates/storage/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxstream_storage-1021e576c68c03b7.rmeta: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/diskmodel.rs crates/storage/src/filestream.rs crates/storage/src/iostats.rs crates/storage/src/scratch.rs crates/storage/src/shuffle.rs crates/storage/src/writer.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/diskmodel.rs:
+crates/storage/src/filestream.rs:
+crates/storage/src/iostats.rs:
+crates/storage/src/scratch.rs:
+crates/storage/src/shuffle.rs:
+crates/storage/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

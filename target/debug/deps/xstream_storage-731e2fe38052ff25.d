@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xstream_storage-731e2fe38052ff25.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/diskmodel.rs crates/storage/src/filestream.rs crates/storage/src/iostats.rs crates/storage/src/scratch.rs crates/storage/src/shuffle.rs crates/storage/src/writer.rs
+
+/root/repo/target/debug/deps/xstream_storage-731e2fe38052ff25: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/diskmodel.rs crates/storage/src/filestream.rs crates/storage/src/iostats.rs crates/storage/src/scratch.rs crates/storage/src/shuffle.rs crates/storage/src/writer.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/diskmodel.rs:
+crates/storage/src/filestream.rs:
+crates/storage/src/iostats.rs:
+crates/storage/src/scratch.rs:
+crates/storage/src/shuffle.rs:
+crates/storage/src/writer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xstream_storage-b264f66c673b75df.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/diskmodel.rs crates/storage/src/filestream.rs crates/storage/src/iostats.rs crates/storage/src/scratch.rs crates/storage/src/shuffle.rs crates/storage/src/writer.rs
+
+/root/repo/target/debug/deps/libxstream_storage-b264f66c673b75df.rlib: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/diskmodel.rs crates/storage/src/filestream.rs crates/storage/src/iostats.rs crates/storage/src/scratch.rs crates/storage/src/shuffle.rs crates/storage/src/writer.rs
+
+/root/repo/target/debug/deps/libxstream_storage-b264f66c673b75df.rmeta: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/diskmodel.rs crates/storage/src/filestream.rs crates/storage/src/iostats.rs crates/storage/src/scratch.rs crates/storage/src/shuffle.rs crates/storage/src/writer.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/diskmodel.rs:
+crates/storage/src/filestream.rs:
+crates/storage/src/iostats.rs:
+crates/storage/src/scratch.rs:
+crates/storage/src/shuffle.rs:
+crates/storage/src/writer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xstream_streams-1e2fda329b6aa16b.d: crates/streams/src/lib.rs crates/streams/src/semi.rs crates/streams/src/source.rs crates/streams/src/wstream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxstream_streams-1e2fda329b6aa16b.rmeta: crates/streams/src/lib.rs crates/streams/src/semi.rs crates/streams/src/source.rs crates/streams/src/wstream.rs Cargo.toml
+
+crates/streams/src/lib.rs:
+crates/streams/src/semi.rs:
+crates/streams/src/source.rs:
+crates/streams/src/wstream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xstream_streams-510a801c902a6bd8.d: crates/streams/src/lib.rs crates/streams/src/semi.rs crates/streams/src/source.rs crates/streams/src/wstream.rs
+
+/root/repo/target/debug/deps/libxstream_streams-510a801c902a6bd8.rlib: crates/streams/src/lib.rs crates/streams/src/semi.rs crates/streams/src/source.rs crates/streams/src/wstream.rs
+
+/root/repo/target/debug/deps/libxstream_streams-510a801c902a6bd8.rmeta: crates/streams/src/lib.rs crates/streams/src/semi.rs crates/streams/src/source.rs crates/streams/src/wstream.rs
+
+crates/streams/src/lib.rs:
+crates/streams/src/semi.rs:
+crates/streams/src/source.rs:
+crates/streams/src/wstream.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xstream_streams-95375578b889546e.d: crates/streams/src/lib.rs crates/streams/src/semi.rs crates/streams/src/source.rs crates/streams/src/wstream.rs
+
+/root/repo/target/debug/deps/xstream_streams-95375578b889546e: crates/streams/src/lib.rs crates/streams/src/semi.rs crates/streams/src/source.rs crates/streams/src/wstream.rs
+
+crates/streams/src/lib.rs:
+crates/streams/src/semi.rs:
+crates/streams/src/source.rs:
+crates/streams/src/wstream.rs:

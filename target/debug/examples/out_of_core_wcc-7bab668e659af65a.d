@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/out_of_core_wcc-7bab668e659af65a.d: examples/out_of_core_wcc.rs
+
+/root/repo/target/debug/examples/out_of_core_wcc-7bab668e659af65a: examples/out_of_core_wcc.rs
+
+examples/out_of_core_wcc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/out_of_core_wcc-ca3b5c05eaa62a6c.d: examples/out_of_core_wcc.rs Cargo.toml
+
+/root/repo/target/debug/examples/libout_of_core_wcc-ca3b5c05eaa62a6c.rmeta: examples/out_of_core_wcc.rs Cargo.toml
+
+examples/out_of_core_wcc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

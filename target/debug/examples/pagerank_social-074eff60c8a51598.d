@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pagerank_social-074eff60c8a51598.d: examples/pagerank_social.rs
+
+/root/repo/target/debug/examples/pagerank_social-074eff60c8a51598: examples/pagerank_social.rs
+
+examples/pagerank_social.rs:

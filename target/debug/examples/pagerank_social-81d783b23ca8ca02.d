@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pagerank_social-81d783b23ca8ca02.d: examples/pagerank_social.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpagerank_social-81d783b23ca8ca02.rmeta: examples/pagerank_social.rs Cargo.toml
+
+examples/pagerank_social.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ccf5a868cbfc2aad.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ccf5a868cbfc2aad: examples/quickstart.rs
+
+examples/quickstart.rs:

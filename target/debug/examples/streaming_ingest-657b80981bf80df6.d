@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_ingest-657b80981bf80df6.d: examples/streaming_ingest.rs
+
+/root/repo/target/debug/examples/streaming_ingest-657b80981bf80df6: examples/streaming_ingest.rs
+
+examples/streaming_ingest.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/streaming_ingest-759769a28449f2cc.d: examples/streaming_ingest.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstreaming_ingest-759769a28449f2cc.rmeta: examples/streaming_ingest.rs Cargo.toml
+
+examples/streaming_ingest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-cbe5c3d43ac541ba.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-cbe5c3d43ac541ba: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

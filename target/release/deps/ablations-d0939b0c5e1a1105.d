@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-d0939b0c5e1a1105.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-d0939b0c5e1a1105: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/alloc_steady_state-f7bf96bb4ce96471.d: tests/alloc_steady_state.rs
+
+/root/repo/target/release/deps/alloc_steady_state-f7bf96bb4ce96471: tests/alloc_steady_state.rs
+
+tests/alloc_steady_state.rs:

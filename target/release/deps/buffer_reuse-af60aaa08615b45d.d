@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/buffer_reuse-af60aaa08615b45d.d: tests/buffer_reuse.rs
+
+/root/repo/target/release/deps/buffer_reuse-af60aaa08615b45d: tests/buffer_reuse.rs
+
+tests/buffer_reuse.rs:

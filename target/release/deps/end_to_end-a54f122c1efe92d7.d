@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-a54f122c1efe92d7.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-a54f122c1efe92d7: tests/end_to_end.rs
+
+tests/end_to_end.rs:

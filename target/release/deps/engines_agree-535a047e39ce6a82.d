@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engines_agree-535a047e39ce6a82.d: tests/engines_agree.rs
+
+/root/repo/target/release/deps/engines_agree-535a047e39ce6a82: tests/engines_agree.rs
+
+tests/engines_agree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-09a34852ae3d31a4.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-09a34852ae3d31a4: tests/failure_injection.rs
+
+tests/failure_injection.rs:

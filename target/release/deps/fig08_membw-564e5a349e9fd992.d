@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_membw-564e5a349e9fd992.d: crates/bench/src/bin/fig08_membw.rs
+
+/root/repo/target/release/deps/fig08_membw-564e5a349e9fd992: crates/bench/src/bin/fig08_membw.rs
+
+crates/bench/src/bin/fig08_membw.rs:

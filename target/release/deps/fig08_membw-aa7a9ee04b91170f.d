@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_membw-aa7a9ee04b91170f.d: crates/bench/src/bin/fig08_membw.rs
+
+/root/repo/target/release/deps/fig08_membw-aa7a9ee04b91170f: crates/bench/src/bin/fig08_membw.rs
+
+crates/bench/src/bin/fig08_membw.rs:

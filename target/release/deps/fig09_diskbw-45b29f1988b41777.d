@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_diskbw-45b29f1988b41777.d: crates/bench/src/bin/fig09_diskbw.rs
+
+/root/repo/target/release/deps/fig09_diskbw-45b29f1988b41777: crates/bench/src/bin/fig09_diskbw.rs
+
+crates/bench/src/bin/fig09_diskbw.rs:

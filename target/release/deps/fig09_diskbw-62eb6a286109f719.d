@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_diskbw-62eb6a286109f719.d: crates/bench/src/bin/fig09_diskbw.rs
+
+/root/repo/target/release/deps/fig09_diskbw-62eb6a286109f719: crates/bench/src/bin/fig09_diskbw.rs
+
+crates/bench/src/bin/fig09_diskbw.rs:

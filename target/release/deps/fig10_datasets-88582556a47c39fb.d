@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_datasets-88582556a47c39fb.d: crates/bench/src/bin/fig10_datasets.rs
+
+/root/repo/target/release/deps/fig10_datasets-88582556a47c39fb: crates/bench/src/bin/fig10_datasets.rs
+
+crates/bench/src/bin/fig10_datasets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_datasets-e4061f0a133aeabe.d: crates/bench/src/bin/fig10_datasets.rs
+
+/root/repo/target/release/deps/fig10_datasets-e4061f0a133aeabe: crates/bench/src/bin/fig10_datasets.rs
+
+crates/bench/src/bin/fig10_datasets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_seqrand-00655df182567bb6.d: crates/bench/src/bin/fig11_seqrand.rs
+
+/root/repo/target/release/deps/fig11_seqrand-00655df182567bb6: crates/bench/src/bin/fig11_seqrand.rs
+
+crates/bench/src/bin/fig11_seqrand.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_seqrand-236480c13272e799.d: crates/bench/src/bin/fig11_seqrand.rs
+
+/root/repo/target/release/deps/fig11_seqrand-236480c13272e799: crates/bench/src/bin/fig11_seqrand.rs
+
+crates/bench/src/bin/fig11_seqrand.rs:

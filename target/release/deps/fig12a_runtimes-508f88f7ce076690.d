@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12a_runtimes-508f88f7ce076690.d: crates/bench/src/bin/fig12a_runtimes.rs
+
+/root/repo/target/release/deps/fig12a_runtimes-508f88f7ce076690: crates/bench/src/bin/fig12a_runtimes.rs
+
+crates/bench/src/bin/fig12a_runtimes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12a_runtimes-6aa3c2058f803b6a.d: crates/bench/src/bin/fig12a_runtimes.rs
+
+/root/repo/target/release/deps/fig12a_runtimes-6aa3c2058f803b6a: crates/bench/src/bin/fig12a_runtimes.rs
+
+crates/bench/src/bin/fig12a_runtimes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_hyperanf-a45365713fa91f7b.d: crates/bench/src/bin/fig13_hyperanf.rs
+
+/root/repo/target/release/deps/fig13_hyperanf-a45365713fa91f7b: crates/bench/src/bin/fig13_hyperanf.rs
+
+crates/bench/src/bin/fig13_hyperanf.rs:

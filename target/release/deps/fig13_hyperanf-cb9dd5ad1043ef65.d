@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_hyperanf-cb9dd5ad1043ef65.d: crates/bench/src/bin/fig13_hyperanf.rs
+
+/root/repo/target/release/deps/fig13_hyperanf-cb9dd5ad1043ef65: crates/bench/src/bin/fig13_hyperanf.rs
+
+crates/bench/src/bin/fig13_hyperanf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_strong_scaling-85cd3dba8adb663f.d: crates/bench/src/bin/fig14_strong_scaling.rs
+
+/root/repo/target/release/deps/fig14_strong_scaling-85cd3dba8adb663f: crates/bench/src/bin/fig14_strong_scaling.rs
+
+crates/bench/src/bin/fig14_strong_scaling.rs:

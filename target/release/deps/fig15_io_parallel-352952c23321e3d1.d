@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_io_parallel-352952c23321e3d1.d: crates/bench/src/bin/fig15_io_parallel.rs
+
+/root/repo/target/release/deps/fig15_io_parallel-352952c23321e3d1: crates/bench/src/bin/fig15_io_parallel.rs
+
+crates/bench/src/bin/fig15_io_parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_io_parallel-a9a35044488edafa.d: crates/bench/src/bin/fig15_io_parallel.rs
+
+/root/repo/target/release/deps/fig15_io_parallel-a9a35044488edafa: crates/bench/src/bin/fig15_io_parallel.rs
+
+crates/bench/src/bin/fig15_io_parallel.rs:

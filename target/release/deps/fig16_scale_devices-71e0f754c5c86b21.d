@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_scale_devices-71e0f754c5c86b21.d: crates/bench/src/bin/fig16_scale_devices.rs
+
+/root/repo/target/release/deps/fig16_scale_devices-71e0f754c5c86b21: crates/bench/src/bin/fig16_scale_devices.rs
+
+crates/bench/src/bin/fig16_scale_devices.rs:

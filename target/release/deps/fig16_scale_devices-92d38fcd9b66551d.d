@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_scale_devices-92d38fcd9b66551d.d: crates/bench/src/bin/fig16_scale_devices.rs
+
+/root/repo/target/release/deps/fig16_scale_devices-92d38fcd9b66551d: crates/bench/src/bin/fig16_scale_devices.rs
+
+crates/bench/src/bin/fig16_scale_devices.rs:

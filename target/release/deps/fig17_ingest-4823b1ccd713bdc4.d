@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_ingest-4823b1ccd713bdc4.d: crates/bench/src/bin/fig17_ingest.rs
+
+/root/repo/target/release/deps/fig17_ingest-4823b1ccd713bdc4: crates/bench/src/bin/fig17_ingest.rs
+
+crates/bench/src/bin/fig17_ingest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_ingest-48cd4679f95c1cf3.d: crates/bench/src/bin/fig17_ingest.rs
+
+/root/repo/target/release/deps/fig17_ingest-48cd4679f95c1cf3: crates/bench/src/bin/fig17_ingest.rs
+
+crates/bench/src/bin/fig17_ingest.rs:

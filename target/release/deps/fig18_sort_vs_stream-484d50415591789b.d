@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_sort_vs_stream-484d50415591789b.d: crates/bench/src/bin/fig18_sort_vs_stream.rs
+
+/root/repo/target/release/deps/fig18_sort_vs_stream-484d50415591789b: crates/bench/src/bin/fig18_sort_vs_stream.rs
+
+crates/bench/src/bin/fig18_sort_vs_stream.rs:

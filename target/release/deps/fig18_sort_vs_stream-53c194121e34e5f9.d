@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_sort_vs_stream-53c194121e34e5f9.d: crates/bench/src/bin/fig18_sort_vs_stream.rs
+
+/root/repo/target/release/deps/fig18_sort_vs_stream-53c194121e34e5f9: crates/bench/src/bin/fig18_sort_vs_stream.rs
+
+crates/bench/src/bin/fig18_sort_vs_stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19_bfs_baselines-22a694ac3cc4463c.d: crates/bench/src/bin/fig19_bfs_baselines.rs
+
+/root/repo/target/release/deps/fig19_bfs_baselines-22a694ac3cc4463c: crates/bench/src/bin/fig19_bfs_baselines.rs
+
+crates/bench/src/bin/fig19_bfs_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19_bfs_baselines-c253162cde22f4e8.d: crates/bench/src/bin/fig19_bfs_baselines.rs
+
+/root/repo/target/release/deps/fig19_bfs_baselines-c253162cde22f4e8: crates/bench/src/bin/fig19_bfs_baselines.rs
+
+crates/bench/src/bin/fig19_bfs_baselines.rs:

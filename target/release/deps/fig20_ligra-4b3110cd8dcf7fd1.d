@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20_ligra-4b3110cd8dcf7fd1.d: crates/bench/src/bin/fig20_ligra.rs
+
+/root/repo/target/release/deps/fig20_ligra-4b3110cd8dcf7fd1: crates/bench/src/bin/fig20_ligra.rs
+
+crates/bench/src/bin/fig20_ligra.rs:

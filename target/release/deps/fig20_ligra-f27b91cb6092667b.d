@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20_ligra-f27b91cb6092667b.d: crates/bench/src/bin/fig20_ligra.rs
+
+/root/repo/target/release/deps/fig20_ligra-f27b91cb6092667b: crates/bench/src/bin/fig20_ligra.rs
+
+crates/bench/src/bin/fig20_ligra.rs:

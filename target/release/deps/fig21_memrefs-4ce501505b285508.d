@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig21_memrefs-4ce501505b285508.d: crates/bench/src/bin/fig21_memrefs.rs
+
+/root/repo/target/release/deps/fig21_memrefs-4ce501505b285508: crates/bench/src/bin/fig21_memrefs.rs
+
+crates/bench/src/bin/fig21_memrefs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig21_memrefs-760717aec40805c7.d: crates/bench/src/bin/fig21_memrefs.rs
+
+/root/repo/target/release/deps/fig21_memrefs-760717aec40805c7: crates/bench/src/bin/fig21_memrefs.rs
+
+crates/bench/src/bin/fig21_memrefs.rs:

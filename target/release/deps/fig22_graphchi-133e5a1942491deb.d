@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig22_graphchi-133e5a1942491deb.d: crates/bench/src/bin/fig22_graphchi.rs
+
+/root/repo/target/release/deps/fig22_graphchi-133e5a1942491deb: crates/bench/src/bin/fig22_graphchi.rs
+
+crates/bench/src/bin/fig22_graphchi.rs:

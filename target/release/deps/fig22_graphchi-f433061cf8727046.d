@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig22_graphchi-f433061cf8727046.d: crates/bench/src/bin/fig22_graphchi.rs
+
+/root/repo/target/release/deps/fig22_graphchi-f433061cf8727046: crates/bench/src/bin/fig22_graphchi.rs
+
+crates/bench/src/bin/fig22_graphchi.rs:

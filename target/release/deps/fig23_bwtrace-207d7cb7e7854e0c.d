@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig23_bwtrace-207d7cb7e7854e0c.d: crates/bench/src/bin/fig23_bwtrace.rs
+
+/root/repo/target/release/deps/fig23_bwtrace-207d7cb7e7854e0c: crates/bench/src/bin/fig23_bwtrace.rs
+
+crates/bench/src/bin/fig23_bwtrace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig23_bwtrace-7f23e9e44c335ce7.d: crates/bench/src/bin/fig23_bwtrace.rs
+
+/root/repo/target/release/deps/fig23_bwtrace-7f23e9e44c335ce7: crates/bench/src/bin/fig23_bwtrace.rs
+
+crates/bench/src/bin/fig23_bwtrace.rs:

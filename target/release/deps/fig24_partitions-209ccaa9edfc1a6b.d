@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig24_partitions-209ccaa9edfc1a6b.d: crates/bench/src/bin/fig24_partitions.rs
+
+/root/repo/target/release/deps/fig24_partitions-209ccaa9edfc1a6b: crates/bench/src/bin/fig24_partitions.rs
+
+crates/bench/src/bin/fig24_partitions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig24_partitions-d80877d3983769ef.d: crates/bench/src/bin/fig24_partitions.rs
+
+/root/repo/target/release/deps/fig24_partitions-d80877d3983769ef: crates/bench/src/bin/fig24_partitions.rs
+
+crates/bench/src/bin/fig24_partitions.rs:

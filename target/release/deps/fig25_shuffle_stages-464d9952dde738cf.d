@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig25_shuffle_stages-464d9952dde738cf.d: crates/bench/src/bin/fig25_shuffle_stages.rs
+
+/root/repo/target/release/deps/fig25_shuffle_stages-464d9952dde738cf: crates/bench/src/bin/fig25_shuffle_stages.rs
+
+crates/bench/src/bin/fig25_shuffle_stages.rs:

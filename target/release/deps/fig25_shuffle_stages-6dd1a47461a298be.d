@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig25_shuffle_stages-6dd1a47461a298be.d: crates/bench/src/bin/fig25_shuffle_stages.rs
+
+/root/repo/target/release/deps/fig25_shuffle_stages-6dd1a47461a298be: crates/bench/src/bin/fig25_shuffle_stages.rs
+
+crates/bench/src/bin/fig25_shuffle_stages.rs:

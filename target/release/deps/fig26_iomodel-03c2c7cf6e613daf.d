@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig26_iomodel-03c2c7cf6e613daf.d: crates/bench/src/bin/fig26_iomodel.rs
+
+/root/repo/target/release/deps/fig26_iomodel-03c2c7cf6e613daf: crates/bench/src/bin/fig26_iomodel.rs
+
+crates/bench/src/bin/fig26_iomodel.rs:

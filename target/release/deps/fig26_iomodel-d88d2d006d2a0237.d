@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig26_iomodel-d88d2d006d2a0237.d: crates/bench/src/bin/fig26_iomodel.rs
+
+/root/repo/target/release/deps/fig26_iomodel-d88d2d006d2a0237: crates/bench/src/bin/fig26_iomodel.rs
+
+crates/bench/src/bin/fig26_iomodel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-c9549a1bf9e1b734.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-c9549a1bf9e1b734: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

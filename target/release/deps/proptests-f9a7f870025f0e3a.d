@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-f9a7f870025f0e3a.d: tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-f9a7f870025f0e3a: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-3a19b002383632cd.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-3a19b002383632cd: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-57c7294f57b65bb8.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-57c7294f57b65bb8: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-5b9f1d915f31447b.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-5b9f1d915f31447b: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scatter_gather-c9f84a98b7bd244a.d: crates/bench/benches/scatter_gather.rs
+
+/root/repo/target/release/deps/scatter_gather-c9f84a98b7bd244a: crates/bench/benches/scatter_gather.rs
+
+crates/bench/benches/scatter_gather.rs:

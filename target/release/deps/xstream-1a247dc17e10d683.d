@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xstream-1a247dc17e10d683.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/xstream-1a247dc17e10d683: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xstream-1eafa12a4160a1d0.d: src/lib.rs
+
+/root/repo/target/release/deps/libxstream-1eafa12a4160a1d0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libxstream-1eafa12a4160a1d0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xstream-22e52c245a972db2.d: src/lib.rs
+
+/root/repo/target/release/deps/xstream-22e52c245a972db2: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xstream-33d1c631470b0513.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/xstream-33d1c631470b0513: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/xstream_algorithms-dc87d4e9564b0f64.d: crates/algorithms/src/lib.rs crates/algorithms/src/als.rs crates/algorithms/src/bfs.rs crates/algorithms/src/bp.rs crates/algorithms/src/conductance.rs crates/algorithms/src/hyperanf.rs crates/algorithms/src/mcst.rs crates/algorithms/src/mis.rs crates/algorithms/src/pagerank.rs crates/algorithms/src/scc.rs crates/algorithms/src/spmv.rs crates/algorithms/src/sssp.rs crates/algorithms/src/util.rs crates/algorithms/src/wcc.rs
+
+/root/repo/target/release/deps/libxstream_algorithms-dc87d4e9564b0f64.rlib: crates/algorithms/src/lib.rs crates/algorithms/src/als.rs crates/algorithms/src/bfs.rs crates/algorithms/src/bp.rs crates/algorithms/src/conductance.rs crates/algorithms/src/hyperanf.rs crates/algorithms/src/mcst.rs crates/algorithms/src/mis.rs crates/algorithms/src/pagerank.rs crates/algorithms/src/scc.rs crates/algorithms/src/spmv.rs crates/algorithms/src/sssp.rs crates/algorithms/src/util.rs crates/algorithms/src/wcc.rs
+
+/root/repo/target/release/deps/libxstream_algorithms-dc87d4e9564b0f64.rmeta: crates/algorithms/src/lib.rs crates/algorithms/src/als.rs crates/algorithms/src/bfs.rs crates/algorithms/src/bp.rs crates/algorithms/src/conductance.rs crates/algorithms/src/hyperanf.rs crates/algorithms/src/mcst.rs crates/algorithms/src/mis.rs crates/algorithms/src/pagerank.rs crates/algorithms/src/scc.rs crates/algorithms/src/spmv.rs crates/algorithms/src/sssp.rs crates/algorithms/src/util.rs crates/algorithms/src/wcc.rs
+
+crates/algorithms/src/lib.rs:
+crates/algorithms/src/als.rs:
+crates/algorithms/src/bfs.rs:
+crates/algorithms/src/bp.rs:
+crates/algorithms/src/conductance.rs:
+crates/algorithms/src/hyperanf.rs:
+crates/algorithms/src/mcst.rs:
+crates/algorithms/src/mis.rs:
+crates/algorithms/src/pagerank.rs:
+crates/algorithms/src/scc.rs:
+crates/algorithms/src/spmv.rs:
+crates/algorithms/src/sssp.rs:
+crates/algorithms/src/util.rs:
+crates/algorithms/src/wcc.rs:

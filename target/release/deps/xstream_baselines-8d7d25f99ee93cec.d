@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xstream_baselines-8d7d25f99ee93cec.d: crates/baselines/src/lib.rs crates/baselines/src/graphchi.rs crates/baselines/src/hybrid.rs crates/baselines/src/ligra.rs crates/baselines/src/localqueue.rs
+
+/root/repo/target/release/deps/libxstream_baselines-8d7d25f99ee93cec.rlib: crates/baselines/src/lib.rs crates/baselines/src/graphchi.rs crates/baselines/src/hybrid.rs crates/baselines/src/ligra.rs crates/baselines/src/localqueue.rs
+
+/root/repo/target/release/deps/libxstream_baselines-8d7d25f99ee93cec.rmeta: crates/baselines/src/lib.rs crates/baselines/src/graphchi.rs crates/baselines/src/hybrid.rs crates/baselines/src/ligra.rs crates/baselines/src/localqueue.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/graphchi.rs:
+crates/baselines/src/hybrid.rs:
+crates/baselines/src/ligra.rs:
+crates/baselines/src/localqueue.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/xstream_baselines-ed820ef39dab9a45.d: crates/baselines/src/lib.rs crates/baselines/src/graphchi.rs crates/baselines/src/hybrid.rs crates/baselines/src/ligra.rs crates/baselines/src/localqueue.rs
+
+/root/repo/target/release/deps/xstream_baselines-ed820ef39dab9a45: crates/baselines/src/lib.rs crates/baselines/src/graphchi.rs crates/baselines/src/hybrid.rs crates/baselines/src/ligra.rs crates/baselines/src/localqueue.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/graphchi.rs:
+crates/baselines/src/hybrid.rs:
+crates/baselines/src/ligra.rs:
+crates/baselines/src/localqueue.rs:

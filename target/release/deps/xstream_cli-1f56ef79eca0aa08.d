@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xstream_cli-1f56ef79eca0aa08.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/xstream_cli-1f56ef79eca0aa08: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/xstream_cli-2e2d2ed037156d74.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/libxstream_cli-2e2d2ed037156d74.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/libxstream_cli-2e2d2ed037156d74.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/xstream_core-085665f9cf048b0d.d: crates/core/src/lib.rs crates/core/src/alloc_stats.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/partition.rs crates/core/src/program.rs crates/core/src/record.rs crates/core/src/stats.rs crates/core/src/types.rs
+
+/root/repo/target/release/deps/xstream_core-085665f9cf048b0d: crates/core/src/lib.rs crates/core/src/alloc_stats.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/partition.rs crates/core/src/program.rs crates/core/src/record.rs crates/core/src/stats.rs crates/core/src/types.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alloc_stats.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/partition.rs:
+crates/core/src/program.rs:
+crates/core/src/record.rs:
+crates/core/src/stats.rs:
+crates/core/src/types.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xstream_disk-2f53ddc7420c8886.d: crates/disk-engine/src/lib.rs crates/disk-engine/src/engine.rs crates/disk-engine/src/vertices.rs
+
+/root/repo/target/release/deps/xstream_disk-2f53ddc7420c8886: crates/disk-engine/src/lib.rs crates/disk-engine/src/engine.rs crates/disk-engine/src/vertices.rs
+
+crates/disk-engine/src/lib.rs:
+crates/disk-engine/src/engine.rs:
+crates/disk-engine/src/vertices.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/xstream_disk-653184eb994f881f.d: crates/disk-engine/src/lib.rs crates/disk-engine/src/engine.rs crates/disk-engine/src/vertices.rs
+
+/root/repo/target/release/deps/libxstream_disk-653184eb994f881f.rlib: crates/disk-engine/src/lib.rs crates/disk-engine/src/engine.rs crates/disk-engine/src/vertices.rs
+
+/root/repo/target/release/deps/libxstream_disk-653184eb994f881f.rmeta: crates/disk-engine/src/lib.rs crates/disk-engine/src/engine.rs crates/disk-engine/src/vertices.rs
+
+crates/disk-engine/src/lib.rs:
+crates/disk-engine/src/engine.rs:
+crates/disk-engine/src/vertices.rs:

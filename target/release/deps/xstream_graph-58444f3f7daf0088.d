@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/xstream_graph-58444f3f7daf0088.d: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/edgelist.rs crates/graph/src/fileio.rs crates/graph/src/generators.rs crates/graph/src/rmat.rs crates/graph/src/sort.rs
+
+/root/repo/target/release/deps/libxstream_graph-58444f3f7daf0088.rlib: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/edgelist.rs crates/graph/src/fileio.rs crates/graph/src/generators.rs crates/graph/src/rmat.rs crates/graph/src/sort.rs
+
+/root/repo/target/release/deps/libxstream_graph-58444f3f7daf0088.rmeta: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/edgelist.rs crates/graph/src/fileio.rs crates/graph/src/generators.rs crates/graph/src/rmat.rs crates/graph/src/sort.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/datasets.rs:
+crates/graph/src/edgelist.rs:
+crates/graph/src/fileio.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/rmat.rs:
+crates/graph/src/sort.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/xstream_graph-ccf84083f4349bf5.d: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/edgelist.rs crates/graph/src/fileio.rs crates/graph/src/generators.rs crates/graph/src/rmat.rs crates/graph/src/sort.rs
+
+/root/repo/target/release/deps/xstream_graph-ccf84083f4349bf5: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/edgelist.rs crates/graph/src/fileio.rs crates/graph/src/generators.rs crates/graph/src/rmat.rs crates/graph/src/sort.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/datasets.rs:
+crates/graph/src/edgelist.rs:
+crates/graph/src/fileio.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/rmat.rs:
+crates/graph/src/sort.rs:

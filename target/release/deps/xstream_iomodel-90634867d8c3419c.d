@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xstream_iomodel-90634867d8c3419c.d: crates/iomodel/src/lib.rs
+
+/root/repo/target/release/deps/libxstream_iomodel-90634867d8c3419c.rlib: crates/iomodel/src/lib.rs
+
+/root/repo/target/release/deps/libxstream_iomodel-90634867d8c3419c.rmeta: crates/iomodel/src/lib.rs
+
+crates/iomodel/src/lib.rs:

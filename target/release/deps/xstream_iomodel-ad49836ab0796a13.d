@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xstream_iomodel-ad49836ab0796a13.d: crates/iomodel/src/lib.rs
+
+/root/repo/target/release/deps/xstream_iomodel-ad49836ab0796a13: crates/iomodel/src/lib.rs
+
+crates/iomodel/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/xstream_memory-659e2b71b53cd677.d: crates/memory-engine/src/lib.rs crates/memory-engine/src/engine.rs crates/memory-engine/src/pool.rs crates/memory-engine/src/queue.rs
+
+/root/repo/target/release/deps/xstream_memory-659e2b71b53cd677: crates/memory-engine/src/lib.rs crates/memory-engine/src/engine.rs crates/memory-engine/src/pool.rs crates/memory-engine/src/queue.rs
+
+crates/memory-engine/src/lib.rs:
+crates/memory-engine/src/engine.rs:
+crates/memory-engine/src/pool.rs:
+crates/memory-engine/src/queue.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/xstream_memory-c530085c914d67b9.d: crates/memory-engine/src/lib.rs crates/memory-engine/src/engine.rs crates/memory-engine/src/pool.rs crates/memory-engine/src/queue.rs
+
+/root/repo/target/release/deps/libxstream_memory-c530085c914d67b9.rlib: crates/memory-engine/src/lib.rs crates/memory-engine/src/engine.rs crates/memory-engine/src/pool.rs crates/memory-engine/src/queue.rs
+
+/root/repo/target/release/deps/libxstream_memory-c530085c914d67b9.rmeta: crates/memory-engine/src/lib.rs crates/memory-engine/src/engine.rs crates/memory-engine/src/pool.rs crates/memory-engine/src/queue.rs
+
+crates/memory-engine/src/lib.rs:
+crates/memory-engine/src/engine.rs:
+crates/memory-engine/src/pool.rs:
+crates/memory-engine/src/queue.rs:

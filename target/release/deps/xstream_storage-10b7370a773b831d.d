@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/xstream_storage-10b7370a773b831d.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/diskmodel.rs crates/storage/src/filestream.rs crates/storage/src/iostats.rs crates/storage/src/scratch.rs crates/storage/src/shuffle.rs crates/storage/src/writer.rs
+
+/root/repo/target/release/deps/xstream_storage-10b7370a773b831d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/diskmodel.rs crates/storage/src/filestream.rs crates/storage/src/iostats.rs crates/storage/src/scratch.rs crates/storage/src/shuffle.rs crates/storage/src/writer.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/diskmodel.rs:
+crates/storage/src/filestream.rs:
+crates/storage/src/iostats.rs:
+crates/storage/src/scratch.rs:
+crates/storage/src/shuffle.rs:
+crates/storage/src/writer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/xstream_storage-7bc1dfedb8d29289.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/diskmodel.rs crates/storage/src/filestream.rs crates/storage/src/iostats.rs crates/storage/src/scratch.rs crates/storage/src/shuffle.rs crates/storage/src/writer.rs
+
+/root/repo/target/release/deps/libxstream_storage-7bc1dfedb8d29289.rlib: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/diskmodel.rs crates/storage/src/filestream.rs crates/storage/src/iostats.rs crates/storage/src/scratch.rs crates/storage/src/shuffle.rs crates/storage/src/writer.rs
+
+/root/repo/target/release/deps/libxstream_storage-7bc1dfedb8d29289.rmeta: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/diskmodel.rs crates/storage/src/filestream.rs crates/storage/src/iostats.rs crates/storage/src/scratch.rs crates/storage/src/shuffle.rs crates/storage/src/writer.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/diskmodel.rs:
+crates/storage/src/filestream.rs:
+crates/storage/src/iostats.rs:
+crates/storage/src/scratch.rs:
+crates/storage/src/shuffle.rs:
+crates/storage/src/writer.rs:

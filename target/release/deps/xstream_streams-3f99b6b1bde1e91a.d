@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/xstream_streams-3f99b6b1bde1e91a.d: crates/streams/src/lib.rs crates/streams/src/semi.rs crates/streams/src/source.rs crates/streams/src/wstream.rs
+
+/root/repo/target/release/deps/libxstream_streams-3f99b6b1bde1e91a.rlib: crates/streams/src/lib.rs crates/streams/src/semi.rs crates/streams/src/source.rs crates/streams/src/wstream.rs
+
+/root/repo/target/release/deps/libxstream_streams-3f99b6b1bde1e91a.rmeta: crates/streams/src/lib.rs crates/streams/src/semi.rs crates/streams/src/source.rs crates/streams/src/wstream.rs
+
+crates/streams/src/lib.rs:
+crates/streams/src/semi.rs:
+crates/streams/src/source.rs:
+crates/streams/src/wstream.rs:

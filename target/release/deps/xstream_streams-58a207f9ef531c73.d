@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/xstream_streams-58a207f9ef531c73.d: crates/streams/src/lib.rs crates/streams/src/semi.rs crates/streams/src/source.rs crates/streams/src/wstream.rs
+
+/root/repo/target/release/deps/xstream_streams-58a207f9ef531c73: crates/streams/src/lib.rs crates/streams/src/semi.rs crates/streams/src/source.rs crates/streams/src/wstream.rs
+
+crates/streams/src/lib.rs:
+crates/streams/src/semi.rs:
+crates/streams/src/source.rs:
+crates/streams/src/wstream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/alloc_probe-7d46c61fbf89ff58.d: examples/alloc_probe.rs
+
+/root/repo/target/release/examples/alloc_probe-7d46c61fbf89ff58: examples/alloc_probe.rs
+
+examples/alloc_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/out_of_core_wcc-56c82275bd3d209a.d: examples/out_of_core_wcc.rs
+
+/root/repo/target/release/examples/out_of_core_wcc-56c82275bd3d209a: examples/out_of_core_wcc.rs
+
+examples/out_of_core_wcc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pagerank_social-15aa8baedadd629e.d: examples/pagerank_social.rs
+
+/root/repo/target/release/examples/pagerank_social-15aa8baedadd629e: examples/pagerank_social.rs
+
+examples/pagerank_social.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-18b286b81b368692.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-18b286b81b368692: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/streaming_ingest-6c40f6d11c91bf68.d: examples/streaming_ingest.rs
+
+/root/repo/target/release/examples/streaming_ingest-6c40f6d11c91bf68: examples/streaming_ingest.rs
+
+examples/streaming_ingest.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libxstream_iomodel.rlib: /root/repo/crates/iomodel/src/lib.rs
