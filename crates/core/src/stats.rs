@@ -26,8 +26,17 @@ pub struct IterationStats {
     pub shuffle_ns: u64,
     /// Wall time of the gather phase in nanoseconds.
     pub gather_ns: u64,
-    /// Time spent moving data through streams (sequential traffic),
-    /// a subset of the phase times above.
+    /// Time attributable to sequential stream traffic, a subset of the
+    /// phase times above (Fig. 12b's denominator).
+    ///
+    /// Engines with dedicated I/O threads (the out-of-core engine)
+    /// count only the time the superstep thread was *blocked* on a
+    /// stream — waiting for a prefetched chunk, for writer
+    /// backpressure, or for the pre-gather drain barrier — so a value
+    /// near zero means compute fully overlapped the I/O (§3.3). The
+    /// in-memory engine, whose streams are memory-bandwidth bound and
+    /// synchronous, counts its scatter + shuffle phases (the fused
+    /// stage moved edge streaming into scatter).
     pub streaming_ns: u64,
     /// Bytes read from slow storage.
     pub bytes_read: u64,

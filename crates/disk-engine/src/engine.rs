@@ -1,12 +1,52 @@
-//! The out-of-core engine's main loop (paper Fig. 6).
+//! The out-of-core engine's main loop (paper Fig. 6), built — like the
+//! in-memory engine — around a zero-allocation, fully overlapped
+//! steady state.
 //!
-//! Scatter and shuffle are merged: scatter appends updates to an
-//! in-memory buffer; whenever the buffer fills, it is shuffled in
-//! memory and each partition's chunk is appended to that partition's
-//! update file. The gather phase then streams each partition's update
-//! file. Two §3.2 optimizations are implemented: the vertex array
-//! stays in memory when it fits the budget, and updates skip the disk
-//! entirely when one stream buffer holds the whole scatter output.
+//! One superstep is:
+//!
+//! 1. **Scatter + fused shuffle** — the persistent [`ReadAhead`]
+//!    thread streams each partition's edge file with prefetch
+//!    distance 1 *and rolls into the next partition's file while this
+//!    one still computes* (§3.3). Every loaded chunk fans out to the
+//!    engine's parked [`WorkerPool`] workers, which append updates
+//!    *directly into per-partition buckets* of their own pooled
+//!    [`ShuffleScratch`] slice (the §4.3 layering of the in-memory
+//!    primitives over loaded disk chunks, with the single-stage
+//!    shuffle fused into scatter). When the pooled buffers reach the
+//!    stream-buffer budget they spill: each partition's runs are
+//!    copied into a recycled byte buffer and handed to the persistent
+//!    [`AsyncWriter`] thread, which appends them to the partition's
+//!    update file while the engine scatters the next buffer (§3.3's
+//!    double-buffered output).
+//! 2. **Gather** — the read-ahead thread streams each partition's
+//!    update file (again prefetching the next partition's), and
+//!    updates are applied *in place* to the partition's vertex states
+//!    through [`VertexStorage::update_partition`]. Update streams are
+//!    truncated, not deleted (a TRIM, §3.3), so their file handles —
+//!    and the buffer pools — survive into the next superstep.
+//!
+//! Two §3.2 optimizations are implemented: the vertex array stays in
+//! memory when it fits the budget, and updates skip the disk entirely
+//! (gather reads the scratch buckets directly) when one stream buffer
+//! holds the whole scatter output.
+//!
+//! All memory — scatter buckets, spill byte buffers, read chunks,
+//! vertex decode scratch, interned stream names — is owned by the
+//! engine or its two I/O threads and recycled across supersteps; both
+//! I/O threads and the worker pool are spawned once at construction.
+//! This holds for on-disk vertex state too: partition loads decode
+//! into pooled scratch ([`VertexStorage::load_scatter`]) and
+//! write-backs truncate + append through cached handles. Once every
+//! pooled buffer has seen its high-water mark, a superstep performs
+//! **no heap allocation** and spawns **no threads** (tracked in
+//! [`IterationStats::alloc_count`] via [`xstream_core::alloc_stats`]).
+//! `streaming_ns` counts only the time the superstep thread was
+//! *blocked* on stream I/O (waiting for a read chunk, for writer
+//! backpressure, or for the pre-gather drain barrier), making the
+//! Fig. 12b runtime/streaming ratios comparable to the in-memory
+//! engine's. The previous allocate-per-superstep pipeline is retained
+//! as [`DiskEngine::try_scatter_gather_reference`] for ablations,
+//! differential tests and the `disk_superstep` benchmark baseline.
 
 use std::mem::size_of;
 use std::path::Path;
@@ -17,13 +57,16 @@ use crate::vertices::VertexStorage;
 use xstream_core::program::TargetedUpdate;
 use xstream_core::record::{records_as_bytes, RecordIter};
 use xstream_core::{
-    Edge, EdgeProgram, Engine, EngineConfig, Error, IterationStats, Partitioner, Record, Result,
-    VertexId,
+    alloc_stats, Edge, EdgeProgram, Engine, EngineConfig, Error, IterationStats, Partitioner,
+    Record, Result, VertexId,
 };
 use xstream_graph::fileio::EdgeFileReader;
 use xstream_graph::EdgeList;
-use xstream_storage::shuffle::shuffle;
-use xstream_storage::{AsyncWriter, ShuffleArena, StreamBuffer, StreamStore};
+use xstream_storage::pool::{PerWorkerPtr, WorkerPool};
+use xstream_storage::shuffle::MultiStagePlan;
+use xstream_storage::{
+    AsyncWriter, ReadAhead, ShuffleArena, ShufflePool, ShuffleScratch, StreamStore,
+};
 
 /// Name of the edge stream of partition `p`.
 pub fn edge_stream(p: usize) -> String {
@@ -42,15 +85,37 @@ pub struct DiskEngine<P: EdgeProgram> {
     partitioner: Partitioner,
     num_edges: usize,
     vertices: VertexStorage<P::State>,
-    /// Update records buffered in memory before a spill.
+    /// Update records buffered across all scratch slices before a
+    /// spill (§3.4 stream-buffer sizing).
     spill_threshold: usize,
-    /// §3.2 optimization 2: the shuffled scatter output, kept in memory
-    /// when it never overflowed the stream buffer.
-    mem_updates: Option<StreamBuffer<TargetedUpdate<P::Update>>>,
-    /// Pooled arena for the per-spill in-memory shuffle: spills recur
-    /// many times per superstep, and reusing one arena keeps them from
-    /// allocating a fresh stream buffer each time.
+    /// §3.2 optimization 2: whether the last scatter kept all updates
+    /// in the scratch buckets (gather then reads them in place).
+    mem_updates: bool,
+    /// Single-stage shuffle plan over the K streaming partitions:
+    /// scatter pushes route straight into per-partition buckets, so
+    /// spills and in-memory gathers read final chunks with no extra
+    /// pass.
+    plan: MultiStagePlan,
+    /// Iteration-persistent per-worker fused scatter+shuffle slices.
+    scratch: ShufflePool<TargetedUpdate<P::Update>>,
+    /// Parked worker threads (`None` when single-threaded); worker 0
+    /// is the calling thread.
+    pool: Option<WorkerPool>,
+    /// Persistent background writer with its recycling buffer pool.
+    writer: AsyncWriter,
+    /// Persistent read-ahead thread with its recycling buffer pool.
+    reader: ReadAhead,
+    /// Interned stream names: submitting a write or queueing a read
+    /// clones an `Arc`, never allocates.
+    edge_names: Vec<Arc<str>>,
+    update_names: Vec<Arc<str>>,
+    /// Pooled arena for the reference pipeline's per-spill shuffle.
     spill_arena: ShuffleArena<TargetedUpdate<P::Update>>,
+    /// Whether the last superstep ran to completion. A superstep that
+    /// bailed out mid-flight (I/O error) leaves queued read-ahead
+    /// streams and partial update files behind; the next superstep
+    /// restores stream consistency first (see [`Self::recover`]).
+    clean: bool,
 }
 
 impl<P: EdgeProgram> DiskEngine<P> {
@@ -99,26 +164,31 @@ impl<P: EdgeProgram> DiskEngine<P> {
         })?;
         let partitioner = Partitioner::new(num_vertices, k);
         let kp = partitioner.num_partitions();
+        let edge_names: Vec<Arc<str>> = (0..kp).map(|p| Arc::from(edge_stream(p))).collect();
+        let update_names: Vec<Arc<str>> = (0..kp).map(|p| Arc::from(update_stream(p))).collect();
 
         // Pre-processing (§3.2): stream the input, shuffle each loaded
         // chunk in memory, append per-partition runs to the edge files.
-        // The appends run on the dedicated writer thread so reading and
-        // shuffling the next input chunk overlaps them (§3.3).
+        // The appends run on the engine's persistent writer thread so
+        // reading and shuffling the next input chunk overlaps them
+        // (§3.3) — the same writer later serves every superstep's
+        // spills.
         let store = Arc::new(store);
+        let writer = AsyncWriter::new(Arc::clone(&store), 1)?;
         let mut num_edges = 0usize;
         {
-            let writer = AsyncWriter::new(Arc::clone(&store), 1)?;
+            let mut arena: ShuffleArena<Edge> = ShuffleArena::new();
             for chunk in edge_chunks {
                 let chunk = chunk?;
                 num_edges += chunk.len();
-                let buf = shuffle(&chunk, kp, |e| partitioner.partition_of(e.src));
-                for (p, run) in buf.iter_chunks() {
-                    if !run.is_empty() {
-                        writer.submit(edge_stream(p), records_as_bytes(run).to_vec())?;
-                    }
+                arena.shuffle(&chunk, kp, |e| partitioner.partition_of(e.src));
+                for (p, run) in arena.iter_chunks() {
+                    let mut buf = writer.acquire();
+                    buf.extend_from_slice(records_as_bytes(run));
+                    writer.submit(Arc::clone(&edge_names[p]), buf)?;
                 }
             }
-            writer.finish()?;
+            writer.flush()?;
         }
 
         let usz = size_of::<TargetedUpdate<P::Update>>();
@@ -135,6 +205,9 @@ impl<P: EdgeProgram> DiskEngine<P> {
             program.init(v)
         })?;
 
+        let threads = config.threads.max(1);
+        let pool = (threads > 1).then(|| WorkerPool::new(threads - 1));
+
         Ok(Self {
             config,
             store,
@@ -142,9 +215,38 @@ impl<P: EdgeProgram> DiskEngine<P> {
             num_edges,
             vertices,
             spill_threshold,
-            mem_updates: None,
+            mem_updates: false,
+            plan: MultiStagePlan::new(kp, kp),
+            scratch: ShufflePool::new(threads),
+            pool,
+            writer,
+            // Job depth 2: the current stream plus the next one queued
+            // for cross-partition read-ahead.
+            reader: ReadAhead::new(2),
+            edge_names,
+            update_names,
             spill_arena: ShuffleArena::new(),
+            clean: true,
         })
+    }
+
+    /// Restores stream consistency after a superstep abandoned
+    /// mid-flight: discards queued/in-flight read-ahead streams,
+    /// drains the writer (dropping its pending error — the failed
+    /// superstep already reported it), and truncates the partially
+    /// written update files so a retried superstep does not gather
+    /// stale updates. Vertex state is whatever the failed superstep
+    /// left (partitions gathered before the failure keep their
+    /// updates); exactly-once recovery would need checkpointing, which
+    /// is out of scope — this guarantees no cross-stream corruption
+    /// and no deadlock on retry.
+    fn recover(&mut self) -> Result<()> {
+        self.reader.reset();
+        let _ = self.writer.flush();
+        for name in &self.update_names {
+            self.store.truncate(name)?;
+        }
+        Ok(())
     }
 
     /// The partitioner in use (exposed for experiments).
@@ -160,20 +262,203 @@ impl<P: EdgeProgram> DiskEngine<P> {
     /// Fallible scatter-gather superstep; the [`Engine`] trait method
     /// panics on I/O errors, this variant reports them.
     pub fn try_scatter_gather(&mut self, program: &P) -> Result<IterationStats> {
+        if !self.clean {
+            self.recover()?;
+        }
+        self.clean = false;
+        let alloc_before = alloc_stats::snapshot();
         let mut stats = IterationStats::default();
         let kp = self.partitioner.num_partitions();
-        let usz = size_of::<TargetedUpdate<P::Update>>() as u64;
+        let snap0 = self.store.accounting().snapshot();
+        // Time the superstep thread spends *blocked* on stream I/O:
+        // waiting for a read chunk, for writer backpressure, or for
+        // the pre-gather drain barrier. Compute fully overlapped with
+        // I/O does not count (§3.3's measure of overlap quality).
+        let mut blocked_ns = 0u64;
+
+        // ---- Merged scatter + fused shuffle (Fig. 6) ----
+        let t_scatter = Instant::now();
+        self.scratch.begin(self.plan);
+        self.mem_updates = false;
+        let mut spilled = false;
+        {
+            let store = &self.store;
+            let partitioner = &self.partitioner;
+            let vertices = &mut self.vertices;
+            let reader = &mut self.reader;
+            let writer = &self.writer;
+            let scratch = &mut self.scratch;
+            let pool = self.pool.as_ref();
+            let plan = self.plan;
+            let edge_names = &self.edge_names;
+            let update_names = &self.update_names;
+
+            reader.begin(store.read_source(&edge_names[0], Edge::SIZE)?)?;
+            for s in partitioner.iter() {
+                if s + 1 < kp {
+                    // §3.3 read-ahead across partitions: the reader
+                    // thread rolls into the next edge file while this
+                    // partition still computes.
+                    reader.begin(store.read_source(&edge_names[s + 1], Edge::SIZE)?)?;
+                }
+                let states = vertices.load_scatter(store, partitioner, s)?;
+                let base = partitioner.range(s).start;
+                loop {
+                    let t_io = Instant::now();
+                    let chunk = reader.next_chunk()?;
+                    blocked_ns += t_io.elapsed().as_nanos() as u64;
+                    let Some(bytes) = chunk else {
+                        break;
+                    };
+                    stats.edges_streamed += (bytes.len() / Edge::SIZE) as u64;
+                    // §4.3 layering: the loaded chunk is processed with
+                    // the in-memory engine's parallel primitives — a
+                    // parallel fused scatter over sub-slices of the
+                    // chunk, one pooled scratch slice per worker.
+                    scatter_chunk_pooled(pool, scratch, program, states, base, bytes, partitioner);
+                    if scratch.total_len() >= self.spill_threshold {
+                        stats.updates_generated += scratch.total_len() as u64;
+                        spill_pooled(writer, update_names, scratch, plan, kp, &mut blocked_ns)?;
+                        spilled = true;
+                    }
+                }
+            }
+            stats.updates_generated += scratch.total_len() as u64;
+            // §3.2 optimization 2: keep updates in memory when they all
+            // fit in one stream buffer — gather reads the scratch
+            // buckets in place, no disk round trip, no copy.
+            if !spilled && self.config.in_memory_updates {
+                for i in 0..scratch.num_slices() {
+                    scratch
+                        .slice_mut(i)
+                        .finish(|u| partitioner.partition_of(u.target));
+                }
+                self.mem_updates = true;
+            } else if scratch.total_len() > 0 {
+                spill_pooled(writer, update_names, scratch, plan, kp, &mut blocked_ns)?;
+            }
+            // The gather phase must observe every update: drain the
+            // writer before leaving the scatter phase.
+            let t_io = Instant::now();
+            writer.flush()?;
+            blocked_ns += t_io.elapsed().as_nanos() as u64;
+        }
+        stats.scatter_ns = t_scatter.elapsed().as_nanos() as u64;
+
+        // ---- Gather ----
+        let t_gather = Instant::now();
+        {
+            let store = &self.store;
+            let partitioner = &self.partitioner;
+            let vertices = &mut self.vertices;
+            let reader = &mut self.reader;
+            let scratch = &self.scratch;
+            let update_names = &self.update_names;
+            let usz = size_of::<TargetedUpdate<P::Update>>();
+            let mem = self.mem_updates;
+
+            if !mem {
+                reader.begin(store.read_source(&update_names[0], usz)?)?;
+            }
+            for p in partitioner.iter() {
+                if !mem && p + 1 < kp {
+                    reader.begin(store.read_source(&update_names[p + 1], usz)?)?;
+                }
+                let base = partitioner.range(p).start;
+                let mut applied = 0u64;
+                let mut changed_vertices = 0u64;
+                if mem {
+                    vertices.update_partition(store, partitioner, p, |states| {
+                        let mut changed = false;
+                        for i in 0..scratch.num_slices() {
+                            for u in scratch.slice(i).chunk(p) {
+                                applied += 1;
+                                let local = u.target as usize - base;
+                                if program.gather(&mut states[local], &u.payload) {
+                                    changed_vertices += 1;
+                                    changed = true;
+                                }
+                            }
+                        }
+                        Ok(changed)
+                    })?;
+                } else {
+                    let reader = &mut *reader;
+                    let blocked = &mut blocked_ns;
+                    vertices.update_partition(store, partitioner, p, |states| {
+                        let mut changed = false;
+                        loop {
+                            let t_io = Instant::now();
+                            let chunk = reader.next_chunk()?;
+                            *blocked += t_io.elapsed().as_nanos() as u64;
+                            let Some(bytes) = chunk else {
+                                break;
+                            };
+                            for u in RecordIter::<TargetedUpdate<P::Update>>::new(bytes) {
+                                applied += 1;
+                                let local = u.target as usize - base;
+                                if program.gather(&mut states[local], &u.payload) {
+                                    changed_vertices += 1;
+                                    changed = true;
+                                }
+                            }
+                        }
+                        Ok(changed)
+                    })?;
+                    // Truncating the stream is a TRIM (§3.3); keeping
+                    // the handle lets the next superstep append with
+                    // no open() and no allocation.
+                    store.truncate(&update_names[p])?;
+                }
+                stats.updates_applied += applied;
+                stats.vertices_changed += changed_vertices;
+            }
+        }
+        stats.gather_ns = t_gather.elapsed().as_nanos() as u64;
+
+        let snap1 = self.store.accounting().snapshot();
+        stats.bytes_read = snap1.bytes_read() - snap0.bytes_read();
+        stats.bytes_written = snap1.bytes_written() - snap0.bytes_written();
+        stats.streaming_ns = blocked_ns;
+        stats.mem_refs =
+            stats.edges_streamed * 2 + stats.updates_generated + stats.updates_applied * 2;
+        let alloc = alloc_before.delta(&alloc_stats::snapshot());
+        stats.alloc_count = alloc.count;
+        stats.alloc_bytes = alloc.bytes;
+        self.clean = true;
+        Ok(stats)
+    }
+
+    /// The allocate-per-superstep pipeline this engine used before the
+    /// pooled redesign: a fresh `AsyncWriter` (and OS thread) per
+    /// superstep, a fresh prefetch thread per stream, per-chunk
+    /// scatter `Vec`s from scoped thread spawns, a growing `pending`
+    /// buffer, and a `to_vec()` byte copy per spill run.
+    ///
+    /// Kept as the differential-testing oracle and as the baseline the
+    /// `disk_superstep` benchmark measures the pooled pipeline
+    /// against. Results are identical to
+    /// [`Self::try_scatter_gather`] up to update application order;
+    /// only the allocation, thread-spawn and overlap behavior differs.
+    pub fn try_scatter_gather_reference(&mut self, program: &P) -> Result<IterationStats> {
+        if !self.clean {
+            self.recover()?;
+        }
+        self.clean = false;
+        let alloc_before = alloc_stats::snapshot();
+        let mut stats = IterationStats::default();
+        let kp = self.partitioner.num_partitions();
+        let usz = size_of::<TargetedUpdate<P::Update>>();
         let snap0 = self.store.accounting().snapshot();
         let mut streaming_ns = 0u64;
+        let mut mem_updates: Option<xstream_storage::StreamBuffer<TargetedUpdate<P::Update>>> =
+            None;
 
-        // ---- Merged scatter + shuffle (Fig. 6) ----
+        // ---- Merged scatter + shuffle ----
         let t_scatter = Instant::now();
         let mut pending: Vec<TargetedUpdate<P::Update>> = Vec::new();
         let mut spilled = false;
         {
-            // Update-file appends run on the dedicated writer thread
-            // with depth 1: the engine shuffles and scatters the next
-            // buffer while the previous one drains (§3.3).
             let writer = AsyncWriter::new(Arc::clone(&self.store), 1)?;
             let store = &self.store;
             let partitioner = &self.partitioner;
@@ -192,41 +477,36 @@ impl<P: EdgeProgram> DiskEngine<P> {
                     streaming_ns += t_io.elapsed().as_nanos() as u64;
                     let n_edges = bytes.len() / Edge::SIZE;
                     stats.edges_streamed += n_edges as u64;
-                    // §4.3 layering: the loaded chunk is processed with
-                    // the in-memory engine's parallel primitives — here,
-                    // a parallel scatter over sub-slices of the chunk.
-                    let outputs = scatter_chunk::<P>(program, &states, base, &bytes, threads);
+                    let outputs =
+                        scatter_chunk_scoped::<P>(program, &states, base, &bytes, threads);
                     for mut o in outputs {
                         stats.updates_generated += o.len() as u64;
                         pending.append(&mut o);
                     }
                     if pending.len() >= self.spill_threshold {
                         let t_io = Instant::now();
-                        spill(&writer, partitioner, kp, &mut pending, spill_arena)?;
+                        spill_reference(&writer, partitioner, kp, &mut pending, spill_arena)?;
                         streaming_ns += t_io.elapsed().as_nanos() as u64;
                         spilled = true;
                     }
                 }
             }
-            // §3.2 optimization 2: keep updates in memory when they all
-            // fit in one stream buffer.
             if !spilled && self.config.in_memory_updates {
-                let buf = shuffle(&pending, kp, |u| partitioner.partition_of(u.target));
-                self.mem_updates = Some(buf);
+                let buf = xstream_storage::shuffle::shuffle(&pending, kp, |u| {
+                    partitioner.partition_of(u.target)
+                });
+                mem_updates = Some(buf);
             } else if !pending.is_empty() {
                 let t_io = Instant::now();
-                spill(&writer, partitioner, kp, &mut pending, spill_arena)?;
+                spill_reference(&writer, partitioner, kp, &mut pending, spill_arena)?;
                 streaming_ns += t_io.elapsed().as_nanos() as u64;
             }
-            // The gather phase must observe every update: drain the
-            // writer before leaving the scatter phase.
             writer.finish()?;
         }
         stats.scatter_ns = t_scatter.elapsed().as_nanos() as u64;
 
         // ---- Gather ----
         let t_gather = Instant::now();
-        let mem_updates = self.mem_updates.take();
         for p in self.partitioner.iter() {
             let mut states = self.vertices.load_mut(&self.store, &self.partitioner, p)?;
             let base = self.partitioner.range(p).start;
@@ -241,9 +521,7 @@ impl<P: EdgeProgram> DiskEngine<P> {
                     }
                 }
             } else {
-                let mut reader = self
-                    .store
-                    .reader_aligned(&update_stream(p), size_of::<TargetedUpdate<P::Update>>())?;
+                let mut reader = self.store.reader_aligned(&update_stream(p), usz)?;
                 loop {
                     let t_io = Instant::now();
                     let Some(bytes) = reader.next_chunk()? else {
@@ -264,7 +542,6 @@ impl<P: EdgeProgram> DiskEngine<P> {
                 self.vertices
                     .store_back(&self.store, &self.partitioner, p, &states)?;
             }
-            // Destroying the stream truncates the file — a TRIM (§3.3).
             self.store.delete(&update_stream(p))?;
         }
         stats.gather_ns = t_gather.elapsed().as_nanos() as u64;
@@ -275,15 +552,109 @@ impl<P: EdgeProgram> DiskEngine<P> {
         stats.streaming_ns = streaming_ns;
         stats.mem_refs =
             stats.edges_streamed * 2 + stats.updates_generated + stats.updates_applied * 2;
-        let _ = usz;
+        let alloc = alloc_before.delta(&alloc_stats::snapshot());
+        stats.alloc_count = alloc.count;
+        stats.alloc_bytes = alloc.bytes;
         Ok(stats)
     }
 }
 
-/// Scatters one decoded edge chunk across `threads` workers, each
-/// producing its own update slice (the §4.3 layering of in-memory
-/// parallelism over loaded disk chunks).
-fn scatter_chunk<P: EdgeProgram>(
+/// Threshold below which a loaded chunk is scattered inline instead of
+/// dispatched to the pool (the handshake is cheap but not free).
+const PARALLEL_SCATTER_MIN: usize = 4096;
+
+/// Scatters one decoded edge chunk across the pooled workers, each
+/// appending into the per-partition buckets of its own persistent
+/// scratch slice (the §4.3 layering of in-memory parallelism over
+/// loaded disk chunks, fused with the single-stage shuffle).
+fn scatter_chunk_pooled<P: EdgeProgram>(
+    pool: Option<&WorkerPool>,
+    scratch: &mut ShufflePool<TargetedUpdate<P::Update>>,
+    program: &P,
+    states: &[P::State],
+    base: usize,
+    bytes: &[u8],
+    partitioner: &Partitioner,
+) {
+    let n_edges = bytes.len() / Edge::SIZE;
+    if n_edges == 0 {
+        return;
+    }
+    let threads = scratch.num_slices();
+    let scratch_ptr = PerWorkerPtr(scratch.slices_ptr());
+    let run = |tid: usize, range: std::ops::Range<usize>| {
+        // SAFETY: each dispatch runs every tid exactly once and
+        // tid < threads == num_slices, so these `&mut` borrows are
+        // disjoint across workers.
+        let slice: &mut ShuffleScratch<_> = unsafe { scratch_ptr.get_mut(tid) };
+        let sub = &bytes[range.start * Edge::SIZE..range.end * Edge::SIZE];
+        for e in RecordIter::<Edge>::new(sub) {
+            let src_state = &states[(e.src as usize) - base];
+            if !program.needs_scatter(src_state) {
+                continue;
+            }
+            if let Some(u) = program.scatter(src_state, &e) {
+                slice.push(
+                    TargetedUpdate::new(e.dst, u),
+                    partitioner.partition_of(e.dst),
+                );
+            }
+        }
+    };
+    match pool {
+        Some(pool) if n_edges >= PARALLEL_SCATTER_MIN => {
+            let per = n_edges.div_ceil(threads);
+            let job = |tid: usize| {
+                let lo = (tid * per).min(n_edges);
+                let hi = ((tid + 1) * per).min(n_edges);
+                run(tid, lo..hi);
+            };
+            pool.run(&job);
+        }
+        _ => run(0, 0..n_edges),
+    }
+}
+
+/// Spills every scratch slice's per-partition buckets to the update
+/// files through the persistent writer: each partition's runs are
+/// copied into one recycled byte buffer and appended on the writer
+/// thread while the engine scatters the next stream buffer (§3.3).
+/// Only the time spent *blocked* — waiting for a recycled buffer or
+/// for queue backpressure — counts toward `blocked_ns`.
+fn spill_pooled<U: Record>(
+    writer: &AsyncWriter,
+    names: &[Arc<str>],
+    scratch: &mut ShufflePool<TargetedUpdate<U>>,
+    plan: MultiStagePlan,
+    kp: usize,
+    blocked_ns: &mut u64,
+) -> Result<()> {
+    for (p, name) in names.iter().enumerate().take(kp) {
+        let t_io = Instant::now();
+        let mut buf = writer.acquire();
+        *blocked_ns += t_io.elapsed().as_nanos() as u64;
+        for i in 0..scratch.num_slices() {
+            let run = scratch.slice(i).chunk(p);
+            if !run.is_empty() {
+                buf.extend_from_slice(records_as_bytes(run));
+            }
+        }
+        if buf.is_empty() {
+            writer.recycle(buf);
+            continue;
+        }
+        let t_io = Instant::now();
+        writer.submit(Arc::clone(name), buf)?;
+        *blocked_ns += t_io.elapsed().as_nanos() as u64;
+    }
+    // Rearm the buckets (capacity retained) for the next fill.
+    scratch.begin(plan);
+    Ok(())
+}
+
+/// Reference-pipeline scatter: one fresh output `Vec` per scoped
+/// worker thread per chunk.
+fn scatter_chunk_scoped<P: EdgeProgram>(
     program: &P,
     states: &[P::State],
     base: usize,
@@ -325,13 +696,10 @@ fn scatter_chunk<P: EdgeProgram>(
     })
 }
 
-/// In-memory shuffle of the pending buffer followed by per-partition
-/// appends to the update files via the background writer (the merged
-/// shuffle of Fig. 6 with the write overlap of §3.3). The shuffle
-/// reuses the engine's pooled arena: spills recur once per filled
-/// stream buffer, so the chunk array and count/offset arrays are
-/// allocated once per engine rather than once per spill.
-fn spill<U: Record>(
+/// Reference-pipeline spill: in-memory shuffle of the pending buffer
+/// through the pooled arena, then one `to_vec()` byte copy per run
+/// submitted to the per-superstep writer.
+fn spill_reference<U: Record>(
     writer: &AsyncWriter,
     partitioner: &Partitioner,
     kp: usize,
@@ -364,17 +732,15 @@ impl<P: EdgeProgram> Engine<P> for DiskEngine<P> {
 
     fn vertex_map(&mut self, f: &mut dyn FnMut(VertexId, &mut P::State)) {
         for p in self.partitioner.iter() {
-            let mut states = self
-                .vertices
-                .load_mut(&self.store, &self.partitioner, p)
-                .expect("vertex load failed");
             let base = self.partitioner.range(p).start;
-            for (i, s) in states.iter_mut().enumerate() {
-                f((base + i) as VertexId, s);
-            }
             self.vertices
-                .store_back(&self.store, &self.partitioner, p, &states)
-                .expect("vertex store failed");
+                .update_partition(&self.store, &self.partitioner, p, |states| {
+                    for (i, s) in states.iter_mut().enumerate() {
+                        f((base + i) as VertexId, s);
+                    }
+                    Ok(true)
+                })
+                .expect("vertex map failed");
         }
     }
 
@@ -547,5 +913,59 @@ mod tests {
             .with_memory_budget(1 << 10);
         let r = DiskEngine::from_graph(store, &g, &MinLabel, cfg);
         assert!(matches!(r, Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn pooled_and_reference_pipelines_agree() {
+        // The differential invariant behind the pooled redesign: both
+        // pipelines must converge to identical states on an
+        // order-insensitive program, spilled or not.
+        for (tag, in_memory_updates) in [("agree_mem", true), ("agree_spill", false)] {
+            let g = generators::preferential_attachment(300, 4, 7).to_undirected();
+            let cfg = EngineConfig {
+                in_memory_updates,
+                ..small_config()
+            };
+            let store_a = temp_store(tag);
+            let mut pooled = DiskEngine::from_graph(store_a, &g, &MinLabel, cfg.clone()).unwrap();
+            let store_b = temp_store(&format!("{tag}_ref"));
+            let mut reference = DiskEngine::from_graph(store_b, &g, &MinLabel, cfg).unwrap();
+            for step in 0..4 {
+                let a = pooled.try_scatter_gather(&MinLabel).unwrap();
+                let b = reference.try_scatter_gather_reference(&MinLabel).unwrap();
+                assert_eq!(a.edges_streamed, b.edges_streamed, "step {step}");
+                assert_eq!(a.updates_generated, b.updates_generated, "step {step}");
+                assert_eq!(a.updates_applied, b.updates_applied, "step {step}");
+                assert_eq!(pooled.states(), reference.states(), "step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixing_pipelines_on_one_engine_is_safe() {
+        // The pooled and reference supersteps share the engine's
+        // streams; alternating them must not corrupt state.
+        let g = generators::erdos_renyi(150, 1200, 3).to_undirected();
+        let store = temp_store("mixed");
+        let cfg = EngineConfig {
+            in_memory_updates: false,
+            ..small_config()
+        };
+        let mut disk = DiskEngine::from_graph(store, &g, &MinLabel, cfg).unwrap();
+        for step in 0..6 {
+            if step % 2 == 0 {
+                disk.try_scatter_gather(&MinLabel).unwrap();
+            } else {
+                disk.try_scatter_gather_reference(&MinLabel).unwrap();
+            }
+        }
+        // Converged by now on this small graph.
+        let mut mem = xstream_memory::InMemoryEngine::from_graph(
+            &g,
+            &MinLabel,
+            EngineConfig::default().with_partitions(4),
+        );
+        mem.run(&MinLabel, Termination::Converged);
+        assert_eq!(disk.states(), mem.states());
     }
 }

@@ -10,6 +10,19 @@
 //! updates — inside a [`xstream_storage::StreamStore`]. Pre-processing
 //! is a single streaming shuffle of the unordered input edge list into
 //! the per-partition edge files: no sorting, ever.
+//!
+//! Like the in-memory engine, the superstep hot path is built for a
+//! **zero-allocation, fully overlapped steady state**: a persistent
+//! read-ahead thread streams edge and update files (rolling into the
+//! next partition's file while the current one computes, §3.3), a
+//! persistent writer thread drains spills from a recycling byte-buffer
+//! pool, scatter fans loaded chunks out to a parked
+//! [`xstream_storage::WorkerPool`] whose workers append into pooled
+//! per-partition buckets, and update streams are truncated (a TRIM)
+//! rather than deleted so file handles survive across supersteps. See
+//! [`engine`] for the pipeline walk-through and
+//! [`DiskEngine::try_scatter_gather_reference`] for the retained
+//! allocate-per-superstep baseline.
 
 //! # Examples
 //!

@@ -6,8 +6,14 @@
 //! partition's vertex set lives in its own `vertices.p` file, loaded
 //! before scatter/gather over that partition and written back after a
 //! gather mutates it.
+//!
+//! Gather mutates partition states through
+//! [`VertexStorage::update_partition`], which is *in place* for the
+//! in-memory case (no copy, no write-back, no allocation — part of the
+//! engine's zero-allocation steady state) and decodes into pooled
+//! scratch buffers for the on-disk case.
 
-use xstream_core::record::{decode_records, records_as_bytes};
+use xstream_core::record::{decode_records, records_as_bytes, RecordIter};
 use xstream_core::{Partitioner, Record, Result, VertexId};
 use xstream_storage::StreamStore;
 
@@ -20,8 +26,17 @@ pub fn vertex_stream(p: usize) -> String {
 pub enum VertexStorage<S> {
     /// §3.2 optimization 1: the whole vertex array stays in memory.
     InMemory(Vec<S>),
-    /// One file per streaming partition.
-    OnDisk,
+    /// One file per streaming partition, decoded through pooled
+    /// scratch buffers (reused across partitions and supersteps).
+    OnDisk {
+        /// Decoded states of the partition being processed.
+        scratch: Vec<S>,
+        /// Raw-byte staging buffer for file loads.
+        bytes: Vec<u8>,
+        /// Interned stream names (one per partition): hot-path loads
+        /// and write-backs never format a name.
+        names: Vec<String>,
+    },
 }
 
 impl<S: Record> VertexStorage<S> {
@@ -39,14 +54,22 @@ impl<S: Record> VertexStorage<S> {
                 .collect();
             return Ok(VertexStorage::InMemory(states));
         }
+        let names: Vec<String> = partitioner.iter().map(vertex_stream).collect();
         for p in partitioner.iter() {
             let states: Vec<S> = partitioner.range(p).map(|v| init(v as VertexId)).collect();
-            store.write_replace(&vertex_stream(p), records_as_bytes(&states))?;
+            store.write_replace(&names[p], records_as_bytes(&states))?;
         }
-        Ok(VertexStorage::OnDisk)
+        Ok(VertexStorage::OnDisk {
+            scratch: Vec::new(),
+            bytes: Vec::new(),
+            names,
+        })
     }
 
     /// Loads the states of partition `p` for reading (scatter).
+    ///
+    /// Prefer [`Self::load_scatter`] on hot paths — this variant
+    /// allocates a fresh decode vector in the on-disk case.
     pub fn load(
         &self,
         store: &StreamStore,
@@ -58,15 +81,75 @@ impl<S: Record> VertexStorage<S> {
                 let range = partitioner.range(p);
                 Ok(PartitionStates::Borrowed(&states[range]))
             }
-            VertexStorage::OnDisk => {
-                let bytes = store.read_all(&vertex_stream(p))?;
+            VertexStorage::OnDisk { names, .. } => {
+                let bytes = store.read_all(&names[p])?;
                 Ok(PartitionStates::Owned(decode_records(&bytes)))
             }
         }
     }
 
-    /// Loads the states of partition `p` for mutation (gather); call
-    /// [`Self::store_back`] afterwards.
+    /// Loads the states of partition `p` for reading (scatter),
+    /// decoding on-disk partitions into the pooled scratch — the
+    /// allocation-free variant of [`Self::load`] used by the superstep
+    /// hot path.
+    pub fn load_scatter(
+        &mut self,
+        store: &StreamStore,
+        partitioner: &Partitioner,
+        p: usize,
+    ) -> Result<&[S]> {
+        match self {
+            VertexStorage::InMemory(states) => Ok(&states[partitioner.range(p)]),
+            VertexStorage::OnDisk {
+                scratch,
+                bytes,
+                names,
+            } => {
+                store.read_all_into(&names[p], bytes)?;
+                scratch.clear();
+                scratch.extend(RecordIter::<S>::new(bytes));
+                Ok(scratch)
+            }
+        }
+    }
+
+    /// Runs `f` over the mutable states of partition `p`; `f` returns
+    /// whether it changed anything. In-memory states are mutated in
+    /// place (nothing to write back); on-disk states are decoded into
+    /// the pooled scratch and written back only when changed (Fig. 6's
+    /// "write vertex set of p") — via truncate + append, so the cached
+    /// file handle survives and the write-back allocates nothing.
+    pub fn update_partition(
+        &mut self,
+        store: &StreamStore,
+        partitioner: &Partitioner,
+        p: usize,
+        f: impl FnOnce(&mut [S]) -> Result<bool>,
+    ) -> Result<bool> {
+        match self {
+            VertexStorage::InMemory(states) => f(&mut states[partitioner.range(p)]),
+            VertexStorage::OnDisk {
+                scratch,
+                bytes,
+                names,
+            } => {
+                store.read_all_into(&names[p], bytes)?;
+                scratch.clear();
+                scratch.extend(RecordIter::<S>::new(bytes));
+                let changed = f(scratch)?;
+                if changed {
+                    store.truncate(&names[p])?;
+                    store.append(&names[p], records_as_bytes(scratch))?;
+                }
+                Ok(changed)
+            }
+        }
+    }
+
+    /// Loads the states of partition `p` into an owned vector for
+    /// mutation; call [`Self::store_back`] afterwards. Prefer
+    /// [`Self::update_partition`] on hot paths — this variant copies
+    /// even the in-memory case.
     pub fn load_mut(
         &mut self,
         store: &StreamStore,
@@ -75,16 +158,15 @@ impl<S: Record> VertexStorage<S> {
     ) -> Result<Vec<S>> {
         match self {
             VertexStorage::InMemory(states) => Ok(states[partitioner.range(p)].to_vec()),
-            VertexStorage::OnDisk => {
-                let bytes = store.read_all(&vertex_stream(p))?;
+            VertexStorage::OnDisk { names, .. } => {
+                let bytes = store.read_all(&names[p])?;
                 Ok(decode_records(&bytes))
             }
         }
     }
 
-    /// Writes mutated partition states back (a no-op write-back into
-    /// the in-memory array under optimization 1; a file replace
-    /// otherwise, as in Fig. 6's "write vertex set of p").
+    /// Writes mutated partition states back (a copy into the in-memory
+    /// array under optimization 1; a file replace otherwise).
     pub fn store_back(
         &mut self,
         store: &StreamStore,
@@ -98,8 +180,8 @@ impl<S: Record> VertexStorage<S> {
                 all[range].copy_from_slice(states);
                 Ok(())
             }
-            VertexStorage::OnDisk => {
-                store.write_replace(&vertex_stream(p), records_as_bytes(states))
+            VertexStorage::OnDisk { names, .. } => {
+                store.write_replace(&names[p], records_as_bytes(states))
             }
         }
     }
@@ -108,10 +190,10 @@ impl<S: Record> VertexStorage<S> {
     pub fn collect_all(&self, store: &StreamStore, partitioner: &Partitioner) -> Result<Vec<S>> {
         match self {
             VertexStorage::InMemory(states) => Ok(states.clone()),
-            VertexStorage::OnDisk => {
+            VertexStorage::OnDisk { names, .. } => {
                 let mut out = Vec::with_capacity(partitioner.num_vertices());
                 for p in partitioner.iter() {
-                    let bytes = store.read_all(&vertex_stream(p))?;
+                    let bytes = store.read_all(&names[p])?;
                     out.extend(decode_records::<S>(&bytes));
                 }
                 Ok(out)
@@ -186,6 +268,68 @@ mod tests {
             a.collect_all(&st, &part).unwrap(),
             b.collect_all(&st, &part).unwrap()
         );
+        st.destroy().unwrap();
+    }
+
+    #[test]
+    fn update_partition_agrees_across_storage_kinds() {
+        let st = store("update");
+        let part = Partitioner::new(48, 4);
+        let mut a = VertexStorage::<u32>::initialize(&st, &part, true, |v| v).unwrap();
+        let mut b = VertexStorage::<u32>::initialize(&st, &part, false, |v| v).unwrap();
+        for p in part.iter() {
+            for vs in [&mut a, &mut b] {
+                let changed = vs
+                    .update_partition(&st, &part, p, |states| {
+                        for s in states.iter_mut() {
+                            *s *= 2;
+                        }
+                        Ok(true)
+                    })
+                    .unwrap();
+                assert!(changed);
+            }
+        }
+        let all_a = a.collect_all(&st, &part).unwrap();
+        assert_eq!(all_a, b.collect_all(&st, &part).unwrap());
+        assert_eq!(all_a[13], 26);
+        st.destroy().unwrap();
+    }
+
+    #[test]
+    fn unchanged_update_skips_write_back() {
+        let st = store("nowrite");
+        let part = Partitioner::new(16, 2);
+        let mut vs = VertexStorage::<u32>::initialize(&st, &part, false, |v| v).unwrap();
+        let before = st.accounting().snapshot().bytes_written();
+        let changed = vs.update_partition(&st, &part, 0, |_| Ok(false)).unwrap();
+        assert!(!changed);
+        assert_eq!(st.accounting().snapshot().bytes_written(), before);
+        st.destroy().unwrap();
+    }
+
+    #[test]
+    fn in_memory_update_is_in_place_and_allocation_free() {
+        let st = store("inplace");
+        let part = Partitioner::new(1024, 4);
+        let mut vs = VertexStorage::<u64>::initialize(&st, &part, true, |v| v as u64).unwrap();
+        let clean = xstream_core::alloc_stats::any_allocation_free_window(50, || {
+            for p in part.iter() {
+                vs.update_partition(&st, &part, p, |states| {
+                    for s in states.iter_mut() {
+                        *s += 1;
+                    }
+                    Ok(true)
+                })
+                .unwrap();
+            }
+        });
+        assert!(
+            clean,
+            "in-memory update_partition allocated in every window"
+        );
+        let all = vs.collect_all(&st, &part).unwrap();
+        assert!(all.iter().enumerate().all(|(v, &s)| s > v as u64));
         st.destroy().unwrap();
     }
 

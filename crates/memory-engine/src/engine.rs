@@ -38,13 +38,13 @@
 use std::mem::size_of;
 use std::time::Instant;
 
-use crate::pool::WorkerPool;
 use crate::queue::WorkQueues;
 use xstream_core::program::TargetedUpdate;
 use xstream_core::{
     alloc_stats, Edge, EdgeProgram, Engine, EngineConfig, IterationStats, Partitioner, VertexId,
 };
 use xstream_graph::EdgeList;
+use xstream_storage::pool::{PerWorkerPtr, WorkerPool};
 use xstream_storage::shuffle::{parallel_multistage_shuffle, MultiStagePlan};
 use xstream_storage::{ShufflePool, ShuffleScratch, StreamBuffer};
 
@@ -75,42 +75,6 @@ impl<S> StatesPtr<S> {
     unsafe fn partition_slice_mut(&self, range: core::ops::Range<usize>) -> &mut [S] {
         // SAFETY: forwarded to the caller per the method contract.
         unsafe { std::slice::from_raw_parts_mut(self.0.add(range.start), range.len()) }
-    }
-}
-
-/// Raw pointer wrapper granting each worker `tid` exclusive access to
-/// element `tid` of a per-worker array (scratch slices, counters).
-struct PerWorkerPtr<T>(*mut T);
-
-impl<T> Clone for PerWorkerPtr<T> {
-    fn clone(&self) -> Self {
-        *self
-    }
-}
-impl<T> Copy for PerWorkerPtr<T> {}
-
-// SAFETY: the pointer is only dereferenced through `get_mut(tid)`
-// where each dispatch runs every tid exactly once, so the produced
-// `&mut` elements are disjoint across threads. `T: Send` is required
-// because each `&mut T` hands the element itself to another thread.
-unsafe impl<T: Send> Send for PerWorkerPtr<T> {}
-// SAFETY: as above — sharing the wrapper hands out disjoint `&mut T`
-// across threads, which is a transfer of `T`, hence `T: Send`.
-unsafe impl<T: Send> Sync for PerWorkerPtr<T> {}
-
-impl<T> PerWorkerPtr<T> {
-    /// Produces the mutable element of worker `tid`.
-    ///
-    /// # Safety
-    ///
-    /// `tid` must be in bounds of the underlying array and no other
-    /// live reference to element `tid` may exist (guaranteed when each
-    /// worker of one dispatch uses only its own `tid`).
-    #[inline]
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn get_mut(&self, tid: usize) -> &mut T {
-        // SAFETY: forwarded to the caller per the method contract.
-        unsafe { &mut *self.0.add(tid) }
     }
 }
 

@@ -33,8 +33,9 @@
 //! ```
 
 pub mod engine;
-pub mod pool;
 pub mod queue;
 
 pub use engine::InMemoryEngine;
-pub use pool::WorkerPool;
+// The worker pool moved to `xstream_storage` so the out-of-core engine
+// can share it; re-exported here for backward compatibility.
+pub use xstream_storage::WorkerPool;

@@ -8,12 +8,18 @@
 //! * [`StreamStore`] — a directory of named append-only streams with
 //!   per-device accounting and truncate-on-destroy (truncation maps to
 //!   a TRIM on SSDs, §3.3),
-//! * [`ChunkReader`] — a sequential reader with *prefetch distance 1*:
-//!   a dedicated I/O thread reads the next chunk while the caller
-//!   processes the current one, emulating the paper's asynchronous
-//!   direct I/O with dedicated per-disk threads. (True `O_DIRECT` page
-//!   cache bypass is not portable to containers and is documented as a
-//!   substitution in DESIGN.md.)
+//! * [`ReadAhead`] — a *persistent* sequential reader thread with
+//!   pooled double buffers: the engine queues streams to read
+//!   ([`ReadSource`]s resolved from cached file handles), the thread
+//!   keeps one chunk in flight ahead of the consumer, and consumed
+//!   buffers recycle back — steady-state streaming spawns no threads
+//!   and performs no allocation,
+//! * [`ChunkReader`] — the one-shot variant (fresh thread + fresh
+//!   buffers per stream), kept for setup paths and the comparison
+//!   engines. Both emulate the paper's asynchronous direct I/O with
+//!   dedicated per-disk threads and prefetch distance 1. (True
+//!   `O_DIRECT` page cache bypass is not portable to containers and is
+//!   documented as a substitution in DESIGN.md.)
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -25,11 +31,27 @@ use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use crate::channel::BoundedQueue;
 use crate::iostats::{DeviceId, IoAccounting};
 use xstream_core::{Error, Result};
 
+/// Positioned read that does not move the shared handle's cursor.
+#[cfg(unix)]
+fn pread(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<usize> {
+    std::os::unix::fs::FileExt::read_at(file, buf, offset)
+}
+
+/// Positioned read that does not move the shared handle's cursor.
+#[cfg(windows)]
+fn pread(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<usize> {
+    std::os::windows::fs::FileExt::seek_read(file, buf, offset)
+}
+
 struct FileHandle {
-    file: File,
+    /// Shared so persistent readers can `pread` the stream without
+    /// reopening its path (reopening allocates and costs a syscall on
+    /// every superstep).
+    file: Arc<File>,
     len: u64,
     id: u32,
 }
@@ -109,7 +131,14 @@ impl StreamStore {
                 .open(&path)?;
             let len = file.metadata()?.len();
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-            files.insert(name.to_string(), FileHandle { file, len, id });
+            files.insert(
+                name.to_string(),
+                FileHandle {
+                    file: Arc::new(file),
+                    len,
+                    id,
+                },
+            );
         }
         f(files.get_mut(name).expect("inserted above"))
     }
@@ -121,7 +150,7 @@ impl StreamStore {
         }
         let device = (self.device_fn)(name);
         self.with_handle(name, |h| {
-            h.file.write_all(bytes)?;
+            (&*h.file).write_all(bytes)?;
             self.accounting
                 .record_write(device, h.id, h.len, bytes.len() as u64);
             h.len += bytes.len() as u64;
@@ -148,22 +177,36 @@ impl StreamStore {
 
     /// Reads the entire stream into memory in `io_unit` chunks.
     pub fn read_all(&self, name: &str) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.read_all_into(name, &mut out)?;
+        Ok(out)
+    }
+
+    /// Reads the entire stream into `out` (cleared first), reusing the
+    /// caller's buffer capacity — the pooled variant of
+    /// [`Self::read_all`] used by per-superstep hot paths.
+    pub fn read_all_into(&self, name: &str, out: &mut Vec<u8>) -> Result<()> {
         let device = (self.device_fn)(name);
-        let (id, len) = self.with_handle(name, |h| Ok((h.id, h.len)))?;
-        let mut file = File::open(self.path_of(name))?;
-        let mut out = Vec::with_capacity(len as usize);
+        let (file, id, len) = self.with_handle(name, |h| Ok((Arc::clone(&h.file), h.id, h.len)))?;
+        out.clear();
+        out.reserve(len as usize);
         let mut offset = 0u64;
-        let mut buf = vec![0u8; self.io_unit];
         loop {
-            let n = file.read(&mut buf)?;
+            let want = self.io_unit.min((len - offset) as usize);
+            if want == 0 {
+                break;
+            }
+            let start = out.len();
+            out.resize(start + want, 0);
+            let n = pread(&file, &mut out[start..], offset)?;
+            out.truncate(start + n);
             if n == 0 {
                 break;
             }
             self.accounting.record_read(device, id, offset, n as u64);
             offset += n as u64;
-            out.extend_from_slice(&buf[..n]);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Opens a prefetching sequential reader over stream `name`.
@@ -192,6 +235,28 @@ impl StreamStore {
             Arc::clone(&self.accounting),
             chunk_size.max(1),
         )
+    }
+
+    /// Resolves stream `name` into a [`ReadSource`] for a persistent
+    /// [`ReadAhead`] reader, with chunks a multiple of `record_size`
+    /// bytes (the §3.3 alignment of [`Self::reader_aligned`]).
+    ///
+    /// The source borrows the store's cached file handle (`Arc`), so
+    /// once a stream's handle exists this is allocation-free — the
+    /// property the out-of-core engine's steady state relies on.
+    pub fn read_source(&self, name: &str, record_size: usize) -> Result<ReadSource> {
+        let record_size = record_size.max(1);
+        let chunk_size = (self.io_unit / record_size).max(1) * record_size;
+        let device = (self.device_fn)(name);
+        self.with_handle(name, |h| {
+            Ok(ReadSource {
+                file: Arc::clone(&h.file),
+                id: h.id,
+                device,
+                accounting: Arc::clone(&self.accounting),
+                chunk_size,
+            })
+        })
     }
 
     /// Reads `len` bytes at `offset` from stream `name`.
@@ -247,6 +312,22 @@ impl StreamStore {
             })?;
         }
         Ok(())
+    }
+
+    /// Truncates stream `name` to zero length while *keeping its
+    /// cached handle* (the same TRIM semantics as [`Self::delete`],
+    /// §3.3, minus the unlink). The out-of-core engine truncates its
+    /// update streams after every gather instead of deleting them, so
+    /// the next superstep appends through the already-open handle
+    /// without re-opening a path — no allocation, no open syscall.
+    pub fn truncate(&self, name: &str) -> Result<()> {
+        let device = (self.device_fn)(name);
+        self.with_handle(name, |h| {
+            h.file.set_len(0)?;
+            self.accounting.record_trim(device, h.id);
+            h.len = 0;
+            Ok(())
+        })
     }
 
     /// Destroys stream `name`, truncating its file (the paper notes the
@@ -363,6 +444,258 @@ impl Drop for ChunkReader {
     }
 }
 
+/// One stream queued for a [`ReadAhead`] reader: a shared file handle
+/// plus the accounting identity of the stream. Built by
+/// [`StreamStore::read_source`].
+pub struct ReadSource {
+    file: Arc<File>,
+    id: u32,
+    device: DeviceId,
+    accounting: Arc<IoAccounting>,
+    chunk_size: usize,
+}
+
+/// Messages from the read-ahead thread to the consumer, tagged with
+/// the generation of the job that produced them so a
+/// [`ReadAhead::reset`] can invalidate everything in flight.
+enum ReadMsg {
+    /// The next chunk of the current stream.
+    Chunk(u64, Vec<u8>),
+    /// End of the current stream; subsequent messages belong to the
+    /// next queued [`ReadSource`].
+    End(u64),
+    /// The current stream failed; it is abandoned and subsequent
+    /// messages belong to the next queued source.
+    Fail(u64, std::io::Error),
+}
+
+impl ReadMsg {
+    fn generation(&self) -> u64 {
+        match self {
+            ReadMsg::Chunk(g, _) | ReadMsg::End(g) | ReadMsg::Fail(g, _) => *g,
+        }
+    }
+}
+
+/// Persistent sequential reader with a dedicated prefetch thread and
+/// pooled buffers (paper §3.3: asynchronous reads with prefetch
+/// distance 1, which the paper found sufficient to keep disks 100%
+/// busy).
+///
+/// Unlike [`ChunkReader`] — which spawns a thread and allocates fresh
+/// chunk buffers for every stream — one `ReadAhead` serves any number
+/// of streams over its lifetime: [`begin`](Self::begin) queues a
+/// [`ReadSource`], the thread streams it chunk by chunk into buffers
+/// drawn from a recycle pool, and [`next_chunk`](Self::next_chunk)
+/// returns each consumed buffer to that pool. Queueing the next stream
+/// before the current one is drained lets the thread roll straight
+/// into it — reading partition `p + 1`'s edge file while the engine
+/// still computes on partition `p`.
+///
+/// Protocol: every queued source must be drained to its end-of-stream
+/// (`next_chunk() == None`) or error before the chunks of the next
+/// queued source are visible. A consumer abandoning mid-protocol
+/// (e.g. an engine bailing out on an error) must call
+/// [`reset`](Self::reset) before reusing the reader.
+pub struct ReadAhead {
+    jobs: BoundedQueue<(ReadSource, u64)>,
+    data: BoundedQueue<ReadMsg>,
+    recycled: BoundedQueue<Vec<u8>>,
+    /// The chunk most recently handed to the consumer; recycled on the
+    /// next call.
+    current: Option<Vec<u8>>,
+    /// Consumer-side current generation; messages tagged with an older
+    /// one are discarded.
+    generation: u64,
+    /// Latest valid generation, read by the thread to abandon stale
+    /// jobs early (pure optimization — correctness comes from the
+    /// consumer-side filtering).
+    shared_generation: Arc<std::sync::atomic::AtomicU64>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ReadAhead {
+    /// Spawns the reader thread. Up to `job_depth` streams may be
+    /// queued ahead of the one being read.
+    pub fn new(job_depth: usize) -> Self {
+        let jobs: BoundedQueue<(ReadSource, u64)> = BoundedQueue::new(job_depth.max(1));
+        // Prefetch distance 1: one chunk queued while one is being
+        // consumed and one is being read.
+        let data: BoundedQueue<ReadMsg> = BoundedQueue::new(1);
+        let recycled: BoundedQueue<Vec<u8>> = BoundedQueue::new(4);
+        let shared_generation = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let thread = {
+            let jobs = jobs.clone();
+            let data = data.clone();
+            let recycled = recycled.clone();
+            let shared_generation = Arc::clone(&shared_generation);
+            std::thread::Builder::new()
+                .name("xstream-io-read".into())
+                .spawn(move || {
+                    let stale = |gen: u64| {
+                        gen < shared_generation.load(std::sync::atomic::Ordering::Relaxed)
+                    };
+                    'jobs: while let Some((src, gen)) = jobs.pop() {
+                        if stale(gen) {
+                            continue;
+                        }
+                        let mut offset = 0u64;
+                        loop {
+                            if stale(gen) {
+                                continue 'jobs;
+                            }
+                            let mut buf = recycled.try_pop().unwrap_or_default();
+                            // Recycled buffers keep their length, so in
+                            // steady state this resize is a no-op (no
+                            // re-zeroing of the whole chunk).
+                            buf.resize(src.chunk_size, 0);
+                            let mut filled = 0usize;
+                            while filled < src.chunk_size {
+                                match pread(&src.file, &mut buf[filled..], offset + filled as u64) {
+                                    Ok(0) => break,
+                                    Ok(n) => filled += n,
+                                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                                    Err(e) => {
+                                        let _ = recycled.try_push(buf);
+                                        if data.push(ReadMsg::Fail(gen, e)).is_err() {
+                                            return;
+                                        }
+                                        continue 'jobs;
+                                    }
+                                }
+                            }
+                            if filled == 0 {
+                                let _ = recycled.try_push(buf);
+                                if data.push(ReadMsg::End(gen)).is_err() {
+                                    return;
+                                }
+                                continue 'jobs;
+                            }
+                            let short = filled < src.chunk_size;
+                            buf.truncate(filled);
+                            src.accounting
+                                .record_read(src.device, src.id, offset, filled as u64);
+                            offset += filled as u64;
+                            if data.push(ReadMsg::Chunk(gen, buf)).is_err() {
+                                return;
+                            }
+                            if short {
+                                // A short chunk is end of stream; skip
+                                // the extra zero-byte read.
+                                if data.push(ReadMsg::End(gen)).is_err() {
+                                    return;
+                                }
+                                continue 'jobs;
+                            }
+                        }
+                    }
+                })
+                .expect("failed to spawn read-ahead thread")
+        };
+        Self {
+            jobs,
+            data,
+            recycled,
+            current: None,
+            generation: 0,
+            shared_generation,
+            thread: Some(thread),
+        }
+    }
+
+    /// Queues `source` for streaming; blocks only when `job_depth`
+    /// streams are already queued.
+    pub fn begin(&self, source: ReadSource) -> Result<()> {
+        self.jobs
+            .push((source, self.generation))
+            .map_err(|_| Error::Io(std::io::Error::other("read-ahead thread terminated")))
+    }
+
+    /// Returns the next chunk of the stream at the head of the queue,
+    /// or `None` at its end (after which chunks of the next queued
+    /// stream follow). The returned slice is valid until the next
+    /// call.
+    pub fn next_chunk(&mut self) -> Result<Option<&[u8]>> {
+        if let Some(buf) = self.current.take() {
+            let _ = self.recycled.try_push(buf);
+        }
+        loop {
+            let Some(msg) = self.data.pop() else {
+                return Ok(None); // Thread gone (drop in progress).
+            };
+            if msg.generation() != self.generation {
+                // Residue from before a reset: recycle and skip.
+                if let ReadMsg::Chunk(_, buf) = msg {
+                    let _ = self.recycled.try_push(buf);
+                }
+                continue;
+            }
+            return match msg {
+                ReadMsg::Chunk(_, buf) => {
+                    self.current = Some(buf);
+                    Ok(self.current.as_deref())
+                }
+                ReadMsg::End(_) => Ok(None),
+                ReadMsg::Fail(_, e) => Err(Error::Io(e)),
+            };
+        }
+    }
+
+    /// Invalidates every queued job and in-flight chunk, returning the
+    /// reader to a clean slate. Call after abandoning a stream
+    /// mid-protocol (e.g. an engine error path): queued stale jobs are
+    /// discarded here or skipped by the thread, and stale messages are
+    /// discarded here or filtered by generation on the next
+    /// [`next_chunk`](Self::next_chunk). Non-blocking.
+    pub fn reset(&mut self) {
+        self.generation += 1;
+        self.shared_generation
+            .store(self.generation, std::sync::atomic::Ordering::Relaxed);
+        if let Some(buf) = self.current.take() {
+            let _ = self.recycled.try_push(buf);
+        }
+        // Drain both queues until quiescent. Emptying `jobs` guarantees
+        // the next `begin` cannot block behind stale work even if the
+        // thread is still blocked pushing one stale message (at most
+        // two stale messages can trail this loop — the thread re-checks
+        // the generation before reading any further chunk — and the
+        // `next_chunk` filter discards them).
+        loop {
+            let mut progress = false;
+            if self.jobs.try_pop().is_some() {
+                progress = true;
+            }
+            while let Some(msg) = self.data.try_pop() {
+                if let ReadMsg::Chunk(_, buf) = msg {
+                    let _ = self.recycled.try_push(buf);
+                }
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+}
+
+impl Default for ReadAhead {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Drop for ReadAhead {
+    fn drop(&mut self) {
+        // Closing the queues unblocks the thread wherever it is.
+        self.jobs.close();
+        self.data.close();
+        self.recycled.close();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,6 +795,108 @@ mod tests {
         assert_eq!(store.len("nope"), 0);
         let mut r = store.reader("nope").unwrap();
         assert!(r.next_chunk().unwrap().is_none());
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn truncate_keeps_the_stream_usable() {
+        let store = temp_store("trunc");
+        store.append("s", b"before").unwrap();
+        store.truncate("s").unwrap();
+        assert_eq!(store.len("s"), 0);
+        store.append("s", b"after").unwrap();
+        assert_eq!(store.read_all("s").unwrap(), b"after");
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn read_ahead_reassembles_streams_in_order() {
+        let store = temp_store("readahead");
+        let a: Vec<u8> = (0..9000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let b: Vec<u8> = (0..700u32).flat_map(|i| (i * 3).to_le_bytes()).collect();
+        store.append("a", &a).unwrap();
+        store.append("b", &b).unwrap();
+        let mut reader = ReadAhead::new(2);
+        // Queue both up front: the thread rolls from `a` into `b`.
+        reader.begin(store.read_source("a", 4).unwrap()).unwrap();
+        reader.begin(store.read_source("b", 4).unwrap()).unwrap();
+        for (name, expect) in [("a", &a), ("b", &b)] {
+            let mut out = Vec::new();
+            while let Some(chunk) = reader.next_chunk().unwrap() {
+                assert!(chunk.len() <= 4096, "{name}: oversized chunk");
+                out.extend_from_slice(chunk);
+            }
+            assert_eq!(&out, expect, "stream {name}");
+        }
+        drop(reader);
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn read_ahead_empty_stream_yields_immediate_end() {
+        let store = temp_store("readahead_empty");
+        let mut reader = ReadAhead::new(1);
+        reader.begin(store.read_source("nope", 1).unwrap()).unwrap();
+        assert!(reader.next_chunk().unwrap().is_none());
+        drop(reader);
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn read_ahead_steady_state_is_allocation_free() {
+        let store = temp_store("readahead_alloc");
+        store.append("s", &vec![42u8; 40_000]).unwrap();
+        let mut reader = ReadAhead::new(1);
+        let drain = |reader: &mut ReadAhead| {
+            let src = store.read_source("s", 1).unwrap();
+            reader.begin(src).unwrap();
+            let mut total = 0usize;
+            while let Some(chunk) = reader.next_chunk().unwrap() {
+                total += chunk.len();
+            }
+            assert_eq!(total, 40_000);
+        };
+        // Warm the buffer pool and the store's handle cache.
+        drain(&mut reader);
+        let clean = xstream_core::alloc_stats::any_allocation_free_window(50, || {
+            drain(&mut reader);
+        });
+        assert!(clean, "warm read-ahead pass allocated in every window");
+        drop(reader);
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn reset_discards_abandoned_streams() {
+        let store = temp_store("readahead_reset");
+        store.append("big", &vec![1u8; 50_000]).unwrap();
+        let b: Vec<u8> = (0..500u32).flat_map(|i| i.to_le_bytes()).collect();
+        store.append("b", &b).unwrap();
+        let mut reader = ReadAhead::new(2);
+        // Abandon `big` mid-stream with another stream still queued.
+        reader.begin(store.read_source("big", 1).unwrap()).unwrap();
+        reader.begin(store.read_source("big", 1).unwrap()).unwrap();
+        let _ = reader.next_chunk().unwrap();
+        reader.reset();
+        // After the reset only `b`'s bytes may surface.
+        reader.begin(store.read_source("b", 4).unwrap()).unwrap();
+        let mut out = Vec::new();
+        while let Some(chunk) = reader.next_chunk().unwrap() {
+            out.extend_from_slice(chunk);
+        }
+        assert_eq!(out, b);
+        drop(reader);
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn dropping_read_ahead_midstream_is_clean() {
+        let store = temp_store("readahead_drop");
+        store.append("s", &vec![9u8; 100_000]).unwrap();
+        let mut reader = ReadAhead::new(1);
+        reader.begin(store.read_source("s", 1).unwrap()).unwrap();
+        let _ = reader.next_chunk().unwrap();
+        drop(reader); // Must not hang or panic.
         store.destroy().unwrap();
     }
 }

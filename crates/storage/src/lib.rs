@@ -11,12 +11,17 @@
 //! * [`scratch`] — the iteration-persistent buffer pool behind the
 //!   zero-allocation pipeline: fused first-stage scatter buckets,
 //!   in-place double stage buffers, and pooled count/offset arrays,
+//! * [`pool`] — the persistent worker pool with allocation-free
+//!   dispatch, shared by the in-memory engine's phase workers and the
+//!   out-of-core engine's per-chunk fan-out (§4.3),
+//! * [`channel`] — a pre-allocated bounded MPMC queue used by the I/O
+//!   threads, so steady-state submissions never touch the allocator,
 //! * [`filestream`] — on-disk streams with large-unit sequential I/O,
-//!   prefetch distance 1 on reads, background writer threads, and
-//!   truncate-on-destroy (§3.3),
-//! * [`writer`] — a dedicated background writer thread with bounded
-//!   depth, overlapping update-file writes with scatter computation
-//!   (§3.3's double-buffered output),
+//!   a persistent read-ahead thread with pooled double buffers
+//!   ([`ReadAhead`]), and truncate-on-destroy (§3.3),
+//! * [`writer`] — a persistent background writer thread with bounded
+//!   depth and a recycling byte-buffer pool, overlapping update-file
+//!   writes with scatter computation (§3.3's double-buffered output),
 //! * [`iostats`] — per-device byte/op accounting and event tracing
 //!   (regenerates the paper's iostat bandwidth plot, Fig. 23),
 //! * [`diskmodel`] — a parametric seek+bandwidth+RAID-0 model
@@ -24,16 +29,20 @@
 //!   used to evaluate device-level experiments on arbitrary hardware.
 
 pub mod buffer;
+pub mod channel;
 pub mod diskmodel;
 pub mod filestream;
 pub mod iostats;
+pub mod pool;
 pub mod scratch;
 pub mod shuffle;
 pub mod writer;
 
 pub use buffer::StreamBuffer;
+pub use channel::BoundedQueue;
 pub use diskmodel::DiskModel;
-pub use filestream::{ChunkReader, StreamStore};
+pub use filestream::{ChunkReader, ReadAhead, StreamStore};
 pub use iostats::{DeviceId, IoAccounting, IoSnapshot};
+pub use pool::{PerWorkerPtr, WorkerPool};
 pub use scratch::{ShuffleArena, ShufflePool, ShuffleScratch};
 pub use writer::AsyncWriter;

@@ -3,78 +3,166 @@
 //! "The writes to disk of the chunks in one output buffer are
 //! overlapped with computing the updates of the scatter phase into
 //! another output buffer." The [`AsyncWriter`] owns a dedicated I/O
-//! thread fed through a bounded channel: with depth 1 the caller can
-//! fill the next buffer while the previous one drains to storage, and
-//! submitting a third blocks until the device catches up — exactly the
-//! double-buffered backpressure the paper describes.
+//! thread fed through a pre-allocated [`BoundedQueue`]: with depth 1
+//! the caller can fill the next buffer while the previous one drains
+//! to storage, and submitting a third blocks until the device catches
+//! up — exactly the double-buffered backpressure the paper describes.
+//!
+//! The writer is designed to be *engine-persistent* rather than
+//! per-superstep:
+//!
+//! * byte buffers **recycle**: [`acquire`](AsyncWriter::acquire) hands
+//!   out a pooled buffer, [`submit`](AsyncWriter::submit) sends it to
+//!   the writer thread, and the thread returns it to the pool after
+//!   the append — steady-state spills copy into retained capacity and
+//!   never touch the allocator;
+//! * stream names travel as `Arc<str>` clones, so engines that
+//!   pre-intern their per-partition names submit without allocating;
+//! * [`flush`](AsyncWriter::flush) is a reusable drain barrier (wait
+//!   until every submitted append landed) that keeps the thread alive,
+//!   replacing the old spawn-per-superstep + `finish` pattern.
 
-use std::sync::mpsc::{sync_channel, SyncSender};
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use crate::channel::BoundedQueue;
 use crate::filestream::StreamStore;
 use xstream_core::{Error, Result};
 
-/// A write job: append `bytes` to the named stream.
-type Job = (String, Vec<u8>);
+/// A write job: append the bytes to the named stream.
+type Job = (Arc<str>, Vec<u8>);
 
-/// Dedicated writer thread over a [`StreamStore`].
+struct WriterShared {
+    /// Jobs fully processed by the writer thread (error or not).
+    completed: Mutex<u64>,
+    /// Signalled after every completed job; `flush` waits on it.
+    drained: Condvar,
+    /// First append error since the last `flush` observed it.
+    error: Mutex<Option<Error>>,
+}
+
+/// Persistent dedicated writer thread over a [`StreamStore`].
 pub struct AsyncWriter {
-    tx: Option<SyncSender<Job>>,
-    thread: Option<JoinHandle<Result<()>>>,
+    jobs: BoundedQueue<Job>,
+    recycled: BoundedQueue<Vec<u8>>,
+    /// Jobs submitted from this handle (the writer is single-producer:
+    /// one engine thread owns it).
+    submitted: Cell<u64>,
+    shared: Arc<WriterShared>,
+    thread: Option<JoinHandle<()>>,
 }
 
 impl AsyncWriter {
     /// Spawns the writer thread; `depth` buffers may be in flight
     /// before [`submit`](Self::submit) blocks (the paper uses one).
     pub fn new(store: Arc<StreamStore>, depth: usize) -> Result<Self> {
-        let (tx, rx) = sync_channel::<Job>(depth.max(1));
-        let thread = std::thread::Builder::new()
-            .name("xstream-io-write".into())
-            .spawn(move || -> Result<()> {
-                for (name, bytes) in rx {
-                    store.append(&name, &bytes)?;
-                }
-                Ok(())
-            })
-            .map_err(Error::Io)?;
+        let depth = depth.max(1);
+        let jobs: BoundedQueue<Job> = BoundedQueue::new(depth);
+        // In-flight jobs plus one buffer being filled by the caller
+        // can all return to the pool before the next acquire.
+        let recycled: BoundedQueue<Vec<u8>> = BoundedQueue::new(depth + 2);
+        let shared = Arc::new(WriterShared {
+            completed: Mutex::new(0),
+            drained: Condvar::new(),
+            error: Mutex::new(None),
+        });
+        let thread = {
+            let jobs = jobs.clone();
+            let recycled = recycled.clone();
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("xstream-io-write".into())
+                .spawn(move || {
+                    while let Some((name, mut buf)) = jobs.pop() {
+                        // After a failed append the stream is suspect;
+                        // drop further work until flush reports it.
+                        if shared.error.lock().is_none() {
+                            if let Err(e) = store.append(&name, &buf) {
+                                *shared.error.lock() = Some(e);
+                            }
+                        }
+                        buf.clear();
+                        let _ = recycled.try_push(buf);
+                        *shared.completed.lock() += 1;
+                        shared.drained.notify_all();
+                    }
+                })
+                .map_err(Error::Io)?
+        };
         Ok(Self {
-            tx: Some(tx),
+            jobs,
+            recycled,
+            submitted: Cell::new(0),
+            shared,
             thread: Some(thread),
         })
     }
 
+    /// Takes a pooled byte buffer (empty, capacity retained from prior
+    /// submissions), or a fresh one while the pool is still warming up.
+    pub fn acquire(&self) -> Vec<u8> {
+        self.recycled.try_pop().unwrap_or_default()
+    }
+
+    /// Returns an unsubmitted buffer to the pool.
+    pub fn recycle(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let _ = self.recycled.try_push(buf);
+    }
+
     /// Queues an append; blocks while `depth` writes are in flight.
-    ///
-    /// An error here means the writer thread already died; the root
-    /// cause is reported by [`finish`](Self::finish).
-    pub fn submit(&self, name: String, bytes: Vec<u8>) -> Result<()> {
-        let tx = self.tx.as_ref().expect("submit after finish");
-        tx.send((name, bytes))
+    /// The buffer returns to the [`acquire`](Self::acquire) pool once
+    /// written. Append errors surface on [`flush`](Self::flush) /
+    /// [`finish`](Self::finish).
+    pub fn submit(&self, name: impl Into<Arc<str>>, bytes: Vec<u8>) -> Result<()> {
+        self.submitted.set(self.submitted.get() + 1);
+        self.jobs
+            .push((name.into(), bytes))
             .map_err(|_| Error::Io(std::io::Error::other("async writer thread terminated")))
     }
 
-    /// Drains outstanding writes and returns the first write error, if
-    /// any.
-    pub fn finish(mut self) -> Result<()> {
-        self.finish_inner()
+    /// Drain barrier: blocks until every submitted append has been
+    /// applied (or failed), then reports the first error since the
+    /// last flush. The writer stays usable afterwards.
+    pub fn flush(&self) -> Result<()> {
+        let target = self.submitted.get();
+        {
+            let mut completed = self.shared.completed.lock();
+            while *completed < target {
+                self.shared.drained.wait(&mut completed);
+            }
+        }
+        match self.shared.error.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
-    fn finish_inner(&mut self) -> Result<()> {
-        drop(self.tx.take());
-        match self.thread.take() {
-            Some(t) => t
-                .join()
-                .map_err(|_| Error::Io(std::io::Error::other("async writer panicked")))?,
-            None => Ok(()),
+    /// Drains outstanding writes, stops the thread and returns the
+    /// first unreported write error, if any.
+    pub fn finish(mut self) -> Result<()> {
+        let drained = self.flush();
+        self.shutdown();
+        drained
+    }
+
+    fn shutdown(&mut self) {
+        self.jobs.close();
+        self.recycled.close();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
         }
     }
 }
 
 impl Drop for AsyncWriter {
     fn drop(&mut self) {
-        // Best effort drain; errors are surfaced only through `finish`.
-        let _ = self.finish_inner();
+        // Best effort drain; errors are surfaced only through `flush`
+        // or `finish`.
+        let _ = self.flush();
+        self.shutdown();
     }
 }
 
@@ -93,7 +181,7 @@ mod tests {
         let store = temp_store("order");
         let w = AsyncWriter::new(Arc::clone(&store), 1).unwrap();
         for i in 0..50u8 {
-            w.submit("s".into(), vec![i; 100]).unwrap();
+            w.submit("s", vec![i; 100]).unwrap();
         }
         w.finish().unwrap();
         let bytes = store.read_all("s").unwrap();
@@ -122,8 +210,61 @@ mod tests {
         let store = temp_store("drop");
         {
             let w = AsyncWriter::new(Arc::clone(&store), 1).unwrap();
-            w.submit("s".into(), vec![1; 10]).unwrap();
+            w.submit("s", vec![1; 10]).unwrap();
         }
         assert_eq!(store.len("s"), 10);
+    }
+
+    #[test]
+    fn flush_is_a_reusable_barrier() {
+        let store = temp_store("flush");
+        let w = AsyncWriter::new(Arc::clone(&store), 1).unwrap();
+        for superstep in 0..3u8 {
+            for _ in 0..4 {
+                w.submit("s", vec![superstep; 8]).unwrap();
+            }
+            w.flush().unwrap();
+            // Every append of this superstep is on disk at the barrier.
+            assert_eq!(store.len("s"), u64::from(superstep + 1) * 32);
+        }
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn buffers_recycle_through_the_pool() {
+        let store = temp_store("recycle");
+        let w = AsyncWriter::new(Arc::clone(&store), 1).unwrap();
+        let name: Arc<str> = Arc::from("s");
+        // Warm the pool.
+        for _ in 0..4 {
+            let mut buf = w.acquire();
+            buf.extend_from_slice(&[7u8; 1 << 12]);
+            w.submit(Arc::clone(&name), buf).unwrap();
+        }
+        w.flush().unwrap();
+        let clean = xstream_core::alloc_stats::any_allocation_free_window(50, || {
+            for _ in 0..4 {
+                let mut buf = w.acquire();
+                buf.extend_from_slice(&[7u8; 1 << 12]);
+                w.submit(Arc::clone(&name), buf).unwrap();
+            }
+            w.flush().unwrap();
+        });
+        assert!(clean, "warm submit/flush cycle allocated in every window");
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn acquired_buffers_come_back_empty() {
+        let store = temp_store("empty");
+        let w = AsyncWriter::new(Arc::clone(&store), 1).unwrap();
+        let mut buf = w.acquire();
+        buf.extend_from_slice(b"abc");
+        w.submit("s", buf).unwrap();
+        w.flush().unwrap();
+        let recycled = w.acquire();
+        assert!(recycled.is_empty());
+        w.recycle(recycled);
+        w.finish().unwrap();
     }
 }
