@@ -49,7 +49,7 @@ fn run_traced(algo: &str, g: &EdgeList, cfg: EngineConfig, tag: &str) -> Vec<IoE
     let store = temp_store(tag, cfg.io_unit, true)
         // Updates on device 1, everything else (edges, vertices) on 0 —
         // the paper's "separate disks for reading and writing".
-        .with_device_fn(|name| if name.starts_with("updates") { 1 } else { 0 });
+        .with_device_fn(2, |name| u8::from(name.starts_with("updates")));
     let trace = match algo {
         "WCC" => {
             let p = wcc::Wcc::new();

@@ -5,7 +5,7 @@ use std::path::{Path, PathBuf};
 
 use crate::args::{Args, CliError};
 use xstream_algorithms::{bfs, conductance, mcst, mis, pagerank, scc, spmv, sssp, wcc};
-use xstream_core::{EngineConfig, RunStats};
+use xstream_core::{DeviceMap, EngineConfig, RunStats};
 use xstream_disk::DiskEngine;
 use xstream_graph::fileio::{read_edge_file, write_edge_file};
 use xstream_graph::{generators, EdgeList, Rmat};
@@ -26,9 +26,15 @@ USAGE:
       print header and degree statistics of a binary edge file
 
   xstream run <algo> <FILE> [--engine mem|disk] [--threads N]
-              [--partitions K] [--memory-budget SIZE] [--io-unit SIZE]
+              [--gather-threads N] [--partitions K]
+              [--memory-budget SIZE] [--io-unit SIZE]
+              [--device-map edges=N,updates=M[,vertices=P]]
               [--iterations N] [--root V] [--store DIR]
       algos: wcc, bfs, sssp, pagerank, spmv, mis, scc, mcst, conductance
+      --gather-threads caps the disk engine's parallel gather (1 =
+      serial, paper base design); --device-map places the out-of-core
+      stream families on separate devices (Fig. 15) with one reader
+      and one writer thread striped per device
 
   xstream components <FILE> --model semi|wstream [--capacity N]
       connected components in the semi-streaming / W-Stream models
@@ -174,6 +180,9 @@ fn engine_config(args: &Args) -> Result<EngineConfig, CliError> {
     if let Some(t) = args.get_usize("threads")? {
         cfg = cfg.with_threads(t);
     }
+    if let Some(t) = args.get_usize("gather-threads")? {
+        cfg = cfg.with_gather_threads(t);
+    }
     if let Some(k) = args.get_usize("partitions")? {
         cfg = cfg.with_partitions(k);
     }
@@ -182,6 +191,14 @@ fn engine_config(args: &Args) -> Result<EngineConfig, CliError> {
     }
     if let Some(u) = args.get_bytes("io-unit")? {
         cfg = cfg.with_io_unit(u);
+    }
+    if let Some(m) = args.get("device-map") {
+        let map = DeviceMap::parse(m).ok_or_else(|| {
+            CliError::Usage(format!(
+                "--device-map expects edges=N,updates=M[,vertices=P], got `{m}`"
+            ))
+        })?;
+        cfg = cfg.with_device_map(map);
     }
     Ok(cfg)
 }
@@ -217,7 +234,12 @@ pub fn run(args: &Args) -> Result<String, CliError> {
                 .map(PathBuf::from)
                 .unwrap_or_else(|| std::env::temp_dir().join("xstream_cli_store"));
             let _ = std::fs::remove_dir_all(&dir);
-            let store = StreamStore::new(&dir, cfg.io_unit)?;
+            let mut store = StreamStore::new(&dir, cfg.io_unit)?;
+            if let Some(map) = cfg.device_map {
+                // Fig. 15 layout: the engine stripes one reader and one
+                // writer thread per declared device.
+                store = store.with_device_fn(map.num_devices(), move |name| map.device_of(name));
+            }
             run_on_disk(&algo, &graph, store, cfg, root, iterations)
         }
         other => Err(CliError::Usage(format!(
@@ -646,6 +668,61 @@ mod tests {
                 let _ = std::fs::remove_dir_all(&store);
             }
         }
+    }
+
+    #[test]
+    fn gather_threads_and_device_map_flags() {
+        let path = tmpfile("devmap.edges");
+        dispatch(&sv(&[
+            "generate",
+            "erdos-renyi",
+            "--vertices",
+            "400",
+            "--edges",
+            "2500",
+            "--undirected",
+            "-o",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let store = std::env::temp_dir().join("xstream_cli_tests_devmap");
+        let out = dispatch(&sv(&[
+            "run",
+            "wcc",
+            path.to_str().unwrap(),
+            "--engine",
+            "disk",
+            "--threads",
+            "4",
+            "--gather-threads",
+            "2",
+            "--partitions",
+            "4",
+            "--device-map",
+            "edges=0,updates=1",
+            "--memory-budget",
+            "1M",
+            "--io-unit",
+            "16K",
+            "--store",
+            store.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("components"), "{out}");
+        let _ = std::fs::remove_dir_all(&store);
+
+        // A malformed map is a usage error.
+        let err = dispatch(&sv(&[
+            "run",
+            "wcc",
+            path.to_str().unwrap(),
+            "--engine",
+            "disk",
+            "--device-map",
+            "bogus",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
     }
 
     #[test]

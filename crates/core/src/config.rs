@@ -6,11 +6,105 @@
 //! (paper §2.4, §3.4, §4). Every knob here has a paper-faithful default
 //! and can be overridden for the ablation experiments (Figs. 24/25).
 
+/// Highest device id a [`DeviceMap`] accepts, matching the storage
+/// layer's per-device accounting capacity (`iostats::MAX_DEVICES`
+/// counters — the storage crate depends on this one, so the bound is
+/// declared here and asserted equal over there by the device-striping
+/// integration tests).
+pub const MAX_MAPPED_DEVICES: u8 = 4;
+
+/// Placement of the out-of-core stream families onto storage devices
+/// (paper Fig. 15: separate edge and update devices). Device ids are
+/// small integers (below [`MAX_MAPPED_DEVICES`]) interpreted by the
+/// storage layer's accounting; the number of distinct ids determines
+/// how many I/O threads the engine stripes reads and writes across.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceMap {
+    /// Device holding the per-partition edge streams.
+    pub edges: u8,
+    /// Device holding the per-partition update streams.
+    pub updates: u8,
+    /// Device holding the per-partition vertex streams (when vertex
+    /// state is on disk); defaults to the edge device.
+    pub vertices: u8,
+}
+
+impl DeviceMap {
+    /// Edges on `edges`, updates on `updates`, vertices alongside the
+    /// edges.
+    pub fn new(edges: u8, updates: u8) -> Self {
+        Self {
+            edges,
+            updates,
+            vertices: edges,
+        }
+    }
+
+    /// Number of devices the map spans (`max id + 1`).
+    pub fn num_devices(&self) -> usize {
+        self.edges.max(self.updates).max(self.vertices) as usize + 1
+    }
+
+    /// Routes a stream name (`edges.3`, `updates.0`, `vertices.1`) to
+    /// its device; unknown families land with the edges.
+    pub fn device_of(&self, stream_name: &str) -> u8 {
+        if stream_name.starts_with("updates") {
+            self.updates
+        } else if stream_name.starts_with("vertices") {
+            self.vertices
+        } else {
+            self.edges
+        }
+    }
+
+    /// Parses the CLI form `edges=0,updates=1[,vertices=0]`. Rejects
+    /// device ids at or above [`MAX_MAPPED_DEVICES`] — the storage
+    /// layer tracks that many devices, and a larger id would silently
+    /// alias onto device `id % MAX`, losing the separation the map
+    /// asked for.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut map = DeviceMap::new(0, 0);
+        let mut saw_vertices = false;
+        for part in s.split(',') {
+            let (key, value) = part.split_once('=')?;
+            let id: u8 = value.trim().parse().ok()?;
+            if id >= MAX_MAPPED_DEVICES {
+                return None;
+            }
+            match key.trim() {
+                "edges" => map.edges = id,
+                "updates" => map.updates = id,
+                "vertices" => {
+                    map.vertices = id;
+                    saw_vertices = true;
+                }
+                _ => return None,
+            }
+        }
+        if !saw_vertices {
+            map.vertices = map.edges;
+        }
+        Some(map)
+    }
+}
+
 /// Configuration shared by the in-memory and out-of-core engines.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker threads for parallel scatter/gather/shuffle.
     pub threads: usize,
+    /// Worker threads applying independent partitions' updates
+    /// concurrently in the out-of-core gather phase (paper Fig. 14's
+    /// core-scaling regime applied to gather). `None` follows
+    /// `threads`; `Some(1)` forces the serial one-partition-at-a-time
+    /// gather of the paper's base design.
+    pub gather_threads: Option<usize>,
+    /// Placement of the out-of-core stream families onto storage
+    /// devices (Fig. 15). `None` keeps every stream on device 0. The
+    /// CLI and experiment harnesses use this to build the stream store;
+    /// the engine stripes one reader and one writer thread per device
+    /// either way, following the store's mapping.
+    pub device_map: Option<DeviceMap>,
     /// Fast-storage capacity per core for the in-memory engine: the CPU
     /// cache available to one worker (paper uses a 2 MB shared L2 per
     /// core pair on their Opteron testbed).
@@ -50,6 +144,8 @@ impl Default for EngineConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            gather_threads: None,
+            device_map: None,
             cache_size: 2 << 20,
             cache_line: 64,
             memory_budget: 1 << 30,
@@ -76,6 +172,27 @@ impl EngineConfig {
     /// Sets the number of worker threads.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the out-of-core gather parallelism (see
+    /// [`Self::gather_threads`]).
+    pub fn with_gather_threads(mut self, threads: usize) -> Self {
+        self.gather_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Effective gather parallelism: the explicit setting, capped by
+    /// `threads`, defaulting to `threads`.
+    pub fn effective_gather_threads(&self) -> usize {
+        self.gather_threads
+            .unwrap_or(self.threads)
+            .clamp(1, self.threads.max(1))
+    }
+
+    /// Sets the stream → device placement (see [`Self::device_map`]).
+    pub fn with_device_map(mut self, map: DeviceMap) -> Self {
+        self.device_map = Some(map);
         self
     }
 
@@ -208,6 +325,36 @@ mod tests {
         let large = cfg.in_memory_partitions(1 << 20, 64);
         assert!(large >= small);
         assert!(small.is_power_of_two());
+    }
+
+    #[test]
+    fn device_map_parses_and_routes() {
+        let m = DeviceMap::parse("edges=0,updates=1").unwrap();
+        assert_eq!(m, DeviceMap::new(0, 1));
+        assert_eq!(m.num_devices(), 2);
+        assert_eq!(m.device_of("edges.3"), 0);
+        assert_eq!(m.device_of("updates.0"), 1);
+        assert_eq!(m.device_of("vertices.7"), 0);
+        let m = DeviceMap::parse("edges=1,updates=0,vertices=2").unwrap();
+        assert_eq!(m.device_of("vertices.0"), 2);
+        assert_eq!(m.num_devices(), 3);
+        assert!(DeviceMap::parse("edges=x").is_none());
+        assert!(DeviceMap::parse("disks=1").is_none());
+        assert!(DeviceMap::parse("edges").is_none());
+        // Ids past the storage accounting cap would silently alias.
+        assert!(DeviceMap::parse("edges=0,updates=4").is_none());
+    }
+
+    #[test]
+    fn gather_threads_follow_and_cap_to_threads() {
+        let cfg = EngineConfig::default().with_threads(8);
+        assert_eq!(cfg.effective_gather_threads(), 8);
+        let cfg = cfg.with_gather_threads(2);
+        assert_eq!(cfg.effective_gather_threads(), 2);
+        let cfg = EngineConfig::default()
+            .with_threads(2)
+            .with_gather_threads(16);
+        assert_eq!(cfg.effective_gather_threads(), 2);
     }
 
     #[test]

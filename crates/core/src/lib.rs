@@ -33,7 +33,7 @@ pub mod stats;
 pub mod types;
 
 pub use alloc_stats::AllocSnapshot;
-pub use config::EngineConfig;
+pub use config::{DeviceMap, EngineConfig};
 pub use engine::{Engine, Termination};
 pub use error::{Error, Result};
 pub use partition::Partitioner;

@@ -1,51 +1,67 @@
 //! The out-of-core engine's main loop (paper Fig. 6), built — like the
 //! in-memory engine — around a zero-allocation, fully overlapped
-//! steady state.
+//! steady state, with every phase striped across the worker pool and
+//! every stream striped across its storage device's own I/O threads.
 //!
 //! One superstep is:
 //!
-//! 1. **Scatter + fused shuffle** — the persistent [`ReadAhead`]
-//!    thread streams each partition's edge file with prefetch
-//!    distance 1 *and rolls into the next partition's file while this
-//!    one still computes* (§3.3). Every loaded chunk fans out to the
-//!    engine's parked [`WorkerPool`] workers, which append updates
-//!    *directly into per-partition buckets* of their own pooled
-//!    [`ShuffleScratch`] slice (the §4.3 layering of the in-memory
-//!    primitives over loaded disk chunks, with the single-stage
-//!    shuffle fused into scatter). When the pooled buffers reach the
-//!    stream-buffer budget they spill: each partition's runs are
-//!    copied into a recycled byte buffer and handed to the persistent
-//!    [`AsyncWriter`] thread, which appends them to the partition's
-//!    update file while the engine scatters the next buffer (§3.3's
-//!    double-buffered output).
-//! 2. **Gather** — the read-ahead thread streams each partition's
-//!    update file (again prefetching the next partition's), and
-//!    updates are applied *in place* to the partition's vertex states
-//!    through [`VertexStorage::update_partition`]. Update streams are
-//!    truncated, not deleted (a TRIM, §3.3), so their file handles —
-//!    and the buffer pools — survive into the next superstep.
+//! 1. **Scatter + fused shuffle** — the persistent striped
+//!    [`ReadAhead`] (one prefetch thread per device of the store's
+//!    `device_fn`, Fig. 15) streams each partition's edge file with
+//!    prefetch distance 1 *and rolls into the next partition's file
+//!    while this one still computes* (§3.3). Every loaded chunk fans
+//!    out to the engine's parked [`WorkerPool`] workers, which append
+//!    updates *directly into per-partition buckets* of their own
+//!    pooled [`ShuffleScratch`] slice (the §4.3 layering of the
+//!    in-memory primitives over loaded disk chunks, with the
+//!    single-stage shuffle fused into scatter). The engine keeps
+//!    **two** such bucket pools — the paper's two output buffers —
+//!    and spills are **zero-copy**: when the filling pool reaches the
+//!    stream-buffer budget the pools swap, and each bucket run of the
+//!    full pool is submitted *by reference* to the persistent
+//!    [`AsyncWriter`] (one writer thread per device), which appends
+//!    straight from the bucket memory while the workers scatter into
+//!    the other pool (§3.3's double-buffered output without the copy).
+//! 2. **Gather** — updates generated after the last spill stay
+//!    *resident* in the filling pool and are gathered from memory (a
+//!    generalization of §3.2 optimization 2: the tail buffer exists
+//!    either way, so it never pays the disk round trip). Spilled
+//!    partitions gather from their update files; with the vertex
+//!    array in memory and more than one streaming partition, the
+//!    partitions gather **in parallel on the pool workers** — each
+//!    partition owns a disjoint vertex-state slice, so workers apply
+//!    `program.gather` with no locks, and each worker streams its own
+//!    partition's file so the load of one partition overlaps the
+//!    apply of another (Fig. 14's core scaling applied to gather; see
+//!    [`EngineConfig::gather_threads`]). The serial fallback (on-disk
+//!    vertex state, one partition, or `gather_threads = 1`) streams
+//!    files through the read-ahead thread exactly as the paper
+//!    describes. Update streams are truncated, not deleted (a TRIM,
+//!    §3.3), so their file handles — and the buffer pools — survive
+//!    into the next superstep.
 //!
 //! Two §3.2 optimizations are implemented: the vertex array stays in
 //! memory when it fits the budget, and updates skip the disk entirely
 //! (gather reads the scratch buckets directly) when one stream buffer
 //! holds the whole scatter output.
 //!
-//! All memory — scatter buckets, spill byte buffers, read chunks,
-//! vertex decode scratch, interned stream names — is owned by the
-//! engine or its two I/O threads and recycled across supersteps; both
-//! I/O threads and the worker pool are spawned once at construction.
-//! This holds for on-disk vertex state too: partition loads decode
-//! into pooled scratch ([`VertexStorage::load_scatter`]) and
-//! write-backs truncate + append through cached handles. Once every
-//! pooled buffer has seen its high-water mark, a superstep performs
-//! **no heap allocation** and spawns **no threads** (tracked in
-//! [`IterationStats::alloc_count`] via [`xstream_core::alloc_stats`]).
-//! `streaming_ns` counts only the time the superstep thread was
-//! *blocked* on stream I/O (waiting for a read chunk, for writer
-//! backpressure, or for the pre-gather drain barrier), making the
-//! Fig. 12b runtime/streaming ratios comparable to the in-memory
-//! engine's. The previous allocate-per-superstep pipeline is retained
-//! as [`DiskEngine::try_scatter_gather_reference`] for ablations,
+//! All memory — the two scatter bucket pools, spill byte buffers, read
+//! chunks, vertex decode scratch, gather stream buffers, interned
+//! stream names — is owned by the engine or its per-device I/O threads
+//! and recycled across supersteps; the I/O threads and the worker pool
+//! are spawned once at construction. This holds for on-disk vertex
+//! state too: partition loads decode into pooled scratch
+//! ([`VertexStorage::load_scatter`]) and write-backs truncate + append
+//! through cached handles. Once every pooled buffer has seen its
+//! high-water mark, a superstep performs **no heap allocation** and
+//! spawns **no threads** (tracked in [`IterationStats::alloc_count`]
+//! via [`xstream_core::alloc_stats`]). `streaming_ns` counts only the
+//! time the superstep thread was *blocked* on stream I/O (waiting for
+//! a read chunk, for writer backpressure, or for a spill/drain
+//! barrier), making the Fig. 12b runtime/streaming ratios comparable
+//! to the in-memory engine's. The previous allocate-per-superstep
+//! pipeline is retained as
+//! [`DiskEngine::try_scatter_gather_reference`] for ablations,
 //! differential tests and the `disk_superstep` benchmark baseline.
 
 use std::mem::size_of;
@@ -65,7 +81,7 @@ use xstream_graph::EdgeList;
 use xstream_storage::pool::{PerWorkerPtr, WorkerPool};
 use xstream_storage::shuffle::MultiStagePlan;
 use xstream_storage::{
-    AsyncWriter, ReadAhead, ShuffleArena, ShufflePool, ShuffleScratch, StreamStore,
+    AsyncWriter, ReadAhead, ShuffleArena, ShufflePool, ShuffleScratch, StreamStore, WriteMark,
 };
 
 /// Name of the edge stream of partition `p`.
@@ -78,6 +94,49 @@ pub fn update_stream(p: usize) -> String {
     format!("updates.{p}")
 }
 
+/// Per-worker gather counters, cache-line aligned so concurrent
+/// workers never false-share a line on their hottest loop.
+#[derive(Debug, Default, Clone, Copy)]
+#[repr(align(64))]
+struct GatherCounters {
+    applied: u64,
+    changed: u64,
+    /// Time this worker spent loading update files (`read_all_into`);
+    /// the lane-wise maximum is the gather's critical-path I/O time.
+    io_ns: u64,
+}
+
+/// Raw pointer wrapper granting pool workers access to disjoint
+/// partition sub-slices of the in-memory vertex-state array (the same
+/// pattern as the in-memory engine's gather).
+struct StatesPtr<S>(*mut S);
+
+// SAFETY: the pointer is only dereferenced through
+// `partition_slice_mut`, whose callers guarantee each partition index
+// is claimed by exactly one worker (static stride over partitions), so
+// the produced `&mut` sub-slices are disjoint. `S: Send` is required
+// because those `&mut` sub-slices hand the states themselves to other
+// threads.
+unsafe impl<S: Send> Send for StatesPtr<S> {}
+// SAFETY: as above — sharing the wrapper across threads hands out
+// disjoint `&mut [S]`, which is a transfer of `S`, hence `S: Send`.
+unsafe impl<S: Send> Sync for StatesPtr<S> {}
+
+impl<S> StatesPtr<S> {
+    /// Produces the mutable state slice of one partition.
+    ///
+    /// # Safety
+    ///
+    /// `range` must lie inside the allocation and no other live
+    /// reference (shared or unique) may overlap it.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn partition_slice_mut(&self, range: core::ops::Range<usize>) -> &mut [S] {
+        // SAFETY: forwarded to the caller per the method contract.
+        unsafe { std::slice::from_raw_parts_mut(self.0.add(range.start), range.len()) }
+    }
+}
+
 /// The out-of-core streaming engine.
 pub struct DiskEngine<P: EdgeProgram> {
     config: EngineConfig,
@@ -88,33 +147,61 @@ pub struct DiskEngine<P: EdgeProgram> {
     /// Update records buffered across all scratch slices before a
     /// spill (§3.4 stream-buffer sizing).
     spill_threshold: usize,
-    /// §3.2 optimization 2: whether the last scatter kept all updates
-    /// in the scratch buckets (gather then reads them in place).
-    mem_updates: bool,
+    /// One stream buffer's byte size (`spill_threshold` in bytes);
+    /// doubles as the memory envelope the parallel gather's lane
+    /// buffers may claim (the idle output pools' capacity).
+    stream_buffer_bytes: usize,
+    /// Updates generated after the last spill stayed resident in
+    /// `scratch`; gather reads those buckets in place (the
+    /// generalization of §3.2 optimization 2).
+    resident_updates: bool,
+    /// Whether this superstep spilled updates to the per-partition
+    /// files (gather then streams them back).
+    spilled_updates: bool,
     /// Single-stage shuffle plan over the K streaming partitions:
     /// scatter pushes route straight into per-partition buckets, so
     /// spills and in-memory gathers read final chunks with no extra
     /// pass.
     plan: MultiStagePlan,
-    /// Iteration-persistent per-worker fused scatter+shuffle slices.
+    /// Persistent per-device background writer threads with a
+    /// recycling buffer pool. Declared before the scratch pools so the
+    /// engine's drop joins the writer — draining any zero-copy spill
+    /// jobs that still point into the pools — before the pools are
+    /// freed.
+    writer: AsyncWriter,
+    /// Persistent per-device read-ahead threads with recycling buffer
+    /// pools.
+    reader: ReadAhead,
+    /// The *filling* half of the double-buffered scatter output
+    /// (§3.3): per-worker fused scatter+shuffle slices.
     scratch: ShufflePool<TargetedUpdate<P::Update>>,
+    /// The *draining* half: the pool most recently handed to the
+    /// writer by a zero-copy spill. Untouched until the barrier
+    /// covering that spill (`spill_mark`) has been waited on.
+    drain: ShufflePool<TargetedUpdate<P::Update>>,
+    /// Writer barrier token covering the last zero-copy spill's
+    /// borrowed runs; `drain` may be reused once `wait_until` passes
+    /// it.
+    spill_mark: WriteMark,
     /// Parked worker threads (`None` when single-threaded); worker 0
     /// is the calling thread.
     pool: Option<WorkerPool>,
-    /// Persistent background writer with its recycling buffer pool.
-    writer: AsyncWriter,
-    /// Persistent read-ahead thread with its recycling buffer pool.
-    reader: ReadAhead,
     /// Interned stream names: submitting a write or queueing a read
     /// clones an `Arc`, never allocates.
     edge_names: Vec<Arc<str>>,
     update_names: Vec<Arc<str>>,
+    /// Pooled per-worker byte buffers for the parallel gather's
+    /// partition update-file loads.
+    gather_bufs: Vec<Vec<u8>>,
+    /// Pooled per-worker gather statistics.
+    gather_counters: Vec<GatherCounters>,
     /// Pooled arena for the reference pipeline's per-spill shuffle.
     spill_arena: ShuffleArena<TargetedUpdate<P::Update>>,
     /// Whether the last superstep ran to completion. A superstep that
     /// bailed out mid-flight (I/O error) leaves queued read-ahead
-    /// streams and partial update files behind; the next superstep
-    /// restores stream consistency first (see [`Self::recover`]).
+    /// streams, partial update files and possibly unflushed spill jobs
+    /// behind; the next superstep restores stream consistency first
+    /// (see [`Self::recover`]).
     clean: bool,
 }
 
@@ -166,15 +253,18 @@ impl<P: EdgeProgram> DiskEngine<P> {
         let kp = partitioner.num_partitions();
         let edge_names: Vec<Arc<str>> = (0..kp).map(|p| Arc::from(edge_stream(p))).collect();
         let update_names: Vec<Arc<str>> = (0..kp).map(|p| Arc::from(update_stream(p))).collect();
+        let threads = config.threads.max(1);
 
         // Pre-processing (§3.2): stream the input, shuffle each loaded
         // chunk in memory, append per-partition runs to the edge files.
-        // The appends run on the engine's persistent writer thread so
-        // reading and shuffling the next input chunk overlaps them
-        // (§3.3) — the same writer later serves every superstep's
-        // spills.
+        // The appends run on the engine's persistent per-device writer
+        // threads so reading and shuffling the next input chunk
+        // overlaps them (§3.3) — the same writer later serves every
+        // superstep's spills. Depth `threads + 2` lets a zero-copy
+        // spill park one borrowed run per worker slice without
+        // blocking mid-submission.
         let store = Arc::new(store);
-        let writer = AsyncWriter::new(Arc::clone(&store), 1)?;
+        let writer = AsyncWriter::new(Arc::clone(&store), threads + 2)?;
         let mut num_edges = 0usize;
         {
             let mut arena: ShuffleArena<Edge> = ShuffleArena::new();
@@ -205,26 +295,32 @@ impl<P: EdgeProgram> DiskEngine<P> {
             program.init(v)
         })?;
 
-        let threads = config.threads.max(1);
         let pool = (threads > 1).then(|| WorkerPool::new(threads - 1));
+        let spill_mark = writer.submitted();
 
         Ok(Self {
             config,
-            store,
             partitioner,
             num_edges,
             vertices,
             spill_threshold,
-            mem_updates: false,
+            stream_buffer_bytes: buffer_bytes,
+            resident_updates: false,
+            spilled_updates: false,
             plan: MultiStagePlan::new(kp, kp),
-            scratch: ShufflePool::new(threads),
-            pool,
             writer,
-            // Job depth 2: the current stream plus the next one queued
-            // for cross-partition read-ahead.
-            reader: ReadAhead::new(2),
+            // Job depth 2 per device: the current stream plus the next
+            // one queued for cross-partition read-ahead (§3.3).
+            reader: ReadAhead::striped(2, store.num_devices()),
+            store,
+            scratch: ShufflePool::new(threads),
+            drain: ShufflePool::new(threads),
+            spill_mark,
+            pool,
             edge_names,
             update_names,
+            gather_bufs: vec![Vec::new(); threads],
+            gather_counters: vec![GatherCounters::default(); threads],
             spill_arena: ShuffleArena::new(),
             clean: true,
         })
@@ -233,16 +329,18 @@ impl<P: EdgeProgram> DiskEngine<P> {
     /// Restores stream consistency after a superstep abandoned
     /// mid-flight: discards queued/in-flight read-ahead streams,
     /// drains the writer (dropping its pending error — the failed
-    /// superstep already reported it), and truncates the partially
-    /// written update files so a retried superstep does not gather
-    /// stale updates. Vertex state is whatever the failed superstep
-    /// left (partitions gathered before the failure keep their
-    /// updates); exactly-once recovery would need checkpointing, which
-    /// is out of scope — this guarantees no cross-stream corruption
-    /// and no deadlock on retry.
+    /// superstep already reported it — and thereby releasing any
+    /// zero-copy spill runs still borrowing the scratch pools), and
+    /// truncates the partially written update files so a retried
+    /// superstep does not gather stale updates. Vertex state is
+    /// whatever the failed superstep left (partitions gathered before
+    /// the failure keep their updates); exactly-once recovery would
+    /// need checkpointing, which is out of scope — this guarantees no
+    /// cross-stream corruption and no deadlock on retry.
     fn recover(&mut self) -> Result<()> {
         self.reader.reset();
         let _ = self.writer.flush();
+        self.spill_mark = self.writer.submitted();
         for name in &self.update_names {
             self.store.truncate(name)?;
         }
@@ -271,16 +369,22 @@ impl<P: EdgeProgram> DiskEngine<P> {
         let kp = self.partitioner.num_partitions();
         let snap0 = self.store.accounting().snapshot();
         // Time the superstep thread spends *blocked* on stream I/O:
-        // waiting for a read chunk, for writer backpressure, or for
-        // the pre-gather drain barrier. Compute fully overlapped with
-        // I/O does not count (§3.3's measure of overlap quality).
+        // waiting for a read chunk, for writer backpressure, or for a
+        // spill/drain barrier. Compute fully overlapped with I/O does
+        // not count (§3.3's measure of overlap quality).
         let mut blocked_ns = 0u64;
 
         // ---- Merged scatter + fused shuffle (Fig. 6) ----
         let t_scatter = Instant::now();
-        self.scratch.begin(self.plan);
-        self.mem_updates = false;
-        let mut spilled = false;
+        // Rearm both output pools; each slice is rearmed on the worker
+        // that owns it, so any bucket growth is first-touched locally.
+        // (`drain` is reusable here: the previous superstep's flush —
+        // or `recover` — covered every borrowed run.)
+        self.scratch
+            .begin_first_touch(self.plan, self.pool.as_ref());
+        self.drain.begin(self.plan);
+        self.resident_updates = false;
+        self.spilled_updates = false;
         {
             let store = &self.store;
             let partitioner = &self.partitioner;
@@ -288,6 +392,8 @@ impl<P: EdgeProgram> DiskEngine<P> {
             let reader = &mut self.reader;
             let writer = &self.writer;
             let scratch = &mut self.scratch;
+            let drain = &mut self.drain;
+            let spill_mark = &mut self.spill_mark;
             let pool = self.pool.as_ref();
             let plan = self.plan;
             let edge_names = &self.edge_names;
@@ -318,101 +424,82 @@ impl<P: EdgeProgram> DiskEngine<P> {
                     scatter_chunk_pooled(pool, scratch, program, states, base, bytes, partitioner);
                     if scratch.total_len() >= self.spill_threshold {
                         stats.updates_generated += scratch.total_len() as u64;
-                        spill_pooled(writer, update_names, scratch, plan, kp, &mut blocked_ns)?;
-                        spilled = true;
+                        // Zero-copy spill: wait out the previous
+                        // spill's borrowed runs, swap the output
+                        // pools, rearm the fresh one and hand the full
+                        // one's runs to the per-device writer threads
+                        // by reference. Scatter continues into the
+                        // fresh pool while the writer drains the other
+                        // (§3.3's double-buffered output, minus the
+                        // copy).
+                        let t_io = Instant::now();
+                        writer.wait_until(*spill_mark);
+                        blocked_ns += t_io.elapsed().as_nanos() as u64;
+                        std::mem::swap(scratch, drain);
+                        scratch.begin(plan);
+                        spill_borrowed(writer, update_names, drain, kp, &mut blocked_ns)?;
+                        *spill_mark = writer.submitted();
+                        self.spilled_updates = true;
                     }
                 }
             }
-            stats.updates_generated += scratch.total_len() as u64;
-            // §3.2 optimization 2: keep updates in memory when they all
-            // fit in one stream buffer — gather reads the scratch
-            // buckets in place, no disk round trip, no copy.
-            if !spilled && self.config.in_memory_updates {
-                for i in 0..scratch.num_slices() {
-                    scratch
-                        .slice_mut(i)
-                        .finish(|u| partitioner.partition_of(u.target));
+            let tail = scratch.total_len();
+            stats.updates_generated += tail as u64;
+            if tail > 0 {
+                if self.spilled_updates || self.config.in_memory_updates {
+                    // Updates since the last spill stay resident: the
+                    // buffer exists either way, so gather reads it in
+                    // place — §3.2 optimization 2, generalized to the
+                    // tail of a spilling superstep.
+                    for i in 0..scratch.num_slices() {
+                        scratch
+                            .slice_mut(i)
+                            .finish(|u| partitioner.partition_of(u.target));
+                    }
+                    self.resident_updates = true;
+                } else {
+                    // Forced-spill configuration with everything still
+                    // buffered: the whole output goes to disk.
+                    spill_borrowed(writer, update_names, scratch, kp, &mut blocked_ns)?;
+                    self.spilled_updates = true;
                 }
-                self.mem_updates = true;
-            } else if scratch.total_len() > 0 {
-                spill_pooled(writer, update_names, scratch, plan, kp, &mut blocked_ns)?;
             }
             // The gather phase must observe every update: drain the
-            // writer before leaving the scatter phase.
+            // writer before leaving the scatter phase. (This also
+            // releases every borrowed bucket run.)
             let t_io = Instant::now();
             writer.flush()?;
+            *spill_mark = writer.submitted();
             blocked_ns += t_io.elapsed().as_nanos() as u64;
         }
         stats.scatter_ns = t_scatter.elapsed().as_nanos() as u64;
 
         // ---- Gather ----
         let t_gather = Instant::now();
-        {
-            let store = &self.store;
-            let partitioner = &self.partitioner;
-            let vertices = &mut self.vertices;
-            let reader = &mut self.reader;
-            let scratch = &self.scratch;
-            let update_names = &self.update_names;
-            let usz = size_of::<TargetedUpdate<P::Update>>();
-            let mem = self.mem_updates;
-
-            if !mem {
-                reader.begin(store.read_source(&update_names[0], usz)?)?;
-            }
-            for p in partitioner.iter() {
-                if !mem && p + 1 < kp {
-                    reader.begin(store.read_source(&update_names[p + 1], usz)?)?;
-                }
-                let base = partitioner.range(p).start;
-                let mut applied = 0u64;
-                let mut changed_vertices = 0u64;
-                if mem {
-                    vertices.update_partition(store, partitioner, p, |states| {
-                        let mut changed = false;
-                        for i in 0..scratch.num_slices() {
-                            for u in scratch.slice(i).chunk(p) {
-                                applied += 1;
-                                let local = u.target as usize - base;
-                                if program.gather(&mut states[local], &u.payload) {
-                                    changed_vertices += 1;
-                                    changed = true;
-                                }
-                            }
-                        }
-                        Ok(changed)
-                    })?;
-                } else {
-                    let reader = &mut *reader;
-                    let blocked = &mut blocked_ns;
-                    vertices.update_partition(store, partitioner, p, |states| {
-                        let mut changed = false;
-                        loop {
-                            let t_io = Instant::now();
-                            let chunk = reader.next_chunk()?;
-                            *blocked += t_io.elapsed().as_nanos() as u64;
-                            let Some(bytes) = chunk else {
-                                break;
-                            };
-                            for u in RecordIter::<TargetedUpdate<P::Update>>::new(bytes) {
-                                applied += 1;
-                                let local = u.target as usize - base;
-                                if program.gather(&mut states[local], &u.payload) {
-                                    changed_vertices += 1;
-                                    changed = true;
-                                }
-                            }
-                        }
-                        Ok(changed)
-                    })?;
-                    // Truncating the stream is a TRIM (§3.3); keeping
-                    // the handle lets the next superstep append with
-                    // no open() and no allocation.
-                    store.truncate(&update_names[p])?;
-                }
-                stats.updates_applied += applied;
-                stats.vertices_changed += changed_vertices;
-            }
+        let lanes = self.config.effective_gather_threads().min(kp.max(1));
+        let mut parallel =
+            lanes > 1 && kp > 1 && self.pool.is_some() && self.vertices.in_memory_mut().is_some();
+        if parallel && self.spilled_updates {
+            // Memory gate: each gather lane holds one whole partition
+            // update file at a time, and the two scatter output pools
+            // (~one stream buffer each) sit idle during gather — their
+            // envelope is the budget the lane buffers may claim. A
+            // partition skew that would bust it (update files are
+            // unbounded in a genuinely out-of-core run) falls back to
+            // the serial chunk-streaming gather, which is bounded by
+            // construction.
+            let max_file = self
+                .update_names
+                .iter()
+                .map(|n| self.store.len(n))
+                .max()
+                .unwrap_or(0);
+            parallel = (max_file as usize).saturating_mul(lanes) <= 2 * self.stream_buffer_bytes;
+        }
+        if parallel {
+            self.gather_parallel(program, &mut stats, lanes, &mut blocked_ns)?;
+        } else {
+            self.gather_serial(program, &mut stats, &mut blocked_ns)?;
         }
         stats.gather_ns = t_gather.elapsed().as_nanos() as u64;
 
@@ -429,8 +516,217 @@ impl<P: EdgeProgram> DiskEngine<P> {
         Ok(stats)
     }
 
+    /// Serial gather: one partition at a time on the superstep thread
+    /// (the paper's base design), streaming spilled update files
+    /// through the read-ahead threads with cross-partition prefetch,
+    /// and applying the resident tail straight from the scratch
+    /// buckets. Handles every storage combination, including on-disk
+    /// vertex state.
+    fn gather_serial(
+        &mut self,
+        program: &P,
+        stats: &mut IterationStats,
+        blocked_ns: &mut u64,
+    ) -> Result<()> {
+        let kp = self.partitioner.num_partitions();
+        let store = &self.store;
+        let partitioner = &self.partitioner;
+        let vertices = &mut self.vertices;
+        let reader = &mut self.reader;
+        let scratch = &self.scratch;
+        let update_names = &self.update_names;
+        let usz = size_of::<TargetedUpdate<P::Update>>();
+        let from_files = self.spilled_updates;
+        let resident = self.resident_updates;
+        if !from_files && !resident {
+            return Ok(());
+        }
+
+        if from_files {
+            reader.begin(store.read_source(&update_names[0], usz)?)?;
+        }
+        for p in partitioner.iter() {
+            if from_files && p + 1 < kp {
+                reader.begin(store.read_source(&update_names[p + 1], usz)?)?;
+            }
+            let base = partitioner.range(p).start;
+            let mut applied = 0u64;
+            let mut changed_vertices = 0u64;
+            {
+                let reader = &mut *reader;
+                let blocked = &mut *blocked_ns;
+                vertices.update_partition(store, partitioner, p, |states| {
+                    let mut changed = false;
+                    if from_files {
+                        loop {
+                            let t_io = Instant::now();
+                            let chunk = reader.next_chunk()?;
+                            *blocked += t_io.elapsed().as_nanos() as u64;
+                            let Some(bytes) = chunk else {
+                                break;
+                            };
+                            let it = RecordIter::<TargetedUpdate<P::Update>>::new(bytes);
+                            applied += it.remaining() as u64;
+                            for u in it {
+                                let local = u.target as usize - base;
+                                if program.gather(&mut states[local], &u.payload) {
+                                    changed_vertices += 1;
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                    if resident {
+                        for i in 0..scratch.num_slices() {
+                            let run = scratch.slice(i).chunk(p);
+                            applied += run.len() as u64;
+                            for u in run {
+                                let local = u.target as usize - base;
+                                if program.gather(&mut states[local], &u.payload) {
+                                    changed_vertices += 1;
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                    Ok(changed)
+                })?;
+            }
+            if from_files {
+                // Truncating the stream is a TRIM (§3.3); keeping the
+                // handle lets the next superstep append with no open()
+                // and no allocation.
+                store.truncate(&update_names[p])?;
+            }
+            stats.updates_applied += applied;
+            stats.vertices_changed += changed_vertices;
+        }
+        Ok(())
+    }
+
+    /// Parallel gather (requires the vertex array in memory, more than
+    /// one streaming partition, and update files small enough for the
+    /// caller's memory gate): partitions are strided across `lanes`
+    /// pool workers; each worker loads *its own* partitions' update
+    /// files — whole, one at a time — into its pooled byte buffer (so
+    /// the load of one partition overlaps the apply of another, across
+    /// devices) and applies file plus resident-tail updates to the
+    /// partition's disjoint vertex-state slice — node-parallel, no
+    /// locks. The slowest lane's cumulative load time (the phase's
+    /// critical-path I/O) is added to `blocked_ns`.
+    fn gather_parallel(
+        &mut self,
+        program: &P,
+        stats: &mut IterationStats,
+        lanes: usize,
+        blocked_ns: &mut u64,
+    ) -> Result<()> {
+        let kp = self.partitioner.num_partitions();
+        let pool = self.pool.as_ref().expect("parallel gather requires a pool");
+        let states = self
+            .vertices
+            .in_memory_mut()
+            .expect("parallel gather requires in-memory vertices");
+        debug_assert!(lanes <= self.gather_bufs.len());
+        for c in &mut self.gather_counters {
+            *c = GatherCounters::default();
+        }
+        let first_error: std::sync::Mutex<Option<Error>> = std::sync::Mutex::new(None);
+        {
+            let store = &self.store;
+            let partitioner = &self.partitioner;
+            let scratch = &self.scratch;
+            let update_names = &self.update_names;
+            let from_files = self.spilled_updates;
+            let resident = self.resident_updates;
+            let states_ptr = StatesPtr(states.as_mut_ptr());
+            let states_ptr = &states_ptr;
+            let bufs = PerWorkerPtr(self.gather_bufs.as_mut_ptr());
+            let counters = PerWorkerPtr(self.gather_counters.as_mut_ptr());
+            let first_error = &first_error;
+            let job = |tid: usize| {
+                if tid >= lanes {
+                    return;
+                }
+                // SAFETY: each dispatch runs every tid exactly once
+                // and tid < lanes <= len of both arrays, so these
+                // `&mut` borrows are disjoint across workers.
+                let buf: &mut Vec<u8> = unsafe { bufs.get_mut(tid) };
+                let ctr: &mut GatherCounters = unsafe { counters.get_mut(tid) };
+                // Static stride: worker t owns partitions t, t+lanes,…
+                // — a fixed disjoint claim, so the state sub-slices
+                // below never alias.
+                let mut p = tid;
+                while p < kp {
+                    let range = partitioner.range(p);
+                    let base = range.start;
+                    // SAFETY: partition ranges are disjoint and each
+                    // partition is claimed by exactly one worker.
+                    let part_states = unsafe { states_ptr.partition_slice_mut(range) };
+                    if from_files {
+                        let t_io = Instant::now();
+                        let loaded = store.read_all_into(&update_names[p], buf);
+                        ctr.io_ns += t_io.elapsed().as_nanos() as u64;
+                        if let Err(e) = loaded {
+                            if let Ok(mut slot) = first_error.lock() {
+                                slot.get_or_insert(e);
+                            }
+                            return;
+                        }
+                        let it = RecordIter::<TargetedUpdate<P::Update>>::new(buf);
+                        ctr.applied += it.remaining() as u64;
+                        for u in it {
+                            let local = u.target as usize - base;
+                            if program.gather(&mut part_states[local], &u.payload) {
+                                ctr.changed += 1;
+                            }
+                        }
+                    }
+                    if resident {
+                        for i in 0..scratch.num_slices() {
+                            let run = scratch.slice(i).chunk(p);
+                            ctr.applied += run.len() as u64;
+                            for u in run {
+                                let local = u.target as usize - base;
+                                if program.gather(&mut part_states[local], &u.payload) {
+                                    ctr.changed += 1;
+                                }
+                            }
+                        }
+                    }
+                    p += lanes;
+                }
+            };
+            pool.run(&job);
+        }
+        if let Some(e) = first_error.into_inner().unwrap_or(None) {
+            return Err(e);
+        }
+        for c in &self.gather_counters {
+            stats.updates_applied += c.applied;
+            stats.vertices_changed += c.changed;
+        }
+        // The gather's critical-path I/O: the slowest lane's cumulative
+        // file-load time. Lane loads overlap each other and the other
+        // lanes' applies, so the max — not the sum — is what gates the
+        // phase (keeps `streaming_ns` comparable with the serial
+        // path's blocked-read accounting).
+        *blocked_ns += self
+            .gather_counters
+            .iter()
+            .map(|c| c.io_ns)
+            .max()
+            .unwrap_or(0);
+        if self.spilled_updates {
+            for name in &self.update_names {
+                self.store.truncate(name)?;
+            }
+        }
+        Ok(())
+    }
+
     /// The allocate-per-superstep pipeline this engine used before the
-    /// pooled redesign: a fresh `AsyncWriter` (and OS thread) per
+    /// pooled redesign: a fresh `AsyncWriter` (and OS thread set) per
     /// superstep, a fresh prefetch thread per stream, per-chunk
     /// scatter `Vec`s from scoped thread spawns, a growing `pending`
     /// buffer, and a `to_vec()` byte copy per spill run.
@@ -615,40 +911,72 @@ fn scatter_chunk_pooled<P: EdgeProgram>(
     }
 }
 
-/// Spills every scratch slice's per-partition buckets to the update
-/// files through the persistent writer: each partition's runs are
-/// copied into one recycled byte buffer and appended on the writer
-/// thread while the engine scatters the next stream buffer (§3.3).
-/// Only the time spent *blocked* — waiting for a recycled buffer or
-/// for queue backpressure — counts toward `blocked_ns`.
-fn spill_pooled<U: Record>(
+/// Bucket runs below this size are coalesced into one pooled buffer
+/// per partition instead of submitted zero-copy: with many slices and
+/// partitions the per-slice runs can shrink far below the large
+/// sequential writes the paper's I/O model assumes, and the per-append
+/// overhead (syscall + accounting) then outweighs the saved copy.
+const BORROW_MIN_BYTES: usize = 64 << 10;
+
+/// Zero-copy spill: submits every large bucket run of `full` to the
+/// per-device writer threads *by reference* — no byte buffer, no copy;
+/// the writer appends straight from the bucket memory. Runs smaller
+/// than [`BORROW_MIN_BYTES`] are coalesced per partition into a
+/// recycled buffer first (one large append instead of many small
+/// ones); submission order within each stream is preserved either way.
+/// The caller must not mutate `full` until a writer barrier
+/// ([`AsyncWriter::wait_until`] with a [`WriteMark`] taken after this
+/// call, or [`AsyncWriter::flush`]) covers these submissions — the
+/// engine's ping-pong output pools provide exactly that window. Only
+/// the time spent *blocked* on writer backpressure counts toward
+/// `blocked_ns`.
+fn spill_borrowed<U: Record>(
     writer: &AsyncWriter,
     names: &[Arc<str>],
-    scratch: &mut ShufflePool<TargetedUpdate<U>>,
-    plan: MultiStagePlan,
+    full: &ShufflePool<TargetedUpdate<U>>,
     kp: usize,
     blocked_ns: &mut u64,
 ) -> Result<()> {
     for (p, name) in names.iter().enumerate().take(kp) {
-        let t_io = Instant::now();
-        let mut buf = writer.acquire();
-        *blocked_ns += t_io.elapsed().as_nanos() as u64;
-        for i in 0..scratch.num_slices() {
-            let run = scratch.slice(i).chunk(p);
-            if !run.is_empty() {
-                buf.extend_from_slice(records_as_bytes(run));
+        let mut coalesced: Option<Vec<u8>> = None;
+        for i in 0..full.num_slices() {
+            let run = full.slice(i).chunk(p);
+            if run.is_empty() {
+                continue;
+            }
+            let bytes = records_as_bytes(run);
+            if bytes.len() >= BORROW_MIN_BYTES {
+                // Keep the stream's byte order: flush the pending
+                // small-run buffer before this larger run.
+                if let Some(buf) = coalesced.take() {
+                    let t_io = Instant::now();
+                    writer.submit(Arc::clone(name), buf)?;
+                    *blocked_ns += t_io.elapsed().as_nanos() as u64;
+                }
+                let t_io = Instant::now();
+                // SAFETY: the engine keeps `full` alive and unmutated
+                // until the next `wait_until`/`flush` barrier
+                // (ping-pong contract documented above).
+                unsafe {
+                    writer.submit_borrowed(Arc::clone(name), bytes.as_ptr(), bytes.len())?;
+                }
+                *blocked_ns += t_io.elapsed().as_nanos() as u64;
+            } else {
+                coalesced
+                    .get_or_insert_with(|| writer.acquire())
+                    .extend_from_slice(bytes);
             }
         }
-        if buf.is_empty() {
-            writer.recycle(buf);
-            continue;
+        if let Some(buf) = coalesced {
+            if buf.is_empty() {
+                writer.recycle(buf);
+            } else {
+                let t_io = Instant::now();
+                writer.submit(Arc::clone(name), buf)?;
+                *blocked_ns += t_io.elapsed().as_nanos() as u64;
+            }
         }
-        let t_io = Instant::now();
-        writer.submit(Arc::clone(name), buf)?;
-        *blocked_ns += t_io.elapsed().as_nanos() as u64;
     }
-    // Rearm the buckets (capacity retained) for the next fill.
-    scratch.begin(plan);
     Ok(())
 }
 
@@ -919,12 +1247,19 @@ mod tests {
     fn pooled_and_reference_pipelines_agree() {
         // The differential invariant behind the pooled redesign: both
         // pipelines must converge to identical states on an
-        // order-insensitive program, spilled or not.
-        for (tag, in_memory_updates) in [("agree_mem", true), ("agree_spill", false)] {
+        // order-insensitive program, spilled or not, at every gather
+        // parallelism.
+        for (tag, in_memory_updates, gather_threads) in [
+            ("agree_mem", true, 4),
+            ("agree_spill", false, 1),
+            ("agree_spill_par", false, 4),
+        ] {
             let g = generators::preferential_attachment(300, 4, 7).to_undirected();
             let cfg = EngineConfig {
                 in_memory_updates,
                 ..small_config()
+                    .with_threads(4)
+                    .with_gather_threads(gather_threads)
             };
             let store_a = temp_store(tag);
             let mut pooled = DiskEngine::from_graph(store_a, &g, &MinLabel, cfg.clone()).unwrap();
@@ -933,10 +1268,13 @@ mod tests {
             for step in 0..4 {
                 let a = pooled.try_scatter_gather(&MinLabel).unwrap();
                 let b = reference.try_scatter_gather_reference(&MinLabel).unwrap();
-                assert_eq!(a.edges_streamed, b.edges_streamed, "step {step}");
-                assert_eq!(a.updates_generated, b.updates_generated, "step {step}");
-                assert_eq!(a.updates_applied, b.updates_applied, "step {step}");
-                assert_eq!(pooled.states(), reference.states(), "step {step}");
+                assert_eq!(a.edges_streamed, b.edges_streamed, "{tag} step {step}");
+                assert_eq!(
+                    a.updates_generated, b.updates_generated,
+                    "{tag} step {step}"
+                );
+                assert_eq!(a.updates_applied, b.updates_applied, "{tag} step {step}");
+                assert_eq!(pooled.states(), reference.states(), "{tag} step {step}");
             }
         }
     }
@@ -967,5 +1305,63 @@ mod tests {
         );
         mem.run(&MinLabel, Termination::Converged);
         assert_eq!(disk.states(), mem.states());
+    }
+
+    #[test]
+    fn gather_parallelism_sweep_matches_serial() {
+        // Forced spill with several partitions: 1/2/4 gather lanes must
+        // all converge to the serial result.
+        let g = generators::erdos_renyi(600, 4000, 33).to_undirected();
+        let cfg_base = EngineConfig {
+            in_memory_updates: false,
+            ..EngineConfig::default()
+                .with_threads(4)
+                .with_io_unit(8192)
+                .with_memory_budget(1 << 20)
+                .with_partitions(8)
+        };
+        let expected = {
+            let store = temp_store("gsweep_serial");
+            let cfg = cfg_base.clone().with_gather_threads(1);
+            let mut disk = DiskEngine::from_graph(store, &g, &MinLabel, cfg).unwrap();
+            disk.run(&MinLabel, Termination::Converged);
+            disk.states()
+        };
+        assert!(expected.iter().all(|&l| l == 0));
+        for lanes in [2usize, 4] {
+            let store = temp_store(&format!("gsweep_{lanes}"));
+            let cfg = cfg_base.clone().with_gather_threads(lanes);
+            let mut disk = DiskEngine::from_graph(store, &g, &MinLabel, cfg).unwrap();
+            disk.run(&MinLabel, Termination::Converged);
+            assert_eq!(disk.states(), expected, "gather_threads={lanes}");
+        }
+    }
+
+    #[test]
+    fn resident_tail_skips_the_disk_round_trip() {
+        // A spilling superstep leaves its post-spill tail in memory:
+        // the bytes written must cover only the spilled prefix, and
+        // gather must still apply every update.
+        // Enough updates to cross the 1 MB spill threshold at least
+        // once, with a remainder left over as the resident tail.
+        let g = generators::erdos_renyi(2000, 70_000, 13).to_undirected();
+        let store = temp_store("tail");
+        let cfg = EngineConfig {
+            in_memory_updates: false,
+            ..small_config()
+        };
+        let mut disk = DiskEngine::from_graph(store, &g, &MinLabel, cfg).unwrap();
+        let it = disk.try_scatter_gather(&MinLabel).unwrap();
+        let usz = size_of::<TargetedUpdate<u32>>() as u64;
+        assert!(it.updates_generated > 0);
+        assert_eq!(it.updates_applied, it.updates_generated);
+        // Spills happened, but not every update hit the disk.
+        assert!(it.bytes_written > 0, "spill path not exercised");
+        assert!(
+            it.bytes_written < it.updates_generated * usz,
+            "resident tail was written to disk anyway ({} >= {})",
+            it.bytes_written,
+            it.updates_generated * usz
+        );
     }
 }

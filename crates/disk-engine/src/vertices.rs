@@ -113,6 +113,18 @@ impl<S: Record> VertexStorage<S> {
         }
     }
 
+    /// Mutable view of the whole in-memory vertex array, or `None`
+    /// when states live in per-partition files. The parallel gather
+    /// path uses this to hand disjoint partition sub-slices to pool
+    /// workers (each partition's range is owned by exactly one worker,
+    /// so the sub-slices never alias).
+    pub fn in_memory_mut(&mut self) -> Option<&mut [S]> {
+        match self {
+            VertexStorage::InMemory(states) => Some(states),
+            VertexStorage::OnDisk { .. } => None,
+        }
+    }
+
     /// Runs `f` over the mutable states of partition `p`; `f` returns
     /// whether it changed anything. In-memory states are mutated in
     /// place (nothing to write back); on-disk states are decoded into

@@ -437,8 +437,11 @@ impl<P: EdgeProgram> Engine<P> for InMemoryEngine<P> {
         let threads = self.config.threads.max(1);
         debug_assert_eq!(self.scratch.num_slices(), threads);
 
-        // Rearm the pooled state (no allocation once warm).
-        self.scratch.begin(self.plan);
+        // Rearm the pooled state (no allocation once warm); each
+        // worker rearms its own slice so any bucket-spine growth is
+        // first-touched — and on NUMA, placed — by its owner.
+        self.scratch
+            .begin_first_touch(self.plan, self.pool.as_ref());
         for c in &mut self.counters {
             *c = WorkerCounters::default();
         }
@@ -553,11 +556,15 @@ impl<P: EdgeProgram> Engine<P> for InMemoryEngine<P> {
         // re-allocating toward capacities a sibling already reached.
         // The budget (2× a slice's fair share of this iteration's
         // update volume, floored for small runs) bounds the mirrored
-        // memory when scheduling is extremely skewed. Counted against
-        // this iteration's allocation stats (it ran within the
-        // snapshot window), and free once converged.
+        // memory when scheduling is extremely skewed. Each worker
+        // performs — and first-touches — its own slice's mirrored
+        // growth, so the pages land NUMA-local to the thread that will
+        // fill them. Counted against this iteration's allocation stats
+        // (it ran within the snapshot window), and free once
+        // converged.
         let fair_share = 2 * self.scratch.total_len() / self.scratch.num_slices().max(1);
-        self.scratch.equalize_capacity(fair_share.max(64 * 1024));
+        self.scratch
+            .equalize_capacity_first_touch(fair_share.max(64 * 1024), self.pool.as_ref());
 
         // The fused first stage rides along with scatter's writes, so
         // the shuffle performs only `stages - 1` whole-stream copies.

@@ -1,4 +1,4 @@
-//! On-disk streams (paper §3, §3.3).
+//! On-disk streams (paper §3, §3.3, Fig. 15).
 //!
 //! The out-of-core engine stores three files per streaming partition
 //! (vertices, edges, updates) and accesses them strictly as streams:
@@ -7,13 +7,20 @@
 //!
 //! * [`StreamStore`] — a directory of named append-only streams with
 //!   per-device accounting and truncate-on-destroy (truncation maps to
-//!   a TRIM on SSDs, §3.3),
-//! * [`ReadAhead`] — a *persistent* sequential reader thread with
-//!   pooled double buffers: the engine queues streams to read
-//!   ([`ReadSource`]s resolved from cached file handles), the thread
-//!   keeps one chunk in flight ahead of the consumer, and consumed
-//!   buffers recycle back — steady-state streaming spawns no threads
-//!   and performs no allocation,
+//!   a TRIM on SSDs, §3.3). A `device_fn` maps stream names to device
+//!   ids ([`StreamStore::with_device_fn`]), which places e.g. the edge
+//!   and update streams on different devices — the paper's Fig. 15
+//!   "independent disks" layout — and tells the I/O machinery how many
+//!   threads to stripe across ([`StreamStore::num_devices`]),
+//! * [`ReadAhead`] — a *persistent* striped reader: **one sequential
+//!   prefetch thread per device**, each with its own job queue and
+//!   pooled double buffers. The engine queues streams to read
+//!   ([`ReadSource`]s resolved from cached file handles); each source
+//!   is routed to its device's thread, so streams on different devices
+//!   prefetch concurrently while the consumer still sees queued
+//!   streams strictly in [`begin`](ReadAhead::begin) order. Consumed
+//!   buffers recycle into per-device pools — steady-state streaming
+//!   spawns no threads and performs no allocation,
 //! * [`ChunkReader`] — the one-shot variant (fresh thread + fresh
 //!   buffers per stream), kept for setup paths and the comparison
 //!   engines. Both emulate the paper's asynchronous direct I/O with
@@ -61,6 +68,7 @@ pub struct StreamStore {
     root: PathBuf,
     accounting: Arc<IoAccounting>,
     device_fn: Arc<dyn Fn(&str) -> DeviceId + Send + Sync>,
+    num_devices: usize,
     io_unit: usize,
     files: Mutex<HashMap<String, FileHandle>>,
     next_id: AtomicU32,
@@ -76,6 +84,7 @@ impl StreamStore {
             root: root.to_path_buf(),
             accounting: Arc::new(IoAccounting::new(false)),
             device_fn: Arc::new(|_| 0),
+            num_devices: 1,
             io_unit: io_unit.max(4096),
             files: Mutex::new(HashMap::new()),
             next_id: AtomicU32::new(0),
@@ -89,14 +98,31 @@ impl StreamStore {
         self
     }
 
-    /// Sets the stream-name → device mapping, letting experiments place
-    /// the edge and update streams on different devices (Fig. 15).
+    /// Sets the stream-name → device mapping over `num_devices`
+    /// devices, letting experiments place the edge and update streams
+    /// on different devices (Fig. 15). `device_fn` must return ids
+    /// below `num_devices` (capped at [`MAX_DEVICES`]); the persistent
+    /// I/O machinery ([`ReadAhead`], `AsyncWriter`) spawns one thread
+    /// per declared device.
     pub fn with_device_fn(
         mut self,
+        num_devices: usize,
         device_fn: impl Fn(&str) -> DeviceId + Send + Sync + 'static,
     ) -> Self {
         self.device_fn = Arc::new(device_fn);
+        self.num_devices = num_devices.clamp(1, crate::iostats::MAX_DEVICES);
         self
+    }
+
+    /// Number of storage devices the `device_fn` maps streams onto
+    /// (1 unless [`Self::with_device_fn`] declared more).
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// The device stream `name` is mapped to.
+    pub fn device_of(&self, name: &str) -> DeviceId {
+        (self.device_fn)(name)
     }
 
     /// The accounting sink.
@@ -477,60 +503,89 @@ impl ReadMsg {
     }
 }
 
-/// Persistent sequential reader with a dedicated prefetch thread and
-/// pooled buffers (paper §3.3: asynchronous reads with prefetch
-/// distance 1, which the paper found sufficient to keep disks 100%
-/// busy).
+/// The per-device half of a [`ReadAhead`]: one prefetch thread's job,
+/// data and recycle queues.
+struct ReadLane {
+    jobs: BoundedQueue<(ReadSource, u64)>,
+    data: BoundedQueue<ReadMsg>,
+    recycled: BoundedQueue<Vec<u8>>,
+}
+
+/// Persistent striped sequential reader: one dedicated prefetch thread
+/// **per storage device**, each with pooled buffers (paper §3.3:
+/// asynchronous reads with prefetch distance 1, which the paper found
+/// sufficient to keep disks 100% busy; Fig. 15: independent devices
+/// serviced by independent threads).
 ///
 /// Unlike [`ChunkReader`] — which spawns a thread and allocates fresh
 /// chunk buffers for every stream — one `ReadAhead` serves any number
 /// of streams over its lifetime: [`begin`](Self::begin) queues a
-/// [`ReadSource`], the thread streams it chunk by chunk into buffers
-/// drawn from a recycle pool, and [`next_chunk`](Self::next_chunk)
-/// returns each consumed buffer to that pool. Queueing the next stream
-/// before the current one is drained lets the thread roll straight
-/// into it — reading partition `p + 1`'s edge file while the engine
-/// still computes on partition `p`.
+/// [`ReadSource`] on the thread of the device the stream lives on, the
+/// thread streams it chunk by chunk into buffers drawn from its
+/// recycle pool, and [`next_chunk`](Self::next_chunk) returns each
+/// consumed buffer to that pool. Queueing the next stream before the
+/// current one is drained lets a device thread roll straight into it —
+/// reading partition `p + 1`'s edge file while the engine still
+/// computes on partition `p` — and streams queued on *different*
+/// devices prefetch fully concurrently, so a slow device never stalls
+/// the other's thread.
 ///
-/// Protocol: every queued source must be drained to its end-of-stream
-/// (`next_chunk() == None`) or error before the chunks of the next
-/// queued source are visible. A consumer abandoning mid-protocol
-/// (e.g. an engine bailing out on an error) must call
-/// [`reset`](Self::reset) before reusing the reader.
+/// Protocol: the consumer sees queued sources strictly in
+/// [`begin`](Self::begin) order regardless of their devices; every
+/// queued source must be drained to its end-of-stream (`next_chunk()
+/// == None`) or error before the chunks of the next queued source are
+/// visible. A consumer abandoning mid-protocol (e.g. an engine bailing
+/// out on an error) must call [`reset`](Self::reset) before reusing
+/// the reader.
 pub struct ReadAhead {
-    jobs: BoundedQueue<(ReadSource, u64)>,
-    data: BoundedQueue<ReadMsg>,
-    recycled: BoundedQueue<Vec<u8>>,
-    /// The chunk most recently handed to the consumer; recycled on the
-    /// next call.
-    current: Option<Vec<u8>>,
+    lanes: Vec<ReadLane>,
+    /// Device lane of each queued-but-undrained source, in `begin`
+    /// order; the consumer pops chunks from the front lane. Capacity
+    /// is pre-reserved so steady-state queueing never allocates.
+    pending: std::collections::VecDeque<usize>,
+    /// The chunk most recently handed to the consumer (and its lane);
+    /// recycled on the next call.
+    current: Option<(usize, Vec<u8>)>,
     /// Consumer-side current generation; messages tagged with an older
     /// one are discarded.
     generation: u64,
-    /// Latest valid generation, read by the thread to abandon stale
+    /// Latest valid generation, read by the threads to abandon stale
     /// jobs early (pure optimization — correctness comes from the
     /// consumer-side filtering).
     shared_generation: Arc<std::sync::atomic::AtomicU64>,
-    thread: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl ReadAhead {
-    /// Spawns the reader thread. Up to `job_depth` streams may be
-    /// queued ahead of the one being read.
+    /// Spawns one reader thread for a single-device store; up to
+    /// `job_depth` streams may be queued ahead of the one being read.
     pub fn new(job_depth: usize) -> Self {
-        let jobs: BoundedQueue<(ReadSource, u64)> = BoundedQueue::new(job_depth.max(1));
-        // Prefetch distance 1: one chunk queued while one is being
-        // consumed and one is being read.
-        let data: BoundedQueue<ReadMsg> = BoundedQueue::new(1);
-        let recycled: BoundedQueue<Vec<u8>> = BoundedQueue::new(4);
+        Self::striped(job_depth, 1)
+    }
+
+    /// Spawns one reader thread per device. Up to `job_depth` streams
+    /// may be queued ahead of the one being read *per device*; sources
+    /// route to lane `device % num_devices`.
+    pub fn striped(job_depth: usize, num_devices: usize) -> Self {
+        let job_depth = job_depth.max(1);
+        let num_devices = num_devices.clamp(1, crate::iostats::MAX_DEVICES);
         let shared_generation = Arc::new(std::sync::atomic::AtomicU64::new(0));
-        let thread = {
-            let jobs = jobs.clone();
-            let data = data.clone();
-            let recycled = recycled.clone();
+        let mut lanes = Vec::with_capacity(num_devices);
+        let mut threads = Vec::with_capacity(num_devices);
+        for d in 0..num_devices {
+            let lane = ReadLane {
+                jobs: BoundedQueue::new(job_depth),
+                // Prefetch distance 1: one chunk queued while one is
+                // being consumed and one is being read.
+                data: BoundedQueue::new(1),
+                recycled: BoundedQueue::new(4),
+            };
+            let jobs = lane.jobs.clone();
+            let data = lane.data.clone();
+            let recycled = lane.recycled.clone();
             let shared_generation = Arc::clone(&shared_generation);
-            std::thread::Builder::new()
-                .name("xstream-io-read".into())
+            let thread = std::thread::Builder::new()
+                .name(format!("xstream-io-read-{d}"))
                 .spawn(move || {
                     let stale = |gen: u64| {
                         gen < shared_generation.load(std::sync::atomic::Ordering::Relaxed)
@@ -590,86 +645,103 @@ impl ReadAhead {
                         }
                     }
                 })
-                .expect("failed to spawn read-ahead thread")
-        };
+                .expect("failed to spawn read-ahead thread");
+            lanes.push(lane);
+            threads.push(thread);
+        }
         Self {
-            jobs,
-            data,
-            recycled,
+            pending: std::collections::VecDeque::with_capacity(num_devices * job_depth + 2),
+            lanes,
             current: None,
             generation: 0,
             shared_generation,
-            thread: Some(thread),
+            threads,
         }
     }
 
-    /// Queues `source` for streaming; blocks only when `job_depth`
-    /// streams are already queued.
-    pub fn begin(&self, source: ReadSource) -> Result<()> {
-        self.jobs
+    /// Queues `source` for streaming on its device's thread; blocks
+    /// only when `job_depth` streams are already queued on that device.
+    pub fn begin(&mut self, source: ReadSource) -> Result<()> {
+        let lane = source.device as usize % self.lanes.len();
+        self.lanes[lane]
+            .jobs
             .push((source, self.generation))
-            .map_err(|_| Error::Io(std::io::Error::other("read-ahead thread terminated")))
+            .map_err(|_| Error::Io(std::io::Error::other("read-ahead thread terminated")))?;
+        self.pending.push_back(lane);
+        Ok(())
     }
 
     /// Returns the next chunk of the stream at the head of the queue,
     /// or `None` at its end (after which chunks of the next queued
-    /// stream follow). The returned slice is valid until the next
-    /// call.
+    /// stream follow; with nothing queued, `None` immediately). The
+    /// returned slice is valid until the next call.
     pub fn next_chunk(&mut self) -> Result<Option<&[u8]>> {
-        if let Some(buf) = self.current.take() {
-            let _ = self.recycled.try_push(buf);
+        if let Some((lane, buf)) = self.current.take() {
+            let _ = self.lanes[lane].recycled.try_push(buf);
         }
         loop {
-            let Some(msg) = self.data.pop() else {
+            let Some(&lane) = self.pending.front() else {
+                return Ok(None); // Nothing queued.
+            };
+            let Some(msg) = self.lanes[lane].data.pop() else {
                 return Ok(None); // Thread gone (drop in progress).
             };
             if msg.generation() != self.generation {
                 // Residue from before a reset: recycle and skip.
                 if let ReadMsg::Chunk(_, buf) = msg {
-                    let _ = self.recycled.try_push(buf);
+                    let _ = self.lanes[lane].recycled.try_push(buf);
                 }
                 continue;
             }
             return match msg {
                 ReadMsg::Chunk(_, buf) => {
-                    self.current = Some(buf);
-                    Ok(self.current.as_deref())
+                    self.current = Some((lane, buf));
+                    Ok(self.current.as_ref().map(|(_, b)| b.as_slice()))
                 }
-                ReadMsg::End(_) => Ok(None),
-                ReadMsg::Fail(_, e) => Err(Error::Io(e)),
+                ReadMsg::End(_) => {
+                    self.pending.pop_front();
+                    Ok(None)
+                }
+                ReadMsg::Fail(_, e) => {
+                    self.pending.pop_front();
+                    Err(Error::Io(e))
+                }
             };
         }
     }
 
-    /// Invalidates every queued job and in-flight chunk, returning the
-    /// reader to a clean slate. Call after abandoning a stream
-    /// mid-protocol (e.g. an engine error path): queued stale jobs are
-    /// discarded here or skipped by the thread, and stale messages are
-    /// discarded here or filtered by generation on the next
-    /// [`next_chunk`](Self::next_chunk). Non-blocking.
+    /// Invalidates every queued job and in-flight chunk on every
+    /// device, returning the reader to a clean slate. Call after
+    /// abandoning a stream mid-protocol (e.g. an engine error path):
+    /// queued stale jobs are discarded here or skipped by the threads,
+    /// and stale messages are discarded here or filtered by generation
+    /// on the next [`next_chunk`](Self::next_chunk). Non-blocking.
     pub fn reset(&mut self) {
         self.generation += 1;
         self.shared_generation
             .store(self.generation, std::sync::atomic::Ordering::Relaxed);
-        if let Some(buf) = self.current.take() {
-            let _ = self.recycled.try_push(buf);
+        if let Some((lane, buf)) = self.current.take() {
+            let _ = self.lanes[lane].recycled.try_push(buf);
         }
-        // Drain both queues until quiescent. Emptying `jobs` guarantees
-        // the next `begin` cannot block behind stale work even if the
-        // thread is still blocked pushing one stale message (at most
-        // two stale messages can trail this loop — the thread re-checks
-        // the generation before reading any further chunk — and the
-        // `next_chunk` filter discards them).
+        self.pending.clear();
+        // Drain every lane's queues until quiescent. Emptying `jobs`
+        // guarantees the next `begin` cannot block behind stale work
+        // even if a thread is still blocked pushing one stale message
+        // (at most two stale messages per lane can trail this loop —
+        // the threads re-check the generation before reading any
+        // further chunk — and the `next_chunk` filter discards them).
         loop {
             let mut progress = false;
-            if self.jobs.try_pop().is_some() {
-                progress = true;
-            }
-            while let Some(msg) = self.data.try_pop() {
-                if let ReadMsg::Chunk(_, buf) = msg {
-                    let _ = self.recycled.try_push(buf);
+            for lane in &self.lanes {
+                if lane.jobs.try_pop().is_some() {
+                    progress = true;
                 }
-                progress = true;
+                while let Some(msg) = lane.data.try_pop() {
+                    if let ReadMsg::Chunk(_, buf) = msg {
+                        let _ = lane.recycled.try_push(buf);
+                    }
+                    progress = true;
+                }
             }
             if !progress {
                 break;
@@ -686,11 +758,13 @@ impl Default for ReadAhead {
 
 impl Drop for ReadAhead {
     fn drop(&mut self) {
-        // Closing the queues unblocks the thread wherever it is.
-        self.jobs.close();
-        self.data.close();
-        self.recycled.close();
-        if let Some(t) = self.thread.take() {
+        // Closing the queues unblocks the threads wherever they are.
+        for lane in &self.lanes {
+            lane.jobs.close();
+            lane.data.close();
+            lane.recycled.close();
+        }
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -751,7 +825,7 @@ mod tests {
         let store = StreamStore::new(&root, 4096)
             .unwrap()
             .with_accounting(Arc::clone(&acc))
-            .with_device_fn(|name| if name.starts_with("upd") { 1 } else { 0 });
+            .with_device_fn(2, |name| u8::from(name.starts_with("upd")));
         store.append("edges", &[0u8; 5000]).unwrap();
         store.append("upd.1", &[0u8; 100]).unwrap();
         let _ = store.read_all("edges").unwrap();
@@ -828,6 +902,44 @@ mod tests {
             }
             assert_eq!(&out, expect, "stream {name}");
         }
+        drop(reader);
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn striped_read_ahead_preserves_begin_order_across_devices() {
+        let root = std::env::temp_dir().join("xstream_store_striped");
+        let _ = std::fs::remove_dir_all(&root);
+        let store = StreamStore::new(&root, 4096)
+            .unwrap()
+            .with_device_fn(2, |name| u8::from(name.starts_with("upd")));
+        let a: Vec<u8> = (0..5000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let b: Vec<u8> = (0..900u32).flat_map(|i| (i * 7).to_le_bytes()).collect();
+        let c: Vec<u8> = (0..300u32).flat_map(|i| (i ^ 5).to_le_bytes()).collect();
+        store.append("edges.0", &a).unwrap();
+        store.append("upd.0", &b).unwrap();
+        store.append("edges.1", &c).unwrap();
+        let mut reader = ReadAhead::striped(2, store.num_devices());
+        // Interleave devices; the consumer must see streams strictly
+        // in begin order even though two threads prefetch them.
+        reader
+            .begin(store.read_source("edges.0", 4).unwrap())
+            .unwrap();
+        reader
+            .begin(store.read_source("upd.0", 4).unwrap())
+            .unwrap();
+        reader
+            .begin(store.read_source("edges.1", 4).unwrap())
+            .unwrap();
+        for (name, expect) in [("edges.0", &a), ("upd.0", &b), ("edges.1", &c)] {
+            let mut out = Vec::new();
+            while let Some(chunk) = reader.next_chunk().unwrap() {
+                out.extend_from_slice(chunk);
+            }
+            assert_eq!(&out, expect, "stream {name}");
+        }
+        // Nothing queued: immediate None, no hang.
+        assert!(reader.next_chunk().unwrap().is_none());
         drop(reader);
         store.destroy().unwrap();
     }

@@ -198,6 +198,15 @@ impl IoSnapshot {
             .map(|d| d.read_ops + d.write_ops)
             .sum()
     }
+
+    /// Number of devices that serviced any I/O — the quick check that
+    /// a Fig. 15 multi-device placement actually engaged every device.
+    pub fn active_devices(&self) -> usize {
+        self.per_device
+            .iter()
+            .filter(|d| d.read_ops + d.write_ops > 0)
+            .count()
+    }
 }
 
 /// Bins a trace into bandwidth samples of `bin_ns` width, returning
@@ -247,6 +256,7 @@ mod tests {
         assert_eq!(s.per_device[1].bytes_written, 30);
         assert_eq!(s.bytes_read(), 150);
         assert_eq!(s.total_ops(), 3);
+        assert_eq!(s.active_devices(), 2);
     }
 
     #[test]

@@ -17,11 +17,15 @@
 //! * [`channel`] — a pre-allocated bounded MPMC queue used by the I/O
 //!   threads, so steady-state submissions never touch the allocator,
 //! * [`filestream`] — on-disk streams with large-unit sequential I/O,
-//!   a persistent read-ahead thread with pooled double buffers
-//!   ([`ReadAhead`]), and truncate-on-destroy (§3.3),
-//! * [`writer`] — a persistent background writer thread with bounded
-//!   depth and a recycling byte-buffer pool, overlapping update-file
-//!   writes with scatter computation (§3.3's double-buffered output),
+//!   a stream-name → device mapping (`device_fn`, Fig. 15), a
+//!   persistent **striped** read-ahead — one prefetch thread with
+//!   pooled double buffers per device ([`ReadAhead`]) — and
+//!   truncate-on-destroy (§3.3),
+//! * [`writer`] — persistent background writer threads, one per
+//!   device, with bounded per-device depth, a recycling byte-buffer
+//!   pool and a zero-copy borrowed-run path, overlapping update-file
+//!   writes with scatter computation (§3.3's double-buffered output)
+//!   while a slow or failing device never stalls the others,
 //! * [`iostats`] — per-device byte/op accounting and event tracing
 //!   (regenerates the paper's iostat bandwidth plot, Fig. 23),
 //! * [`diskmodel`] — a parametric seek+bandwidth+RAID-0 model
@@ -45,4 +49,4 @@ pub use filestream::{ChunkReader, ReadAhead, StreamStore};
 pub use iostats::{DeviceId, IoAccounting, IoSnapshot};
 pub use pool::{PerWorkerPtr, WorkerPool};
 pub use scratch::{ShuffleArena, ShufflePool, ShuffleScratch};
-pub use writer::AsyncWriter;
+pub use writer::{AsyncWriter, WriteMark};

@@ -28,8 +28,32 @@
 //! each thread shuffles its private slice with zero synchronization);
 //! a [`ShufflePool`] is the per-engine collection of them.
 
+use crate::pool::{PerWorkerPtr, WorkerPool};
 use crate::shuffle::MultiStagePlan;
 use xstream_core::Record;
+
+/// Pre-faults the spare capacity of `v` by writing zero bytes over it,
+/// so the backing pages are first touched — and on a NUMA system,
+/// placed — by the calling thread rather than by whichever thread
+/// happened to trigger the allocation. Sound because the spare region
+/// is allocated-but-uninitialized memory that `Vec` never reads.
+fn prefault_spare<T>(v: &mut Vec<T>) {
+    let len = v.len();
+    let spare = v.capacity() - len;
+    if spare == 0 {
+        return;
+    }
+    // SAFETY: `len..capacity` lies inside the vector's allocation and
+    // holds no initialized `T`s that anyone may read; writing raw
+    // zero bytes there cannot invalidate the vector's state.
+    unsafe {
+        std::ptr::write_bytes(
+            v.as_mut_ptr().add(len).cast::<u8>(),
+            0,
+            spare * std::mem::size_of::<T>(),
+        );
+    }
+}
 
 /// Stable counting sort of one already-grouped run of records over
 /// one radix digit: routes `group` into `fan` sub-chunks of the
@@ -157,6 +181,10 @@ impl<T: Record> ShuffleScratch<T> {
             "partition {partition} out of {}",
             self.plan.padded_partitions
         );
+        // Checked index on purpose: this is a safe `pub` entry point,
+        // and an out-of-range partition must panic, not corrupt memory
+        // (A/B-measured: the single predictable bounds check is in the
+        // noise next to the push itself).
         self.buckets[partition >> self.shift0].push(record);
         self.len += 1;
     }
@@ -346,6 +374,19 @@ impl<T: Record> ShuffleScratch<T> {
         }
     }
 
+    /// [`reserve_bucket`](Self::reserve_bucket) plus a first-touch
+    /// pre-fault of any newly grown capacity, so the new pages are
+    /// placed by the calling (owning-worker) thread.
+    pub fn reserve_bucket_first_touch(&mut self, g: usize, cap: usize) {
+        if g < self.buckets.len() {
+            let b = &mut self.buckets[g];
+            if b.capacity() < cap {
+                b.reserve(cap - b.len());
+                prefault_spare(b);
+            }
+        }
+    }
+
     /// Capacities of the two stage buffers.
     #[inline]
     pub fn stage_capacities(&self) -> (usize, usize) {
@@ -361,6 +402,21 @@ impl<T: Record> ShuffleScratch<T> {
         if self.back.capacity() < back {
             let len = self.back.len();
             self.back.reserve(back - len);
+        }
+    }
+
+    /// [`reserve_stages`](Self::reserve_stages) plus a first-touch
+    /// pre-fault of newly grown stage capacity.
+    pub fn reserve_stages_first_touch(&mut self, front: usize, back: usize) {
+        if self.front.capacity() < front {
+            let len = self.front.len();
+            self.front.reserve(front - len);
+            prefault_spare(&mut self.front);
+        }
+        if self.back.capacity() < back {
+            let len = self.back.len();
+            self.back.reserve(back - len);
+            prefault_spare(&mut self.back);
         }
     }
 
@@ -415,6 +471,9 @@ impl<T: Record> Default for ShuffleScratch<T> {
 #[derive(Debug)]
 pub struct ShufflePool<T> {
     slices: Vec<ShuffleScratch<T>>,
+    /// Pooled per-bucket capacity targets for the parallel
+    /// equalization pass (grown once, reused every iteration).
+    targets: Vec<usize>,
 }
 
 impl<T: Record> ShufflePool<T> {
@@ -422,7 +481,10 @@ impl<T: Record> ShufflePool<T> {
     pub fn new(workers: usize) -> Self {
         let mut slices = Vec::with_capacity(workers.max(1));
         slices.resize_with(workers.max(1), ShuffleScratch::new);
-        Self { slices }
+        Self {
+            slices,
+            targets: Vec::new(),
+        }
     }
 
     /// Number of per-worker slices.
@@ -435,6 +497,34 @@ impl<T: Record> ShufflePool<T> {
     pub fn begin(&mut self, plan: MultiStagePlan) {
         for s in &mut self.slices {
             s.begin(plan);
+        }
+    }
+
+    /// Rearms every slice for a superstep under `plan`, running each
+    /// slice's [`begin`](ShuffleScratch::begin) **on the worker thread
+    /// that owns the slice** (worker `i` rearms slice `i`; `None` or a
+    /// too-small pool falls back to the calling thread). Any bucket
+    /// spine the plan grows is thereby allocated and first touched by
+    /// its owning worker — the cheap half of NUMA-aware slice
+    /// placement: all later capacity growth happens on the owning
+    /// worker's `push` path anyway.
+    pub fn begin_first_touch(&mut self, plan: MultiStagePlan, pool: Option<&WorkerPool>) {
+        match pool {
+            Some(pool) if pool.workers() + 1 >= self.slices.len() => {
+                let n = self.slices.len();
+                let slices = PerWorkerPtr(self.slices.as_mut_ptr());
+                let job = |tid: usize| {
+                    if tid < n {
+                        // SAFETY: each dispatch runs every tid exactly
+                        // once and tid < n, so these `&mut` borrows
+                        // are disjoint across workers.
+                        let slice: &mut ShuffleScratch<T> = unsafe { slices.get_mut(tid) };
+                        slice.begin(plan);
+                    }
+                };
+                pool.run(&job);
+            }
+            _ => self.begin(plan),
         }
     }
 
@@ -483,19 +573,67 @@ impl<T: Record> ShufflePool<T> {
     /// capacity is never reduced. Allocation-free once capacities have
     /// converged.
     pub fn equalize_capacity(&mut self, slice_budget: usize) {
-        let fan0 = self.slices.iter().map(|s| s.fan0()).max().unwrap_or(0);
-        // Pass A: the total mirrored demand if fully equalized.
-        let mut demand = 0usize;
+        let (fan0, front, back) = self.compute_equalized_targets(slice_budget);
         for g in 0..fan0 {
-            demand += self
-                .slices
-                .iter()
-                .map(|s| s.bucket_capacity(g))
-                .max()
-                .unwrap_or(0);
+            let target = self.targets[g];
+            for s in &mut self.slices {
+                s.reserve_bucket(g, target);
+            }
         }
-        // Pass B: mirror, scaling each target down when demand exceeds
-        // the per-slice budget.
+        for s in &mut self.slices {
+            s.reserve_stages(front, back);
+        }
+    }
+
+    /// [`equalize_capacity`](Self::equalize_capacity) with the
+    /// reservations executed **on each slice's owning worker thread**:
+    /// the mirrored capacity targets are computed once on the calling
+    /// thread (into a pooled array), then worker `i` grows — and
+    /// first-touches — slice `i`'s buckets and stage buffers itself,
+    /// so mirrored pages are placed NUMA-local to the worker that will
+    /// fill them. Allocation-free once capacities have converged.
+    pub fn equalize_capacity_first_touch(
+        &mut self,
+        slice_budget: usize,
+        pool: Option<&WorkerPool>,
+    ) {
+        let Some(pool) = pool.filter(|p| p.workers() + 1 >= self.slices.len()) else {
+            self.equalize_capacity(slice_budget);
+            return;
+        };
+        let (fan0, front, back) = self.compute_equalized_targets(slice_budget);
+        // Each worker mirrors its own slice.
+        let n = self.slices.len();
+        let slices = PerWorkerPtr(self.slices.as_mut_ptr());
+        let targets = &self.targets[..fan0];
+        let job = |tid: usize| {
+            if tid < n {
+                // SAFETY: each dispatch runs every tid exactly once and
+                // tid < n, so these `&mut` borrows are disjoint across
+                // workers.
+                let slice: &mut ShuffleScratch<T> = unsafe { slices.get_mut(tid) };
+                for (g, &cap) in targets.iter().enumerate() {
+                    slice.reserve_bucket_first_touch(g, cap);
+                }
+                slice.reserve_stages_first_touch(front, back);
+            }
+        };
+        pool.run(&job);
+    }
+
+    /// The shared equalization policy: fills `self.targets[..fan0]`
+    /// with each bucket's mirrored capacity target (cross-slice
+    /// high-water mark, scaled down proportionally when the total
+    /// demand exceeds `slice_budget`) and returns
+    /// `(fan0, front, back)` — the bucket count and the budget-clamped
+    /// stage-buffer targets. Both equalization variants apply exactly
+    /// these numbers; only *where* the reservations run differs.
+    fn compute_equalized_targets(&mut self, slice_budget: usize) -> (usize, usize, usize) {
+        let fan0 = self.slices.iter().map(|s| s.fan0()).max().unwrap_or(0);
+        if self.targets.len() < fan0 {
+            self.targets.resize(fan0, 0);
+        }
+        let mut demand = 0usize;
         for g in 0..fan0 {
             let cap = self
                 .slices
@@ -503,13 +641,12 @@ impl<T: Record> ShufflePool<T> {
                 .map(|s| s.bucket_capacity(g))
                 .max()
                 .unwrap_or(0);
-            let target = if demand <= slice_budget {
-                cap
-            } else {
-                (cap as u128 * slice_budget as u128 / demand.max(1) as u128) as usize
-            };
-            for s in &mut self.slices {
-                s.reserve_bucket(g, target);
+            self.targets[g] = cap;
+            demand += cap;
+        }
+        if demand > slice_budget {
+            for t in &mut self.targets[..fan0] {
+                *t = (*t as u128 * slice_budget as u128 / demand.max(1) as u128) as usize;
             }
         }
         let (front, back) = self
@@ -517,10 +654,7 @@ impl<T: Record> ShufflePool<T> {
             .iter()
             .map(|s| s.stage_capacities())
             .fold((0, 0), |(f, b), (sf, sb)| (f.max(sf), b.max(sb)));
-        let (front, back) = (front.min(slice_budget), back.min(slice_budget));
-        for s in &mut self.slices {
-            s.reserve_stages(front, back);
-        }
+        (fan0, front.min(slice_budget), back.min(slice_budget))
     }
 }
 

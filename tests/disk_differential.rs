@@ -119,6 +119,68 @@ fn pagerank_forced_spill_matches_reference_pipeline() {
 }
 
 #[test]
+fn pagerank_forced_spill_parallel_gather_matches_in_memory() {
+    // Fig. 14-style gather scaling: with several streaming partitions
+    // and the vertex array in memory, partitions gather concurrently
+    // on the worker pool. Every gather parallelism must reproduce the
+    // in-memory engine's ranks (update order may differ, hence the
+    // float tolerance).
+    let g = pagerank_graph();
+    let degrees = g.out_degrees();
+    let p = pagerank::Pagerank;
+    let (mem_ranks, _) = pagerank::pagerank_in_memory(
+        &g,
+        5,
+        EngineConfig::default().with_threads(2).with_partitions(8),
+    );
+    for gather_threads in [1usize, 2, 4] {
+        let store = temp_store(&format!("pr_gt{gather_threads}"));
+        let cfg = spill_cfg(4)
+            .with_partitions(4)
+            .with_gather_threads(gather_threads);
+        let mut disk = DiskEngine::from_graph(store, &g, &p, cfg).expect("engine");
+        let (disk_ranks, stats) = pagerank::run(&mut disk, &p, &degrees, 5);
+        assert!(
+            stats.totals().bytes_written > 0,
+            "gather_threads={gather_threads}: no update spills occurred"
+        );
+        for (v, (m, d)) in mem_ranks.iter().zip(&disk_ranks).enumerate() {
+            assert!(
+                (m - d).abs() < 1e-5,
+                "gather_threads={gather_threads} vertex {v}: {m} vs {d}"
+            );
+        }
+    }
+}
+
+#[test]
+fn wcc_forced_spill_parallel_gather_matches_serial() {
+    // The parallel gather must be bit-identical to the serial gather
+    // on an order-insensitive program, at every lane count.
+    let g = generators::erdos_renyi(800, 2400, 17).to_undirected();
+    let serial = {
+        // The program carries the activity round; every engine gets a
+        // fresh instance.
+        let program = wcc::Wcc::new();
+        let store = temp_store("wcc_gt_serial");
+        let cfg = spill_cfg(4).with_partitions(4).with_gather_threads(1);
+        let mut disk = DiskEngine::from_graph(store, &g, &program, cfg).expect("engine");
+        let (labels, _) = wcc::run(&mut disk, &program);
+        labels
+    };
+    for gather_threads in [2usize, 4] {
+        let program = wcc::Wcc::new();
+        let store = temp_store(&format!("wcc_gt{gather_threads}"));
+        let cfg = spill_cfg(4)
+            .with_partitions(4)
+            .with_gather_threads(gather_threads);
+        let mut disk = DiskEngine::from_graph(store, &g, &program, cfg).expect("engine");
+        let (labels, _) = wcc::run(&mut disk, &program);
+        assert_eq!(labels, serial, "gather_threads={gather_threads}");
+    }
+}
+
+#[test]
 fn wcc_forced_spill_matches_in_memory() {
     let g = generators::erdos_renyi(800, 2400, 17).to_undirected();
     let reference = {
