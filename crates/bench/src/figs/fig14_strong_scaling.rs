@@ -23,20 +23,29 @@ pub struct Point {
     pub threads: usize,
     /// Runtime per algorithm, same order as [`SERIES`].
     pub runtime: [Duration; 4],
+    /// Peak shuffle-buffer residency of the WCC run, in percent
+    /// (high-water records over held capacity): how tightly the
+    /// adaptive equalization budget sized the pooled buffers to the
+    /// observed steal skew at this thread count.
+    pub residency_pct: f64,
 }
 
-fn run_series(g: &EdgeList, threads: usize) -> [Duration; 4] {
+fn run_series(g: &EdgeList, threads: usize) -> ([Duration; 4], f64) {
     let cfg = || EngineConfig::default().with_threads(threads);
     let (_, s_wcc) = wcc::wcc_in_memory(g, cfg());
     let (_, s_pr) = pagerank::pagerank_in_memory(g, 5, cfg());
     let (_, s_bfs) = bfs::bfs_in_memory(g, g.max_out_degree_vertex(), cfg());
     let (_, s_spmv) = spmv::spmv_in_memory(g, cfg());
-    [
-        s_wcc.elapsed(),
-        s_pr.elapsed(),
-        s_bfs.elapsed(),
-        Duration::from_nanos(s_spmv.total_ns()),
-    ]
+    let residency = s_wcc.totals().buffer_residency_pct();
+    (
+        [
+            s_wcc.elapsed(),
+            s_pr.elapsed(),
+            s_bfs.elapsed(),
+            Duration::from_nanos(s_spmv.total_ns()),
+        ],
+        residency,
+    )
 }
 
 /// Runs the sweep.
@@ -45,18 +54,23 @@ pub fn run(effort: Effort) -> Vec<Point> {
     effort
         .thread_sweep()
         .into_iter()
-        .map(|threads| Point {
-            threads,
-            runtime: run_series(&g, threads),
+        .map(|threads| {
+            let (runtime, residency_pct) = run_series(&g, threads);
+            Point {
+                threads,
+                runtime,
+                residency_pct,
+            }
         })
         .collect()
 }
 
-/// Renders the figure as a table.
+/// Renders the figure as a table (runtimes plus the buffer-residency
+/// gauge the adaptive capacity policy exposes).
 pub fn report(effort: Effort) -> String {
     let mut t =
         Table::new(format!("Fig 14: strong scaling, RMAT scale {}", effort.rmat_scale()).as_str())
-            .header(&["threads", "WCC", "Pagerank", "BFS", "SpMV"]);
+            .header(&["threads", "WCC", "Pagerank", "BFS", "SpMV", "buf resid"]);
     for p in run(effort) {
         t.row(&[
             p.threads.to_string(),
@@ -64,6 +78,7 @@ pub fn report(effort: Effort) -> String {
             fmt_duration(p.runtime[1]),
             fmt_duration(p.runtime[2]),
             fmt_duration(p.runtime[3]),
+            format!("{:.0}%", p.residency_pct),
         ]);
     }
     t.render()
@@ -81,6 +96,13 @@ mod tests {
             for d in p.runtime {
                 assert!(d.as_nanos() > 0);
             }
+            // The residency gauge is populated and sane.
+            assert!(
+                p.residency_pct > 0.0 && p.residency_pct <= 100.0,
+                "residency {} at {} threads",
+                p.residency_pct,
+                p.threads
+            );
         }
     }
 }

@@ -1,6 +1,6 @@
 //! Minimal argument parser: positionals plus `--flag value` /
-//! `--switch` options, with byte-size suffix parsing (`64K`, `16M`,
-//! `2G`).
+//! `--flag=value` / `--switch` options, with byte-size suffix parsing
+//! (`64K`, `16M`, `2G`).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -50,7 +50,19 @@ impl Args {
         let mut it = argv.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                if SWITCHES.contains(&name) {
+                if let Some((name, value)) = name.split_once('=') {
+                    // `--flag=value` form. A switch spelled with a
+                    // value must error, not silently land in the
+                    // options map where `switch()` would never see it
+                    // (`--undirected=true` generating a directed graph
+                    // would be a nasty quiet failure).
+                    if SWITCHES.contains(&name) {
+                        return Err(CliError::Usage(format!(
+                            "switch --{name} takes no value (got `{value}`)"
+                        )));
+                    }
+                    args.options.insert(name.to_string(), value.to_string());
+                } else if SWITCHES.contains(&name) {
                     args.switches.push(name.to_string());
                 } else {
                     let value = it
@@ -161,6 +173,19 @@ mod tests {
         assert_eq!(a.get("output"), Some("out.edges"));
         assert!(a.switch("undirected"));
         assert!(!a.switch("weighted"));
+    }
+
+    #[test]
+    fn equals_form_parses_like_spaced_form() {
+        let a = Args::parse(&sv(&["--pin-workers=cores", "--threads=4"])).unwrap();
+        assert_eq!(a.get("pin-workers"), Some("cores"));
+        assert_eq!(a.get_usize("threads").unwrap(), Some(4));
+        // Values may themselves contain `=` (device maps).
+        let a = Args::parse(&sv(&["--device-map=edges=0,updates=1"])).unwrap();
+        assert_eq!(a.get("device-map"), Some("edges=0,updates=1"));
+        // A switch given a value is a usage error, not a silent no-op.
+        let err = Args::parse(&sv(&["--undirected=true"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
     }
 
     #[test]

@@ -88,11 +88,55 @@ impl DeviceMap {
     }
 }
 
+/// Placement policy for the persistent worker pool and the per-device
+/// I/O threads (paper Fig. 14's scaling regime: scatter/shuffle workers
+/// should touch memory on the node that owns it, which requires the
+/// "owning worker" of a shuffle slice to stay on one core/node).
+///
+/// The storage layer discovers the machine topology from
+/// `/sys/devices/system` and degrades gracefully: on a single-CPU or
+/// affinity-restricted environment (containers, cgroup cpusets) every
+/// mode collapses to [`PinMode::Off`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PinMode {
+    /// No pinning; threads float wherever the scheduler puts them.
+    #[default]
+    Off,
+    /// Pin each pool worker to one core (node-major order, so
+    /// consecutive workers — and therefore consecutive shuffle slices
+    /// — share a NUMA node). The strongest placement guarantee: a
+    /// slice's first-touch pages stay on the owning worker's node *and*
+    /// its cache working set stays on one core.
+    Cores,
+    /// Pin each pool worker to the full CPU set of its assigned NUMA
+    /// node. Weaker than [`PinMode::Cores`] (the scheduler may migrate
+    /// within the node) but keeps node-local placement while tolerating
+    /// core oversubscription.
+    Nodes,
+}
+
+impl PinMode {
+    /// Parses the CLI form `off`/`cores`/`nodes` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(Self::Off),
+            "cores" | "core" => Some(Self::Cores),
+            "nodes" | "node" | "numa" => Some(Self::Nodes),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration shared by the in-memory and out-of-core engines.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker threads for parallel scatter/gather/shuffle.
     pub threads: usize,
+    /// Core/NUMA placement of the worker pool and the per-device I/O
+    /// threads (see [`PinMode`]). `Off` by default: pinning only pays
+    /// on real multi-socket hardware and is a no-op on restricted or
+    /// single-CPU environments either way.
+    pub pinning: PinMode,
     /// Worker threads applying independent partitions' updates
     /// concurrently in the out-of-core gather phase (paper Fig. 14's
     /// core-scaling regime applied to gather). `None` follows
@@ -144,6 +188,7 @@ impl Default for EngineConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            pinning: PinMode::Off,
             gather_threads: None,
             device_map: None,
             cache_size: 2 << 20,
@@ -172,6 +217,13 @@ impl EngineConfig {
     /// Sets the number of worker threads.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the worker/I/O-thread placement policy (see
+    /// [`Self::pinning`]).
+    pub fn with_pinning(mut self, mode: PinMode) -> Self {
+        self.pinning = mode;
         self
     }
 
@@ -343,6 +395,18 @@ mod tests {
         assert!(DeviceMap::parse("edges").is_none());
         // Ids past the storage accounting cap would silently alias.
         assert!(DeviceMap::parse("edges=0,updates=4").is_none());
+    }
+
+    #[test]
+    fn pin_mode_parses_cli_forms() {
+        assert_eq!(PinMode::parse("off"), Some(PinMode::Off));
+        assert_eq!(PinMode::parse("Cores"), Some(PinMode::Cores));
+        assert_eq!(PinMode::parse("nodes"), Some(PinMode::Nodes));
+        assert_eq!(PinMode::parse("numa"), Some(PinMode::Nodes));
+        assert_eq!(PinMode::parse("bogus"), None);
+        assert_eq!(PinMode::default(), PinMode::Off);
+        let cfg = EngineConfig::default().with_pinning(PinMode::Cores);
+        assert_eq!(cfg.pinning, PinMode::Cores);
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //! * the [`engine::Engine`] abstraction implemented by the
 //!   in-memory and out-of-core engines ([`engine`]).
 
+// Docs are load-bearing in this repo (docs/ARCHITECTURE.md maps the
+// paper onto these items); CI builds rustdoc with `-D warnings`.
+#![deny(missing_docs)]
+
 pub mod alloc_stats;
 pub mod config;
 pub mod engine;
@@ -33,7 +37,7 @@ pub mod stats;
 pub mod types;
 
 pub use alloc_stats::AllocSnapshot;
-pub use config::{DeviceMap, EngineConfig};
+pub use config::{DeviceMap, EngineConfig, PinMode};
 pub use engine::{Engine, Termination};
 pub use error::{Error, Result};
 pub use partition::Partitioner;

@@ -50,6 +50,19 @@ pub struct IterationStats {
     pub alloc_count: u64,
     /// Bytes requested by those allocations.
     pub alloc_bytes: u64,
+    /// Adaptive per-slice shuffle capacity budget (records) in force at
+    /// the end of the iteration — the ceiling the engine's capacity
+    /// equalization mirrors bucket high-water marks up to. A *gauge*,
+    /// not a counter: [`merge`](Self::merge) takes the max.
+    pub shuffle_budget: u64,
+    /// Total shuffle buffer capacity (records) held across all slices
+    /// after equalization: fan-out buckets plus stage buffers. Gauge
+    /// (merged by max).
+    pub shuffle_capacity: u64,
+    /// Peak records resident across all shuffle slices during the
+    /// iteration (the high-water mark the adaptive budget is driven
+    /// by). Gauge (merged by max).
+    pub shuffle_high_water: u64,
 }
 
 impl IterationStats {
@@ -75,7 +88,24 @@ impl IterationStats {
         self.scatter_ns + self.shuffle_ns + self.gather_ns
     }
 
-    /// Accumulates `other` into `self`.
+    /// Fraction of the held shuffle capacity that was actually resident
+    /// at the iteration's peak, as a percentage (the paper-adjacent
+    /// "buffer residency" the adaptive equalization policy optimizes:
+    /// near 100% means the pooled memory is sized to the observed skew,
+    /// far below it means worst-case mirroring is holding pages the
+    /// workload never touches).
+    #[inline]
+    pub fn buffer_residency_pct(&self) -> f64 {
+        if self.shuffle_capacity == 0 {
+            0.0
+        } else {
+            100.0 * self.shuffle_high_water as f64 / self.shuffle_capacity as f64
+        }
+    }
+
+    /// Accumulates `other` into `self`. Counters add; the shuffle
+    /// capacity/budget/high-water *gauges* take the maximum (summing a
+    /// capacity over iterations would be meaningless).
     pub fn merge(&mut self, other: &IterationStats) {
         self.edges_streamed += other.edges_streamed;
         self.updates_generated += other.updates_generated;
@@ -90,6 +120,9 @@ impl IterationStats {
         self.mem_refs += other.mem_refs;
         self.alloc_count += other.alloc_count;
         self.alloc_bytes += other.alloc_bytes;
+        self.shuffle_budget = self.shuffle_budget.max(other.shuffle_budget);
+        self.shuffle_capacity = self.shuffle_capacity.max(other.shuffle_capacity);
+        self.shuffle_high_water = self.shuffle_high_water.max(other.shuffle_high_water);
     }
 }
 
@@ -176,5 +209,28 @@ mod tests {
         assert_eq!(t.edges_streamed, 30);
         assert_eq!(t.updates_generated, 10);
         assert_eq!(run.num_iterations(), 2);
+    }
+
+    #[test]
+    fn capacity_gauges_merge_by_max_and_residency_is_bounded() {
+        let mut a = IterationStats {
+            shuffle_budget: 100,
+            shuffle_capacity: 400,
+            shuffle_high_water: 300,
+            ..Default::default()
+        };
+        let b = IterationStats {
+            shuffle_budget: 50,
+            shuffle_capacity: 600,
+            shuffle_high_water: 150,
+            ..Default::default()
+        };
+        assert!((a.buffer_residency_pct() - 75.0).abs() < 1e-9);
+        a.merge(&b);
+        assert_eq!(a.shuffle_budget, 100);
+        assert_eq!(a.shuffle_capacity, 600);
+        assert_eq!(a.shuffle_high_water, 300);
+        // A zero-capacity iteration reports 0%, not NaN.
+        assert_eq!(IterationStats::default().buffer_residency_pct(), 0.0);
     }
 }

@@ -80,6 +80,7 @@ use xstream_graph::fileio::EdgeFileReader;
 use xstream_graph::EdgeList;
 use xstream_storage::pool::{PerWorkerPtr, WorkerPool};
 use xstream_storage::shuffle::MultiStagePlan;
+use xstream_storage::topology::Topology;
 use xstream_storage::{
     AsyncWriter, ReadAhead, ShuffleArena, ShufflePool, ShuffleScratch, StreamStore, WriteMark,
 };
@@ -255,6 +256,16 @@ impl<P: EdgeProgram> DiskEngine<P> {
         let update_names: Vec<Arc<str>> = (0..kp).map(|p| Arc::from(update_stream(p))).collect();
         let threads = config.threads.max(1);
 
+        // Topology-aware placement (Fig. 14): one plan drives the
+        // worker pool (worker tid t owns shuffle slice t and gather
+        // lane t — pinning the id pins the slice's node), and the
+        // per-device reader/writer threads (whole-node sets,
+        // round-robined by device). `None` on single-CPU or
+        // affinity-restricted environments: everything runs unpinned.
+        let pin_plan = (config.pinning != xstream_core::PinMode::Off)
+            .then(|| Topology::detect().plan(config.pinning, threads))
+            .flatten();
+
         // Pre-processing (§3.2): stream the input, shuffle each loaded
         // chunk in memory, append per-partition runs to the edge files.
         // The appends run on the engine's persistent per-device writer
@@ -264,7 +275,7 @@ impl<P: EdgeProgram> DiskEngine<P> {
         // spill park one borrowed run per worker slice without
         // blocking mid-submission.
         let store = Arc::new(store);
-        let writer = AsyncWriter::new(Arc::clone(&store), threads + 2)?;
+        let writer = AsyncWriter::new_pinned(Arc::clone(&store), threads + 2, pin_plan.as_ref())?;
         let mut num_edges = 0usize;
         {
             let mut arena: ShuffleArena<Edge> = ShuffleArena::new();
@@ -295,7 +306,11 @@ impl<P: EdgeProgram> DiskEngine<P> {
             program.init(v)
         })?;
 
-        let pool = (threads > 1).then(|| WorkerPool::new(threads - 1));
+        // A planned single-threaded run still holds a 0-worker pool so
+        // the sole scatter/gather thread gets the planned placement —
+        // and the restore-on-drop — like any other worker 0.
+        let pool = (threads > 1 || pin_plan.is_some())
+            .then(|| WorkerPool::new_pinned(threads - 1, pin_plan.as_ref()));
         let spill_mark = writer.submitted();
 
         Ok(Self {
@@ -311,7 +326,7 @@ impl<P: EdgeProgram> DiskEngine<P> {
             writer,
             // Job depth 2 per device: the current stream plus the next
             // one queued for cross-partition read-ahead (§3.3).
-            reader: ReadAhead::striped(2, store.num_devices()),
+            reader: ReadAhead::striped_pinned(2, store.num_devices(), pin_plan.as_ref()),
             store,
             scratch: ShufflePool::new(threads),
             drain: ShufflePool::new(threads),
@@ -502,6 +517,19 @@ impl<P: EdgeProgram> DiskEngine<P> {
             self.gather_serial(program, &mut stats, &mut blocked_ns)?;
         }
         stats.gather_ns = t_gather.elapsed().as_nanos() as u64;
+
+        // Adaptive capacity equalization over both ping-pong pools
+        // (safe here: the pre-gather flush released every zero-copy
+        // borrowed run, and gather is done reading the resident tail).
+        // Each pool's budget tracks its own observed per-slice
+        // high-water marks across spills, mirrors them on the owning
+        // (pinned) workers and shrinks skew-era capacity back once the
+        // decaying envelope moves on.
+        let rep_a = self.scratch.equalize_capacity_adaptive(self.pool.as_ref());
+        let rep_b = self.drain.equalize_capacity_adaptive(self.pool.as_ref());
+        stats.shuffle_budget = rep_a.budget.max(rep_b.budget) as u64;
+        stats.shuffle_capacity = (rep_a.total_capacity + rep_b.total_capacity) as u64;
+        stats.shuffle_high_water = (rep_a.high_water + rep_b.high_water) as u64;
 
         let snap1 = self.store.accounting().snapshot();
         stats.bytes_read = snap1.bytes_read() - snap0.bytes_read();

@@ -8,7 +8,7 @@
 //!    idle, §4.1), stream the partition's edge chunk sequentially, and
 //!    append each update *directly into the fan-out bucket of its
 //!    first radix digit* inside the thread's
-//!    [`ShuffleScratch`](xstream_storage::ShuffleScratch) (the Fig. 7
+//!    [`ShuffleScratch`] (the Fig. 7
 //!    slicing: slices never need synchronization). Because scatter
 //!    already routes on the top `fanout_bits` of the partition id, the
 //!    first shuffle stage's counting pass and copy pass over the whole
@@ -46,6 +46,7 @@ use xstream_core::{
 use xstream_graph::EdgeList;
 use xstream_storage::pool::{PerWorkerPtr, WorkerPool};
 use xstream_storage::shuffle::{parallel_multistage_shuffle, MultiStagePlan};
+use xstream_storage::topology::Topology;
 use xstream_storage::{ShufflePool, ShuffleScratch, StreamBuffer};
 
 /// Raw pointer wrapper granting scoped threads access to disjoint
@@ -151,7 +152,18 @@ impl<P: EdgeProgram> InMemoryEngine<P> {
         let states = (0..num_vertices as VertexId)
             .map(|v| program.init(v))
             .collect();
-        let pool = (threads > 1).then(|| WorkerPool::new(threads - 1));
+        // Topology-aware placement (Fig. 14): worker tid t — who owns
+        // shuffle slice t for first-touch and equalization — is pinned
+        // to a core/node per `config.pinning`; `plan` is `None` (and
+        // the pool runs unpinned) on single-CPU or affinity-restricted
+        // environments. A planned single-threaded run still holds a
+        // 0-worker pool: dispatch stays inline, but the calling thread
+        // is pinned (and restored on drop) like any other worker 0.
+        let pin_plan = (config.pinning != xstream_core::PinMode::Off)
+            .then(|| Topology::detect().plan(config.pinning, threads))
+            .flatten();
+        let pool = (threads > 1 || pin_plan.is_some())
+            .then(|| WorkerPool::new_pinned(threads - 1, pin_plan.as_ref()));
         let scratch = ShufflePool::new(threads);
         let counters = vec![WorkerCounters::default(); threads];
         let queues = WorkQueues::new(std::iter::empty(), threads, config.work_stealing);
@@ -554,17 +566,20 @@ impl<P: EdgeProgram> Engine<P> for InMemoryEngine<P> {
         // under work stealing the partition → thread assignment varies
         // per iteration, and equalization keeps slices from
         // re-allocating toward capacities a sibling already reached.
-        // The budget (2× a slice's fair share of this iteration's
-        // update volume, floored for small runs) bounds the mirrored
-        // memory when scheduling is extremely skewed. Each worker
-        // performs — and first-touches — its own slice's mirrored
-        // growth, so the pages land NUMA-local to the thread that will
+        // The mirrored memory is bounded by the *adaptive* budget (the
+        // pool's `CapacityPolicy`): a decaying envelope of observed
+        // per-slice high-water marks, so skew raises the ceiling
+        // immediately, uniform load keeps it near fair share, and
+        // capacity is shrunk back once skew subsides. Each worker
+        // performs — and first-touches — its own slice's growth, so
+        // the pages land NUMA-local to the (pinned) thread that will
         // fill them. Counted against this iteration's allocation stats
         // (it ran within the snapshot window), and free once
         // converged.
-        let fair_share = 2 * self.scratch.total_len() / self.scratch.num_slices().max(1);
-        self.scratch
-            .equalize_capacity_first_touch(fair_share.max(64 * 1024), self.pool.as_ref());
+        let report = self.scratch.equalize_capacity_adaptive(self.pool.as_ref());
+        stats.shuffle_budget = report.budget as u64;
+        stats.shuffle_capacity = report.total_capacity as u64;
+        stats.shuffle_high_water = report.high_water as u64;
 
         // The fused first stage rides along with scatter's writes, so
         // the shuffle performs only `stages - 1` whole-stream copies.

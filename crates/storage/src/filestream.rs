@@ -101,7 +101,7 @@ impl StreamStore {
     /// Sets the stream-name → device mapping over `num_devices`
     /// devices, letting experiments place the edge and update streams
     /// on different devices (Fig. 15). `device_fn` must return ids
-    /// below `num_devices` (capped at [`MAX_DEVICES`]); the persistent
+    /// below `num_devices` (capped at [`crate::iostats::MAX_DEVICES`]); the persistent
     /// I/O machinery ([`ReadAhead`], `AsyncWriter`) spawns one thread
     /// per declared device.
     pub fn with_device_fn(
@@ -567,6 +567,21 @@ impl ReadAhead {
     /// may be queued ahead of the one being read *per device*; sources
     /// route to lane `device % num_devices`.
     pub fn striped(job_depth: usize, num_devices: usize) -> Self {
+        Self::striped_pinned(job_depth, num_devices, None)
+    }
+
+    /// [`striped`](Self::striped) with optional topology-aware
+    /// placement: with a [`PinPlan`](crate::topology::PinPlan), device
+    /// `d`'s prefetch thread pins itself to `plan.io_cpus(d)` — a
+    /// whole NUMA node, round-robined across nodes by device id, so
+    /// the pooled chunk buffers it recycles stay node-local without
+    /// sharing a single core with a compute worker. Best-effort: a
+    /// refused mask leaves the thread floating.
+    pub fn striped_pinned(
+        job_depth: usize,
+        num_devices: usize,
+        plan: Option<&crate::topology::PinPlan>,
+    ) -> Self {
         let job_depth = job_depth.max(1);
         let num_devices = num_devices.clamp(1, crate::iostats::MAX_DEVICES);
         let shared_generation = Arc::new(std::sync::atomic::AtomicU64::new(0));
@@ -584,9 +599,13 @@ impl ReadAhead {
             let data = lane.data.clone();
             let recycled = lane.recycled.clone();
             let shared_generation = Arc::clone(&shared_generation);
+            let cpus: Vec<usize> = plan.map(|p| p.io_cpus(d).to_vec()).unwrap_or_default();
             let thread = std::thread::Builder::new()
                 .name(format!("xstream-io-read-{d}"))
                 .spawn(move || {
+                    if !cpus.is_empty() {
+                        crate::topology::pin_current_thread(&cpus);
+                    }
                     let stale = |gen: u64| {
                         gen < shared_generation.load(std::sync::atomic::Ordering::Relaxed)
                     };

@@ -30,7 +30,15 @@
 //!   (regenerates the paper's iostat bandwidth plot, Fig. 23),
 //! * [`diskmodel`] — a parametric seek+bandwidth+RAID-0 model
 //!   calibrated against the paper's measured device table (Fig. 11),
-//!   used to evaluate device-level experiments on arbitrary hardware.
+//!   used to evaluate device-level experiments on arbitrary hardware,
+//! * [`topology`] — CPU/NUMA discovery from sysfs and the core/node
+//!   pin plans that make "owning worker" imply "owning node" for the
+//!   shuffle slices (Fig. 14's scaling regime; best-effort, no-op on
+//!   restricted environments).
+
+// Docs are load-bearing in this repo (docs/ARCHITECTURE.md maps the
+// paper onto these items); CI builds rustdoc with `-D warnings`.
+#![deny(missing_docs)]
 
 pub mod buffer;
 pub mod channel;
@@ -40,6 +48,7 @@ pub mod iostats;
 pub mod pool;
 pub mod scratch;
 pub mod shuffle;
+pub mod topology;
 pub mod writer;
 
 pub use buffer::StreamBuffer;
@@ -48,5 +57,6 @@ pub use diskmodel::DiskModel;
 pub use filestream::{ChunkReader, ReadAhead, StreamStore};
 pub use iostats::{DeviceId, IoAccounting, IoSnapshot};
 pub use pool::{PerWorkerPtr, WorkerPool};
-pub use scratch::{ShuffleArena, ShufflePool, ShuffleScratch};
+pub use scratch::{CapacityPolicy, CapacityReport, ShuffleArena, ShufflePool, ShuffleScratch};
+pub use topology::{PinPlan, Topology};
 pub use writer::{AsyncWriter, WriteMark};

@@ -123,6 +123,18 @@ pub struct ShuffleScratch<T> {
     counts: Vec<usize>,
     /// Total records pushed since the last `begin`.
     len: usize,
+    /// Max records resident at any `begin` since the last
+    /// [`take_high_water`](Self::take_high_water) (plus the current
+    /// `len`): the fill-level observation the adaptive capacity policy
+    /// is driven by. Maintained off the hot path — `push` never
+    /// touches it.
+    high_water: usize,
+    /// Set by [`take_high_water`](Self::take_high_water), cleared by
+    /// [`begin`](Self::begin): the current `len` has already been
+    /// reported, so the next superstep's first rearm must not fold it
+    /// in again (it would double-count one superstep's demand and
+    /// delay the adaptive budget's decay by a superstep).
+    harvested: bool,
     /// Whether the final records live in `front` (staged) or still in
     /// `buckets` (the single-stage fast path).
     staged: bool,
@@ -142,6 +154,8 @@ impl<T: Record> ShuffleScratch<T> {
             cur_offsets: Vec::new(),
             counts: Vec::new(),
             len: 0,
+            high_water: 0,
+            harvested: false,
             staged: false,
         }
     }
@@ -161,8 +175,28 @@ impl<T: Record> ShuffleScratch<T> {
         for b in &mut self.buckets[..fan0] {
             b.clear();
         }
+        // A rearm discards the previous fill; fold it into the
+        // high-water mark first (spilling engines rearm mid-superstep,
+        // and those fills are exactly the capacity demand the adaptive
+        // policy must see) — unless that fill was already harvested at
+        // the end of the previous superstep.
+        if !self.harvested {
+            self.high_water = self.high_water.max(self.len);
+        }
+        self.harvested = false;
         self.len = 0;
         self.staged = false;
+    }
+
+    /// Max records this slice held at any point since the last call
+    /// (including the current fill), resetting the mark. The current
+    /// fill is marked as reported so the next
+    /// [`begin`](Self::begin) does not fold it in a second time.
+    pub fn take_high_water(&mut self) -> usize {
+        let hw = self.high_water.max(self.len);
+        self.high_water = 0;
+        self.harvested = true;
+        hw
     }
 
     /// Number of first-stage buckets under the current plan.
@@ -364,60 +398,61 @@ impl<T: Record> ShuffleScratch<T> {
         self.buckets.get(g).map_or(0, Vec::capacity)
     }
 
-    /// Ensures bucket `g` can hold `cap` records without reallocating.
-    pub fn reserve_bucket(&mut self, g: usize, cap: usize) {
-        if g < self.buckets.len() {
-            let b = &mut self.buckets[g];
-            if b.capacity() < cap {
-                b.reserve(cap - b.len());
-            }
-        }
-    }
-
-    /// [`reserve_bucket`](Self::reserve_bucket) plus a first-touch
-    /// pre-fault of any newly grown capacity, so the new pages are
-    /// placed by the calling (owning-worker) thread.
-    pub fn reserve_bucket_first_touch(&mut self, g: usize, cap: usize) {
-        if g < self.buckets.len() {
-            let b = &mut self.buckets[g];
-            if b.capacity() < cap {
-                b.reserve(cap - b.len());
-                prefault_spare(b);
-            }
-        }
-    }
-
     /// Capacities of the two stage buffers.
     #[inline]
     pub fn stage_capacities(&self) -> (usize, usize) {
         (self.front.capacity(), self.back.capacity())
     }
 
-    /// Ensures the stage buffers can hold `front`/`back` records.
-    pub fn reserve_stages(&mut self, front: usize, back: usize) {
-        if self.front.capacity() < front {
-            let len = self.front.len();
-            self.front.reserve(front - len);
+    /// Grows *and shrinks* this slice toward the equalized capacity
+    /// targets: each bucket `g` is reserved up to `targets[g]`
+    /// (first-touch pre-faulting any new pages when `first_touch`, so
+    /// a pinned owning worker places them on its node), and a bucket
+    /// holding more than [`SHRINK_HYSTERESIS`]× its target is shrunk
+    /// back to it — the ratchet-down half of the adaptive policy,
+    /// releasing skew-era pages once the decaying budget has moved on.
+    /// The stage buffers get the same treatment against
+    /// `front`/`back`. Shrinking never drops below the current fill.
+    pub fn apply_capacity_targets(
+        &mut self,
+        targets: &[usize],
+        front: usize,
+        back: usize,
+        first_touch: bool,
+    ) {
+        for (g, &cap) in targets.iter().enumerate() {
+            if g >= self.buckets.len() {
+                break;
+            }
+            let b = &mut self.buckets[g];
+            if b.capacity() < cap {
+                b.reserve(cap - b.len());
+                if first_touch {
+                    prefault_spare(b);
+                }
+            } else if b.capacity() > cap.saturating_mul(SHRINK_HYSTERESIS) {
+                b.shrink_to(cap.max(b.len()));
+            }
         }
-        if self.back.capacity() < back {
-            let len = self.back.len();
-            self.back.reserve(back - len);
+        for (buf, cap) in [(&mut self.front, front), (&mut self.back, back)] {
+            if buf.capacity() < cap {
+                let len = buf.len();
+                buf.reserve(cap - len);
+                if first_touch {
+                    prefault_spare(buf);
+                }
+            } else if buf.capacity() > cap.saturating_mul(SHRINK_HYSTERESIS) {
+                buf.shrink_to(cap.max(buf.len()));
+            }
         }
     }
 
-    /// [`reserve_stages`](Self::reserve_stages) plus a first-touch
-    /// pre-fault of newly grown stage capacity.
-    pub fn reserve_stages_first_touch(&mut self, front: usize, back: usize) {
-        if self.front.capacity() < front {
-            let len = self.front.len();
-            self.front.reserve(front - len);
-            prefault_spare(&mut self.front);
-        }
-        if self.back.capacity() < back {
-            let len = self.back.len();
-            self.back.reserve(back - len);
-            prefault_spare(&mut self.back);
-        }
+    /// Total records of capacity currently held by this slice (fan-out
+    /// buckets plus both stage buffers) — the residency denominator.
+    pub fn capacity_records(&self) -> usize {
+        self.buckets.iter().map(Vec::capacity).sum::<usize>()
+            + self.front.capacity()
+            + self.back.capacity()
     }
 
     /// Copies the shuffled records out into an owned
@@ -466,6 +501,129 @@ impl<T: Record> Default for ShuffleScratch<T> {
     }
 }
 
+/// A bucket (or stage buffer) is shrunk only when its capacity exceeds
+/// this multiple of its target — hysteresis that keeps ordinary
+/// superstep-to-superstep load variance (work stealing moves partitions
+/// between slices every iteration) from turning into a
+/// shrink/re-reserve oscillation, which would break the allocation-free
+/// steady state.
+pub const SHRINK_HYSTERESIS: usize = 2;
+
+/// Adaptive per-slice capacity budget (ROADMAP's "capacity-equalization
+/// policy" item): replaces the static 2×-fair-share budget with
+/// envelopes of the *observed* demand.
+///
+/// Two fast-attack / slow-decay envelopes are maintained over recent
+/// supersteps: the total records buffered per superstep (`demand`) and
+/// the max records any one slice buffered (`peak` — the direct measure
+/// of steal imbalance: under uniform stealing it sits near the fair
+/// share, under skew it approaches the total). The per-slice budget is
+/// the peak envelope plus headroom:
+///
+/// * **skewed** supersteps raise `peak` instantly (fast attack), so
+///   every slice may mirror up to the observed peak at once — the
+///   heavy partition can migrate to any slice next superstep, and
+///   capping below the peak is what caused the old policy's repeated
+///   re-allocation ("ratcheting") on whichever slice inherited it;
+/// * **uniform** supersteps leave `peak ≈ demand / slices`, so the
+///   budget sits near 1.25× fair share — tighter than the old 2×,
+///   avoiding the over-mirror;
+/// * when skew **subsides**, both envelopes decay by
+///   [`CAPACITY_DECAY`] per superstep and the budget ratchets back
+///   down within a few supersteps; the equalization pass then
+///   *shrinks* buckets holding more than [`SHRINK_HYSTERESIS`]× their
+///   target, actually releasing the skew-era memory.
+///
+/// With a steady workload both envelopes converge to the per-superstep
+/// sample, the budget and targets become constants, and the
+/// equalization pass performs no allocation — preserving the pooled
+/// pipeline's zero-allocation steady state (asserted by the alloc
+/// steady-state tests at 1/2/4 threads, pinning on and off).
+#[derive(Debug, Clone)]
+pub struct CapacityPolicy {
+    /// Envelope of total records buffered per superstep.
+    demand: f64,
+    /// Envelope of the max records buffered by any one slice.
+    peak: f64,
+    /// Multiplier over the peak envelope (room for next superstep to
+    /// run slightly hotter than anything in the window).
+    headroom: f64,
+    /// Budget floor in records, so tiny runs never thrash.
+    floor: usize,
+}
+
+/// Per-superstep decay of the demand/peak envelopes: an envelope
+/// halves in ~2 supersteps once the load that set it disappears, so a
+/// transient skew stops holding memory almost immediately while still
+/// bridging the gap between consecutive skewed supersteps.
+pub const CAPACITY_DECAY: f64 = 0.7;
+
+impl CapacityPolicy {
+    /// A fresh policy with the default headroom (1.25×) and floor
+    /// (64 Ki records — the old static policy's floor, kept so small
+    /// runs never thrash).
+    pub fn new() -> Self {
+        Self {
+            demand: 0.0,
+            peak: 0.0,
+            headroom: 1.25,
+            floor: 64 * 1024,
+        }
+    }
+
+    /// Feeds one superstep's observation: `total` records buffered
+    /// across all slices and `peak` records buffered by the fullest
+    /// slice. Fast attack (a new maximum registers immediately), slow
+    /// decay (an old maximum fades by [`CAPACITY_DECAY`] per call).
+    pub fn observe(&mut self, total: usize, peak: usize) {
+        self.demand = (total as f64).max(self.demand * CAPACITY_DECAY);
+        self.peak = (peak as f64).max(self.peak * CAPACITY_DECAY);
+    }
+
+    /// The current per-slice capacity budget in records: the peak
+    /// envelope plus headroom, floored for tiny runs. (No demand cap
+    /// is needed: `observe` is fed `peak <= total` and both envelopes
+    /// decay by the same factor, so `peak <= demand` holds by
+    /// induction — a slice is never budgeted more than everything
+    /// that was in flight.)
+    pub fn budget(&self) -> usize {
+        debug_assert!(self.peak <= self.demand + f64::EPSILON);
+        ((self.peak * self.headroom).ceil() as usize).max(self.floor)
+    }
+
+    /// Observed steal imbalance: the peak envelope over the fair share
+    /// implied by the demand envelope (1.0 = perfectly uniform,
+    /// `num_slices` = one slice buffered everything).
+    pub fn observed_imbalance(&self, num_slices: usize) -> f64 {
+        let fair = self.demand / num_slices.max(1) as f64;
+        if fair <= f64::EPSILON {
+            1.0
+        } else {
+            self.peak / fair
+        }
+    }
+}
+
+impl Default for CapacityPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What one adaptive equalization pass decided and measured; engines
+/// copy this into the iteration's statistics gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CapacityReport {
+    /// Per-slice budget (records) the targets were capped under.
+    pub budget: usize,
+    /// Total capacity (records) held across all slices afterwards —
+    /// fan-out buckets plus stage buffers.
+    pub total_capacity: usize,
+    /// Sum of the slices' high-water marks this superstep (the
+    /// residency numerator; an upper bound on the simultaneous peak).
+    pub high_water: usize,
+}
+
 /// The engine-held pool: one [`ShuffleScratch`] per worker thread,
 /// rented out each superstep and retained across iterations.
 #[derive(Debug)]
@@ -474,6 +632,9 @@ pub struct ShufflePool<T> {
     /// Pooled per-bucket capacity targets for the parallel
     /// equalization pass (grown once, reused every iteration).
     targets: Vec<usize>,
+    /// The adaptive budget driving
+    /// [`equalize_capacity_adaptive`](Self::equalize_capacity_adaptive).
+    policy: CapacityPolicy,
 }
 
 impl<T: Record> ShufflePool<T> {
@@ -484,7 +645,14 @@ impl<T: Record> ShufflePool<T> {
         Self {
             slices,
             targets: Vec::new(),
+            policy: CapacityPolicy::new(),
         }
+    }
+
+    /// Read access to the adaptive capacity policy (for tests and
+    /// experiment harnesses inspecting the envelopes).
+    pub fn policy(&self) -> &CapacityPolicy {
+        &self.policy
     }
 
     /// Number of per-worker slices.
@@ -509,23 +677,7 @@ impl<T: Record> ShufflePool<T> {
     /// placement: all later capacity growth happens on the owning
     /// worker's `push` path anyway.
     pub fn begin_first_touch(&mut self, plan: MultiStagePlan, pool: Option<&WorkerPool>) {
-        match pool {
-            Some(pool) if pool.workers() + 1 >= self.slices.len() => {
-                let n = self.slices.len();
-                let slices = PerWorkerPtr(self.slices.as_mut_ptr());
-                let job = |tid: usize| {
-                    if tid < n {
-                        // SAFETY: each dispatch runs every tid exactly
-                        // once and tid < n, so these `&mut` borrows
-                        // are disjoint across workers.
-                        let slice: &mut ShuffleScratch<T> = unsafe { slices.get_mut(tid) };
-                        slice.begin(plan);
-                    }
-                };
-                pool.run(&job);
-            }
-            _ => self.begin(plan),
-        }
+        for_each_slice_on_owner(&mut self.slices, pool, |_, slice, _| slice.begin(plan));
     }
 
     /// The scratch of worker `i`.
@@ -552,73 +704,55 @@ impl<T: Record> ShufflePool<T> {
         self.slices.iter().map(|s| s.len()).sum()
     }
 
-    /// Propagates every buffer's high-water capacity to all slices, up
-    /// to a per-slice record budget.
+    /// The cross-slice capacity equalization pass: one call per
+    /// superstep, after gather.
     ///
     /// Under work stealing the partition → thread assignment changes
     /// between iterations, so without equalization each slice would
     /// independently rediscover (and re-allocate toward) the same
     /// high-water marks whenever a bucket-heavy partition migrates to
-    /// it. Calling this after each superstep makes a capacity reached
-    /// by *any* slice available to *every* slice, so steady-state
-    /// iterations allocate only when a global maximum is first
-    /// exceeded.
+    /// it; this pass makes a capacity reached by *any* slice available
+    /// to *every* slice, bounded by the adaptive budget (this replaced
+    /// an earlier static 2×-fair-share budget).
     ///
-    /// `slice_budget` bounds the mirrored bucket capacity (in records)
-    /// per slice: when one slice processed nearly the whole update
-    /// stream (extreme stealing, e.g. on an oversubscribed core),
-    /// mirroring its full capacity to every slice would multiply
-    /// memory by the worker count, so the mirrored targets are scaled
-    /// down proportionally instead. A slice's own organically grown
-    /// capacity is never reduced. Allocation-free once capacities have
-    /// converged.
-    pub fn equalize_capacity(&mut self, slice_budget: usize) {
-        let (fan0, front, back) = self.compute_equalized_targets(slice_budget);
-        for g in 0..fan0 {
-            let target = self.targets[g];
-            for s in &mut self.slices {
-                s.reserve_bucket(g, target);
-            }
-        }
+    /// Harvests every slice's high-water mark (resetting it), feeds the
+    /// total and the per-slice peak into the pool's [`CapacityPolicy`],
+    /// and applies the resulting budget's targets on each slice's
+    /// owning worker (first-touch, NUMA-local when the pool's workers
+    /// are pinned) — growing buckets toward the mirrored high-water
+    /// marks *and shrinking* any bucket more than
+    /// [`SHRINK_HYSTERESIS`]× over its target, so capacity ratchets
+    /// down once skew subsides. Allocation-free at a steady workload
+    /// (the envelopes, budget and targets all converge to constants).
+    ///
+    /// Returns the [`CapacityReport`] the engines expose through
+    /// [`IterationStats`](xstream_core::IterationStats)' shuffle
+    /// gauges.
+    pub fn equalize_capacity_adaptive(&mut self, pool: Option<&WorkerPool>) -> CapacityReport {
+        let mut total_hw = 0usize;
+        let mut peak_hw = 0usize;
         for s in &mut self.slices {
-            s.reserve_stages(front, back);
+            let hw = s.take_high_water();
+            total_hw += hw;
+            peak_hw = peak_hw.max(hw);
         }
-    }
-
-    /// [`equalize_capacity`](Self::equalize_capacity) with the
-    /// reservations executed **on each slice's owning worker thread**:
-    /// the mirrored capacity targets are computed once on the calling
-    /// thread (into a pooled array), then worker `i` grows — and
-    /// first-touches — slice `i`'s buckets and stage buffers itself,
-    /// so mirrored pages are placed NUMA-local to the worker that will
-    /// fill them. Allocation-free once capacities have converged.
-    pub fn equalize_capacity_first_touch(
-        &mut self,
-        slice_budget: usize,
-        pool: Option<&WorkerPool>,
-    ) {
-        let Some(pool) = pool.filter(|p| p.workers() + 1 >= self.slices.len()) else {
-            self.equalize_capacity(slice_budget);
-            return;
-        };
-        let (fan0, front, back) = self.compute_equalized_targets(slice_budget);
-        // Each worker mirrors its own slice.
-        let n = self.slices.len();
-        let slices = PerWorkerPtr(self.slices.as_mut_ptr());
+        self.policy.observe(total_hw, peak_hw);
+        let budget = self.policy.budget();
+        let (fan0, front, back) = self.compute_equalized_targets(budget);
         let targets = &self.targets[..fan0];
-        let job = |tid: usize| {
-            if tid < n {
-                // SAFETY: each dispatch runs every tid exactly once and
-                // tid < n, so these `&mut` borrows are disjoint across
-                // workers.
-                let slice: &mut ShuffleScratch<T> = unsafe { slices.get_mut(tid) };
-                for (g, &cap) in targets.iter().enumerate() {
-                    slice.reserve_bucket_first_touch(g, cap);
-                }
-                slice.reserve_stages_first_touch(front, back);
-            }
-        };
-        pool.run(&job);
+        for_each_slice_on_owner(&mut self.slices, pool, |_, slice, on_owner| {
+            slice.apply_capacity_targets(targets, front, back, on_owner);
+        });
+        let total_capacity = self
+            .slices
+            .iter()
+            .map(ShuffleScratch::capacity_records)
+            .sum();
+        CapacityReport {
+            budget,
+            total_capacity,
+            high_water: total_hw,
+        }
     }
 
     /// The shared equalization policy: fills `self.targets[..fan0]`
@@ -655,6 +789,41 @@ impl<T: Record> ShufflePool<T> {
             .map(|s| s.stage_capacities())
             .fold((0, 0), |(f, b), (sf, sb)| (f.max(sf), b.max(sb)));
         (fan0, front.min(slice_budget), back.min(slice_budget))
+    }
+}
+
+/// Runs `f(index, slice, on_owner)` for every slice, **on the worker
+/// thread that owns the slice** when `pool` can cover them all
+/// (worker `i` handles slice `i`, so any pages `f` touches are
+/// first-touched — and on a pinned pool, NUMA-placed — by the thread
+/// that fills the slice during scatter). Falls back to the calling
+/// thread with `on_owner = false` when there is no pool or it is too
+/// small. The single home of the owning-worker dispatch's unsafe
+/// reasoning — every per-slice-on-owner operation goes through here.
+fn for_each_slice_on_owner<T: Record>(
+    slices: &mut [ShuffleScratch<T>],
+    pool: Option<&WorkerPool>,
+    f: impl Fn(usize, &mut ShuffleScratch<T>, bool) + Sync,
+) {
+    let n = slices.len();
+    match pool.filter(|p| p.workers() + 1 >= n) {
+        Some(pool) => {
+            let slices = PerWorkerPtr(slices.as_mut_ptr());
+            let job = |tid: usize| {
+                if tid < n {
+                    // SAFETY: each dispatch runs every tid exactly
+                    // once and tid < n, so these `&mut` borrows are
+                    // disjoint across workers.
+                    f(tid, unsafe { slices.get_mut(tid) }, true);
+                }
+            };
+            pool.run(&job);
+        }
+        None => {
+            for (i, s) in slices.iter_mut().enumerate() {
+                f(i, s, false);
+            }
+        }
     }
 }
 
@@ -855,6 +1024,116 @@ mod tests {
             pool.slice_mut(i).finish(|r| ((*r % 100) % 8) as usize);
         }
         assert_eq!(pool.total_len(), 30);
+    }
+
+    #[test]
+    fn capacity_policy_attacks_fast_and_decays_slow() {
+        let mut p = CapacityPolicy::new();
+        // A skewed superstep registers immediately.
+        p.observe(400_000, 400_000);
+        let skewed = p.budget();
+        assert!(skewed >= 400_000, "budget {skewed} below observed peak");
+        assert!((p.observed_imbalance(4) - 4.0).abs() < 1e-9);
+        // Uniform supersteps decay the envelopes back down.
+        for _ in 0..12 {
+            p.observe(400_000, 100_000);
+        }
+        let uniform = p.budget();
+        assert!(
+            uniform < skewed / 2,
+            "budget failed to ratchet down: {uniform} vs {skewed}"
+        );
+        assert!(uniform >= 100_000, "budget fell below live demand");
+        assert!(p.observed_imbalance(4) < 1.5);
+        // The floor holds for tiny runs.
+        let mut tiny = CapacityPolicy::new();
+        tiny.observe(10, 10);
+        assert_eq!(tiny.budget(), 64 * 1024);
+    }
+
+    #[test]
+    fn adaptive_equalization_ratchets_capacity_down_after_skew() {
+        let k = 8usize;
+        let plan = MultiStagePlan::new(k, k);
+        let mut pool: ShufflePool<u32> = ShufflePool::new(4);
+        // Skewed superstep: slice 0 buffers everything (extreme steal
+        // imbalance), the others idle.
+        pool.begin(plan);
+        for v in 0..300_000u32 {
+            pool.slice_mut(0).push(v, (v % k as u32) as usize);
+        }
+        for i in 0..4 {
+            pool.slice_mut(i).finish(|r| (*r % k as u32) as usize);
+        }
+        let skew_report = pool.equalize_capacity_adaptive(None);
+        assert_eq!(skew_report.high_water, 300_000);
+        assert!(skew_report.budget >= 300_000);
+        // The peak was mirrored: every slice can now hold it.
+        assert!(skew_report.total_capacity >= 4 * 300_000);
+
+        // Uniform supersteps: modest, evenly spread load. The budget
+        // decays and capacity is actually released (shrunk), not just
+        // capped.
+        let mut last = skew_report;
+        for _ in 0..12 {
+            pool.begin(plan);
+            for i in 0..4 {
+                for v in 0..10_000u32 {
+                    pool.slice_mut(i).push(v, (v % k as u32) as usize);
+                }
+            }
+            for i in 0..4 {
+                pool.slice_mut(i).finish(|r| (*r % k as u32) as usize);
+            }
+            last = pool.equalize_capacity_adaptive(None);
+        }
+        assert!(
+            last.total_capacity < skew_report.total_capacity / 2,
+            "capacity failed to ratchet down: {} vs skew-era {}",
+            last.total_capacity,
+            skew_report.total_capacity
+        );
+        assert_eq!(last.high_water, 40_000);
+
+        // Steady state: one more uniform superstep changes nothing and
+        // allocates nothing.
+        let clean_window = xstream_core::alloc_stats::any_allocation_free_window(20, || {
+            pool.begin(plan);
+            for i in 0..4 {
+                for v in 0..10_000u32 {
+                    pool.slice_mut(i).push(v, (v % k as u32) as usize);
+                }
+            }
+            for i in 0..4 {
+                pool.slice_mut(i).finish(|r| (*r % k as u32) as usize);
+            }
+            let r = pool.equalize_capacity_adaptive(None);
+            assert_eq!(r.total_capacity, last.total_capacity);
+        });
+        assert!(clean_window, "steady-state adaptive pass kept allocating");
+    }
+
+    #[test]
+    fn high_water_survives_mid_superstep_rearms() {
+        // Spilling engines call begin() between spills; the mark must
+        // accumulate across them until taken.
+        let plan = MultiStagePlan::new(4, 4);
+        let mut s: ShuffleScratch<u32> = ShuffleScratch::new();
+        s.begin(plan);
+        for v in 0..100u32 {
+            s.push(v, (v % 4) as usize);
+        }
+        s.begin(plan); // spill rearm
+        for v in 0..40u32 {
+            s.push(v, (v % 4) as usize);
+        }
+        assert_eq!(s.take_high_water(), 100);
+        // Taking resets to the live fill.
+        assert_eq!(s.take_high_water(), 40);
+        // But a harvested fill is not folded in again by the next
+        // superstep's rearm — no cross-superstep double count.
+        s.begin(plan);
+        assert_eq!(s.take_high_water(), 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! total.
 //!
 //! The multi-stage machinery itself lives in
-//! [`ShuffleScratch`](crate::scratch::ShuffleScratch) and operates *in
+//! [`crate::scratch::ShuffleScratch`] and operates *in
 //! place* over pooled double buffers: producers append records directly
 //! into the buckets of the first radix digit (fusing the first stage
 //! into the producer — the engines' scatter phase pays no separate
@@ -137,7 +137,7 @@ impl MultiStagePlan {
 /// passes of `fanout_bits` bits over the partition id.
 ///
 /// Owned-`Vec` convenience wrapper over the in-place
-/// [`ShuffleScratch`](crate::scratch::ShuffleScratch) core: it routes
+/// [`crate::scratch::ShuffleScratch`] core: it routes
 /// `input` through a throwaway scratch (first stage fused into the
 /// append loop, remaining stages ping-ponging between the scratch's
 /// double buffers) and copies the result out. Hot paths that shuffle

@@ -1,0 +1,550 @@
+//! CPU/NUMA topology discovery and worker placement (paper Fig. 14).
+//!
+//! The paper's strong-scaling regime assumes each scatter/shuffle
+//! worker touches memory on the node that owns it. PR 3 shipped the
+//! cheap half of that — first-touch initialization of every shuffle
+//! slice on its owning *worker* — but an unpinned worker migrates
+//! between cores (and nodes), so "owning worker" did not yet imply
+//! "owning node". This module closes the gap:
+//!
+//! * [`Topology`] parses `/sys/devices/system/cpu` and
+//!   `/sys/devices/system/node` into an online-CPU-per-node map. A
+//!   synthetic-sysfs injection hook ([`Topology::from_sysfs`]) lets
+//!   tests exercise multi-node and offline-CPU layouts on any machine,
+//!   and a missing or partial sysfs degrades to a single node holding
+//!   every schedulable CPU.
+//! * [`PinPlan`] assigns worker ids to CPUs in **node-major** order, so
+//!   consecutive workers — and therefore consecutive shuffle slices,
+//!   which are owned by worker id — share a node. Per-device I/O
+//!   threads get whole-node CPU sets round-robined across nodes (they
+//!   are I/O-bound; a single-core pin would serialize them against the
+//!   compute worker sharing that core).
+//! * [`pin_current_thread`] applies a CPU set via a direct
+//!   `sched_setaffinity(2)` declaration — no new crate dependencies;
+//!   std already links libc on every supported target.
+//!
+//! Pinning is strictly best-effort. On a single-CPU container, under a
+//! cgroup cpuset that leaves fewer than two schedulable CPUs, or on a
+//! non-Linux target, [`Topology::plan`] returns `None` and every
+//! consumer falls back to unpinned operation — results never depend on
+//! placement, only locality does (asserted by the pinning differential
+//! tests).
+
+use std::path::Path;
+
+use xstream_core::PinMode;
+
+/// Maximum CPU id representable in the fixed-size affinity mask handed
+/// to `sched_setaffinity` (a 1024-bit `cpu_set_t`, glibc's default).
+pub const MAX_CPUS: usize = 1024;
+
+// ---------------------------------------------------------------- affinity
+
+/// A 1024-bit CPU mask matching glibc's `cpu_set_t` layout.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct RawCpuSet([u64; MAX_CPUS / 64]);
+
+impl RawCpuSet {
+    fn empty() -> Self {
+        Self([0; MAX_CPUS / 64])
+    }
+
+    fn set(&mut self, cpu: usize) {
+        if cpu < MAX_CPUS {
+            self.0[cpu / 64] |= 1u64 << (cpu % 64);
+        }
+    }
+
+    fn is_set(&self, cpu: usize) -> bool {
+        cpu < MAX_CPUS && self.0[cpu / 64] & (1u64 << (cpu % 64)) != 0
+    }
+
+    fn count(&self) -> usize {
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod ffi {
+    use super::RawCpuSet;
+
+    // Direct declarations against the libc std already links — the
+    // build image is offline, so no `libc` crate. Signatures match
+    // sched_setaffinity(2): pid 0 means the calling thread.
+    extern "C" {
+        pub fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const RawCpuSet) -> i32;
+        pub fn sched_getaffinity(pid: i32, cpusetsize: usize, mask: *mut RawCpuSet) -> i32;
+    }
+}
+
+/// CPUs the calling thread is currently allowed to run on (ascending),
+/// or `None` when the affinity syscall is unavailable or fails (then
+/// callers must treat every online CPU as schedulable).
+pub fn current_affinity() -> Option<Vec<usize>> {
+    #[cfg(target_os = "linux")]
+    {
+        let mut raw = RawCpuSet::empty();
+        // SAFETY: `raw` is a properly sized, writable cpu_set_t and pid
+        // 0 addresses the calling thread.
+        let rc = unsafe { ffi::sched_getaffinity(0, std::mem::size_of::<RawCpuSet>(), &mut raw) };
+        if rc != 0 {
+            return None;
+        }
+        Some((0..MAX_CPUS).filter(|&c| raw.is_set(c)).collect())
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Pins the calling thread to `cpus`. Returns whether the kernel
+/// accepted the mask; an empty set, an out-of-range id, or any syscall
+/// failure leaves the thread's affinity unchanged and returns `false`
+/// (pinning is best-effort by contract).
+pub fn pin_current_thread(cpus: &[usize]) -> bool {
+    let mut raw = RawCpuSet::empty();
+    for &c in cpus {
+        raw.set(c);
+    }
+    if raw.count() == 0 {
+        return false;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        // SAFETY: `raw` is a properly sized cpu_set_t and pid 0
+        // addresses the calling thread.
+        let rc = unsafe { ffi::sched_setaffinity(0, std::mem::size_of::<RawCpuSet>(), &raw) };
+        rc == 0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Parses the kernel's cpulist format (`0-3,7,9-10`) into ascending
+/// CPU ids. Whitespace and empty lists are tolerated; malformed
+/// entries yield `None` so callers can fall back rather than pin to a
+/// misparsed set.
+pub fn parse_cpulist(s: &str) -> Option<Vec<usize>> {
+    let s = s.trim();
+    let mut out = Vec::new();
+    if s.is_empty() {
+        return Some(out);
+    }
+    for part in s.split(',') {
+        let part = part.trim();
+        if let Some((lo, hi)) = part.split_once('-') {
+            let lo: usize = lo.trim().parse().ok()?;
+            let hi: usize = hi.trim().parse().ok()?;
+            if lo > hi {
+                return None;
+            }
+            out.extend(lo..=hi);
+        } else {
+            out.push(part.trim().parse().ok()?);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    Some(out)
+}
+
+// --------------------------------------------------------------- topology
+
+/// The machine's online CPUs grouped by NUMA node, in node-id order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// `nodes[i]` is the ascending list of online CPU ids of the i-th
+    /// populated node. Never empty; a machine without NUMA information
+    /// is one node holding every online CPU.
+    nodes: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Discovers the running machine's topology from `/sys`, clipped to
+    /// the calling thread's current affinity mask (a cgroup cpuset that
+    /// hides CPUs must also hide them from the pin plan, or
+    /// `sched_setaffinity` would fail with `EINVAL`).
+    pub fn detect() -> Self {
+        let mut t = Self::from_sysfs(Path::new("/sys/devices/system"));
+        if let Some(allowed) = current_affinity() {
+            t = t.restrict_to(&allowed);
+        }
+        t
+    }
+
+    /// Parses a sysfs-shaped directory tree (the injection hook used by
+    /// the fixture tests; production passes `/sys/devices/system`).
+    ///
+    /// Reads `cpu/online` for the schedulable CPU set — this is where
+    /// offline-CPU holes appear — and `node/node<N>/cpulist` for the
+    /// node assignment, intersecting each node with the online set and
+    /// dropping nodes left empty. Any missing or malformed file
+    /// degrades to the single-node fallback over whatever information
+    /// survived.
+    pub fn from_sysfs(root: &Path) -> Self {
+        let online = std::fs::read_to_string(root.join("cpu/online"))
+            .ok()
+            .and_then(|s| parse_cpulist(&s))
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| {
+                let n = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                (0..n).collect()
+            });
+
+        let mut nodes: Vec<(usize, Vec<usize>)> = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(root.join("node")) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                let Some(id) = name
+                    .strip_prefix("node")
+                    .and_then(|n| n.parse::<usize>().ok())
+                else {
+                    continue;
+                };
+                let Some(list) = std::fs::read_to_string(entry.path().join("cpulist"))
+                    .ok()
+                    .and_then(|s| parse_cpulist(&s))
+                else {
+                    continue;
+                };
+                let cpus: Vec<usize> = list
+                    .into_iter()
+                    .filter(|c| online.binary_search(c).is_ok())
+                    .collect();
+                if !cpus.is_empty() {
+                    nodes.push((id, cpus));
+                }
+            }
+        }
+        nodes.sort_by_key(|(id, _)| *id);
+        let mut nodes: Vec<Vec<usize>> = nodes.into_iter().map(|(_, cpus)| cpus).collect();
+        // CPUs sysfs assigns to no node (or everything, when there is
+        // no node directory at all) form the fallback node.
+        let assigned: Vec<usize> = nodes.iter().flatten().copied().collect();
+        let orphans: Vec<usize> = online
+            .iter()
+            .copied()
+            .filter(|c| !assigned.contains(c))
+            .collect();
+        if !orphans.is_empty() {
+            nodes.push(orphans);
+        }
+        if nodes.is_empty() {
+            nodes.push(online);
+        }
+        Self { nodes }
+    }
+
+    /// A topology built directly from a node → CPUs map (for tests and
+    /// experiments). Empty nodes are dropped; an entirely empty input
+    /// becomes a single node holding CPU 0.
+    pub fn synthetic(nodes: Vec<Vec<usize>>) -> Self {
+        let mut nodes: Vec<Vec<usize>> = nodes.into_iter().filter(|n| !n.is_empty()).collect();
+        if nodes.is_empty() {
+            nodes.push(vec![0]);
+        }
+        Self { nodes }
+    }
+
+    /// Drops CPUs outside `allowed` (a thread affinity mask), removing
+    /// nodes left empty; an empty intersection leaves a single node
+    /// with the first allowed CPU (or CPU 0) so the struct invariant
+    /// holds while [`Self::plan`] still declines to pin.
+    pub fn restrict_to(&self, allowed: &[usize]) -> Self {
+        let nodes: Vec<Vec<usize>> = self
+            .nodes
+            .iter()
+            .map(|cpus| {
+                cpus.iter()
+                    .copied()
+                    .filter(|c| allowed.contains(c))
+                    .collect::<Vec<_>>()
+            })
+            .filter(|cpus: &Vec<usize>| !cpus.is_empty())
+            .collect();
+        if nodes.is_empty() {
+            return Self {
+                nodes: vec![vec![allowed.first().copied().unwrap_or(0)]],
+            };
+        }
+        Self { nodes }
+    }
+
+    /// Number of populated NUMA nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total online (schedulable) CPUs.
+    pub fn num_cpus(&self) -> usize {
+        self.nodes.iter().map(Vec::len).sum()
+    }
+
+    /// The online CPUs of node `n` (ascending).
+    pub fn node_cpus(&self, n: usize) -> &[usize] {
+        &self.nodes[n]
+    }
+
+    /// `(cpu, node)` pairs in node-major order: every CPU of node 0,
+    /// then node 1, … — the order worker ids are mapped onto, so
+    /// consecutive workers share a node.
+    pub fn cpus_node_major(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .flat_map(|(node, cpus)| cpus.iter().map(move |&c| (c, node)))
+    }
+
+    /// Builds the placement plan for `workers` worker ids under `mode`,
+    /// or `None` when pinning cannot help: mode off, fewer than two
+    /// schedulable CPUs (single-CPU containers, restrictive cpusets),
+    /// or a non-Linux target.
+    pub fn plan(&self, mode: PinMode, workers: usize) -> Option<PinPlan> {
+        if !cfg!(target_os = "linux") || mode == PinMode::Off || self.num_cpus() < 2 || workers == 0
+        {
+            return None;
+        }
+        let order: Vec<(usize, usize)> = self.cpus_node_major().collect();
+        let mut worker_sets = Vec::with_capacity(workers);
+        let mut worker_nodes = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (cpu, node) = order[w % order.len()];
+            worker_nodes.push(node);
+            match mode {
+                PinMode::Cores => worker_sets.push(vec![cpu]),
+                PinMode::Nodes => worker_sets.push(self.nodes[node].clone()),
+                PinMode::Off => unreachable!("handled above"),
+            }
+        }
+        Some(PinPlan {
+            worker_sets,
+            worker_nodes,
+            node_sets: self.nodes.clone(),
+        })
+    }
+}
+
+// --------------------------------------------------------------- pin plan
+
+/// A concrete worker-id → CPU-set assignment produced by
+/// [`Topology::plan`]; consumed by the worker pool (each worker pins
+/// itself on startup) and the per-device I/O thread sets.
+#[derive(Debug, Clone)]
+pub struct PinPlan {
+    /// CPU set per worker id (`0..workers`; id 0 is the pool's calling
+    /// thread).
+    worker_sets: Vec<Vec<usize>>,
+    /// NUMA node each worker id was assigned to.
+    worker_nodes: Vec<usize>,
+    /// Full CPU set per node, for the I/O-thread round-robin.
+    node_sets: Vec<Vec<usize>>,
+}
+
+impl PinPlan {
+    /// Number of planned worker ids.
+    pub fn workers(&self) -> usize {
+        self.worker_sets.len()
+    }
+
+    /// The CPU set worker `tid` should pin to (empty slice for ids
+    /// beyond the plan — callers leave those unpinned).
+    pub fn worker_cpus(&self, tid: usize) -> &[usize] {
+        self.worker_sets.get(tid).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The node worker `tid` was assigned to (0 beyond the plan).
+    pub fn worker_node(&self, tid: usize) -> usize {
+        self.worker_nodes.get(tid).copied().unwrap_or(0)
+    }
+
+    /// The CPU set an I/O thread serving device `d` should pin to:
+    /// whole nodes, round-robined by device id. I/O threads are never
+    /// pinned to a single core — they spend their time blocked in
+    /// syscalls, and sharing one core with a compute worker would
+    /// serialize the overlap the pipeline exists for; node-level
+    /// pinning keeps their buffer pages node-local without that
+    /// hazard.
+    pub fn io_cpus(&self, device: usize) -> &[usize] {
+        &self.node_sets[device % self.node_sets.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_sysfs(tag: &str, online: &str, nodes: &[(usize, &str)]) -> std::path::PathBuf {
+        let root = std::env::temp_dir().join(format!("xstream_topo_{tag}"));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("cpu")).unwrap();
+        std::fs::write(root.join("cpu/online"), online).unwrap();
+        for (id, cpulist) in nodes {
+            let dir = root.join(format!("node/node{id}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(dir.join("cpulist"), cpulist).unwrap();
+        }
+        root
+    }
+
+    #[test]
+    fn cpulist_parsing() {
+        assert_eq!(parse_cpulist("0-3"), Some(vec![0, 1, 2, 3]));
+        assert_eq!(parse_cpulist("0-1,3,6-7\n"), Some(vec![0, 1, 3, 6, 7]));
+        assert_eq!(parse_cpulist(" 2 "), Some(vec![2]));
+        assert_eq!(parse_cpulist(""), Some(vec![]));
+        assert_eq!(parse_cpulist("3-1"), None);
+        assert_eq!(parse_cpulist("a-b"), None);
+    }
+
+    #[test]
+    fn single_node_fixture() {
+        let root = write_sysfs("single", "0-3", &[(0, "0-3")]);
+        let t = Topology::from_sysfs(&root);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.num_cpus(), 4);
+        assert_eq!(t.node_cpus(0), &[0, 1, 2, 3]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn two_node_fixture_orders_node_major() {
+        let root = write_sysfs("dual", "0-7", &[(0, "0-3"), (1, "4-7")]);
+        let t = Topology::from_sysfs(&root);
+        assert_eq!(t.num_nodes(), 2);
+        let order: Vec<(usize, usize)> = t.cpus_node_major().collect();
+        assert_eq!(
+            order,
+            vec![
+                (0, 0),
+                (1, 0),
+                (2, 0),
+                (3, 0),
+                (4, 1),
+                (5, 1),
+                (6, 1),
+                (7, 1)
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn offline_cpu_holes_are_excluded() {
+        // CPUs 2 and 5 are offline; node lists still mention them.
+        let root = write_sysfs("holes", "0-1,3-4,6-7", &[(0, "0-3"), (1, "4-7")]);
+        let t = Topology::from_sysfs(&root);
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.node_cpus(0), &[0, 1, 3]);
+        assert_eq!(t.node_cpus(1), &[4, 6, 7]);
+        assert_eq!(t.num_cpus(), 6);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn node_fully_offline_is_dropped() {
+        let root = write_sysfs("deadnode", "0-3", &[(0, "0-3"), (1, "4-7")]);
+        let t = Topology::from_sysfs(&root);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.num_cpus(), 4);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_sysfs_falls_back_to_single_node() {
+        let root = std::env::temp_dir().join("xstream_topo_missing_nothing_here");
+        let _ = std::fs::remove_dir_all(&root);
+        let t = Topology::from_sysfs(&root);
+        assert_eq!(t.num_nodes(), 1);
+        assert!(t.num_cpus() >= 1);
+    }
+
+    #[test]
+    fn nodeless_sysfs_groups_all_online_cpus() {
+        let root = write_sysfs("nonode", "0-5", &[]);
+        let t = Topology::from_sysfs(&root);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.node_cpus(0), &[0, 1, 2, 3, 4, 5]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn core_plan_assigns_one_core_node_major() {
+        let t = Topology::synthetic(vec![vec![0, 1], vec![2, 3]]);
+        let plan = t.plan(PinMode::Cores, 6).unwrap();
+        assert_eq!(plan.workers(), 6);
+        // Node-major: workers 0,1 on node 0, workers 2,3 on node 1,
+        // then wrap.
+        assert_eq!(plan.worker_cpus(0), &[0]);
+        assert_eq!(plan.worker_cpus(1), &[1]);
+        assert_eq!(plan.worker_cpus(2), &[2]);
+        assert_eq!(plan.worker_cpus(3), &[3]);
+        assert_eq!(plan.worker_cpus(4), &[0]);
+        assert_eq!(plan.worker_node(0), 0);
+        assert_eq!(plan.worker_node(3), 1);
+        // Beyond the plan: unpinned.
+        assert!(plan.worker_cpus(99).is_empty());
+    }
+
+    #[test]
+    fn node_plan_assigns_whole_node_sets() {
+        let t = Topology::synthetic(vec![vec![0, 1], vec![2, 3]]);
+        let plan = t.plan(PinMode::Nodes, 4).unwrap();
+        assert_eq!(plan.worker_cpus(0), &[0, 1]);
+        assert_eq!(plan.worker_cpus(2), &[2, 3]);
+        // I/O threads round-robin whole nodes by device id.
+        assert_eq!(plan.io_cpus(0), &[0, 1]);
+        assert_eq!(plan.io_cpus(1), &[2, 3]);
+        assert_eq!(plan.io_cpus(2), &[0, 1]);
+    }
+
+    #[test]
+    fn degenerate_environments_decline_to_pin() {
+        let single = Topology::synthetic(vec![vec![0]]);
+        assert!(single.plan(PinMode::Cores, 4).is_none());
+        let t = Topology::synthetic(vec![vec![0, 1]]);
+        assert!(t.plan(PinMode::Off, 4).is_none());
+        assert!(t.plan(PinMode::Cores, 0).is_none());
+    }
+
+    #[test]
+    fn restrict_to_models_cgroup_cpusets() {
+        let t = Topology::synthetic(vec![vec![0, 1], vec![2, 3]]);
+        let r = t.restrict_to(&[1, 2]);
+        assert_eq!(r.num_nodes(), 2);
+        assert_eq!(r.node_cpus(0), &[1]);
+        assert_eq!(r.node_cpus(1), &[2]);
+        // Restricted to a single CPU: topology survives but planning
+        // declines.
+        let r = t.restrict_to(&[3]);
+        assert_eq!(r.num_cpus(), 1);
+        assert!(r.plan(PinMode::Cores, 2).is_none());
+    }
+
+    #[test]
+    fn detect_reflects_this_machine() {
+        // Whatever the host looks like, the invariants hold.
+        let t = Topology::detect();
+        assert!(t.num_nodes() >= 1);
+        assert!(t.num_cpus() >= 1);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pinning_to_current_affinity_is_accepted() {
+        // Pinning to the set we already have must succeed (and is a
+        // no-op); pinning to an empty set must be rejected locally.
+        if let Some(cpus) = current_affinity() {
+            assert!(pin_current_thread(&cpus));
+        }
+        assert!(!pin_current_thread(&[]));
+    }
+}
