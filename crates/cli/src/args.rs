@@ -43,6 +43,24 @@ pub struct Args {
 /// Option names that take no value.
 const SWITCHES: &[&str] = &["undirected", "weighted", "verbose"];
 
+/// Consumes the value of option `flag`, refusing to swallow a
+/// following option: `--store --verbose` must be a usage error, not a
+/// directory literally named `--verbose`. Values that genuinely start
+/// with `--` can be passed with the `--flag=value` form.
+fn take_value(
+    it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+    flag: &str,
+) -> Result<String, CliError> {
+    match it.next() {
+        Some(v) if v.starts_with("--") => Err(CliError::Usage(format!(
+            "option {flag} needs a value, but the next argument is the option `{v}` \
+             (use {flag}=VALUE for a value that starts with --)"
+        ))),
+        Some(v) => Ok(v.clone()),
+        None => Err(CliError::Usage(format!("option {flag} needs a value"))),
+    }
+}
+
 impl Args {
     /// Parses `argv` (already split, command name removed).
     pub fn parse(argv: &[String]) -> Result<Self, CliError> {
@@ -65,10 +83,8 @@ impl Args {
                 } else if SWITCHES.contains(&name) {
                     args.switches.push(name.to_string());
                 } else {
-                    let value = it
-                        .next()
-                        .ok_or_else(|| CliError::Usage(format!("option --{name} needs a value")))?;
-                    args.options.insert(name.to_string(), value.clone());
+                    let value = take_value(&mut it, &format!("--{name}"))?;
+                    args.options.insert(name.to_string(), value);
                 }
             } else if let Some(short) = a.strip_prefix('-').filter(|s| s.len() == 1) {
                 // Single-letter aliases: -o FILE.
@@ -76,10 +92,8 @@ impl Args {
                     "o" => "output",
                     other => return Err(CliError::Usage(format!("unknown option -{other}"))),
                 };
-                let value = it
-                    .next()
-                    .ok_or_else(|| CliError::Usage(format!("option -{short} needs a value")))?;
-                args.options.insert(long.to_string(), value.clone());
+                let value = take_value(&mut it, &format!("-{short}"))?;
+                args.options.insert(long.to_string(), value);
             } else {
                 args.positional.push(a.clone());
             }
@@ -192,6 +206,29 @@ mod tests {
     fn missing_value_is_a_usage_error() {
         let err = Args::parse(&sv(&["--scale"])).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn option_cannot_swallow_a_following_option() {
+        // `--store --verbose` must not create a directory named
+        // `--verbose`.
+        let err = Args::parse(&sv(&["--store", "--verbose"])).unwrap_err();
+        match err {
+            CliError::Usage(msg) => {
+                assert!(msg.contains("--store"), "{msg}");
+                assert!(msg.contains("--verbose"), "{msg}");
+            }
+            other => panic!("expected usage error, got {other:?}"),
+        }
+        let err = Args::parse(&sv(&["-o", "--threads", "4"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        // The `=` form remains the escape hatch for literal `--` values.
+        let a = Args::parse(&sv(&["--store=--weird-dir"])).unwrap();
+        assert_eq!(a.get("store"), Some("--weird-dir"));
+        // A single-dash value (e.g. a negative number or stdin `-`)
+        // still passes positionally through options.
+        let a = Args::parse(&sv(&["--output", "-"])).unwrap();
+        assert_eq!(a.get("output"), Some("-"));
     }
 
     #[test]

@@ -6,9 +6,10 @@ use std::path::{Path, PathBuf};
 use crate::args::{Args, CliError};
 use xstream_algorithms::{bfs, conductance, mcst, mis, pagerank, scc, spmv, sssp, wcc};
 use xstream_core::{DeviceMap, EngineConfig, PinMode, RunStats};
-use xstream_disk::DiskEngine;
-use xstream_graph::fileio::{read_edge_file, write_edge_file};
-use xstream_graph::{generators, EdgeList, Rmat};
+use xstream_disk::{DiskEngine, EdgeIngest};
+use xstream_graph::fileio::{read_edge_file, write_edge_file, EdgeFileReader};
+use xstream_graph::import::{ImportFormat, ImportOptions};
+use xstream_graph::{generators, transform, EdgeList, Rmat};
 use xstream_memory::InMemoryEngine;
 use xstream_storage::StreamStore;
 use xstream_streams::{semi, wstream};
@@ -37,13 +38,30 @@ USAGE:
       -o, --output F   output path (required)
 
   xstream info <FILE>
-      Print header and degree statistics of a binary edge file.
+      Print header and degree statistics of a binary edge file
+      (computed in one streaming pass; the edge list is never loaded).
+
+  xstream import <SRC> <DST> [options]
+      Convert an external edge list into the binary .xse format,
+      streaming: bounded memory, text chunks parsed in parallel.
+      --format F           snap: whitespace text `src dst [weight]`
+                           with # / % comments and blank lines
+                           (default); pairs32 / pairs64: raw
+                           little-endian id pairs, 8/16 bytes per edge
+      --num-vertices N     declare the vertex count instead of
+                           discovering max id + 1
+      --undirected         also write the reverse of every edge
+      --threads N          parser threads (default: all cores)
 
   xstream run <algo> <FILE> [options]
       Run an algorithm over an edge file on either engine.
       algos: wcc, bfs, sssp, pagerank, spmv, mis, scc, mcst, conductance
       --engine mem|disk    in-memory (§4) or out-of-core (§3) engine
-                           (default mem)
+                           (default mem). The disk engine streams the
+                           file straight into its partition shuffle —
+                           undirected/bidirectional expansion and
+                           degree scans included — and never holds the
+                           edge list in memory (§3.2)
       --threads N          worker threads (default: all cores)
       --pin-workers MODE   off|cores|nodes: pin pool workers (and the
                            disk engine's per-device I/O threads) to
@@ -64,9 +82,14 @@ USAGE:
                            thread are striped per device
       --iterations N       fixed-iteration algorithms (pagerank):
                            rounds to run (default 5)
-      --root V             source vertex for bfs/sssp (default 0)
+      --root V             source vertex for bfs/sssp (default 0; must
+                           be below the graph's vertex count)
       --store DIR          disk engine: directory for partition streams
-                           (default: a temp dir, wiped first)
+                           (default: a fresh unique temp directory,
+                           removed afterwards). An existing DIR is
+                           wiped only if it is empty or carries the
+                           .xstream-store marker from a previous run;
+                           anything else is refused
 
   xstream components <FILE> --model semi|wstream [--capacity N]
       Connected components in the alternative streaming models.
@@ -182,32 +205,57 @@ mod rand_seed {
 
 // -------------------------------------------------------------------- info
 
-/// `xstream info FILE`.
+/// `xstream info FILE` — one streaming pass, O(V) memory.
 pub fn info(args: &Args) -> Result<String, CliError> {
     let path = args.require_positional(0, "edge file")?;
-    let g = read_edge_file(Path::new(path))?;
-    let out_deg = g.out_degrees();
-    let max_out = out_deg.iter().copied().max().unwrap_or(0);
-    let isolated = {
-        let in_deg = g.in_degrees();
-        (0..g.num_vertices())
-            .filter(|&v| out_deg[v] == 0 && in_deg[v] == 0)
-            .count()
-    };
-    let self_loops = g.edges().iter().filter(|e| e.src == e.dst).count();
+    let i = transform::streamed_info(Path::new(path))?;
     let mut s = String::new();
     let _ = writeln!(s, "file:        {path}");
-    let _ = writeln!(s, "vertices:    {}", g.num_vertices());
-    let _ = writeln!(s, "edges:       {}", g.num_edges());
+    let _ = writeln!(s, "vertices:    {}", i.num_vertices);
+    let _ = writeln!(s, "edges:       {}", i.num_edges);
     let _ = writeln!(
         s,
         "avg degree:  {:.2}",
-        g.num_edges() as f64 / g.num_vertices().max(1) as f64
+        i.num_edges as f64 / i.num_vertices.max(1) as f64
     );
-    let _ = writeln!(s, "max out-deg: {max_out}");
-    let _ = writeln!(s, "isolated:    {isolated}");
-    let _ = writeln!(s, "self loops:  {self_loops}");
+    let _ = writeln!(s, "max out-deg: {}", i.max_out_degree);
+    let _ = writeln!(s, "isolated:    {}", i.isolated);
+    let _ = writeln!(s, "self loops:  {}", i.self_loops);
     Ok(s)
+}
+
+// ------------------------------------------------------------------ import
+
+/// `xstream import <SRC> <DST> [--format F] [--num-vertices N]
+/// [--undirected] [--threads N]`.
+pub fn import(args: &Args) -> Result<String, CliError> {
+    let src = args.require_positional(0, "source file")?;
+    let dst = args.require_positional(1, "output edge file")?;
+    let format = match args.get("format") {
+        Some(f) => ImportFormat::parse(f).ok_or_else(|| {
+            CliError::Usage(format!("--format expects snap|pairs32|pairs64, got `{f}`"))
+        })?,
+        None => ImportFormat::SnapText,
+    };
+    let mut opts = ImportOptions {
+        format,
+        num_vertices: args.get_usize("num-vertices")?,
+        undirected: args.switch("undirected"),
+        ..ImportOptions::default()
+    };
+    if let Some(t) = args.get_usize("threads")? {
+        opts.threads = t.max(1);
+    }
+    let r = xstream_graph::import::import(Path::new(src), Path::new(dst), &opts)?;
+    let skipped = if r.skipped_lines > 0 {
+        format!(" ({} comment/blank lines skipped)", r.skipped_lines)
+    } else {
+        String::new()
+    };
+    Ok(format!(
+        "imported {} edges over {} vertices to {dst}{skipped}\n",
+        r.num_edges, r.num_vertices
+    ))
 }
 
 // --------------------------------------------------------------------- run
@@ -270,31 +318,163 @@ fn summarize(algo: &str, extra: &str, stats: &RunStats) -> String {
     s
 }
 
+/// Validates `--root` for the traversal algorithms before any engine
+/// is built: an out-of-range root is a usage error with the valid
+/// range, not a panic deep inside scatter.
+fn validated_root(args: &Args, algo: &str, num_vertices: usize) -> Result<u32, CliError> {
+    let root = args.get_usize("root")?.unwrap_or(0);
+    if matches!(algo, "bfs" | "sssp") && root >= num_vertices {
+        return Err(CliError::Usage(if num_vertices == 0 {
+            format!("--root {root}: the graph has no vertices")
+        } else {
+            format!(
+                "--root {root} is outside the graph's vertex range \
+                 (valid roots: 0..={})",
+                num_vertices - 1
+            )
+        }));
+    }
+    Ok(root as u32)
+}
+
+/// Marker file stamped into every partition-store directory the CLI
+/// creates; wiping a `--store` directory requires it (or an empty
+/// directory), so a typo'd path never deletes unrelated data.
+pub const STORE_MARKER: &str = ".xstream-store";
+
+/// A prepared partition-store directory. The default (CLI-chosen)
+/// temp location is unique per invocation — concurrent `xstream run`
+/// processes cannot clobber each other's partition files — and removes
+/// itself on drop; an explicit `--store DIR` is kept.
+struct StoreDir {
+    path: PathBuf,
+    ephemeral: bool,
+}
+
+impl StoreDir {
+    fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for StoreDir {
+    fn drop(&mut self) {
+        if self.ephemeral {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+fn create_marked(dir: &Path) -> Result<(), CliError> {
+    std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(dir.join(STORE_MARKER), b"xstream partition store\n"))
+        .map_err(|e| CliError::Run(format!("creating store directory {}: {e}", dir.display())))
+}
+
+/// Resolves the disk engine's partition-store directory: an explicit
+/// `--store DIR` is wiped only when that is provably safe (empty, or
+/// marked as an xstream store by a previous run); the default is a
+/// fresh unique temp directory.
+fn prepare_store_dir(args: &Args) -> Result<StoreDir, CliError> {
+    if let Some(dir) = args.get("store") {
+        let dir = PathBuf::from(dir);
+        if dir.exists() {
+            if !dir.is_dir() {
+                return Err(CliError::Run(format!(
+                    "--store {}: exists and is not a directory",
+                    dir.display()
+                )));
+            }
+            let non_empty = std::fs::read_dir(&dir)
+                .map(|mut it| it.next().is_some())
+                .unwrap_or(false);
+            if non_empty && !dir.join(STORE_MARKER).is_file() {
+                return Err(CliError::Run(format!(
+                    "--store {}: refusing to wipe a non-empty directory without an \
+                     {STORE_MARKER} marker (it was not created by xstream run); \
+                     pass an empty directory or remove it yourself",
+                    dir.display()
+                )));
+            }
+            std::fs::remove_dir_all(&dir)
+                .map_err(|e| CliError::Run(format!("--store {}: {e}", dir.display())))?;
+        }
+        create_marked(&dir)?;
+        Ok(StoreDir {
+            path: dir,
+            ephemeral: false,
+        })
+    } else {
+        let base = std::env::temp_dir();
+        let pid = std::process::id();
+        let mut attempt = 0u32;
+        loop {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos())
+                .unwrap_or(0);
+            let dir = base.join(format!("xstream_run_{pid}_{nanos:09}_{attempt}"));
+            match std::fs::create_dir(&dir) {
+                Ok(()) => {
+                    std::fs::write(dir.join(STORE_MARKER), b"xstream partition store\n")
+                        .map_err(|e| CliError::Run(format!("marking store directory: {e}")))?;
+                    return Ok(StoreDir {
+                        path: dir,
+                        ephemeral: true,
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists && attempt < 1000 => {
+                    attempt += 1;
+                }
+                Err(e) => {
+                    return Err(CliError::Run(format!(
+                        "creating store directory {}: {e}",
+                        dir.display()
+                    )))
+                }
+            }
+        }
+    }
+}
+
 /// `xstream run <algo> <FILE> ...`.
 pub fn run(args: &Args) -> Result<String, CliError> {
     let algo = args.require_positional(0, "algorithm")?.to_string();
     let path = args.require_positional(1, "edge file")?.to_string();
     let engine_kind = args.get("engine").unwrap_or("mem");
     let cfg = engine_config(args)?;
-    let graph = read_edge_file(Path::new(&path))?;
-    let root = args.get_usize("root")?.unwrap_or(0) as u32;
     let iterations = args.get_usize("iterations")?.unwrap_or(5);
 
     match engine_kind {
-        "mem" => run_in_memory(&algo, &graph, cfg, root, iterations),
+        "mem" => {
+            let graph = read_edge_file(Path::new(&path))?;
+            let root = validated_root(args, &algo, graph.num_vertices())?;
+            run_in_memory(&algo, &graph, cfg, root, iterations)
+        }
         "disk" => {
-            let dir: PathBuf = args
-                .get("store")
-                .map(PathBuf::from)
-                .unwrap_or_else(|| std::env::temp_dir().join("xstream_cli_store"));
-            let _ = std::fs::remove_dir_all(&dir);
-            let mut store = StreamStore::new(&dir, cfg.io_unit)?;
+            // Header-only peek: the vertex count for root validation
+            // and vertex-state sizing. The edge payload itself is
+            // streamed by the engine — never materialized (§3).
+            let num_vertices = EdgeFileReader::open(Path::new(&path))?.num_vertices();
+            let root = validated_root(args, &algo, num_vertices)?;
+            let dir = prepare_store_dir(args)?;
+            let mut store = StreamStore::new(dir.path(), cfg.io_unit)?;
             if let Some(map) = cfg.device_map {
                 // Fig. 15 layout: the engine stripes one reader and one
                 // writer thread per declared device.
                 store = store.with_device_fn(map.num_devices(), move |name| map.device_of(name));
             }
-            run_on_disk(&algo, &graph, store, cfg, root, iterations)
+            let out = run_on_disk(
+                &algo,
+                Path::new(&path),
+                num_vertices,
+                store,
+                cfg,
+                root,
+                iterations,
+            );
+            drop(dir); // Removes the default temp store; keeps --store.
+            out
         }
         other => Err(CliError::Usage(format!(
             "--engine must be mem or disk, got `{other}`"
@@ -425,9 +605,17 @@ fn run_in_memory(
     }
 }
 
+/// Runs an algorithm on the out-of-core engine. Every arm builds its
+/// engine from a path-based [`EdgeIngest`] descriptor — the file is
+/// streamed into the partition shuffle with any undirected or
+/// bidirectional doubling applied per chunk (§3.2 pre-processing), so
+/// the full `EdgeList` is never constructed. The only vertex-indexed
+/// allocations are the O(V) arrays §3.1 budgets to memory (degrees for
+/// PageRank, the SpMV input vector).
 fn run_on_disk(
     algo: &str,
-    graph: &EdgeList,
+    input: &Path,
+    num_vertices: usize,
     store: StreamStore,
     cfg: EngineConfig,
     root: u32,
@@ -435,9 +623,8 @@ fn run_on_disk(
 ) -> Result<String, CliError> {
     match algo {
         "wcc" => {
-            let und = graph.to_undirected();
             let p = wcc::Wcc::new();
-            let mut e = DiskEngine::from_graph(store, &und, &p, cfg)?;
+            let mut e = DiskEngine::from_ingest(store, &EdgeIngest::undirected(input), &p, cfg)?;
             let (labels, stats) = wcc::run(&mut e, &p);
             let io = e.store().accounting().snapshot();
             Ok(format!(
@@ -453,7 +640,7 @@ fn run_on_disk(
         }
         "bfs" => {
             let p = bfs::Bfs::new();
-            let mut e = DiskEngine::from_graph(store, graph, &p, cfg)?;
+            let mut e = DiskEngine::from_ingest(store, &EdgeIngest::new(input), &p, cfg)?;
             let (levels, stats) = bfs::run(&mut e, &p, root);
             let reached = levels.iter().filter(|&&l| l != bfs::UNREACHED).count();
             Ok(summarize(
@@ -464,8 +651,11 @@ fn run_on_disk(
         }
         "pagerank" => {
             let p = pagerank::Pagerank;
-            let degrees = graph.out_degrees();
-            let mut e = DiskEngine::from_graph(store, graph, &p, cfg)?;
+            // One-pass streamed degree scan (O(V) counts, no edge
+            // list) instead of materializing the graph for
+            // `out_degrees`.
+            let degrees = transform::streamed_out_degrees(input)?;
+            let mut e = DiskEngine::from_ingest(store, &EdgeIngest::new(input), &p, cfg)?;
             let (ranks, stats) = pagerank::run(&mut e, &p, &degrees, iterations);
             let top = ranks
                 .iter()
@@ -477,7 +667,7 @@ fn run_on_disk(
         }
         "sssp" => {
             let p = sssp::Sssp::new();
-            let mut e = DiskEngine::from_graph(store, graph, &p, cfg)?;
+            let mut e = DiskEngine::from_ingest(store, &EdgeIngest::new(input), &p, cfg)?;
             let (dist, stats) = sssp::run(&mut e, &p, root);
             let reached = dist.iter().filter(|d| d.is_finite()).count();
             Ok(summarize(
@@ -487,9 +677,8 @@ fn run_on_disk(
             ))
         }
         "mis" => {
-            let und = graph.to_undirected();
             let p = mis::Mis::new();
-            let mut e = DiskEngine::from_graph(store, &und, &p, cfg)?;
+            let mut e = DiskEngine::from_ingest(store, &EdgeIngest::undirected(input), &p, cfg)?;
             let (statuses, stats) = mis::run(&mut e, &p);
             let members = statuses
                 .iter()
@@ -498,9 +687,8 @@ fn run_on_disk(
             Ok(summarize(algo, &format!("{members} members"), &stats))
         }
         "scc" => {
-            let bidir = graph.to_bidirectional();
             let p = scc::Scc::new();
-            let mut e = DiskEngine::from_graph(store, &bidir, &p, cfg)?;
+            let mut e = DiskEngine::from_ingest(store, &EdgeIngest::bidirectional(input), &p, cfg)?;
             let (ids, stats) = scc::run(&mut e, &p);
             let mut distinct = ids.clone();
             distinct.sort_unstable();
@@ -512,9 +700,8 @@ fn run_on_disk(
             ))
         }
         "mcst" => {
-            let und = graph.to_undirected();
             let p = mcst::Mcst;
-            let mut e = DiskEngine::from_graph(store, &und, &p, cfg)?;
+            let mut e = DiskEngine::from_ingest(store, &EdgeIngest::undirected(input), &p, cfg)?;
             let (result, stats) = mcst::run(&mut e, &p);
             Ok(summarize(
                 algo,
@@ -527,8 +714,8 @@ fn run_on_disk(
         }
         "spmv" => {
             let p = spmv::Spmv;
-            let mut e = DiskEngine::from_graph(store, graph, &p, cfg)?;
-            let x = vec![1.0f32; graph.num_vertices()];
+            let mut e = DiskEngine::from_ingest(store, &EdgeIngest::new(input), &p, cfg)?;
+            let x = vec![1.0f32; num_vertices];
             let (y, it) = spmv::run(&mut e, &p, &x);
             let stats = RunStats {
                 iterations: vec![it],
@@ -539,7 +726,7 @@ fn run_on_disk(
         }
         "conductance" => {
             let p = conductance::Conductance;
-            let mut e = DiskEngine::from_graph(store, graph, &p, cfg)?;
+            let mut e = DiskEngine::from_ingest(store, &EdgeIngest::new(input), &p, cfg)?;
             let (r, it) = conductance::run(&mut e, &p, &|v| v & 1);
             let stats = RunStats {
                 iterations: vec![it],
@@ -846,9 +1033,215 @@ mod tests {
             "--seed",
             "--undirected",
             "--weighted",
+            "--format",
+            "--num-vertices",
         ] {
             assert!(help.contains(flag), "{flag} missing from usage()");
         }
+    }
+
+    #[test]
+    fn store_dir_safety() {
+        let path = tmpfile("storesafety.edges");
+        dispatch(&sv(&[
+            "generate",
+            "erdos-renyi",
+            "--vertices",
+            "200",
+            "--edges",
+            "1000",
+            "-o",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let run = |store: &Path| {
+            dispatch(&sv(&[
+                "run",
+                "wcc",
+                path.to_str().unwrap(),
+                "--engine",
+                "disk",
+                "--memory-budget",
+                "1M",
+                "--io-unit",
+                "16K",
+                "--store",
+                store.to_str().unwrap(),
+            ]))
+        };
+        // A non-empty directory without the marker is refused — and
+        // survives untouched.
+        let precious = std::env::temp_dir().join("xstream_cli_precious");
+        let _ = std::fs::remove_dir_all(&precious);
+        std::fs::create_dir_all(&precious).unwrap();
+        std::fs::write(precious.join("thesis.tex"), b"irreplaceable").unwrap();
+        let err = run(&precious).unwrap_err();
+        assert!(matches!(err, CliError::Run(_)), "{err}");
+        assert!(err.to_string().contains(STORE_MARKER), "{err}");
+        assert_eq!(
+            std::fs::read(precious.join("thesis.tex")).unwrap(),
+            b"irreplaceable"
+        );
+        // An empty directory is fine, gains the marker, and a second
+        // run over the now-marked directory is allowed to wipe it.
+        std::fs::remove_file(precious.join("thesis.tex")).unwrap();
+        run(&precious).unwrap();
+        assert!(precious.join(STORE_MARKER).is_file());
+        run(&precious).unwrap();
+        let _ = std::fs::remove_dir_all(&precious);
+        // A store path that is a file is refused.
+        let file = std::env::temp_dir().join("xstream_cli_store_file");
+        std::fs::write(&file, b"x").unwrap();
+        assert!(matches!(run(&file), Err(CliError::Run(_))));
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn default_store_is_unique_and_cleaned_up() {
+        let path = tmpfile("defstore.edges");
+        dispatch(&sv(&[
+            "generate",
+            "erdos-renyi",
+            "--vertices",
+            "150",
+            "--edges",
+            "800",
+            "-o",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let leftovers = || {
+            std::fs::read_dir(std::env::temp_dir())
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| {
+                    e.file_name()
+                        .to_string_lossy()
+                        .starts_with(&format!("xstream_run_{}_", std::process::id()))
+                })
+                .count()
+        };
+        let before = leftovers();
+        dispatch(&sv(&[
+            "run",
+            "wcc",
+            path.to_str().unwrap(),
+            "--engine",
+            "disk",
+            "--memory-budget",
+            "1M",
+            "--io-unit",
+            "16K",
+        ]))
+        .unwrap();
+        // The per-invocation temp store removed itself.
+        assert_eq!(leftovers(), before);
+    }
+
+    #[test]
+    fn out_of_range_root_is_a_usage_error() {
+        let path = tmpfile("root.edges");
+        dispatch(&sv(&[
+            "generate",
+            "grid",
+            "--vertices",
+            "100",
+            "-o",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        for engine in ["mem", "disk"] {
+            for algo in ["bfs", "sssp"] {
+                let err = dispatch(&sv(&[
+                    "run",
+                    algo,
+                    path.to_str().unwrap(),
+                    "--engine",
+                    engine,
+                    "--memory-budget",
+                    "1M",
+                    "--io-unit",
+                    "16K",
+                    "--root",
+                    "100000",
+                ]))
+                .unwrap_err();
+                match err {
+                    CliError::Usage(msg) => {
+                        assert!(msg.contains("valid roots"), "{algo}/{engine}: {msg}")
+                    }
+                    other => panic!("{algo}/{engine}: expected usage error, got {other}"),
+                }
+            }
+        }
+        // An in-range root still works, and pagerank ignores --root
+        // entirely (no spurious validation).
+        let out = dispatch(&sv(&["run", "bfs", path.to_str().unwrap(), "--root", "99"])).unwrap();
+        assert!(out.contains("vertices reached"), "{out}");
+        let out = dispatch(&sv(&[
+            "run",
+            "pagerank",
+            path.to_str().unwrap(),
+            "--root",
+            "100000",
+        ]))
+        .unwrap();
+        assert!(out.contains("top vertex"), "{out}");
+    }
+
+    #[test]
+    fn import_then_run_pipeline() {
+        let dir = std::env::temp_dir().join("xstream_cli_import");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("snap.txt");
+        let dst = dir.join("snap.xse");
+        std::fs::write(&src, "# tiny SNAP fixture\n0 1\n1 2\n2 3\n3 0\n\n4 4 2.5\n").unwrap();
+        let out = dispatch(&sv(&[
+            "import",
+            src.to_str().unwrap(),
+            dst.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("imported 5 edges over 5 vertices"), "{out}");
+        assert!(out.contains("2 comment/blank lines skipped"), "{out}");
+        let info = dispatch(&sv(&["info", dst.to_str().unwrap()])).unwrap();
+        assert!(info.contains("vertices:    5"), "{info}");
+        assert!(info.contains("self loops:  1"), "{info}");
+        // The imported file runs on both engines and agrees: the
+        // 0-1-2-3 cycle plus the isolated self-loop vertex give two
+        // components. (Explicit --store: the default-store path is
+        // owned by `default_store_is_unique_and_cleaned_up`, which
+        // counts this process's ephemeral temp dirs and would race a
+        // concurrent default-store run.)
+        let store = dir.join("store");
+        for engine in ["mem", "disk"] {
+            let out = dispatch(&sv(&[
+                "run",
+                "wcc",
+                dst.to_str().unwrap(),
+                "--engine",
+                engine,
+                "--memory-budget",
+                "1M",
+                "--io-unit",
+                "16K",
+                "--store",
+                store.to_str().unwrap(),
+            ]))
+            .unwrap();
+            assert!(out.contains("2 components"), "{engine}: {out}");
+        }
+        // Bad format name is a usage error.
+        let err = dispatch(&sv(&[
+            "import",
+            src.to_str().unwrap(),
+            dst.to_str().unwrap(),
+            "--format",
+            "yaml",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -4,10 +4,16 @@
 //!
 //! ```text
 //! xstream generate rmat --scale 20 -o twitter.edges
+//! xstream import soc-LiveJournal1.txt lj.edges --undirected
 //! xstream info twitter.edges
 //! xstream run wcc twitter.edges --engine disk --memory-budget 256M
 //! xstream components twitter.edges --model wstream --capacity 4096
 //! ```
+//!
+//! The `--engine disk` path is genuinely out-of-core end to end: the
+//! edge file is streamed into the partition shuffle (undirected /
+//! bidirectional expansion applied chunk-by-chunk, degrees scanned in
+//! one pass) and the full edge list is never held in memory.
 //!
 //! Argument parsing is hand-rolled (the project's dependency policy
 //! admits no CLI crates) but lives in [`args`] behind a testable API.
@@ -27,6 +33,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
     match command.as_str() {
         "generate" => commands::generate(&Args::parse(rest)?),
         "info" => commands::info(&Args::parse(rest)?),
+        "import" => commands::import(&Args::parse(rest)?),
         "run" => commands::run(&Args::parse(rest)?),
         "components" => commands::components(&Args::parse(rest)?),
         "help" | "--help" | "-h" => Ok(commands::usage()),

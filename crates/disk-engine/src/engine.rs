@@ -65,7 +65,7 @@
 //! differential tests and the `disk_superstep` benchmark baseline.
 
 use std::mem::size_of;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -77,13 +77,71 @@ use xstream_core::{
     Record, Result, VertexId,
 };
 use xstream_graph::fileio::EdgeFileReader;
-use xstream_graph::EdgeList;
+use xstream_graph::{EdgeList, MirrorMode};
 use xstream_storage::pool::{PerWorkerPtr, WorkerPool};
 use xstream_storage::shuffle::MultiStagePlan;
 use xstream_storage::topology::Topology;
 use xstream_storage::{
     AsyncWriter, ReadAhead, ShuffleArena, ShufflePool, ShuffleScratch, StreamStore, WriteMark,
 };
+
+/// Path-based ingest descriptor: *what* edge file to stream and *how*
+/// to expand it on the fly during the pre-processing shuffle.
+///
+/// This is the out-of-core entry point the paper describes (§3: one
+/// streaming pass over an unordered edge list, no sort, no in-memory
+/// graph): [`DiskEngine::from_ingest`] reads the file chunk by chunk,
+/// applies the [`MirrorMode`] to each loaded chunk *before* partition
+/// routing, and appends the shuffled runs to the partition edge files.
+/// The undirected/bidirectional doubling that
+/// [`EdgeList::to_undirected`]/[`EdgeList::to_bidirectional`] perform
+/// in RAM therefore costs O(chunk) memory here, and ingest as a whole
+/// is bounded by the chunk buffers plus vertex state — never the edge
+/// list.
+#[derive(Debug, Clone)]
+pub struct EdgeIngest {
+    path: PathBuf,
+    mirror: MirrorMode,
+}
+
+impl EdgeIngest {
+    /// Streams the file as stored (directed).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            mirror: MirrorMode::None,
+        }
+    }
+
+    /// Streams the file with on-the-fly undirected expansion (every
+    /// chunk is mirrored before partition routing; self-loops stay
+    /// single).
+    pub fn undirected(path: impl Into<PathBuf>) -> Self {
+        Self::new(path).with_mirror(MirrorMode::Undirected)
+    }
+
+    /// Streams the file with on-the-fly bidirectional expansion
+    /// (forward/backward direction tags for SCC-style traversals).
+    pub fn bidirectional(path: impl Into<PathBuf>) -> Self {
+        Self::new(path).with_mirror(MirrorMode::Bidirectional)
+    }
+
+    /// Replaces the mirroring mode.
+    pub fn with_mirror(mut self, mirror: MirrorMode) -> Self {
+        self.mirror = mirror;
+        self
+    }
+
+    /// The edge file to stream.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The chunk-level expansion applied during ingest.
+    pub fn mirror(&self) -> MirrorMode {
+        self.mirror
+    }
+}
 
 /// Name of the edge stream of partition `p`.
 pub fn edge_stream(p: usize) -> String {
@@ -216,30 +274,73 @@ impl<P: EdgeProgram> DiskEngine<P> {
         config: EngineConfig,
     ) -> Result<Self> {
         let chunk = (config.io_unit / Edge::SIZE).max(1);
-        let chunks = graph.edges().chunks(chunk).map(|c| Ok(c.to_vec()));
-        Self::build(store, graph.num_vertices(), chunks, program, config)
+        let edges = graph.edges();
+        let mut offset = 0usize;
+        let source = move |buf: &mut Vec<Edge>| {
+            buf.clear();
+            if offset >= edges.len() {
+                return Ok(false);
+            }
+            let end = (offset + chunk).min(edges.len());
+            buf.extend_from_slice(&edges[offset..end]);
+            offset = end;
+            Ok(true)
+        };
+        Self::build(
+            store,
+            graph.num_vertices(),
+            MirrorMode::None,
+            source,
+            program,
+            config,
+        )
     }
 
     /// Builds an engine by streaming an on-disk edge file (the paper's
     /// input path: pre-processing reads the unordered list once and
-    /// shuffles it into partition files — no sort).
+    /// shuffles it into partition files — no sort). Shorthand for
+    /// [`Self::from_ingest`] with [`MirrorMode::None`].
     pub fn from_edge_file(
         store: StreamStore,
         path: &Path,
         program: &P,
         config: EngineConfig,
     ) -> Result<Self> {
-        let mut reader = EdgeFileReader::open(path)?;
+        Self::from_ingest(store, &EdgeIngest::new(path), program, config)
+    }
+
+    /// Builds an engine by streaming the edge file named by `ingest`,
+    /// applying its [`MirrorMode`] to each loaded chunk before
+    /// partition routing. The graph is never materialized: ingest
+    /// holds one (pooled) chunk buffer, the shuffle arena, the
+    /// writer's recycled spill buffers and the vertex state — memory
+    /// bounded by O(io_unit × threads) + vertex state, independent of
+    /// the edge count.
+    pub fn from_ingest(
+        store: StreamStore,
+        ingest: &EdgeIngest,
+        program: &P,
+        config: EngineConfig,
+    ) -> Result<Self> {
+        let mut reader = EdgeFileReader::open(ingest.path())?;
         let num_vertices = reader.num_vertices();
         let chunk = (config.io_unit / Edge::SIZE).max(1);
-        let iter = std::iter::from_fn(move || reader.next_chunk(chunk).transpose());
-        Self::build(store, num_vertices, iter, program, config)
+        let source = move |buf: &mut Vec<Edge>| reader.read_chunk_into(chunk, buf);
+        Self::build(
+            store,
+            num_vertices,
+            ingest.mirror(),
+            source,
+            program,
+            config,
+        )
     }
 
     fn build(
         store: StreamStore,
         num_vertices: usize,
-        edge_chunks: impl Iterator<Item = Result<Vec<Edge>>>,
+        mirror: MirrorMode,
+        mut next_chunk: impl FnMut(&mut Vec<Edge>) -> Result<bool>,
         program: &P,
         config: EngineConfig,
     ) -> Result<Self> {
@@ -279,8 +380,16 @@ impl<P: EdgeProgram> DiskEngine<P> {
         let mut num_edges = 0usize;
         {
             let mut arena: ShuffleArena<Edge> = ShuffleArena::new();
-            for chunk in edge_chunks {
-                let chunk = chunk?;
+            let mut chunk: Vec<Edge> = Vec::new();
+            while next_chunk(&mut chunk)? {
+                // On-the-fly expansion (undirected/bidirectional
+                // doubling) happens here, per chunk, before partition
+                // routing — the streaming replacement for the
+                // `EdgeList::to_*` whole-graph copies.
+                mirror.mirror_in_place(&mut chunk);
+                for e in &chunk {
+                    xstream_graph::transform::validate_edge(e, num_vertices)?;
+                }
                 num_edges += chunk.len();
                 arena.shuffle(&chunk, kp, |e| partitioner.partition_of(e.src));
                 for (p, run) in arena.iter_chunks() {
@@ -1232,6 +1341,53 @@ mod tests {
         );
         mem.run(&MinLabel, Termination::Converged);
         assert_eq!(disk.states(), mem.states());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mirrored_ingest_matches_materialized_expansion() {
+        // Streaming a *directed* file with on-the-fly undirected
+        // mirroring must equal building from the doubled-in-RAM graph.
+        let dir = std::env::temp_dir().join("xstream_disk_input_mirror");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.xse");
+        let g = generators::preferential_attachment(200, 4, 11);
+        xstream_graph::fileio::write_edge_file(&path, &g).unwrap();
+
+        let store = temp_store("mirror_stream");
+        let mut streamed = DiskEngine::from_ingest(
+            store,
+            &EdgeIngest::undirected(&path),
+            &MinLabel,
+            small_config(),
+        )
+        .unwrap();
+        let und = g.to_undirected();
+        assert_eq!(streamed.num_edges(), und.num_edges());
+        streamed.run(&MinLabel, Termination::Converged);
+
+        let store = temp_store("mirror_mat");
+        let mut materialized =
+            DiskEngine::from_graph(store, &und, &MinLabel, small_config()).unwrap();
+        materialized.run(&MinLabel, Termination::Converged);
+        assert_eq!(streamed.states(), materialized.states());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ingest_rejects_out_of_range_edges() {
+        // A file whose header under-declares the vertex range must be
+        // refused at ingest, not panic deep inside the partitioner.
+        let dir = std::env::temp_dir().join("xstream_disk_input_oob");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.xse");
+        let bad = EdgeList::from_parts_unchecked(4, vec![Edge::new(0, 9)]);
+        xstream_graph::fileio::write_edge_file(&path, &bad).unwrap();
+        let store = temp_store("oob");
+        let r = DiskEngine::from_edge_file(store, &path, &MinLabel, small_config());
+        assert!(matches!(r, Err(Error::InvalidInput(_))));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

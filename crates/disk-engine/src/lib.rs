@@ -9,7 +9,11 @@
 //! The engine stores three streams per partition — vertices, edges and
 //! updates — inside a [`xstream_storage::StreamStore`]. Pre-processing
 //! is a single streaming shuffle of the unordered input edge list into
-//! the per-partition edge files: no sorting, ever.
+//! the per-partition edge files: no sorting, ever. The streaming entry
+//! point is [`DiskEngine::from_ingest`] with an [`EdgeIngest`]
+//! descriptor (path + on-the-fly mirroring), which never materializes
+//! the graph; [`DiskEngine::from_graph`] exists for callers that
+//! already hold an in-memory edge list (tests, benches, generators).
 //!
 //! Like the in-memory engine, the superstep hot path is built for a
 //! **zero-allocation, fully overlapped steady state**: a persistent
@@ -62,4 +66,4 @@
 pub mod engine;
 pub mod vertices;
 
-pub use engine::DiskEngine;
+pub use engine::{DiskEngine, EdgeIngest};

@@ -1,18 +1,32 @@
-//! Binary on-disk edge-list format.
+//! Binary on-disk edge-list format (`.xse`).
 //!
 //! The out-of-core engine's input is "a file containing the unordered
 //! edge list of the graph" (paper §3). The format here is a small
 //! header followed by raw [`Edge`] records — readable in fixed-size
 //! chunks so the pre-processing shuffle can stream it with large
 //! sequential I/O and never hold the whole graph in memory.
+//!
+//! Reading is defensive: [`EdgeFileReader::open`] cross-checks the
+//! header's declared counts against the actual file length *before*
+//! anything is allocated, so a corrupt (or hostile) header can neither
+//! trigger a multi-gigabyte `Vec::with_capacity` nor masquerade a
+//! truncated payload as a smaller graph. Genuine I/O failures keep
+//! their [`std::io::Error`] kind ([`Error::Io`]) — `ENOSPC`/`EIO`
+//! stay distinguishable from truncation ([`Error::InvalidInput`]).
+//!
+//! Writing comes in two flavors: [`write_edge_file`] for in-memory
+//! edge lists, and the streaming [`EdgeFileWriter`] used by
+//! `xstream import` — it stamps a placeholder header, appends edge
+//! chunks as they are parsed, and seeks back to finalize the counts,
+//! so an import never holds more than one chunk of the input.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use crate::edgelist::EdgeList;
-use xstream_core::record::{decode_records, records_as_bytes};
-use xstream_core::{Edge, Error, Result};
+use xstream_core::record::{records_as_bytes, RecordIter};
+use xstream_core::{Edge, Error, Result, VertexId};
 
 /// Magic bytes identifying an X-Stream edge file.
 pub const MAGIC: &[u8; 8] = b"XSTREAM1";
@@ -32,18 +46,16 @@ pub fn write_edge_file(path: &Path, g: &EdgeList) -> Result<()> {
 }
 
 /// Reads a whole edge file into memory.
+///
+/// The header was validated against the file length by
+/// [`EdgeFileReader::open`], so the up-front allocation is bounded by
+/// the actual file size.
 pub fn read_edge_file(path: &Path) -> Result<EdgeList> {
     let mut reader = EdgeFileReader::open(path)?;
     let mut edges = Vec::with_capacity(reader.num_edges());
-    while let Some(chunk) = reader.next_chunk(1 << 20)? {
+    let mut chunk = Vec::new();
+    while reader.read_chunk_into(1 << 20, &mut chunk)? {
         edges.extend_from_slice(&chunk);
-    }
-    if edges.len() != reader.num_edges() {
-        return Err(Error::InvalidInput(format!(
-            "edge file truncated: header promises {} edges, found {}",
-            reader.num_edges(),
-            edges.len()
-        )));
     }
     Ok(EdgeList::from_parts_unchecked(reader.num_vertices(), edges))
 }
@@ -54,12 +66,22 @@ pub struct EdgeFileReader {
     num_vertices: usize,
     num_edges: usize,
     read_edges: usize,
+    /// Pooled staging buffer: refilling a chunk through
+    /// [`Self::read_chunk_into`] reuses it, so steady-state reads
+    /// allocate nothing.
+    bytes: Vec<u8>,
 }
 
 impl EdgeFileReader {
-    /// Opens an edge file and parses its header.
+    /// Opens an edge file, parses its header and validates the
+    /// declared counts against the actual file length. A header that
+    /// promises more edges than the file holds — or fewer — is
+    /// rejected here, before any record is read or any buffer sized
+    /// from it is allocated.
     pub fn open(path: &Path) -> Result<Self> {
-        let mut reader = BufReader::new(File::open(path)?);
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut reader = BufReader::new(file);
         let mut header = [0u8; HEADER_LEN];
         reader.read_exact(&mut header).map_err(|_| {
             Error::InvalidInput(format!("{}: too short for an edge file", path.display()))
@@ -70,13 +92,31 @@ impl EdgeFileReader {
                 path.display()
             )));
         }
-        let num_vertices = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
-        let num_edges = u64::from_le_bytes(header[16..24].try_into().unwrap()) as usize;
+        let num_vertices = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        let num_edges = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        if num_vertices > VertexId::MAX as u64 {
+            return Err(Error::InvalidInput(format!(
+                "{}: header declares {num_vertices} vertices, beyond the 32-bit id space",
+                path.display()
+            )));
+        }
+        let expected = num_edges
+            .checked_mul(Edge::SIZE as u64)
+            .and_then(|b| b.checked_add(HEADER_LEN as u64));
+        if expected != Some(file_len) {
+            return Err(Error::InvalidInput(format!(
+                "{}: truncated or corrupt: header promises {num_edges} edges \
+                 ({} bytes), file holds {file_len} bytes",
+                path.display(),
+                expected.map_or_else(|| "overflowing".to_string(), |b| b.to_string()),
+            )));
+        }
         Ok(Self {
             reader,
-            num_vertices,
-            num_edges,
+            num_vertices: num_vertices as usize,
+            num_edges: num_edges as usize,
             read_edges: 0,
+            bytes: Vec::new(),
         })
     }
 
@@ -92,19 +132,131 @@ impl EdgeFileReader {
         self.num_edges
     }
 
-    /// Reads the next chunk of at most `max_edges` edges; `None` at EOF.
-    pub fn next_chunk(&mut self, max_edges: usize) -> Result<Option<Vec<Edge>>> {
+    /// Refills `out` with the next chunk of at most `max_edges` edges,
+    /// reusing its capacity (and the reader's pooled byte buffer), so
+    /// a streaming pass over the file performs no steady-state
+    /// allocation. Returns `false` at end of file.
+    ///
+    /// An unexpected end of file (the file shrank after
+    /// [`open`](Self::open) validated it) reports
+    /// [`Error::InvalidInput`]; every other read failure keeps its
+    /// [`std::io::Error`] kind in [`Error::Io`], so `EIO`/`ENOSPC`
+    /// remain distinguishable from truncation.
+    pub fn read_chunk_into(&mut self, max_edges: usize, out: &mut Vec<Edge>) -> Result<bool> {
+        out.clear();
         let remaining = self.num_edges - self.read_edges;
         if remaining == 0 {
-            return Ok(None);
+            return Ok(false);
         }
         let want = remaining.min(max_edges.max(1));
-        let mut buf = vec![0u8; want * Edge::SIZE];
-        self.reader
-            .read_exact(&mut buf)
-            .map_err(|_| Error::InvalidInput("edge file truncated mid-record".to_string()))?;
+        // resize (no clear) zero-fills only growth: steady-state
+        // chunks are same-sized, so no memset precedes the read.
+        self.bytes.resize(want * Edge::SIZE, 0);
+        self.reader.read_exact(&mut self.bytes).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                Error::InvalidInput("edge file truncated mid-record".to_string())
+            } else {
+                Error::Io(e)
+            }
+        })?;
         self.read_edges += want;
-        Ok(Some(decode_records::<Edge>(&buf)))
+        out.reserve(want);
+        out.extend(RecordIter::<Edge>::new(&self.bytes));
+        Ok(true)
+    }
+
+    /// Reads the next chunk of at most `max_edges` edges into a fresh
+    /// vector; `None` at EOF. Prefer [`Self::read_chunk_into`] on
+    /// streaming paths — this variant allocates per chunk.
+    pub fn next_chunk(&mut self, max_edges: usize) -> Result<Option<Vec<Edge>>> {
+        let mut out = Vec::new();
+        Ok(if self.read_chunk_into(max_edges, &mut out)? {
+            Some(out)
+        } else {
+            None
+        })
+    }
+}
+
+/// Streaming writer producing the binary edge format without holding
+/// the edge list in memory: create, append parsed chunks, finish.
+///
+/// The header is stamped with placeholder counts at creation and
+/// rewritten by [`finish`](Self::finish) once the totals are known —
+/// the shape `xstream import` needs, where the vertex count is
+/// discovered while streaming the source.
+pub struct EdgeFileWriter {
+    writer: BufWriter<File>,
+    num_edges: usize,
+    /// Highest vertex id seen across every appended edge (`None` until
+    /// the first edge arrives).
+    max_vertex: Option<VertexId>,
+}
+
+impl EdgeFileWriter {
+    /// Creates `path` and stamps a placeholder header.
+    pub fn create(path: &Path) -> Result<Self> {
+        let mut writer = BufWriter::new(File::create(path)?);
+        writer.write_all(MAGIC)?;
+        writer.write_all(&[0u8; HEADER_LEN - MAGIC.len()])?;
+        Ok(Self {
+            writer,
+            num_edges: 0,
+            max_vertex: None,
+        })
+    }
+
+    /// Appends a chunk of edges, tracking the highest vertex id for
+    /// automatic vertex-count discovery.
+    pub fn append(&mut self, edges: &[Edge]) -> Result<()> {
+        for e in edges {
+            let hi = e.src.max(e.dst);
+            self.max_vertex = Some(self.max_vertex.map_or(hi, |m| m.max(hi)));
+        }
+        self.num_edges += edges.len();
+        self.writer.write_all(records_as_bytes(edges))?;
+        Ok(())
+    }
+
+    /// Edges appended so far.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The vertex count the appended edges imply (`max id + 1`).
+    #[inline]
+    pub fn discovered_vertices(&self) -> usize {
+        self.max_vertex.map_or(0, |m| m as usize + 1)
+    }
+
+    /// Finalizes the header and returns `(num_vertices, num_edges)`.
+    ///
+    /// `num_vertices` of `None` uses the discovered `max id + 1`; an
+    /// explicit count smaller than that is an
+    /// [`Error::InvalidInput`] — the file would reference vertices
+    /// outside its own declared range.
+    pub fn finish(mut self, num_vertices: Option<usize>) -> Result<(usize, usize)> {
+        let discovered = self.discovered_vertices();
+        let n = num_vertices.unwrap_or(discovered);
+        if n < discovered {
+            return Err(Error::InvalidInput(format!(
+                "declared vertex count {n} is below the highest referenced id \
+                 (needs at least {discovered})"
+            )));
+        }
+        if n > VertexId::MAX as usize {
+            return Err(Error::InvalidInput(format!(
+                "vertex count {n} exceeds the 32-bit id space"
+            )));
+        }
+        self.writer.flush()?;
+        let file = self.writer.get_mut();
+        file.seek(SeekFrom::Start(MAGIC.len() as u64))?;
+        file.write_all(&(n as u64).to_le_bytes())?;
+        file.write_all(&(self.num_edges as u64).to_le_bytes())?;
+        file.sync_data()?;
+        Ok((n, self.num_edges))
     }
 }
 
@@ -145,6 +297,41 @@ mod tests {
     }
 
     #[test]
+    fn streaming_writer_roundtrip() {
+        let dir = std::env::temp_dir().join("xstream_fileio_test_writer");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.xse");
+        let g = erdos_renyi(50, 400, 9);
+        let mut w = EdgeFileWriter::create(&path).unwrap();
+        for chunk in g.edges().chunks(37) {
+            w.append(chunk).unwrap();
+        }
+        // Explicit vertex count (the generator may leave trailing
+        // isolated vertices the discovered max id cannot see).
+        let (v, e) = w.finish(Some(g.num_vertices())).unwrap();
+        assert_eq!((v, e), (g.num_vertices(), g.num_edges()));
+        assert_eq!(read_edge_file(&path).unwrap(), g);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_discovers_vertex_count_and_rejects_undercounts() {
+        let dir = std::env::temp_dir().join("xstream_fileio_test_disc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.xse");
+        let mut w = EdgeFileWriter::create(&path).unwrap();
+        w.append(&[Edge::new(3, 17), Edge::new(0, 4)]).unwrap();
+        assert_eq!(w.discovered_vertices(), 18);
+        let (v, e) = w.finish(None).unwrap();
+        assert_eq!((v, e), (18, 2));
+
+        let mut w = EdgeFileWriter::create(&path).unwrap();
+        w.append(&[Edge::new(3, 17)]).unwrap();
+        assert!(matches!(w.finish(Some(10)), Err(Error::InvalidInput(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         let dir = std::env::temp_dir().join("xstream_fileio_test_magic");
         std::fs::create_dir_all(&dir).unwrap();
@@ -161,10 +348,89 @@ mod tests {
         let path = dir.join("g.xse");
         let g = erdos_renyi(10, 50, 4);
         write_edge_file(&path, &g).unwrap();
-        // Chop off the last 7 bytes.
+        // Chop off the last 7 bytes: the length check at open rejects
+        // the file before a single record is read.
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
-        assert!(read_edge_file(&path).is_err());
+        match read_edge_file(&path) {
+            Err(Error::InvalidInput(msg)) => assert!(msg.contains("truncated"), "{msg}"),
+            other => panic!("expected InvalidInput, got {:?}", other.map(|_| ())),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hostile_header_rejected_before_allocation() {
+        let dir = std::env::temp_dir().join("xstream_fileio_test_hostile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("evil.xse");
+        // A header promising u64::MAX edges over 8 bytes of payload:
+        // open() must reject it from the length mismatch (and the
+        // byte-count overflow) — never size an allocation from it.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&100u64.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 8]);
+        std::fs::write(&path, &bytes).unwrap();
+        match EdgeFileReader::open(&path) {
+            Err(Error::InvalidInput(msg)) => assert!(msg.contains("truncated"), "{msg}"),
+            other => panic!("expected InvalidInput, got {:?}", other.map(|_| ())),
+        }
+        // Same for a merely-large lie that doesn't overflow.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&100u64.to_le_bytes());
+        bytes.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 24]);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            EdgeFileReader::open(&path),
+            Err(Error::InvalidInput(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn vertex_count_beyond_id_space_rejected() {
+        let dir = std::env::temp_dir().join("xstream_fileio_test_vspace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("big.xse");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&(u64::from(u32::MAX) + 2).to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match EdgeFileReader::open(&path) {
+            Err(Error::InvalidInput(msg)) => assert!(msg.contains("id space"), "{msg}"),
+            other => panic!("expected InvalidInput, got {:?}", other.map(|_| ())),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn steady_state_chunk_reads_reuse_buffers() {
+        // Deterministic reuse check (the process-wide alloc counters
+        // belong to single-test binaries like `tests/out_of_core.rs`,
+        // which asserts the end-to-end ingest allocation bound): after
+        // the first chunk warms the buffers, neither the caller's
+        // chunk vector nor its backing allocation may move or grow.
+        let dir = std::env::temp_dir().join("xstream_fileio_test_alloc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.xse");
+        let g = erdos_renyi(200, 20_000, 6);
+        write_edge_file(&path, &g).unwrap();
+        let mut reader = EdgeFileReader::open(&path).unwrap();
+        let mut chunk = Vec::new();
+        assert!(reader.read_chunk_into(512, &mut chunk).unwrap());
+        let (ptr, cap) = (chunk.as_ptr(), chunk.capacity());
+        let mut total = chunk.len();
+        while reader.read_chunk_into(512, &mut chunk).unwrap() {
+            total += chunk.len();
+            assert_eq!(chunk.as_ptr(), ptr, "chunk buffer was reallocated");
+            assert_eq!(chunk.capacity(), cap, "chunk buffer grew");
+        }
+        assert_eq!(total, g.num_edges());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -14,6 +14,11 @@
 //!   ([`datasets`], Fig. 10),
 //! * a binary on-disk edge format ([`fileio`]) for the out-of-core
 //!   engine,
+//! * streaming derivations over edge files ([`transform`]: chunk-level
+//!   undirected/bidirectional mirroring, one-pass degree scans) so the
+//!   out-of-core path never materializes a graph,
+//! * external-dataset ingestion ([`import`]: SNAP-style text and raw
+//!   binary id pairs → `.xse`, chunked parallel parse),
 //! * CSR/CSC adjacency construction ([`csr`]) for the index-based
 //!   comparison systems, and
 //! * edge-list sorting baselines ([`sort`]) for the sorting-vs-streaming
@@ -24,9 +29,12 @@ pub mod datasets;
 pub mod edgelist;
 pub mod fileio;
 pub mod generators;
+pub mod import;
 pub mod rmat;
 pub mod sort;
+pub mod transform;
 
 pub use csr::Csr;
 pub use edgelist::EdgeList;
 pub use rmat::{Rmat, RmatParams};
+pub use transform::MirrorMode;

@@ -12,7 +12,7 @@
 
 use xstream::algorithms::wcc;
 use xstream::core::EngineConfig;
-use xstream::disk::DiskEngine;
+use xstream::disk::{DiskEngine, EdgeIngest};
 use xstream::graph::fileio::write_edge_file;
 use xstream::graph::generators::erdos_renyi;
 use xstream::storage::StreamStore;
@@ -22,9 +22,11 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(100_000);
-    let graph = erdos_renyi(n, n * 8, 7).to_undirected();
+    let graph = erdos_renyi(n, n * 8, 7);
 
-    // 1. The input: a completely unordered edge list in a binary file.
+    // 1. The input: a completely unordered *directed* edge list in a
+    //    binary file. The undirected doubling WCC needs happens on the
+    //    fly during ingest — never in memory.
     let dir = std::env::temp_dir().join("xstream_example_wcc");
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("create temp dir");
@@ -36,14 +38,16 @@ fn main() {
         edge_file.display()
     );
 
-    // 2. Pre-processing: one streaming shuffle into partition files.
+    // 2. Pre-processing: one streaming shuffle into partition files,
+    //    mirroring each loaded chunk before partition routing.
     let store = StreamStore::new(&dir.join("store"), 1 << 20).expect("stream store");
     let config = EngineConfig::default()
         .with_memory_budget(8 << 20) // far smaller than the graph
         .with_io_unit(1 << 20);
     let program = wcc::Wcc::new();
+    let ingest = EdgeIngest::undirected(&edge_file);
     let mut engine =
-        DiskEngine::from_edge_file(store, &edge_file, &program, config).expect("disk engine");
+        DiskEngine::from_ingest(store, &ingest, &program, config).expect("disk engine");
     println!(
         "partitioned into {} streaming partitions",
         engine.partitioner().num_partitions()

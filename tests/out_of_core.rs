@@ -1,0 +1,202 @@
+//! End-to-end out-of-core coverage: the streaming ingest path
+//! (`DiskEngine::from_ingest`) must produce answers identical to the
+//! in-memory engine while never materializing the graph — ingest
+//! memory is bounded by the chunk buffers plus vertex state, proven by
+//! the process-wide allocation counters — and the imported-SNAP-text
+//! route must round-trip through the same machinery.
+//!
+//! Everything lives in one test function on purpose: the counters of
+//! `xstream::core::alloc_stats` are process-wide, so concurrent
+//! sibling tests would pollute the ingest-bound and steady-state
+//! measurements (same discipline as `disk_alloc_steady_state.rs`).
+
+use xstream::algorithms::{pagerank, wcc};
+use xstream::core::{alloc_stats, Engine, EngineConfig};
+use xstream::disk::{DiskEngine, EdgeIngest};
+use xstream::graph::fileio::{read_edge_file, write_edge_file};
+use xstream::graph::import::{import, ImportOptions};
+use xstream::graph::{generators, transform, EdgeList};
+use xstream::memory::InMemoryEngine;
+use xstream::storage::StreamStore;
+
+fn temp_root() -> std::path::PathBuf {
+    let root = std::env::temp_dir().join("xstream_out_of_core_e2e");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    root
+}
+
+fn store(root: &std::path::Path, tag: &str) -> StreamStore {
+    StreamStore::new(&root.join(tag), 1 << 13).unwrap()
+}
+
+/// Forced-spill, genuinely-out-of-core configuration: the memory
+/// budget is far below the edge file (let alone its undirected
+/// doubling), so edges and updates both live on disk.
+fn tiny_budget_config() -> EngineConfig {
+    EngineConfig {
+        in_memory_updates: false,
+        ..EngineConfig::default()
+            .with_threads(2)
+            .with_io_unit(1 << 13)
+            .with_memory_budget(256 << 10)
+            .with_partitions(4)
+    }
+}
+
+#[test]
+fn streaming_out_of_core_end_to_end() {
+    let root = temp_root();
+    let g = generators::erdos_renyi(4000, 60_000, 7);
+    let path = root.join("g.xse");
+    write_edge_file(&path, &g).unwrap();
+    let file_len = std::fs::metadata(&path).unwrap().len() as usize;
+    assert!(
+        file_len > 2 * tiny_budget_config().memory_budget,
+        "fixture too small to claim an out-of-core regime"
+    );
+
+    // ---- WCC via streamed undirected ingest ----
+    // Ingest is the phase the tentpole is about: the file streams
+    // through the pre-processing shuffle with per-chunk mirroring.
+    // Cumulative allocation during ingest must stay below the edge
+    // file's own size — materializing the edge list would cost at
+    // least `file_len` for the Vec and twice that again for the
+    // undirected doubling.
+    let p = wcc::Wcc::new();
+    let before = alloc_stats::snapshot();
+    let mut disk = DiskEngine::from_ingest(
+        store(&root, "wcc"),
+        &EdgeIngest::undirected(&path),
+        &p,
+        tiny_budget_config(),
+    )
+    .unwrap();
+    let ingest = before.delta(&alloc_stats::snapshot());
+    assert!(
+        (ingest.bytes as usize) < file_len,
+        "streamed ingest allocated {} bytes, >= the {file_len}-byte edge file — \
+         something is materializing the graph",
+        ingest.bytes
+    );
+    assert_eq!(disk.num_edges(), g.to_undirected().num_edges());
+
+    let (disk_labels, stats) = wcc::run(&mut disk, &p);
+    // Steady state stays allocation-free: WCC's active set only
+    // shrinks, so once the pools are warm (first supersteps) the
+    // remaining iterations must not touch the allocator.
+    let zero_suffix = stats
+        .iterations
+        .iter()
+        .rev()
+        .take_while(|it| it.alloc_count == 0)
+        .count();
+    assert!(
+        zero_suffix >= 2 && zero_suffix + 3 >= stats.iterations.len(),
+        "steady-state supersteps allocated: alloc counts {:?}",
+        stats
+            .iterations
+            .iter()
+            .map(|it| it.alloc_count)
+            .collect::<Vec<_>>()
+    );
+    // Updates really spilled to disk (out-of-core regime exercised).
+    assert!(stats.iterations[0].bytes_written > 0, "no spill happened");
+
+    // Fresh program: `Wcc` carries per-run round state.
+    let p = wcc::Wcc::new();
+    let und = g.to_undirected();
+    let mut mem = InMemoryEngine::from_graph(&und, &p, EngineConfig::default().with_threads(2));
+    let (mem_labels, _) = wcc::run(&mut mem, &p);
+    assert_eq!(disk_labels, mem_labels, "WCC disagrees with in-memory");
+
+    // ---- PageRank via streamed ingest + one-pass degree scan ----
+    let pr = pagerank::Pagerank;
+    let degrees = transform::streamed_out_degrees(&path).unwrap();
+    assert_eq!(degrees, g.out_degrees(), "streamed degree scan wrong");
+    let mut disk = DiskEngine::from_ingest(
+        store(&root, "pr"),
+        &EdgeIngest::new(&path),
+        &pr,
+        tiny_budget_config(),
+    )
+    .unwrap();
+    let (disk_ranks, stats) = pagerank::run(&mut disk, &pr, &degrees, 8);
+    // Constant per-iteration volume: the tail of the run must be
+    // allocation-free.
+    let zeros: Vec<_> = stats.iterations.iter().map(|it| it.alloc_count).collect();
+    assert!(
+        zeros.iter().rev().take(2).all(|&c| c == 0),
+        "PageRank steady-state supersteps allocated: {zeros:?}"
+    );
+
+    let mut mem = InMemoryEngine::from_graph(&g, &pr, EngineConfig::default().with_threads(2));
+    let (mem_ranks, _) = pagerank::run(&mut mem, &pr, &g.out_degrees(), 8);
+    for v in 0..g.num_vertices() {
+        assert!(
+            (disk_ranks[v] - mem_ranks[v]).abs() < 1e-4,
+            "vertex {v}: disk {} vs mem {}",
+            disk_ranks[v],
+            mem_ranks[v]
+        );
+    }
+
+    // ---- SNAP text import round-trip ----
+    // A weighted fixture with comments and blank lines, imported with
+    // a multi-thread chunked parse, must round-trip bit-exact and give
+    // the same WCC answer through the streaming disk path as the
+    // in-memory engine on the graph built directly.
+    let ref_graph = {
+        use xstream::core::Edge;
+        let base = generators::preferential_attachment(800, 4, 23);
+        let edges: Vec<Edge> = base
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| Edge::weighted(e.src, e.dst, (i % 17) as f32 * 0.25))
+            .collect();
+        EdgeList::from_parts_unchecked(base.num_vertices(), edges)
+    };
+    let src = root.join("fixture.txt");
+    let dst = root.join("fixture.xse");
+    let mut body = String::from("# SNAP-style fixture\n% with two comment dialects\n");
+    for (i, e) in ref_graph.edges().iter().enumerate() {
+        if i % 97 == 0 {
+            body.push('\n'); // blank lines sprinkled in
+        }
+        body.push_str(&format!("{} {} {}\n", e.src, e.dst, e.weight));
+    }
+    std::fs::write(&src, &body).unwrap();
+    let opts = ImportOptions {
+        num_vertices: Some(ref_graph.num_vertices()),
+        threads: 3,
+        ..ImportOptions::default()
+    };
+    let report = import(&src, &dst, &opts).unwrap();
+    assert_eq!(report.num_edges, ref_graph.num_edges());
+    assert_eq!(report.num_vertices, ref_graph.num_vertices());
+    assert!(report.skipped_lines >= 2);
+    // Bit-exact round trip (Rust's shortest float formatting
+    // guarantees f32 -> text -> f32 identity).
+    assert_eq!(read_edge_file(&dst).unwrap(), ref_graph);
+
+    let p = wcc::Wcc::new();
+    let mut disk = DiskEngine::from_ingest(
+        store(&root, "import"),
+        &EdgeIngest::undirected(&dst),
+        &p,
+        tiny_budget_config(),
+    )
+    .unwrap();
+    let (disk_labels, _) = wcc::run(&mut disk, &p);
+    let p = wcc::Wcc::new();
+    let und = ref_graph.to_undirected();
+    let mut mem = InMemoryEngine::from_graph(&und, &p, EngineConfig::default().with_threads(2));
+    let (mem_labels, _) = wcc::run(&mut mem, &p);
+    assert_eq!(
+        disk_labels, mem_labels,
+        "imported graph disagrees with in-memory engine"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}
