@@ -41,7 +41,7 @@ pub struct Args {
 }
 
 /// Option names that take no value.
-const SWITCHES: &[&str] = &["undirected", "weighted", "verbose"];
+const SWITCHES: &[&str] = &["undirected", "weighted", "verbose", "resume"];
 
 /// Consumes the value of option `flag`, refusing to swallow a
 /// following option: `--store --verbose` must be a usage error, not a

@@ -5,7 +5,7 @@ use std::path::{Path, PathBuf};
 
 use crate::args::{Args, CliError};
 use xstream_algorithms::{bfs, conductance, mcst, mis, pagerank, scc, spmv, sssp, wcc};
-use xstream_core::{DeviceMap, EngineConfig, PinMode, RunStats};
+use xstream_core::{DeviceMap, EngineConfig, PinMode, RetryPolicy, RunStats};
 use xstream_disk::{DiskEngine, EdgeIngest};
 use xstream_graph::fileio::{read_edge_file, write_edge_file, EdgeFileReader};
 use xstream_graph::import::{ImportFormat, ImportOptions};
@@ -90,6 +90,25 @@ USAGE:
                            wiped only if it is empty or carries the
                            .xstream-store marker from a previous run;
                            anything else is refused
+      --max-retries N      disk engine: re-run a superstep up to N extra
+                           times after a transient I/O error (EINTR,
+                           EIO, EAGAIN, timeouts), with exponential
+                           backoff; permanent errors (ENOSPC,
+                           permissions) always fail fast (default 2)
+      --checkpoint-every N disk engine: after every N completed
+                           supersteps, persist vertex state as a
+                           CRC-checksummed checkpoint frame in the
+                           store directory (crash-atomic two-slot
+                           write; 0 = off, the default). Use with an
+                           explicit --store so the checkpoint survives
+                           the process
+      --resume             disk engine: restore the newest valid
+                           checkpoint from --store (torn or foreign
+                           frames are rejected by CRC/fingerprint) and
+                           skip the already-completed supersteps;
+                           requires --engine disk and --store, keeps
+                           the store directory's checkpoint files
+                           instead of wiping them
 
   xstream components <FILE> --model semi|wstream [--capacity N]
       Connected components in the alternative streaming models.
@@ -291,6 +310,16 @@ fn engine_config(args: &Args) -> Result<EngineConfig, CliError> {
         })?;
         cfg = cfg.with_pinning(mode);
     }
+    if let Some(r) = args.get_usize("max-retries")? {
+        // N *extra* attempts after the first = N + 1 total.
+        cfg = cfg.with_retry(RetryPolicy {
+            max_attempts: r as u32 + 1,
+            ..RetryPolicy::default()
+        });
+    }
+    if let Some(n) = args.get_usize("checkpoint-every")? {
+        cfg = cfg.with_checkpoint_every(n);
+    }
     Ok(cfg)
 }
 
@@ -373,8 +402,10 @@ fn create_marked(dir: &Path) -> Result<(), CliError> {
 
 /// Resolves the disk engine's partition-store directory: an explicit
 /// `--store DIR` is wiped only when that is provably safe (empty, or
-/// marked as an xstream store by a previous run); the default is a
-/// fresh unique temp directory.
+/// marked as an xstream store by a previous run); with `--resume` a
+/// marked directory is *kept* instead — its checkpoint frames are the
+/// whole point (edge/update streams are rebuilt by ingest either way);
+/// the default is a fresh unique temp directory.
 fn prepare_store_dir(args: &Args) -> Result<StoreDir, CliError> {
     if let Some(dir) = args.get("store") {
         let dir = PathBuf::from(dir);
@@ -395,6 +426,12 @@ fn prepare_store_dir(args: &Args) -> Result<StoreDir, CliError> {
                      pass an empty directory or remove it yourself",
                     dir.display()
                 )));
+            }
+            if args.switch("resume") && dir.join(STORE_MARKER).is_file() {
+                return Ok(StoreDir {
+                    path: dir,
+                    ephemeral: false,
+                });
             }
             std::fs::remove_dir_all(&dir)
                 .map_err(|e| CliError::Run(format!("--store {}: {e}", dir.display())))?;
@@ -444,6 +481,23 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let engine_kind = args.get("engine").unwrap_or("mem");
     let cfg = engine_config(args)?;
     let iterations = args.get_usize("iterations")?.unwrap_or(5);
+    let resume = args.switch("resume");
+    if resume {
+        if engine_kind != "disk" {
+            return Err(CliError::Usage(
+                "--resume requires --engine disk (checkpoints live in the \
+                 partition store)"
+                    .into(),
+            ));
+        }
+        if args.get("store").is_none() {
+            return Err(CliError::Usage(
+                "--resume requires an explicit --store DIR (the default store \
+                 is a fresh temp directory with nothing to resume from)"
+                    .into(),
+            ));
+        }
+    }
 
     match engine_kind {
         "mem" => {
@@ -472,6 +526,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
                 cfg,
                 root,
                 iterations,
+                resume,
             );
             drop(dir); // Removes the default temp store; keeps --store.
             out
@@ -605,6 +660,24 @@ fn run_in_memory(
     }
 }
 
+/// Applies `--resume` before a disk-engine run: restores the newest
+/// valid checkpoint (both slots are CRC- and fingerprint-validated)
+/// and returns a status line to prepend to the command output. A
+/// missing or invalid checkpoint is not an error — the run simply
+/// starts fresh and says so.
+fn maybe_resume<P: xstream_core::EdgeProgram>(
+    e: &mut DiskEngine<P>,
+    resume: bool,
+) -> Result<String, CliError> {
+    if !resume {
+        return Ok(String::new());
+    }
+    Ok(match e.resume_from_checkpoint()? {
+        Some(step) => format!("resumed from checkpoint after superstep {step}\n"),
+        None => "no valid checkpoint in store; starting fresh\n".to_string(),
+    })
+}
+
 /// Runs an algorithm on the out-of-core engine. Every arm builds its
 /// engine from a path-based [`EdgeIngest`] descriptor — the file is
 /// streamed into the partition shuffle with any undirected or
@@ -612,6 +685,9 @@ fn run_in_memory(
 /// the full `EdgeList` is never constructed. The only vertex-indexed
 /// allocations are the O(V) arrays §3.1 budgets to memory (degrees for
 /// PageRank, the SpMV input vector).
+// One flag per paper knob; bundling them into a struct would only move
+// the argument list into a literal at the lone call site.
+#[allow(clippy::too_many_arguments)]
 fn run_on_disk(
     algo: &str,
     input: &Path,
@@ -620,15 +696,17 @@ fn run_on_disk(
     cfg: EngineConfig,
     root: u32,
     iterations: usize,
+    resume: bool,
 ) -> Result<String, CliError> {
     match algo {
         "wcc" => {
             let p = wcc::Wcc::new();
             let mut e = DiskEngine::from_ingest(store, &EdgeIngest::undirected(input), &p, cfg)?;
+            let pre = maybe_resume(&mut e, resume)?;
             let (labels, stats) = wcc::run(&mut e, &p);
             let io = e.store().accounting().snapshot();
             Ok(format!(
-                "{}io: {:.1} MB read, {:.1} MB written\n",
+                "{pre}{}io: {:.1} MB read, {:.1} MB written\n",
                 summarize(
                     algo,
                     &format!("{} components", wcc::count_components(&labels)),
@@ -641,21 +719,33 @@ fn run_on_disk(
         "bfs" => {
             let p = bfs::Bfs::new();
             let mut e = DiskEngine::from_ingest(store, &EdgeIngest::new(input), &p, cfg)?;
+            let pre = maybe_resume(&mut e, resume)?;
             let (levels, stats) = bfs::run(&mut e, &p, root);
             let reached = levels.iter().filter(|&&l| l != bfs::UNREACHED).count();
-            Ok(summarize(
-                algo,
-                &format!("{reached} vertices reached"),
-                &stats,
+            Ok(format!(
+                "{pre}{}",
+                summarize(algo, &format!("{reached} vertices reached"), &stats)
             ))
         }
         "pagerank" => {
             let p = pagerank::Pagerank;
-            // One-pass streamed degree scan (O(V) counts, no edge
-            // list) instead of materializing the graph for
-            // `out_degrees`.
-            let degrees = transform::streamed_out_degrees(input)?;
-            let mut e = DiskEngine::from_ingest(store, &EdgeIngest::new(input), &p, cfg)?;
+            // The O(V) out-degree counts fold into the ingest pass via
+            // the per-chunk observer — one streaming read of the edge
+            // file instead of the former separate degree scan + ingest
+            // double read.
+            let degrees = std::sync::Arc::new(std::sync::Mutex::new(vec![0u32; num_vertices]));
+            let ingest = {
+                let degrees = std::sync::Arc::clone(&degrees);
+                EdgeIngest::new(input).with_observer(move |chunk| {
+                    let mut d = degrees.lock().expect("degree counter poisoned");
+                    for e in chunk {
+                        d[e.src as usize] += 1;
+                    }
+                })
+            };
+            let mut e = DiskEngine::from_ingest(store, &ingest, &p, cfg)?;
+            let pre = maybe_resume(&mut e, resume)?;
+            let degrees = std::mem::take(&mut *degrees.lock().expect("degree counter poisoned"));
             let (ranks, stats) = pagerank::run(&mut e, &p, &degrees, iterations);
             let top = ranks
                 .iter()
@@ -663,58 +753,71 @@ fn run_on_disk(
                 .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(v, r)| format!("top vertex {v} (rank {r:.6})"))
                 .unwrap_or_default();
-            Ok(summarize(algo, &top, &stats))
+            Ok(format!("{pre}{}", summarize(algo, &top, &stats)))
         }
         "sssp" => {
             let p = sssp::Sssp::new();
             let mut e = DiskEngine::from_ingest(store, &EdgeIngest::new(input), &p, cfg)?;
+            let pre = maybe_resume(&mut e, resume)?;
             let (dist, stats) = sssp::run(&mut e, &p, root);
             let reached = dist.iter().filter(|d| d.is_finite()).count();
-            Ok(summarize(
-                algo,
-                &format!("{reached} vertices reachable"),
-                &stats,
+            Ok(format!(
+                "{pre}{}",
+                summarize(algo, &format!("{reached} vertices reachable"), &stats)
             ))
         }
         "mis" => {
             let p = mis::Mis::new();
             let mut e = DiskEngine::from_ingest(store, &EdgeIngest::undirected(input), &p, cfg)?;
+            let pre = maybe_resume(&mut e, resume)?;
             let (statuses, stats) = mis::run(&mut e, &p);
             let members = statuses
                 .iter()
                 .filter(|&&s| s == mis::status::IN_SET)
                 .count();
-            Ok(summarize(algo, &format!("{members} members"), &stats))
+            Ok(format!(
+                "{pre}{}",
+                summarize(algo, &format!("{members} members"), &stats)
+            ))
         }
         "scc" => {
             let p = scc::Scc::new();
             let mut e = DiskEngine::from_ingest(store, &EdgeIngest::bidirectional(input), &p, cfg)?;
+            let pre = maybe_resume(&mut e, resume)?;
             let (ids, stats) = scc::run(&mut e, &p);
             let mut distinct = ids.clone();
             distinct.sort_unstable();
             distinct.dedup();
-            Ok(summarize(
-                algo,
-                &format!("{} strongly connected components", distinct.len()),
-                &stats,
+            Ok(format!(
+                "{pre}{}",
+                summarize(
+                    algo,
+                    &format!("{} strongly connected components", distinct.len()),
+                    &stats
+                )
             ))
         }
         "mcst" => {
             let p = mcst::Mcst;
             let mut e = DiskEngine::from_ingest(store, &EdgeIngest::undirected(input), &p, cfg)?;
+            let pre = maybe_resume(&mut e, resume)?;
             let (result, stats) = mcst::run(&mut e, &p);
-            Ok(summarize(
-                algo,
-                &format!(
-                    "forest weight {:.3} over {} trees",
-                    result.total_weight, result.components
-                ),
-                &stats,
+            Ok(format!(
+                "{pre}{}",
+                summarize(
+                    algo,
+                    &format!(
+                        "forest weight {:.3} over {} trees",
+                        result.total_weight, result.components
+                    ),
+                    &stats
+                )
             ))
         }
         "spmv" => {
             let p = spmv::Spmv;
             let mut e = DiskEngine::from_ingest(store, &EdgeIngest::new(input), &p, cfg)?;
+            let pre = maybe_resume(&mut e, resume)?;
             let x = vec![1.0f32; num_vertices];
             let (y, it) = spmv::run(&mut e, &p, &x);
             let stats = RunStats {
@@ -722,20 +825,27 @@ fn run_on_disk(
                 total_ns: 0,
             };
             let norm: f64 = y.iter().map(|v| f64::from(*v) * f64::from(*v)).sum();
-            Ok(summarize(algo, &format!("|y|^2 = {norm:.3}"), &stats))
+            Ok(format!(
+                "{pre}{}",
+                summarize(algo, &format!("|y|^2 = {norm:.3}"), &stats)
+            ))
         }
         "conductance" => {
             let p = conductance::Conductance;
             let mut e = DiskEngine::from_ingest(store, &EdgeIngest::new(input), &p, cfg)?;
+            let pre = maybe_resume(&mut e, resume)?;
             let (r, it) = conductance::run(&mut e, &p, &|v| v & 1);
             let stats = RunStats {
                 iterations: vec![it],
                 total_ns: 0,
             };
-            Ok(summarize(
-                algo,
-                &format!("cut {} / volumes {} : {}", r.cut, r.vol0, r.vol1),
-                &stats,
+            Ok(format!(
+                "{pre}{}",
+                summarize(
+                    algo,
+                    &format!("cut {} / volumes {} : {}", r.cut, r.vol0, r.vol1),
+                    &stats
+                )
             ))
         }
         other => Err(CliError::Usage(format!("unknown algorithm `{other}`"))),
@@ -1024,6 +1134,9 @@ mod tests {
             "--iterations",
             "--root",
             "--store",
+            "--max-retries",
+            "--checkpoint-every",
+            "--resume",
             "--model",
             "--capacity",
             "--scale",
@@ -1038,6 +1151,75 @@ mod tests {
         ] {
             assert!(help.contains(flag), "{flag} missing from usage()");
         }
+    }
+
+    #[test]
+    fn checkpoint_and_resume_flags() {
+        let path = tmpfile("ckpt.edges");
+        dispatch(&sv(&[
+            "generate",
+            "erdos-renyi",
+            "--vertices",
+            "300",
+            "--edges",
+            "2000",
+            "--undirected",
+            "-o",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let store = std::env::temp_dir().join("xstream_cli_tests_ckpt");
+        let _ = std::fs::remove_dir_all(&store);
+        let run = |extra: &[&str]| {
+            let mut argv = sv(&[
+                "run",
+                "wcc",
+                path.to_str().unwrap(),
+                "--engine",
+                "disk",
+                "--checkpoint-every",
+                "1",
+                "--max-retries",
+                "2",
+                "--memory-budget",
+                "1M",
+                "--io-unit",
+                "16K",
+                "--store",
+                store.to_str().unwrap(),
+            ]);
+            argv.extend(sv(extra));
+            dispatch(&argv)
+        };
+        let base = run(&[]).unwrap();
+        // The kept store holds at least one checkpoint frame.
+        assert!(
+            store.join("checkpoint.0").is_file() || store.join("checkpoint.1").is_file(),
+            "no checkpoint frame written"
+        );
+        // A resumed run restores it and reports the same components.
+        let resumed = run(&["--resume"]).unwrap();
+        assert!(resumed.contains("resumed from checkpoint"), "{resumed}");
+        let comp = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("components"))
+                .map(str::to_string)
+        };
+        assert_eq!(comp(&base), comp(&resumed), "{base} vs {resumed}");
+        // --resume needs the disk engine and an explicit store.
+        let err = dispatch(&sv(&["run", "wcc", path.to_str().unwrap(), "--resume"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let err = dispatch(&sv(&[
+            "run",
+            "wcc",
+            path.to_str().unwrap(),
+            "--engine",
+            "disk",
+            "--resume",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&store);
     }
 
     #[test]

@@ -127,6 +127,39 @@ impl PinMode {
     }
 }
 
+/// Retry budget for transient I/O faults in the out-of-core engine:
+/// a failed superstep is rolled back (`recover()` + vertex-state
+/// restore) and re-run up to `max_attempts` times total, sleeping
+/// `backoff * 2^(attempt-1)` (capped at one second) between attempts.
+/// Permanent faults (`ENOSPC`, permission errors, bad configuration)
+/// are never retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total superstep attempts, including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Base backoff slept before the first retry; doubles per retry.
+    pub backoff: std::time::Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff: std::time::Duration::from_millis(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every fault, transient or not, fails the superstep.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+}
+
 /// Configuration shared by the in-memory and out-of-core engines.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -180,6 +213,14 @@ pub struct EngineConfig {
     /// Size of the per-thread private scatter buffer flushed into the
     /// shared output chunk array (§4.1; the paper uses 8 KB).
     pub scatter_buffer: usize,
+    /// Transient-fault retry budget for out-of-core supersteps (see
+    /// [`RetryPolicy`]).
+    pub retry: RetryPolicy,
+    /// Write a checksummed vertex-state checkpoint to the stream store
+    /// every N completed supersteps (0 = never). Resuming from the
+    /// latest valid checkpoint is the out-of-core engine's
+    /// `resume_from_checkpoint`; the in-memory engine ignores this.
+    pub checkpoint_every: usize,
 }
 
 impl Default for EngineConfig {
@@ -201,6 +242,8 @@ impl Default for EngineConfig {
             keep_vertices_in_memory: true,
             in_memory_updates: true,
             scatter_buffer: 8 << 10,
+            retry: RetryPolicy::default(),
+            checkpoint_every: 0,
         }
     }
 }
@@ -282,6 +325,22 @@ impl EngineConfig {
     /// Enables or disables work stealing.
     pub fn with_work_stealing(mut self, enabled: bool) -> Self {
         self.work_stealing = enabled;
+        self
+    }
+
+    /// Sets the transient-fault retry budget (see [`RetryPolicy`]).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = RetryPolicy {
+            max_attempts: retry.max_attempts.max(1),
+            ..retry
+        };
+        self
+    }
+
+    /// Checkpoints vertex state every `n` completed supersteps (0 =
+    /// never; see [`Self::checkpoint_every`]).
+    pub fn with_checkpoint_every(mut self, n: usize) -> Self {
+        self.checkpoint_every = n;
         self
     }
 

@@ -13,6 +13,36 @@ pub enum Error {
     /// Malformed input data (e.g. an edge referencing a vertex outside
     /// the declared vertex-id range, or a ragged record stream).
     InvalidInput(String),
+    /// A transient fault persisted through every allowed retry; wraps
+    /// the error of the last attempt. Produced by the out-of-core
+    /// engine's retry loop when the `RetryPolicy` budget runs out.
+    Exhausted {
+        /// Superstep attempts made before giving up.
+        attempts: u32,
+        /// The failure of the final attempt.
+        source: Box<Error>,
+    },
+}
+
+impl Error {
+    /// Whether this error is *transient* — an I/O hiccup a retry may
+    /// clear (interrupted syscall, timeout, `EIO`, `EAGAIN`) — as
+    /// opposed to *permanent* conditions (`ENOSPC`, permission or
+    /// configuration errors, malformed input, an exhausted retry
+    /// budget) where retrying the same operation cannot help.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            Error::Io(e) => {
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::Interrupted
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::WouldBlock
+                ) || matches!(e.raw_os_error(), Some(5) | Some(11)) // EIO, EAGAIN
+            }
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -21,6 +51,12 @@ impl fmt::Display for Error {
             Error::Io(e) => write!(f, "I/O error: {e}"),
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
             Error::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            Error::Exhausted { attempts, source } => {
+                write!(
+                    f,
+                    "retry budget exhausted after {attempts} attempts: {source}"
+                )
+            }
         }
     }
 }
@@ -29,6 +65,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Io(e) => Some(e),
+            Error::Exhausted { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -53,5 +90,33 @@ mod tests {
         assert!(e.to_string().contains("bad K"));
         let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(e.to_string().contains("gone"));
+        let e = Error::Exhausted {
+            attempts: 3,
+            source: Box::new(Error::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "flaky",
+            ))),
+        };
+        assert!(e.to_string().contains("3 attempts"), "{e}");
+        assert!(e.to_string().contains("flaky"), "{e}");
+    }
+
+    #[test]
+    fn transient_classification() {
+        use std::io::ErrorKind;
+        let transient = |e: Error| assert!(e.is_transient(), "{e} should be transient");
+        let permanent = |e: Error| assert!(!e.is_transient(), "{e} should be permanent");
+        transient(std::io::Error::new(ErrorKind::TimedOut, "t").into());
+        transient(std::io::Error::new(ErrorKind::Interrupted, "t").into());
+        transient(std::io::Error::new(ErrorKind::WouldBlock, "t").into());
+        transient(std::io::Error::from_raw_os_error(5).into()); // EIO
+        permanent(std::io::Error::from_raw_os_error(28).into()); // ENOSPC
+        permanent(std::io::Error::new(ErrorKind::PermissionDenied, "p").into());
+        permanent(Error::Config("bad".into()));
+        permanent(Error::InvalidInput("bad".into()));
+        permanent(Error::Exhausted {
+            attempts: 2,
+            source: Box::new(std::io::Error::new(ErrorKind::TimedOut, "t").into()),
+        });
     }
 }

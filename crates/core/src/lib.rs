@@ -37,7 +37,7 @@ pub mod stats;
 pub mod types;
 
 pub use alloc_stats::AllocSnapshot;
-pub use config::{DeviceMap, EngineConfig, PinMode};
+pub use config::{DeviceMap, EngineConfig, PinMode, RetryPolicy};
 pub use engine::{Engine, Termination};
 pub use error::{Error, Result};
 pub use partition::Partitioner;

@@ -63,6 +63,13 @@ pub struct IterationStats {
     /// iteration (the high-water mark the adaptive budget is driven
     /// by). Gauge (merged by max).
     pub shuffle_high_water: u64,
+    /// Superstep re-runs forced by transient I/O faults (attempts
+    /// beyond the first that were needed to complete the iteration;
+    /// see `RetryPolicy`). Zero on a healthy run.
+    pub io_retries: u64,
+    /// Checkpoints written during the iteration (0 or 1 per superstep,
+    /// driven by `EngineConfig::checkpoint_every`).
+    pub checkpoints: u64,
 }
 
 impl IterationStats {
@@ -120,6 +127,8 @@ impl IterationStats {
         self.mem_refs += other.mem_refs;
         self.alloc_count += other.alloc_count;
         self.alloc_bytes += other.alloc_bytes;
+        self.io_retries += other.io_retries;
+        self.checkpoints += other.checkpoints;
         self.shuffle_budget = self.shuffle_budget.max(other.shuffle_budget);
         self.shuffle_capacity = self.shuffle_capacity.max(other.shuffle_capacity);
         self.shuffle_high_water = self.shuffle_high_water.max(other.shuffle_high_water);

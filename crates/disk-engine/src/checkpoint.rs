@@ -1,0 +1,192 @@
+//! Checksummed checkpoint frames for out-of-core supersteps.
+//!
+//! After gather completes, the vertex state is the *only* thing a
+//! superstep leaves behind that the next superstep cannot reconstruct:
+//! edge files are immutable after ingest and update files are consumed
+//! by the gather that produced the state. Persisting the vertex array
+//! (plus the superstep index it corresponds to) therefore makes a
+//! killed run resumable with no re-execution of completed supersteps.
+//!
+//! A checkpoint is a single self-validating frame:
+//!
+//! ```text
+//! magic "XSCP" | version u32 | fingerprint u64 | superstep u64 |
+//! count u64 | payload (count * size_of::<S>() bytes) | crc32 u32
+//! ```
+//!
+//! All integers are little-endian. The trailing CRC-32 covers every
+//! preceding byte, so a torn or bit-rotted frame is rejected as a unit
+//! — there is no partial restore. The `fingerprint` binds the frame to
+//! a specific (graph shape, program, state layout) combination so a
+//! checkpoint can never be restored into a run it does not describe.
+//!
+//! The engine writes frames with
+//! [`StreamStore::write_atomic`](xstream_storage::StreamStore::write_atomic)
+//! (write-temp-then-rename) into two alternating slots
+//! (`checkpoint.0`/`checkpoint.1`), so the previous checkpoint survives
+//! a crash *during* checkpointing; resume validates both slots and
+//! picks the newest valid one. This module holds the pure frame codec;
+//! the engine-side orchestration lives in [`crate::engine`].
+
+use xstream_core::record::{decode_records, records_as_bytes, Record};
+use xstream_storage::crc32;
+
+/// Frame magic: "XSCP" (X-Stream CheckPoint).
+pub const MAGIC: [u8; 4] = *b"XSCP";
+
+/// Current frame version. Bumped on any layout change; old frames are
+/// rejected (treated as invalid) rather than migrated.
+pub const VERSION: u32 = 1;
+
+/// Fixed header length in bytes (magic + version + fingerprint +
+/// superstep + count).
+const HEADER: usize = 4 + 4 + 8 + 8 + 8;
+
+/// Trailing CRC length in bytes.
+const TRAILER: usize = 4;
+
+/// FNV-1a over a sequence of length-delimited byte strings. Used to
+/// fingerprint the (graph, program, state layout) combination a
+/// checkpoint belongs to — not cryptographic, just a mismatch detector.
+pub fn fingerprint(parts: &[&[u8]]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    let mut byte = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    };
+    for part in parts {
+        // Length-delimit each part so ("ab","c") != ("a","bc").
+        for b in (part.len() as u64).to_le_bytes() {
+            byte(b);
+        }
+        for &b in *part {
+            byte(b);
+        }
+    }
+    h
+}
+
+/// Encodes one checkpoint frame for `states` at `superstep`.
+pub fn encode_frame<S: Record>(fingerprint: u64, superstep: u64, states: &[S]) -> Vec<u8> {
+    let payload = records_as_bytes(states);
+    let mut out = Vec::with_capacity(HEADER + payload.len() + TRAILER);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&fingerprint.to_le_bytes());
+    out.extend_from_slice(&superstep.to_le_bytes());
+    out.extend_from_slice(&(states.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Validates and decodes a checkpoint frame.
+///
+/// Returns `Some((superstep, states))` only if *every* integrity check
+/// passes: minimum length, magic, version, trailing CRC over the whole
+/// frame, fingerprint match, declared record count matching both the
+/// payload length and `expected_count`. Any failure — a torn write, a
+/// frame from a different graph or program, a short file — yields
+/// `None`; the caller falls back to the other slot or to a fresh run.
+pub fn decode_frame<S: Record>(
+    bytes: &[u8],
+    expected_fingerprint: u64,
+    expected_count: usize,
+) -> Option<(u64, Vec<S>)> {
+    if bytes.len() < HEADER + TRAILER {
+        return None;
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - TRAILER);
+    let stored_crc = u32::from_le_bytes(crc_bytes.try_into().ok()?);
+    if crc32(body) != stored_crc {
+        return None;
+    }
+    if body[..4] != MAGIC {
+        return None;
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(body[o..o + 4].try_into().unwrap());
+    let u64_at = |o: usize| u64::from_le_bytes(body[o..o + 8].try_into().unwrap());
+    if u32_at(4) != VERSION {
+        return None;
+    }
+    if u64_at(8) != expected_fingerprint {
+        return None;
+    }
+    let superstep = u64_at(16);
+    let count = u64_at(24);
+    if count != expected_count as u64 {
+        return None;
+    }
+    let payload = &body[HEADER..];
+    if payload.len() != expected_count * S::SIZE {
+        return None;
+    }
+    Some((superstep, decode_records::<S>(payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let states: Vec<u64> = (0..257).map(|i| i * 3 + 1).collect();
+        let fp = fingerprint(&[b"graph", b"program"]);
+        let frame = encode_frame(fp, 7, &states);
+        let (step, back) = decode_frame::<u64>(&frame, fp, states.len()).expect("valid frame");
+        assert_eq!(step, 7);
+        assert_eq!(back, states);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let frame = encode_frame::<u32>(1, 0, &[]);
+        let (step, back) = decode_frame::<u32>(&frame, 1, 0).expect("valid frame");
+        assert_eq!(step, 0);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let states: Vec<u32> = (0..64).collect();
+        let fp = 0xDEAD_BEEF;
+        let frame = encode_frame(fp, 3, &states);
+        // Flip one bit in each region: magic, header ints, payload, CRC.
+        for &pos in &[0usize, 6, 12, 20, 28, HEADER + 5, frame.len() - 1] {
+            let mut bad = frame.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                decode_frame::<u32>(&bad, fp, states.len()).is_none(),
+                "bit flip at {pos} must invalidate the frame"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_mismatches_are_rejected() {
+        let states: Vec<u32> = (0..16).collect();
+        let fp = 42;
+        let frame = encode_frame(fp, 2, &states);
+        // Torn writes of every length (write_atomic should prevent
+        // these from ever being seen, but the codec must still hold).
+        for cut in 0..frame.len() {
+            assert!(decode_frame::<u32>(&frame[..cut], fp, states.len()).is_none());
+        }
+        // Wrong fingerprint (different graph/program) and wrong count
+        // (different partitioning) are both rejected.
+        assert!(decode_frame::<u32>(&frame, fp + 1, states.len()).is_none());
+        assert!(decode_frame::<u32>(&frame, fp, states.len() + 1).is_none());
+        // Wrong state type (different record size).
+        assert!(decode_frame::<u64>(&frame, fp, states.len()).is_none());
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_boundary_sensitive() {
+        assert_ne!(fingerprint(&[b"ab", b"c"]), fingerprint(&[b"a", b"bc"]));
+        assert_ne!(fingerprint(&[b"a", b"b"]), fingerprint(&[b"b", b"a"]));
+        assert_eq!(fingerprint(&[b"a", b"b"]), fingerprint(&[b"a", b"b"]));
+    }
+}

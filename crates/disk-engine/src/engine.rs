@@ -98,10 +98,27 @@ use xstream_storage::{
 /// in RAM therefore costs O(chunk) memory here, and ingest as a whole
 /// is bounded by the chunk buffers plus vertex state — never the edge
 /// list.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct EdgeIngest {
     path: PathBuf,
     mirror: MirrorMode,
+    /// Per-chunk observer invoked on every ingested (post-mirror,
+    /// validated) chunk; lets callers fold a second streaming pass —
+    /// e.g. PageRank's out-degree count — into the one ingest pass.
+    observer: Option<ChunkObserver>,
+}
+
+/// Shared per-chunk ingest callback (see [`EdgeIngest::with_observer`]).
+type ChunkObserver = Arc<dyn Fn(&[Edge]) + Send + Sync>;
+
+impl std::fmt::Debug for EdgeIngest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeIngest")
+            .field("path", &self.path)
+            .field("mirror", &self.mirror)
+            .field("observer", &self.observer.as_ref().map(|_| "Fn(&[Edge])"))
+            .finish()
+    }
 }
 
 impl EdgeIngest {
@@ -110,6 +127,7 @@ impl EdgeIngest {
         Self {
             path: path.into(),
             mirror: MirrorMode::None,
+            observer: None,
         }
     }
 
@@ -129,6 +147,17 @@ impl EdgeIngest {
     /// Replaces the mirroring mode.
     pub fn with_mirror(mut self, mirror: MirrorMode) -> Self {
         self.mirror = mirror;
+        self
+    }
+
+    /// Installs a per-chunk observer called on every ingested chunk
+    /// *after* mirroring and validation. The observer sees exactly the
+    /// edges the engine will stream — doubled for undirected ingest —
+    /// which makes it the place to fold auxiliary whole-graph passes
+    /// (degree counting, histograms) into the single ingest read
+    /// instead of re-reading the edge file.
+    pub fn with_observer(mut self, f: impl Fn(&[Edge]) + Send + Sync + 'static) -> Self {
+        self.observer = Some(Arc::new(f));
         self
     }
 
@@ -260,8 +289,33 @@ pub struct DiskEngine<P: EdgeProgram> {
     /// bailed out mid-flight (I/O error) leaves queued read-ahead
     /// streams, partial update files and possibly unflushed spill jobs
     /// behind; the next superstep restores stream consistency first
-    /// (see [`Self::recover`]).
+    /// (see `recover()`).
     clean: bool,
+    /// Pooled copy of the in-memory vertex array taken before each
+    /// superstep when retries are allowed, so a transiently failed
+    /// attempt — whose gather may have half-applied its updates — can
+    /// be rolled back exactly. Empty when vertex state is on disk or
+    /// `retry.max_attempts == 1`.
+    vertex_snapshot: Vec<P::State>,
+    /// Whether the current superstep's gather has started mutating
+    /// vertex state. Gates on-disk retries: without a snapshot, a
+    /// fault after the first gather mutation cannot be rolled back
+    /// (checkpoint/resume is the recovery path there).
+    gather_dirty: bool,
+    /// First error `recover()` swallowed while draining the
+    /// writer — the failed superstep's root cause is reported by the
+    /// superstep itself, but a *recovery-time* failure must not vanish
+    /// either; it is kept here until read.
+    recovery_error: Option<Error>,
+    /// Supersteps completed over the engine's lifetime (drives the
+    /// checkpoint cadence and slot alternation).
+    completed_supersteps: u64,
+    /// Supersteps still to *skip* after a checkpoint restore: the
+    /// driver replays its loop, and the engine answers the first k
+    /// `scatter_gather` calls (and suppresses `vertex_map`s) without
+    /// touching state, so the driver's own per-round bookkeeping stays
+    /// aligned with the restored superstep index.
+    skip_supersteps: u64,
 }
 
 impl<P: EdgeProgram> DiskEngine<P> {
@@ -291,6 +345,7 @@ impl<P: EdgeProgram> DiskEngine<P> {
             graph.num_vertices(),
             MirrorMode::None,
             source,
+            None,
             program,
             config,
         )
@@ -331,6 +386,7 @@ impl<P: EdgeProgram> DiskEngine<P> {
             num_vertices,
             ingest.mirror(),
             source,
+            ingest.observer.clone(),
             program,
             config,
         )
@@ -341,6 +397,7 @@ impl<P: EdgeProgram> DiskEngine<P> {
         num_vertices: usize,
         mirror: MirrorMode,
         mut next_chunk: impl FnMut(&mut Vec<Edge>) -> Result<bool>,
+        observer: Option<ChunkObserver>,
         program: &P,
         config: EngineConfig,
     ) -> Result<Self> {
@@ -377,6 +434,15 @@ impl<P: EdgeProgram> DiskEngine<P> {
         // blocking mid-submission.
         let store = Arc::new(store);
         let writer = AsyncWriter::new_pinned(Arc::clone(&store), threads + 2, pin_plan.as_ref())?;
+        // A reused store directory — a kept `--store`, or a `--resume`
+        // over the one an interrupted run left behind — may still hold
+        // partition streams from the previous ingest; building again
+        // must *replace* them, or re-ingest would double every edge.
+        // (Checkpoint streams are deliberately left alone: resume reads
+        // them after the rebuild.)
+        for name in edge_names.iter().chain(update_names.iter()) {
+            store.truncate(name)?;
+        }
         let mut num_edges = 0usize;
         {
             let mut arena: ShuffleArena<Edge> = ShuffleArena::new();
@@ -389,6 +455,9 @@ impl<P: EdgeProgram> DiskEngine<P> {
                 mirror.mirror_in_place(&mut chunk);
                 for e in &chunk {
                     xstream_graph::transform::validate_edge(e, num_vertices)?;
+                }
+                if let Some(obs) = &observer {
+                    obs(&chunk);
                 }
                 num_edges += chunk.len();
                 arena.shuffle(&chunk, kp, |e| partitioner.partition_of(e.src));
@@ -447,28 +516,133 @@ impl<P: EdgeProgram> DiskEngine<P> {
             gather_counters: vec![GatherCounters::default(); threads],
             spill_arena: ShuffleArena::new(),
             clean: true,
+            vertex_snapshot: Vec::new(),
+            gather_dirty: false,
+            recovery_error: None,
+            completed_supersteps: 0,
+            skip_supersteps: 0,
         })
     }
 
     /// Restores stream consistency after a superstep abandoned
     /// mid-flight: discards queued/in-flight read-ahead streams,
-    /// drains the writer (dropping its pending error — the failed
-    /// superstep already reported it — and thereby releasing any
-    /// zero-copy spill runs still borrowing the scratch pools), and
-    /// truncates the partially written update files so a retried
-    /// superstep does not gather stale updates. Vertex state is
-    /// whatever the failed superstep left (partitions gathered before
-    /// the failure keep their updates); exactly-once recovery would
-    /// need checkpointing, which is out of scope — this guarantees no
-    /// cross-stream corruption and no deadlock on retry.
+    /// drains the writer (releasing any zero-copy spill runs still
+    /// borrowing the scratch pools), and truncates the partially
+    /// written update files so a retried superstep does not gather
+    /// stale updates. A drain-time writer error is usually the same
+    /// root cause the failed superstep already reported — but it is
+    /// *kept* in [`Self::last_recovery_error`], never dropped, so a
+    /// later retry's symptom can never shadow it. Vertex state is
+    /// whatever the failed superstep left; the retry loop restores it
+    /// from its pre-superstep snapshot (in-memory state), and
+    /// checkpoint/resume covers the on-disk case — this function
+    /// guarantees no cross-stream corruption and no deadlock on retry.
     fn recover(&mut self) -> Result<()> {
         self.reader.reset();
-        let _ = self.writer.flush();
+        if let Err(e) = self.writer.flush() {
+            // Keep the *first* swallowed error: it is the closest
+            // thing to a root cause this engine will ever see.
+            self.recovery_error.get_or_insert(e);
+        }
         self.spill_mark = self.writer.submitted();
         for name in &self.update_names {
             self.store.truncate(name)?;
         }
+        self.clean = true;
         Ok(())
+    }
+
+    /// The first error `recover()` observed while draining the
+    /// writer after a failed superstep, if any — the root cause that
+    /// would previously have been silently discarded. Cleared by
+    /// [`Self::take_recovery_error`].
+    pub fn last_recovery_error(&self) -> Option<&Error> {
+        self.recovery_error.as_ref()
+    }
+
+    /// Takes (and clears) the recovery-time writer error, if any.
+    pub fn take_recovery_error(&mut self) -> Option<Error> {
+        self.recovery_error.take()
+    }
+
+    /// Fingerprint binding checkpoints to this exact (graph shape,
+    /// program, state layout) combination — a frame from a different
+    /// graph, program or build is rejected at resume.
+    fn checkpoint_fingerprint(&self) -> u64 {
+        crate::checkpoint::fingerprint(&[
+            &(self.partitioner.num_vertices() as u64).to_le_bytes(),
+            &(self.num_edges as u64).to_le_bytes(),
+            &(size_of::<P::State>() as u64).to_le_bytes(),
+            std::any::type_name::<P>().as_bytes(),
+        ])
+    }
+
+    /// Supersteps this engine has completed (restored ones included
+    /// after a [`Self::resume_from_checkpoint`]).
+    pub fn completed_supersteps(&self) -> u64 {
+        self.completed_supersteps
+    }
+
+    /// Persists the current vertex state as a checksummed checkpoint
+    /// frame ([`crate::checkpoint`]) via a crash-atomic
+    /// write-temp-then-rename, alternating between two slots so the
+    /// previous checkpoint survives a crash during this write.
+    ///
+    /// Driven automatically by
+    /// [`EngineConfig::checkpoint_every`](xstream_core::EngineConfig);
+    /// public so callers with their own cadence (e.g. time-based) can
+    /// checkpoint explicitly between supersteps.
+    pub fn write_checkpoint(&mut self) -> Result<()> {
+        let states = self.vertices.collect_all(&self.store, &self.partitioner)?;
+        let frame = crate::checkpoint::encode_frame(
+            self.checkpoint_fingerprint(),
+            self.completed_supersteps,
+            &states,
+        );
+        let slot = self.completed_supersteps % 2;
+        self.store
+            .write_atomic(&format!("checkpoint.{slot}"), &frame)
+    }
+
+    /// Restores vertex state from the newest valid checkpoint in the
+    /// store, if any, and arranges for the already-completed supersteps
+    /// to be skipped (reported as instant no-op iterations) by the
+    /// driving loop.
+    ///
+    /// Both slots are read and validated — magic, version, CRC over the
+    /// whole frame, graph/program fingerprint, record count; a torn or
+    /// foreign frame in one slot silently falls back to the other, and
+    /// two invalid slots mean a fresh run. Returns the superstep index
+    /// the engine resumed at (`None` when starting fresh).
+    pub fn resume_from_checkpoint(&mut self) -> Result<Option<u64>> {
+        let fp = self.checkpoint_fingerprint();
+        let count = self.partitioner.num_vertices();
+        let mut best: Option<(u64, Vec<P::State>)> = None;
+        for slot in 0..2u64 {
+            let bytes = self.store.read_all(&format!("checkpoint.{slot}"))?;
+            if let Some((step, states)) =
+                crate::checkpoint::decode_frame::<P::State>(&bytes, fp, count)
+            {
+                if best.as_ref().is_none_or(|(b, _)| step > *b) {
+                    best = Some((step, states));
+                }
+            }
+        }
+        let Some((step, states)) = best else {
+            return Ok(None);
+        };
+        if let Some(mem) = self.vertices.in_memory_mut() {
+            mem.copy_from_slice(&states);
+        } else {
+            for p in self.partitioner.iter() {
+                let range = self.partitioner.range(p);
+                self.vertices
+                    .store_back(&self.store, &self.partitioner, p, &states[range])?;
+            }
+        }
+        self.completed_supersteps = step;
+        self.skip_supersteps = step;
+        Ok(Some(step))
     }
 
     /// The partitioner in use (exposed for experiments).
@@ -483,11 +657,81 @@ impl<P: EdgeProgram> DiskEngine<P> {
 
     /// Fallible scatter-gather superstep; the [`Engine`] trait method
     /// panics on I/O errors, this variant reports them.
+    ///
+    /// Runs `superstep_once` under the configured
+    /// [`RetryPolicy`](xstream_core::RetryPolicy): a *transient* failure
+    /// ([`Error::is_transient`]) triggers stream recovery, a rollback of
+    /// the in-memory vertex state to its pre-superstep snapshot, a
+    /// bounded exponential backoff, and a re-run. Permanent failures
+    /// (`ENOSPC`, permission, config, malformed input) fail fast with
+    /// the engine left consistent for a later retry or resume. When the
+    /// budget runs out the last error is wrapped in
+    /// [`Error::Exhausted`]. Attempts beyond the first are surfaced in
+    /// [`IterationStats::io_retries`].
     pub fn try_scatter_gather(&mut self, program: &P) -> Result<IterationStats> {
+        let policy = self.config.retry;
+        let max_attempts = policy.max_attempts.max(1);
+        // Snapshot the in-memory vertex array so a failed attempt can
+        // be rolled back exactly. Pooled: the buffer is retained across
+        // supersteps, so the steady state stays allocation-free.
+        let can_snapshot = max_attempts > 1 && self.vertices.in_memory_mut().is_some();
+        if can_snapshot {
+            let states = self.vertices.in_memory_mut().expect("checked above");
+            self.vertex_snapshot.clear();
+            self.vertex_snapshot.extend_from_slice(states);
+        }
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.superstep_once(program) {
+                Ok(mut stats) => {
+                    stats.io_retries = (attempts - 1) as u64;
+                    return Ok(stats);
+                }
+                Err(e) => {
+                    // Whatever happens next, leave the streams usable.
+                    self.recover()?;
+                    if !e.is_transient() {
+                        return Err(e);
+                    }
+                    if attempts >= max_attempts {
+                        return Err(Error::Exhausted {
+                            attempts,
+                            source: Box::new(e),
+                        });
+                    }
+                    if can_snapshot {
+                        let states = self.vertices.in_memory_mut().expect("checked above");
+                        states.copy_from_slice(&self.vertex_snapshot);
+                    } else if self.gather_dirty {
+                        // On-disk vertex state and gather already
+                        // mutated some partitions: a blind re-run would
+                        // double-apply updates. Checkpoint/resume is
+                        // the recovery path for this configuration.
+                        return Err(e);
+                    }
+                    // Bounded exponential backoff: base * 2^(attempt-1),
+                    // capped at one second.
+                    let delay = policy
+                        .backoff
+                        .saturating_mul(1u32 << (attempts - 1).min(6))
+                        .min(std::time::Duration::from_secs(1));
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One scatter-gather attempt; the retry wrapper above decides what
+    /// a failure means.
+    fn superstep_once(&mut self, program: &P) -> Result<IterationStats> {
         if !self.clean {
             self.recover()?;
         }
         self.clean = false;
+        self.gather_dirty = false;
         let alloc_before = alloc_stats::snapshot();
         let mut stats = IterationStats::default();
         let kp = self.partitioner.num_partitions();
@@ -678,6 +922,10 @@ impl<P: EdgeProgram> DiskEngine<P> {
         if !from_files && !resident {
             return Ok(());
         }
+        // From here on vertex state may have been mutated by a partial
+        // gather; a retry without a snapshot can no longer blindly
+        // re-run (updates would double-apply).
+        self.gather_dirty = true;
 
         if from_files {
             reader.begin(store.read_source(&update_names[0], usz)?)?;
@@ -759,6 +1007,7 @@ impl<P: EdgeProgram> DiskEngine<P> {
         blocked_ns: &mut u64,
     ) -> Result<()> {
         let kp = self.partitioner.num_partitions();
+        self.gather_dirty = true;
         let pool = self.pool.as_ref().expect("parallel gather requires a pool");
         let states = self
             .vertices
@@ -1191,11 +1440,42 @@ impl<P: EdgeProgram> Engine<P> for DiskEngine<P> {
     }
 
     fn scatter_gather(&mut self, program: &P) -> IterationStats {
-        self.try_scatter_gather(program)
-            .expect("out-of-core scatter-gather failed")
+        if self.skip_supersteps > 0 {
+            // Resuming from a checkpoint: the first `k` supersteps of
+            // the driving loop were already executed (and persisted)
+            // by the interrupted run. Report them as no-cost
+            // iterations — `vertices_changed: 1` keeps convergence
+            // loops going — without touching streams or counters
+            // (`completed_supersteps` already includes them).
+            self.skip_supersteps -= 1;
+            return IterationStats {
+                vertices_changed: 1,
+                ..Default::default()
+            };
+        }
+        let mut stats = self
+            .try_scatter_gather(program)
+            .expect("out-of-core scatter-gather failed");
+        self.completed_supersteps += 1;
+        let every = self.config.checkpoint_every;
+        if every > 0 && self.completed_supersteps.is_multiple_of(every as u64) {
+            self.write_checkpoint()
+                .expect("checkpoint write failed after successful superstep");
+            stats.checkpoints += 1;
+        }
+        stats
     }
 
     fn vertex_map(&mut self, f: &mut dyn FnMut(VertexId, &mut P::State)) {
+        if self.skip_supersteps > 0 {
+            // Replayed supersteps already incorporate the maps the
+            // original run interleaved with them (the checkpoint was
+            // taken post-gather, pre-map of the *next* iteration, so
+            // exactly the maps up to the restored superstep are in the
+            // persisted state). Re-applying them here would
+            // double-apply.
+            return;
+        }
         for p in self.partitioner.iter() {
             let base = self.partitioner.range(p).start;
             self.vertices

@@ -63,6 +63,7 @@
 //! # Ok::<(), xstream_core::Error>(())
 //! ```
 
+pub mod checkpoint;
 pub mod engine;
 pub mod vertices;
 

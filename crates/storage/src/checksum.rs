@@ -1,0 +1,67 @@
+//! CRC32 (IEEE 802.3 polynomial) over byte slices.
+//!
+//! The checkpoint frames written by the out-of-core engine end with a
+//! CRC32 of everything before it, so a torn or bit-rotted checkpoint is
+//! rejected at resume time instead of silently corrupting vertex state.
+//! Hand-rolled (table-driven, one 256-entry table built at compile
+//! time) to keep the no-new-crates precedent.
+
+/// The reflected IEEE polynomial used by zip, PNG, Ethernet et al.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC32 (IEEE) of `bytes`, with the conventional init/final XOR of
+/// `0xFFFF_FFFF` — matches `cksum -o3`, zlib's `crc32`, PNG, etc.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for the IEEE CRC32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let mut data = vec![0xA5u8; 1024];
+        let clean = crc32(&data);
+        data[512] ^= 0x01;
+        assert_ne!(crc32(&data), clean);
+    }
+}

@@ -39,6 +39,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::channel::BoundedQueue;
+use crate::faults::{FaultOp, FaultOutcome, FaultPlan};
 use crate::iostats::{DeviceId, IoAccounting};
 use xstream_core::{Error, Result};
 
@@ -59,6 +60,10 @@ struct FileHandle {
     /// reopening its path (reopening allocates and costs a syscall on
     /// every superstep).
     file: Arc<File>,
+    /// The stream name, interned once at handle creation so the
+    /// fault-injection checks on per-chunk hot paths need no per-call
+    /// allocation.
+    name: Arc<str>,
     len: u64,
     id: u32,
 }
@@ -72,6 +77,9 @@ pub struct StreamStore {
     io_unit: usize,
     files: Mutex<HashMap<String, FileHandle>>,
     next_id: AtomicU32,
+    /// Deterministic fault-injection plan; `None` (the default) costs
+    /// one branch per operation and nothing else.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl StreamStore {
@@ -88,7 +96,36 @@ impl StreamStore {
             io_unit: io_unit.max(4096),
             files: Mutex::new(HashMap::new()),
             next_id: AtomicU32::new(0),
+            faults: None,
         })
+    }
+
+    /// Installs a deterministic fault-injection plan on this store (see
+    /// [`crate::faults`]). Every read, write, flush and truncate path
+    /// consults it; a disarmed or absent plan is free.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The installed fault plan, if any.
+    pub fn faults(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// Consults the fault plan (if any) for operation `op` on stream
+    /// `name`. Returns `Ok(false)` to proceed normally, `Ok(true)` to
+    /// deliver a short read, or the injected error.
+    #[inline]
+    fn inject(&self, name: &str, op: FaultOp) -> Result<bool> {
+        let Some(plan) = &self.faults else {
+            return Ok(false);
+        };
+        match plan.check(name, op) {
+            FaultOutcome::Pass => Ok(false),
+            FaultOutcome::ShortRead => Ok(true),
+            FaultOutcome::Error(e) => Err(Error::Io(e)),
+        }
     }
 
     /// Enables or replaces the accounting sink (with tracing on for the
@@ -161,6 +198,7 @@ impl StreamStore {
                 name.to_string(),
                 FileHandle {
                     file: Arc::new(file),
+                    name: Arc::from(name),
                     len,
                     id,
                 },
@@ -174,6 +212,7 @@ impl StreamStore {
         if bytes.is_empty() {
             return Ok(());
         }
+        self.inject(name, FaultOp::Write)?;
         let device = (self.device_fn)(name);
         self.with_handle(name, |h| {
             (&*h.file).write_all(bytes)?;
@@ -218,9 +257,14 @@ impl StreamStore {
         out.reserve(len as usize);
         let mut offset = 0u64;
         loop {
-            let want = self.io_unit.min((len - offset) as usize);
+            let mut want = self.io_unit.min((len - offset) as usize);
             if want == 0 {
                 break;
+            }
+            if self.inject(name, FaultOp::Read)? {
+                // Injected short read: deliver at most half the request
+                // this round; the loop completes the stream anyway.
+                want = (want / 2).max(1);
             }
             let start = out.len();
             out.resize(start + want, 0);
@@ -274,13 +318,16 @@ impl StreamStore {
         let record_size = record_size.max(1);
         let chunk_size = (self.io_unit / record_size).max(1) * record_size;
         let device = (self.device_fn)(name);
+        let faults = self.faults.clone();
         self.with_handle(name, |h| {
             Ok(ReadSource {
                 file: Arc::clone(&h.file),
+                name: Arc::clone(&h.name),
                 id: h.id,
                 device,
                 accounting: Arc::clone(&self.accounting),
                 chunk_size,
+                faults,
             })
         })
     }
@@ -347,6 +394,7 @@ impl StreamStore {
     /// the next superstep appends through the already-open handle
     /// without re-opening a path — no allocation, no open syscall.
     pub fn truncate(&self, name: &str) -> Result<()> {
+        self.inject(name, FaultOp::Truncate)?;
         let device = (self.device_fn)(name);
         self.with_handle(name, |h| {
             h.file.set_len(0)?;
@@ -376,6 +424,38 @@ impl StreamStore {
     pub fn write_replace(&self, name: &str, bytes: &[u8]) -> Result<()> {
         self.delete(name)?;
         self.append(name, bytes)
+    }
+
+    /// *Crash-atomically* replaces stream `name` with `bytes`: writes
+    /// a `{name}.tmp` sibling, fsyncs it, then renames it over the
+    /// final path. A crash at any point leaves either the old complete
+    /// contents or the new complete contents — never a torn mix. Used
+    /// by the engine checkpoints; unlike [`Self::write_replace`] this
+    /// always pays an open + fsync, so it is not for per-superstep hot
+    /// paths.
+    pub fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        self.inject(name, FaultOp::Write)?;
+        let device = (self.device_fn)(name);
+        let final_path = self.path_of(name);
+        let tmp_path = self.root.join(format!("{name}.tmp"));
+        {
+            let mut f = File::create(&tmp_path)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &final_path)?;
+        // Any cached handle now points at the unlinked old inode; drop
+        // it so the next access reopens the renamed file.
+        let mut files = self.files.lock();
+        if let Some(h) = files.remove(name) {
+            self.accounting.record_trim(device, h.id);
+        }
+        drop(files);
+        self.with_handle(name, |h| {
+            self.accounting
+                .record_write(device, h.id, 0, bytes.len() as u64);
+            Ok(())
+        })
     }
 
     /// Removes the whole store directory (test/experiment teardown).
@@ -475,10 +555,14 @@ impl Drop for ChunkReader {
 /// [`StreamStore::read_source`].
 pub struct ReadSource {
     file: Arc<File>,
+    /// Stream name (interned by the store) for fault matching.
+    name: Arc<str>,
     id: u32,
     device: DeviceId,
     accounting: Arc<IoAccounting>,
     chunk_size: usize,
+    /// The store's fault plan, consulted once per prefetched chunk.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// Messages from the read-ahead thread to the consumer, tagged with
@@ -618,6 +702,28 @@ impl ReadAhead {
                             if stale(gen) {
                                 continue 'jobs;
                             }
+                            // Fault-injection checkpoint: at most one
+                            // consult per prefetched chunk, a no-op
+                            // branch without an armed plan.
+                            let mut first_pread_cap = usize::MAX;
+                            if let Some(plan) = &src.faults {
+                                match plan.check(&src.name, FaultOp::Read) {
+                                    FaultOutcome::Pass => {}
+                                    FaultOutcome::ShortRead => {
+                                        // Cap only the first pread of
+                                        // the chunk; the fill loop then
+                                        // completes it, so delivered
+                                        // chunks stay record-aligned.
+                                        first_pread_cap = (src.chunk_size / 2).max(1);
+                                    }
+                                    FaultOutcome::Error(e) => {
+                                        if data.push(ReadMsg::Fail(gen, e)).is_err() {
+                                            return;
+                                        }
+                                        continue 'jobs;
+                                    }
+                                }
+                            }
                             let mut buf = recycled.try_pop().unwrap_or_default();
                             // Recycled buffers keep their length, so in
                             // steady state this resize is a no-op (no
@@ -625,7 +731,14 @@ impl ReadAhead {
                             buf.resize(src.chunk_size, 0);
                             let mut filled = 0usize;
                             while filled < src.chunk_size {
-                                match pread(&src.file, &mut buf[filled..], offset + filled as u64) {
+                                let end =
+                                    src.chunk_size.min(filled.saturating_add(first_pread_cap));
+                                first_pread_cap = usize::MAX;
+                                match pread(
+                                    &src.file,
+                                    &mut buf[filled..end],
+                                    offset + filled as u64,
+                                ) {
                                     Ok(0) => break,
                                     Ok(n) => filled += n,
                                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -1017,6 +1130,149 @@ mod tests {
         }
         assert_eq!(out, b);
         drop(reader);
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn injected_read_fault_surfaces_and_then_clears() {
+        use crate::faults::{FaultKind, FaultSpec};
+        let root = std::env::temp_dir().join("xstream_store_fault_read");
+        let _ = std::fs::remove_dir_all(&root);
+        let plan = Arc::new(FaultPlan::new(vec![FaultSpec {
+            stream_prefix: "s".to_string(),
+            op: FaultOp::Read,
+            nth: 0,
+            kind: FaultKind::Transient,
+        }]));
+        let store = StreamStore::new(&root, 4096)
+            .unwrap()
+            .with_faults(Arc::clone(&plan));
+        store.append("s", &vec![3u8; 10_000]).unwrap();
+        // Disarmed: reads pass.
+        assert_eq!(store.read_all("s").unwrap().len(), 10_000);
+        plan.arm();
+        match store.read_all("s") {
+            Err(Error::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::TimedOut),
+            other => panic!("expected injected error, got {:?}", other.map(|v| v.len())),
+        }
+        // The spec is spent: the retry succeeds.
+        assert_eq!(store.read_all("s").unwrap().len(), 10_000);
+        assert_eq!(plan.fired_count(), 1);
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn injected_short_read_still_delivers_full_stream() {
+        use crate::faults::{FaultKind, FaultSpec};
+        let root = std::env::temp_dir().join("xstream_store_fault_short");
+        let _ = std::fs::remove_dir_all(&root);
+        let plan = Arc::new(FaultPlan::new(vec![FaultSpec {
+            stream_prefix: String::new(),
+            op: FaultOp::Read,
+            nth: 0,
+            kind: FaultKind::ShortRead,
+        }]));
+        let store = StreamStore::new(&root, 4096)
+            .unwrap()
+            .with_faults(Arc::clone(&plan));
+        let payload: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        store.append("s", &payload).unwrap();
+        plan.arm();
+        // read_all path: short first transfer, but the loop completes.
+        assert_eq!(store.read_all("s").unwrap(), payload);
+        assert_eq!(plan.fired_count(), 1);
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn injected_fault_in_read_ahead_fails_only_that_stream() {
+        use crate::faults::{FaultKind, FaultSpec};
+        let root = std::env::temp_dir().join("xstream_store_fault_ra");
+        let _ = std::fs::remove_dir_all(&root);
+        let plan = Arc::new(FaultPlan::new(vec![
+            FaultSpec {
+                stream_prefix: "a".to_string(),
+                op: FaultOp::Read,
+                nth: 1,
+                kind: FaultKind::Transient,
+            },
+            FaultSpec {
+                stream_prefix: "a".to_string(),
+                op: FaultOp::Read,
+                nth: 2,
+                kind: FaultKind::ShortRead,
+            },
+        ]));
+        let store = StreamStore::new(&root, 4096)
+            .unwrap()
+            .with_faults(Arc::clone(&plan));
+        let a: Vec<u8> = (0..5000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let b: Vec<u8> = (0..700u32).flat_map(|i| (i * 3).to_le_bytes()).collect();
+        store.append("a", &a).unwrap();
+        store.append("b", &b).unwrap();
+        plan.arm();
+        let mut reader = ReadAhead::new(2);
+        reader.begin(store.read_source("a", 4).unwrap()).unwrap();
+        reader.begin(store.read_source("b", 4).unwrap()).unwrap();
+        // Stream `a`: first chunk arrives, second faults.
+        assert!(reader.next_chunk().unwrap().is_some());
+        assert!(matches!(reader.next_chunk(), Err(Error::Io(_))));
+        // Stream `b` is unaffected and complete.
+        let mut out = Vec::new();
+        while let Some(chunk) = reader.next_chunk().unwrap() {
+            out.extend_from_slice(chunk);
+        }
+        assert_eq!(out, b);
+        // Retry of `a` succeeds; the pending ShortRead spec fires on
+        // its first chunk but the fill loop still delivers every byte.
+        reader.begin(store.read_source("a", 4).unwrap()).unwrap();
+        let mut out = Vec::new();
+        while let Some(chunk) = reader.next_chunk().unwrap() {
+            out.extend_from_slice(chunk);
+        }
+        assert_eq!(out, a);
+        assert_eq!(plan.fired_count(), 2);
+        drop(reader);
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn injected_write_fault_fails_append() {
+        use crate::faults::{FaultKind, FaultSpec};
+        let root = std::env::temp_dir().join("xstream_store_fault_write");
+        let _ = std::fs::remove_dir_all(&root);
+        let plan = Arc::new(FaultPlan::new(vec![FaultSpec {
+            stream_prefix: "s".to_string(),
+            op: FaultOp::Write,
+            nth: 0,
+            kind: FaultKind::Enospc,
+        }]));
+        let store = StreamStore::new(&root, 4096)
+            .unwrap()
+            .with_faults(Arc::clone(&plan));
+        plan.arm();
+        match store.append("s", b"doomed") {
+            Err(Error::Io(e)) => assert_eq!(e.raw_os_error(), Some(28)),
+            other => panic!("expected ENOSPC, got {other:?}"),
+        }
+        // Nothing was written; the retry lands cleanly.
+        store.append("s", b"ok").unwrap();
+        assert_eq!(store.read_all("s").unwrap(), b"ok");
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn write_atomic_replaces_contents_and_reopens_handle() {
+        let store = temp_store("write_atomic");
+        store.append("cp", b"old contents").unwrap();
+        store.write_atomic("cp", b"new").unwrap();
+        assert_eq!(store.read_all("cp").unwrap(), b"new");
+        assert_eq!(store.len("cp"), 3);
+        // The handle cache was refreshed: appends extend the new file.
+        store.append("cp", b"+more").unwrap();
+        assert_eq!(store.read_all("cp").unwrap(), b"new+more");
+        // No leftover temp file.
+        assert!(!store.exists("cp.tmp"));
         store.destroy().unwrap();
     }
 

@@ -26,6 +26,12 @@
 //!   pool and a zero-copy borrowed-run path, overlapping update-file
 //!   writes with scatter computation (§3.3's double-buffered output)
 //!   while a slow or failing device never stalls the others,
+//! * [`faults`] — deterministic seed-driven I/O fault injection
+//!   ([`FaultPlan`]) threaded through every stream operation, so the
+//!   engines' retry and checkpoint/resume paths can be exercised
+//!   reproducibly; a disabled plan costs one `Option` check per op,
+//! * [`checksum`] — a hand-rolled table-driven CRC32 (IEEE) framing
+//!   the engine checkpoints against torn writes,
 //! * [`iostats`] — per-device byte/op accounting and event tracing
 //!   (regenerates the paper's iostat bandwidth plot, Fig. 23),
 //! * [`diskmodel`] — a parametric seek+bandwidth+RAID-0 model
@@ -42,7 +48,9 @@
 
 pub mod buffer;
 pub mod channel;
+pub mod checksum;
 pub mod diskmodel;
+pub mod faults;
 pub mod filestream;
 pub mod iostats;
 pub mod pool;
@@ -53,7 +61,9 @@ pub mod writer;
 
 pub use buffer::StreamBuffer;
 pub use channel::BoundedQueue;
+pub use checksum::crc32;
 pub use diskmodel::DiskModel;
+pub use faults::{FaultKind, FaultOp, FaultOutcome, FaultPlan, FaultSpec};
 pub use filestream::{ChunkReader, ReadAhead, StreamStore};
 pub use iostats::{DeviceId, IoAccounting, IoSnapshot};
 pub use pool::{PerWorkerPtr, WorkerPool};

@@ -277,6 +277,17 @@ impl AsyncWriter {
     /// error since the last flush. The writer stays usable afterwards.
     pub fn flush(&self) -> Result<()> {
         self.wait_until(self.submitted());
+        // Fault-injection checkpoint for the barrier itself (device
+        // threads' appends go through `StreamStore::append`, which has
+        // its own checks); consulted after the drain so the injected
+        // error wins only when the real writes succeeded.
+        if let Some(plan) = self.store.faults() {
+            if let crate::faults::FaultOutcome::Error(e) =
+                plan.check("", crate::faults::FaultOp::Flush)
+            {
+                return Err(Error::Io(e));
+            }
+        }
         for slot in &self.shared.errors {
             if let Some(e) = slot.lock().take() {
                 return Err(e);
