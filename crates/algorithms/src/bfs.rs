@@ -59,6 +59,13 @@ impl EdgeProgram for Bfs {
             false
         }
     }
+
+    // A vertex needs scatter in round r+1 iff gather lowered its level
+    // to r+1 in round r (levels only ever decrease to the round value),
+    // so the frontier contract holds exactly.
+    fn frontier_mode(&self) -> xstream_core::FrontierMode {
+        xstream_core::FrontierMode::Tracked
+    }
 }
 
 /// Runs BFS from `root`; returns per-vertex levels ([`UNREACHED`] for

@@ -17,6 +17,7 @@
 //! | [`conductance`] | conductance of a vertex bisection | any |
 //! | [`spmv`] | sparse matrix-vector multiply | weighted edges |
 //! | [`pagerank`] | PageRank (fixed iterations) | directed list |
+//! | [`pagerank_delta`] | delta-propagating PageRank (frontier-driven) | directed list |
 //! | [`als`] | alternating least squares | bipartite rating graph |
 //! | [`bp`] | loopy belief propagation | undirected expansion |
 //! | [`hyperanf`] | HyperANF neighbourhood function / diameter | undirected expansion |
@@ -29,6 +30,7 @@ pub mod hyperanf;
 pub mod mcst;
 pub mod mis;
 pub mod pagerank;
+pub mod pagerank_delta;
 pub mod scc;
 pub mod spmv;
 pub mod sssp;

@@ -1,0 +1,282 @@
+//! Delta-propagating PageRank: only vertices whose rank changed by
+//! more than a tolerance scatter again.
+//!
+//! Instead of re-sending its full `rank / degree` every iteration (the
+//! fixed-point formulation of [`crate::pagerank`]), each vertex sends
+//! only the *change* of its rank since it last scattered. Summing the
+//! geometric series `(1-d)/V · Σ_k (dM)^k 1` term by term converges to
+//! the same fixpoint, but the active set collapses geometrically — the
+//! workload Ligra's hybrid dense/sparse scatter was designed for, and
+//! the one this repo's frontier-aware scatter uses to exercise sparse
+//! mode on a non-traversal algorithm.
+//!
+//! A vertex whose accumulated incoming delta stays below `epsilon`
+//! never re-activates; its residual is still *applied* to its rank (no
+//! mass is silently dropped at the gather side), it is just not
+//! propagated further. `epsilon = 0` propagates every nonzero delta
+//! and matches the untruncated series.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use xstream_core::{Edge, EdgeProgram, Engine, RunStats, VertexId};
+
+use crate::pagerank::DAMPING;
+
+/// Round marker for "never active".
+const NEVER: u32 = u32::MAX;
+
+/// Per-vertex delta-PageRank state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
+pub struct PrDeltaState {
+    /// Rank accumulated so far (partial series sum).
+    pub rank: f32,
+    /// Delta to propagate in the round this vertex is active.
+    pub delta: f32,
+    /// Incoming-delta accumulator for the running round.
+    pub acc: f32,
+    /// Out-degree (fixed over the run; scatter divides by it).
+    pub degree: f32,
+    /// Round in which this vertex must scatter.
+    pub active_round: u32,
+}
+
+// SAFETY: `repr(C)`, five 4-byte fields: no padding, no pointers, all
+// bit patterns valid.
+unsafe impl xstream_core::Record for PrDeltaState {}
+
+/// The delta-PageRank edge program.
+pub struct PagerankDelta {
+    round: AtomicU32,
+    epsilon: f32,
+}
+
+impl PagerankDelta {
+    /// Creates the program with activation tolerance `epsilon` (a
+    /// vertex re-activates only when its damped incoming delta exceeds
+    /// it).
+    pub fn new(epsilon: f32) -> Self {
+        Self {
+            round: AtomicU32::new(0),
+            epsilon,
+        }
+    }
+
+    fn round(&self) -> u32 {
+        self.round.load(Ordering::Relaxed)
+    }
+}
+
+impl EdgeProgram for PagerankDelta {
+    type State = PrDeltaState;
+    type Update = f32;
+
+    fn init(&self, _v: VertexId) -> PrDeltaState {
+        PrDeltaState {
+            rank: 0.0,
+            delta: 0.0,
+            acc: 0.0,
+            degree: 0.0,
+            active_round: NEVER,
+        }
+    }
+
+    fn needs_scatter(&self, s: &PrDeltaState) -> bool {
+        s.active_round == self.round()
+    }
+
+    fn scatter(&self, s: &PrDeltaState, _e: &Edge) -> Option<f32> {
+        Some(s.delta / s.degree)
+    }
+
+    fn gather(&self, d: &mut PrDeltaState, u: &f32) -> bool {
+        d.acc += *u;
+        let next = self.round() + 1;
+        // Activate the first time the damped accumulated delta crosses
+        // the tolerance; later updates keep accumulating silently.
+        if d.active_round != next && DAMPING * d.acc > self.epsilon {
+            d.active_round = next;
+            true
+        } else {
+            false
+        }
+    }
+
+    // gather stamps `active_round = round + 1` exactly when it first
+    // reports a change, and the driver bumps the round between
+    // supersteps, so the frontier contract holds exactly. (The
+    // per-round `vertex_map` in [`run`] invalidates engine frontiers
+    // anyway; they rebuild from a `needs_scatter` scan.)
+    fn frontier_mode(&self) -> xstream_core::FrontierMode {
+        xstream_core::FrontierMode::Tracked
+    }
+}
+
+/// Runs delta-PageRank for at most `max_iterations` rounds (stopping
+/// early once no vertex re-activates); `degrees[v]` must hold the
+/// out-degree of `v`.
+///
+/// Returns per-vertex ranks and run statistics. With `epsilon = 0` the
+/// ranks converge to the same fixpoint as [`crate::pagerank::run`];
+/// with a positive `epsilon` they approximate it to within the
+/// truncated residual mass.
+pub fn run<E: Engine<PagerankDelta>>(
+    engine: &mut E,
+    program: &PagerankDelta,
+    degrees: &[u32],
+    max_iterations: usize,
+) -> (Vec<f32>, RunStats) {
+    let start = std::time::Instant::now();
+    let n = engine.num_vertices();
+    assert_eq!(degrees.len(), n, "degree vector length");
+    program.round.store(0, Ordering::Relaxed);
+    let base = (1.0 - DAMPING) / n as f32;
+    // Series term 0: every vertex owns the teleport mass and
+    // propagates it in round 0.
+    engine.vertex_map(&mut |v, s| {
+        *s = PrDeltaState {
+            rank: base,
+            delta: base,
+            acc: 0.0,
+            degree: degrees[v as usize] as f32,
+            active_round: 0,
+        }
+    });
+    let mut stats = RunStats::default();
+    for _ in 0..max_iterations {
+        let it = engine.scatter_gather(program);
+        let changed = it.vertices_changed;
+        stats.iterations.push(it);
+        let next = program.round.fetch_add(1, Ordering::Relaxed) + 1;
+        // Fold the damped incoming mass into the rank (always — mass
+        // below epsilon is applied, just not re-propagated) and load
+        // the next delta for vertices that re-activated.
+        engine.vertex_map(&mut |_v, s| {
+            let incoming = DAMPING * s.acc;
+            s.rank += incoming;
+            s.acc = 0.0;
+            s.delta = if s.active_round == next {
+                incoming
+            } else {
+                0.0
+            };
+        });
+        if changed == 0 {
+            break;
+        }
+    }
+    stats.total_ns = start.elapsed().as_nanos() as u64;
+    let ranks = engine.states().iter().map(|s| s.rank).collect();
+    (ranks, stats)
+}
+
+/// Convenience: delta-PageRank on the in-memory engine.
+pub fn pagerank_delta_in_memory(
+    graph: &xstream_graph::EdgeList,
+    epsilon: f32,
+    max_iterations: usize,
+    config: xstream_core::EngineConfig,
+) -> (Vec<f32>, RunStats) {
+    let program = PagerankDelta::new(epsilon);
+    let mut engine = xstream_memory::InMemoryEngine::from_graph(graph, &program, config);
+    let degrees = graph.out_degrees();
+    run(&mut engine, &program, &degrees, max_iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xstream_core::EngineConfig;
+    use xstream_graph::generators;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::default().with_threads(2).with_partitions(4)
+    }
+
+    #[test]
+    fn cycle_is_uniform() {
+        let g = generators::cycle(10);
+        let (ranks, _) = pagerank_delta_in_memory(&g, 0.0, 60, cfg());
+        for r in &ranks {
+            assert!((r - 0.1).abs() < 1e-4, "cycle rank should be uniform: {r}");
+        }
+    }
+
+    #[test]
+    fn converges_to_power_iteration_fixpoint() {
+        let g = generators::erdos_renyi(50, 400, 9);
+        let (delta_ranks, _) = pagerank_delta_in_memory(&g, 0.0, 100, cfg());
+        let (power_ranks, _) = crate::pagerank::pagerank_in_memory(&g, 60, cfg());
+        for v in 0..50 {
+            assert!(
+                (delta_ranks[v] - power_ranks[v]).abs() < 1e-4,
+                "vertex {v}: {} vs {}",
+                delta_ranks[v],
+                power_ranks[v]
+            );
+        }
+    }
+
+    #[test]
+    fn tolerance_shrinks_the_active_set() {
+        let g = generators::erdos_renyi(200, 1600, 3);
+        let (exact, _) = pagerank_delta_in_memory(&g, 0.0, 100, cfg());
+        let (approx, stats) = pagerank_delta_in_memory(&g, 1e-4, 100, cfg());
+        // Fewer rounds than the exact run needs, and the truncation
+        // error stays bounded by the tolerance regime.
+        assert!(stats.num_iterations() < 100);
+        let worst = exact
+            .iter()
+            .zip(&approx)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(worst < 1e-2, "truncation error too large: {worst}");
+        // Later iterations scatter fewer updates than the first
+        // (shrinking frontier is the point of the delta formulation).
+        let first = stats.iterations.first().unwrap().updates_generated;
+        let last = stats.iterations.last().unwrap().updates_generated;
+        assert!(last < first, "active set never shrank: {first} -> {last}");
+    }
+
+    #[test]
+    fn matches_dense_delta_reference() {
+        let g = generators::erdos_renyi(64, 512, 11);
+        let eps = 1e-5f32;
+        let (ranks, _) = pagerank_delta_in_memory(&g, eps, 50, cfg());
+        // Dense single-threaded reference of the same truncated series.
+        let n = 64usize;
+        let deg = g.out_degrees();
+        let base = (1.0 - DAMPING) / n as f32;
+        let mut rank = vec![base; n];
+        let mut delta = vec![base; n];
+        let mut active = vec![true; n];
+        for _ in 0..50 {
+            let mut acc = vec![0.0f32; n];
+            for e in g.edges() {
+                let s = e.src as usize;
+                if active[s] && deg[s] > 0 {
+                    acc[e.dst as usize] += delta[s] / deg[s] as f32;
+                }
+            }
+            let mut any = false;
+            for v in 0..n {
+                let incoming = DAMPING * acc[v];
+                rank[v] += incoming;
+                active[v] = incoming > eps;
+                delta[v] = if active[v] { incoming } else { 0.0 };
+                any |= active[v];
+            }
+            if !any {
+                break;
+            }
+        }
+        for v in 0..n {
+            assert!(
+                (ranks[v] - rank[v]).abs() < 1e-5,
+                "vertex {v}: {} vs {}",
+                ranks[v],
+                rank[v]
+            );
+        }
+    }
+}

@@ -78,6 +78,13 @@ impl EdgeProgram for Sssp {
             false
         }
     }
+
+    // gather stamps `active_round = round + 1` on every change and the
+    // driver bumps the round between supersteps, so the frontier
+    // contract holds exactly.
+    fn frontier_mode(&self) -> xstream_core::FrontierMode {
+        xstream_core::FrontierMode::Tracked
+    }
 }
 
 /// Runs SSSP from `root` over non-negative edge weights; returns

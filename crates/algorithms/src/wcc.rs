@@ -82,6 +82,13 @@ impl EdgeProgram for Wcc {
             false
         }
     }
+
+    // gather stamps `active_round = round + 1` on every change; the
+    // all-active initial state is covered by the engines' rebuild-on-
+    // invalid frontier scan, so the frontier contract holds exactly.
+    fn frontier_mode(&self) -> xstream_core::FrontierMode {
+        xstream_core::FrontierMode::Tracked
+    }
 }
 
 /// Runs WCC to convergence; returns per-vertex component labels and the

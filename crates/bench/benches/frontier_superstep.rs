@@ -1,0 +1,230 @@
+//! The `frontier_superstep` benchmark: a BFS-style *tail* superstep —
+//! a handful of active vertices in an RMAT scale-16 graph (2^16
+//! vertices, ≈ 2M edges), forced onto the spill path — under the
+//! frontier-aware scatter vs the paper's stream-everything baseline.
+//!
+//! * `sparse_tail_rmat16_spill` — the hybrid scatter with the active
+//!   set pinned far below the threshold: dead partitions are skipped
+//!   (no read-ahead, no edge pass), the one live partition is
+//!   scattered through its source-sorted `index.{p}` stream with
+//!   pooled ranged reads. This is the regime the paper concedes in
+//!   §6.3: the cost is O(frontier), not O(|E|).
+//! * `dense_tail_rmat16_spill` — the identical superstep with
+//!   `frontier_skip` off: every partition streams every edge, the
+//!   paper-faithful cost.
+//!
+//! The workload holds its frontier *constant* (a small self-renewing
+//! ring), so every measured superstep is the same tail superstep —
+//! unlike a real BFS, whose frontier dies after a few rounds.
+//!
+//! Run with `CRITERION_JSON=<path> cargo bench --bench
+//! frontier_superstep` to record the JSON baseline
+//! (`BENCH_frontier.json` at the repo root).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
+
+use xstream_core::{Edge, EdgeProgram, EngineConfig, FrontierMode, VertexId};
+use xstream_disk::DiskEngine;
+use xstream_graph::datasets::rmat_scale;
+use xstream_graph::EdgeList;
+use xstream_storage::StreamStore;
+
+/// Constant-frontier traversal stand-in: [`RING`] vertices form a
+/// cycle that re-activates itself every superstep (each gather
+/// advances the pulse counter and reports a change), so the active set
+/// never grows or dies — every superstep is a reproducible BFS tail.
+struct Pulse {
+    round: AtomicU32,
+    /// First ring vertex id; the ring sits at the *top* of the id
+    /// space (the RMAT leaf region) so its edge runs stay far below
+    /// the sparse threshold — RMAT hubs live at the low ids.
+    base: u32,
+}
+
+const RING: u32 = 32;
+
+impl EdgeProgram for Pulse {
+    type State = u32;
+    type Update = u32;
+
+    fn init(&self, v: VertexId) -> u32 {
+        if v >= self.base {
+            0
+        } else {
+            u32::MAX
+        }
+    }
+
+    fn needs_scatter(&self, s: &u32) -> bool {
+        *s == self.round.load(Ordering::Relaxed)
+    }
+
+    fn scatter(&self, s: &u32, _e: &Edge) -> Option<u32> {
+        Some(*s + 1)
+    }
+
+    fn gather(&self, d: &mut u32, u: &u32) -> bool {
+        if *d == u32::MAX || *u <= *d {
+            false
+        } else {
+            *d = *u;
+            true
+        }
+    }
+
+    fn frontier_mode(&self) -> FrontierMode {
+        FrontierMode::Tracked
+    }
+}
+
+/// Forced-spill configuration; 8 streaming partitions keep each edge
+/// file small enough for the ingest-time sparse index.
+fn cfg() -> EngineConfig {
+    EngineConfig {
+        in_memory_updates: false,
+        ..EngineConfig::default()
+            .with_threads(8)
+            .with_io_unit(1 << 20)
+            .with_memory_budget(16 << 20)
+            .with_partitions(8)
+    }
+}
+
+fn fresh_store(tag: &str) -> StreamStore {
+    let root = std::env::temp_dir().join(format!("xstream_bench_frontier_{tag}"));
+    let _ = std::fs::remove_dir_all(&root);
+    StreamStore::new(&root, 1 << 20).unwrap()
+}
+
+fn bench_frontier_superstep(c: &mut Criterion) {
+    // RMAT scale-16 plus the self-renewing ring over the last RING
+    // vertex ids — the edges that keep the constant frontier alive.
+    let (g, base) = {
+        let rmat = rmat_scale(16);
+        let base = rmat.num_vertices() as u32 - RING;
+        let mut edges: Vec<Edge> = rmat.edges().to_vec();
+        for i in 0..RING {
+            edges.push(Edge::new(base + i, base + (i + 1) % RING));
+        }
+        (
+            EdgeList::from_parts_unchecked(rmat.num_vertices(), edges),
+            base,
+        )
+    };
+    let edges = g.num_edges() as u64;
+
+    let mut group = c.benchmark_group("frontier_superstep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges));
+
+    // The hybrid scatter (production default).
+    let sparse_p = Pulse {
+        round: AtomicU32::new(0),
+        base,
+    };
+    let mut sparse = DiskEngine::from_graph(fresh_store("sparse"), &g, &sparse_p, cfg()).unwrap();
+    // The paper's baseline: stream everything, every superstep.
+    let dense_p = Pulse {
+        round: AtomicU32::new(0),
+        base,
+    };
+    let mut dense = DiskEngine::from_graph(
+        fresh_store("dense"),
+        &g,
+        &dense_p,
+        cfg().with_frontier_skip(false),
+    )
+    .unwrap();
+
+    // Warm both engines' pools, then time a fixed superstep batch
+    // outside criterion: the tail-superstep wall-clock win is this
+    // PR's acceptance criterion, so assert it where the numbers are
+    // produced (the gap is orders of magnitude — O(frontier) ranged
+    // reads vs a 2M-edge pass — so the assert is noise-proof).
+    let step = |e: &mut DiskEngine<Pulse>, p: &Pulse| {
+        let it = e.try_scatter_gather(p).unwrap();
+        p.round.fetch_add(1, Ordering::Relaxed);
+        it
+    };
+    for _ in 0..3 {
+        step(&mut sparse, &sparse_p);
+        step(&mut dense, &dense_p);
+    }
+    let t0 = Instant::now();
+    let mut sparse_edges = 0u64;
+    let mut sparse_parts = 0u64;
+    for _ in 0..5 {
+        let it = step(&mut sparse, &sparse_p);
+        sparse_edges += it.edges_streamed;
+        sparse_parts += it.partitions_sparse;
+    }
+    let sparse_wall = t0.elapsed();
+    let t0 = Instant::now();
+    let mut dense_edges = 0u64;
+    for _ in 0..5 {
+        dense_edges += step(&mut dense, &dense_p).edges_streamed;
+    }
+    let dense_wall = t0.elapsed();
+    println!(
+        "tail supersteps x5: sparse {sparse_wall:?} ({sparse_edges} edges) \
+         vs dense {dense_wall:?} ({dense_edges} edges)"
+    );
+    assert!(
+        sparse_parts > 0 && sparse_edges > 0,
+        "tail supersteps never took the sparse index path ({sparse_parts} partitions, \
+         {sparse_edges} edges)"
+    );
+    assert!(
+        sparse_edges.saturating_mul(10) <= dense_edges,
+        "sparse tail streamed {sparse_edges} edges vs dense {dense_edges}: expected >= 10x fewer"
+    );
+    assert!(
+        sparse_wall < dense_wall,
+        "frontier-aware tail superstep ({sparse_wall:?}) not faster than dense ({dense_wall:?})"
+    );
+
+    group.bench_function("sparse_tail_rmat16_spill", |b| {
+        b.iter(|| black_box(step(&mut sparse, &sparse_p)))
+    });
+
+    // Steady-state allocation flatness on the sparse path, asserted
+    // where the numbers are produced (mirrors `disk_superstep`).
+    let mut consecutive_zero = 0;
+    let mut counts = Vec::new();
+    for _ in 0..12 {
+        let n = step(&mut sparse, &sparse_p).alloc_count;
+        counts.push(n);
+        if n == 0 {
+            consecutive_zero += 1;
+            if consecutive_zero >= 3 {
+                break;
+            }
+        } else {
+            consecutive_zero = 0;
+        }
+    }
+    println!("sparse steady-state alloc counts per superstep: {counts:?}");
+    assert!(
+        consecutive_zero >= 3,
+        "sparse scatter failed to reach a zero-allocation steady state: {counts:?}"
+    );
+    drop(sparse);
+
+    group.bench_function("dense_tail_rmat16_spill", |b| {
+        b.iter(|| black_box(step(&mut dense, &dense_p)))
+    });
+    drop(dense);
+
+    group.finish();
+    for tag in ["sparse", "dense"] {
+        let _ = std::fs::remove_dir_all(
+            std::env::temp_dir().join(format!("xstream_bench_frontier_{tag}")),
+        );
+    }
+}
+
+criterion_group!(benches, bench_frontier_superstep);
+criterion_main!(benches);

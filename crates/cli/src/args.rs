@@ -41,7 +41,13 @@ pub struct Args {
 }
 
 /// Option names that take no value.
-const SWITCHES: &[&str] = &["undirected", "weighted", "verbose", "resume"];
+const SWITCHES: &[&str] = &[
+    "undirected",
+    "weighted",
+    "verbose",
+    "resume",
+    "no-frontier-skip",
+];
 
 /// Consumes the value of option `flag`, refusing to swallow a
 /// following option: `--store --verbose` must be a usage error, not a

@@ -4,7 +4,9 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use crate::args::{Args, CliError};
-use xstream_algorithms::{bfs, conductance, mcst, mis, pagerank, scc, spmv, sssp, wcc};
+use xstream_algorithms::{
+    bfs, conductance, mcst, mis, pagerank, pagerank_delta, scc, spmv, sssp, wcc,
+};
 use xstream_core::{DeviceMap, EngineConfig, PinMode, RetryPolicy, RunStats};
 use xstream_disk::{DiskEngine, EdgeIngest};
 use xstream_graph::fileio::{read_edge_file, write_edge_file, EdgeFileReader};
@@ -12,7 +14,7 @@ use xstream_graph::import::{ImportFormat, ImportOptions};
 use xstream_graph::{generators, transform, EdgeList, Rmat};
 use xstream_memory::InMemoryEngine;
 use xstream_storage::StreamStore;
-use xstream_streams::{semi, wstream};
+use xstream_streams::{semi, wstream, FileSource, Mirrored};
 
 /// Top-level usage text. Every flag of every subcommand is documented
 /// here — this is the reference the README points at.
@@ -55,7 +57,8 @@ USAGE:
 
   xstream run <algo> <FILE> [options]
       Run an algorithm over an edge file on either engine.
-      algos: wcc, bfs, sssp, pagerank, spmv, mis, scc, mcst, conductance
+      algos: wcc, bfs, sssp, pagerank, pagerank-delta, spmv, mis, scc,
+             mcst, conductance
       --engine mem|disk    in-memory (§4) or out-of-core (§3) engine
                            (default mem). The disk engine streams the
                            file straight into its partition shuffle —
@@ -80,8 +83,24 @@ USAGE:
                            out-of-core stream families on separate
                            devices (Fig. 15); one reader and one writer
                            thread are striped per device
-      --iterations N       fixed-iteration algorithms (pagerank):
-                           rounds to run (default 5)
+      --iterations N       iteration-capped algorithms (pagerank,
+                           pagerank-delta): rounds to run (default 5)
+      --epsilon X          pagerank-delta: activation tolerance — a
+                           vertex re-scatters only when its damped
+                           incoming delta exceeds X (default 1e-7;
+                           0 = propagate every nonzero delta)
+      --frontier-threshold D
+                           frontier-tracked algorithms (bfs, sssp, wcc,
+                           mis, pagerank-delta) on the disk engine:
+                           dense/sparse hybrid-switch divisor — a
+                           partition scatters through its vertex->edge
+                           index when active_edges * D < |E_p| (Ligra's
+                           rule; default 20; 0 forces sparse, a huge D
+                           forces dense)
+      --no-frontier-skip   disable frontier-aware scatter entirely:
+                           stream every partition densely even for
+                           frontier-tracked programs (the paper's
+                           baseline behaviour; useful for A/B timing)
       --root V             source vertex for bfs/sssp (default 0; must
                            be below the graph's vertex count)
       --store DIR          disk engine: directory for partition streams
@@ -111,7 +130,9 @@ USAGE:
                            instead of wiping them
 
   xstream components <FILE> --model semi|wstream [--capacity N]
-      Connected components in the alternative streaming models.
+      Connected components in the alternative streaming models. The
+      edge file is streamed (with on-the-fly undirected mirroring) —
+      never loaded into memory.
       --model semi|wstream semi-streaming (1 pass, O(V) memory) or
                            W-Stream (bounded passes; default semi)
       --capacity N         wstream only: per-pass edge memory
@@ -320,6 +341,12 @@ fn engine_config(args: &Args) -> Result<EngineConfig, CliError> {
     if let Some(n) = args.get_usize("checkpoint-every")? {
         cfg = cfg.with_checkpoint_every(n);
     }
+    if let Some(d) = args.get_usize("frontier-threshold")? {
+        cfg = cfg.with_frontier_threshold(d);
+    }
+    if args.switch("no-frontier-skip") {
+        cfg = cfg.with_frontier_skip(false);
+    }
     Ok(cfg)
 }
 
@@ -344,7 +371,35 @@ fn summarize(algo: &str, extra: &str, stats: &RunStats) -> String {
             t.shuffle_budget,
         );
     }
+    if t.partitions_skipped > 0 || t.partitions_sparse > 0 {
+        let _ = writeln!(
+            s,
+            "frontier: {} partition streams skipped, {} scattered sparse \
+             (peak density {:.1}%)",
+            t.partitions_skipped,
+            t.partitions_sparse,
+            t.frontier_density * 100.0,
+        );
+    }
     s
+}
+
+/// Parses `--epsilon` for pagerank-delta: a non-negative finite float
+/// (default 1e-7). Zero propagates every nonzero delta (the exact
+/// untruncated series).
+fn epsilon(args: &Args) -> Result<f32, CliError> {
+    match args.get("epsilon") {
+        None => Ok(1e-7),
+        Some(v) => v
+            .parse::<f32>()
+            .ok()
+            .filter(|e| *e >= 0.0 && e.is_finite())
+            .ok_or_else(|| {
+                CliError::Usage(format!(
+                    "--epsilon expects a non-negative number, got `{v}`"
+                ))
+            }),
+    }
 }
 
 /// Validates `--root` for the traversal algorithms before any engine
@@ -481,6 +536,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let engine_kind = args.get("engine").unwrap_or("mem");
     let cfg = engine_config(args)?;
     let iterations = args.get_usize("iterations")?.unwrap_or(5);
+    let eps = epsilon(args)?;
     let resume = args.switch("resume");
     if resume {
         if engine_kind != "disk" {
@@ -503,7 +559,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "mem" => {
             let graph = read_edge_file(Path::new(&path))?;
             let root = validated_root(args, &algo, graph.num_vertices())?;
-            run_in_memory(&algo, &graph, cfg, root, iterations)
+            run_in_memory(&algo, &graph, cfg, root, iterations, eps)
         }
         "disk" => {
             // Header-only peek: the vertex count for root validation
@@ -526,6 +582,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
                 cfg,
                 root,
                 iterations,
+                eps,
                 resume,
             );
             drop(dir); // Removes the default temp store; keeps --store.
@@ -543,6 +600,7 @@ fn run_in_memory(
     cfg: EngineConfig,
     root: u32,
     iterations: usize,
+    eps: f32,
 ) -> Result<String, CliError> {
     match algo {
         "wcc" => {
@@ -583,6 +641,19 @@ fn run_in_memory(
             let degrees = graph.out_degrees();
             let mut e = InMemoryEngine::from_graph(graph, &p, cfg);
             let (ranks, stats) = pagerank::run(&mut e, &p, &degrees, iterations);
+            let top = ranks
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(v, r)| format!("top vertex {v} (rank {r:.6})"))
+                .unwrap_or_default();
+            Ok(summarize(algo, &top, &stats))
+        }
+        "pagerank-delta" => {
+            let p = pagerank_delta::PagerankDelta::new(eps);
+            let degrees = graph.out_degrees();
+            let mut e = InMemoryEngine::from_graph(graph, &p, cfg);
+            let (ranks, stats) = pagerank_delta::run(&mut e, &p, &degrees, iterations);
             let top = ranks
                 .iter()
                 .enumerate()
@@ -696,6 +767,7 @@ fn run_on_disk(
     cfg: EngineConfig,
     root: u32,
     iterations: usize,
+    eps: f32,
     resume: bool,
 ) -> Result<String, CliError> {
     match algo {
@@ -747,6 +819,32 @@ fn run_on_disk(
             let pre = maybe_resume(&mut e, resume)?;
             let degrees = std::mem::take(&mut *degrees.lock().expect("degree counter poisoned"));
             let (ranks, stats) = pagerank::run(&mut e, &p, &degrees, iterations);
+            let top = ranks
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(v, r)| format!("top vertex {v} (rank {r:.6})"))
+                .unwrap_or_default();
+            Ok(format!("{pre}{}", summarize(algo, &top, &stats)))
+        }
+        "pagerank-delta" => {
+            let p = pagerank_delta::PagerankDelta::new(eps);
+            // Same one-pass degree fold as pagerank: the O(V) counts
+            // ride along the ingest observer.
+            let degrees = std::sync::Arc::new(std::sync::Mutex::new(vec![0u32; num_vertices]));
+            let ingest = {
+                let degrees = std::sync::Arc::clone(&degrees);
+                EdgeIngest::new(input).with_observer(move |chunk| {
+                    let mut d = degrees.lock().expect("degree counter poisoned");
+                    for e in chunk {
+                        d[e.src as usize] += 1;
+                    }
+                })
+            };
+            let mut e = DiskEngine::from_ingest(store, &ingest, &p, cfg)?;
+            let pre = maybe_resume(&mut e, resume)?;
+            let degrees = std::mem::take(&mut *degrees.lock().expect("degree counter poisoned"));
+            let (ranks, stats) = pagerank_delta::run(&mut e, &p, &degrees, iterations);
             let top = ranks
                 .iter()
                 .enumerate()
@@ -855,9 +953,15 @@ fn run_on_disk(
 // -------------------------------------------------------------- components
 
 /// `xstream components <FILE> --model semi|wstream [--capacity N]`.
+///
+/// The edge file is presented to the streaming models as a
+/// [`FileSource`] wrapped in [`Mirrored`] — each pass re-reads the
+/// file in bounded chunks with per-edge undirected mirroring, so the
+/// doubled edge list is never materialized (the models' whole point is
+/// sequential passes over a stream larger than memory).
 pub fn components(args: &Args) -> Result<String, CliError> {
     let path = args.require_positional(0, "edge file")?;
-    let graph = read_edge_file(Path::new(path))?.to_undirected();
+    let graph = Mirrored(FileSource::open(Path::new(path), 1 << 14)?);
     let model = args.get("model").unwrap_or("semi");
     match model {
         "semi" => {
@@ -992,6 +1096,7 @@ mod tests {
             "bfs",
             "sssp",
             "pagerank",
+            "pagerank-delta",
             "spmv",
             "mis",
             "scc",
@@ -1077,6 +1182,83 @@ mod tests {
     }
 
     #[test]
+    fn frontier_flags_accepted_and_validated() {
+        let path = tmpfile("frontier.edges");
+        dispatch(&sv(&[
+            "generate",
+            "erdos-renyi",
+            "--vertices",
+            "400",
+            "--edges",
+            "2400",
+            "-o",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // BFS on the disk engine with frontier scatter (default),
+        // forced-sparse, and skipping disabled all agree on the
+        // reachable count; the default run reports frontier activity.
+        let run = |extra: &[&str]| {
+            let store = std::env::temp_dir().join("xstream_cli_tests_frontier");
+            let mut argv = sv(&[
+                "run",
+                "bfs",
+                path.to_str().unwrap(),
+                "--engine",
+                "disk",
+                "--memory-budget",
+                "1M",
+                "--io-unit",
+                "16K",
+                "--partitions",
+                "4",
+                "--store",
+                store.to_str().unwrap(),
+            ]);
+            argv.extend(sv(extra));
+            let out = dispatch(&argv);
+            let _ = std::fs::remove_dir_all(&store);
+            out
+        };
+        let reached = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("vertices reached"))
+                .map(str::to_string)
+        };
+        let dflt = run(&[]).unwrap();
+        assert!(dflt.contains("frontier:"), "{dflt}");
+        let sparse = run(&["--frontier-threshold", "0"]).unwrap();
+        let dense = run(&["--no-frontier-skip"]).unwrap();
+        assert!(!dense.contains("frontier:"), "{dense}");
+        assert_eq!(reached(&dflt), reached(&sparse), "{dflt} vs {sparse}");
+        assert_eq!(reached(&dflt), reached(&dense), "{dflt} vs {dense}");
+        // pagerank-delta accepts --epsilon; a bad value is a usage
+        // error, as is giving the switch a value.
+        let out = dispatch(&sv(&[
+            "run",
+            "pagerank-delta",
+            path.to_str().unwrap(),
+            "--epsilon",
+            "0",
+            "--iterations",
+            "10",
+        ]))
+        .unwrap();
+        assert!(out.contains("top vertex"), "{out}");
+        let err = dispatch(&sv(&[
+            "run",
+            "pagerank-delta",
+            path.to_str().unwrap(),
+            "--epsilon",
+            "wat",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let err = Args::parse(&sv(&["--no-frontier-skip=yes"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
     fn pin_workers_flag_accepted_and_validated() {
         let path = tmpfile("pin.edges");
         dispatch(&sv(&[
@@ -1137,6 +1319,9 @@ mod tests {
             "--max-retries",
             "--checkpoint-every",
             "--resume",
+            "--epsilon",
+            "--frontier-threshold",
+            "--no-frontier-skip",
             "--model",
             "--capacity",
             "--scale",

@@ -221,6 +221,20 @@ pub struct EngineConfig {
     /// latest valid checkpoint is the out-of-core engine's
     /// `resume_from_checkpoint`; the in-memory engine ignores this.
     pub checkpoint_every: usize,
+    /// Frontier-aware scatter (Ligra hybrid): for programs that opt
+    /// into [`crate::frontier::FrontierMode::Tracked`], skip streaming
+    /// partitions with no active source vertices and consider the
+    /// sparse index scatter below [`Self::frontier_threshold`].
+    /// Disabling this (`--no-frontier-skip`) restores the paper's
+    /// stream-everything behaviour for every program.
+    pub frontier_skip: bool,
+    /// Dense/sparse switch divisor `D` for the hybrid scatter: a
+    /// partition is scattered through its vertex→edge-run index when
+    /// `active_edges * D < |E_p|` (Ligra's rule with D = 20, i.e.
+    /// sparse below |E_p|/20 active edges). `0` forces sparse for
+    /// every non-empty indexed partition; `usize::MAX` never goes
+    /// sparse (skipping of empty partitions still applies).
+    pub frontier_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -244,6 +258,8 @@ impl Default for EngineConfig {
             scatter_buffer: 8 << 10,
             retry: RetryPolicy::default(),
             checkpoint_every: 0,
+            frontier_skip: true,
+            frontier_threshold: 20,
         }
     }
 }
@@ -342,6 +358,30 @@ impl EngineConfig {
     pub fn with_checkpoint_every(mut self, n: usize) -> Self {
         self.checkpoint_every = n;
         self
+    }
+
+    /// Enables or disables frontier-aware partition skipping (see
+    /// [`Self::frontier_skip`]).
+    pub fn with_frontier_skip(mut self, enabled: bool) -> Self {
+        self.frontier_skip = enabled;
+        self
+    }
+
+    /// Sets the dense/sparse hybrid-switch divisor (see
+    /// [`Self::frontier_threshold`]).
+    pub fn with_frontier_threshold(mut self, divisor: usize) -> Self {
+        self.frontier_threshold = divisor;
+        self
+    }
+
+    /// Whether partition `p` should use the sparse index scatter given
+    /// `active_edges` (sum of active sources' out-degrees) against its
+    /// `total_edges`: the Ligra-style rule `active_edges * D <
+    /// total_edges` with saturating multiplication, so `D = 0` is
+    /// always-sparse and `D = usize::MAX` never-sparse.
+    #[inline]
+    pub fn wants_sparse_scatter(&self, active_edges: usize, total_edges: usize) -> bool {
+        self.frontier_skip && active_edges.saturating_mul(self.frontier_threshold) < total_edges
     }
 
     /// Computes the automatic in-memory partition count for a graph
@@ -478,6 +518,27 @@ mod tests {
             .with_threads(2)
             .with_gather_threads(16);
         assert_eq!(cfg.effective_gather_threads(), 2);
+    }
+
+    #[test]
+    fn hybrid_switch_rule() {
+        let cfg = EngineConfig::default();
+        assert!(cfg.frontier_skip);
+        assert_eq!(cfg.frontier_threshold, 20);
+        // Default D = 20: sparse below |E_p|/20 active edges.
+        assert!(cfg.wants_sparse_scatter(4, 100));
+        assert!(!cfg.wants_sparse_scatter(5, 100));
+        // D = 0 is always sparse (any non-empty partition), even with
+        // every edge active.
+        let always = EngineConfig::default().with_frontier_threshold(0);
+        assert!(always.wants_sparse_scatter(100, 100));
+        assert!(!always.wants_sparse_scatter(0, 0));
+        // D = usize::MAX never goes sparse (saturating multiply).
+        let never = EngineConfig::default().with_frontier_threshold(usize::MAX);
+        assert!(!never.wants_sparse_scatter(1, usize::MAX));
+        // Skipping off disables the sparse path too.
+        let off = EngineConfig::default().with_frontier_skip(false);
+        assert!(!off.wants_sparse_scatter(0, 100));
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * the user-facing [`program::EdgeProgram`] trait
 //!   ([`program`]),
 //! * streaming-partition arithmetic ([`partition`]),
+//! * active-vertex frontiers for Ligra-hybrid scatter skipping
+//!   ([`frontier`]),
 //! * engine configuration ([`config`]), statistics ([`stats`]) and
 //!   process-wide allocation accounting ([`alloc_stats`]),
 //! * the [`engine::Engine`] abstraction implemented by the
@@ -30,6 +32,7 @@ pub mod alloc_stats;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod frontier;
 pub mod partition;
 pub mod program;
 pub mod record;
@@ -40,6 +43,7 @@ pub use alloc_stats::AllocSnapshot;
 pub use config::{DeviceMap, EngineConfig, PinMode, RetryPolicy};
 pub use engine::{Engine, Termination};
 pub use error::{Error, Result};
+pub use frontier::{Frontier, FrontierMode, FrontierPair};
 pub use partition::Partitioner;
 pub use program::{EdgeProgram, TargetedUpdate};
 pub use record::Record;

@@ -88,6 +88,30 @@ pub trait EdgeProgram: Sync {
     fn needs_scatter(&self, _src_state: &Self::State) -> bool {
         true
     }
+
+    /// Opt-in to frontier tracking (Ligra-hybrid scatter skipping).
+    ///
+    /// Returning [`FrontierMode::Tracked`](crate::frontier::FrontierMode::Tracked) asserts the contract that
+    /// makes skipping bitwise-equivalent to dense streaming: **a vertex
+    /// satisfies [`needs_scatter`] in superstep `t + 1` if and only if
+    /// [`gather`] reported its state changed in superstep `t`** (and,
+    /// immediately after a `vertex_map` or initialization, iff
+    /// [`needs_scatter`] holds on its current state — engines rebuild
+    /// the frontier from a state scan at those points). The round-
+    /// counter programs (BFS, SSSP, WCC, PageRank-delta) satisfy this
+    /// by construction: gather stamps `active_round = round + 1` on
+    /// every change and the driver bumps `round` between supersteps.
+    ///
+    /// The default is [`FrontierMode::Dense`](crate::frontier::FrontierMode::Dense): the engines never build
+    /// a frontier and every partition is streamed in full, exactly as
+    /// without this extension.
+    ///
+    /// [`needs_scatter`]: EdgeProgram::needs_scatter
+    /// [`gather`]: EdgeProgram::gather
+    #[inline]
+    fn frontier_mode(&self) -> crate::frontier::FrontierMode {
+        crate::frontier::FrontierMode::Dense
+    }
 }
 
 #[cfg(test)]

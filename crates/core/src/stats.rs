@@ -70,6 +70,18 @@ pub struct IterationStats {
     /// Checkpoints written during the iteration (0 or 1 per superstep,
     /// driven by `EngineConfig::checkpoint_every`).
     pub checkpoints: u64,
+    /// Streaming partitions whose edge stream was skipped entirely
+    /// because their frontier was empty (Ligra-hybrid scatter, only
+    /// nonzero for frontier-tracked programs with skipping enabled).
+    pub partitions_skipped: u64,
+    /// Streaming partitions scattered through the sparse index path
+    /// (pooled ranged reads of active vertices' edge runs) instead of
+    /// a full sequential stream.
+    pub partitions_sparse: u64,
+    /// Fraction of the vertex set active at the start of the scatter
+    /// phase, in `[0, 1]`; `1.0` for dense-mode programs. Gauge
+    /// (merged by max).
+    pub frontier_density: f64,
 }
 
 impl IterationStats {
@@ -129,9 +141,12 @@ impl IterationStats {
         self.alloc_bytes += other.alloc_bytes;
         self.io_retries += other.io_retries;
         self.checkpoints += other.checkpoints;
+        self.partitions_skipped += other.partitions_skipped;
+        self.partitions_sparse += other.partitions_sparse;
         self.shuffle_budget = self.shuffle_budget.max(other.shuffle_budget);
         self.shuffle_capacity = self.shuffle_capacity.max(other.shuffle_capacity);
         self.shuffle_high_water = self.shuffle_high_water.max(other.shuffle_high_water);
+        self.frontier_density = self.frontier_density.max(other.frontier_density);
     }
 }
 

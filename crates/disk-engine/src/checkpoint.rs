@@ -11,7 +11,8 @@
 //!
 //! ```text
 //! magic "XSCP" | version u32 | fingerprint u64 | superstep u64 |
-//! count u64 | payload (count * size_of::<S>() bytes) | crc32 u32
+//! count u64 | aux_len u64 | payload (count * size_of::<S>() bytes) |
+//! aux (aux_len bytes) | crc32 u32
 //! ```
 //!
 //! All integers are little-endian. The trailing CRC-32 covers every
@@ -19,6 +20,10 @@
 //! — there is no partial restore. The `fingerprint` binds the frame to
 //! a specific (graph shape, program, state layout) combination so a
 //! checkpoint can never be restored into a run it does not describe.
+//! The `aux` section carries engine-side extras that are not vertex
+//! state — today the active-vertex frontier bitmap of frontier-tracked
+//! programs, so a resume mid-traversal restores the exact active set
+//! instead of rescanning states (it is empty for dense programs).
 //!
 //! The engine writes frames with
 //! [`StreamStore::write_atomic`](xstream_storage::StreamStore::write_atomic)
@@ -35,12 +40,13 @@ use xstream_storage::crc32;
 pub const MAGIC: [u8; 4] = *b"XSCP";
 
 /// Current frame version. Bumped on any layout change; old frames are
-/// rejected (treated as invalid) rather than migrated.
-pub const VERSION: u32 = 1;
+/// rejected (treated as invalid) rather than migrated. Version 2 added
+/// the `aux` section (frontier bitmaps).
+pub const VERSION: u32 = 2;
 
 /// Fixed header length in bytes (magic + version + fingerprint +
-/// superstep + count).
-const HEADER: usize = 4 + 4 + 8 + 8 + 8;
+/// superstep + count + aux_len).
+const HEADER: usize = 4 + 4 + 8 + 8 + 8 + 8;
 
 /// Trailing CRC length in bytes.
 const TRAILER: usize = 4;
@@ -68,16 +74,25 @@ pub fn fingerprint(parts: &[&[u8]]) -> u64 {
     h
 }
 
-/// Encodes one checkpoint frame for `states` at `superstep`.
-pub fn encode_frame<S: Record>(fingerprint: u64, superstep: u64, states: &[S]) -> Vec<u8> {
+/// Encodes one checkpoint frame for `states` at `superstep`, with an
+/// opaque `aux` section (e.g. the frontier bitmap; empty when the
+/// program has none).
+pub fn encode_frame<S: Record>(
+    fingerprint: u64,
+    superstep: u64,
+    states: &[S],
+    aux: &[u8],
+) -> Vec<u8> {
     let payload = records_as_bytes(states);
-    let mut out = Vec::with_capacity(HEADER + payload.len() + TRAILER);
+    let mut out = Vec::with_capacity(HEADER + payload.len() + aux.len() + TRAILER);
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&fingerprint.to_le_bytes());
     out.extend_from_slice(&superstep.to_le_bytes());
     out.extend_from_slice(&(states.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(aux.len() as u64).to_le_bytes());
     out.extend_from_slice(payload);
+    out.extend_from_slice(aux);
     let crc = crc32(&out);
     out.extend_from_slice(&crc.to_le_bytes());
     out
@@ -85,17 +100,18 @@ pub fn encode_frame<S: Record>(fingerprint: u64, superstep: u64, states: &[S]) -
 
 /// Validates and decodes a checkpoint frame.
 ///
-/// Returns `Some((superstep, states))` only if *every* integrity check
-/// passes: minimum length, magic, version, trailing CRC over the whole
-/// frame, fingerprint match, declared record count matching both the
-/// payload length and `expected_count`. Any failure — a torn write, a
-/// frame from a different graph or program, a short file — yields
-/// `None`; the caller falls back to the other slot or to a fresh run.
+/// Returns `Some((superstep, states, aux))` only if *every* integrity
+/// check passes: minimum length, magic, version, trailing CRC over the
+/// whole frame, fingerprint match, declared record count matching both
+/// the payload length and `expected_count`, declared aux length
+/// matching the remaining bytes. Any failure — a torn write, a frame
+/// from a different graph or program, a short file — yields `None`;
+/// the caller falls back to the other slot or to a fresh run.
 pub fn decode_frame<S: Record>(
     bytes: &[u8],
     expected_fingerprint: u64,
     expected_count: usize,
-) -> Option<(u64, Vec<S>)> {
+) -> Option<(u64, Vec<S>, Vec<u8>)> {
     if bytes.len() < HEADER + TRAILER {
         return None;
     }
@@ -120,11 +136,14 @@ pub fn decode_frame<S: Record>(
     if count != expected_count as u64 {
         return None;
     }
-    let payload = &body[HEADER..];
-    if payload.len() != expected_count * S::SIZE {
+    let aux_len = u64_at(32) as usize;
+    let payload_len = expected_count * S::SIZE;
+    if body.len() - HEADER != payload_len + aux_len {
         return None;
     }
-    Some((superstep, decode_records::<S>(payload)))
+    let payload = &body[HEADER..HEADER + payload_len];
+    let aux = body[HEADER + payload_len..].to_vec();
+    Some((superstep, decode_records::<S>(payload), aux))
 }
 
 #[cfg(test)]
@@ -135,25 +154,27 @@ mod tests {
     fn roundtrip() {
         let states: Vec<u64> = (0..257).map(|i| i * 3 + 1).collect();
         let fp = fingerprint(&[b"graph", b"program"]);
-        let frame = encode_frame(fp, 7, &states);
-        let (step, back) = decode_frame::<u64>(&frame, fp, states.len()).expect("valid frame");
+        let frame = encode_frame(fp, 7, &states, b"frontier-bits");
+        let (step, back, aux) = decode_frame::<u64>(&frame, fp, states.len()).expect("valid frame");
         assert_eq!(step, 7);
         assert_eq!(back, states);
+        assert_eq!(aux, b"frontier-bits");
     }
 
     #[test]
     fn empty_payload_roundtrips() {
-        let frame = encode_frame::<u32>(1, 0, &[]);
-        let (step, back) = decode_frame::<u32>(&frame, 1, 0).expect("valid frame");
+        let frame = encode_frame::<u32>(1, 0, &[], &[]);
+        let (step, back, aux) = decode_frame::<u32>(&frame, 1, 0).expect("valid frame");
         assert_eq!(step, 0);
         assert!(back.is_empty());
+        assert!(aux.is_empty());
     }
 
     #[test]
     fn corruption_is_rejected() {
         let states: Vec<u32> = (0..64).collect();
         let fp = 0xDEAD_BEEF;
-        let frame = encode_frame(fp, 3, &states);
+        let frame = encode_frame(fp, 3, &states, b"aux");
         // Flip one bit in each region: magic, header ints, payload, CRC.
         for &pos in &[0usize, 6, 12, 20, 28, HEADER + 5, frame.len() - 1] {
             let mut bad = frame.clone();
@@ -169,7 +190,7 @@ mod tests {
     fn truncation_and_mismatches_are_rejected() {
         let states: Vec<u32> = (0..16).collect();
         let fp = 42;
-        let frame = encode_frame(fp, 2, &states);
+        let frame = encode_frame(fp, 2, &states, b"bitmap");
         // Torn writes of every length (write_atomic should prevent
         // these from ever being seen, but the codec must still hold).
         for cut in 0..frame.len() {

@@ -45,6 +45,19 @@
 //! (gather reads the scratch buckets directly) when one stream buffer
 //! holds the whole scatter output.
 //!
+//! For programs that opt into [`FrontierMode::Tracked`], the engine
+//! additionally keeps a double-buffered active-vertex bitmap
+//! ([`FrontierPair`]): gather marks every vertex it changed, and the
+//! next scatter decides per partition — *before* queueing any
+//! read-ahead — whether to **skip** it outright (no active sources:
+//! zero I/O), stream it **densely** as above, or run an **index-based
+//! sparse scatter** (Ligra's hybrid, applied to streams): ingest
+//! groups each partition's edge file by source vertex and writes a
+//! per-vertex run-offset index (`index.p`), so a sparse partition
+//! issues pooled ranged reads of just the active vertices' edge runs.
+//! The dense/sparse switch compares the active edge count against
+//! [`EngineConfig::wants_sparse_scatter`]'s threshold.
+//!
 //! All memory — the two scatter bucket pools, spill byte buffers, read
 //! chunks, vertex decode scratch, gather stream buffers, interned
 //! stream names — is owned by the engine or its per-device I/O threads
@@ -73,8 +86,8 @@ use crate::vertices::VertexStorage;
 use xstream_core::program::TargetedUpdate;
 use xstream_core::record::{records_as_bytes, RecordIter};
 use xstream_core::{
-    alloc_stats, Edge, EdgeProgram, Engine, EngineConfig, Error, IterationStats, Partitioner,
-    Record, Result, VertexId,
+    alloc_stats, Edge, EdgeProgram, Engine, EngineConfig, Error, FrontierMode, FrontierPair,
+    IterationStats, Partitioner, Record, Result, VertexId,
 };
 use xstream_graph::fileio::EdgeFileReader;
 use xstream_graph::{EdgeList, MirrorMode};
@@ -180,6 +193,26 @@ pub fn edge_stream(p: usize) -> String {
 /// Name of the update stream of partition `p`.
 pub fn update_stream(p: usize) -> String {
     format!("updates.{p}")
+}
+
+/// Name of the sparse-scatter index stream of partition `p`: one
+/// native-endian `u32` edge-record offset per local vertex plus a
+/// trailing total, so vertex `v`'s edge run in the (source-grouped)
+/// edge file is `offsets[lv] .. offsets[lv + 1]`.
+pub fn index_stream(p: usize) -> String {
+    format!("index.{p}")
+}
+
+/// Per-partition scatter modes for one superstep (pooled in
+/// `DiskEngine::modes`).
+const MODE_DENSE: u8 = 0;
+const MODE_SKIP: u8 = 1;
+const MODE_SPARSE: u8 = 2;
+
+/// Reads the `i`-th native-endian `u32` of a raw index stream.
+#[inline]
+fn index_at(buf: &[u8], i: usize) -> u32 {
+    u32::from_ne_bytes(buf[i * 4..i * 4 + 4].try_into().expect("u32 record"))
 }
 
 /// Per-worker gather counters, cache-line aligned so concurrent
@@ -316,6 +349,33 @@ pub struct DiskEngine<P: EdgeProgram> {
     /// touching state, so the driver's own per-round bookkeeping stays
     /// aligned with the restored superstep index.
     skip_supersteps: u64,
+    /// Whether the program opted into [`FrontierMode::Tracked`].
+    tracked: bool,
+    /// Double-buffered active-vertex bitmaps: `current` gates scatter,
+    /// gather marks into `next`. Sized lazily (first tracked
+    /// superstep); all storage is reused afterwards.
+    frontier: FrontierPair,
+    /// Whether `frontier.current` reflects the vertex states. Cleared
+    /// by `vertex_map` (drivers may re-seed arbitrarily) and by
+    /// `recover()`; a superstep with an invalid frontier rebuilds it
+    /// from a `needs_scatter` state scan.
+    frontier_valid: bool,
+    /// Per partition: whether ingest grouped its edge file by source
+    /// and wrote an `index.p` run-offset stream. Partitions too large
+    /// to group within the stream-buffer budget stay in ingest order
+    /// and always scatter densely.
+    sparse_indexed: Vec<bool>,
+    /// Interned index stream names.
+    index_names: Vec<Arc<str>>,
+    /// Pooled per-partition scatter mode of the running superstep.
+    modes: Vec<u8>,
+    /// Pooled byte buffer for index-stream loads.
+    index_buf: Vec<u8>,
+    /// Pooled merged `(byte offset, byte length)` ranges of the active
+    /// vertices' edge runs in the partition being sparsely scattered.
+    run_ranges: Vec<(u64, u32)>,
+    /// Pooled assembly buffer the sparse ranged reads append into.
+    run_buf: Vec<u8>,
 }
 
 impl<P: EdgeProgram> DiskEngine<P> {
@@ -412,6 +472,7 @@ impl<P: EdgeProgram> DiskEngine<P> {
         let kp = partitioner.num_partitions();
         let edge_names: Vec<Arc<str>> = (0..kp).map(|p| Arc::from(edge_stream(p))).collect();
         let update_names: Vec<Arc<str>> = (0..kp).map(|p| Arc::from(update_stream(p))).collect();
+        let index_names: Vec<Arc<str>> = (0..kp).map(|p| Arc::from(index_stream(p))).collect();
         let threads = config.threads.max(1);
 
         // Topology-aware placement (Fig. 14): one plan drives the
@@ -440,7 +501,11 @@ impl<P: EdgeProgram> DiskEngine<P> {
         // must *replace* them, or re-ingest would double every edge.
         // (Checkpoint streams are deliberately left alone: resume reads
         // them after the rebuild.)
-        for name in edge_names.iter().chain(update_names.iter()) {
+        for name in edge_names
+            .iter()
+            .chain(update_names.iter())
+            .chain(index_names.iter())
+        {
             store.truncate(name)?;
         }
         let mut num_edges = 0usize;
@@ -477,6 +542,78 @@ impl<P: EdgeProgram> DiskEngine<P> {
             .max(config.io_unit.saturating_mul(kp))
             .max(1 << 20);
         let spill_threshold = (buffer_bytes / usz).max(1024);
+
+        // Frontier-tracked programs get sparse-scatter indexes: group
+        // each partition's edge file by source vertex (one in-memory
+        // sort per partition — a second, bounded streaming pass) and
+        // write the per-vertex run offsets next to it. Partitions
+        // whose edge file exceeds the stream-buffer budget keep their
+        // ingest order and always scatter densely; a frontier can
+        // still *skip* them when they have no active sources.
+        let tracked = program.frontier_mode() == FrontierMode::Tracked;
+        let mut sparse_indexed = vec![false; kp];
+        if tracked {
+            // One decoded-edge buffer reserved once for the largest
+            // eligible partition, filled through a small chunk buffer —
+            // never the raw bytes and the decoded edges side by side,
+            // so the pass stays well under one partition-file of
+            // cumulative allocation (the out-of-core ingest bound).
+            let eligible =
+                |blen: usize| blen <= buffer_bytes && blen / Edge::SIZE <= u32::MAX as usize;
+            let max_records = (0..kp)
+                .map(|p| store.len(&edge_names[p]) as usize)
+                .filter(|&b| eligible(b))
+                .max()
+                .unwrap_or(0)
+                / Edge::SIZE;
+            let mut edges: Vec<Edge> = Vec::with_capacity(max_records);
+            let chunk_cap = (config.io_unit / Edge::SIZE).max(1) * Edge::SIZE;
+            let mut chunk: Vec<u8> = Vec::with_capacity(chunk_cap);
+            let mut offsets: Vec<u32> = Vec::new();
+            for p in 0..kp {
+                let blen = store.len(&edge_names[p]) as usize;
+                if !eligible(blen) {
+                    continue;
+                }
+                edges.clear();
+                let mut off = 0u64;
+                while (off as usize) < blen {
+                    chunk.clear();
+                    let want = chunk_cap.min(blen - off as usize);
+                    let n = store.read_range_into(&edge_names[p], off, want, &mut chunk)?;
+                    edges.extend(RecordIter::<Edge>::new(&chunk[..n]));
+                    off += n as u64;
+                }
+                edges.sort_unstable_by_key(|e| e.src);
+                store.truncate(&edge_names[p])?;
+                store.append(&edge_names[p], records_as_bytes(&edges))?;
+                let range = partitioner.range(p);
+                offsets.clear();
+                offsets.push(0);
+                let mut i = 0u32;
+                for v in range {
+                    while (i as usize) < edges.len() && edges[i as usize].src as usize <= v {
+                        i += 1;
+                    }
+                    offsets.push(i);
+                }
+                store.append(&index_names[p], records_as_bytes(&offsets))?;
+                sparse_indexed[p] = true;
+            }
+        }
+
+        let sparse_any = sparse_indexed.iter().any(|&b| b);
+        let max_index_bytes = (0..kp)
+            .filter(|&p| sparse_indexed[p])
+            .map(|p| (partitioner.range(p).len() + 1) * 4)
+            .max()
+            .unwrap_or(0);
+        let max_range_len = (0..kp)
+            .filter(|&p| sparse_indexed[p])
+            .map(|p| partitioner.range(p).len())
+            .max()
+            .unwrap_or(0);
+        let run_io_cap = (config.io_unit / Edge::SIZE).max(1) * Edge::SIZE;
 
         let in_memory_vertices =
             config.keep_vertices_in_memory && state_bytes <= config.memory_budget / 2;
@@ -521,6 +658,19 @@ impl<P: EdgeProgram> DiskEngine<P> {
             recovery_error: None,
             completed_supersteps: 0,
             skip_supersteps: 0,
+            tracked,
+            frontier: FrontierPair::new(),
+            frontier_valid: false,
+            sparse_indexed,
+            index_names,
+            modes: vec![MODE_DENSE; kp],
+            // Sparse-scatter pools are warmed here, at build time:
+            // sparse mode typically kicks in *late* (once the frontier
+            // has collapsed), and a first-use allocation then would
+            // break the steady-state alloc-free guarantee.
+            index_buf: Vec::with_capacity(if sparse_any { max_index_bytes } else { 0 }),
+            run_ranges: Vec::with_capacity(if sparse_any { max_range_len } else { 0 }),
+            run_buf: Vec::with_capacity(if sparse_any { 2 * run_io_cap } else { 0 }),
         })
     }
 
@@ -548,6 +698,10 @@ impl<P: EdgeProgram> DiskEngine<P> {
         for name in &self.update_names {
             self.store.truncate(name)?;
         }
+        // The failed attempt's frontier may describe states a rollback
+        // is about to rewrite; force the next attempt to rebuild from
+        // the (restored) states.
+        self.frontier_valid = false;
         self.clean = true;
         Ok(())
     }
@@ -594,10 +748,21 @@ impl<P: EdgeProgram> DiskEngine<P> {
     /// checkpoint explicitly between supersteps.
     pub fn write_checkpoint(&mut self) -> Result<()> {
         let states = self.vertices.collect_all(&self.store, &self.partitioner)?;
+        // A checkpoint is taken post-gather, so `frontier.current`
+        // (already advanced) is exactly the active set the *next*
+        // superstep scatters — persisting it lets a mid-traversal
+        // resume skip the rebuild scan and restore the frontier
+        // bit-for-bit.
+        let aux = if self.tracked && self.frontier_valid {
+            self.frontier.current.to_bytes()
+        } else {
+            Vec::new()
+        };
         let frame = crate::checkpoint::encode_frame(
             self.checkpoint_fingerprint(),
             self.completed_supersteps,
             &states,
+            &aux,
         );
         let slot = self.completed_supersteps % 2;
         self.store
@@ -617,18 +782,18 @@ impl<P: EdgeProgram> DiskEngine<P> {
     pub fn resume_from_checkpoint(&mut self) -> Result<Option<u64>> {
         let fp = self.checkpoint_fingerprint();
         let count = self.partitioner.num_vertices();
-        let mut best: Option<(u64, Vec<P::State>)> = None;
+        let mut best: Option<(u64, Vec<P::State>, Vec<u8>)> = None;
         for slot in 0..2u64 {
             let bytes = self.store.read_all(&format!("checkpoint.{slot}"))?;
-            if let Some((step, states)) =
+            if let Some((step, states, aux)) =
                 crate::checkpoint::decode_frame::<P::State>(&bytes, fp, count)
             {
-                if best.as_ref().is_none_or(|(b, _)| step > *b) {
-                    best = Some((step, states));
+                if best.as_ref().is_none_or(|(b, _, _)| step > *b) {
+                    best = Some((step, states, aux));
                 }
             }
         }
-        let Some((step, states)) = best else {
+        let Some((step, states, aux)) = best else {
             return Ok(None);
         };
         if let Some(mem) = self.vertices.in_memory_mut() {
@@ -639,6 +804,16 @@ impl<P: EdgeProgram> DiskEngine<P> {
                 self.vertices
                     .store_back(&self.store, &self.partitioner, p, &states[range])?;
             }
+        }
+        // Restore the checkpointed active set, if the frame carried
+        // one. A frame without it (dense program, or a checkpoint from
+        // before the program opted in) just leaves the frontier
+        // invalid — the first real superstep rebuilds it from a
+        // `needs_scatter` scan, which the frontier contract guarantees
+        // yields the same set.
+        if self.tracked && !aux.is_empty() {
+            self.frontier.ensure(&self.partitioner);
+            self.frontier_valid = self.frontier.current.load_bytes(&aux, &self.partitioner);
         }
         self.completed_supersteps = step;
         self.skip_supersteps = step;
@@ -742,6 +917,76 @@ impl<P: EdgeProgram> DiskEngine<P> {
         // not count (§3.3's measure of overlap quality).
         let mut blocked_ns = 0u64;
 
+        // ---- Frontier rebuild + per-partition mode decision ----
+        let use_frontier = self.tracked && self.config.frontier_skip;
+        if use_frontier {
+            if !self.frontier_valid {
+                // Rebuild from a `needs_scatter` state scan (`ensure`
+                // sizes the bitmaps on first use and clears them; both
+                // are pure memsets once sized).
+                self.frontier.ensure(&self.partitioner);
+                for p in self.partitioner.iter() {
+                    let base = self.partitioner.range(p).start;
+                    let states = self
+                        .vertices
+                        .load_scatter(&self.store, &self.partitioner, p)?;
+                    for (i, s) in states.iter().enumerate() {
+                        if program.needs_scatter(s) {
+                            self.frontier.current.mark((base + i) as VertexId, p);
+                        }
+                    }
+                }
+                self.frontier_valid = true;
+            }
+            // A failed attempt's partial gather may have left marks.
+            self.frontier.next.clear();
+            stats.frontier_density = self.frontier.current.density();
+            // Decide every partition's mode up front so the strict
+            // in-order read-ahead schedule below queues *only* the
+            // partitions that stream densely — skipped and sparse
+            // partitions cost the prefetch threads zero I/O.
+            for p in 0..kp {
+                self.modes[p] = MODE_DENSE;
+                if self.frontier.current.active_in(p) == 0 {
+                    self.modes[p] = MODE_SKIP;
+                    continue;
+                }
+                if !self.sparse_indexed[p] {
+                    continue;
+                }
+                // Sum the active vertices' run lengths from the index,
+                // bailing out as soon as the running total proves the
+                // partition dense (the threshold predicate is monotone
+                // in the active edge count).
+                self.store
+                    .read_all_into(&self.index_names[p], &mut self.index_buf)?;
+                let range = self.partitioner.range(p);
+                let total = index_at(&self.index_buf, range.len()) as usize;
+                if total == 0 {
+                    self.modes[p] = MODE_SKIP;
+                    continue;
+                }
+                let base = range.start;
+                let index_buf = &self.index_buf;
+                let config = &self.config;
+                let mut active_edges = 0usize;
+                let mut sparse = config.wants_sparse_scatter(0, total);
+                self.frontier.current.for_each_active_in(range, |v| {
+                    let lv = v as usize - base;
+                    active_edges +=
+                        (index_at(index_buf, lv + 1) - index_at(index_buf, lv)) as usize;
+                    sparse = config.wants_sparse_scatter(active_edges, total);
+                    sparse
+                });
+                if sparse {
+                    self.modes[p] = MODE_SPARSE;
+                }
+            }
+        } else {
+            stats.frontier_density = 1.0;
+            self.modes.iter_mut().for_each(|m| *m = MODE_DENSE);
+        }
+
         // ---- Merged scatter + fused shuffle (Fig. 6) ----
         let t_scatter = Instant::now();
         // Rearm both output pools; each slice is rearmed on the worker
@@ -766,48 +1011,177 @@ impl<P: EdgeProgram> DiskEngine<P> {
             let plan = self.plan;
             let edge_names = &self.edge_names;
             let update_names = &self.update_names;
+            let index_names = &self.index_names;
+            let modes = &self.modes;
+            let frontier = &self.frontier.current;
+            let index_buf = &mut self.index_buf;
+            let run_ranges = &mut self.run_ranges;
+            let run_buf = &mut self.run_buf;
+            let spill_threshold = self.spill_threshold;
+            // Sparse ranged reads are merged and flushed in I/O-unit
+            // portions, rounded to whole edge records so no flush ever
+            // splits an edge.
+            let io_cap = (self.config.io_unit / Edge::SIZE).max(1) * Edge::SIZE;
 
-            reader.begin(store.read_source(&edge_names[0], Edge::SIZE)?)?;
+            // Queue the first densely-streamed partition; each dense
+            // partition then queues the next dense one before
+            // consuming its own chunks (§3.3 read-ahead across
+            // partitions, restricted to the ones that actually
+            // stream).
+            let mut dense_iter = (0..kp).filter(|&p| modes[p] == MODE_DENSE);
+            let mut queued = dense_iter.next();
+            if let Some(first) = queued {
+                reader.begin(store.read_source(&edge_names[first], Edge::SIZE)?)?;
+            }
             for s in partitioner.iter() {
-                if s + 1 < kp {
-                    // §3.3 read-ahead across partitions: the reader
-                    // thread rolls into the next edge file while this
-                    // partition still computes.
-                    reader.begin(store.read_source(&edge_names[s + 1], Edge::SIZE)?)?;
-                }
-                let states = vertices.load_scatter(store, partitioner, s)?;
-                let base = partitioner.range(s).start;
-                loop {
-                    let t_io = Instant::now();
-                    let chunk = reader.next_chunk()?;
-                    blocked_ns += t_io.elapsed().as_nanos() as u64;
-                    let Some(bytes) = chunk else {
-                        break;
-                    };
-                    stats.edges_streamed += (bytes.len() / Edge::SIZE) as u64;
-                    // §4.3 layering: the loaded chunk is processed with
-                    // the in-memory engine's parallel primitives — a
-                    // parallel fused scatter over sub-slices of the
-                    // chunk, one pooled scratch slice per worker.
-                    scatter_chunk_pooled(pool, scratch, program, states, base, bytes, partitioner);
-                    if scratch.total_len() >= self.spill_threshold {
-                        stats.updates_generated += scratch.total_len() as u64;
-                        // Zero-copy spill: wait out the previous
-                        // spill's borrowed runs, swap the output
-                        // pools, rearm the fresh one and hand the full
-                        // one's runs to the per-device writer threads
-                        // by reference. Scatter continues into the
-                        // fresh pool while the writer drains the other
-                        // (§3.3's double-buffered output, minus the
-                        // copy).
-                        let t_io = Instant::now();
-                        writer.wait_until(*spill_mark);
-                        blocked_ns += t_io.elapsed().as_nanos() as u64;
-                        std::mem::swap(scratch, drain);
-                        scratch.begin(plan);
-                        spill_borrowed(writer, update_names, drain, kp, &mut blocked_ns)?;
-                        *spill_mark = writer.submitted();
-                        self.spilled_updates = true;
+                match modes[s] {
+                    MODE_SKIP => {
+                        // No active sources: this partition costs zero
+                        // I/O this superstep.
+                        stats.partitions_skipped += 1;
+                        continue;
+                    }
+                    MODE_SPARSE => {
+                        stats.partitions_sparse += 1;
+                        let states = vertices.load_scatter(store, partitioner, s)?;
+                        let range = partitioner.range(s);
+                        let base = range.start;
+                        // Re-load the run-offset index (the decision
+                        // pass's pooled buffer has been reused since)
+                        // and merge the active vertices' edge runs
+                        // into ranged reads, split at `io_cap` so the
+                        // assembly buffer stays bounded.
+                        store.read_all_into(&index_names[s], index_buf)?;
+                        run_ranges.clear();
+                        frontier.for_each_active_in(range, |v| {
+                            let lv = v as usize - base;
+                            let mut lo = index_at(index_buf, lv) as u64 * Edge::SIZE as u64;
+                            let hi = index_at(index_buf, lv + 1) as u64 * Edge::SIZE as u64;
+                            while lo < hi {
+                                if let Some((o, l)) = run_ranges.last_mut() {
+                                    if *o + *l as u64 == lo && (*l as usize) < io_cap {
+                                        let take = (hi - lo).min((io_cap - *l as usize) as u64);
+                                        *l += take as u32;
+                                        lo += take;
+                                        continue;
+                                    }
+                                }
+                                let take = (hi - lo).min(io_cap as u64);
+                                run_ranges.push((lo, take as u32));
+                                lo += take;
+                            }
+                            true
+                        });
+                        for &(off, len) in run_ranges.iter() {
+                            let t_io = Instant::now();
+                            store.read_range_into(&edge_names[s], off, len as usize, run_buf)?;
+                            blocked_ns += t_io.elapsed().as_nanos() as u64;
+                            if run_buf.len() < io_cap {
+                                continue;
+                            }
+                            stats.edges_streamed += (run_buf.len() / Edge::SIZE) as u64;
+                            scatter_chunk_pooled(
+                                pool,
+                                scratch,
+                                program,
+                                states,
+                                base,
+                                run_buf.as_slice(),
+                                partitioner,
+                            );
+                            run_buf.clear();
+                            if spill_if_full(
+                                writer,
+                                update_names,
+                                scratch,
+                                drain,
+                                spill_mark,
+                                plan,
+                                kp,
+                                spill_threshold,
+                                &mut stats,
+                                &mut blocked_ns,
+                            )? {
+                                self.spilled_updates = true;
+                            }
+                        }
+                        if !run_buf.is_empty() {
+                            stats.edges_streamed += (run_buf.len() / Edge::SIZE) as u64;
+                            scatter_chunk_pooled(
+                                pool,
+                                scratch,
+                                program,
+                                states,
+                                base,
+                                run_buf.as_slice(),
+                                partitioner,
+                            );
+                            run_buf.clear();
+                            if spill_if_full(
+                                writer,
+                                update_names,
+                                scratch,
+                                drain,
+                                spill_mark,
+                                plan,
+                                kp,
+                                spill_threshold,
+                                &mut stats,
+                                &mut blocked_ns,
+                            )? {
+                                self.spilled_updates = true;
+                            }
+                        }
+                    }
+                    _ => {
+                        debug_assert_eq!(queued, Some(s), "dense queue out of order");
+                        queued = dense_iter.next();
+                        if let Some(n) = queued {
+                            // §3.3 read-ahead across partitions: the
+                            // reader thread rolls into the next live
+                            // edge file while this partition still
+                            // computes.
+                            reader.begin(store.read_source(&edge_names[n], Edge::SIZE)?)?;
+                        }
+                        let states = vertices.load_scatter(store, partitioner, s)?;
+                        let base = partitioner.range(s).start;
+                        loop {
+                            let t_io = Instant::now();
+                            let chunk = reader.next_chunk()?;
+                            blocked_ns += t_io.elapsed().as_nanos() as u64;
+                            let Some(bytes) = chunk else {
+                                break;
+                            };
+                            stats.edges_streamed += (bytes.len() / Edge::SIZE) as u64;
+                            // §4.3 layering: the loaded chunk is
+                            // processed with the in-memory engine's
+                            // parallel primitives — a parallel fused
+                            // scatter over sub-slices of the chunk,
+                            // one pooled scratch slice per worker.
+                            scatter_chunk_pooled(
+                                pool,
+                                scratch,
+                                program,
+                                states,
+                                base,
+                                bytes,
+                                partitioner,
+                            );
+                            if spill_if_full(
+                                writer,
+                                update_names,
+                                scratch,
+                                drain,
+                                spill_mark,
+                                plan,
+                                kp,
+                                spill_threshold,
+                                &mut stats,
+                                &mut blocked_ns,
+                            )? {
+                                self.spilled_updates = true;
+                            }
+                        }
                     }
                 }
             }
@@ -865,11 +1239,17 @@ impl<P: EdgeProgram> DiskEngine<P> {
             parallel = (max_file as usize).saturating_mul(lanes) <= 2 * self.stream_buffer_bytes;
         }
         if parallel {
-            self.gather_parallel(program, &mut stats, lanes, &mut blocked_ns)?;
+            self.gather_parallel(program, &mut stats, lanes, &mut blocked_ns, use_frontier)?;
         } else {
-            self.gather_serial(program, &mut stats, &mut blocked_ns)?;
+            self.gather_serial(program, &mut stats, &mut blocked_ns, use_frontier)?;
         }
         stats.gather_ns = t_gather.elapsed().as_nanos() as u64;
+        if use_frontier {
+            // Promote the set gather just marked: it is exactly the
+            // next superstep's scatter frontier (the program contract
+            // behind [`FrontierMode::Tracked`]).
+            self.frontier.advance();
+        }
 
         // Adaptive capacity equalization over both ping-pong pools
         // (safe here: the pre-gather flush released every zero-copy
@@ -908,6 +1288,7 @@ impl<P: EdgeProgram> DiskEngine<P> {
         program: &P,
         stats: &mut IterationStats,
         blocked_ns: &mut u64,
+        mark_next: bool,
     ) -> Result<()> {
         let kp = self.partitioner.num_partitions();
         let store = &self.store;
@@ -916,6 +1297,7 @@ impl<P: EdgeProgram> DiskEngine<P> {
         let reader = &mut self.reader;
         let scratch = &self.scratch;
         let update_names = &self.update_names;
+        let next_frontier = mark_next.then_some(&self.frontier.next);
         let usz = size_of::<TargetedUpdate<P::Update>>();
         let from_files = self.spilled_updates;
         let resident = self.resident_updates;
@@ -957,6 +1339,9 @@ impl<P: EdgeProgram> DiskEngine<P> {
                                 if program.gather(&mut states[local], &u.payload) {
                                     changed_vertices += 1;
                                     changed = true;
+                                    if let Some(nf) = next_frontier {
+                                        nf.mark(u.target, p);
+                                    }
                                 }
                             }
                         }
@@ -970,6 +1355,9 @@ impl<P: EdgeProgram> DiskEngine<P> {
                                 if program.gather(&mut states[local], &u.payload) {
                                     changed_vertices += 1;
                                     changed = true;
+                                    if let Some(nf) = next_frontier {
+                                        nf.mark(u.target, p);
+                                    }
                                 }
                             }
                         }
@@ -1005,10 +1393,14 @@ impl<P: EdgeProgram> DiskEngine<P> {
         stats: &mut IterationStats,
         lanes: usize,
         blocked_ns: &mut u64,
+        mark_next: bool,
     ) -> Result<()> {
         let kp = self.partitioner.num_partitions();
         self.gather_dirty = true;
         let pool = self.pool.as_ref().expect("parallel gather requires a pool");
+        // Marking is an atomic fetch-or, so concurrent lanes share the
+        // next-generation bitmap without synchronization.
+        let next_frontier = mark_next.then_some(&self.frontier.next);
         let states = self
             .vertices
             .in_memory_mut()
@@ -1065,6 +1457,9 @@ impl<P: EdgeProgram> DiskEngine<P> {
                             let local = u.target as usize - base;
                             if program.gather(&mut part_states[local], &u.payload) {
                                 ctr.changed += 1;
+                                if let Some(nf) = next_frontier {
+                                    nf.mark(u.target, p);
+                                }
                             }
                         }
                     }
@@ -1076,6 +1471,9 @@ impl<P: EdgeProgram> DiskEngine<P> {
                                 let local = u.target as usize - base;
                                 if program.gather(&mut part_states[local], &u.payload) {
                                     ctr.changed += 1;
+                                    if let Some(nf) = next_frontier {
+                                        nf.mark(u.target, p);
+                                    }
                                 }
                             }
                         }
@@ -1297,6 +1695,41 @@ fn scatter_chunk_pooled<P: EdgeProgram>(
     }
 }
 
+/// Shared spill step of the fused scatter+shuffle, used by both the
+/// dense chunk loop and the sparse run assembly: once the filling pool
+/// reaches the stream-buffer budget, waits out the previous spill's
+/// borrowed runs, swaps the ping-pong pools, rearms the fresh one and
+/// hands the full one's bucket runs to the per-device writer threads
+/// by reference — scatter continues into the fresh pool while the
+/// writer drains the other (§3.3's double-buffered output, minus the
+/// copy). Returns whether it spilled.
+#[allow(clippy::too_many_arguments)]
+fn spill_if_full<U: Record>(
+    writer: &AsyncWriter,
+    update_names: &[Arc<str>],
+    scratch: &mut ShufflePool<TargetedUpdate<U>>,
+    drain: &mut ShufflePool<TargetedUpdate<U>>,
+    spill_mark: &mut WriteMark,
+    plan: MultiStagePlan,
+    kp: usize,
+    spill_threshold: usize,
+    stats: &mut IterationStats,
+    blocked_ns: &mut u64,
+) -> Result<bool> {
+    if scratch.total_len() < spill_threshold {
+        return Ok(false);
+    }
+    stats.updates_generated += scratch.total_len() as u64;
+    let t_io = Instant::now();
+    writer.wait_until(*spill_mark);
+    *blocked_ns += t_io.elapsed().as_nanos() as u64;
+    std::mem::swap(scratch, drain);
+    scratch.begin(plan);
+    spill_borrowed(writer, update_names, drain, kp, blocked_ns)?;
+    *spill_mark = writer.submitted();
+    Ok(true)
+}
+
 /// Bucket runs below this size are coalesced into one pooled buffer
 /// per partition instead of submitted zero-copy: with many slices and
 /// partitions the per-slice runs can shrink far below the large
@@ -1473,9 +1906,13 @@ impl<P: EdgeProgram> Engine<P> for DiskEngine<P> {
             // taken post-gather, pre-map of the *next* iteration, so
             // exactly the maps up to the restored superstep are in the
             // persisted state). Re-applying them here would
-            // double-apply.
+            // double-apply. The restored frontier must survive the
+            // replay too, so invalidation below is skipped with it.
             return;
         }
+        // The map may activate or deactivate any vertex; the next
+        // superstep rebuilds the frontier from a `needs_scatter` scan.
+        self.frontier_valid = false;
         for p in self.partitioner.iter() {
             let base = self.partitioner.range(p).start;
             self.vertices

@@ -41,7 +41,8 @@ use std::time::Instant;
 use crate::queue::WorkQueues;
 use xstream_core::program::TargetedUpdate;
 use xstream_core::{
-    alloc_stats, Edge, EdgeProgram, Engine, EngineConfig, IterationStats, Partitioner, VertexId,
+    alloc_stats, Edge, EdgeProgram, Engine, EngineConfig, FrontierMode, FrontierPair,
+    IterationStats, Partitioner, VertexId,
 };
 use xstream_graph::EdgeList;
 use xstream_storage::pool::{PerWorkerPtr, WorkerPool};
@@ -93,6 +94,8 @@ struct WorkerCounters {
     updates_generated: u64,
     updates_applied: u64,
     vertices_changed: u64,
+    partitions_skipped: u64,
+    partitions_sparse: u64,
 }
 
 /// The in-memory streaming engine.
@@ -115,6 +118,20 @@ pub struct InMemoryEngine<P: EdgeProgram> {
     counters: Vec<WorkerCounters>,
     /// Pooled work queues, refilled before every phase.
     queues: WorkQueues,
+    /// Whether the program opted into frontier tracking
+    /// ([`FrontierMode::Tracked`]).
+    tracked: bool,
+    /// Double-buffered active-vertex bitmaps (Ligra-hybrid scatter);
+    /// sized lazily on the first tracked superstep and pooled after.
+    frontier: FrontierPair,
+    /// Whether `frontier.current` reflects the vertex states. A
+    /// `vertex_map` invalidates it; the next superstep rebuilds it from
+    /// a `needs_scatter` scan.
+    frontier_valid: bool,
+    /// For tracked programs, `run_starts[v]` is the position (in the
+    /// src-sorted edge buffer) of vertex `v`'s out-edge run;
+    /// `run_starts[v + 1]` its end. Empty for dense programs.
+    run_starts: Vec<u32>,
 }
 
 impl<P: EdgeProgram> InMemoryEngine<P> {
@@ -140,14 +157,45 @@ impl<P: EdgeProgram> InMemoryEngine<P> {
         let num_edges = edges.len();
         let threads = config.threads.max(1);
 
-        // Partition the edges by source: slice across threads, shuffle
-        // each slice in parallel, merge the per-slice chunks. (One-time
-        // setup; the per-iteration update shuffle reuses the pooled
-        // scratch instead and never merges.)
-        let slices = split_slices(edges, threads);
-        let bufs =
-            parallel_multistage_shuffle(slices, plan, |e: &Edge| partitioner.partition_of(e.src));
-        let edges = merge_slices(&bufs, partitioner.num_partitions());
+        // Partition the edges by source. Dense programs only need
+        // grouping *by partition*: slice across threads, shuffle each
+        // slice in parallel, merge the per-slice chunks. Tracked
+        // programs additionally need each partition's chunk grouped by
+        // source vertex so the sparse scatter can address one vertex's
+        // out-edge run; a global src sort produces both layouts at once
+        // (partition ids are monotone in the vertex id), and the run
+        // index is one counting pass over the sorted list.
+        let tracked = program.frontier_mode() == FrontierMode::Tracked;
+        let (edges, run_starts) = if tracked {
+            let mut data = edges;
+            assert!(
+                u32::try_from(data.len()).is_ok(),
+                "sparse edge index addresses edges with u32 offsets"
+            );
+            data.sort_unstable_by_key(|e| e.src);
+            let mut run_starts = vec![0u32; num_vertices + 1];
+            for e in &data {
+                run_starts[e.src as usize + 1] += 1;
+            }
+            for v in 0..num_vertices {
+                run_starts[v + 1] += run_starts[v];
+            }
+            let mut offsets = Vec::with_capacity(partitioner.num_partitions() + 1);
+            for p in partitioner.iter() {
+                offsets.push(run_starts[partitioner.range(p).start] as usize);
+            }
+            offsets.push(data.len());
+            (StreamBuffer::from_grouped(data, offsets), run_starts)
+        } else {
+            let slices = split_slices(edges, threads);
+            let bufs = parallel_multistage_shuffle(slices, plan, |e: &Edge| {
+                partitioner.partition_of(e.src)
+            });
+            (
+                merge_slices(&bufs, partitioner.num_partitions()),
+                Vec::new(),
+            )
+        };
 
         let states = (0..num_vertices as VertexId)
             .map(|v| program.init(v))
@@ -178,6 +226,10 @@ impl<P: EdgeProgram> InMemoryEngine<P> {
             scratch,
             counters,
             queues,
+            tracked,
+            frontier: FrontierPair::new(),
+            frontier_valid: false,
+            run_starts,
         }
     }
 
@@ -459,6 +511,30 @@ impl<P: EdgeProgram> Engine<P> for InMemoryEngine<P> {
         }
         self.queues.refill(0..k);
 
+        // Frontier upkeep (Ligra-hybrid scatter). Gather maintains the
+        // next generation incrementally; only after a `vertex_map` (or
+        // on the first superstep) is the active set rebuilt from a
+        // `needs_scatter` scan over the states. Allocates only the
+        // first time; rebuilds are a memset plus the scan.
+        let use_frontier = self.tracked && self.config.frontier_skip;
+        if use_frontier && !self.frontier_valid {
+            self.frontier.ensure(&self.partitioner);
+            for (v, s) in self.states.iter().enumerate() {
+                if program.needs_scatter(s) {
+                    let v = v as VertexId;
+                    self.frontier
+                        .current
+                        .mark(v, self.partitioner.partition_of(v));
+                }
+            }
+            self.frontier_valid = true;
+        }
+        stats.frontier_density = if use_frontier {
+            self.frontier.current.density()
+        } else {
+            1.0
+        };
+
         // ---- Scatter + fused first shuffle stage ----
         let t = Instant::now();
         {
@@ -466,6 +542,9 @@ impl<P: EdgeProgram> Engine<P> for InMemoryEngine<P> {
             let edges = &self.edges;
             let queues = &self.queues;
             let partitioner = self.partitioner;
+            let config = &self.config;
+            let frontier = use_frontier.then_some(&self.frontier.current);
+            let run_starts = &self.run_starts;
             let scratch = PerWorkerPtr(self.scratch.slices_ptr());
             let counters = PerWorkerPtr(self.counters.as_mut_ptr());
             let job = |tid: usize| {
@@ -474,25 +553,64 @@ impl<P: EdgeProgram> Engine<P> for InMemoryEngine<P> {
                 // these `&mut` borrows are disjoint across workers.
                 let slice: &mut ShuffleScratch<_> = unsafe { scratch.get_mut(tid) };
                 let ctr = unsafe { counters.get_mut(tid) };
+                // Scatter one edge; only reads the source state (states
+                // are shared immutably in this phase) and pushes the
+                // update routed on the first radix digit of the
+                // destination partition — the fused first shuffle
+                // stage.
+                let mut scatter_edge = |e: &Edge, ctr: &mut WorkerCounters| {
+                    ctr.edges_streamed += 1;
+                    let src_state = &states[e.src as usize];
+                    if !program.needs_scatter(src_state) {
+                        return;
+                    }
+                    if let Some(u) = program.scatter(src_state, e) {
+                        slice.push(
+                            TargetedUpdate::new(e.dst, u),
+                            partitioner.partition_of(e.dst),
+                        );
+                        ctr.updates_generated += 1;
+                    }
+                };
                 while let Some(p) = queues.pop(tid) {
-                    for e in edges.chunk(p) {
-                        ctr.edges_streamed += 1;
-                        // Scatter only reads the source state; states
-                        // are shared immutably in this phase.
-                        let src_state = &states[e.src as usize];
-                        if !program.needs_scatter(src_state) {
+                    let chunk = edges.chunk(p);
+                    if let Some(fr) = frontier {
+                        // Empty frontier: the whole partition is dead
+                        // weight — skip its stream entirely.
+                        if fr.active_in(p) == 0 {
+                            ctr.partitions_skipped += 1;
                             continue;
                         }
-                        if let Some(u) = program.scatter(src_state, e) {
-                            // The push routes on the first radix digit
-                            // of the destination partition — the fused
-                            // first shuffle stage.
-                            slice.push(
-                                TargetedUpdate::new(e.dst, u),
-                                partitioner.partition_of(e.dst),
-                            );
-                            ctr.updates_generated += 1;
+                        // Hybrid switch: sum the active vertices' run
+                        // lengths (early-exiting once the total already
+                        // fails the sparse test, which it can never
+                        // pass again).
+                        let range = partitioner.range(p);
+                        let total = chunk.len();
+                        let mut active_edges = 0usize;
+                        fr.for_each_active_in(range.clone(), |v| {
+                            active_edges +=
+                                (run_starts[v as usize + 1] - run_starts[v as usize]) as usize;
+                            config.wants_sparse_scatter(active_edges, total)
+                        });
+                        if config.wants_sparse_scatter(active_edges, total) {
+                            // Sparse: stream only the active vertices'
+                            // runs of the src-sorted chunk.
+                            ctr.partitions_sparse += 1;
+                            let base = run_starts[range.start];
+                            fr.for_each_active_in(range, |v| {
+                                let lo = (run_starts[v as usize] - base) as usize;
+                                let hi = (run_starts[v as usize + 1] - base) as usize;
+                                for e in &chunk[lo..hi] {
+                                    scatter_edge(e, ctr);
+                                }
+                                true
+                            });
+                            continue;
                         }
+                    }
+                    for e in chunk {
+                        scatter_edge(e, ctr);
                     }
                 }
             };
@@ -526,6 +644,7 @@ impl<P: EdgeProgram> Engine<P> for InMemoryEngine<P> {
             let scratch = &self.scratch;
             let queues = &self.queues;
             let partitioner = &self.partitioner;
+            let next_frontier = use_frontier.then_some(&self.frontier.next);
             let num_slices = scratch.num_slices();
             let job = |tid: usize| {
                 // SAFETY: disjoint per-worker counter element.
@@ -546,6 +665,12 @@ impl<P: EdgeProgram> Engine<P> for InMemoryEngine<P> {
                             ctr.updates_applied += 1;
                             if program.gather(&mut part_states[local], &u.payload) {
                                 ctr.vertices_changed += 1;
+                                // Frontier contract: a changed vertex is
+                                // exactly one that must scatter next
+                                // superstep.
+                                if let Some(nf) = next_frontier {
+                                    nf.mark(u.target, p);
+                                }
                             }
                         }
                     }
@@ -554,12 +679,17 @@ impl<P: EdgeProgram> Engine<P> for InMemoryEngine<P> {
             Self::dispatch(self.pool.as_ref(), &job);
         }
         stats.gather_ns = t.elapsed().as_nanos() as u64;
+        if use_frontier {
+            self.frontier.advance();
+        }
 
         for c in &self.counters {
             stats.edges_streamed += c.edges_streamed;
             stats.updates_generated += c.updates_generated;
             stats.updates_applied += c.updates_applied;
             stats.vertices_changed += c.vertices_changed;
+            stats.partitions_skipped += c.partitions_skipped;
+            stats.partitions_sparse += c.partitions_sparse;
         }
 
         // Propagate every buffer's high-water capacity to all slices:
@@ -594,6 +724,10 @@ impl<P: EdgeProgram> Engine<P> for InMemoryEngine<P> {
         for (v, s) in self.states.iter_mut().enumerate() {
             f(v as VertexId, s);
         }
+        // Arbitrary state mutation can activate or deactivate any
+        // vertex; the next superstep rebuilds the frontier from a
+        // `needs_scatter` scan.
+        self.frontier_valid = false;
     }
 
     fn vertex_fold(
@@ -879,6 +1013,134 @@ mod tests {
         let e1 = InMemoryEngine::from_graph(&g, &MinLabel, small_cache);
         let e2 = InMemoryEngine::from_graph(&g, &MinLabel, big_cache);
         assert!(e1.partitioner().num_partitions() > e2.partitioner().num_partitions());
+    }
+
+    /// A frontier-tracked BFS (level == round gating), local to this
+    /// crate because the algorithms crate depends on this one.
+    struct TrackedBfs {
+        round: std::sync::atomic::AtomicU32,
+    }
+
+    impl TrackedBfs {
+        fn new() -> Self {
+            Self {
+                round: std::sync::atomic::AtomicU32::new(0),
+            }
+        }
+    }
+
+    impl EdgeProgram for TrackedBfs {
+        type State = u32;
+        type Update = u32;
+
+        fn init(&self, _v: VertexId) -> u32 {
+            u32::MAX
+        }
+
+        fn needs_scatter(&self, s: &u32) -> bool {
+            *s == self.round.load(std::sync::atomic::Ordering::Relaxed)
+        }
+
+        fn scatter(&self, s: &u32, _e: &Edge) -> Option<u32> {
+            Some(*s + 1)
+        }
+
+        fn gather(&self, d: &mut u32, u: &u32) -> bool {
+            if *u < *d {
+                *d = *u;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn frontier_mode(&self) -> FrontierMode {
+            FrontierMode::Tracked
+        }
+    }
+
+    fn tracked_bfs(g: &EdgeList, cfg: EngineConfig) -> (Vec<u32>, Vec<IterationStats>) {
+        let program = TrackedBfs::new();
+        let mut e = InMemoryEngine::from_graph(g, &program, cfg);
+        e.vertex_map(&mut |v, s| *s = if v == 0 { 0 } else { u32::MAX });
+        let mut iters = Vec::new();
+        loop {
+            let it = e.scatter_gather(&program);
+            let done = it.vertices_changed == 0;
+            iters.push(it);
+            program
+                .round
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if done {
+                break;
+            }
+        }
+        (e.states(), iters)
+    }
+
+    #[test]
+    fn frontier_modes_agree_and_skip_dead_partitions() {
+        // A path graph keeps the frontier at a single vertex: the
+        // sharpest possible sparse/skip workload.
+        let g = generators::path(256).to_undirected();
+        let dense_cfg = engine_cfg(2, 16).with_frontier_skip(false);
+        let (want, dense_iters) = tracked_bfs(&g, dense_cfg);
+        for threshold in [0usize, 20, usize::MAX] {
+            let cfg = engine_cfg(2, 16).with_frontier_threshold(threshold);
+            let (got, iters) = tracked_bfs(&g, cfg);
+            assert_eq!(got, want, "threshold={threshold}");
+            let skipped: u64 = iters.iter().map(|i| i.partitions_skipped).sum();
+            let sparse: u64 = iters.iter().map(|i| i.partitions_sparse).sum();
+            let streamed: u64 = iters.iter().map(|i| i.edges_streamed).sum();
+            let dense_streamed: u64 = dense_iters.iter().map(|i| i.edges_streamed).sum();
+            // A 1-vertex frontier leaves 15 of 16 partitions dead every
+            // superstep.
+            assert!(skipped > 0, "threshold={threshold}: nothing skipped");
+            assert!(
+                streamed < dense_streamed / 10,
+                "threshold={threshold}: {streamed} vs dense {dense_streamed}"
+            );
+            if threshold == usize::MAX {
+                assert_eq!(sparse, 0, "usize::MAX must never go sparse");
+            } else {
+                assert!(sparse > 0, "threshold={threshold}: never went sparse");
+            }
+            // Density is a gauge in [0, 1] and genuinely sparse here.
+            assert!(iters.iter().all(|i| i.frontier_density <= 1.0));
+            assert!(iters[1].frontier_density < 0.05);
+        }
+        // Dense mode reports density 1.0 and no skipping.
+        assert!(dense_iters.iter().all(|i| i.frontier_density == 1.0));
+        assert_eq!(
+            dense_iters
+                .iter()
+                .map(|i| i.partitions_skipped)
+                .sum::<u64>(),
+            0
+        );
+    }
+
+    #[test]
+    fn tracked_steady_state_is_allocation_free() {
+        // The frontier machinery (bitmaps, rebuild scans, sparse run
+        // iteration) must preserve the zero-allocation steady state.
+        let g = generators::erdos_renyi(2000, 20_000, 13).to_undirected();
+        let program = TrackedBfs::new();
+        let mut e = InMemoryEngine::from_graph(&g, &program, engine_cfg(2, 64));
+        e.vertex_map(&mut |v, s| *s = if v == 0 { 0 } else { u32::MAX });
+        let warmup = e.scatter_gather(&program);
+        assert!(warmup.alloc_count > 0, "warm-up should allocate the pool");
+        let clean_window = xstream_core::alloc_stats::any_allocation_free_window(20, || {
+            // Re-seed and re-run one superstep per probe: exercises the
+            // vertex_map-invalidated rebuild path too.
+            program.round.store(0, std::sync::atomic::Ordering::Relaxed);
+            e.vertex_map(&mut |v, s| *s = if v == 0 { 0 } else { u32::MAX });
+            e.scatter_gather(&program);
+        });
+        assert!(
+            clean_window,
+            "tracked steady state allocated in every window"
+        );
     }
 
     #[test]

@@ -359,6 +359,49 @@ impl StreamStore {
         Ok(buf)
     }
 
+    /// Reads up to `len` bytes at `offset` from stream `name`,
+    /// *appending* them to `out` — the pooled, fault-aware variant of
+    /// [`Self::read_range`] used by the sparse frontier scatter to
+    /// assemble active vertices' edge runs into a recycled chunk
+    /// buffer. Goes through the cached file handle (positioned read,
+    /// no seek, no reopen), so once the handle exists and `out` has
+    /// capacity the call allocates nothing. Returns the bytes read
+    /// (short only at end-of-stream).
+    pub fn read_range_into(
+        &self,
+        name: &str,
+        offset: u64,
+        len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<usize> {
+        let device = (self.device_fn)(name);
+        let (file, id, stream_len) =
+            self.with_handle(name, |h| Ok((Arc::clone(&h.file), h.id, h.len)))?;
+        let want_total = len.min(stream_len.saturating_sub(offset) as usize);
+        let start = out.len();
+        out.resize(start + want_total, 0);
+        let mut filled = 0usize;
+        while filled < want_total {
+            let mut want = (want_total - filled).min(self.io_unit);
+            if self.inject(name, FaultOp::Read)? {
+                // Injected short read: deliver at most half the request
+                // this round; the fill loop completes the range anyway,
+                // so callers still see record-aligned data.
+                want = (want / 2).max(1);
+            }
+            let at = start + filled;
+            let n = pread(&file, &mut out[at..at + want], offset + filled as u64)?;
+            if n == 0 {
+                break;
+            }
+            self.accounting
+                .record_read(device, id, offset + filled as u64, n as u64);
+            filled += n;
+        }
+        out.truncate(start + filled);
+        Ok(filled)
+    }
+
     /// Overwrites `bytes` at `offset` within stream `name` (positioned
     /// write; see [`Self::read_range`] for why this exists).
     pub fn write_at(&self, name: &str, offset: u64, bytes: &[u8]) -> Result<()> {
@@ -992,6 +1035,52 @@ mod tests {
         assert_eq!(store.len("s"), 12);
         // Short read past EOF truncates.
         assert_eq!(store.read_range("s", 10, 100).unwrap(), b"ZZ");
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn read_range_into_appends_and_survives_short_reads() {
+        use crate::faults::{FaultKind, FaultSpec};
+        let root = std::env::temp_dir().join("xstream_store_range_into");
+        let _ = std::fs::remove_dir_all(&root);
+        let plan = Arc::new(FaultPlan::new(vec![FaultSpec {
+            stream_prefix: String::new(),
+            op: FaultOp::Read,
+            nth: 0,
+            kind: FaultKind::ShortRead,
+        }]));
+        let store = StreamStore::new(&root, 4096)
+            .unwrap()
+            .with_faults(Arc::clone(&plan));
+        let payload: Vec<u8> = (0..4000u32).flat_map(|i| i.to_le_bytes()).collect();
+        store.append("s", &payload).unwrap();
+
+        // Appends to the caller's buffer, preserving what's there.
+        let mut out = b"prefix".to_vec();
+        let n = store.read_range_into("s", 8, 12, &mut out).unwrap();
+        assert_eq!(n, 12);
+        assert_eq!(&out[..6], b"prefix");
+        assert_eq!(&out[6..], &payload[8..20]);
+
+        // A request past EOF is clamped, not an error.
+        out.clear();
+        let n = store
+            .read_range_into("s", payload.len() as u64 - 5, 100, &mut out)
+            .unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(&out, &payload[payload.len() - 5..]);
+
+        // An injected short read still delivers the full range, and the
+        // accounting sees every byte exactly once.
+        let before = store.accounting().snapshot().per_device[0].bytes_read;
+        plan.arm();
+        out.clear();
+        let n = store.read_range_into("s", 100, 9000, &mut out).unwrap();
+        assert_eq!(n, 9000);
+        assert_eq!(&out, &payload[100..9100]);
+        assert_eq!(plan.fired_count(), 1);
+        let after = store.accounting().snapshot().per_device[0].bytes_read;
+        assert_eq!(after - before, 9000);
         store.destroy().unwrap();
     }
 

@@ -27,4 +27,4 @@ pub mod semi;
 pub mod source;
 pub mod wstream;
 
-pub use source::EdgeSource;
+pub use source::{EdgeSource, FileSource, Mirrored};

@@ -70,6 +70,30 @@ impl EdgeSource for FileSource {
     }
 }
 
+/// Streams every edge of an inner source followed by its reverse —
+/// the on-the-fly undirected expansion. Lets the streaming models
+/// treat a directed edge file as undirected without materializing the
+/// doubled list ([`xstream_graph::EdgeList::to_undirected`] copies the
+/// whole graph; this wrapper costs nothing beyond the inner stream).
+pub struct Mirrored<S>(pub S);
+
+impl<S: EdgeSource> EdgeSource for Mirrored<S> {
+    fn num_vertices(&self) -> usize {
+        self.0.num_vertices()
+    }
+
+    fn for_each_edge(&self, f: &mut dyn FnMut(Edge)) -> Result<()> {
+        self.0.for_each_edge(&mut |e| {
+            f(e);
+            f(Edge {
+                src: e.dst,
+                dst: e.src,
+                ..e
+            });
+        })
+    }
+}
+
 /// An edge source reading a named stream inside a [`StreamStore`]
 /// (used by the W-Stream driver for its intermediate streams).
 pub struct StoreSource<'a> {
@@ -137,6 +161,24 @@ mod tests {
             assert_eq!(count, 4);
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mirrored_source_doubles_every_edge() {
+        let g = from_pairs(4, &[(0, 1), (2, 3)]);
+        let m = Mirrored(g);
+        assert_eq!(EdgeSource::num_vertices(&m), 4);
+        let mut seen = Vec::new();
+        m.for_each_edge(&mut |e| seen.push((e.src, e.dst))).unwrap();
+        assert_eq!(seen, vec![(0, 1), (1, 0), (2, 3), (3, 2)]);
+        // Weights survive the mirroring.
+        let w = from_pairs(2, &[(0, 1)]);
+        let mut edges: Vec<Edge> = w.edges().to_vec();
+        edges[0].weight = 2.5;
+        let m = Mirrored(EdgeList::from_parts_unchecked(2, edges));
+        let mut weights = Vec::new();
+        m.for_each_edge(&mut |e| weights.push(e.weight)).unwrap();
+        assert_eq!(weights, vec![2.5, 2.5]);
     }
 
     #[test]

@@ -122,6 +122,80 @@ fn killed_run_resumes_bitwise_identical_to_uninterrupted() {
 }
 
 #[test]
+fn killed_bfs_resumes_mid_traversal_with_its_frontier_restored() {
+    // Frontier-tracked traversal: the checkpoint frame's aux section
+    // carries the active-vertex bitmap, so a resume mid-BFS restores
+    // the exact wavefront instead of replaying from the root. The
+    // resumed run must agree bitwise with an uninterrupted one AND
+    // keep the frontier economy — its first real superstep streams
+    // only the wavefront's edges, not the whole list.
+    use xstream::algorithms::bfs;
+    let g = generators::grid2d(32, 32); // long diameter: many rounds
+    let expected = {
+        let (_, store) = fresh_store("bfs_baseline");
+        let p = bfs::Bfs::new();
+        let mut e = DiskEngine::from_graph(store, &g, &p, ckpt_config()).expect("engine");
+        bfs::run(&mut e, &p, 0).0
+    };
+
+    // Crash superstep 9 (checkpoints for 1..=8 are on disk).
+    let dir = tmp("bfs_crash");
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = Arc::new(FaultPlan::new(vec![FaultSpec {
+        stream_prefix: String::new(),
+        op: FaultOp::Flush,
+        nth: 8,
+        kind: FaultKind::Permanent,
+    }]));
+    {
+        let store = StreamStore::new(&dir, 8192)
+            .expect("store")
+            .with_faults(Arc::clone(&plan));
+        let p = bfs::Bfs::new();
+        let mut a = DiskEngine::from_graph(store, &g, &p, ckpt_config()).expect("engine");
+        plan.arm();
+        let crash = std::panic::catch_unwind(AssertUnwindSafe(|| bfs::run(&mut a, &p, 0)));
+        assert!(crash.is_err(), "superstep 9 should have died");
+    }
+    // The newest frame really carries a frontier bitmap: its declared
+    // aux length (little-endian u64 at byte 32 of the v2 header) is
+    // nonzero.
+    let aux_len = |slot: &std::path::Path| -> u64 {
+        let bytes = std::fs::read(slot).expect("frame");
+        u64::from_le_bytes(bytes[32..40].try_into().unwrap())
+    };
+    assert!(
+        [0, 1]
+            .iter()
+            .map(|s| dir.join(format!("checkpoint.{s}")))
+            .filter(|p| p.is_file())
+            .any(|p| aux_len(&p) > 0),
+        "no checkpoint frame carries a frontier bitmap"
+    );
+
+    // Resume and finish: bitwise-equal levels, and the first real
+    // superstep after the replay streams a wavefront, not the graph.
+    let store = StreamStore::new(&dir, 8192).expect("store");
+    let p = bfs::Bfs::new();
+    let mut b = DiskEngine::from_graph(store, &g, &p, ckpt_config()).expect("engine");
+    assert_eq!(b.resume_from_checkpoint().expect("resume"), Some(8));
+    let (levels, stats) = bfs::run(&mut b, &p, 0);
+    assert_eq!(levels, expected, "resumed BFS diverged");
+    let first_real = stats
+        .iterations
+        .iter()
+        .find(|it| it.edges_streamed > 0)
+        .expect("no real superstep after the replay");
+    assert!(
+        first_real.edges_streamed < g.num_edges() as u64 / 4,
+        "restored frontier was not used: first real superstep streamed \
+         {} of {} edges",
+        first_real.edges_streamed,
+        g.num_edges()
+    );
+}
+
+#[test]
 fn torn_newest_slot_falls_back_to_previous_checkpoint() {
     let g = graph();
     let dir = tmp("torn");

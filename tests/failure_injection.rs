@@ -253,6 +253,60 @@ fn transient_faults_at_every_stage_are_retried_to_the_same_result() {
 }
 
 #[test]
+fn transient_fault_on_a_sparse_ranged_read_is_retried() {
+    // Frontier-tracked BFS with the hybrid divisor forced to 0: every
+    // non-empty partition scatters through pooled ranged reads of the
+    // sparse index path, so an "edges." read fault lands inside
+    // `read_range_into` rather than the sequential read-ahead. The
+    // superstep must be retried to the same levels an uninterrupted
+    // run produces (min-gather: bitwise).
+    use xstream::algorithms::bfs;
+    let g = fault_graph();
+    let sparse_cfg = || spill_config().with_frontier_threshold(0);
+    let expected = {
+        let dir = tmp("faults_sparse_baseline");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = StreamStore::new(&dir, 8192).expect("store");
+        let p = bfs::Bfs::new();
+        let mut e = DiskEngine::from_graph(store, &g, &p, sparse_cfg()).expect("engine");
+        bfs::run(&mut e, &p, 0).0
+    };
+    for (tag, kind) in [
+        ("transient", FaultKind::Transient),
+        ("short", FaultKind::ShortRead),
+    ] {
+        let plan = Arc::new(FaultPlan::new(vec![FaultSpec {
+            stream_prefix: "edges.".to_string(),
+            op: FaultOp::Read,
+            nth: 1,
+            kind,
+        }]));
+        let store = fault_store(&format!("sparse_{tag}"), &plan);
+        let p = bfs::Bfs::new();
+        let cfg = sparse_cfg().with_retry(RetryPolicy {
+            max_attempts: 4,
+            backoff: Duration::ZERO,
+        });
+        let mut e = DiskEngine::from_graph(store, &g, &p, cfg).expect("engine");
+        plan.arm();
+        let (levels, stats) = bfs::run(&mut e, &p, 0);
+        assert_eq!(plan.fired_count(), 1, "sparse {tag}: fault never fired");
+        assert_eq!(levels, expected, "sparse {tag}: differential mismatch");
+        assert!(
+            stats.totals().partitions_sparse > 0,
+            "sparse {tag}: the sparse path was never taken"
+        );
+        let retries = stats.totals().io_retries;
+        if tag == "short" {
+            // The ranged-read fill loop absorbs short reads in place.
+            assert_eq!(retries, 0, "short read should not cost a retry");
+        } else {
+            assert!(retries >= 1, "sparse {tag}: no retry recorded");
+        }
+    }
+}
+
+#[test]
 fn enospc_fails_fast_and_leaves_the_engine_consistent() {
     let g = fault_graph();
     let expected = baseline_labels(&g);
