@@ -11,6 +11,9 @@
 //!   parked worker pool, fused scatter → per-partition buckets,
 //!   truncate-reuse update streams. Zero steady-state allocation,
 //!   asserted below.
+//! * `pooled_overlap_*_noverify` — the same pipeline with
+//!   verify-on-read disabled; the delta against the default is the
+//!   per-chunk CRC cost.
 //! * `reference_alloc_*` — the PR 1 pipeline kept as
 //!   `DiskEngine::try_scatter_gather_reference`: a fresh writer
 //!   thread per superstep, a fresh prefetch thread per stream,
@@ -92,8 +95,29 @@ fn bench_disk_superstep(c: &mut Criterion) {
         b.iter(|| black_box(pooled.try_scatter_gather(&DegreeCount).unwrap()))
     });
 
+    // Checksum-verification overhead: the pooled bench above runs with
+    // the default verify-on-read (every durable chunk CRC-checked as it
+    // leaves disk); this variant disables it. The delta between the two
+    // is the integrity tax, gated like any other number by bench_gate.
+    let mut noverify = DiskEngine::from_graph(
+        fresh_store("noverify"),
+        &g,
+        &DegreeCount,
+        disk_cfg().with_verify_reads(false),
+    )
+    .unwrap();
+    for _ in 0..3 {
+        noverify.try_scatter_gather(&DegreeCount).unwrap();
+    }
+    group.bench_function("pooled_overlap_rmat18_spill_noverify", |b| {
+        b.iter(|| black_box(noverify.try_scatter_gather(&DegreeCount).unwrap()))
+    });
+    drop(noverify);
+
     // Steady-state allocation flatness, asserted where the numbers are
-    // produced. The writer's recycle pool assigns buffers to
+    // produced — with verification on (the default), so the gate proves
+    // the CRC path recycles its buffers too. The writer's recycle pool
+    // assigns buffers to
     // partitions by I/O timing, so capacities may ratchet for a few
     // supersteps before settling; demand a run of three consecutive
     // zero-allocation supersteps within a bounded window.
@@ -137,7 +161,7 @@ fn bench_disk_superstep(c: &mut Criterion) {
     drop(reference);
 
     group.finish();
-    for tag in ["pooled", "reference"] {
+    for tag in ["pooled", "noverify", "reference"] {
         let _ =
             std::fs::remove_dir_all(std::env::temp_dir().join(format!("xstream_bench_disk_{tag}")));
     }

@@ -47,6 +47,8 @@ const SWITCHES: &[&str] = &[
     "verbose",
     "resume",
     "no-frontier-skip",
+    "no-verify-reads",
+    "repair",
 ];
 
 /// Consumes the value of option `flag`, refusing to swallow a

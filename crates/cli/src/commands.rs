@@ -127,7 +127,25 @@ USAGE:
                            skip the already-completed supersteps;
                            requires --engine disk and --store, keeps
                            the store directory's checkpoint files
-                           instead of wiping them
+                           instead of wiping them. Resuming under
+                           changed layout flags (--partitions,
+                           --io-unit, ...) fails naming the flag
+      --no-verify-reads    disk engine: trust mode — skip per-chunk
+                           checksum verification on durable-stream
+                           reads (verification is on by default; the
+                           write-side checksums are maintained either
+                           way, so a later scrub still works)
+
+  xstream scrub <STORE> [--repair]
+      Verify every durable stream of a partition store (written by
+      `run --engine disk --store DIR`) against its MANIFEST: sidecar
+      authenticity, one CRC per I/O-unit chunk, and checkpoint frame
+      structure. Detecting damage exits nonzero.
+      --repair             rebuild what is derivable (sparse-scatter
+                           indexes from their verified edge streams,
+                           rotted sidecars over intact streams) and
+                           quarantine the rest (*.quarantined, never
+                           deleted); re-seals the manifest
 
   xstream components <FILE> --model semi|wstream [--capacity N]
       Connected components in the alternative streaming models. The
@@ -347,6 +365,9 @@ fn engine_config(args: &Args) -> Result<EngineConfig, CliError> {
     if args.switch("no-frontier-skip") {
         cfg = cfg.with_frontier_skip(false);
     }
+    if args.switch("no-verify-reads") {
+        cfg = cfg.with_verify_reads(false);
+    }
     Ok(cfg)
 }
 
@@ -379,6 +400,13 @@ fn summarize(algo: &str, extra: &str, stats: &RunStats) -> String {
             t.partitions_skipped,
             t.partitions_sparse,
             t.frontier_density * 100.0,
+        );
+    }
+    if t.chunks_verified > 0 || t.corruptions_detected > 0 {
+        let _ = writeln!(
+            s,
+            "integrity: {} chunks verified on read, {} corruptions detected",
+            t.chunks_verified, t.corruptions_detected,
         );
     }
     s
@@ -534,10 +562,14 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let algo = args.require_positional(0, "algorithm")?.to_string();
     let path = args.require_positional(1, "edge file")?.to_string();
     let engine_kind = args.get("engine").unwrap_or("mem");
-    let cfg = engine_config(args)?;
     let iterations = args.get_usize("iterations")?.unwrap_or(5);
     let eps = epsilon(args)?;
     let resume = args.switch("resume");
+    // Declared on the engine config too, so the disk engine validates
+    // the layout flags against the store's manifest *before* the
+    // rebuild replaces it (a mismatch then names the flag while the
+    // original layout record is still on disk).
+    let cfg = engine_config(args)?.with_resume(resume);
     if resume {
         if engine_kind != "disk" {
             return Err(CliError::Usage(
@@ -950,6 +982,83 @@ fn run_on_disk(
     }
 }
 
+// ------------------------------------------------------------------- scrub
+
+/// `xstream scrub <STORE> [--repair]` — verify every durable stream of
+/// a partition store against its manifest; with `--repair`, rebuild
+/// derived streams and quarantine stale ones.
+///
+/// Detect-only scrub of a damaged store is an *error* (nonzero exit),
+/// so CI and scripts can gate on it; a repair that resolves everything
+/// it found exits cleanly.
+pub fn scrub(args: &Args) -> Result<String, CliError> {
+    let dir = PathBuf::from(args.require_positional(0, "store directory")?);
+    if !dir.is_dir() {
+        return Err(CliError::Run(format!("{}: not a directory", dir.display())));
+    }
+    if !dir.join(STORE_MARKER).is_file() {
+        return Err(CliError::Run(format!(
+            "{}: no {STORE_MARKER} marker; refusing to scrub a directory that \
+             is not an xstream partition store",
+            dir.display()
+        )));
+    }
+    let repair = args.switch("repair");
+    let report = xstream_disk::scrub(&dir, repair)?;
+    let mut s = String::new();
+    if report.manifest_ok {
+        let _ = writeln!(
+            s,
+            "store {} (generation {}, fingerprint {:#018x})",
+            dir.display(),
+            report.generation,
+            report.fingerprint
+        );
+    } else {
+        let _ = writeln!(
+            s,
+            "store {}: MANIFEST missing or corrupt — streams cannot be verified \
+             (re-running the original ingest re-seals the store)",
+            dir.display()
+        );
+    }
+    for sr in &report.streams {
+        use xstream_disk::{Action, Verdict};
+        let verdict = match &sr.verdict {
+            Verdict::Intact => "intact".to_string(),
+            Verdict::SidecarRotted => "stream intact, checksum sidecar rotted".to_string(),
+            Verdict::Corrupt { detail } => format!("CORRUPT: {detail}"),
+            Verdict::Missing => "MISSING".to_string(),
+            Verdict::NeedsRebuild => "flagged for rebuild".to_string(),
+            Verdict::Unlisted => "not in manifest (stale)".to_string(),
+            Verdict::Unverified => "unverified (per-run stream)".to_string(),
+        };
+        let action = match sr.action {
+            Action::None => "",
+            Action::Rebuilt => " -> rebuilt",
+            Action::SidecarRewritten => " -> sidecar rewritten",
+            Action::Quarantined => " -> quarantined",
+            Action::Unrepairable => " -> UNREPAIRABLE (primary data; re-ingest required)",
+            Action::RepairNeeded => " -> run with --repair to fix",
+        };
+        let _ = writeln!(s, "  {:<16} {verdict}{action}", sr.name);
+    }
+    if report.is_clean() {
+        let _ = writeln!(s, "store is clean");
+        Ok(s)
+    } else if report.has_unresolved_damage() {
+        let _ = writeln!(s, "store has unresolved damage");
+        Err(CliError::Run(s))
+    } else {
+        let _ = writeln!(
+            s,
+            "all damage repaired (manifest re-sealed at generation {})",
+            report.generation
+        );
+        Ok(s)
+    }
+}
+
 // -------------------------------------------------------------- components
 
 /// `xstream components <FILE> --model semi|wstream [--capacity N]`.
@@ -1333,8 +1442,14 @@ mod tests {
             "--weighted",
             "--format",
             "--num-vertices",
+            "--no-verify-reads",
+            "--repair",
         ] {
             assert!(help.contains(flag), "{flag} missing from usage()");
+        }
+        // Every subcommand is documented too.
+        for cmd in ["generate", "import", "info", "run", "components", "scrub"] {
+            assert!(help.contains(cmd), "{cmd} missing from usage()");
         }
     }
 
@@ -1404,6 +1519,151 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&store);
+    }
+
+    #[test]
+    fn scrub_detects_damage_and_repair_restores_the_store() {
+        let path = tmpfile("scrub.edges");
+        dispatch(&sv(&[
+            "generate",
+            "erdos-renyi",
+            "--vertices",
+            "400",
+            "--edges",
+            "2400",
+            "-o",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let store = std::env::temp_dir().join("xstream_cli_tests_scrub");
+        let _ = std::fs::remove_dir_all(&store);
+        // BFS tracks its frontier, so the build seals sparse-scatter
+        // index streams into the manifest alongside edges/checkpoints.
+        let out = dispatch(&sv(&[
+            "run",
+            "bfs",
+            path.to_str().unwrap(),
+            "--engine",
+            "disk",
+            "--memory-budget",
+            "1M",
+            "--io-unit",
+            "16K",
+            "--partitions",
+            "4",
+            "--checkpoint-every",
+            "1",
+            "--store",
+            store.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Verification is on by default and reports its work.
+        assert!(out.contains("chunks verified on read"), "{out}");
+
+        // A freshly-written store is clean.
+        let scrub = |extra: &[&str]| {
+            let mut argv = sv(&["scrub", store.to_str().unwrap()]);
+            argv.extend(sv(extra));
+            dispatch(&argv)
+        };
+        let out = scrub(&[]).unwrap();
+        assert!(out.contains("store is clean"), "{out}");
+
+        // Rot one byte of a derived index stream: detect-only scrub
+        // fails (nonzero exit for CI gates) and points at --repair.
+        let rot = |name: &str, at: u64| {
+            use std::io::{Read, Seek, SeekFrom, Write};
+            let mut f = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(store.join(name))
+                .unwrap();
+            f.seek(SeekFrom::Start(at)).unwrap();
+            let mut b = [0u8; 1];
+            f.read_exact(&mut b).unwrap();
+            f.seek(SeekFrom::Start(at)).unwrap();
+            f.write_all(&[b[0] ^ 0xff]).unwrap();
+        };
+        rot("index.2", 40);
+        let err = scrub(&[]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("index.2"), "{msg}");
+        assert!(msg.contains("CORRUPT"), "{msg}");
+        assert!(msg.contains("--repair"), "{msg}");
+
+        // --repair rebuilds the index from its verified edge stream
+        // and re-seals the manifest; the store is clean again and the
+        // repaired store still runs (resume included).
+        let out = scrub(&["--repair"]).unwrap();
+        assert!(out.contains("rebuilt"), "{out}");
+        assert!(out.contains("all damage repaired"), "{out}");
+        let out = scrub(&[]).unwrap();
+        assert!(out.contains("store is clean"), "{out}");
+
+        // Rotted primary data is detected but not fabricated back:
+        // repair reports it unrepairable and still exits nonzero.
+        rot("edges.1", 100);
+        let err = scrub(&["--repair"]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("edges.1"), "{msg}");
+        assert!(msg.contains("UNREPAIRABLE"), "{msg}");
+
+        // Refuses directories that are not stores.
+        let not_store = std::env::temp_dir().join("xstream_cli_tests_notastore");
+        std::fs::create_dir_all(&not_store).unwrap();
+        let err = dispatch(&sv(&["scrub", not_store.to_str().unwrap()])).unwrap_err();
+        assert!(err.to_string().contains(STORE_MARKER), "{err}");
+        let _ = std::fs::remove_dir_all(&not_store);
+        let _ = std::fs::remove_dir_all(&store);
+    }
+
+    #[test]
+    fn resume_under_changed_layout_flags_names_the_flag() {
+        let path = tmpfile("resumecfg.edges");
+        dispatch(&sv(&[
+            "generate",
+            "erdos-renyi",
+            "--vertices",
+            "300",
+            "--edges",
+            "1800",
+            "--undirected",
+            "-o",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let store = std::env::temp_dir().join("xstream_cli_tests_resumecfg");
+        let _ = std::fs::remove_dir_all(&store);
+        let run = |extra: &[&str]| {
+            let mut argv = sv(&[
+                "run",
+                "wcc",
+                path.to_str().unwrap(),
+                "--engine",
+                "disk",
+                "--memory-budget",
+                "1M",
+                "--io-unit",
+                "16K",
+                "--checkpoint-every",
+                "1",
+                "--store",
+                store.to_str().unwrap(),
+            ]);
+            argv.extend(sv(extra));
+            dispatch(&argv)
+        };
+        run(&["--partitions", "4"]).unwrap();
+        // Resuming under a different partition count is rejected with
+        // the offending flag named, not a silent fresh start.
+        let err = run(&["--partitions", "8", "--resume"]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("--partitions"), "{msg}");
+        assert!(msg.contains("--resume"), "{msg}");
+        // With the original layout the resume goes through.
+        let out = run(&["--partitions", "4", "--resume"]).unwrap();
+        assert!(out.contains("resumed from checkpoint"), "{out}");
         let _ = std::fs::remove_dir_all(&store);
     }
 

@@ -36,6 +36,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "import" => commands::import(&Args::parse(rest)?),
         "run" => commands::run(&Args::parse(rest)?),
         "components" => commands::components(&Args::parse(rest)?),
+        "scrub" => commands::scrub(&Args::parse(rest)?),
         "help" | "--help" | "-h" => Ok(commands::usage()),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{}",

@@ -228,6 +228,20 @@ pub struct EngineConfig {
     /// Disabling this (`--no-frontier-skip`) restores the paper's
     /// stream-everything behaviour for every program.
     pub frontier_skip: bool,
+    /// Verify per-chunk CRC32 sidecars on every durable-stream read
+    /// (out-of-core engine only). On by default; `--no-verify-reads`
+    /// turns the store into trust mode for benchmarking the overhead.
+    /// Write-side checksum tracking stays on either way so the store
+    /// remains sealable and scrubbable.
+    pub verify_reads: bool,
+    /// Declared intent to resume from this store's checkpoints
+    /// (`--resume`). The out-of-core engine then validates the
+    /// layout-deciding flags against the store's previous manifest
+    /// *before* rebuilding the store — a mismatch is rejected naming
+    /// the offending flag while the original layout record is still
+    /// intact, instead of after the rebuild has re-sealed the manifest
+    /// under the rejected flags. The in-memory engine ignores this.
+    pub resume: bool,
     /// Dense/sparse switch divisor `D` for the hybrid scatter: a
     /// partition is scattered through its vertex→edge-run index when
     /// `active_edges * D < |E_p|` (Ligra's rule with D = 20, i.e.
@@ -259,6 +273,8 @@ impl Default for EngineConfig {
             retry: RetryPolicy::default(),
             checkpoint_every: 0,
             frontier_skip: true,
+            verify_reads: true,
+            resume: false,
             frontier_threshold: 20,
         }
     }
@@ -364,6 +380,20 @@ impl EngineConfig {
     /// [`Self::frontier_skip`]).
     pub fn with_frontier_skip(mut self, enabled: bool) -> Self {
         self.frontier_skip = enabled;
+        self
+    }
+
+    /// Enables or disables checksum verification of durable-stream
+    /// reads (see [`Self::verify_reads`]).
+    pub fn with_verify_reads(mut self, enabled: bool) -> Self {
+        self.verify_reads = enabled;
+        self
+    }
+
+    /// Declares the intent to resume from the store's checkpoints (see
+    /// [`Self::resume`]).
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
         self
     }
 

@@ -13,6 +13,17 @@ pub enum Error {
     /// Malformed input data (e.g. an edge referencing a vertex outside
     /// the declared vertex-id range, or a ragged record stream).
     InvalidInput(String),
+    /// A durable stream failed checksum verification on read: the
+    /// bytes came back without an I/O error but do not match the
+    /// recorded per-chunk CRC. Permanent by classification — re-reading
+    /// rot cannot help — so the retry loop fails fast instead of
+    /// burning its budget.
+    Corrupt {
+        /// Name of the corrupt stream (e.g. `edges.3`).
+        stream: String,
+        /// Zero-based index of the I/O-unit-sized chunk that failed.
+        chunk: u64,
+    },
     /// A transient fault persisted through every allowed retry; wraps
     /// the error of the last attempt. Produced by the out-of-core
     /// engine's retry loop when the `RetryPolicy` budget runs out.
@@ -51,6 +62,9 @@ impl fmt::Display for Error {
             Error::Io(e) => write!(f, "I/O error: {e}"),
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
             Error::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            Error::Corrupt { stream, chunk } => {
+                write!(f, "corrupt stream {stream}: chunk {chunk} failed checksum")
+            }
             Error::Exhausted { attempts, source } => {
                 write!(
                     f,
@@ -99,6 +113,12 @@ mod tests {
         };
         assert!(e.to_string().contains("3 attempts"), "{e}");
         assert!(e.to_string().contains("flaky"), "{e}");
+        let e = Error::Corrupt {
+            stream: "index.2".into(),
+            chunk: 5,
+        };
+        assert!(e.to_string().contains("index.2"), "{e}");
+        assert!(e.to_string().contains("chunk 5"), "{e}");
     }
 
     #[test]
@@ -114,6 +134,10 @@ mod tests {
         permanent(std::io::Error::new(ErrorKind::PermissionDenied, "p").into());
         permanent(Error::Config("bad".into()));
         permanent(Error::InvalidInput("bad".into()));
+        permanent(Error::Corrupt {
+            stream: "edges.0".into(),
+            chunk: 7,
+        });
         permanent(Error::Exhausted {
             attempts: 2,
             source: Box::new(std::io::Error::new(ErrorKind::TimedOut, "t").into()),

@@ -70,6 +70,14 @@ pub struct IterationStats {
     /// Checkpoints written during the iteration (0 or 1 per superstep,
     /// driven by `EngineConfig::checkpoint_every`).
     pub checkpoints: u64,
+    /// Checksum chunks verified on durable-stream reads during the
+    /// iteration (0 when reads run in `--no-verify-reads` trust mode).
+    pub chunks_verified: u64,
+    /// Checksum mismatches detected on durable-stream reads during the
+    /// iteration. Nonzero only when a detected corruption was survived
+    /// via a documented degradation (e.g. an index dropped to dense
+    /// scatter); unsurvivable corruption aborts the run instead.
+    pub corruptions_detected: u64,
     /// Streaming partitions whose edge stream was skipped entirely
     /// because their frontier was empty (Ligra-hybrid scatter, only
     /// nonzero for frontier-tracked programs with skipping enabled).
@@ -141,6 +149,8 @@ impl IterationStats {
         self.alloc_bytes += other.alloc_bytes;
         self.io_retries += other.io_retries;
         self.checkpoints += other.checkpoints;
+        self.chunks_verified += other.chunks_verified;
+        self.corruptions_detected += other.corruptions_detected;
         self.partitions_skipped += other.partitions_skipped;
         self.partitions_sparse += other.partitions_sparse;
         self.shuffle_budget = self.shuffle_budget.max(other.shuffle_budget);

@@ -146,6 +146,24 @@ pub fn decode_frame<S: Record>(
     Some((superstep, decode_records::<S>(payload), aux))
 }
 
+/// Type-agnostic structural validity check: minimum length, magic,
+/// version, and trailing CRC over the whole frame. Does *not* check
+/// fingerprint, record count, or state size — this is what `xstream
+/// scrub` uses to judge a checkpoint slot without knowing the program
+/// that wrote it. A frame that passes here can still be rejected by
+/// [`decode_frame`] at resume time (wrong graph or config); a frame
+/// that fails here is torn or rotted and safe to quarantine.
+pub fn frame_is_valid(bytes: &[u8]) -> bool {
+    if bytes.len() < HEADER + TRAILER {
+        return false;
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - TRAILER);
+    let stored_crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    crc32(body) == stored_crc
+        && body[..4] == MAGIC
+        && u32::from_le_bytes(body[4..8].try_into().unwrap()) == VERSION
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +220,23 @@ mod tests {
         assert!(decode_frame::<u32>(&frame, fp, states.len() + 1).is_none());
         // Wrong state type (different record size).
         assert!(decode_frame::<u64>(&frame, fp, states.len()).is_none());
+    }
+
+    #[test]
+    fn structural_validity_is_type_agnostic() {
+        let states: Vec<u32> = (0..16).collect();
+        let frame = encode_frame(99, 2, &states, b"aux");
+        assert!(frame_is_valid(&frame));
+        // It passes without knowing fingerprint, count, or state type.
+        // Any bit flip or truncation fails it.
+        for pos in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[pos] ^= 0x20;
+            assert!(!frame_is_valid(&bad), "flip at {pos}");
+        }
+        for cut in 0..frame.len() {
+            assert!(!frame_is_valid(&frame[..cut]));
+        }
     }
 
     #[test]

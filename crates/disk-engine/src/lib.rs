@@ -65,6 +65,8 @@
 
 pub mod checkpoint;
 pub mod engine;
+pub mod scrub;
 pub mod vertices;
 
 pub use engine::{DiskEngine, EdgeIngest};
+pub use scrub::{scrub, Action, ScrubReport, StreamReport, Verdict};

@@ -19,14 +19,26 @@
 //! `xstream import` — it stamps a placeholder header, appends edge
 //! chunks as they are parsed, and seeks back to finalize the counts,
 //! so an import never holds more than one chunk of the input.
+//!
+//! Both writers additionally emit a `<file>.sum` checksum sidecar (the
+//! same [`SumSidecar`] framing the stream store seals its streams
+//! with: one CRC32 per [`EDGE_SUM_UNIT`] chunk), and the reader
+//! verifies each chunk as it streams past when the sidecar is present
+//! — a bit-rotted edge file is reported as [`Error::Corrupt`] at the
+//! offending chunk instead of being shuffled into the store as
+//! plausible garbage. A *missing* sidecar only disables verification
+//! (edge files from other producers stay readable); a present but
+//! undecodable or length-mismatched one is an error, because silently
+//! ignoring a rotted sidecar would hollow out the integrity chain.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::edgelist::EdgeList;
 use xstream_core::record::{records_as_bytes, RecordIter};
 use xstream_core::{Edge, Error, Result, VertexId};
+use xstream_storage::{crc32c, Crc32c, SumSidecar};
 
 /// Magic bytes identifying an X-Stream edge file.
 pub const MAGIC: &[u8; 8] = b"XSTREAM1";
@@ -34,15 +46,136 @@ pub const MAGIC: &[u8; 8] = b"XSTREAM1";
 /// Size of the file header in bytes.
 pub const HEADER_LEN: usize = 8 + 8 + 8;
 
-/// Writes an edge list to `path` in the binary format.
+/// Chunk size the edge-file checksum sidecar covers. Small enough that
+/// a detected corruption localizes usefully, large enough that the
+/// sidecar stays ~0.006% of the file.
+pub const EDGE_SUM_UNIT: usize = 64 * 1024;
+
+/// Path of the checksum sidecar next to an edge file.
+pub fn sum_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".sum");
+    PathBuf::from(os)
+}
+
+/// Writes an edge list to `path` in the binary format, with its
+/// checksum sidecar.
 pub fn write_edge_file(path: &Path, g: &EdgeList) -> Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(MAGIC)?;
-    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
-    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
-    w.write_all(records_as_bytes(g.edges()))?;
-    w.flush()?;
+    let mut w = EdgeFileWriter::create(path)?;
+    w.append(g.edges())?;
+    w.finish(Some(g.num_vertices()))?;
     Ok(())
+}
+
+/// Rolling sidecar computation for the streaming writer. The first
+/// chunk's *bytes* are buffered (bounded by [`EDGE_SUM_UNIT`]) rather
+/// than CRC'd on the fly, because [`EdgeFileWriter::finish`] seeks
+/// back and rewrites the header inside it; every later chunk rolls
+/// through a streaming CRC and is never held.
+struct SidecarBuilder {
+    unit: usize,
+    first: Vec<u8>,
+    rest: Vec<u32>,
+    cur: Crc32c,
+    cur_len: usize,
+    total: u64,
+}
+
+impl SidecarBuilder {
+    fn new(unit: usize) -> Self {
+        Self {
+            unit: unit.max(1),
+            first: Vec::new(),
+            rest: Vec::new(),
+            cur: Crc32c::new(),
+            cur_len: 0,
+            total: 0,
+        }
+    }
+
+    fn feed(&mut self, mut bytes: &[u8]) {
+        self.total += bytes.len() as u64;
+        if self.first.len() < self.unit {
+            let take = (self.unit - self.first.len()).min(bytes.len());
+            self.first.extend_from_slice(&bytes[..take]);
+            bytes = &bytes[take..];
+        }
+        while !bytes.is_empty() {
+            let take = (self.unit - self.cur_len).min(bytes.len());
+            self.cur.update(&bytes[..take]);
+            self.cur_len += take;
+            if self.cur_len == self.unit {
+                self.rest.push(self.cur.value());
+                self.cur.reset();
+                self.cur_len = 0;
+            }
+            bytes = &bytes[take..];
+        }
+    }
+
+    /// Finalizes after the caller patched [`Self::first`] in place.
+    fn finish(self) -> SumSidecar {
+        let mut crcs = Vec::with_capacity(1 + self.rest.len() + 1);
+        if !self.first.is_empty() {
+            crcs.push(crc32c(&self.first));
+        }
+        crcs.extend(self.rest);
+        if self.cur_len > 0 {
+            crcs.push(self.cur.value());
+        }
+        SumSidecar {
+            unit: self.unit as u64,
+            total_len: self.total,
+            crcs,
+        }
+    }
+}
+
+/// Rolling chunk verification against a sidecar, fed every byte the
+/// reader consumes in order (header included).
+struct SidecarVerify {
+    sidecar: SumSidecar,
+    cur: Crc32c,
+    cur_len: u64,
+    chunk: u64,
+    name: String,
+}
+
+impl SidecarVerify {
+    fn feed(&mut self, mut bytes: &[u8]) -> Result<()> {
+        while !bytes.is_empty() {
+            let take = ((self.sidecar.unit - self.cur_len) as usize).min(bytes.len());
+            self.cur.update(&bytes[..take]);
+            self.cur_len += take as u64;
+            if self.cur_len == self.sidecar.unit {
+                self.check()?;
+            }
+            bytes = &bytes[take..];
+        }
+        Ok(())
+    }
+
+    /// Compares the completed (or, at EOF, trailing partial) chunk.
+    fn check(&mut self) -> Result<()> {
+        let expect = self.sidecar.crcs.get(self.chunk as usize).copied();
+        if expect != Some(self.cur.value()) {
+            return Err(Error::Corrupt {
+                stream: self.name.clone(),
+                chunk: self.chunk,
+            });
+        }
+        self.cur.reset();
+        self.cur_len = 0;
+        self.chunk += 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        if self.cur_len > 0 {
+            self.check()?;
+        }
+        Ok(())
+    }
 }
 
 /// Reads a whole edge file into memory.
@@ -70,6 +203,9 @@ pub struct EdgeFileReader {
     /// [`Self::read_chunk_into`] reuses it, so steady-state reads
     /// allocate nothing.
     bytes: Vec<u8>,
+    /// Rolling checksum verification, when a `.sum` sidecar was found
+    /// next to the file.
+    verify: Option<SidecarVerify>,
 }
 
 impl EdgeFileReader {
@@ -111,13 +247,54 @@ impl EdgeFileReader {
                 expected.map_or_else(|| "overflowing".to_string(), |b| b.to_string()),
             )));
         }
-        Ok(Self {
+        // A sidecar next to the file turns on rolling verification; its
+        // absence is fine (other producers), but a present-and-broken
+        // one is rot in the integrity chain, not a reason to skip it.
+        let verify = match std::fs::read(sum_path(path)) {
+            Err(_) => None,
+            Ok(raw) => {
+                let sidecar = SumSidecar::decode(&raw).ok_or_else(|| {
+                    Error::InvalidInput(format!(
+                        "{}: checksum sidecar is malformed; refusing to read unverified \
+                         (delete the .sum file to skip verification)",
+                        sum_path(path).display()
+                    ))
+                })?;
+                if sidecar.total_len != file_len {
+                    return Err(Error::InvalidInput(format!(
+                        "{}: checksum sidecar describes {} bytes but the file holds {file_len}; \
+                         the file was modified after sealing",
+                        sum_path(path).display(),
+                        sidecar.total_len
+                    )));
+                }
+                let mut v = SidecarVerify {
+                    sidecar,
+                    cur: Crc32c::new(),
+                    cur_len: 0,
+                    chunk: 0,
+                    name: path.display().to_string(),
+                };
+                v.feed(&header)?;
+                Some(v)
+            }
+        };
+        let mut this = Self {
             reader,
             num_vertices: num_vertices as usize,
             num_edges: num_edges as usize,
             read_edges: 0,
             bytes: Vec::new(),
-        })
+            verify,
+        };
+        // An edge-free file is fully read at open; settle the tail so
+        // a rotted header cannot hide behind "no chunk ever completed".
+        if this.num_edges == 0 {
+            if let Some(v) = &mut this.verify {
+                v.finish()?;
+            }
+        }
+        Ok(this)
     }
 
     /// Declared vertex count.
@@ -160,6 +337,12 @@ impl EdgeFileReader {
             }
         })?;
         self.read_edges += want;
+        if let Some(v) = &mut self.verify {
+            v.feed(&self.bytes)?;
+            if self.read_edges == self.num_edges {
+                v.finish()?;
+            }
+        }
         out.reserve(want);
         out.extend(RecordIter::<Edge>::new(&self.bytes));
         Ok(true)
@@ -191,6 +374,11 @@ pub struct EdgeFileWriter {
     /// Highest vertex id seen across every appended edge (`None` until
     /// the first edge arrives).
     max_vertex: Option<VertexId>,
+    /// Rolling sidecar computation over everything written; the header
+    /// region is patched at [`finish`](Self::finish).
+    sums: SidecarBuilder,
+    /// Where the sidecar lands at finish.
+    sum_path: PathBuf,
 }
 
 impl EdgeFileWriter {
@@ -199,10 +387,19 @@ impl EdgeFileWriter {
         let mut writer = BufWriter::new(File::create(path)?);
         writer.write_all(MAGIC)?;
         writer.write_all(&[0u8; HEADER_LEN - MAGIC.len()])?;
+        let mut sums = SidecarBuilder::new(EDGE_SUM_UNIT);
+        sums.feed(MAGIC);
+        sums.feed(&[0u8; HEADER_LEN - MAGIC.len()]);
+        // A stale sidecar from a previous file at this path must not
+        // outlive it; it is rewritten from the fresh sums at finish.
+        let sum_path = sum_path(path);
+        let _ = std::fs::remove_file(&sum_path);
         Ok(Self {
             writer,
             num_edges: 0,
             max_vertex: None,
+            sums,
+            sum_path,
         })
     }
 
@@ -214,7 +411,9 @@ impl EdgeFileWriter {
             self.max_vertex = Some(self.max_vertex.map_or(hi, |m| m.max(hi)));
         }
         self.num_edges += edges.len();
-        self.writer.write_all(records_as_bytes(edges))?;
+        let bytes = records_as_bytes(edges);
+        self.writer.write_all(bytes)?;
+        self.sums.feed(bytes);
         Ok(())
     }
 
@@ -256,6 +455,14 @@ impl EdgeFileWriter {
         file.write_all(&(n as u64).to_le_bytes())?;
         file.write_all(&(self.num_edges as u64).to_le_bytes())?;
         file.sync_data()?;
+        // Mirror the header rewrite into the buffered first chunk, then
+        // seal the sidecar (temp + rename, like the store does).
+        self.sums.first[8..16].copy_from_slice(&(n as u64).to_le_bytes());
+        self.sums.first[16..24].copy_from_slice(&(self.num_edges as u64).to_le_bytes());
+        let sidecar = self.sums.finish();
+        let tmp = self.sum_path.with_extension("sum.tmp");
+        std::fs::write(&tmp, sidecar.encode())?;
+        std::fs::rename(&tmp, &self.sum_path)?;
         Ok((n, self.num_edges))
     }
 }
@@ -403,6 +610,77 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         match EdgeFileReader::open(&path) {
             Err(Error::InvalidInput(msg)) => assert!(msg.contains("id space"), "{msg}"),
+            other => panic!("expected InvalidInput, got {:?}", other.map(|_| ())),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn rot_byte(path: &Path, at: u64) {
+        let mut bytes = std::fs::read(path).unwrap();
+        bytes[at as usize] ^= 0x01;
+        std::fs::write(path, bytes).unwrap();
+    }
+
+    #[test]
+    fn writers_emit_sidecars_and_rot_is_detected() {
+        let dir = std::env::temp_dir().join("xstream_fileio_test_sums");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.xse");
+        // ~1.2 MB so the sidecar spans many chunks and the streaming
+        // writer's chunk-0 header fixup is exercised alongside rolled
+        // later chunks.
+        let g = erdos_renyi(500, 100_000, 11);
+        let mut w = EdgeFileWriter::create(&path).unwrap();
+        for chunk in g.edges().chunks(9973) {
+            w.append(chunk).unwrap();
+        }
+        w.finish(Some(g.num_vertices())).unwrap();
+        assert!(sum_path(&path).exists());
+        assert_eq!(read_edge_file(&path).unwrap(), g);
+
+        // Rot one payload byte mid-file: the read fails at the exact
+        // chunk, classified as corruption (not transient I/O).
+        let at = HEADER_LEN as u64 + (EDGE_SUM_UNIT as u64 * 3) + 17;
+        rot_byte(&path, at);
+        match read_edge_file(&path) {
+            Err(Error::Corrupt { chunk, .. }) => assert_eq!(chunk, 3),
+            other => panic!("expected Corrupt, got {:?}", other.map(|_| ())),
+        }
+        rot_byte(&path, at); // heal
+
+        // Rot a byte inside the header (past the magic): chunk 0.
+        rot_byte(&path, 9);
+        assert!(matches!(
+            read_edge_file(&path),
+            Err(Error::Corrupt { chunk: 0, .. }) | Err(Error::InvalidInput(_))
+        ));
+        rot_byte(&path, 9);
+
+        // A missing sidecar only disables verification...
+        std::fs::remove_file(sum_path(&path)).unwrap();
+        assert_eq!(read_edge_file(&path).unwrap(), g);
+        // ...but a rotted one is an error, never silently skipped.
+        write_edge_file(&path, &g).unwrap();
+        rot_byte(&sum_path(&path), 25);
+        assert!(read_edge_file(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_sidecar_after_rewrite_is_rejected() {
+        let dir = std::env::temp_dir().join("xstream_fileio_test_stale");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.xse");
+        let g = erdos_renyi(40, 300, 5);
+        write_edge_file(&path, &g).unwrap();
+        let sidecar = std::fs::read(sum_path(&path)).unwrap();
+        // Rewrite the file to a different size but restore the old
+        // sidecar: the length mismatch is caught at open.
+        let g2 = erdos_renyi(40, 200, 6);
+        write_edge_file(&path, &g2).unwrap();
+        std::fs::write(sum_path(&path), &sidecar).unwrap();
+        match EdgeFileReader::open(&path) {
+            Err(Error::InvalidInput(msg)) => assert!(msg.contains("modified after"), "{msg}"),
             other => panic!("expected InvalidInput, got {:?}", other.map(|_| ())),
         }
         std::fs::remove_dir_all(&dir).unwrap();

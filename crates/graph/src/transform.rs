@@ -246,9 +246,14 @@ mod tests {
     #[test]
     fn out_of_range_edge_is_reported_not_panicked() {
         let path = tmp("oob.xse");
-        // Handcraft a file whose header under-declares the vertices.
-        let g = crate::EdgeList::from_parts_unchecked(3, vec![Edge::new(9, 0)]);
-        write_edge_file(&path, &g).unwrap();
+        // Handcraft a file whose header under-declares the vertices
+        // (raw bytes — the writers now refuse to produce this).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(crate::fileio::MAGIC);
+        bytes.extend_from_slice(&3u64.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(xstream_core::record::records_as_bytes(&[Edge::new(9, 0)]));
+        std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(
             streamed_out_degrees(&path),
             Err(Error::InvalidInput(_))

@@ -56,6 +56,11 @@ pub enum FaultKind {
     /// fill loops must complete the operation anyway; tests use this
     /// to prove short reads never tear records.
     ShortRead,
+    /// The syscall "succeeds" but one byte of the payload is flipped —
+    /// silent corruption, invisible to errno-level retry machinery.
+    /// Only checksum verification on the read path can catch it; tests
+    /// use this to prove detection end-to-end at every read boundary.
+    BitFlip,
 }
 
 /// One planned fault: fire `kind` at the `nth` armed operation of type
@@ -92,6 +97,10 @@ pub enum FaultOutcome {
     /// Deliver a short read (read paths only; other ops treat it as
     /// [`FaultOutcome::Pass`]).
     ShortRead,
+    /// Complete the operation normally but flip one byte of the
+    /// payload afterwards (read paths only; other ops treat it as
+    /// [`FaultOutcome::Pass`]).
+    BitFlip,
 }
 
 /// A deterministic set of planned I/O faults shared by every handle of
@@ -198,6 +207,7 @@ impl FaultPlan {
                     )),
                     FaultKind::Enospc => FaultOutcome::Error(io::Error::from_raw_os_error(28)),
                     FaultKind::ShortRead => FaultOutcome::ShortRead,
+                    FaultKind::BitFlip => FaultOutcome::BitFlip,
                 };
             }
         }
@@ -290,6 +300,7 @@ mod tests {
             spec("a", FaultOp::Read, 0, FaultKind::Permanent),
             spec("b", FaultOp::Read, 0, FaultKind::Enospc),
             spec("c", FaultOp::Read, 0, FaultKind::ShortRead),
+            spec("d", FaultOp::Read, 0, FaultKind::BitFlip),
         ]);
         plan.arm();
         match plan.check("a", FaultOp::Read) {
@@ -304,7 +315,11 @@ mod tests {
             plan.check("c", FaultOp::Read),
             FaultOutcome::ShortRead
         ));
-        assert_eq!(plan.fired_count(), 3);
+        assert!(matches!(
+            plan.check("d", FaultOp::Read),
+            FaultOutcome::BitFlip
+        ));
+        assert_eq!(plan.fired_count(), 4);
     }
 
     #[test]

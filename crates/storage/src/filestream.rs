@@ -27,6 +27,27 @@
 //!   dedicated per-disk threads and prefetch distance 1. (True
 //!   `O_DIRECT` page cache bypass is not portable to containers and is
 //!   documented as a substitution in DESIGN.md.)
+//!
+//! # Stream integrity (PR 8)
+//!
+//! Every append rolls a CRC-32C per I/O-unit-sized chunk into the
+//! stream's in-memory [`SumSidecar`]-shaped state, and the sequential
+//! read paths ([`ReadAhead`], [`StreamStore::read_all_into`]) verify
+//! each chunk as it streams back, surfacing
+//! [`Error::Corrupt`] — a *permanent* error, so retry loops fail
+//! fast on rot instead of re-reading it.
+//! Ranged reads ([`StreamStore::read_range_into`]) verify every
+//! sum-chunk fully covered by the requested range (sub-chunk reads of
+//! the sparse scatter stay cheap; full-coverage verification is
+//! `xstream scrub`'s job). [`StreamStore::seal_sums`] persists the
+//! state as a `<stream>.sum` sidecar file which is reloaded when a
+//! later process reopens the stream — that is what makes a store
+//! scrubabble and a resume verified end-to-end. Chunk sums are
+//! CRC-32C ([`crate::checksum::crc32c`]) — hardware-computed on
+//! x86-64 — so default-on verification costs one near-memory-speed
+//! pass per chunk;
+//! [`StreamStore::with_verify`] disables the read-side checks
+//! (`--no-verify-reads`).
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -39,6 +60,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::channel::BoundedQueue;
+use crate::checksum::{crc32, crc32c, Crc32c};
 use crate::faults::{FaultOp, FaultOutcome, FaultPlan};
 use crate::iostats::{DeviceId, IoAccounting};
 use xstream_core::{Error, Result};
@@ -55,6 +77,262 @@ fn pread(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<usize> {
     std::os::windows::fs::FileExt::seek_read(file, buf, offset)
 }
 
+/// Magic of a persisted `.sum` sidecar file: "XSUM".
+pub const SUM_MAGIC: [u8; 4] = *b"XSUM";
+
+/// Current sidecar format version.
+pub const SUM_VERSION: u32 = 1;
+
+/// The persisted form of a stream's per-chunk checksums: one CRC32
+/// per `unit`-sized chunk (the last entry covering the trailing
+/// partial chunk, if any). Written next to the stream as
+/// `<stream>.sum` by [`StreamStore::seal_sums`] and by the graph
+/// crate's edge-file writer; read back when a stream is reopened and
+/// by `xstream scrub`.
+///
+/// On-disk layout (all integers native-endian — a sidecar describes
+/// bytes on this host, it is not an interchange format):
+///
+/// ```text
+/// magic "XSUM" | version u32 | unit u64 | total_len u64 | crcs [u32]
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SumSidecar {
+    /// Chunk size each CRC covers (the store's I/O unit at write time).
+    pub unit: u64,
+    /// Total stream length the checksums describe.
+    pub total_len: u64,
+    /// One CRC32 per chunk, `ceil(total_len / unit)` entries.
+    pub crcs: Vec<u32>,
+}
+
+impl SumSidecar {
+    /// Number of chunks `total_len` bytes split into at `unit`.
+    fn chunk_count(unit: u64, total_len: u64) -> usize {
+        (total_len.div_ceil(unit.max(1))) as usize
+    }
+
+    /// Computes the sidecar of a fully in-memory stream (used by the
+    /// edge-file writer and by `scrub --repair` rebuilding sidecars).
+    pub fn of_bytes(unit: u64, bytes: &[u8]) -> Self {
+        let unit = unit.max(1);
+        let crcs = bytes.chunks(unit as usize).map(crc32c).collect();
+        Self {
+            unit,
+            total_len: bytes.len() as u64,
+            crcs,
+        }
+    }
+
+    /// Serializes to the on-disk sidecar format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 4 + 8 + 8 + 4 * self.crcs.len());
+        out.extend_from_slice(&SUM_MAGIC);
+        out.extend_from_slice(&SUM_VERSION.to_ne_bytes());
+        out.extend_from_slice(&self.unit.to_ne_bytes());
+        out.extend_from_slice(&self.total_len.to_ne_bytes());
+        for c in &self.crcs {
+            out.extend_from_slice(&c.to_ne_bytes());
+        }
+        out
+    }
+
+    /// Parses and validates a sidecar. `None` on any malformation:
+    /// short file, bad magic/version, zero unit, or a CRC count that
+    /// does not match the declared length.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 24 || bytes[..4] != SUM_MAGIC {
+            return None;
+        }
+        let version = u32::from_ne_bytes(bytes[4..8].try_into().ok()?);
+        if version != SUM_VERSION {
+            return None;
+        }
+        let unit = u64::from_ne_bytes(bytes[8..16].try_into().ok()?);
+        let total_len = u64::from_ne_bytes(bytes[16..24].try_into().ok()?);
+        if unit == 0 {
+            return None;
+        }
+        let n = Self::chunk_count(unit, total_len);
+        if bytes.len() != 24 + 4 * n {
+            return None;
+        }
+        let crcs = bytes[24..]
+            .chunks_exact(4)
+            .map(|c| u32::from_ne_bytes(c.try_into().unwrap()))
+            .collect();
+        Some(Self {
+            unit,
+            total_len,
+            crcs,
+        })
+    }
+}
+
+/// In-memory per-stream checksum state, maintained on the write path
+/// (one rolling CRC over the trailing partial chunk, completed-chunk
+/// CRCs pushed as the boundary crosses) and consulted on the read
+/// path. `tracked == false` means the sums are unknown (the stream
+/// pre-dates checksumming or was positioned-written) and verification
+/// is skipped for that stream.
+struct SumState {
+    unit: u64,
+    /// CRC of each complete `unit`-sized chunk.
+    complete: Vec<u32>,
+    /// Rolling CRC state of the trailing partial chunk (writer side).
+    tail: Crc32c,
+    tail_len: u64,
+    /// Expected CRC of the trailing partial chunk (reader side).
+    /// Normally `tail.value()`; after loading a sidecar it is the
+    /// *recorded* value even if the on-disk tail no longer matches —
+    /// which is exactly how a rotted tail gets detected on read.
+    tail_expected: u32,
+    tracked: bool,
+}
+
+impl SumState {
+    /// Fresh tracked state for an empty stream.
+    fn fresh(unit: u64) -> Self {
+        Self {
+            unit: unit.max(1),
+            complete: Vec::new(),
+            tail: Crc32c::new(),
+            tail_len: 0,
+            tail_expected: 0,
+            tracked: true,
+        }
+    }
+
+    /// Unknown-sums state (verification skipped).
+    fn untracked(unit: u64) -> Self {
+        Self {
+            tracked: false,
+            ..Self::fresh(unit)
+        }
+    }
+
+    /// Total stream length these sums describe.
+    fn total_len(&self) -> u64 {
+        self.complete.len() as u64 * self.unit + self.tail_len
+    }
+
+    /// Rolls appended bytes into the state. Steady-state cost is the
+    /// CRC update; `complete` only grows to the stream's high-water
+    /// chunk count (its capacity survives [`Self::reset`]).
+    fn absorb(&mut self, mut bytes: &[u8]) {
+        if !self.tracked {
+            return;
+        }
+        while !bytes.is_empty() {
+            let room = (self.unit - self.tail_len) as usize;
+            let take = room.min(bytes.len());
+            self.tail.update(&bytes[..take]);
+            self.tail_len += take as u64;
+            bytes = &bytes[take..];
+            if self.tail_len == self.unit {
+                self.complete.push(self.tail.value());
+                self.tail.reset();
+                self.tail_len = 0;
+            }
+        }
+        self.tail_expected = self.tail.value();
+    }
+
+    /// Back to an empty *tracked* state (stream truncated), keeping
+    /// `complete`'s capacity so per-superstep truncate/append cycles
+    /// stay allocation-free once warm.
+    fn reset(&mut self) {
+        self.complete.clear();
+        self.tail.reset();
+        self.tail_len = 0;
+        self.tail_expected = 0;
+        self.tracked = true;
+    }
+
+    /// Tracked state recomputed from a full buffer (atomic replace).
+    fn from_bytes(unit: u64, bytes: &[u8]) -> Self {
+        let mut s = Self::fresh(unit);
+        s.absorb(bytes);
+        s
+    }
+
+    /// The persistable sidecar (complete chunks plus trailing partial).
+    fn sidecar(&self) -> SumSidecar {
+        let mut crcs = Vec::with_capacity(self.complete.len() + 1);
+        crcs.extend_from_slice(&self.complete);
+        if self.tail_len > 0 {
+            crcs.push(self.tail_expected);
+        }
+        SumSidecar {
+            unit: self.unit,
+            total_len: self.total_len(),
+            crcs,
+        }
+    }
+}
+
+/// Sidecar file path of stream `name` under `root`.
+fn sum_path(root: &Path, name: &str) -> PathBuf {
+    root.join(format!("{name}.sum"))
+}
+
+/// Loads the checksum state for an existing stream of length `len`:
+/// the persisted sidecar if one exists and describes exactly `len`
+/// bytes (reconstructing the rolling tail state by re-reading the
+/// trailing partial chunk), otherwise untracked. Setup-path only.
+fn load_sums(root: &Path, name: &str, file: &File, len: u64, default_unit: u64) -> SumState {
+    if len == 0 {
+        return SumState::fresh(default_unit);
+    }
+    let Ok(bytes) = std::fs::read(sum_path(root, name)) else {
+        return SumState::untracked(default_unit);
+    };
+    let Some(sc) = SumSidecar::decode(&bytes) else {
+        return SumState::untracked(default_unit);
+    };
+    if sc.total_len != len {
+        return SumState::untracked(default_unit);
+    }
+    let n_full = (len / sc.unit) as usize;
+    let tail_len = len % sc.unit;
+    let mut crcs = sc.crcs;
+    let mut tail_expected = 0;
+    if tail_len > 0 {
+        tail_expected = crcs[n_full];
+        crcs.truncate(n_full);
+    }
+    let mut tail = Crc32c::new();
+    if tail_len > 0 {
+        // Re-feed the on-disk tail so future appends continue the
+        // rolling CRC. If the tail has rotted, `tail_expected` (the
+        // recorded value) still disagrees with what a reader computes,
+        // so the corruption surfaces on the next verified read.
+        let mut buf = vec![0u8; tail_len as usize];
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            match pread(
+                file,
+                &mut buf[filled..],
+                n_full as u64 * sc.unit + filled as u64,
+            ) {
+                Ok(0) => return SumState::untracked(default_unit),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return SumState::untracked(default_unit),
+            }
+        }
+        tail.update(&buf);
+    }
+    SumState {
+        unit: sc.unit,
+        complete: crcs,
+        tail,
+        tail_len,
+        tail_expected,
+        tracked: true,
+    }
+}
+
 struct FileHandle {
     /// Shared so persistent readers can `pread` the stream without
     /// reopening its path (reopening allocates and costs a syscall on
@@ -66,6 +344,24 @@ struct FileHandle {
     name: Arc<str>,
     len: u64,
     id: u32,
+    /// Per-chunk checksum state, shared with readers (`Arc` so the
+    /// read-ahead threads verify without holding the handle-map lock).
+    sums: Arc<Mutex<SumState>>,
+    /// The `<name>.sum` sidecar path, cached at handle creation: the
+    /// per-superstep truncate of every update stream drops its sidecar,
+    /// and building the path there would allocate in the steady state.
+    sum_path: PathBuf,
+}
+
+/// How an intercepted operation must be perturbed (resolved from a
+/// [`FaultOutcome`]; errors are returned directly instead).
+enum Injected {
+    /// Proceed normally.
+    None,
+    /// Deliver a short read this round.
+    ShortRead,
+    /// Complete the read, then flip one payload byte.
+    BitFlip,
 }
 
 /// A directory of named append-only byte streams.
@@ -80,6 +376,8 @@ pub struct StreamStore {
     /// Deterministic fault-injection plan; `None` (the default) costs
     /// one branch per operation and nothing else.
     faults: Option<Arc<FaultPlan>>,
+    /// Whether read paths verify per-chunk checksums (default on).
+    verify: bool,
 }
 
 impl StreamStore {
@@ -97,7 +395,21 @@ impl StreamStore {
             files: Mutex::new(HashMap::new()),
             next_id: AtomicU32::new(0),
             faults: None,
+            verify: true,
         })
+    }
+
+    /// Enables or disables read-side checksum verification (the
+    /// `--no-verify-reads` trust mode). Write-side checksum tracking
+    /// stays on either way so the store remains sealable/scrubbable.
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// Whether read paths verify per-chunk checksums.
+    pub fn verifies_reads(&self) -> bool {
+        self.verify
     }
 
     /// Installs a deterministic fault-injection plan on this store (see
@@ -114,16 +426,18 @@ impl StreamStore {
     }
 
     /// Consults the fault plan (if any) for operation `op` on stream
-    /// `name`. Returns `Ok(false)` to proceed normally, `Ok(true)` to
-    /// deliver a short read, or the injected error.
+    /// `name`. Returns how the operation must be perturbed (not at
+    /// all, a short read, a flipped payload byte) or the injected
+    /// error.
     #[inline]
-    fn inject(&self, name: &str, op: FaultOp) -> Result<bool> {
+    fn inject(&self, name: &str, op: FaultOp) -> Result<Injected> {
         let Some(plan) = &self.faults else {
-            return Ok(false);
+            return Ok(Injected::None);
         };
         match plan.check(name, op) {
-            FaultOutcome::Pass => Ok(false),
-            FaultOutcome::ShortRead => Ok(true),
+            FaultOutcome::Pass => Ok(Injected::None),
+            FaultOutcome::ShortRead => Ok(Injected::ShortRead),
+            FaultOutcome::BitFlip => Ok(Injected::BitFlip),
             FaultOutcome::Error(e) => Err(Error::Io(e)),
         }
     }
@@ -194,6 +508,7 @@ impl StreamStore {
                 .open(&path)?;
             let len = file.metadata()?.len();
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let sums = load_sums(&self.root, name, &file, len, self.io_unit as u64);
             files.insert(
                 name.to_string(),
                 FileHandle {
@@ -201,6 +516,8 @@ impl StreamStore {
                     name: Arc::from(name),
                     len,
                     id,
+                    sums: Arc::new(Mutex::new(sums)),
+                    sum_path: sum_path(&self.root, name),
                 },
             );
         }
@@ -219,6 +536,7 @@ impl StreamStore {
             self.accounting
                 .record_write(device, h.id, h.len, bytes.len() as u64);
             h.len += bytes.len() as u64;
+            h.sums.lock().absorb(bytes);
             Ok(())
         })
     }
@@ -252,7 +570,9 @@ impl StreamStore {
     /// [`Self::read_all`] used by per-superstep hot paths.
     pub fn read_all_into(&self, name: &str, out: &mut Vec<u8>) -> Result<()> {
         let device = (self.device_fn)(name);
-        let (file, id, len) = self.with_handle(name, |h| Ok((Arc::clone(&h.file), h.id, h.len)))?;
+        let (file, id, len, sums) = self.with_handle(name, |h| {
+            Ok((Arc::clone(&h.file), h.id, h.len, Arc::clone(&h.sums)))
+        })?;
         out.clear();
         out.reserve(len as usize);
         let mut offset = 0u64;
@@ -261,10 +581,13 @@ impl StreamStore {
             if want == 0 {
                 break;
             }
-            if self.inject(name, FaultOp::Read)? {
+            let mut flip = false;
+            match self.inject(name, FaultOp::Read)? {
+                Injected::None => {}
                 // Injected short read: deliver at most half the request
                 // this round; the loop completes the stream anyway.
-                want = (want / 2).max(1);
+                Injected::ShortRead => want = (want / 2).max(1),
+                Injected::BitFlip => flip = true,
             }
             let start = out.len();
             out.resize(start + want, 0);
@@ -273,9 +596,49 @@ impl StreamStore {
             if n == 0 {
                 break;
             }
+            if flip {
+                out[start] ^= 0x01;
+            }
             self.accounting.record_read(device, id, offset, n as u64);
             offset += n as u64;
         }
+        if self.verify {
+            self.verify_full(name, &sums, out)?;
+        }
+        Ok(())
+    }
+
+    /// Verifies a fully-read stream against its checksum state: every
+    /// complete chunk, plus the trailing partial chunk when `bytes`
+    /// covers the whole recorded stream. No-op for untracked streams.
+    fn verify_full(&self, name: &str, sums: &Mutex<SumState>, bytes: &[u8]) -> Result<()> {
+        let s = sums.lock();
+        if !s.tracked {
+            return Ok(());
+        }
+        let unit = s.unit as usize;
+        let corrupt = |chunk: u64, verified: u64| {
+            self.accounting.record_chunks_verified(verified + 1);
+            self.accounting.record_corruption();
+            Err(Error::Corrupt {
+                stream: name.to_string(),
+                chunk,
+            })
+        };
+        let full = (bytes.len() / unit).min(s.complete.len());
+        for k in 0..full {
+            if crc32c(&bytes[k * unit..(k + 1) * unit]) != s.complete[k] {
+                return corrupt(k as u64, k as u64);
+            }
+        }
+        let mut verified = full as u64;
+        if s.tail_len > 0 && bytes.len() as u64 == s.total_len() {
+            verified += 1;
+            if crc32c(&bytes[s.complete.len() * unit..]) != s.tail_expected {
+                return corrupt(s.complete.len() as u64, full as u64);
+            }
+        }
+        self.accounting.record_chunks_verified(verified);
         Ok(())
     }
 
@@ -319,6 +682,7 @@ impl StreamStore {
         let chunk_size = (self.io_unit / record_size).max(1) * record_size;
         let device = (self.device_fn)(name);
         let faults = self.faults.clone();
+        let verify = self.verify;
         self.with_handle(name, |h| {
             Ok(ReadSource {
                 file: Arc::clone(&h.file),
@@ -328,6 +692,8 @@ impl StreamStore {
                 accounting: Arc::clone(&self.accounting),
                 chunk_size,
                 faults,
+                sums: Arc::clone(&h.sums),
+                verify,
             })
         })
     }
@@ -375,31 +741,94 @@ impl StreamStore {
         out: &mut Vec<u8>,
     ) -> Result<usize> {
         let device = (self.device_fn)(name);
-        let (file, id, stream_len) =
-            self.with_handle(name, |h| Ok((Arc::clone(&h.file), h.id, h.len)))?;
+        let (file, id, stream_len, sums) = self.with_handle(name, |h| {
+            Ok((Arc::clone(&h.file), h.id, h.len, Arc::clone(&h.sums)))
+        })?;
         let want_total = len.min(stream_len.saturating_sub(offset) as usize);
         let start = out.len();
         out.resize(start + want_total, 0);
         let mut filled = 0usize;
         while filled < want_total {
             let mut want = (want_total - filled).min(self.io_unit);
-            if self.inject(name, FaultOp::Read)? {
+            let mut flip = false;
+            match self.inject(name, FaultOp::Read)? {
+                Injected::None => {}
                 // Injected short read: deliver at most half the request
                 // this round; the fill loop completes the range anyway,
                 // so callers still see record-aligned data.
-                want = (want / 2).max(1);
+                Injected::ShortRead => want = (want / 2).max(1),
+                Injected::BitFlip => flip = true,
             }
             let at = start + filled;
             let n = pread(&file, &mut out[at..at + want], offset + filled as u64)?;
             if n == 0 {
                 break;
             }
+            if flip {
+                out[at] ^= 0x01;
+            }
             self.accounting
                 .record_read(device, id, offset + filled as u64, n as u64);
             filled += n;
         }
         out.truncate(start + filled);
+        if self.verify {
+            self.verify_covered(name, &sums, offset, &out[start..])?;
+        }
         Ok(filled)
+    }
+
+    /// Verifies the sum-chunks *fully covered* by a ranged read of
+    /// `bytes` at `offset`. Sub-chunk ranges verify nothing (keeping
+    /// the sparse scatter's small ranged reads cheap — full coverage
+    /// is `scrub`'s job); large ranges verify every interior chunk and
+    /// the trailing partial chunk when the range reaches end-of-stream.
+    fn verify_covered(
+        &self,
+        name: &str,
+        sums: &Mutex<SumState>,
+        offset: u64,
+        bytes: &[u8],
+    ) -> Result<()> {
+        let s = sums.lock();
+        if !s.tracked || bytes.is_empty() {
+            return Ok(());
+        }
+        let unit = s.unit;
+        let end = offset + bytes.len() as u64;
+        let corrupt = |chunk: u64, verified: u64| {
+            self.accounting.record_chunks_verified(verified + 1);
+            self.accounting.record_corruption();
+            Err(Error::Corrupt {
+                stream: name.to_string(),
+                chunk,
+            })
+        };
+        let mut verified = 0u64;
+        let first = offset.div_ceil(unit);
+        let mut k = first;
+        while (k + 1) * unit <= end && (k as usize) < s.complete.len() {
+            let lo = (k * unit - offset) as usize;
+            if crc32c(&bytes[lo..lo + unit as usize]) != s.complete[k as usize] {
+                return corrupt(k, verified);
+            }
+            verified += 1;
+            k += 1;
+        }
+        // The trailing partial chunk, when the range covers it whole.
+        let tail_start = s.complete.len() as u64 * unit;
+        if s.tail_len > 0 && tail_start >= offset && end >= s.total_len() {
+            let lo = (tail_start - offset) as usize;
+            let hi = lo + s.tail_len as usize;
+            if hi <= bytes.len() {
+                if crc32c(&bytes[lo..hi]) != s.tail_expected {
+                    return corrupt(s.complete.len() as u64, verified);
+                }
+                verified += 1;
+            }
+        }
+        self.accounting.record_chunks_verified(verified);
+        Ok(())
     }
 
     /// Overwrites `bytes` at `offset` within stream `name` (positioned
@@ -410,7 +839,7 @@ impl StreamStore {
             return Ok(());
         }
         let device = (self.device_fn)(name);
-        let (id, len) = self.with_handle(name, |h| Ok((h.id, h.len)))?;
+        let id = self.with_handle(name, |h| Ok(h.id))?;
         let mut file = OpenOptions::new()
             .write(true)
             .create(true)
@@ -421,13 +850,14 @@ impl StreamStore {
         self.accounting
             .record_write(device, id, offset, bytes.len() as u64);
         let end = offset + bytes.len() as u64;
-        if end > len {
-            self.with_handle(name, |h| {
-                h.len = h.len.max(end);
-                Ok(())
-            })?;
-        }
-        Ok(())
+        self.with_handle(name, |h| {
+            h.len = h.len.max(end);
+            // A positioned overwrite invalidates the append-rolled
+            // sums; the stream becomes unverifiable until rewritten.
+            h.sums.lock().tracked = false;
+            let _ = std::fs::remove_file(&h.sum_path);
+            Ok(())
+        })
     }
 
     /// Truncates stream `name` to zero length while *keeping its
@@ -443,6 +873,11 @@ impl StreamStore {
             h.file.set_len(0)?;
             self.accounting.record_trim(device, h.id);
             h.len = 0;
+            h.sums.lock().reset();
+            // A persisted sidecar now describes bytes that no longer
+            // exist; drop it so a crash before the next seal can never
+            // pair stale sums with a same-length future stream.
+            let _ = std::fs::remove_file(&h.sum_path);
             Ok(())
         })
     }
@@ -456,6 +891,7 @@ impl StreamStore {
         if let Some(h) = files.remove(name) {
             self.accounting.record_trim(device, h.id);
         }
+        let _ = std::fs::remove_file(sum_path(&self.root, name));
         match std::fs::remove_file(self.path_of(name)) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
@@ -487,6 +923,9 @@ impl StreamStore {
             f.sync_all()?;
         }
         std::fs::rename(&tmp_path, &final_path)?;
+        // A persisted sidecar describes the replaced contents; drop it
+        // (the in-memory sums below are authoritative until resealed).
+        let _ = std::fs::remove_file(sum_path(&self.root, name));
         // Any cached handle now points at the unlinked old inode; drop
         // it so the next access reopens the renamed file.
         let mut files = self.files.lock();
@@ -497,8 +936,78 @@ impl StreamStore {
         self.with_handle(name, |h| {
             self.accounting
                 .record_write(device, h.id, 0, bytes.len() as u64);
+            *h.sums.lock() = SumState::from_bytes(self.io_unit as u64, bytes);
             Ok(())
         })
+    }
+
+    /// Persists stream `name`'s per-chunk checksums as a `<name>.sum`
+    /// sidecar file (write-temp-then-rename, fsynced), making the
+    /// stream verifiable across process restarts and scrubbable.
+    /// Returns the CRC32 of the encoded sidecar — the manifest records
+    /// it, closing the integrity chain manifest → sidecar → chunks —
+    /// or `None` when the stream's sums are untracked (nothing is
+    /// written and any stale sidecar is removed).
+    pub fn seal_sums(&self, name: &str) -> Result<Option<u32>> {
+        debug_assert!(!name.ends_with(".sum"), "sidecar of a sidecar");
+        let encoded = self.with_handle(name, |h| {
+            let s = h.sums.lock();
+            Ok(s.tracked.then(|| s.sidecar().encode()))
+        })?;
+        let path = sum_path(&self.root, name);
+        let Some(bytes) = encoded else {
+            let _ = std::fs::remove_file(&path);
+            return Ok(None);
+        };
+        let tmp = self.root.join(format!("{name}.sum.tmp"));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(Some(crc32(&bytes)))
+    }
+
+    /// Whether stream `name`'s checksums are currently tracked (i.e. a
+    /// verified read is possible).
+    pub fn sums_tracked(&self, name: &str) -> bool {
+        self.with_handle(name, |h| Ok(h.sums.lock().tracked))
+            .unwrap_or(false)
+    }
+
+    /// Marks stream `name`'s checksums unknown and removes any
+    /// persisted sidecar — reads stop being verified until the stream
+    /// is rewritten. Used by repair/quarantine paths.
+    pub fn invalidate_sums(&self, name: &str) -> Result<()> {
+        self.with_handle(name, |h| {
+            h.sums.lock().tracked = false;
+            Ok(())
+        })?;
+        let _ = std::fs::remove_file(sum_path(&self.root, name));
+        Ok(())
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Names of all regular files in the store directory, sorted —
+    /// streams, sidecars, manifest, markers alike (`scrub` walks this
+    /// against the manifest).
+    pub fn stream_names(&self) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort_unstable();
+        Ok(names)
     }
 
     /// Removes the whole store directory (test/experiment teardown).
@@ -606,6 +1115,11 @@ pub struct ReadSource {
     chunk_size: usize,
     /// The store's fault plan, consulted once per prefetched chunk.
     faults: Option<Arc<FaultPlan>>,
+    /// The stream's checksum state, rolled against by the prefetch
+    /// thread as chunks stream through.
+    sums: Arc<Mutex<SumState>>,
+    /// Whether the store verifies reads.
+    verify: bool,
 }
 
 /// Messages from the read-ahead thread to the consumer, tagged with
@@ -617,9 +1131,10 @@ enum ReadMsg {
     /// End of the current stream; subsequent messages belong to the
     /// next queued [`ReadSource`].
     End(u64),
-    /// The current stream failed; it is abandoned and subsequent
-    /// messages belong to the next queued source.
-    Fail(u64, std::io::Error),
+    /// The current stream failed (I/O error or checksum mismatch); it
+    /// is abandoned and subsequent messages belong to the next queued
+    /// source.
+    Fail(u64, Error),
 }
 
 impl ReadMsg {
@@ -627,6 +1142,80 @@ impl ReadMsg {
         match self {
             ReadMsg::Chunk(g, _) | ReadMsg::End(g) | ReadMsg::Fail(g, _) => *g,
         }
+    }
+}
+
+/// Rolling checksum verifier used by the read-ahead threads: feed the
+/// sequentially-read bytes in whatever chunk size the reader uses;
+/// each time a sum-chunk boundary crosses, the accumulated CRC is
+/// compared against the stream's recorded state (and at end-of-stream
+/// the trailing partial chunk is checked). Stack-allocated per job —
+/// the steady state stays allocation-free.
+struct RollVerify {
+    on: bool,
+    unit: u64,
+    pos: u64,
+    crc: Crc32c,
+}
+
+impl RollVerify {
+    fn begin(src: &ReadSource) -> Self {
+        let (on, unit) = if src.verify {
+            let s = src.sums.lock();
+            (s.tracked, s.unit)
+        } else {
+            (false, 1)
+        };
+        Self {
+            on,
+            unit,
+            pos: 0,
+            crc: Crc32c::new(),
+        }
+    }
+
+    /// Feeds the next sequential bytes; `Err(chunk)` on a mismatch.
+    fn feed(&mut self, src: &ReadSource, mut bytes: &[u8]) -> std::result::Result<(), u64> {
+        if !self.on {
+            return Ok(());
+        }
+        while !bytes.is_empty() {
+            let into = (self.pos % self.unit) as usize;
+            let take = (self.unit as usize - into).min(bytes.len());
+            self.crc.update(&bytes[..take]);
+            self.pos += take as u64;
+            bytes = &bytes[take..];
+            if self.pos.is_multiple_of(self.unit) {
+                let k = self.pos / self.unit - 1;
+                let expected = src.sums.lock().complete.get(k as usize).copied();
+                if let Some(e) = expected {
+                    src.accounting.record_chunks_verified(1);
+                    if e != self.crc.value() {
+                        src.accounting.record_corruption();
+                        return Err(k);
+                    }
+                }
+                self.crc.reset();
+            }
+        }
+        Ok(())
+    }
+
+    /// End-of-stream: verifies the trailing partial chunk, provided
+    /// the whole recorded stream was read.
+    fn finish(&mut self, src: &ReadSource) -> std::result::Result<(), u64> {
+        if !self.on || self.pos.is_multiple_of(self.unit) {
+            return Ok(());
+        }
+        let s = src.sums.lock();
+        if s.tail_len > 0 && self.pos == s.total_len() {
+            src.accounting.record_chunks_verified(1);
+            if s.tail_expected != self.crc.value() {
+                src.accounting.record_corruption();
+                return Err(s.complete.len() as u64);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -741,6 +1330,11 @@ impl ReadAhead {
                             continue;
                         }
                         let mut offset = 0u64;
+                        let mut verify = RollVerify::begin(&src);
+                        let corrupt = |chunk: u64| Error::Corrupt {
+                            stream: src.name.to_string(),
+                            chunk,
+                        };
                         loop {
                             if stale(gen) {
                                 continue 'jobs;
@@ -749,6 +1343,7 @@ impl ReadAhead {
                             // consult per prefetched chunk, a no-op
                             // branch without an armed plan.
                             let mut first_pread_cap = usize::MAX;
+                            let mut bit_flip = false;
                             if let Some(plan) = &src.faults {
                                 match plan.check(&src.name, FaultOp::Read) {
                                     FaultOutcome::Pass => {}
@@ -759,8 +1354,9 @@ impl ReadAhead {
                                         // chunks stay record-aligned.
                                         first_pread_cap = (src.chunk_size / 2).max(1);
                                     }
+                                    FaultOutcome::BitFlip => bit_flip = true,
                                     FaultOutcome::Error(e) => {
-                                        if data.push(ReadMsg::Fail(gen, e)).is_err() {
+                                        if data.push(ReadMsg::Fail(gen, Error::Io(e))).is_err() {
                                             return;
                                         }
                                         continue 'jobs;
@@ -787,7 +1383,7 @@ impl ReadAhead {
                                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                                     Err(e) => {
                                         let _ = recycled.try_push(buf);
-                                        if data.push(ReadMsg::Fail(gen, e)).is_err() {
+                                        if data.push(ReadMsg::Fail(gen, Error::Io(e))).is_err() {
                                             return;
                                         }
                                         continue 'jobs;
@@ -796,13 +1392,36 @@ impl ReadAhead {
                             }
                             if filled == 0 {
                                 let _ = recycled.try_push(buf);
-                                if data.push(ReadMsg::End(gen)).is_err() {
+                                let msg = match verify.finish(&src) {
+                                    Ok(()) => ReadMsg::End(gen),
+                                    Err(k) => ReadMsg::Fail(gen, corrupt(k)),
+                                };
+                                if data.push(msg).is_err() {
                                     return;
                                 }
                                 continue 'jobs;
                             }
+                            if bit_flip {
+                                // The syscall "succeeded"; corrupt the
+                                // payload after the fact.
+                                buf[0] ^= 0x01;
+                            }
                             let short = filled < src.chunk_size;
                             buf.truncate(filled);
+                            // Verify before the chunk is exposed, so a
+                            // consumer never computes on rotten bytes.
+                            let bad = match verify.feed(&src, &buf) {
+                                Err(k) => Some(k),
+                                Ok(()) if short => verify.finish(&src).err(),
+                                Ok(()) => None,
+                            };
+                            if let Some(k) = bad {
+                                let _ = recycled.try_push(buf);
+                                if data.push(ReadMsg::Fail(gen, corrupt(k))).is_err() {
+                                    return;
+                                }
+                                continue 'jobs;
+                            }
                             src.accounting
                                 .record_read(src.device, src.id, offset, filled as u64);
                             offset += filled as u64;
@@ -879,7 +1498,7 @@ impl ReadAhead {
                 }
                 ReadMsg::Fail(_, e) => {
                     self.pending.pop_front();
-                    Err(Error::Io(e))
+                    Err(e)
                 }
             };
         }
@@ -1363,6 +1982,282 @@ mod tests {
         // No leftover temp file.
         assert!(!store.exists("cp.tmp"));
         store.destroy().unwrap();
+    }
+
+    /// Flips one byte of an on-disk stream file, bypassing the store.
+    fn rot_byte(root: &Path, name: &str, at: u64) {
+        use std::io::{Seek, SeekFrom};
+        let mut f = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(root.join(name))
+            .unwrap();
+        let mut b = [0u8; 1];
+        f.seek(SeekFrom::Start(at)).unwrap();
+        f.read_exact(&mut b).unwrap();
+        b[0] ^= 0x01;
+        f.seek(SeekFrom::Start(at)).unwrap();
+        f.write_all(&b).unwrap();
+    }
+
+    #[test]
+    fn sum_sidecar_roundtrip_and_rejection() {
+        let payload: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let sc = SumSidecar::of_bytes(4096, &payload);
+        assert_eq!(sc.crcs.len(), 10);
+        let bytes = sc.encode();
+        assert_eq!(SumSidecar::decode(&bytes).expect("valid"), sc);
+        // Truncations and a zero unit are rejected.
+        for cut in 0..24 {
+            assert!(SumSidecar::decode(&bytes[..cut]).is_none());
+        }
+        let mut bad = bytes.clone();
+        bad[0] ^= 1;
+        assert!(SumSidecar::decode(&bad).is_none(), "magic");
+        let zero_unit = SumSidecar {
+            unit: 0,
+            total_len: 0,
+            crcs: vec![],
+        };
+        assert!(SumSidecar::decode(&zero_unit.encode()).is_none());
+    }
+
+    #[test]
+    fn sealed_store_detects_rot_after_reopen() {
+        let root = std::env::temp_dir().join("xstream_store_seal_rot");
+        let _ = std::fs::remove_dir_all(&root);
+        let payload: Vec<u8> = (0..3000u32).flat_map(|i| i.to_le_bytes()).collect();
+        {
+            let store = StreamStore::new(&root, 4096).unwrap();
+            store.append("edges.0", &payload).unwrap();
+            let crc = store.seal_sums("edges.0").unwrap();
+            assert!(crc.is_some());
+        }
+        // A clean reopen verifies (including the reconstructed tail).
+        {
+            let store = StreamStore::new(&root, 4096).unwrap();
+            assert_eq!(store.read_all("edges.0").unwrap(), payload);
+            let snap = store.accounting().snapshot();
+            assert_eq!(snap.chunks_verified, 3, "2 full chunks + tail");
+            assert_eq!(snap.corruptions_detected, 0);
+        }
+        // Rot one byte in chunk 1: reopen detects it, naming the chunk.
+        rot_byte(&root, "edges.0", 5000);
+        {
+            let store = StreamStore::new(&root, 4096).unwrap();
+            match store.read_all("edges.0") {
+                Err(Error::Corrupt { stream, chunk }) => {
+                    assert_eq!(stream, "edges.0");
+                    assert_eq!(chunk, 1);
+                }
+                other => panic!("expected Corrupt, got {:?}", other.map(|v| v.len())),
+            }
+            assert_eq!(store.accounting().snapshot().corruptions_detected, 1);
+            // The read-ahead path detects the same rot.
+            let mut reader = ReadAhead::new(1);
+            reader
+                .begin(store.read_source("edges.0", 4).unwrap())
+                .unwrap();
+            assert!(reader.next_chunk().unwrap().is_some()); // chunk 0 clean
+            match reader.next_chunk() {
+                Err(Error::Corrupt { stream, chunk }) => {
+                    assert_eq!(stream, "edges.0");
+                    assert_eq!(chunk, 1);
+                }
+                other => panic!("expected Corrupt, got {other:?}"),
+            }
+            drop(reader);
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn rotted_tail_is_detected_after_reopen() {
+        let root = std::env::temp_dir().join("xstream_store_tail_rot");
+        let _ = std::fs::remove_dir_all(&root);
+        let payload = vec![7u8; 4096 + 100];
+        {
+            let store = StreamStore::new(&root, 4096).unwrap();
+            store.append("s", &payload).unwrap();
+            store.seal_sums("s").unwrap();
+        }
+        rot_byte(&root, "s", 4096 + 50);
+        let store = StreamStore::new(&root, 4096).unwrap();
+        match store.read_all("s") {
+            Err(Error::Corrupt { stream, chunk }) => {
+                assert_eq!(stream, "s");
+                assert_eq!(chunk, 1, "the trailing partial chunk");
+            }
+            other => panic!("expected Corrupt, got {:?}", other.map(|v| v.len())),
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn bitflip_injection_is_detected_and_trust_mode_is_not() {
+        use crate::faults::{FaultKind, FaultSpec};
+        let flip_spec = || {
+            Arc::new(FaultPlan::new(vec![FaultSpec {
+                stream_prefix: "s".to_string(),
+                op: FaultOp::Read,
+                nth: 0,
+                kind: FaultKind::BitFlip,
+            }]))
+        };
+        let payload: Vec<u8> = (0..5000u32).flat_map(|i| i.to_le_bytes()).collect();
+
+        // Verification on (default): the flip is detected and typed.
+        let root = std::env::temp_dir().join("xstream_store_flip_on");
+        let _ = std::fs::remove_dir_all(&root);
+        let plan = flip_spec();
+        let store = StreamStore::new(&root, 4096)
+            .unwrap()
+            .with_faults(Arc::clone(&plan));
+        store.append("s", &payload).unwrap();
+        plan.arm();
+        match store.read_all("s") {
+            Err(Error::Corrupt { stream, chunk }) => {
+                assert_eq!(stream, "s");
+                assert_eq!(chunk, 0);
+            }
+            other => panic!("expected Corrupt, got {:?}", other.map(|v| v.len())),
+        }
+        assert!(!Error::Corrupt {
+            stream: "s".into(),
+            chunk: 0
+        }
+        .is_transient());
+        // The spec is spent: the next read is clean.
+        assert_eq!(store.read_all("s").unwrap(), payload);
+        store.destroy().unwrap();
+
+        // Trust mode (--no-verify-reads): the flip passes silently.
+        let root = std::env::temp_dir().join("xstream_store_flip_off");
+        let _ = std::fs::remove_dir_all(&root);
+        let plan = flip_spec();
+        let store = StreamStore::new(&root, 4096)
+            .unwrap()
+            .with_faults(Arc::clone(&plan))
+            .with_verify(false);
+        store.append("s", &payload).unwrap();
+        plan.arm();
+        let got = store.read_all("s").unwrap();
+        assert_ne!(got, payload, "trust mode returns the corrupted bytes");
+        assert_eq!(got.len(), payload.len());
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn bitflip_in_read_ahead_is_detected_before_the_chunk_is_exposed() {
+        use crate::faults::{FaultKind, FaultSpec};
+        let root = std::env::temp_dir().join("xstream_store_flip_ra");
+        let _ = std::fs::remove_dir_all(&root);
+        let plan = Arc::new(FaultPlan::new(vec![FaultSpec {
+            stream_prefix: "s".to_string(),
+            op: FaultOp::Read,
+            nth: 1,
+            kind: FaultKind::BitFlip,
+        }]));
+        let store = StreamStore::new(&root, 4096)
+            .unwrap()
+            .with_faults(Arc::clone(&plan));
+        store.append("s", &vec![9u8; 12_000]).unwrap();
+        plan.arm();
+        let mut reader = ReadAhead::new(1);
+        reader.begin(store.read_source("s", 1).unwrap()).unwrap();
+        assert!(reader.next_chunk().unwrap().is_some());
+        match reader.next_chunk() {
+            Err(Error::Corrupt { stream, chunk }) => {
+                assert_eq!(stream, "s");
+                assert_eq!(chunk, 1);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // The reader stays usable for other streams after the failure.
+        store.append("t", b"fine").unwrap();
+        reader.begin(store.read_source("t", 1).unwrap()).unwrap();
+        assert_eq!(reader.next_chunk().unwrap().unwrap(), b"fine");
+        assert!(reader.next_chunk().unwrap().is_none());
+        drop(reader);
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn ranged_reads_verify_covered_chunks_only() {
+        let root = std::env::temp_dir().join("xstream_store_range_verify");
+        let _ = std::fs::remove_dir_all(&root);
+        let payload: Vec<u8> = (0..4000u32).flat_map(|i| i.to_le_bytes()).collect();
+        {
+            let store = StreamStore::new(&root, 4096).unwrap();
+            store.append("s", &payload).unwrap();
+            store.seal_sums("s").unwrap();
+        }
+        rot_byte(&root, "s", 4200); // inside chunk 1
+        let store = StreamStore::new(&root, 4096).unwrap();
+        // A sub-chunk range over the rot is NOT verified (documented:
+        // sparse reads stay cheap; scrub provides full coverage).
+        let mut out = Vec::new();
+        assert_eq!(
+            store.read_range_into("s", 4100, 200, &mut out).unwrap(),
+            200
+        );
+        // A range fully covering chunk 1 detects it.
+        out.clear();
+        match store.read_range_into("s", 0, 12_288, &mut out) {
+            Err(Error::Corrupt { stream, chunk }) => {
+                assert_eq!(stream, "s");
+                assert_eq!(chunk, 1);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // A clean covered range verifies and passes.
+        out.clear();
+        let n = store.read_range_into("s", 8192, 4096, &mut out).unwrap();
+        assert_eq!(n, 4096);
+        assert_eq!(&out, &payload[8192..12_288]);
+        assert!(store.accounting().snapshot().chunks_verified >= 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn truncate_and_write_at_invalidate_sums() {
+        let store = temp_store("sums_invalidate");
+        store.append("s", &vec![1u8; 5000]).unwrap();
+        assert!(store.sums_tracked("s"));
+        assert!(store.seal_sums("s").unwrap().is_some());
+        // Positioned write: sums unknown, sidecar gone, reads pass
+        // unverified rather than falsely failing.
+        store.write_at("s", 100, b"XX").unwrap();
+        assert!(!store.sums_tracked("s"));
+        assert!(store.seal_sums("s").unwrap().is_none());
+        assert_eq!(store.read_all("s").unwrap().len(), 5000);
+        // Truncate resets to tracked-empty; new appends re-roll.
+        store.truncate("s").unwrap();
+        assert!(store.sums_tracked("s"));
+        store.append("s", b"fresh").unwrap();
+        assert_eq!(store.read_all("s").unwrap(), b"fresh");
+        assert!(store.seal_sums("s").unwrap().is_some());
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn write_atomic_recomputes_sums() {
+        let root = std::env::temp_dir().join("xstream_store_atomic_sums");
+        let _ = std::fs::remove_dir_all(&root);
+        {
+            let store = StreamStore::new(&root, 4096).unwrap();
+            store.append("cp", b"old contents").unwrap();
+            store.seal_sums("cp").unwrap();
+            store.write_atomic("cp", &vec![5u8; 6000]).unwrap();
+            // In-memory sums describe the new contents immediately.
+            assert_eq!(store.read_all("cp").unwrap(), vec![5u8; 6000]);
+            store.seal_sums("cp").unwrap();
+        }
+        // And the resealed sidecar survives a reopen.
+        rot_byte(&root, "cp", 10);
+        let store = StreamStore::new(&root, 4096).unwrap();
+        assert!(matches!(store.read_all("cp"), Err(Error::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

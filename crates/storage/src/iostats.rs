@@ -63,6 +63,10 @@ pub struct IoAccounting {
     devices: [DeviceCounters; MAX_DEVICES],
     trace: Mutex<Vec<IoEvent>>,
     tracing: bool,
+    /// Checksum chunks verified on read paths (store-wide).
+    chunks_verified: AtomicU64,
+    /// Checksum mismatches detected on read paths (store-wide).
+    corruptions_detected: AtomicU64,
 }
 
 impl IoAccounting {
@@ -74,7 +78,19 @@ impl IoAccounting {
             devices: Default::default(),
             trace: Mutex::new(Vec::new()),
             tracing,
+            chunks_verified: AtomicU64::new(0),
+            corruptions_detected: AtomicU64::new(0),
         }
+    }
+
+    /// Records `n` checksum chunks verified on a read path.
+    pub fn record_chunks_verified(&self, n: u64) {
+        self.chunks_verified.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one checksum mismatch detected on a read path.
+    pub fn record_corruption(&self) {
+        self.corruptions_detected.fetch_add(1, Ordering::Relaxed);
     }
 
     fn now_ns(&self) -> u64 {
@@ -140,6 +156,8 @@ impl IoAccounting {
                 write_ops: d.write_ops.load(Ordering::Relaxed),
             };
         }
+        s.chunks_verified = self.chunks_verified.load(Ordering::Relaxed);
+        s.corruptions_detected = self.corruptions_detected.load(Ordering::Relaxed);
         s
     }
 
@@ -156,6 +174,8 @@ impl IoAccounting {
             d.read_ops.store(0, Ordering::Relaxed);
             d.write_ops.store(0, Ordering::Relaxed);
         }
+        self.chunks_verified.store(0, Ordering::Relaxed);
+        self.corruptions_detected.store(0, Ordering::Relaxed);
         self.trace.lock().clear();
     }
 }
@@ -178,6 +198,10 @@ pub struct DeviceSnapshot {
 pub struct IoSnapshot {
     /// Counters indexed by device id.
     pub per_device: [DeviceSnapshot; MAX_DEVICES],
+    /// Checksum chunks verified on read paths (store-wide).
+    pub chunks_verified: u64,
+    /// Checksum mismatches detected on read paths (store-wide).
+    pub corruptions_detected: u64,
 }
 
 impl IoSnapshot {

@@ -30,8 +30,13 @@
 //!   ([`FaultPlan`]) threaded through every stream operation, so the
 //!   engines' retry and checkpoint/resume paths can be exercised
 //!   reproducibly; a disabled plan costs one `Option` check per op,
-//! * [`checksum`] — a hand-rolled table-driven CRC32 (IEEE) framing
-//!   the engine checkpoints against torn writes,
+//! * [`checksum`] — a hand-rolled slicing-by-8 CRC32 (IEEE) with a
+//!   streaming state, framing the engine checkpoints against torn
+//!   writes and every durable stream's `.sum` sidecar against rot,
+//! * [`manifest`] — the self-validating store `MANIFEST`: generation,
+//!   graph/config fingerprint, per-stream roles/lengths/sidecar CRCs;
+//!   sealed at ingest and checkpoint time, validated on open and
+//!   `--resume`, and the ground truth `xstream scrub` audits against,
 //! * [`iostats`] — per-device byte/op accounting and event tracing
 //!   (regenerates the paper's iostat bandwidth plot, Fig. 23),
 //! * [`diskmodel`] — a parametric seek+bandwidth+RAID-0 model
@@ -53,6 +58,7 @@ pub mod diskmodel;
 pub mod faults;
 pub mod filestream;
 pub mod iostats;
+pub mod manifest;
 pub mod pool;
 pub mod scratch;
 pub mod shuffle;
@@ -61,11 +67,12 @@ pub mod writer;
 
 pub use buffer::StreamBuffer;
 pub use channel::BoundedQueue;
-pub use checksum::crc32;
+pub use checksum::{crc32, crc32c, Crc32, Crc32c};
 pub use diskmodel::DiskModel;
 pub use faults::{FaultKind, FaultOp, FaultOutcome, FaultPlan, FaultSpec};
-pub use filestream::{ChunkReader, ReadAhead, StreamStore};
+pub use filestream::{ChunkReader, ReadAhead, StreamStore, SumSidecar};
 pub use iostats::{DeviceId, IoAccounting, IoSnapshot};
+pub use manifest::{Manifest, StreamEntry, StreamRole, MANIFEST_NAME};
 pub use pool::{PerWorkerPtr, WorkerPool};
 pub use scratch::{CapacityPolicy, CapacityReport, ShuffleArena, ShufflePool, ShuffleScratch};
 pub use topology::{PinPlan, Topology};

@@ -392,6 +392,298 @@ fn seeded_chaos_run_matches_the_uninterrupted_run() {
     assert_eq!(labels, expected, "chaos run diverged from baseline");
 }
 
+// ------------------------------------------------------ bit-flip matrix
+
+/// One flipped byte per read boundary. Silent corruption carries no
+/// errno, so only the read-path checksum verification can catch it —
+/// every row must end in **detected** (`Error::Corrupt` naming the
+/// stream) or **survived bitwise-equal** (the index degrade), never a
+/// silently wrong answer.
+#[test]
+fn bitflips_are_detected_at_every_read_boundary() {
+    let g = fault_graph();
+    // (tag, stream family, config) — vertices streams only exist (and
+    // are re-read every superstep) when vertex state lives on disk.
+    let rows: &[(&str, &str, EngineConfig)] = &[
+        ("edges_read", "edges.", spill_config()),
+        ("updates_read", "updates.", spill_config()),
+        (
+            "vertices_read",
+            "vertices.",
+            EngineConfig {
+                keep_vertices_in_memory: false,
+                ..spill_config()
+            },
+        ),
+    ];
+    for (tag, family, cfg) in rows {
+        let plan = Arc::new(FaultPlan::new(vec![FaultSpec {
+            stream_prefix: family.to_string(),
+            op: FaultOp::Read,
+            nth: 0,
+            kind: FaultKind::BitFlip,
+        }]));
+        let store = fault_store(&format!("flip_{tag}"), &plan);
+        let p = wcc::Wcc::new();
+        // A generous transient budget on purpose: corruption must not
+        // be retried like a timeout — rereading rotted bytes yields
+        // rotted bytes.
+        let cfg = cfg.clone().with_retry(RetryPolicy {
+            max_attempts: 4,
+            backoff: Duration::ZERO,
+        });
+        let mut e = DiskEngine::from_graph(store, &g, &p, cfg).expect("engine");
+        plan.arm();
+        let err = loop {
+            match e.try_scatter_gather(&p) {
+                Ok(stats) => {
+                    // The flip may land after this superstep's reads of
+                    // that family; keep going until it fires.
+                    assert_eq!(
+                        stats.corruptions_detected, 0,
+                        "{tag}: corruption counted on a superstep that succeeded"
+                    );
+                }
+                Err(e) => break e,
+            }
+            assert_eq!(plan.fired_count(), 0, "{tag}: flip fired without an error");
+        };
+        assert_eq!(plan.fired_count(), 1, "{tag}: flip never fired");
+        match &err {
+            Error::Corrupt { stream, .. } => {
+                assert!(
+                    stream.starts_with(family),
+                    "{tag}: corruption blamed on `{stream}`, expected {family}*"
+                );
+            }
+            other => panic!("{tag}: expected Error::Corrupt, got {other}"),
+        }
+        assert!(!err.is_transient(), "{tag}: rot must not be retried: {err}");
+    }
+}
+
+#[test]
+fn index_bitflip_degrades_to_dense_and_matches_the_clean_run() {
+    // The one survivable flip: a rotted sparse-scatter index is
+    // derived data, so the partition falls back to dense scatter over
+    // its (separately checksummed, intact) edge stream, the manifest
+    // flags the index for rebuild, and the BFS levels are bitwise
+    // those of an uninterrupted run.
+    use xstream::algorithms::bfs;
+    let g = fault_graph();
+    let sparse_cfg = || spill_config().with_frontier_threshold(0);
+    let expected = {
+        let dir = tmp("flip_index_baseline");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = StreamStore::new(&dir, 8192).expect("store");
+        let p = bfs::Bfs::new();
+        let mut e = DiskEngine::from_graph(store, &g, &p, sparse_cfg()).expect("engine");
+        bfs::run(&mut e, &p, 0).0
+    };
+    let plan = Arc::new(FaultPlan::new(vec![FaultSpec {
+        stream_prefix: "index.".to_string(),
+        op: FaultOp::Read,
+        nth: 0,
+        kind: FaultKind::BitFlip,
+    }]));
+    let dir = tmp("faults_flip_index");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = StreamStore::new(&dir, 8192)
+        .expect("store")
+        .with_faults(Arc::clone(&plan));
+    let p = bfs::Bfs::new();
+    let cfg = sparse_cfg().with_retry(RetryPolicy {
+        max_attempts: 2,
+        backoff: Duration::ZERO,
+    });
+    let mut e = DiskEngine::from_graph(store, &g, &p, cfg).expect("engine");
+    plan.arm();
+    let (levels, stats) = bfs::run(&mut e, &p, 0);
+    assert_eq!(plan.fired_count(), 1, "index flip never fired");
+    assert_eq!(levels, expected, "degraded run diverged from baseline");
+    assert!(
+        stats.totals().corruptions_detected >= 1,
+        "detected corruption not surfaced in IterationStats"
+    );
+    // The degrade did not cost transient-retry budget.
+    assert_eq!(stats.totals().io_retries, 0);
+    // The manifest flagged the rotted index, and `scrub --repair`
+    // rebuilds it from the verified edge stream, leaving a clean store.
+    let flagged = e
+        .manifest()
+        .entries
+        .iter()
+        .filter(|s| s.needs_rebuild)
+        .count();
+    assert_eq!(flagged, 1, "exactly one index should be flagged");
+    drop(e);
+    let report = xstream::disk::scrub(&dir, true).expect("scrub --repair");
+    assert!(
+        report
+            .streams
+            .iter()
+            .any(|s| matches!(s.action, xstream::disk::Action::Rebuilt)),
+        "repair did not rebuild the flagged index: {report:?}"
+    );
+    assert!(
+        xstream::disk::scrub(&dir, false)
+            .expect("re-scrub")
+            .is_clean(),
+        "store not clean after repair"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_bitflip_falls_back_like_a_torn_frame() {
+    let g = fault_graph();
+    let expected = baseline_labels(&g);
+    let cfg = || spill_config().with_checkpoint_every(1);
+    let dir = tmp("faults_flip_ckpt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let p = wcc::Wcc::new();
+    {
+        let store = StreamStore::new(&dir, 8192).expect("store");
+        let mut e = DiskEngine::from_graph(store, &g, &p, cfg()).expect("engine");
+        let (labels, _) = wcc::run(&mut e, &p);
+        assert_eq!(labels, expected);
+    }
+    // "Reboot" onto the surviving store with a flip armed at the very
+    // first checkpoint read: the resume must treat the rotted slot
+    // like a torn frame — fall back to the other slot (or a fresh
+    // start), never crash, never restore flipped state.
+    let plan = Arc::new(FaultPlan::new(vec![FaultSpec {
+        stream_prefix: "checkpoint.".to_string(),
+        op: FaultOp::Read,
+        nth: 0,
+        kind: FaultKind::BitFlip,
+    }]));
+    let store = StreamStore::new(&dir, 8192)
+        .expect("store")
+        .with_faults(Arc::clone(&plan));
+    let mut e = DiskEngine::from_graph(store, &g, &p, cfg().with_resume(true)).expect("engine");
+    plan.arm();
+    let restored = e.resume_from_checkpoint().expect("fallback, not failure");
+    assert_eq!(plan.fired_count(), 1, "checkpoint flip never fired");
+    plan.disarm();
+    // Whichever slot (or fresh start) the resume picked, finishing the
+    // run reproduces the uninterrupted result.
+    let (labels, _) = wcc::run(&mut e, &p);
+    assert_eq!(
+        labels, expected,
+        "resumed after flip (restored {restored:?})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Seeded chaos soak: transient faults and bit flips land mid-run, a
+/// permanent fault "crashes" the process analog, the survivor store is
+/// resumed, and `scrub --repair` afterwards leaves a manifest-valid
+/// store — with the final labels bitwise those of a run that saw none
+/// of it.
+#[test]
+fn seeded_chaos_with_bitflips_crash_resume_and_scrub_repair() {
+    let g = fault_graph();
+    let expected = baseline_labels(&g);
+    let ckpt_cfg = || EngineConfig {
+        in_memory_updates: false,
+        ..EngineConfig::default()
+            .with_threads(2)
+            .with_io_unit(8192)
+            .with_memory_budget(1 << 20)
+            .with_checkpoint_every(1)
+            .with_retry(RetryPolicy {
+                max_attempts: 8,
+                backoff: Duration::ZERO,
+            })
+    };
+    for seed in [0x00DD_BA11_u64, 0xB005_EED5_u64, 0x5EED_50AC_u64] {
+        // Deterministic xorshift64* spec barrage (same generator as
+        // FaultPlan::seeded, plus bit flips the retry machinery cannot
+        // see), then one permanent fault as the crash.
+        let mut x = seed.max(1);
+        let mut next = move || {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut specs: Vec<FaultSpec> = (0..5)
+            .map(|_| {
+                let op = match next() % 3 {
+                    0 => FaultOp::Read,
+                    1 => FaultOp::Write,
+                    _ => FaultOp::Flush,
+                };
+                let prefix = match next() % 3 {
+                    0 => "edges.",
+                    1 => "updates.",
+                    _ => "",
+                };
+                FaultSpec {
+                    stream_prefix: prefix.to_string(),
+                    op,
+                    nth: next() % 48,
+                    kind: FaultKind::Transient,
+                }
+            })
+            .collect();
+        specs.push(FaultSpec {
+            stream_prefix: "updates.".to_string(),
+            op: FaultOp::Read,
+            nth: next() % 16,
+            kind: FaultKind::BitFlip,
+        });
+        specs.push(FaultSpec {
+            stream_prefix: "edges.".to_string(),
+            op: FaultOp::Read,
+            nth: 48 + next() % 32,
+            kind: FaultKind::Permanent,
+        });
+        let plan = Arc::new(FaultPlan::new(specs));
+        let dir = tmp(&format!("chaos_soak_{seed:x}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            // Fresh program per phase: Wcc carries the driver's round
+            // counter, and a rebooted process starts its own at zero.
+            let p = wcc::Wcc::new();
+            let store = StreamStore::new(&dir, 8192)
+                .expect("store")
+                .with_faults(Arc::clone(&plan));
+            let mut e = DiskEngine::from_graph(store, &g, &p, ckpt_cfg()).expect("engine");
+            plan.arm();
+            // Drive until convergence or the "crash" (a corruption or
+            // the permanent fault unwinding the loop). Either way the
+            // store directory is the survivor a reboot would see.
+            let crashed =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| wcc::run(&mut e, &p)));
+            if let Ok((labels, _)) = crashed {
+                // The permanent spec may land after convergence.
+                assert_eq!(labels, expected, "seed {seed:#x}: pre-crash divergence");
+            }
+        }
+        // Reboot: fault-free store over the same directory, resume from
+        // the newest valid checkpoint, finish the run.
+        let p = wcc::Wcc::new();
+        let store = StreamStore::new(&dir, 8192).expect("store");
+        let mut e =
+            DiskEngine::from_graph(store, &g, &p, ckpt_cfg().with_resume(true)).expect("engine");
+        e.resume_from_checkpoint().expect("resume");
+        let (labels, _) = wcc::run(&mut e, &p);
+        assert_eq!(labels, expected, "seed {seed:#x}: post-resume divergence");
+        drop(e);
+        // The surviving store scrubs to manifest-valid after repair
+        // (stale per-run streams quarantined, flagged indexes rebuilt).
+        xstream::disk::scrub(&dir, true).expect("scrub --repair");
+        let report = xstream::disk::scrub(&dir, false).expect("re-scrub");
+        assert!(
+            !report.has_unresolved_damage(),
+            "seed {seed:#x}: store still damaged after repair: {report:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 #[test]
 fn steady_state_is_allocation_free_again_after_faults_stop() {
     let g = fault_graph();
