@@ -12,6 +12,7 @@
 //! | [`wcc`] | weakly connected components | undirected expansion |
 //! | [`scc`] | strongly connected components (trim + FW-BW coloring) | bidirectional stream |
 //! | [`sssp`] | single-source shortest paths (Bellman-Ford) | weighted edges |
+//! | [`multi`] | batched multi-source BFS/SSSP (lane vectors) | as bfs/sssp |
 //! | [`mcst`] | minimum-cost spanning tree (GHS/Borůvka) | weighted undirected |
 //! | [`mis`] | maximal independent set (Luby) | undirected expansion |
 //! | [`conductance`] | conductance of a vertex bisection | any |
@@ -29,6 +30,7 @@ pub mod conductance;
 pub mod hyperanf;
 pub mod mcst;
 pub mod mis;
+pub mod multi;
 pub mod pagerank;
 pub mod pagerank_delta;
 pub mod scc;

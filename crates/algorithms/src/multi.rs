@@ -1,0 +1,359 @@
+//! Batched multi-source traversals: `L` BFS/SSSP roots per edge pass.
+//!
+//! X-Stream's edge-centric model makes query batching nearly free: one
+//! sequential scatter pass over the edge streams can serve `L`
+//! traversal roots at once by widening the per-vertex state to `L`
+//! independent *lanes*. The scatter/shuffle/gather machinery — and the
+//! PR 7 frontier bitmap, which becomes the *union* of the per-lane
+//! frontiers — is shared across the whole batch, so a batch of `L`
+//! queries streams each active partition once per superstep instead of
+//! once per query. This is the amortization `xstream serve` relies on
+//! to batch concurrent client traversals into a single frontier pass.
+//!
+//! Per-lane results are bitwise-identical to `L` independent
+//! single-root runs (`tests/serve_multi_source.rs` proves it across
+//! the forced-spill engine matrix): lane `i`'s update multiset equals
+//! the single-root run's multiset exactly — inactive lanes contribute
+//! the gather's identity element ([`UNREACHED`] for BFS levels,
+//! `f32::INFINITY` for SSSP distances) — and min-gathers are
+//! order-independent over identical multisets.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use xstream_core::{Edge, EdgeProgram, Engine, Record, RunStats, VertexId};
+
+pub use crate::bfs::UNREACHED;
+
+/// Inactive-round sentinel for [`MultiSssp`] lanes.
+const NEVER: u32 = u32::MAX;
+
+/// Breadth-first search from `L` roots in one edge-streaming pass.
+///
+/// State and updates are `[u32; L]` level vectors; lane `i` runs the
+/// exact min-gather recurrence of [`crate::bfs::Bfs`]. A vertex is on
+/// the (shared) frontier when *any* lane discovered it in the previous
+/// round, and its scatter re-broadcasts every already-discovered
+/// lane's `level + 1` — values that were all broadcast in their own
+/// discovery round already, so the re-sends can never change a min and
+/// per-lane results stay identical to single-root runs.
+pub struct MultiBfs<const L: usize> {
+    round: AtomicU32,
+}
+
+impl<const L: usize> Default for MultiBfs<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const L: usize> MultiBfs<L> {
+    /// Creates the program.
+    pub fn new() -> Self {
+        Self {
+            round: AtomicU32::new(0),
+        }
+    }
+}
+
+impl<const L: usize> EdgeProgram for MultiBfs<L> {
+    /// BFS level per lane ([`UNREACHED`] until discovered).
+    type State = [u32; L];
+    type Update = [u32; L];
+
+    fn init(&self, _v: VertexId) -> [u32; L] {
+        [UNREACHED; L]
+    }
+
+    fn needs_scatter(&self, s: &[u32; L]) -> bool {
+        let round = self.round.load(Ordering::Relaxed);
+        s.contains(&round)
+    }
+
+    fn scatter(&self, s: &[u32; L], _e: &Edge) -> Option<[u32; L]> {
+        // `UNREACHED` saturates to itself, staying the min-identity.
+        Some(s.map(|l| l.saturating_add(1)))
+    }
+
+    fn gather(&self, d: &mut [u32; L], u: &[u32; L]) -> bool {
+        let mut changed = false;
+        for (dl, ul) in d.iter_mut().zip(u.iter()) {
+            if *ul < *dl {
+                *dl = *ul;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    // Any lane lowered by gather in round t lands at exactly t + 1
+    // (its source lane held t), making the vertex active in round
+    // t + 1; conversely a lane equal to t + 1 can only have been
+    // written by round t's gather. The union-frontier contract holds.
+    fn frontier_mode(&self) -> xstream_core::FrontierMode {
+        xstream_core::FrontierMode::Tracked
+    }
+}
+
+/// Runs BFS from `roots[i]` in lane `i` over one shared edge pass;
+/// returns the per-vertex level vectors (lane-major extraction is up
+/// to the caller) and the run statistics of the single batched pass.
+///
+/// Duplicate roots are allowed (the lanes simply compute identical
+/// results). Roots must be below the engine's vertex count.
+pub fn run_multi_bfs<const L: usize, E: Engine<MultiBfs<L>>>(
+    engine: &mut E,
+    program: &MultiBfs<L>,
+    roots: &[VertexId; L],
+) -> (Vec<[u32; L]>, RunStats) {
+    let start = std::time::Instant::now();
+    for &r in roots {
+        assert!(
+            (r as usize) < engine.num_vertices(),
+            "root {r} outside vertex range"
+        );
+    }
+    program.round.store(0, Ordering::Relaxed);
+    engine.vertex_map(&mut |v, s| {
+        for (lane, &r) in s.iter_mut().zip(roots.iter()) {
+            *lane = if v == r { 0 } else { UNREACHED };
+        }
+    });
+    // Only the roots satisfy `needs_scatter` after init: seed the
+    // frontier bitmap directly instead of paying the O(V) rebuild scan
+    // (the long-lived server runs one of these per query batch).
+    engine.seed_frontier(roots);
+    let mut stats = RunStats::default();
+    loop {
+        let it = engine.scatter_gather(program);
+        let changed = it.vertices_changed;
+        stats.iterations.push(it);
+        program.round.fetch_add(1, Ordering::Relaxed);
+        if changed == 0 {
+            break;
+        }
+    }
+    stats.total_ns = start.elapsed().as_nanos() as u64;
+    (engine.states(), stats)
+}
+
+/// One SSSP lane: tentative distance plus the round in which the
+/// vertex must re-scatter this lane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
+pub struct SsspLane {
+    /// Tentative distance from the lane's root (`f32::INFINITY` if
+    /// unreached).
+    pub dist: f32,
+    /// Round in which this lane must scatter (`u32::MAX` when settled).
+    pub active_round: u32,
+}
+
+// SAFETY: `repr(C)`, (f32, u32): no padding, no pointers, all bit
+// patterns valid.
+unsafe impl Record for SsspLane {}
+
+impl SsspLane {
+    /// An unreached, inactive lane.
+    #[inline]
+    fn unreached() -> Self {
+        Self {
+            dist: f32::INFINITY,
+            active_round: NEVER,
+        }
+    }
+}
+
+/// Single-source shortest paths from `L` roots in one edge-streaming
+/// pass (label-correcting Bellman-Ford per lane, exactly
+/// [`crate::sssp::Sssp`]'s recurrence).
+///
+/// Unlike [`MultiBfs`], lanes are *not* in lockstep — a lane scatters
+/// only in rounds where its own distance improved — so scatter emits
+/// `dist + weight` for active lanes and `f32::INFINITY` (the
+/// min-identity) for the rest. Lane `i`'s update multiset is therefore
+/// exactly the single-root run's multiset and results are bitwise
+/// identical.
+pub struct MultiSssp<const L: usize> {
+    round: AtomicU32,
+}
+
+impl<const L: usize> Default for MultiSssp<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const L: usize> MultiSssp<L> {
+    /// Creates the program.
+    pub fn new() -> Self {
+        Self {
+            round: AtomicU32::new(0),
+        }
+    }
+
+    fn round(&self) -> u32 {
+        self.round.load(Ordering::Relaxed)
+    }
+}
+
+impl<const L: usize> EdgeProgram for MultiSssp<L> {
+    type State = [SsspLane; L];
+    type Update = [f32; L];
+
+    fn init(&self, _v: VertexId) -> [SsspLane; L] {
+        [SsspLane::unreached(); L]
+    }
+
+    fn needs_scatter(&self, s: &[SsspLane; L]) -> bool {
+        let round = self.round();
+        s.iter().any(|l| l.active_round == round)
+    }
+
+    fn scatter(&self, s: &[SsspLane; L], e: &Edge) -> Option<[f32; L]> {
+        let round = self.round();
+        Some(s.map(|l| {
+            if l.active_round == round {
+                l.dist + e.weight
+            } else {
+                f32::INFINITY
+            }
+        }))
+    }
+
+    fn gather(&self, d: &mut [SsspLane; L], u: &[f32; L]) -> bool {
+        let mut changed = false;
+        let next = self.round() + 1;
+        for (dl, &ul) in d.iter_mut().zip(u.iter()) {
+            if ul < dl.dist {
+                dl.dist = ul;
+                dl.active_round = next;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    // Per-lane identical to `Sssp`: gather stamps `round + 1` on every
+    // change, the driver bumps the round, so the union frontier holds.
+    fn frontier_mode(&self) -> xstream_core::FrontierMode {
+        xstream_core::FrontierMode::Tracked
+    }
+}
+
+/// Runs SSSP from `roots[i]` in lane `i` over shared edge passes;
+/// returns per-vertex distance vectors and the batched run statistics.
+pub fn run_multi_sssp<const L: usize, E: Engine<MultiSssp<L>>>(
+    engine: &mut E,
+    program: &MultiSssp<L>,
+    roots: &[VertexId; L],
+) -> (Vec<[f32; L]>, RunStats) {
+    let start = std::time::Instant::now();
+    for &r in roots {
+        assert!(
+            (r as usize) < engine.num_vertices(),
+            "root {r} outside vertex range"
+        );
+    }
+    program.round.store(0, Ordering::Relaxed);
+    engine.vertex_map(&mut |v, s| {
+        for (lane, &r) in s.iter_mut().zip(roots.iter()) {
+            *lane = if v == r {
+                SsspLane {
+                    dist: 0.0,
+                    active_round: 0,
+                }
+            } else {
+                SsspLane::unreached()
+            };
+        }
+    });
+    engine.seed_frontier(roots);
+    let mut stats = RunStats::default();
+    loop {
+        let it = engine.scatter_gather(program);
+        let changed = it.vertices_changed;
+        stats.iterations.push(it);
+        program.round.fetch_add(1, Ordering::Relaxed);
+        if changed == 0 {
+            break;
+        }
+    }
+    stats.total_ns = start.elapsed().as_nanos() as u64;
+    let dists = engine.states().iter().map(|s| s.map(|l| l.dist)).collect();
+    (dists, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs, sssp};
+    use xstream_core::EngineConfig;
+    use xstream_graph::generators;
+    use xstream_memory::InMemoryEngine;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::default().with_threads(2).with_partitions(4)
+    }
+
+    #[test]
+    fn lanes_match_single_root_bfs() {
+        let g = generators::erdos_renyi(300, 1500, 9);
+        let roots = [3u32, 77, 150, 3]; // duplicate root on purpose
+        let p = MultiBfs::<4>::new();
+        let mut e = InMemoryEngine::from_graph(&g, &p, cfg());
+        let (levels, _) = run_multi_bfs(&mut e, &p, &roots);
+        for (lane, &root) in roots.iter().enumerate() {
+            let (single, _) = bfs::bfs_in_memory(&g, root, cfg());
+            let batched: Vec<u32> = levels.iter().map(|s| s[lane]).collect();
+            assert_eq!(batched, single, "lane {lane} (root {root}) diverges");
+        }
+    }
+
+    #[test]
+    fn lanes_match_single_root_sssp() {
+        let mut g = generators::erdos_renyi(250, 1400, 21);
+        // Deterministic positive weights.
+        for (i, e) in g.edges_mut().iter_mut().enumerate() {
+            e.weight = 0.25 + (i % 13) as f32 * 0.125;
+        }
+        let roots = [0u32, 50, 124, 249];
+        let p = MultiSssp::<4>::new();
+        let mut e = InMemoryEngine::from_graph(&g, &p, cfg());
+        let (dists, _) = run_multi_sssp(&mut e, &p, &roots);
+        for (lane, &root) in roots.iter().enumerate() {
+            let (single, _) = sssp::sssp_in_memory(&g, root, cfg());
+            let batched: Vec<f32> = dists.iter().map(|s| s[lane]).collect();
+            // Bitwise comparison: same update multisets, same mins.
+            let batched_bits: Vec<u32> = batched.iter().map(|d| d.to_bits()).collect();
+            let single_bits: Vec<u32> = single.iter().map(|d| d.to_bits()).collect();
+            assert_eq!(batched_bits, single_bits, "lane {lane} (root {root})");
+        }
+    }
+
+    #[test]
+    fn batched_pass_streams_fewer_edges_than_serial_runs() {
+        let g = generators::erdos_renyi(400, 2400, 5);
+        let roots = [1u32, 99, 200, 321];
+        let p = MultiBfs::<4>::new();
+        let mut e = InMemoryEngine::from_graph(&g, &p, cfg());
+        let (_, batched) = run_multi_bfs(&mut e, &p, &roots);
+        let serial: u64 = roots
+            .iter()
+            .map(|&r| bfs::bfs_in_memory(&g, r, cfg()).1.totals().edges_streamed)
+            .sum();
+        let batched_edges = batched.totals().edges_streamed;
+        assert!(
+            batched_edges < serial,
+            "batched pass streamed {batched_edges} edges, {serial} serially"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vertex range")]
+    fn out_of_range_root_is_rejected() {
+        let g = generators::path(10);
+        let p = MultiBfs::<2>::new();
+        let mut e = InMemoryEngine::from_graph(&g, &p, cfg());
+        let _ = run_multi_bfs(&mut e, &p, &[0, 10]);
+    }
+}

@@ -35,6 +35,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "info" => commands::info(&Args::parse(rest)?),
         "import" => commands::import(&Args::parse(rest)?),
         "run" => commands::run(&Args::parse(rest)?),
+        "serve" => commands::serve(&Args::parse(rest)?),
         "components" => commands::components(&Args::parse(rest)?),
         "scrub" => commands::scrub(&Args::parse(rest)?),
         "help" | "--help" | "-h" => Ok(commands::usage()),

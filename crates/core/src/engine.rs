@@ -63,6 +63,16 @@ pub trait Engine<P: EdgeProgram> {
     /// for the out-of-core engine).
     fn states(&mut self) -> Vec<P::State>;
 
+    /// Hints that exactly `sources` satisfy `needs_scatter` for the
+    /// first superstep, letting frontier-tracking engines seed the
+    /// bitmap in O(|sources|) instead of rescanning every vertex state
+    /// after the initializing [`Engine::vertex_map`]. The caller must
+    /// have just initialized states so that this is true. Engines
+    /// without frontier tracking ignore the hint (the default); the
+    /// next `scatter_gather` then rebuilds the frontier by scanning,
+    /// which is correct but slower.
+    fn seed_frontier(&mut self, _sources: &[VertexId]) {}
+
     /// Runs scatter-gather iterations until `termination` is met.
     fn run(&mut self, program: &P, termination: Termination) -> RunStats {
         let start = std::time::Instant::now();

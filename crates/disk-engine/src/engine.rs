@@ -2272,6 +2272,27 @@ impl<P: EdgeProgram> Engine<P> for DiskEngine<P> {
             .collect_all(&self.store, &self.partitioner)
             .expect("vertex collect failed")
     }
+
+    fn seed_frontier(&mut self, sources: &[VertexId]) {
+        if self.skip_supersteps > 0 {
+            // Checkpoint replay: the restored frontier must survive
+            // (see `vertex_map`), and the sources hint describes the
+            // *initial* state, not the restored one.
+            return;
+        }
+        if !(self.tracked && self.config.frontier_skip) {
+            return;
+        }
+        self.frontier.ensure(&self.partitioner);
+        for &v in sources {
+            if (v as usize) < self.partitioner.num_vertices() {
+                self.frontier
+                    .current
+                    .mark(v, self.partitioner.partition_of(v));
+            }
+        }
+        self.frontier_valid = true;
+    }
 }
 
 #[cfg(test)]

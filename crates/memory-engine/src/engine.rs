@@ -745,6 +745,21 @@ impl<P: EdgeProgram> Engine<P> for InMemoryEngine<P> {
     fn states(&mut self) -> Vec<P::State> {
         self.states.clone()
     }
+
+    fn seed_frontier(&mut self, sources: &[VertexId]) {
+        if !(self.tracked && self.config.frontier_skip) {
+            return;
+        }
+        self.frontier.ensure(&self.partitioner);
+        for &v in sources {
+            if (v as usize) < self.states.len() {
+                self.frontier
+                    .current
+                    .mark(v, self.partitioner.partition_of(v));
+            }
+        }
+        self.frontier_valid = true;
+    }
 }
 
 #[cfg(test)]

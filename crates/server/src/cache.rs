@@ -1,0 +1,112 @@
+//! LRU result cache keyed by (canonical query, graph generation).
+//!
+//! The generation component comes from the store's PR 8 manifest:
+//! every re-ingest or `scrub --repair` re-seals the manifest with
+//! `generation + 1`, so entries computed against an older graph can
+//! never be served afterwards — they simply stop being addressable,
+//! and the LRU sweep evicts them as fresh-generation entries arrive.
+
+use std::collections::HashMap;
+
+use crate::json::Json;
+
+/// Cache key: canonical query string plus manifest generation.
+pub type CacheKey = (String, u64);
+
+/// A bounded LRU map from query keys to response payloads (the
+/// response's result fields, without `ok`/`id`).
+pub struct QueryCache {
+    cap: usize,
+    tick: u64,
+    entries: HashMap<CacheKey, (u64, Vec<(String, Json)>)>,
+}
+
+impl QueryCache {
+    /// Creates a cache holding at most `cap` entries (0 disables it).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Vec<(String, Json)>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (stamp, fields) = self.entries.get_mut(key)?;
+        *stamp = tick;
+        Some(fields.clone())
+    }
+
+    /// Inserts `key` → `fields`, evicting the least-recently-used
+    /// entry when full. The linear eviction scan is fine at the
+    /// hundreds-of-entries scale `--cache-entries` configures.
+    pub fn put(&mut self, key: CacheKey, fields: Vec<(String, Json)>) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.cap && !self.entries.contains_key(&key) {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (self.tick, fields));
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields(n: f64) -> Vec<(String, Json)> {
+        vec![("v".into(), Json::num(n))]
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = QueryCache::new(2);
+        c.put(("a".into(), 0), fields(1.0));
+        c.put(("b".into(), 0), fields(2.0));
+        // Touch `a` so `b` is the LRU victim.
+        assert!(c.get(&("a".into(), 0)).is_some());
+        c.put(("c".into(), 0), fields(3.0));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&("b".into(), 0)).is_none());
+        assert!(c.get(&("a".into(), 0)).is_some());
+        assert!(c.get(&("c".into(), 0)).is_some());
+    }
+
+    #[test]
+    fn generation_partitions_the_keyspace() {
+        let mut c = QueryCache::new(8);
+        c.put(("q".into(), 1), fields(1.0));
+        assert!(c.get(&("q".into(), 2)).is_none(), "stale generation served");
+        assert!(c.get(&("q".into(), 1)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = QueryCache::new(0);
+        c.put(("q".into(), 0), fields(1.0));
+        assert!(c.is_empty());
+        assert!(c.get(&("q".into(), 0)).is_none());
+    }
+}

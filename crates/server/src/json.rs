@@ -1,0 +1,450 @@
+//! A minimal, panic-free JSON parser and serializer.
+//!
+//! The project's dependency policy admits no serde, and the serve
+//! protocol must survive arbitrary bytes from untrusted sockets
+//! (`tests/proptests.rs` fuzzes this module directly), so the parser
+//! is hand-rolled with three hard safety properties:
+//!
+//! 1. **Never panics** — every input, including invalid UTF-8 and
+//!    truncated escapes, returns `Err` rather than unwinding.
+//! 2. **Bounded recursion** — nesting beyond [`MAX_DEPTH`] is rejected,
+//!    so a line of `[[[[…` cannot blow the stack.
+//! 3. **Whole-input** — trailing non-whitespace after the value is an
+//!    error, so `{"op":"ping"}garbage` is rejected, not half-read.
+//!
+//! Numbers are `f64` (like JavaScript); the protocol's vertex ids and
+//! generations fit well inside the 2^53 exact-integer range.
+
+/// Maximum nesting depth accepted by [`parse`].
+pub const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers included).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered, duplicate keys keep the last.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience number constructor.
+    pub fn num(n: f64) -> Json {
+        Json::Num(n)
+    }
+
+    /// Looks up `key` in an object; `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a number with no
+    /// fractional part within the exact-f64 range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 9.007_199_254_740_992e15 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Serializes to compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                        // Integers render without the trailing `.0`
+                        // (vertex ids, counts, generations).
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    // JSON has no Infinity/NaN; null is the lossless-ish
+                    // conventional encoding (mirrors JavaScript's
+                    // JSON.stringify).
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Parses one complete JSON value from `input` (leading/trailing ASCII
+/// whitespace allowed, nothing else). Never panics.
+pub fn parse(input: &[u8]) -> Result<Json, String> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.input.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect_literal(&mut self, lit: &[u8], value: Json) -> Result<Json, String> {
+        if self.input[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        match self.peek() {
+            None => Err("unexpected end of input".into()),
+            Some(b'n') => self.expect_literal(b"null", Json::Null),
+            Some(b't') => self.expect_literal(b"true", Json::Bool(true)),
+            Some(b'f') => self.expect_literal(b"false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!("unexpected byte 0x{b:02x} at offset {}", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(format!("malformed number at offset {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(format!("malformed number at offset {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(format!("malformed number at offset {start}"));
+            }
+        }
+        // The scanned slice is pure ASCII by construction.
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| "non-ascii number".to_string())?;
+        let n: f64 = text
+            .parse()
+            .map_err(|_| format!("unparseable number `{text}`"))?;
+        if !n.is_finite() {
+            return Err(format!("number `{text}` overflows f64"));
+        }
+        Ok(Json::Num(n))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.pos += 1;
+        let mut bytes: Vec<u8> = Vec::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    None => return Err("unterminated escape".into()),
+                    Some(b'"') => bytes.push(b'"'),
+                    Some(b'\\') => bytes.push(b'\\'),
+                    Some(b'/') => bytes.push(b'/'),
+                    Some(b'b') => bytes.push(0x08),
+                    Some(b'f') => bytes.push(0x0c),
+                    Some(b'n') => bytes.push(b'\n'),
+                    Some(b'r') => bytes.push(b'\r'),
+                    Some(b't') => bytes.push(b'\t'),
+                    Some(b'u') => {
+                        let cp = self.hex4()?;
+                        // Surrogate pairs: a high surrogate must be
+                        // followed by an escaped low surrogate.
+                        let c = if (0xd800..0xdc00).contains(&cp) {
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err("lone high surrogate".into());
+                            }
+                            let lo = self.hex4()?;
+                            if !(0xdc00..0xe000).contains(&lo) {
+                                return Err("invalid low surrogate".into());
+                            }
+                            let c = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                            char::from_u32(c).ok_or("invalid surrogate pair")?
+                        } else if (0xdc00..0xe000).contains(&cp) {
+                            return Err("lone low surrogate".into());
+                        } else {
+                            char::from_u32(cp).ok_or("invalid codepoint")?
+                        };
+                        let mut buf = [0u8; 4];
+                        bytes.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    }
+                    Some(b) => return Err(format!("invalid escape \\{}", b as char)),
+                },
+                Some(b) if b < 0x20 => return Err("raw control byte in string".into()),
+                Some(b) => bytes.push(b),
+            }
+        }
+        String::from_utf8(bytes).map_err(|_| "string is not valid UTF-8".into())
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or("truncated \\u escape")?;
+            let d = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a' + 10) as u32,
+                b'A'..=b'F' => (b - b'A' + 10) as u32,
+                _ => return Err("non-hex digit in \\u escape".into()),
+            };
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                _ => return Err("expected `,` or `]` in array".into()),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.pos += 1; // '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err("expected string key in object".into());
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.bump() != Some(b':') {
+                return Err("expected `:` after object key".into());
+            }
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(fields)),
+                _ => return Err("expected `,` or `}` in object".into()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        for text in [
+            r#"null"#,
+            r#"true"#,
+            r#"-12"#,
+            r#"{"op":"bfs","root":7,"target":null}"#,
+            r#"[1,2.5,"x",[],{"a":[false]}]"#,
+        ] {
+            let v = parse(text.as_bytes()).unwrap();
+            assert_eq!(parse(v.render().as_bytes()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            &b""[..],
+            b"{",
+            b"[1,]",
+            b"{\"a\" 1}",
+            b"nul",
+            b"1 2",
+            b"\"\\u12\"",
+            b"\"\\ud800\"",
+            b"{\"a\":1}x",
+            b"+5",
+            b"\x00",
+            b"\xff\xfe",
+            b"1e",
+            b"1e999",
+        ] {
+            assert!(parse(bad).is_err(), "{:?} should fail", bad);
+        }
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let mut deep = Vec::new();
+        deep.extend(std::iter::repeat_n(b'[', 100));
+        deep.extend(std::iter::repeat_n(b']', 100));
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = parse(br#""a\n\t\"\\ \u00e9 \ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "a\n\t\"\\ \u{e9} \u{1f600}");
+        assert_eq!(parse(v.render().as_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn get_prefers_last_duplicate() {
+        let v = parse(br#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(2));
+    }
+}

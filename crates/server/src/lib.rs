@@ -1,0 +1,26 @@
+//! Long-lived graph query service for `xstream serve`.
+//!
+//! A one-shot `xstream run` pays the full ingest for every query; the
+//! server ingests once and answers many. The pieces, bottom to top:
+//!
+//! - [`json`] — panic-free JSON parsing/serialization (no serde in the
+//!   dependency policy; the parser is fuzzed in `tests/proptests.rs`).
+//! - [`protocol`] — the line-delimited request/response schema.
+//! - [`cache`] — an LRU of results keyed by (query, manifest
+//!   generation), so a re-ingest or `scrub --repair` invalidates
+//!   everything computed against the old graph.
+//! - [`service`] — lazy per-query-family engines over either backend,
+//!   including the batched multi-source BFS/SSSP entry points.
+//! - [`server`] — the TCP front end: bounded admission, one batching
+//!   executor, per-query timeouts, graceful drain on shutdown.
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use server::{ServeOptions, Server, StatsSnapshot};
+pub use service::{GraphService, LANES};

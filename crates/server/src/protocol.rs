@@ -1,0 +1,377 @@
+//! The line-delimited JSON request/response protocol.
+//!
+//! One request per line, one response line per request:
+//!
+//! ```text
+//! > {"op":"bfs","root":4,"id":1}
+//! < {"ok":true,"op":"bfs","root":4,"reached":951,"id":1}
+//! > {"op":"sssp","root":4,"target":17}
+//! < {"ok":true,"op":"sssp","root":4,"target":17,"dist":3.25,"reachable":951}
+//! > {"op":"reach","src":0,"dst":9}
+//! < {"ok":true,"op":"reach","src":0,"dst":9,"reachable":true}
+//! > {"op":"pagerank","k":2}
+//! < {"ok":true,"op":"pagerank","top":[[7,0.031642],[3,0.019991]],...}
+//! > {"op":"nonsense"}
+//! < {"ok":false,"error":"unknown op `nonsense`"}
+//! ```
+//!
+//! An optional `id` field of any JSON type is echoed verbatim in the
+//! response so clients can pipeline. Malformed lines produce an
+//! `{"ok":false,...}` line (with the `id` when one could be salvaged)
+//! — never a dropped connection, never a panic.
+
+use crate::json::{parse, Json};
+
+/// A decoded query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// BFS levels from `root`; `target` asks for one vertex's level.
+    Bfs {
+        /// Source vertex.
+        root: u32,
+        /// Optional vertex whose level is reported.
+        target: Option<u32>,
+    },
+    /// Shortest-path distances from `root`.
+    Sssp {
+        /// Source vertex.
+        root: u32,
+        /// Optional vertex whose distance is reported.
+        target: Option<u32>,
+    },
+    /// Is `dst` reachable from `src` (directed)?
+    Reach {
+        /// Start vertex.
+        src: u32,
+        /// Destination vertex.
+        dst: u32,
+    },
+    /// Are `u` and `v` in the same weakly connected component?
+    SameComponent {
+        /// First vertex.
+        u: u32,
+        /// Second vertex.
+        v: u32,
+    },
+    /// Number of weakly connected components.
+    Components,
+    /// Top-`k` vertices by PageRank after `iterations` supersteps
+    /// (`iterations` 0 means the server default).
+    Pagerank {
+        /// How many top vertices to return.
+        k: usize,
+        /// Power iterations (0 = server default).
+        iterations: usize,
+    },
+    /// Server counters; answered inline, never queued.
+    Stats,
+    /// Liveness check; answered inline, never queued.
+    Ping,
+}
+
+/// Traversal families that batch into one multi-source pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// BFS-level traversals ([`Request::Bfs`], [`Request::Reach`]).
+    Bfs,
+    /// Weighted-distance traversals ([`Request::Sssp`]).
+    Sssp,
+}
+
+impl Request {
+    /// The batching family, if this query runs as a traversal lane.
+    pub fn family(&self) -> Option<Family> {
+        match self {
+            Request::Bfs { .. } | Request::Reach { .. } => Some(Family::Bfs),
+            Request::Sssp { .. } => Some(Family::Sssp),
+            _ => None,
+        }
+    }
+
+    /// The traversal root for batchable queries.
+    pub fn root(&self) -> Option<u32> {
+        match *self {
+            Request::Bfs { root, .. } | Request::Sssp { root, .. } => Some(root),
+            Request::Reach { src, .. } => Some(src),
+            _ => None,
+        }
+    }
+
+    /// The family sub-store this query's answer is derived from —
+    /// the manifest whose generation keys its cache entries. `None`
+    /// for inline ops that touch no store.
+    pub fn store_family(&self) -> Option<&'static str> {
+        match self {
+            Request::Bfs { .. } | Request::Reach { .. } => Some("bfs"),
+            Request::Sssp { .. } => Some("sssp"),
+            Request::Pagerank { .. } => Some("pagerank"),
+            Request::SameComponent { .. } | Request::Components => Some("wcc"),
+            Request::Stats | Request::Ping => None,
+        }
+    }
+
+    /// Canonical cache key, or `None` for uncacheable ops. Combined
+    /// with the family sub-store's manifest generation by the cache
+    /// layer.
+    pub fn cache_key(&self) -> Option<String> {
+        match self {
+            Request::Bfs { root, target } => Some(format!("bfs:{root}:{target:?}")),
+            Request::Sssp { root, target } => Some(format!("sssp:{root}:{target:?}")),
+            Request::Reach { src, dst } => Some(format!("reach:{src}:{dst}")),
+            Request::SameComponent { u, v } => Some(format!("samecomp:{u}:{v}")),
+            Request::Components => Some("components".into()),
+            Request::Pagerank { k, iterations } => Some(format!("pagerank:{k}:{iterations}")),
+            Request::Stats | Request::Ping => None,
+        }
+    }
+}
+
+/// A request plus its echoed `id`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Client-chosen correlation id, echoed verbatim.
+    pub id: Option<Json>,
+    /// The decoded query.
+    pub request: Request,
+}
+
+/// Hard cap on accepted request lines; longer input is rejected before
+/// parsing (the longest legitimate request is well under 1 KiB).
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+fn vertex_field(obj: &Json, key: &str) -> Result<u32, String> {
+    match obj.get(key) {
+        None => Err(format!("missing field `{key}`")),
+        Some(v) => v
+            .as_u64()
+            .filter(|&n| n <= u32::MAX as u64)
+            .map(|n| n as u32)
+            .ok_or_else(|| format!("field `{key}` must be a vertex id")),
+    }
+}
+
+fn opt_vertex_field(obj: &Json, key: &str) -> Result<Option<u32>, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .filter(|&n| n <= u32::MAX as u64)
+            .map(|n| Some(n as u32))
+            .ok_or_else(|| format!("field `{key}` must be a vertex id")),
+    }
+}
+
+fn opt_count_field(obj: &Json, key: &str, default: usize, max: usize) -> Result<usize, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .filter(|&n| n <= max as u64)
+            .map(|n| n as usize)
+            .ok_or_else(|| format!("field `{key}` must be an integer <= {max}")),
+    }
+}
+
+/// Parses one request line. The `Err` payload is `(salvaged id,
+/// message)` — the id is recovered whenever the line was valid JSON so
+/// the error response still correlates.
+pub fn parse_request(line: &[u8]) -> Result<Envelope, (Option<Json>, String)> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err((None, format!("request exceeds {MAX_LINE_BYTES} bytes")));
+    }
+    let value = parse(line).map_err(|e| (None, format!("invalid JSON: {e}")))?;
+    let id = value.get("id").cloned();
+    let fail = |msg: String| (id.clone(), msg);
+    if !matches!(value, Json::Obj(_)) {
+        return Err(fail("request must be a JSON object".into()));
+    }
+    let op = value
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail("missing string field `op`".into()))?;
+    let request = match op {
+        "bfs" => Request::Bfs {
+            root: vertex_field(&value, "root").map_err(&fail)?,
+            target: opt_vertex_field(&value, "target").map_err(&fail)?,
+        },
+        "sssp" => Request::Sssp {
+            root: vertex_field(&value, "root").map_err(&fail)?,
+            target: opt_vertex_field(&value, "target").map_err(&fail)?,
+        },
+        "reach" => Request::Reach {
+            src: vertex_field(&value, "src").map_err(&fail)?,
+            dst: vertex_field(&value, "dst").map_err(&fail)?,
+        },
+        "same-component" => Request::SameComponent {
+            u: vertex_field(&value, "u").map_err(&fail)?,
+            v: vertex_field(&value, "v").map_err(&fail)?,
+        },
+        "components" => Request::Components,
+        "pagerank" => Request::Pagerank {
+            k: opt_count_field(&value, "k", 1, 1024).map_err(&fail)?,
+            iterations: opt_count_field(&value, "iterations", 0, 10_000).map_err(&fail)?,
+        },
+        "stats" => Request::Stats,
+        "ping" => Request::Ping,
+        other => return Err(fail(format!("unknown op `{other}`"))),
+    };
+    Ok(Envelope { id, request })
+}
+
+/// Renders a success response line (no trailing newline): the given
+/// fields wrapped with `"ok":true` and the echoed `id`.
+pub fn render_ok(id: &Option<Json>, fields: Vec<(String, Json)>) -> String {
+    let mut all = vec![("ok".to_string(), Json::Bool(true))];
+    all.extend(fields);
+    if let Some(id) = id {
+        all.push(("id".to_string(), id.clone()));
+    }
+    Json::Obj(all).render()
+}
+
+/// Renders an error response line (no trailing newline).
+pub fn render_err(id: &Option<Json>, error: &str) -> String {
+    let mut all = vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::str(error)),
+    ];
+    if let Some(id) = id {
+        all.push(("id".to_string(), id.clone()));
+    }
+    Json::Obj(all).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        let cases: Vec<(&str, Request)> = vec![
+            (
+                r#"{"op":"bfs","root":3}"#,
+                Request::Bfs {
+                    root: 3,
+                    target: None,
+                },
+            ),
+            (
+                r#"{"op":"bfs","root":3,"target":9}"#,
+                Request::Bfs {
+                    root: 3,
+                    target: Some(9),
+                },
+            ),
+            (
+                r#"{"op":"sssp","root":0,"target":null}"#,
+                Request::Sssp {
+                    root: 0,
+                    target: None,
+                },
+            ),
+            (
+                r#"{"op":"reach","src":1,"dst":2}"#,
+                Request::Reach { src: 1, dst: 2 },
+            ),
+            (
+                r#"{"op":"same-component","u":5,"v":6}"#,
+                Request::SameComponent { u: 5, v: 6 },
+            ),
+            (r#"{"op":"components"}"#, Request::Components),
+            (
+                r#"{"op":"pagerank","k":3,"iterations":5}"#,
+                Request::Pagerank {
+                    k: 3,
+                    iterations: 5,
+                },
+            ),
+            (
+                r#"{"op":"pagerank"}"#,
+                Request::Pagerank {
+                    k: 1,
+                    iterations: 0,
+                },
+            ),
+            (r#"{"op":"stats"}"#, Request::Stats),
+            (r#"{"op":"ping"}"#, Request::Ping),
+        ];
+        for (line, want) in cases {
+            let env = parse_request(line.as_bytes()).unwrap();
+            assert_eq!(env.request, want, "{line}");
+        }
+    }
+
+    #[test]
+    fn id_is_salvaged_from_bad_requests() {
+        let err = parse_request(br#"{"op":"warp","id":42}"#).unwrap_err();
+        assert_eq!(err.0, Some(Json::Num(42.0)));
+        let err = parse_request(br#"{"op":"bfs","id":"x"}"#).unwrap_err();
+        assert_eq!(err.0, Some(Json::str("x")));
+        // Unparseable line: no id to salvage.
+        let err = parse_request(b"\xff{").unwrap_err();
+        assert_eq!(err.0, None);
+    }
+
+    #[test]
+    fn rejects_bad_vertex_ids() {
+        for line in [
+            r#"{"op":"bfs"}"#,
+            r#"{"op":"bfs","root":-1}"#,
+            r#"{"op":"bfs","root":1.5}"#,
+            r#"{"op":"bfs","root":4294967296}"#,
+            r#"{"op":"bfs","root":"zero"}"#,
+            r#"{"op":"pagerank","k":1e9}"#,
+        ] {
+            assert!(parse_request(line.as_bytes()).is_err(), "{line}");
+        }
+    }
+
+    #[test]
+    fn cache_keys_are_distinct() {
+        let keys: Vec<_> = [
+            Request::Bfs {
+                root: 1,
+                target: None,
+            },
+            Request::Bfs {
+                root: 1,
+                target: Some(2),
+            },
+            Request::Bfs {
+                root: 2,
+                target: None,
+            },
+            Request::Sssp {
+                root: 1,
+                target: None,
+            },
+            Request::Reach { src: 1, dst: 2 },
+            Request::SameComponent { u: 1, v: 2 },
+            Request::Components,
+            Request::Pagerank {
+                k: 1,
+                iterations: 5,
+            },
+            Request::Pagerank {
+                k: 2,
+                iterations: 5,
+            },
+        ]
+        .iter()
+        .map(|r| r.cache_key().unwrap())
+        .collect();
+        let unique: std::collections::HashSet<_> = keys.iter().collect();
+        assert_eq!(unique.len(), keys.len());
+        assert!(Request::Stats.cache_key().is_none());
+        assert!(Request::Ping.cache_key().is_none());
+    }
+
+    #[test]
+    fn responses_echo_ids() {
+        let id = Some(Json::Num(7.0));
+        let ok = render_ok(&id, vec![("x".into(), Json::num(1.0))]);
+        assert_eq!(ok, r#"{"ok":true,"x":1,"id":7}"#);
+        let err = render_err(&None, "nope");
+        assert_eq!(err, r#"{"ok":false,"error":"nope"}"#);
+    }
+}

@@ -1,0 +1,418 @@
+//! Engine-facing query execution: one [`GraphService`] owns the
+//! graph, builds per-query-family engines lazily, and runs batched
+//! multi-source traversals on behalf of the server's executor.
+//!
+//! Engines persist across queries — the graph is ingested once when a
+//! family's first query arrives, and every later query of that family
+//! re-initializes vertex state via `vertex_map` (O(V)) instead of
+//! re-streaming the edge file. The disk backend namespaces each family
+//! into its own sub-store under the serve store root (`bfs/`, `sssp/`,
+//! `pagerank/`, `wcc/`) so their stream names never collide; each
+//! sub-store carries its own PR 8 manifest, and
+//! [`GraphService::generation_of`] re-reads a family's manifest from
+//! disk on every call so an out-of-band re-ingest or `scrub --repair`
+//! invalidates that family's cached answers immediately — without
+//! touching the other families' cache entries.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use xstream_algorithms::multi::{run_multi_bfs, run_multi_sssp, MultiBfs, MultiSssp, UNREACHED};
+use xstream_algorithms::{pagerank, wcc};
+use xstream_core::{EngineConfig, RunStats};
+use xstream_disk::{DiskEngine, EdgeIngest};
+use xstream_graph::fileio::EdgeFileReader;
+use xstream_graph::EdgeList;
+use xstream_memory::InMemoryEngine;
+use xstream_storage::manifest::{Manifest, MANIFEST_NAME};
+use xstream_storage::StreamStore;
+
+/// Traversal lanes per batched pass: up to this many distinct roots
+/// share one multi-source frontier run.
+pub const LANES: usize = 4;
+
+/// Per-family sub-store directory names under the serve store root.
+pub const FAMILY_DIRS: [&str; 4] = ["bfs", "sssp", "pagerank", "wcc"];
+
+type MemBfs = InMemoryEngine<MultiBfs<LANES>>;
+type MemSssp = InMemoryEngine<MultiSssp<LANES>>;
+type MemPr = InMemoryEngine<pagerank::Pagerank>;
+type DiskBfs = DiskEngine<MultiBfs<LANES>>;
+type DiskSssp = DiskEngine<MultiSssp<LANES>>;
+type DiskPr = DiskEngine<pagerank::Pagerank>;
+
+// One Backend exists per process, owned by the executor thread for the
+// server's whole lifetime — the size skew between variants never costs
+// a copy.
+#[allow(clippy::large_enum_variant)]
+enum Backend {
+    Memory {
+        graph: EdgeList,
+        bfs: Option<MemBfs>,
+        sssp: Option<MemSssp>,
+        pagerank: Option<(MemPr, Vec<u32>)>,
+    },
+    Disk {
+        input: PathBuf,
+        root: PathBuf,
+        bfs: Option<DiskBfs>,
+        sssp: Option<DiskSssp>,
+        pagerank: Option<(DiskPr, Vec<u32>)>,
+    },
+}
+
+/// The query-execution half of `xstream serve`.
+pub struct GraphService {
+    backend: Backend,
+    cfg: EngineConfig,
+    num_vertices: usize,
+    num_edges: usize,
+    /// Default PageRank iteration count (`--iterations`).
+    pub iterations: usize,
+    /// WCC labels, computed once per generation and shared.
+    wcc: Option<(u64, Arc<Vec<u32>>)>,
+}
+
+impl GraphService {
+    /// Serves an already-loaded in-memory graph. Its generation is
+    /// fixed at 0 (no manifest exists to bump).
+    pub fn open_memory(graph: EdgeList, cfg: EngineConfig, iterations: usize) -> Self {
+        let (num_vertices, num_edges) = (graph.num_vertices(), graph.num_edges());
+        Self {
+            backend: Backend::Memory {
+                graph,
+                bfs: None,
+                sssp: None,
+                pagerank: None,
+            },
+            cfg,
+            num_vertices,
+            num_edges,
+            iterations,
+            wcc: None,
+        }
+    }
+
+    /// Serves an edge file out-of-core: family engines ingest into
+    /// sub-stores under `store_root` on first use.
+    pub fn open_disk(
+        input: &Path,
+        store_root: &Path,
+        cfg: EngineConfig,
+        iterations: usize,
+    ) -> Result<Self, String> {
+        let reader =
+            EdgeFileReader::open(input).map_err(|e| format!("{}: {e}", input.display()))?;
+        Ok(Self {
+            backend: Backend::Disk {
+                input: input.to_path_buf(),
+                root: store_root.to_path_buf(),
+                bfs: None,
+                sssp: None,
+                pagerank: None,
+            },
+            num_vertices: reader.num_vertices(),
+            num_edges: reader.num_edges(),
+            cfg,
+            iterations,
+            wcc: None,
+        })
+    }
+
+    /// Vertex count of the served graph.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Edge count of the served graph (as ingested; undirected
+    /// families stream the doubled expansion).
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Current generation of one family's sub-store (a [`FAMILY_DIRS`]
+    /// name), re-read from its manifest on every call so external
+    /// repairs are seen immediately. Generations are per family — a
+    /// family's first-query ingest seals only its own sub-store, which
+    /// must not invalidate every other family's cached answers. The
+    /// memory backend has no manifests and stays at generation 0.
+    pub fn generation_of(&self, family: &str) -> u64 {
+        match &self.backend {
+            Backend::Memory { .. } => 0,
+            Backend::Disk { root, .. } => read_generation(&root.join(family)),
+        }
+    }
+
+    /// Rejects out-of-range roots before they reach a batch (the
+    /// multi-source drivers assert on them).
+    pub fn validate_vertex(&self, v: u32) -> Result<(), String> {
+        if (v as usize) < self.num_vertices {
+            Ok(())
+        } else {
+            Err(format!(
+                "vertex {v} out of range (graph has {} vertices)",
+                self.num_vertices
+            ))
+        }
+    }
+
+    fn sub_store(root: &Path, family: &str, cfg: &EngineConfig) -> Result<StreamStore, String> {
+        StreamStore::new(&root.join(family), cfg.io_unit)
+            .map_err(|e| format!("opening {family} store: {e}"))
+    }
+
+    /// Runs one batched BFS pass over up to [`LANES`] distinct roots;
+    /// returns lane-major level vectors (one per root, in order) and
+    /// the pass statistics.
+    pub fn run_bfs_batch(&mut self, roots: &[u32]) -> Result<(Vec<Vec<u32>>, RunStats), String> {
+        assert!(!roots.is_empty() && roots.len() <= LANES);
+        for &r in roots {
+            self.validate_vertex(r)?;
+        }
+        // Pad unused lanes with the first root: they recompute lane 0
+        // for free (no extra active partitions) and are discarded.
+        let mut lanes = [roots[0]; LANES];
+        lanes[..roots.len()].copy_from_slice(roots);
+        let program = MultiBfs::<LANES>::new();
+        let states = match &mut self.backend {
+            Backend::Memory { graph, bfs, .. } => {
+                let engine = ensure_engine(bfs, || {
+                    InMemoryEngine::from_graph(graph, &program, self.cfg.clone())
+                });
+                run_multi_bfs(engine, &program, &lanes)
+            }
+            Backend::Disk {
+                input, root, bfs, ..
+            } => {
+                let engine = match bfs {
+                    Some(e) => e,
+                    None => {
+                        let store = Self::sub_store(root, "bfs", &self.cfg)?;
+                        let e = DiskEngine::from_ingest(
+                            store,
+                            &EdgeIngest::new(&*input),
+                            &program,
+                            self.cfg.clone(),
+                        )
+                        .map_err(|e| format!("bfs ingest: {e}"))?;
+                        bfs.insert(e)
+                    }
+                };
+                run_multi_bfs(engine, &program, &lanes)
+            }
+        };
+        let (states, stats) = states;
+        let levels = (0..roots.len())
+            .map(|lane| states.iter().map(|s| s[lane]).collect())
+            .collect();
+        Ok((levels, stats))
+    }
+
+    /// Runs one batched SSSP pass over up to [`LANES`] distinct roots;
+    /// returns lane-major distance vectors and the pass statistics.
+    pub fn run_sssp_batch(&mut self, roots: &[u32]) -> Result<(Vec<Vec<f32>>, RunStats), String> {
+        assert!(!roots.is_empty() && roots.len() <= LANES);
+        for &r in roots {
+            self.validate_vertex(r)?;
+        }
+        let mut lanes = [roots[0]; LANES];
+        lanes[..roots.len()].copy_from_slice(roots);
+        let program = MultiSssp::<LANES>::new();
+        let (dists, stats) = match &mut self.backend {
+            Backend::Memory { graph, sssp, .. } => {
+                let engine = ensure_engine(sssp, || {
+                    InMemoryEngine::from_graph(graph, &program, self.cfg.clone())
+                });
+                run_multi_sssp(engine, &program, &lanes)
+            }
+            Backend::Disk {
+                input, root, sssp, ..
+            } => {
+                let engine = match sssp {
+                    Some(e) => e,
+                    None => {
+                        let store = Self::sub_store(root, "sssp", &self.cfg)?;
+                        let e = DiskEngine::from_ingest(
+                            store,
+                            &EdgeIngest::new(&*input),
+                            &program,
+                            self.cfg.clone(),
+                        )
+                        .map_err(|e| format!("sssp ingest: {e}"))?;
+                        sssp.insert(e)
+                    }
+                };
+                run_multi_sssp(engine, &program, &lanes)
+            }
+        };
+        let out = (0..roots.len())
+            .map(|lane| dists.iter().map(|s| s[lane]).collect())
+            .collect();
+        Ok((out, stats))
+    }
+
+    /// Runs PageRank for `iterations` supersteps (0 = server default);
+    /// returns per-vertex ranks and run statistics.
+    pub fn run_pagerank(&mut self, iterations: usize) -> Result<(Vec<f32>, RunStats), String> {
+        let iterations = if iterations == 0 {
+            self.iterations
+        } else {
+            iterations
+        };
+        let program = pagerank::Pagerank;
+        match &mut self.backend {
+            Backend::Memory {
+                graph,
+                pagerank: pr,
+                ..
+            } => {
+                let (engine, degrees) = match pr {
+                    Some(pair) => pair,
+                    None => {
+                        let degrees = graph.out_degrees();
+                        let engine = InMemoryEngine::from_graph(graph, &program, self.cfg.clone());
+                        pr.insert((engine, degrees))
+                    }
+                };
+                Ok(pagerank::run(engine, &program, degrees, iterations))
+            }
+            Backend::Disk {
+                input,
+                root,
+                pagerank: pr,
+                ..
+            } => {
+                let (engine, degrees) = match pr {
+                    Some(pair) => pair,
+                    None => {
+                        let store = Self::sub_store(root, "pagerank", &self.cfg)?;
+                        // Degrees fold into the ingest pass, as in the
+                        // one-shot CLI path.
+                        let counts = Arc::new(Mutex::new(vec![0u32; self.num_vertices]));
+                        let ingest = {
+                            let counts = Arc::clone(&counts);
+                            EdgeIngest::new(&*input).with_observer(move |chunk| {
+                                let mut d = counts.lock().expect("degree counter poisoned");
+                                for e in chunk {
+                                    d[e.src as usize] += 1;
+                                }
+                            })
+                        };
+                        let engine =
+                            DiskEngine::from_ingest(store, &ingest, &program, self.cfg.clone())
+                                .map_err(|e| format!("pagerank ingest: {e}"))?;
+                        let degrees =
+                            std::mem::take(&mut *counts.lock().expect("degree counter poisoned"));
+                        pr.insert((engine, degrees))
+                    }
+                };
+                Ok(pagerank::run(engine, &program, degrees, iterations))
+            }
+        }
+    }
+
+    /// Weakly-connected-component labels, computed once per graph
+    /// generation (over the undirected expansion) and shared. Returns
+    /// the labels and the run statistics when this call computed them.
+    pub fn wcc_labels(&mut self) -> Result<(Arc<Vec<u32>>, Option<RunStats>), String> {
+        let generation = self.generation_of("wcc");
+        if let Some((cached_gen, labels)) = &self.wcc {
+            if *cached_gen == generation {
+                return Ok((Arc::clone(labels), None));
+            }
+        }
+        let program = wcc::Wcc::new();
+        let (labels, stats) = match &mut self.backend {
+            Backend::Memory { graph, .. } => {
+                // Transient engine: labels are immutable per
+                // generation, so the doubled edge copy is dropped
+                // right after the run.
+                let und = graph.to_undirected();
+                let mut engine = InMemoryEngine::from_graph(&und, &program, self.cfg.clone());
+                wcc::run(&mut engine, &program)
+            }
+            Backend::Disk { input, root, .. } => {
+                let store = Self::sub_store(root, "wcc", &self.cfg)?;
+                let mut engine = DiskEngine::from_ingest(
+                    store,
+                    &EdgeIngest::undirected(&*input),
+                    &program,
+                    self.cfg.clone(),
+                )
+                .map_err(|e| format!("wcc ingest: {e}"))?;
+                wcc::run(&mut engine, &program)
+            }
+        };
+        let labels = Arc::new(labels);
+        // Stamp the cached labels with the generation observed *after*
+        // the run: on the disk backend every WCC run ingests the wcc
+        // sub-store afresh and seals its manifest at a higher
+        // generation, so the pre-run value would mark these labels
+        // stale forever.
+        self.wcc = Some((self.generation_of("wcc"), Arc::clone(&labels)));
+        Ok((labels, Some(stats)))
+    }
+}
+
+fn ensure_engine<E>(slot: &mut Option<E>, build: impl FnOnce() -> E) -> &mut E {
+    if slot.is_none() {
+        *slot = Some(build());
+    }
+    slot.as_mut().expect("just filled")
+}
+
+fn read_generation(dir: &Path) -> u64 {
+    let Ok(bytes) = std::fs::read(dir.join(MANIFEST_NAME)) else {
+        return 0;
+    };
+    Manifest::decode(&bytes).map(|m| m.generation).unwrap_or(0)
+}
+
+/// Level sentinel re-exported for response building.
+pub const BFS_UNREACHED: u32 = UNREACHED;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xstream_algorithms::bfs;
+    use xstream_graph::generators;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::default().with_threads(2).with_partitions(4)
+    }
+
+    #[test]
+    fn memory_service_matches_single_runs_and_reuses_engines() {
+        let g = generators::erdos_renyi(200, 1200, 3);
+        let mut svc = GraphService::open_memory(g.clone(), cfg(), 5);
+        let (levels, _) = svc.run_bfs_batch(&[0, 5, 9]).unwrap();
+        assert_eq!(levels.len(), 3);
+        for (i, &root) in [0u32, 5, 9].iter().enumerate() {
+            let (single, _) = bfs::bfs_in_memory(&g, root, cfg());
+            assert_eq!(levels[i], single, "root {root}");
+        }
+        // Second batch reuses the engine (no rebuild): still correct.
+        let (levels2, _) = svc.run_bfs_batch(&[7]).unwrap();
+        let (single7, _) = bfs::bfs_in_memory(&g, 7, cfg());
+        assert_eq!(levels2[0], single7);
+    }
+
+    #[test]
+    fn wcc_labels_cached_per_generation() {
+        let g = generators::erdos_renyi(100, 300, 11);
+        let mut svc = GraphService::open_memory(g, cfg(), 5);
+        let (l1, stats1) = svc.wcc_labels().unwrap();
+        assert!(stats1.is_some(), "first call computes");
+        let (l2, stats2) = svc.wcc_labels().unwrap();
+        assert!(stats2.is_none(), "second call is served from cache");
+        assert!(Arc::ptr_eq(&l1, &l2));
+    }
+
+    #[test]
+    fn out_of_range_roots_are_rejected_not_panicked() {
+        let g = generators::path(10);
+        let mut svc = GraphService::open_memory(g, cfg(), 5);
+        assert!(svc.run_bfs_batch(&[10]).is_err());
+        assert!(svc.run_sssp_batch(&[99]).is_err());
+    }
+}

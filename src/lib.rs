@@ -10,5 +10,6 @@ pub use xstream_disk as disk;
 pub use xstream_graph as graph;
 pub use xstream_iomodel as iomodel;
 pub use xstream_memory as memory;
+pub use xstream_server as server;
 pub use xstream_storage as storage;
 pub use xstream_streams as streams;

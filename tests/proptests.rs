@@ -304,6 +304,80 @@ mod disk_engine_props {
     }
 }
 
+/// The serve protocol faces untrusted sockets: arbitrary bytes and
+/// near-miss JSON must produce a well-formed error line — never a
+/// panic, never a malformed response. (Slot accounting and cache
+/// hygiene under the same inputs are covered by the live-server test
+/// in `tests/serve_protocol.rs`; these properties pin the parser.)
+mod protocol_props {
+    use super::*;
+    use xstream::server::json;
+    use xstream::server::protocol::{parse_request, render_err, render_ok};
+
+    /// Whatever `parse_request` returns, the response line the server
+    /// would write for it must itself be one valid JSON object with a
+    /// boolean `ok` field.
+    fn response_is_well_formed(line: &[u8]) {
+        let rendered = match parse_request(line) {
+            Ok(env) => render_ok(&env.id, vec![("op".to_string(), json::Json::str("x"))]),
+            Err((id, msg)) => render_err(&id, &msg),
+        };
+        let parsed = json::parse(rendered.as_bytes()).expect("response line must be valid JSON");
+        assert!(parsed.get("ok").and_then(json::Json::as_bool).is_some());
+        assert!(
+            !rendered.contains('\n'),
+            "response must stay on one line: {rendered:?}"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn arbitrary_bytes_never_panic_the_parser(line in vec(any::<u8>(), 0..512)) {
+            response_is_well_formed(&line);
+        }
+
+        #[test]
+        fn corrupted_valid_requests_never_panic(
+            template in 0usize..6,
+            root in any::<u32>(),
+            cut in any::<u16>(),
+            flip in any::<u8>(),
+        ) {
+            // Start from a well-formed request, then truncate it and
+            // flip one byte — the near-miss inputs a buggy hand-rolled
+            // parser is most likely to mishandle.
+            let valid = match template {
+                0 => format!(r#"{{"op":"bfs","root":{root},"id":1}}"#),
+                1 => format!(r#"{{"op":"sssp","root":{root},"target":{}}}"#, root / 2),
+                2 => format!(r#"{{"op":"reach","src":{root},"dst":0}}"#),
+                3 => format!(r#"{{"op":"pagerank","k":{},"iterations":3}}"#, root % 100),
+                4 => format!(r#"{{"op":"same-component","u":{root},"v":{root}}}"#),
+                _ => r#"{"op":"components","id":"😀"}"#.to_string(),
+            };
+            response_is_well_formed(valid.as_bytes());
+            let mut bytes = valid.into_bytes();
+            bytes.truncate(cut as usize % (bytes.len() + 1));
+            if !bytes.is_empty() {
+                let at = flip as usize % bytes.len();
+                bytes[at] ^= 1 << (flip % 8);
+            }
+            response_is_well_formed(&bytes);
+        }
+
+        #[test]
+        fn deep_nesting_is_rejected_not_overflowed(depth in 1usize..2000) {
+            let mut line = Vec::with_capacity(2 * depth + 20);
+            line.extend_from_slice(br#"{"op":"#);
+            line.extend(std::iter::repeat_n(b'[', depth));
+            line.extend(std::iter::repeat_n(b']', depth));
+            line.push(b'}');
+            response_is_well_formed(&line);
+        }
+    }
+}
+
 /// EdgeList construction helper used by the strategies above.
 #[allow(dead_code)]
 fn as_edge_list(n: usize, pairs: &[(u32, u32)]) -> EdgeList {

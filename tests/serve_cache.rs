@@ -1,0 +1,173 @@
+//! Cache-generation tests on the disk backend: the serve result cache
+//! is keyed by the PR 8 manifest generation, so an out-of-band store
+//! seal (re-ingest, `scrub --repair`) must invalidate every cached
+//! answer — stale entries are never served, and the recomputed answer
+//! over the unchanged graph is identical.
+
+mod serve_support;
+
+use std::path::PathBuf;
+
+use serve_support::{field_bool, field_u64, is_ok, wait_for_drain, Client};
+use xstream::core::EngineConfig;
+use xstream::graph::{fileio::write_edge_file, generators};
+use xstream::server::{GraphService, ServeOptions};
+use xstream::storage::manifest::{Manifest, MANIFEST_NAME};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xstream_serve_cache_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Bumps one family sub-store's manifest generation in place — the
+/// same observable effect a re-ingest or `scrub --repair` seal has.
+fn bump_generation(store_root: &std::path::Path, family: &str) {
+    let path = store_root.join(family).join(MANIFEST_NAME);
+    let bytes = std::fs::read(&path).expect("family manifest must exist after first query");
+    let mut m = Manifest::decode(&bytes).expect("valid manifest");
+    m.generation += 1;
+    std::fs::write(&path, m.encode()).expect("rewrite manifest");
+}
+
+fn disk_service(input: &std::path::Path, store_root: &std::path::Path) -> GraphService {
+    let cfg = EngineConfig::default()
+        .with_threads(2)
+        .with_partitions(4)
+        .with_io_unit(1 << 13)
+        .with_memory_budget(1 << 20);
+    GraphService::open_disk(input, store_root, cfg, 5).expect("open disk service")
+}
+
+#[test]
+fn generation_bump_invalidates_cached_traversals_but_answers_are_stable() {
+    let g = generators::erdos_renyi(200, 1000, 41);
+    let dir = temp_dir("bfs");
+    let input = dir.join("graph.edges");
+    write_edge_file(&input, &g).expect("edge file");
+    let store_root = dir.join("store");
+    let server = serve_support::start(disk_service(&input, &store_root), ServeOptions::default());
+    let mut c = Client::connect(server.addr);
+
+    let query = r#"{"op":"bfs","root":3,"target":9}"#;
+    let first = c.roundtrip(query);
+    assert!(is_ok(&first), "{}", first.render());
+    let s = wait_for_drain(&mut c);
+    let runs_cold = field_u64(&s, "engine_runs");
+
+    // Warm hit: no new engine run.
+    let second = c.roundtrip(query);
+    assert_eq!(second.get("reached"), first.get("reached"));
+    assert_eq!(second.get("level"), first.get("level"));
+    let s = wait_for_drain(&mut c);
+    assert_eq!(
+        field_u64(&s, "engine_runs"),
+        runs_cold,
+        "warm hit ran engine"
+    );
+    assert_eq!(field_u64(&s, "cache_hits"), 1);
+
+    // Seal simulation: the bfs sub-store's generation moves on.
+    bump_generation(&store_root, "bfs");
+
+    // The stale entry must not be served: the query recomputes (one
+    // more engine run, no new cache hit) and the graph is unchanged,
+    // so the recomputed answer is identical.
+    let third = c.roundtrip(query);
+    assert!(is_ok(&third), "{}", third.render());
+    assert_eq!(third.get("reached"), first.get("reached"));
+    assert_eq!(third.get("level"), first.get("level"));
+    let s = wait_for_drain(&mut c);
+    assert_eq!(
+        field_u64(&s, "engine_runs"),
+        runs_cold + 1,
+        "stale cache entry was served after the generation bump: {}",
+        s.render()
+    );
+    assert_eq!(field_u64(&s, "cache_hits"), 1, "bumped-key lookup hit");
+
+    // The new generation caches normally again.
+    let fourth = c.roundtrip(query);
+    assert_eq!(fourth.get("reached"), first.get("reached"));
+    let s = wait_for_drain(&mut c);
+    assert_eq!(field_u64(&s, "engine_runs"), runs_cold + 1);
+    assert_eq!(field_u64(&s, "cache_hits"), 2);
+
+    let snap = server.stop();
+    assert_eq!(snap.inflight, 0);
+}
+
+#[test]
+fn generation_bump_invalidates_cached_component_labels_too() {
+    let g = generators::erdos_renyi(150, 500, 43);
+    let dir = temp_dir("wcc");
+    let input = dir.join("graph.edges");
+    write_edge_file(&input, &g).expect("edge file");
+    let store_root = dir.join("store");
+    let server = serve_support::start(disk_service(&input, &store_root), ServeOptions::default());
+    let mut c = Client::connect(server.addr);
+
+    let query = r#"{"op":"same-component","u":1,"v":2}"#;
+    let first = c.roundtrip(query);
+    assert!(is_ok(&first), "{}", first.render());
+    let same = field_bool(&first, "same");
+    let s = wait_for_drain(&mut c);
+    let runs_cold = field_u64(&s, "engine_runs");
+
+    let second = c.roundtrip(query);
+    assert_eq!(field_bool(&second, "same"), same);
+    let s = wait_for_drain(&mut c);
+    assert_eq!(field_u64(&s, "engine_runs"), runs_cold);
+
+    // Bumping the wcc family invalidates BOTH caches above it: the
+    // query-result LRU and the service's per-generation label cache.
+    bump_generation(&store_root, "wcc");
+    let third = c.roundtrip(query);
+    assert!(is_ok(&third), "{}", third.render());
+    assert_eq!(
+        field_bool(&third, "same"),
+        same,
+        "recomputed labels diverged"
+    );
+    let s = wait_for_drain(&mut c);
+    assert_eq!(
+        field_u64(&s, "engine_runs"),
+        runs_cold + 1,
+        "stale WCC labels served after generation bump: {}",
+        s.render()
+    );
+    server.stop();
+}
+
+#[test]
+fn disk_backend_batches_and_caches_like_the_memory_backend() {
+    // The serve e2e in CI drives the disk backend from a real client;
+    // this is the in-process equivalent plus counter assertions.
+    let g = generators::erdos_renyi(200, 1000, 47);
+    let dir = temp_dir("batch");
+    let input = dir.join("graph.edges");
+    write_edge_file(&input, &g).expect("edge file");
+    let store_root = dir.join("store");
+    let server = serve_support::start(disk_service(&input, &store_root), ServeOptions::default());
+    let mut c = Client::connect(server.addr);
+
+    let mem_cfg = EngineConfig::default().with_threads(2).with_partitions(4);
+    for root in [0u32, 7, 99] {
+        let v = c.roundtrip(&format!(r#"{{"op":"bfs","root":{root}}}"#));
+        assert!(is_ok(&v), "{}", v.render());
+        let expected = xstream::algorithms::bfs::bfs_in_memory(&g, root, mem_cfg.clone())
+            .0
+            .iter()
+            .filter(|&&l| l != u32::MAX)
+            .count() as u64;
+        assert_eq!(
+            field_u64(&v, "reached"),
+            expected,
+            "disk backend root {root}"
+        );
+    }
+    let snap = server.stop();
+    assert!(snap.engine_runs >= 1);
+    assert_eq!(snap.inflight, 0);
+}

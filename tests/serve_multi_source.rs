@@ -1,0 +1,180 @@
+//! Differential tests for the batched multi-source traversals behind
+//! `xstream serve`: one L-lane pass must be *bitwise* identical, lane
+//! by lane, to L independent single-root runs — on both engines, and
+//! on the disk engine across the whole forced-spill frontier matrix
+//! from `tests/frontier_scatter.rs` — while streaming measurably fewer
+//! edges than the L serial runs it replaces.
+
+use xstream::algorithms::multi::{run_multi_bfs, run_multi_sssp, MultiBfs, MultiSssp};
+use xstream::algorithms::{bfs, sssp};
+use xstream::core::{Edge, EngineConfig};
+use xstream::disk::DiskEngine;
+use xstream::graph::{generators, EdgeList};
+use xstream::memory::InMemoryEngine;
+use xstream::storage::StreamStore;
+
+const ROOTS: [u32; 4] = [7, 123, 256, 480];
+
+fn temp_store(tag: &str) -> StreamStore {
+    let root = std::env::temp_dir().join(format!("xstream_serve_multi_{tag}"));
+    let _ = std::fs::remove_dir_all(&root);
+    StreamStore::new(&root, 1 << 13).expect("store")
+}
+
+/// Forced-spill configuration (same shape as `tests/frontier_scatter.rs`):
+/// updates always hit the store, small I/O unit, 4 streaming partitions.
+fn spill_cfg() -> EngineConfig {
+    EngineConfig {
+        in_memory_updates: false,
+        ..EngineConfig::default()
+            .with_threads(2)
+            .with_io_unit(1 << 13)
+            .with_memory_budget(1 << 20)
+            .with_partitions(4)
+    }
+}
+
+/// The hybrid-switch matrix: default divisor, forced-sparse,
+/// forced-dense, and frontier skipping off entirely.
+fn mode_matrix() -> Vec<(&'static str, EngineConfig)> {
+    vec![
+        ("default", spill_cfg()),
+        ("sparse", spill_cfg().with_frontier_threshold(0)),
+        ("dense", spill_cfg().with_frontier_threshold(usize::MAX)),
+        ("off", spill_cfg().with_frontier_skip(false)),
+    ]
+}
+
+fn mem_cfg() -> EngineConfig {
+    EngineConfig::default().with_threads(2).with_partitions(4)
+}
+
+fn weighted_graph() -> EdgeList {
+    let base = generators::erdos_renyi(500, 2800, 29);
+    let edges: Vec<Edge> = base
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| Edge::weighted(e.src, e.dst, 0.25 + (i % 13) as f32 * 0.125))
+        .collect();
+    EdgeList::from_parts_unchecked(base.num_vertices(), edges)
+}
+
+#[test]
+fn batched_bfs_lanes_match_singles_on_both_engines_and_all_modes() {
+    let g = generators::erdos_renyi(600, 3000, 13);
+    let singles: Vec<Vec<u32>> = ROOTS
+        .iter()
+        .map(|&r| bfs::bfs_in_memory(&g, r, mem_cfg()).0)
+        .collect();
+
+    // Memory engine, batched.
+    let p = MultiBfs::<4>::new();
+    let mut e = InMemoryEngine::from_graph(&g, &p, mem_cfg());
+    let (states, _) = run_multi_bfs(&mut e, &p, &ROOTS);
+    for (lane, single) in singles.iter().enumerate() {
+        let batched: Vec<u32> = states.iter().map(|s| s[lane]).collect();
+        assert_eq!(&batched, single, "memory lane {lane} diverges");
+    }
+
+    // Disk engine, batched, every frontier mode of the spill matrix.
+    for (tag, cfg) in mode_matrix() {
+        let p = MultiBfs::<4>::new();
+        let mut e =
+            DiskEngine::from_graph(temp_store(&format!("bfs_{tag}")), &g, &p, cfg).expect("engine");
+        let (states, stats) = run_multi_bfs(&mut e, &p, &ROOTS);
+        for (lane, single) in singles.iter().enumerate() {
+            let batched: Vec<u32> = states.iter().map(|s| s[lane]).collect();
+            assert_eq!(&batched, single, "disk/{tag} lane {lane} diverges");
+        }
+        assert!(
+            stats.totals().bytes_written > 0,
+            "{tag}: spill path never exercised"
+        );
+    }
+}
+
+#[test]
+fn batched_sssp_lanes_match_singles_bitwise_on_both_engines_and_all_modes() {
+    let g = weighted_graph();
+    let roots = [0u32, 50, 124, 499];
+    let singles: Vec<Vec<u32>> = roots
+        .iter()
+        .map(|&r| {
+            sssp::sssp_in_memory(&g, r, mem_cfg())
+                .0
+                .iter()
+                .map(|d| d.to_bits())
+                .collect()
+        })
+        .collect();
+
+    let check = |states: &[[f32; 4]], engine: &str| {
+        for (lane, single) in singles.iter().enumerate() {
+            let batched: Vec<u32> = states.iter().map(|s| s[lane].to_bits()).collect();
+            assert_eq!(&batched, single, "{engine} lane {lane} not bitwise equal");
+        }
+    };
+
+    let p = MultiSssp::<4>::new();
+    let mut e = InMemoryEngine::from_graph(&g, &p, mem_cfg());
+    let (dists, _) = run_multi_sssp(&mut e, &p, &roots);
+    check(&dists, "memory");
+
+    for (tag, cfg) in mode_matrix() {
+        let p = MultiSssp::<4>::new();
+        let mut e = DiskEngine::from_graph(temp_store(&format!("sssp_{tag}")), &g, &p, cfg)
+            .expect("engine");
+        let (dists, _) = run_multi_sssp(&mut e, &p, &roots);
+        check(&dists, &format!("disk/{tag}"));
+    }
+}
+
+#[test]
+fn batched_disk_pass_streams_fewer_edges_than_serial_single_runs() {
+    let g = generators::erdos_renyi(600, 3000, 13);
+    let p = MultiBfs::<4>::new();
+    let mut e =
+        DiskEngine::from_graph(temp_store("edges_batched"), &g, &p, spill_cfg()).expect("engine");
+    let (_, batched) = run_multi_bfs(&mut e, &p, &ROOTS);
+    let batched_edges = batched.totals().edges_streamed;
+
+    let serial: u64 = ROOTS
+        .iter()
+        .map(|&r| {
+            let p = bfs::Bfs::new();
+            let mut e = DiskEngine::from_graph(
+                temp_store(&format!("edges_single_{r}")),
+                &g,
+                &p,
+                spill_cfg(),
+            )
+            .expect("engine");
+            bfs::run(&mut e, &p, r).1.totals().edges_streamed
+        })
+        .sum();
+
+    assert!(
+        batched_edges < serial,
+        "batched pass streamed {batched_edges} edges, {serial} across 4 serial runs"
+    );
+}
+
+#[test]
+fn seeded_frontier_still_skips_partitions_on_the_first_superstep() {
+    // `run_multi_bfs` seeds the frontier bitmap with just the roots
+    // instead of rebuilding it with an O(V) scan; with 4 roots and 4
+    // streaming partitions, superstep 0 must not stream every edge
+    // unless the roots happen to span all partitions.
+    let g = generators::grid2d(40, 40);
+    let p = MultiBfs::<4>::new();
+    let mut e = DiskEngine::from_graph(temp_store("seeded"), &g, &p, spill_cfg()).expect("engine");
+    // All four roots in the first partition's vertex range.
+    let (_, stats) = run_multi_bfs(&mut e, &p, &[0, 1, 2, 3]);
+    let first = &stats.iterations[0];
+    assert!(
+        first.edges_streamed < g.num_edges() as u64,
+        "superstep 0 streamed all {} edges despite a 4-vertex frontier",
+        g.num_edges()
+    );
+}

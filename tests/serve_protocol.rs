@@ -1,0 +1,201 @@
+//! Live-server protocol tests: garbage in, well-formed error lines
+//! out — and the connection, admission accounting, and cache stay
+//! healthy enough that the very next valid query is answered
+//! correctly.
+
+mod serve_support;
+
+use serve_support::{field_bool, field_u64, is_ok, stats, wait_for_drain, Client};
+use xstream::algorithms::bfs;
+use xstream::core::EngineConfig;
+use xstream::graph::generators;
+use xstream::server::json::Json;
+use xstream::server::ServeOptions;
+
+fn mem_cfg() -> EngineConfig {
+    EngineConfig::default().with_threads(2).with_partitions(4)
+}
+
+#[test]
+fn garbage_lines_get_error_responses_and_valid_queries_still_work() {
+    let g = generators::erdos_renyi(300, 1500, 7);
+    let expected_reached = bfs::bfs_in_memory(&g, 0, mem_cfg())
+        .0
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .count() as u64;
+    let server = serve_support::start_memory_server(g, ServeOptions::default());
+    let mut c = Client::connect(server.addr);
+
+    let garbage: [&[u8]; 8] = [
+        b"not json at all",
+        b"\xff\xfe\x00\x80",
+        b"{\"op\":\"bfs\"",
+        b"[1,2,3]",
+        b"{\"op\":\"warp\",\"id\":42}",
+        b"{\"op\":\"bfs\",\"root\":-1}",
+        b"{\"op\":\"bfs\",\"root\":1e99}",
+        b"{\"op\":113}",
+    ];
+    for line in garbage {
+        c.send_raw(line);
+        let v = c.read_response();
+        assert!(!is_ok(&v), "garbage line accepted: {}", v.render());
+        assert!(
+            v.get("error").and_then(Json::as_str).is_some(),
+            "no error message in {}",
+            v.render()
+        );
+    }
+    // The salvageable id came back on the unknown-op line.
+    c.send_raw(b"{\"op\":\"warp\",\"id\":42}");
+    let v = c.read_response();
+    assert_eq!(v.get("id").and_then(Json::as_u64), Some(42));
+
+    // Same connection, valid query: correct answer, echoed id.
+    let v = c.roundtrip(r#"{"op":"bfs","root":0,"id":"q1"}"#);
+    assert!(is_ok(&v), "valid query failed: {}", v.render());
+    assert_eq!(field_u64(&v, "reached"), expected_reached);
+    assert_eq!(v.get("id").and_then(Json::as_str), Some("q1"));
+
+    // No inflight slot leaked, parse errors were counted.
+    let s = wait_for_drain(&mut c);
+    assert!(field_u64(&s, "parse_errors") >= garbage.len() as u64);
+    assert_eq!(field_u64(&s, "inflight"), 0);
+
+    let snap = server.stop();
+    assert_eq!(snap.inflight, 0, "slot leak survived shutdown: {snap:?}");
+    assert!(snap.parse_errors >= garbage.len() as u64);
+}
+
+#[test]
+fn oversized_line_is_rejected_with_an_error_line() {
+    let g = generators::erdos_renyi(50, 200, 1);
+    let server = serve_support::start_memory_server(g, ServeOptions::default());
+    let mut c = Client::connect(server.addr);
+    let huge = vec![b'x'; 70 * 1024];
+    c.send_raw(&huge);
+    let v = c.read_response();
+    assert!(!is_ok(&v));
+    assert!(
+        v.get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("exceeds")),
+        "unexpected error: {}",
+        v.render()
+    );
+    server.stop();
+}
+
+#[test]
+fn every_query_op_answers_and_matches_the_engine() {
+    let g = generators::erdos_renyi(300, 1500, 7);
+    let levels = bfs::bfs_in_memory(&g, 4, mem_cfg()).0;
+    let server = serve_support::start_memory_server(g.clone(), ServeOptions::default());
+    let mut c = Client::connect(server.addr);
+
+    let v = c.roundtrip(r#"{"op":"ping"}"#);
+    assert!(is_ok(&v));
+
+    let v = c.roundtrip(r#"{"op":"bfs","root":4,"target":9}"#);
+    assert!(is_ok(&v), "{}", v.render());
+    if levels[9] == u32::MAX {
+        assert_eq!(v.get("level"), Some(&Json::Null));
+    } else {
+        assert_eq!(field_u64(&v, "level"), levels[9] as u64);
+    }
+
+    let v = c.roundtrip(r#"{"op":"reach","src":4,"dst":9}"#);
+    assert!(is_ok(&v), "{}", v.render());
+    assert_eq!(field_bool(&v, "reachable"), levels[9] != u32::MAX);
+
+    let v = c.roundtrip(r#"{"op":"sssp","root":4,"target":9}"#);
+    assert!(is_ok(&v), "{}", v.render());
+    assert_eq!(
+        v.get("dist") != Some(&Json::Null),
+        levels[9] != u32::MAX,
+        "sssp and bfs disagree on reachability: {}",
+        v.render()
+    );
+
+    let v = c.roundtrip(r#"{"op":"pagerank","k":3,"iterations":4}"#);
+    assert!(is_ok(&v), "{}", v.render());
+    assert_eq!(field_u64(&v, "iterations"), 4);
+    let top = match v.get("top") {
+        Some(Json::Arr(items)) => items.clone(),
+        other => panic!("bad top field: {other:?}"),
+    };
+    assert_eq!(top.len(), 3);
+
+    let (labels, _) = xstream::algorithms::wcc::wcc_in_memory(&g.to_undirected(), mem_cfg());
+    let v = c.roundtrip(r#"{"op":"same-component","u":1,"v":2}"#);
+    assert!(is_ok(&v), "{}", v.render());
+    assert_eq!(field_bool(&v, "same"), labels[1] == labels[2]);
+
+    let v = c.roundtrip(r#"{"op":"components"}"#);
+    assert!(is_ok(&v), "{}", v.render());
+    assert_eq!(
+        field_u64(&v, "count"),
+        xstream::algorithms::wcc::count_components(&labels) as u64
+    );
+
+    // Out-of-range roots are clean errors, not panics or hangs.
+    let v = c.roundtrip(r#"{"op":"bfs","root":300}"#);
+    assert!(!is_ok(&v));
+    assert!(
+        v.get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("out of range")),
+        "{}",
+        v.render()
+    );
+
+    let s = stats(&mut c);
+    assert_eq!(field_u64(&s, "vertices"), 300);
+    let snap = server.stop();
+    assert_eq!(snap.inflight, 0);
+    assert!(snap.engine_runs >= 4, "bfs/sssp/pagerank/wcc ran: {snap:?}");
+}
+
+#[test]
+fn identical_queries_hit_the_cache_without_new_engine_runs() {
+    let g = generators::erdos_renyi(200, 1000, 3);
+    let server = serve_support::start_memory_server(g, ServeOptions::default());
+    let mut c = Client::connect(server.addr);
+
+    let first = c.roundtrip(r#"{"op":"bfs","root":11}"#);
+    assert!(is_ok(&first));
+    let s = wait_for_drain(&mut c);
+    let runs_after_first = field_u64(&s, "engine_runs");
+
+    let second = c.roundtrip(r#"{"op":"bfs","root":11}"#);
+    assert_eq!(
+        field_u64(&second, "reached"),
+        field_u64(&first, "reached"),
+        "cached answer diverged"
+    );
+    let s = wait_for_drain(&mut c);
+    assert_eq!(
+        field_u64(&s, "engine_runs"),
+        runs_after_first,
+        "cache hit started an engine pass"
+    );
+    assert!(field_u64(&s, "cache_hits") >= 1);
+    server.stop();
+}
+
+#[test]
+fn shutdown_drains_and_reports_final_counters() {
+    let g = generators::erdos_renyi(100, 400, 9);
+    let server = serve_support::start_memory_server(g, ServeOptions::default());
+    let mut c = Client::connect(server.addr);
+    for root in 0..5 {
+        let v = c.roundtrip(&format!(r#"{{"op":"bfs","root":{root}}}"#));
+        assert!(is_ok(&v));
+    }
+    let snap = server.stop();
+    assert_eq!(snap.admitted, 5);
+    assert_eq!(snap.inflight, 0);
+    assert_eq!(snap.rejected, 0);
+    assert_eq!(snap.timed_out, 0);
+}

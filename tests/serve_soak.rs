@@ -1,0 +1,254 @@
+//! Concurrency soak for the live server: many clients at once,
+//! bounded admission, per-query timeouts that fail one query without
+//! poisoning the rest, query batching under load, and a result cache
+//! that keeps warm queries off the engines entirely.
+
+mod serve_support;
+
+use std::time::Duration;
+
+use serve_support::{field_u64, is_ok, stats, wait_for_drain, Client};
+use xstream::algorithms::bfs;
+use xstream::core::EngineConfig;
+use xstream::graph::generators;
+use xstream::server::json::Json;
+use xstream::server::ServeOptions;
+
+fn mem_cfg() -> EngineConfig {
+    EngineConfig::default().with_threads(2).with_partitions(4)
+}
+
+#[test]
+fn concurrent_clients_never_exceed_max_inflight_and_answers_stay_correct() {
+    let g = generators::erdos_renyi(300, 1500, 17);
+    let expected: Vec<u64> = (0..8u32)
+        .map(|r| {
+            bfs::bfs_in_memory(&g, r, mem_cfg())
+                .0
+                .iter()
+                .filter(|&&l| l != u32::MAX)
+                .count() as u64
+        })
+        .collect();
+    let opts = ServeOptions {
+        max_inflight: 4,
+        ..ServeOptions::default()
+    };
+    let server = serve_support::start_memory_server(g, opts);
+
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 6;
+    let addr = server.addr;
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                let mut answered = 0usize;
+                let mut rejected = 0usize;
+                for q in 0..PER_THREAD {
+                    let root = ((t + q) % 8) as u32;
+                    let v = c.roundtrip(&format!(r#"{{"op":"bfs","root":{root}}}"#));
+                    if is_ok(&v) {
+                        assert_eq!(
+                            field_u64(&v, "reached"),
+                            expected[root as usize],
+                            "thread {t} query {q}: wrong answer under load"
+                        );
+                        answered += 1;
+                    } else {
+                        let err = v.get("error").and_then(Json::as_str).unwrap_or("");
+                        assert!(
+                            err.contains("overloaded"),
+                            "thread {t}: unexpected error {err:?}"
+                        );
+                        rejected += 1;
+                    }
+                }
+                (answered, rejected)
+            })
+        })
+        .collect();
+    let (mut answered, mut rejected) = (0usize, 0usize);
+    for w in workers {
+        let (a, r) = w.join().expect("client thread panicked");
+        answered += a;
+        rejected += r;
+    }
+    assert_eq!(answered + rejected, THREADS * PER_THREAD);
+    assert!(answered > 0, "admission rejected every single query");
+
+    let mut c = Client::connect(addr);
+    let s = wait_for_drain(&mut c);
+    assert!(
+        field_u64(&s, "inflight_peak") <= 4,
+        "admission exceeded max-inflight: {}",
+        s.render()
+    );
+    let snap = server.stop();
+    assert_eq!(snap.admitted, answered as u64);
+    assert_eq!(snap.rejected, rejected as u64);
+    assert_eq!(snap.inflight, 0, "slot leaked under concurrency");
+}
+
+#[test]
+fn queued_traversals_batch_into_one_pass_and_each_gets_its_own_answer() {
+    let g = generators::erdos_renyi(300, 1500, 17);
+    let expected: Vec<u64> = (1..4u32)
+        .map(|r| {
+            bfs::bfs_in_memory(&g, r, mem_cfg())
+                .0
+                .iter()
+                .filter(|&&l| l != u32::MAX)
+                .count() as u64
+        })
+        .collect();
+    let server = serve_support::start_memory_server(g, ServeOptions::default());
+    let addr = server.addr;
+
+    // Occupy the executor with a multi-hundred-superstep PageRank so
+    // the three BFS queries sent behind it are all queued when the
+    // executor next wakes — it must pull them into ONE batched pass.
+    let blocker = std::thread::spawn(move || {
+        let mut c = Client::connect(addr);
+        c.roundtrip(r#"{"op":"pagerank","k":1,"iterations":400}"#)
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    let clients: Vec<_> = (1..4u32)
+        .map(|root| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                c.roundtrip(&format!(r#"{{"op":"bfs","root":{root}}}"#))
+            })
+        })
+        .collect();
+    let pr = blocker.join().expect("blocker panicked");
+    assert!(is_ok(&pr), "pagerank failed: {}", pr.render());
+    for (i, h) in clients.into_iter().enumerate() {
+        let v = h.join().expect("client panicked");
+        assert!(is_ok(&v), "batched bfs failed: {}", v.render());
+        assert_eq!(
+            field_u64(&v, "reached"),
+            expected[i],
+            "batched lane answer diverges for root {}",
+            i + 1
+        );
+    }
+    let snap = server.stop();
+    assert!(
+        snap.batches >= 1 && snap.batched_queries >= 2,
+        "queued traversals were never batched: {snap:?}"
+    );
+    // One pagerank run + at most two passes for the three BFS roots
+    // (all three fit in one lane budget; a straggler may run alone).
+    assert!(
+        snap.engine_runs <= 3,
+        "batching saved no engine runs: {snap:?}"
+    );
+}
+
+#[test]
+fn slow_query_times_out_cleanly_and_later_queries_stay_correct() {
+    let g = generators::erdos_renyi(600, 6000, 23);
+    let expected_reached = bfs::bfs_in_memory(&g, 2, mem_cfg())
+        .0
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .count() as u64;
+    // Thousands of supersteps keep the executor busy far beyond the
+    // 50 ms deadline in both debug and release profiles, while the
+    // ~6-superstep BFS afterwards stays far below it.
+    let slow_iterations = if cfg!(debug_assertions) { 2000 } else { 10000 };
+    let opts = ServeOptions {
+        query_timeout: Duration::from_millis(50),
+        ..ServeOptions::default()
+    };
+    let server = serve_support::start_memory_server(g, opts);
+    let mut c = Client::connect(server.addr);
+
+    let v = c.roundtrip(&format!(
+        r#"{{"op":"pagerank","k":1,"iterations":{slow_iterations}}}"#
+    ));
+    assert!(
+        !is_ok(&v),
+        "slow query should have timed out: {}",
+        v.render()
+    );
+    assert!(
+        v.get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("timed out")),
+        "unexpected error: {}",
+        v.render()
+    );
+
+    // Inline ops keep answering while the executor grinds on.
+    let s = stats(&mut c);
+    assert_eq!(field_u64(&s, "timed_out"), 1);
+
+    // Once the executor drains, the next traversal is on time and
+    // correct — the timeout poisoned nothing.
+    wait_for_drain(&mut c);
+    let v = c.roundtrip(r#"{"op":"bfs","root":2}"#);
+    assert!(is_ok(&v), "query after a timeout failed: {}", v.render());
+    assert_eq!(field_u64(&v, "reached"), expected_reached);
+
+    let snap = server.stop();
+    assert_eq!(snap.timed_out, 1);
+    assert_eq!(snap.inflight, 0, "timed-out query leaked its slot");
+}
+
+#[test]
+fn warm_cache_serves_repeat_queries_without_new_scatter_passes() {
+    let g = generators::erdos_renyi(250, 1250, 31);
+    let server = serve_support::start_memory_server(g, ServeOptions::default());
+    let addr = server.addr;
+
+    // Warm up: one query per root, serially, so the cache holds them.
+    let mut warm = Client::connect(addr);
+    let mut answers = Vec::new();
+    for root in 0..4u32 {
+        let v = warm.roundtrip(&format!(r#"{{"op":"bfs","root":{root}}}"#));
+        assert!(is_ok(&v));
+        answers.push(field_u64(&v, "reached"));
+    }
+    let s = wait_for_drain(&mut warm);
+    let (runs_warm, passes_warm) = (
+        field_u64(&s, "engine_runs"),
+        field_u64(&s, "scatter_passes"),
+    );
+
+    // Hammer the same four queries from four threads.
+    let workers: Vec<_> = (0..4u32)
+        .map(|root| {
+            let expect = answers[root as usize];
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                for _ in 0..5 {
+                    let v = c.roundtrip(&format!(r#"{{"op":"bfs","root":{root}}}"#));
+                    assert!(is_ok(&v), "warm query failed: {}", v.render());
+                    assert_eq!(field_u64(&v, "reached"), expect);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread panicked");
+    }
+
+    let s = wait_for_drain(&mut warm);
+    assert_eq!(
+        field_u64(&s, "engine_runs"),
+        runs_warm,
+        "warm queries started engine runs: {}",
+        s.render()
+    );
+    assert_eq!(
+        field_u64(&s, "scatter_passes"),
+        passes_warm,
+        "warm queries cost scatter passes: {}",
+        s.render()
+    );
+    assert!(field_u64(&s, "cache_hits") >= 20);
+    server.stop();
+}

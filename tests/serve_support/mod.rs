@@ -1,0 +1,132 @@
+//! Shared helpers for the live-server integration tests: an in-process
+//! `xstream serve` instance plus a tiny line-protocol client.
+//!
+//! Compiled into several test binaries, each of which uses a different
+//! subset of the helpers — hence the blanket `dead_code` allow.
+#![allow(dead_code)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use xstream::graph::EdgeList;
+use xstream::server::json::{self, Json};
+use xstream::server::{GraphService, ServeOptions, Server, StatsSnapshot};
+
+/// A running in-process server; dropping it without [`Handle::stop`]
+/// leaks the thread, so tests must call `stop`.
+pub struct Handle {
+    pub addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: JoinHandle<StatsSnapshot>,
+}
+
+impl Handle {
+    /// Signals shutdown, joins the server, returns its final counters.
+    pub fn stop(self) -> StatsSnapshot {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+/// Binds and runs a memory-backend server on an ephemeral port.
+pub fn start_memory_server(graph: EdgeList, opts: ServeOptions) -> Handle {
+    let cfg = xstream::core::EngineConfig::default()
+        .with_threads(2)
+        .with_partitions(4);
+    let service = GraphService::open_memory(graph, cfg, 5);
+    start(service, opts)
+}
+
+/// Binds and runs any service on an ephemeral port.
+pub fn start(service: GraphService, mut opts: ServeOptions) -> Handle {
+    opts.port = 0;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let server = Server::bind(service, opts, Arc::clone(&shutdown)).expect("bind");
+    let addr = server.local_addr();
+    let thread = std::thread::spawn(move || server.run());
+    Handle {
+        addr,
+        shutdown,
+        thread,
+    }
+}
+
+/// One protocol connection: send a line, read the response line.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client {
+            writer: stream,
+            reader,
+        }
+    }
+
+    /// Writes one raw line (newline appended) and parses the response.
+    pub fn roundtrip(&mut self, line: &str) -> Json {
+        self.send_raw(line.as_bytes());
+        self.read_response()
+    }
+
+    pub fn send_raw(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).expect("write");
+        self.writer.write_all(b"\n").expect("write newline");
+        self.writer.flush().expect("flush");
+    }
+
+    pub fn read_response(&mut self) -> Json {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        json::parse(line.trim_end().as_bytes())
+            .unwrap_or_else(|e| panic!("response not JSON ({e}): {line:?}"))
+    }
+}
+
+/// Field accessors that panic with the whole response on mismatch.
+pub fn field_u64(v: &Json, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing numeric `{key}` in {}", v.render()))
+}
+
+pub fn field_bool(v: &Json, key: &str) -> bool {
+    v.get(key)
+        .and_then(Json::as_bool)
+        .unwrap_or_else(|| panic!("missing bool `{key}` in {}", v.render()))
+}
+
+pub fn is_ok(v: &Json) -> bool {
+    field_bool(v, "ok")
+}
+
+/// The `stats` op, parsed (answered inline, so always available).
+pub fn stats(client: &mut Client) -> Json {
+    let v = client.roundtrip(r#"{"op":"stats"}"#);
+    assert!(is_ok(&v), "stats failed: {}", v.render());
+    v
+}
+
+/// Polls `stats` until `inflight` drains to zero (bounded wait).
+pub fn wait_for_drain(client: &mut Client) -> Json {
+    for _ in 0..600 {
+        let s = stats(client);
+        if field_u64(&s, "inflight") == 0 {
+            return s;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("inflight never drained to zero");
+}
